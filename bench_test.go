@@ -1,0 +1,199 @@
+// Benchmarks regenerating the paper's figures with the testing.B harness.
+// Each figure of Section 8 has one benchmark; sub-benchmarks map to the
+// bars/series of that figure. Sizes default to quick laptop settings —
+// raise SMARTICEBERG_BENCH_N (and run cmd/experiments for the full sweeps)
+// to approach the paper's scale.
+//
+// Suggested invocation (one timed run per configuration):
+//
+//	go test -bench=. -benchmem -benchtime=1x
+package smarticeberg_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"smarticeberg/internal/bench"
+)
+
+func benchN() int {
+	if s := os.Getenv("SMARTICEBERG_BENCH_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 2000
+}
+
+// BenchmarkFigure1 times the eight workload queries under every system
+// configuration of Figure 1.
+func BenchmarkFigure1(b *testing.B) {
+	ds := bench.NewDataset(benchN(), 0, 1)
+	for _, q := range bench.Figure1Queries() {
+		for _, sys := range bench.Figure1Systems() {
+			b.Run(q.Name+"/"+sys.Name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sys.Run(ds, q.SQL); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure3 reports cache sizes as benchmark metrics.
+func BenchmarkFigure3(b *testing.B) {
+	ds := bench.NewDataset(benchN(), 0, 1)
+	for _, q := range bench.Figure1Queries() {
+		b.Run(q.Name, func(b *testing.B) {
+			var entries, bytes int64
+			for i := 0; i < b.N; i++ {
+				m := bench.Measure(ds, bench.SysAll, q.Name, q.SQL)
+				if m.Err != nil {
+					b.Fatal(m.Err)
+				}
+				entries, bytes = int64(m.Stats.Entries), m.Stats.Bytes
+			}
+			b.ReportMetric(float64(entries), "cache-entries")
+			b.ReportMetric(float64(bytes), "cache-bytes")
+		})
+	}
+}
+
+// BenchmarkFigure4 times Q1 under the index configurations PK, PK+BT, and
+// PK+BT+CI for baseline and prune+memo executions.
+func BenchmarkFigure4(b *testing.B) {
+	type cfg struct {
+		name   string
+		dropBT bool
+		system bench.System
+	}
+	configs := []cfg{
+		{"base-PK", true, bench.SysBaseNoIndex()},
+		{"base-PK+BT", false, bench.SysBase},
+		{"smart-PK", true, bench.SysPruneMemoNoIndex()},
+		{"smart-PK+BT", false, bench.SysPruneMemo()},
+		{"smart-PK+BT+CI", false, bench.SysAll},
+	}
+	sql := bench.SkybandSQL("b_h", "b_hr", 50)
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			ds := bench.NewDataset(benchN(), 0, 1)
+			if c.dropBT {
+				bench.DropPerformanceIndexes(ds)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := c.system.Run(ds, sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure5 sweeps the skyband HAVING threshold (series = system).
+func BenchmarkFigure5(b *testing.B) {
+	ds := bench.NewDataset(benchN(), 0, 1)
+	for _, k := range []int{1, 25, 100, 250} {
+		for _, sys := range []bench.System{bench.SysBase, bench.SysVendorA, bench.SysAll} {
+			b.Run("k="+strconv.Itoa(k)+"/"+sys.Name, func(b *testing.B) {
+				sql := bench.SkybandSQL("b_h", "b_hr", k)
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sys.Run(ds, sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6 sweeps the complex query's HAVING threshold.
+func BenchmarkFigure6(b *testing.B) {
+	kvn := benchN()
+	ds := bench.NewDataset(kvn/3+1, kvn, 1)
+	for _, k := range []int{2, 5, 20, 50} {
+		for _, sys := range []bench.System{bench.SysBase, bench.SysVendorA, bench.SysAll} {
+			b.Run("k="+strconv.Itoa(k)+"/"+sys.Name, func(b *testing.B) {
+				sql := bench.ComplexSQL(k)
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sys.Run(ds, sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure7 sweeps the skyband input size.
+func BenchmarkFigure7(b *testing.B) {
+	base := benchN()
+	for _, n := range []int{base / 2, base, base * 2} {
+		ds := bench.NewDataset(n, 0, 1)
+		sql := bench.SkybandSQL("b_h", "b_hr", 50)
+		for _, sys := range []bench.System{bench.SysBase, bench.SysVendorA, bench.SysAll} {
+			b.Run("n="+strconv.Itoa(n)+"/"+sys.Name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sys.Run(ds, sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure8 sweeps the complex query's input size.
+func BenchmarkFigure8(b *testing.B) {
+	base := benchN()
+	for _, n := range []int{base / 2, base, base * 2} {
+		ds := bench.NewDataset(n/3+1, n, 1)
+		sql := bench.ComplexSQL(10)
+		for _, sys := range []bench.System{bench.SysBase, bench.SysVendorA, bench.SysAll} {
+			b.Run("n="+strconv.Itoa(n)+"/"+sys.Name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sys.Run(ds, sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblations times the design-choice ablations called out in
+// DESIGN.md: cache index on/off for pruning, and the a-priori+prune
+// combination on the complex query (the paper's future-work item).
+func BenchmarkAblations(b *testing.B) {
+	n := benchN()
+	b.Run("prune-cache-index", func(b *testing.B) {
+		ds := bench.NewDataset(n, 0, 1)
+		sql := bench.SkybandSQL("b_h", "b_hr", 50)
+		for _, sys := range []bench.System{bench.SysPruneNoCI(), bench.SysPrune} {
+			b.Run(sys.Name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sys.Run(ds, sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+	b.Run("complex-apriori-combination", func(b *testing.B) {
+		ds := bench.NewDataset(n/3+1, n, 1)
+		sql := bench.ComplexSQL(10)
+		for _, sys := range []bench.System{bench.SysPruneMemo(), bench.SysAll} {
+			b.Run(sys.Name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sys.Run(ds, sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+}

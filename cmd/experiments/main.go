@@ -1,0 +1,155 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section against the synthetic workloads. Each figure prints
+// the same rows/series the paper reports; see EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments [-fig all|1|2|3|4|5|6|7|8|plans] [-n rows] [-kvn rows] [-seed s]
+//
+// The default sizes are laptop-friendly; the paper's dataset had 3×10⁵
+// rows on a dedicated server. Shapes (who wins, by what factor, where the
+// crossovers fall) are what to compare, not absolute times.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"smarticeberg/internal/bench"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "which figure to run: all, 1-8, or plans")
+		n        = flag.Int("n", 8000, "player_performance rows")
+		kvn      = flag.Int("kvn", 6000, "performance_kv rows (complex query)")
+		seed     = flag.Int64("seed", 1, "workload generator seed")
+		ks       = flag.String("thresholds", "1,5,25,50,100,250", "thresholds for figures 5-6")
+		szs      = flag.String("sizes", "2000,4000,8000,16000", "input sizes for figures 7-8")
+		jsonPath = flag.String("json", "", "also write results as JSON to this file")
+	)
+	flag.Parse()
+
+	thresholds := parseInts(*ks)
+	sizes := parseInts(*szs)
+	w := os.Stdout
+	export := map[string]any{
+		"params": map[string]any{"n": *n, "kvn": *kvn, "seed": *seed},
+	}
+
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if run("1") || run("3") {
+		ds := bench.NewDataset(*n, 0, *seed)
+		if run("1") {
+			res := bench.Figure1(ds, w)
+			var flat []bench.ExportMeasurement
+			for _, bySys := range res {
+				for _, m := range bySys {
+					flat = append(flat, m.Export())
+				}
+			}
+			export["figure1"] = flat
+		}
+		if run("3") {
+			export["figure3"] = bench.Figure3(ds, w)
+		}
+	}
+	if run("2") {
+		ds := bench.NewDataset(*n, 0, *seed)
+		fa, fb, err := bench.Figure2(ds, w)
+		if err != nil {
+			fatal(err)
+		}
+		export["figure2"] = map[string]float64{"h_hr_fraction": fa, "rbi_sb_fraction": fb}
+	}
+	if run("4") {
+		res := bench.Figure4(*n, *seed, w)
+		flat := map[string]bench.ExportMeasurement{}
+		for name, m := range res {
+			flat[name] = m.Export()
+		}
+		export["figure4"] = flat
+		fmt.Fprintln(w)
+	}
+	if run("5") {
+		export["figure5"] = bench.Figure5(*n, *seed, thresholds, w)
+	}
+	if run("6") {
+		export["figure6"] = bench.Figure6(*kvn, *seed, scaleThresholds(thresholds), w)
+	}
+	if run("7") {
+		export["figure7"] = bench.Figure7(sizes, 50, *seed, w)
+	}
+	if run("8") {
+		export["figure8"] = bench.Figure8(sizes, 10, *seed, w)
+	}
+	if run("plans") {
+		if err := bench.AppendixEPlans(min(*n, 2000), *seed, w); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(export, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "results written to %s\n", *jsonPath)
+	}
+}
+
+// scaleThresholds adapts the skyband threshold list to the complex query's
+// monotone >= direction (small thresholds are the non-selective end there).
+func scaleThresholds(ks []int) []int {
+	out := make([]int, 0, len(ks))
+	for _, k := range ks {
+		if k >= 1 && k <= 250 {
+			out = append(out, max(2, k/5))
+		}
+	}
+	if len(out) == 0 {
+		out = []int{2, 5, 10, 25, 50}
+	}
+	return dedupeInts(out)
+}
+
+func dedupeInts(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fatal(fmt.Errorf("bad integer list %q: %w", s, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

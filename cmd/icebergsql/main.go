@@ -1,0 +1,258 @@
+// Command icebergsql is an interactive SQL shell over the smarticeberg
+// engine. It supports CREATE TABLE / INSERT / SELECT plus shell commands:
+//
+//	\opt on|off           toggle the Smart-Iceberg optimizer (default on)
+//	\opt apriori|prune|memo|ci on|off
+//	                      toggle individual techniques
+//	\explain <sql>        show the baseline plan or the optimizer rewrites
+//	\report               show the optimizer report of the last query
+//	\load <dataset> <n> [seed]
+//	                      load a synthetic dataset: performance, kv,
+//	                      scores, objects, baskets
+//	\import <table> <csv> bulk-load a CSV file (header line expected)
+//	\export <table> <csv> write a table as CSV
+//	\save <dir>           persist the whole database (manifest + CSVs)
+//	\open <dir>           load a database saved with \save
+//	\analyze <sql>        run and show the plan with actual row counts
+//	\tables               list tables
+//	\q                    quit
+//
+// Example session:
+//
+//	\load performance 20000
+//	SELECT R.playerid, R.year, R.round, COUNT(1)
+//	FROM player_performance L, player_performance R
+//	WHERE L.b_h >= R.b_h AND L.b_hr >= R.b_hr
+//	  AND (L.b_h > R.b_h OR L.b_hr > R.b_hr)
+//	GROUP BY R.playerid, R.year, R.round HAVING COUNT(1) < 50;
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"smarticeberg"
+)
+
+func main() {
+	db := smarticeberg.Open()
+	opts := smarticeberg.AllOptimizations()
+	optimize := true
+	var lastReport string
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("icebergsql — Smart-Iceberg SQL shell (\\q to quit, \\opt to toggle optimizations)")
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("iceberg> ")
+		} else {
+			fmt.Print("    ...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !command(db, trimmed, &opts, &optimize, &lastReport) {
+				return
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			sql := pending.String()
+			pending.Reset()
+			runSQL(db, sql, opts, optimize, &lastReport)
+		}
+		prompt()
+	}
+}
+
+func runSQL(db *smarticeberg.DB, sql string, opts smarticeberg.Options, optimize bool, lastReport *string) {
+	upper := strings.ToUpper(strings.TrimSpace(sql))
+	start := time.Now()
+	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "WITH") {
+		if optimize {
+			res, report, err := db.QueryOpt(sql, opts)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			*lastReport = report.Text
+			fmt.Print(res.String())
+			fmt.Printf("Time: %.3fs (optimized; \\report for rewrites)\n", time.Since(start).Seconds())
+			return
+		}
+		res, err := db.Query(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(res.String())
+		fmt.Printf("Time: %.3fs (baseline)\n", time.Since(start).Seconds())
+		return
+	}
+	if err := db.Exec(sql); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("OK (%.3fs)\n", time.Since(start).Seconds())
+}
+
+func command(db *smarticeberg.DB, line string, opts *smarticeberg.Options, optimize *bool, lastReport *string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\report":
+		if *lastReport == "" {
+			fmt.Println("no optimized query has run yet")
+		} else {
+			fmt.Print(*lastReport)
+		}
+	case "\\opt":
+		if len(fields) == 2 {
+			*optimize = fields[1] == "on"
+			fmt.Printf("optimizer: %v\n", *optimize)
+			break
+		}
+		if len(fields) == 3 {
+			on := fields[2] == "on"
+			switch fields[1] {
+			case "apriori":
+				opts.Apriori = on
+			case "prune":
+				opts.Prune = on
+			case "memo":
+				opts.Memo = on
+			case "ci":
+				opts.CacheIndex = on
+			default:
+				fmt.Println("unknown technique:", fields[1])
+			}
+		}
+		fmt.Printf("options: %+v (optimizer %v)\n", *opts, *optimize)
+	case "\\explain":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
+		sql = strings.TrimSuffix(sql, ";")
+		var (
+			text string
+			err  error
+		)
+		if *optimize {
+			text, err = db.Explain(sql, opts)
+		} else {
+			text, err = db.Explain(sql, nil)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(text)
+		}
+	case "\\load":
+		if len(fields) < 3 {
+			fmt.Println("usage: \\load performance|kv|scores|objects|baskets <n> [seed]")
+			break
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil {
+			fmt.Println("bad n:", fields[2])
+			break
+		}
+		seed := int64(1)
+		if len(fields) > 3 {
+			s, err := strconv.ParseInt(fields[3], 10, 64)
+			if err == nil {
+				seed = s
+			}
+		}
+		switch fields[1] {
+		case "performance":
+			db.LoadPlayerPerformance(n, seed)
+		case "kv":
+			db.LoadUnpivoted(n, seed)
+		case "scores":
+			db.LoadScores(n, 12, seed)
+		case "objects":
+			if err := db.LoadObjects(n, "independent", seed); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "baskets":
+			db.LoadBaskets(n, 200, 5, seed)
+		default:
+			fmt.Println("unknown dataset:", fields[1])
+			break
+		}
+		fmt.Println("loaded")
+	case "\\analyze":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\analyze"))
+		sql = strings.TrimSuffix(sql, ";")
+		text, _, err := db.ExplainAnalyze(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(text)
+		}
+	case "\\import":
+		if len(fields) != 3 {
+			fmt.Println("usage: \\import <table> <file.csv>  (expects a header line)")
+			break
+		}
+		n, err := db.ImportCSV(fields[1], fields[2], true)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Printf("loaded %d rows into %s\n", n, fields[1])
+		}
+	case "\\export":
+		if len(fields) != 3 {
+			fmt.Println("usage: \\export <table> <file.csv>")
+			break
+		}
+		if err := db.ExportCSV(fields[1], fields[2]); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("written", fields[2])
+		}
+	case "\\save":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\save <dir>")
+			break
+		}
+		if err := db.Save(fields[1]); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("saved to", fields[1])
+		}
+	case "\\open":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\open <dir>")
+			break
+		}
+		opened, err := smarticeberg.OpenDir(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			*db = *opened
+			fmt.Println("opened", fields[1])
+		}
+	case "\\tables":
+		for _, name := range []string{"player_performance", "performance_kv", "Score", "Object", "Basket"} {
+			if n, err := db.TableRows(name); err == nil {
+				fmt.Printf("  %s: %d rows\n", name, n)
+			}
+		}
+	default:
+		fmt.Println("unknown command:", fields[0])
+	}
+	return true
+}

@@ -1,0 +1,51 @@
+// Quickstart: create a table with plain SQL, run an iceberg query through
+// the baseline executor and through the Smart-Iceberg optimizer, and print
+// the optimizer's report showing which techniques fired.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smarticeberg"
+)
+
+func main() {
+	db := smarticeberg.Open()
+
+	// A tiny Object(id, x, y) table; in a real application x and y would be
+	// price, rating, latency, ... — any dimensions you want few things to
+	// dominate you on.
+	db.MustExec(`CREATE TABLE Object (id BIGINT, x DOUBLE, y DOUBLE, PRIMARY KEY (id))`)
+	db.MustExec(`INSERT INTO Object VALUES
+		(1, 1, 9), (2, 2, 7), (3, 3, 8), (4, 4, 4), (5, 5, 6),
+		(6, 6, 5), (7, 7, 2), (8, 8, 3), (9, 9, 1), (10, 2, 2)`)
+
+	// The 1-skyband: objects dominated by at most one other object.
+	const q = `
+		SELECT L.id, COUNT(*)
+		FROM Object L, Object R
+		WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y)
+		GROUP BY L.id
+		HAVING COUNT(*) <= 1`
+
+	base, err := db.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("baseline result:")
+	fmt.Print(base.String())
+
+	opt, report, err := db.QueryOpt(q, smarticeberg.AllOptimizations())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noptimized result (identical rows):")
+	fmt.Print(opt.String())
+
+	fmt.Println("\nwhat the optimizer did:")
+	fmt.Print(report.Text)
+	fmt.Printf("cache: %d entries, %d memo hits, %d prune hits, %d inner evaluations for %d bindings\n",
+		report.Stats.CacheEntries, report.Stats.MemoHits, report.Stats.PruneHits,
+		report.Stats.InnerEvals, report.Stats.Bindings)
+}

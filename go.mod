@@ -1,0 +1,3 @@
+module smarticeberg
+
+go 1.22

@@ -1,0 +1,220 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section 8): the same queries, system
+// configurations, parameter sweeps, and reported series, over the synthetic
+// workloads of internal/workload. cmd/experiments and the root bench_test.go
+// drive it.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/iceberg"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/workload"
+)
+
+// Dataset bundles the synthetic relations one experiment run uses.
+type Dataset struct {
+	Cat  *storage.Catalog
+	N    int // player_performance rows
+	KVN  int // performance_kv rows
+	Seed int64
+}
+
+// NewDataset builds the default catalog: the pivoted season-statistics
+// table with n rows, a Score table for the pairs queries, and the unpivoted
+// key–value table with kvn rows. Secondary ("BT") indexes are created on
+// the comparison attributes, as in the paper's default configuration.
+func NewDataset(n, kvn int, seed int64) *Dataset {
+	ds := &Dataset{Cat: storage.NewCatalog(), N: n, KVN: kvn, Seed: seed}
+	perf := workload.PlayerPerformance(n, seed)
+	ds.Cat.Put(perf)
+	ds.Cat.Put(workload.Scores(max(n/12, 24), 12, seed+1))
+	ds.Cat.Put(workload.UnpivotedPerformance(kvn, seed+2))
+	ds.buildIndexes()
+	return ds
+}
+
+func (ds *Dataset) buildIndexes() {
+	perf, _ := ds.Cat.Get("player_performance")
+	if perf != nil {
+		perf.CreateIndex("bh_bhr", "b_h", "b_hr")
+		perf.CreateIndex("brbi_bsb", "b_rbi", "b_sb")
+	}
+	if score, _ := ds.Cat.Get("Score"); score != nil {
+		score.CreateIndex("hits_idx", "hits")
+	}
+	if kv, _ := ds.Cat.Get("performance_kv"); kv != nil {
+		kv.CreateIndex("val_idx", "val")
+	}
+}
+
+// System is one execution configuration of Figure 1.
+type System struct {
+	Name string
+	// Run executes the query and returns the number of result rows plus
+	// cache statistics (zero for non-NLJP systems).
+	Run func(ds *Dataset, sql string) (int, iceberg.CacheStats, error)
+}
+
+func runBaseline(parallel, useIndexes bool) func(*Dataset, string) (int, iceberg.CacheStats, error) {
+	return func(ds *Dataset, sql string) (int, iceberg.CacheStats, error) {
+		sel, err := sqlparser.ParseSelect(sql)
+		if err != nil {
+			return 0, iceberg.CacheStats{}, err
+		}
+		p := &engine.Planner{Catalog: ds.Cat, Parallel: parallel, UseIndexes: useIndexes}
+		op, err := p.PlanSelect(sel, nil)
+		if err != nil {
+			return 0, iceberg.CacheStats{}, err
+		}
+		rows, err := engine.Run(op)
+		if err != nil {
+			return 0, iceberg.CacheStats{}, err
+		}
+		return len(rows), iceberg.CacheStats{}, nil
+	}
+}
+
+func runOptimized(opts iceberg.Options) func(*Dataset, string) (int, iceberg.CacheStats, error) {
+	return func(ds *Dataset, sql string) (int, iceberg.CacheStats, error) {
+		sel, err := sqlparser.ParseSelect(sql)
+		if err != nil {
+			return 0, iceberg.CacheStats{}, err
+		}
+		res, report, err := iceberg.Exec(ds.Cat, sel, opts)
+		if err != nil {
+			return 0, iceberg.CacheStats{}, err
+		}
+		return len(res.Rows), report.TotalStats(), nil
+	}
+}
+
+// Named system configurations.
+var (
+	SysBase    = System{Name: "base", Run: runBaseline(false, true)}
+	SysVendorA = System{Name: "vendorA", Run: runBaseline(true, true)}
+	SysApriori = System{Name: "apriori", Run: runOptimized(iceberg.Options{Apriori: true, UseIndexes: true})}
+	SysMemo    = System{Name: "memo", Run: runOptimized(iceberg.Options{Memo: true, UseIndexes: true})}
+	SysPrune   = System{Name: "prune", Run: runOptimized(iceberg.Options{Prune: true, CacheIndex: true, UseIndexes: true})}
+	SysAll     = System{Name: "all", Run: runOptimized(iceberg.AllOn())}
+)
+
+// Figure1Systems returns the configurations compared in Figure 1.
+func Figure1Systems() []System {
+	return []System{SysBase, SysVendorA, SysPrune, SysMemo, SysApriori, SysAll}
+}
+
+// SysBaseNoIndex is the baseline without secondary-index joins ("PK only").
+func SysBaseNoIndex() System {
+	return System{Name: "base-noidx", Run: runBaseline(false, false)}
+}
+
+// SysPruneMemo enables pruning and memoization (no a-priori, no cache
+// index), the paper's Figure 4 middle configuration.
+func SysPruneMemo() System {
+	return System{Name: "prune+memo", Run: runOptimized(iceberg.Options{Prune: true, Memo: true, UseIndexes: true})}
+}
+
+// SysPruneMemoNoIndex is prune+memo without secondary-index joins.
+func SysPruneMemoNoIndex() System {
+	return System{Name: "prune+memo-noidx", Run: runOptimized(iceberg.Options{Prune: true, Memo: true, UseIndexes: false})}
+}
+
+// SysPruneNoCI is pruning without the cache index, for the CI ablation.
+func SysPruneNoCI() System {
+	return System{Name: "prune-noci", Run: runOptimized(iceberg.Options{Prune: true, UseIndexes: true})}
+}
+
+// DropPerformanceIndexes removes the secondary indexes of the
+// player_performance table, modelling Figure 4's "PK only" configuration.
+func DropPerformanceIndexes(ds *Dataset) {
+	if perf, err := ds.Cat.Get("player_performance"); err == nil {
+		perf.DropIndexes()
+	}
+}
+
+// Measurement is one (query, system) timing.
+type Measurement struct {
+	Query   string
+	System  string
+	Seconds float64
+	Rows    int
+	Stats   iceberg.CacheStats
+	Err     error
+}
+
+// Export converts the measurement to a JSON-friendly view.
+func (m Measurement) Export() ExportMeasurement {
+	out := ExportMeasurement{
+		Query: m.Query, System: m.System, Seconds: m.Seconds,
+		Rows: m.Rows, Stats: m.Stats,
+	}
+	if m.Err != nil {
+		out.Error = m.Err.Error()
+	}
+	return out
+}
+
+// ExportMeasurement is the serializable form of a Measurement, written by
+// cmd/experiments -json for downstream plotting.
+type ExportMeasurement struct {
+	Query   string             `json:"query"`
+	System  string             `json:"system"`
+	Seconds float64            `json:"seconds"`
+	Rows    int                `json:"rows"`
+	Stats   iceberg.CacheStats `json:"stats"`
+	Error   string             `json:"error,omitempty"`
+}
+
+// Measure times one execution. A GC cycle runs first so that garbage from
+// earlier measurements is not charged to this one.
+func Measure(ds *Dataset, sys System, query, sql string) Measurement {
+	runtime.GC()
+	start := time.Now()
+	rows, stats, err := sys.Run(ds, sql)
+	return Measurement{
+		Query:   query,
+		System:  sys.Name,
+		Seconds: time.Since(start).Seconds(),
+		Rows:    rows,
+		Stats:   stats,
+		Err:     err,
+	}
+}
+
+// printTable renders measurements grouped by query with per-system columns,
+// normalized against the first system (the paper normalizes against
+// PostgreSQL).
+func printTable(w io.Writer, title string, queries []string, systems []System, ms map[string]map[string]Measurement) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s", "query")
+	for _, s := range systems {
+		fmt.Fprintf(w, " %14s", s.Name)
+	}
+	fmt.Fprintf(w, " %8s\n", "rows")
+	for _, q := range queries {
+		fmt.Fprintf(w, "%-10s", q)
+		baseSec := ms[q][systems[0].Name].Seconds
+		rows := -1
+		for _, s := range systems {
+			m := ms[q][s.Name]
+			if m.Err != nil {
+				fmt.Fprintf(w, " %14s", "err")
+				continue
+			}
+			norm := m.Seconds / baseSec
+			fmt.Fprintf(w, " %7.3fs(%.2fx)", m.Seconds, norm)
+			if rows == -1 {
+				rows = m.Rows
+			}
+		}
+		fmt.Fprintf(w, " %8d\n", rows)
+	}
+	fmt.Fprintln(w)
+}

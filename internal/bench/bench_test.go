@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/iceberg"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// TestFigure1SmallAgreement runs the full Figure 1 matrix on a small dataset
+// and checks that every system returns the same row count per query (full
+// content equality is covered by the iceberg package tests).
+func TestFigure1SmallAgreement(t *testing.T) {
+	ds := NewDataset(600, 0, 9)
+	res := Figure1(ds, nil)
+	for q, bySystem := range res {
+		want := -1
+		for sys, m := range bySystem {
+			if m.Err != nil {
+				t.Fatalf("%s/%s: %v", q, sys, m.Err)
+			}
+			if want == -1 {
+				want = m.Rows
+			} else if m.Rows != want {
+				t.Errorf("%s: system %s returned %d rows, others %d", q, sys, m.Rows, want)
+			}
+		}
+		if want <= 0 {
+			t.Errorf("%s: expected a nonempty result on the small dataset, got %d", q, want)
+		}
+	}
+}
+
+// TestFigure1Shapes checks the headline result on a mid-size dataset: the
+// fully optimized configuration beats the baseline on every query, and
+// pruning fires on the skyband queries.
+func TestFigure1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based test")
+	}
+	ds := NewDataset(1500, 0, 4)
+	res := Figure1(ds, nil)
+	for _, q := range []string{"Q1", "Q2", "Q3", "Q8"} {
+		base := res[q]["base"]
+		all := res[q]["all"]
+		if all.Err != nil || base.Err != nil {
+			t.Fatalf("%s errors: %v %v", q, base.Err, all.Err)
+		}
+		if all.Seconds > base.Seconds {
+			t.Errorf("%s: optimized (%.3fs) should not be slower than baseline (%.3fs)", q, all.Seconds, base.Seconds)
+		}
+		if all.Stats.PruneHits == 0 && all.Stats.MemoHits == 0 {
+			t.Errorf("%s: expected prune or memo activity: %+v", q, all.Stats)
+		}
+	}
+}
+
+// TestComplexQueryAgreement cross-checks the complex query between baseline
+// and all-optimizations on the kv dataset.
+func TestComplexQueryAgreement(t *testing.T) {
+	ds := NewDataset(400, 900, 3)
+	sql := ComplexSQL(5)
+	baseRows := mustRows(t, ds, sql, false)
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRes, report, err := iceberg.Exec(ds.Cat, sel, iceberg.AllOn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonRows(optRes.Rows), canonRows(baseRows); !equalStrings(got, want) {
+		t.Fatalf("complex mismatch: %d vs %d rows\nreport:\n%s", len(got), len(want), report.String())
+	}
+}
+
+// TestFigure2Fractions checks that the two attribute pairings have visibly
+// different skyband selectivity, the phenomenon Figure 2 documents.
+func TestFigure2Fractions(t *testing.T) {
+	ds := NewDataset(4000, 0, 5)
+	var buf bytes.Buffer
+	fa, fb, err := Figure2(ds, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa <= 0 || fb <= 0 || fa >= 1 || fb >= 1 {
+		t.Fatalf("fractions out of range: %v %v", fa, fb)
+	}
+	ratio := fa / fb
+	if ratio > 1 {
+		ratio = 1 / ratio
+	}
+	if ratio > 0.95 {
+		t.Errorf("expected distinct selectivity between pairings, got %.3f vs %.3f", fa, fb)
+	}
+	if !strings.Contains(buf.String(), "skyband k=") {
+		t.Errorf("missing summary output:\n%s", buf.String())
+	}
+}
+
+// TestFigure3CacheSizes checks the cache is bounded and populated.
+func TestFigure3CacheSizes(t *testing.T) {
+	ds := NewDataset(800, 0, 6)
+	stats := Figure3(ds, nil)
+	for _, q := range []string{"Q1", "Q8"} {
+		s := stats[q]
+		if s.Entries == 0 || s.Bytes == 0 {
+			t.Errorf("%s: expected nonempty cache, got %+v", q, s)
+		}
+	}
+}
+
+// TestFigure4Configs ensures all index configurations produce results.
+func TestFigure4Configs(t *testing.T) {
+	out := Figure4(700, 8, nil)
+	want := -1
+	for name, m := range out {
+		if m.Err != nil {
+			t.Fatalf("%s: %v", name, m.Err)
+		}
+		if want == -1 {
+			want = m.Rows
+		} else if m.Rows != want {
+			t.Errorf("%s: %d rows, others %d", name, m.Rows, want)
+		}
+	}
+}
+
+// TestSweeps runs tiny versions of Figures 5–8.
+func TestSweeps(t *testing.T) {
+	if pts := Figure5(500, 2, []int{1, 25}, nil); len(pts) != 2 {
+		t.Fatalf("figure5: %v", pts)
+	}
+	if pts := Figure6(600, 2, []int{3, 9}, nil); len(pts) != 2 {
+		t.Fatalf("figure6: %v", pts)
+	}
+	if pts := Figure7([]int{300, 600}, 25, 2, nil); len(pts) != 2 {
+		t.Fatalf("figure7: %v", pts)
+	}
+	if pts := Figure8([]int{300, 600}, 3, 2, nil); len(pts) != 2 {
+		t.Fatalf("figure8: %v", pts)
+	}
+}
+
+// TestAppendixEPlans checks the plan printer includes the expected shapes.
+func TestAppendixEPlans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AppendixEPlans(300, 2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HashAggregate", "Indexed Nested Loop", "Parallel JoinAggregate", "NLJP"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("plans missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func mustRows(t *testing.T, ds *Dataset, sql string, parallel bool) []value.Row {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &engine.Planner{Catalog: ds.Cat, Parallel: parallel, UseIndexes: true}
+	op, err := p.PlanSelect(sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := engine.Run(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func canonRows(rows []value.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestChart(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, "test sweep", []SweepPoint{
+		{X: 10, Base: 1.0, VendorA: 0.8, Smart: 0.01},
+		{X: 20, Base: 2.0, VendorA: 1.9, Smart: 0.02},
+		{X: 40, Base: 8.0, VendorA: 7.5, Smart: 0.2},
+	})
+	out := buf.String()
+	for _, want := range []string{"log scale", "b", "s", "40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Degenerate inputs must not panic or emit garbage.
+	var empty bytes.Buffer
+	Chart(&empty, "empty", nil)
+	Chart(&empty, "flat", []SweepPoint{{X: 1, Base: 1, VendorA: 1, Smart: 1}})
+	if empty.Len() != 0 {
+		t.Errorf("degenerate charts should render nothing: %q", empty.String())
+	}
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders sweep points as an ASCII line chart with a logarithmic
+// y-axis, mirroring the log-scale runtime plots of Figures 5–8.
+// Series markers: b = base, v = vendorA, s = smart-iceberg.
+func Chart(w io.Writer, title string, points []SweepPoint) {
+	if len(points) == 0 {
+		return
+	}
+	const height = 12
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	update := func(v float64) {
+		if v <= 0 {
+			return
+		}
+		minY = math.Min(minY, v)
+		maxY = math.Max(maxY, v)
+	}
+	for _, p := range points {
+		update(p.Base)
+		update(p.VendorA)
+		update(p.Smart)
+	}
+	if math.IsInf(minY, 1) || minY == maxY {
+		return
+	}
+	logMin, logMax := math.Log10(minY), math.Log10(maxY)
+	rowOf := func(v float64) int {
+		if v <= 0 {
+			return -1
+		}
+		frac := (math.Log10(v) - logMin) / (logMax - logMin)
+		r := int(math.Round(frac * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	colWidth := 6
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", colWidth*len(points)))
+	}
+	put := func(col, row int, marker byte) {
+		if row < 0 {
+			return
+		}
+		pos := col*colWidth + colWidth/2
+		cell := &grid[height-1-row][pos]
+		if *cell == ' ' {
+			*cell = marker
+		} else {
+			*cell = '*' // overlapping series
+		}
+	}
+	for i, p := range points {
+		put(i, rowOf(p.Base), 'b')
+		put(i, rowOf(p.VendorA), 'v')
+		put(i, rowOf(p.Smart), 's')
+	}
+
+	fmt.Fprintf(w, "%s  (log scale; b=base v=vendorA s=smart, *=overlap)\n", title)
+	for i, line := range grid {
+		frac := float64(height-1-i) / float64(height-1)
+		label := math.Pow(10, logMin+frac*(logMax-logMin))
+		fmt.Fprintf(w, "%8.3fs |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%8s  +%s\n", "", strings.Repeat("-", colWidth*len(points)))
+	fmt.Fprintf(w, "%8s   ", "")
+	for _, p := range points {
+		fmt.Fprintf(w, "%*d", colWidth, p.X)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,90 @@
+package bench
+
+import "fmt"
+
+// SkybandSQL builds the 2-dimensional skyband query of the experiments
+// (Section 8.1's Q1–Q3): all seasonal performance records, counting strict
+// dominators of each record on the attribute pair (a1, a2), keeping records
+// with fewer than k dominators. This is exactly the paper's Q1 shape from
+// Appendix E.
+func SkybandSQL(a1, a2 string, k int) string {
+	return fmt.Sprintf(`
+SELECT R.playerid, R.year, R.round, COUNT(1)
+FROM player_performance L, player_performance R
+WHERE L.%[1]s >= R.%[1]s AND L.%[2]s >= R.%[2]s
+  AND (L.%[1]s > R.%[1]s OR L.%[2]s > R.%[2]s)
+GROUP BY R.playerid, R.year, R.round
+HAVING COUNT(1) < %[3]d`, a1, a2, k)
+}
+
+// PairsSQL builds the "pairs" query of Listing 4 (Q4–Q7): player pairs with
+// at least c shared team-year-rounds, weakly dominated (on the agg of their
+// hit/home-run lines) by at most k other pairs. agg is "AVG" or "SUM".
+func PairsSQL(c, k int, agg string) string {
+	return fmt.Sprintf(`
+WITH pair AS
+  (SELECT s1.pid AS pid1, s2.pid AS pid2,
+          %[3]s(s1.hits) AS hits1, %[3]s(s1.hruns) AS hruns1,
+          %[3]s(s2.hits) AS hits2, %[3]s(s2.hruns) AS hruns2
+   FROM Score s1, Score s2
+   WHERE s1.teamid = s2.teamid AND s1.year = s2.year
+     AND s1.round = s2.round AND s1.pid < s2.pid
+   GROUP BY s1.pid, s2.pid
+   HAVING COUNT(*) >= %[1]d)
+SELECT L.pid1, L.pid2, COUNT(*)
+FROM pair L, pair R
+WHERE R.hits1 >= L.hits1 AND R.hruns1 >= L.hruns1
+  AND R.hits2 >= L.hits2 AND R.hruns2 >= L.hruns2
+  AND (R.hits1 > L.hits1 OR R.hruns1 > L.hruns1
+    OR R.hits2 > L.hits2 OR R.hruns2 > L.hruns2)
+GROUP BY L.pid1, L.pid2
+HAVING COUNT(*) <= %[2]d`, c, k, agg)
+}
+
+// ComplexSQL builds the "unexciting products" query of Listing 3 over the
+// unpivoted key–value layout: seasons strictly dominated on a pair of
+// statistics by at least k other seasons of the same era.
+func ComplexSQL(k int) string {
+	return fmt.Sprintf(`
+SELECT S1.id, S1.attr, S2.attr, COUNT(*)
+FROM performance_kv S1, performance_kv S2, performance_kv T1, performance_kv T2
+WHERE S1.id = S2.id AND T1.id = T2.id
+  AND S1.category = T1.category
+  AND T1.attr = S1.attr AND T2.attr = S2.attr
+  AND T1.val > S1.val AND T2.val > S2.val
+GROUP BY S1.id, S1.attr, S2.attr
+HAVING COUNT(*) >= %d`, k)
+}
+
+// Q8SQL builds the averaged-player skyband (Q8): first average each
+// player's statistics over time, then count dominators among players using
+// the simpler join condition L.x < R.x AND L.y < R.y.
+func Q8SQL(k int) string {
+	return fmt.Sprintf(`
+WITH avgp AS
+  (SELECT playerid, AVG(b_h) AS h, AVG(b_hr) AS hr
+   FROM player_performance
+   GROUP BY playerid)
+SELECT R.playerid, COUNT(*)
+FROM avgp L, avgp R
+WHERE R.h < L.h AND R.hr < L.hr
+GROUP BY R.playerid
+HAVING COUNT(*) <= %d`, k)
+}
+
+// Figure1Queries returns the eight queries of Figure 1 with the parameter
+// variations the paper describes: Q1–Q3 skyband over different attribute
+// pairs and thresholds, Q4–Q7 pairs with varying (c, k) and SUM/AVG, Q8 the
+// averaged-player skyband.
+func Figure1Queries() []struct{ Name, SQL string } {
+	return []struct{ Name, SQL string }{
+		{"Q1", SkybandSQL("b_h", "b_hr", 50)},
+		{"Q2", SkybandSQL("b_rbi", "b_sb", 50)},
+		{"Q3", SkybandSQL("b_h", "b_bb", 25)},
+		{"Q4", PairsSQL(3, 20, "AVG")},
+		{"Q5", PairsSQL(3, 50, "SUM")},
+		{"Q6", PairsSQL(5, 20, "AVG")},
+		{"Q7", PairsSQL(5, 50, "SUM")},
+		{"Q8", Q8SQL(50)},
+	}
+}

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"fmt"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/value"
+)
+
+// HashAggregate groups its input by the groupBy expressions, computes
+// aggregate states per group, and emits one row per group laid out as
+// [groupValues..., aggregateValues...]. A HAVING predicate (compiled over
+// that output layout) filters groups. With no groupBy expressions the
+// aggregate is scalar: exactly one group, even over empty input.
+type HashAggregate struct {
+	child   Operator
+	groupBy []expr.Compiled
+	aggs    []*expr.Aggregate
+	having  expr.Compiled
+	schema  value.Schema
+
+	groups []*aggGroup
+	pos    int
+	out    int64
+}
+
+type aggGroup struct {
+	key    value.Row
+	states []*expr.State
+}
+
+// NewHashAggregate constructs the operator. schema describes the output
+// layout (group columns followed by aggregate slots).
+func NewHashAggregate(child Operator, groupBy []expr.Compiled, aggs []*expr.Aggregate, having expr.Compiled, schema value.Schema) *HashAggregate {
+	return &HashAggregate{child: child, groupBy: groupBy, aggs: aggs, having: having, schema: schema}
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() value.Schema { return h.schema }
+
+// Open implements Operator.
+func (h *HashAggregate) Open() error {
+	if err := h.child.Open(); err != nil {
+		return err
+	}
+	defer h.child.Close()
+	index := make(map[string]*aggGroup)
+	h.groups = h.groups[:0]
+	h.pos = 0
+	h.out = 0
+	keyVals := make([]value.Value, len(h.groupBy))
+	var keyBuf []byte
+	for {
+		r, err := h.child.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		for i, g := range h.groupBy {
+			v, err := g(r)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+		}
+		keyBuf = keyBuf[:0]
+		for _, v := range keyVals {
+			keyBuf = value.AppendKey(keyBuf, v)
+		}
+		grp, ok := index[string(keyBuf)]
+		if !ok {
+			grp = &aggGroup{key: append(value.Row(nil), keyVals...), states: make([]*expr.State, len(h.aggs))}
+			for i, a := range h.aggs {
+				grp.states[i] = a.NewState()
+			}
+			index[string(keyBuf)] = grp
+			h.groups = append(h.groups, grp)
+		}
+		for _, st := range grp.states {
+			if err := st.Add(r); err != nil {
+				return err
+			}
+		}
+	}
+	if len(h.groupBy) == 0 && len(h.groups) == 0 {
+		// Scalar aggregate over empty input still yields one row.
+		grp := &aggGroup{states: make([]*expr.State, len(h.aggs))}
+		for i, a := range h.aggs {
+			grp.states[i] = a.NewState()
+		}
+		h.groups = append(h.groups, grp)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (h *HashAggregate) Next() (value.Row, error) {
+	for h.pos < len(h.groups) {
+		grp := h.groups[h.pos]
+		h.pos++
+		out := make(value.Row, 0, len(grp.key)+len(grp.states))
+		out = append(out, grp.key...)
+		for _, st := range grp.states {
+			out = append(out, st.Value())
+		}
+		if h.having != nil {
+			ok, err := expr.EvalBool(h.having, out)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		h.out++
+		return out, nil
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.groups = nil
+	return nil
+}
+
+// Describe implements Operator.
+func (h *HashAggregate) Describe() string {
+	d := fmt.Sprintf("HashAggregate (%d group keys, %d aggregates)", len(h.groupBy), len(h.aggs))
+	if h.having != nil {
+		d += " + HAVING filter"
+	}
+	return d
+}
+
+// Children implements Operator.
+func (h *HashAggregate) Children() []Operator { return []Operator{h.child} }
+
+// ActualRows implements rowCounter.
+func (h *HashAggregate) ActualRows() int64 { return h.out }

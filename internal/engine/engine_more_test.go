@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/value"
+)
+
+func TestOrderByAggregateAndAlias(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Exec(cat, `
+		SELECT item, COUNT(*) AS cnt FROM Basket
+		GROUP BY item ORDER BY COUNT(*) DESC, item ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].S != "a" || res.Rows[0][1].I != 4 {
+		t.Fatalf("expected item a first: %v", res.Rows)
+	}
+	// Same ordering via the select alias.
+	res2, err := Exec(cat, `
+		SELECT item, COUNT(*) AS cnt FROM Basket
+		GROUP BY item ORDER BY cnt DESC, item ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if res.Rows[i][0].S != res2.Rows[i][0].S {
+			t.Fatalf("alias ordering differs at %d: %v vs %v", i, res.Rows, res2.Rows)
+		}
+	}
+}
+
+func TestHavingWithoutSelectAggregate(t *testing.T) {
+	cat := testCatalog(t)
+	// The HAVING aggregate does not appear in the SELECT list.
+	res, err := Exec(cat, `
+		SELECT item FROM Basket GROUP BY item HAVING COUNT(*) >= 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, res.Rows, []string{"a", "b"})
+}
+
+func TestGroupByExpression(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Exec(cat, `
+		SELECT x + y, COUNT(*) FROM Object GROUP BY x + y ORDER BY x + y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sums: 2,4,6,5,5 -> groups 2:1, 4:1, 5:2, 6:1.
+	assertRows(t, res.Rows, []string{"2|1", "4|1", "5|2", "6|1"})
+}
+
+func TestDistinctSelect(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Exec(cat, "SELECT DISTINCT bid FROM Basket ORDER BY bid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("want 5 distinct bids, got %v", res.Rows)
+	}
+}
+
+func TestVendorAWithCTE(t *testing.T) {
+	cat := testCatalog(t)
+	sql := `
+		WITH freq AS (SELECT item, COUNT(*) cnt FROM Basket GROUP BY item)
+		SELECT f.cnt, COUNT(*) FROM freq f, Basket b
+		WHERE f.item = b.item
+		GROUP BY f.cnt HAVING COUNT(*) >= 1`
+	stmt, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewPlanner(cat)
+	opS, err := serial.PlanSelect(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsS, err := Run(opS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := NewPlanner(cat)
+	par.Parallel = true
+	par.Workers = 2
+	opP, err := par.PlanSelect(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsP, err := Run(opP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, gp := rowsToStrings(rowsS), rowsToStrings(rowsP)
+	if strings.Join(gs, ";") != strings.Join(gp, ";") {
+		t.Fatalf("parallel CTE result differs: %v vs %v", gs, gp)
+	}
+}
+
+func TestNoIndexPlannerMatchesIndexed(t *testing.T) {
+	cat := testCatalog(t)
+	sql := `
+		SELECT L.id, COUNT(*)
+		FROM Object L, Object R
+		WHERE L.x <= R.x AND L.y <= R.y
+		GROUP BY L.id HAVING COUNT(*) <= 3`
+	stmt, _ := sqlparser.ParseSelect(sql)
+	withIdx := NewPlanner(cat)
+	noIdx := NewPlanner(cat)
+	noIdx.UseIndexes = false
+	op1, err := withIdx.PlanSelect(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := noIdx.PlanSelect(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Explain(op1), "Indexed Nested Loop") {
+		t.Errorf("indexed planner should use a range join:\n%s", Explain(op1))
+	}
+	if strings.Contains(Explain(op2), "Indexed Nested Loop") {
+		t.Errorf("PK-only planner must not use a range join:\n%s", Explain(op2))
+	}
+	r1, err := Run(op1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(op2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rowsToStrings(r1), rowsToStrings(r2)
+	if strings.Join(a, ";") != strings.Join(b, ";") {
+		t.Fatalf("plans disagree: %v vs %v", a, b)
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Exec(cat, `
+		SELECT a.bid, COUNT(*)
+		FROM Basket a, Basket b, Basket c
+		WHERE a.bid = b.bid AND b.bid = c.bid
+		GROUP BY a.bid
+		HAVING COUNT(*) >= 27`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Basket 1 has 3 items: 3^3 = 27 triples.
+	assertRows(t, res.Rows, []string{"1|27"})
+}
+
+func TestArithmeticInSelect(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Exec(cat, "SELECT id, x * 2 + y / 2 FROM Object WHERE id = 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].AsFloat() != 4 {
+		t.Fatalf("expected 1*2+4/2 = 4: %v", res.Rows)
+	}
+}
+
+func TestInsertNullAndIsNull(t *testing.T) {
+	cat := storage.NewCatalog()
+	if _, err := Exec(cat, "CREATE TABLE t (a BIGINT, b TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(cat, "INSERT INTO t VALUES (1, NULL), (NULL, 'x'), (2, 'y')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(cat, "SELECT a FROM t WHERE b IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, res.Rows, []string{"1"})
+	res, err = Exec(cat, "SELECT COUNT(*), COUNT(a) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, res.Rows, []string{"3|2"})
+	// NULLs group together.
+	res, err = Exec(cat, "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) >= 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("expected 3 groups incl. the NULL group: %v", res.Rows)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	cat := testCatalog(t)
+	bad := []string{
+		"SELECT nope FROM Object",
+		"SELECT id FROM Missing",
+		"SELECT id FROM Object o1, Object o2 WHERE o1.id = o3.id",
+		"SELECT id, COUNT(*) FROM Object",            // id not grouped
+		"SELECT * FROM Object GROUP BY id",           // star with grouping
+		"INSERT INTO Object VALUES (1)",              // arity
+		"INSERT INTO Object (id, wat) VALUES (1, 2)", // bad column
+		"SELECT bid FROM Basket ORDER BY nothere",    // bad order key
+	}
+	for _, sql := range bad {
+		if _, err := Exec(cat, sql); err == nil {
+			t.Errorf("expected error for %q", sql)
+		}
+	}
+}
+
+// TestJoinMethodsAgreeRandomized cross-checks hash, range, and block joins
+// on random instances by forcing different plans via predicate shapes.
+func TestJoinMethodsAgreeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 40; iter++ {
+		cat := storage.NewCatalog()
+		tab := storage.NewTable("r", []value.Column{
+			{Name: "a", Type: value.Int},
+			{Name: "b", Type: value.Int},
+		}, nil)
+		n := 5 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			tab.Rows = append(tab.Rows, value.Row{
+				value.NewInt(int64(rng.Intn(6))),
+				value.NewInt(int64(rng.Intn(6))),
+			})
+		}
+		cat.Put(tab)
+		// Equivalent formulations steering toward hash vs range vs block.
+		queries := []string{
+			"SELECT x.a, COUNT(*) FROM r x, r y WHERE x.a = y.a AND x.b <= y.b GROUP BY x.a",
+			"SELECT x.a, COUNT(*) FROM r x, r y WHERE x.b <= y.b AND x.a = y.a GROUP BY x.a",
+			"SELECT x.a, COUNT(*) FROM r x, r y WHERE NOT x.a <> y.a AND x.b <= y.b GROUP BY x.a",
+		}
+		var want []string
+		for qi, sql := range queries {
+			res, err := Exec(cat, sql)
+			if err != nil {
+				t.Fatalf("iter %d q%d: %v", iter, qi, err)
+			}
+			got := rowsToStrings(res.Rows)
+			if want == nil {
+				want = got
+				continue
+			}
+			if strings.Join(got, ";") != strings.Join(want, ";") {
+				t.Fatalf("iter %d: q%d disagrees: %v vs %v", iter, qi, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/value"
+)
+
+// Result is a fully evaluated query result.
+type Result struct {
+	Columns value.Schema
+	Rows    []value.Row
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	widths := make([]int, len(r.Columns))
+	header := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		header[i] = c.Name
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := v.String()
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for j, s := range vals {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(s)
+			b.WriteString(strings.Repeat(" ", widths[j]-len(s)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for j := range widths {
+		if j > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", widths[j]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	b.WriteString(fmt.Sprintf("(%d rows)\n", len(r.Rows)))
+	return b.String()
+}
+
+// ExecStatement executes a parsed statement against the catalog. DDL/DML
+// statements return a nil result.
+func ExecStatement(cat *storage.Catalog, stmt sqlparser.Statement) (*Result, error) {
+	switch stmt := stmt.(type) {
+	case *sqlparser.CreateTable:
+		cols := make([]value.Column, len(stmt.Columns))
+		for i, c := range stmt.Columns {
+			cols[i] = value.Column{Name: c.Name, Type: c.Type}
+		}
+		cat.Put(storage.NewTable(stmt.Name, cols, stmt.PrimaryKey))
+		return nil, nil
+	case *sqlparser.Insert:
+		return nil, execInsert(cat, stmt)
+	case *sqlparser.Select:
+		p := NewPlanner(cat)
+		op, err := p.PlanSelect(stmt, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := Run(op)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Columns: op.Schema(), Rows: rows}, nil
+	}
+	return nil, fmt.Errorf("unsupported statement %T", stmt)
+}
+
+func execInsert(cat *storage.Catalog, ins *sqlparser.Insert) error {
+	t, err := cat.Get(ins.Table)
+	if err != nil {
+		return err
+	}
+	colIdx := make([]int, 0, len(ins.Columns))
+	if len(ins.Columns) == 0 {
+		for i := range t.Schema {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, c := range ins.Columns {
+			i, err := t.ColumnIndex(c)
+			if err != nil {
+				return err
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+	for _, exprRow := range ins.Rows {
+		if len(exprRow) != len(colIdx) {
+			return fmt.Errorf("INSERT row has %d values, want %d", len(exprRow), len(colIdx))
+		}
+		row := make(value.Row, len(t.Schema))
+		for i, e := range exprRow {
+			c, err := expr.Compile(e, nil, nil)
+			if err != nil {
+				return err
+			}
+			v, err := c(nil)
+			if err != nil {
+				return err
+			}
+			row[colIdx[i]] = coerce(v, t.Schema[colIdx[i]].Type)
+		}
+		if err := t.Insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// coerce converts literal values to the declared column type when loss-free.
+func coerce(v value.Value, k value.Kind) value.Value {
+	switch {
+	case v.IsNull():
+		return v
+	case k == value.Float && v.K == value.Int:
+		return value.NewFloat(float64(v.I))
+	case k == value.Int && v.K == value.Float && v.F == float64(int64(v.F)):
+		return value.NewInt(int64(v.F))
+	}
+	return v
+}
+
+// Exec parses and executes a SQL string.
+func Exec(cat *storage.Catalog, sql string) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return ExecStatement(cat, stmt)
+}

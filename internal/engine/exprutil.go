@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// SplitConjuncts flattens nested ANDs into a list of conjuncts.
+func SplitConjuncts(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sqlparser.BinOp); ok && b.Op == sqlparser.OpAnd {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// AndAll combines conjuncts back into a single expression (nil when empty).
+func AndAll(conjuncts []sqlparser.Expr) sqlparser.Expr {
+	var out sqlparser.Expr
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &sqlparser.BinOp{Op: sqlparser.OpAnd, L: out, R: c}
+		}
+	}
+	return out
+}
+
+// QualifyExpr returns a copy of e with every column reference fully
+// qualified against schema. References inside IN-subquery bodies are left
+// alone (they resolve in their own scope).
+func QualifyExpr(e sqlparser.Expr, schema value.Schema) (sqlparser.Expr, error) {
+	switch e := e.(type) {
+	case nil:
+		return nil, nil
+	case *sqlparser.Lit:
+		return e, nil
+	case *sqlparser.ColRef:
+		if e.Qualifier != "" {
+			if _, err := schema.Resolve(e.Qualifier, e.Name); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		i, err := schema.Resolve("", e.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.ColRef{Qualifier: schema[i].Qualifier, Name: schema[i].Name}, nil
+	case *sqlparser.BinOp:
+		l, err := QualifyExpr(e.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := QualifyExpr(e.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.BinOp{Op: e.Op, L: l, R: r}, nil
+	case *sqlparser.UnOp:
+		inner, err := QualifyExpr(e.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.UnOp{Op: e.Op, E: inner}, nil
+	case *sqlparser.IsNull:
+		inner, err := QualifyExpr(e.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.IsNull{E: inner, Negated: e.Negated}, nil
+	case *sqlparser.FuncCall:
+		out := &sqlparser.FuncCall{Name: e.Name, Distinct: e.Distinct, Star: e.Star}
+		for _, a := range e.Args {
+			qa, err := QualifyExpr(a, schema)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, qa)
+		}
+		return out, nil
+	case *sqlparser.InSubquery:
+		out := &sqlparser.InSubquery{Query: e.Query, Negated: e.Negated}
+		for _, x := range e.Exprs {
+			qx, err := QualifyExpr(x, schema)
+			if err != nil {
+				return nil, err
+			}
+			out.Exprs = append(out.Exprs, qx)
+		}
+		return out, nil
+	case *sqlparser.ScalarSubquery:
+		return e, nil // resolves in its own scope
+	case *sqlparser.CaseWhen:
+		out := &sqlparser.CaseWhen{}
+		for _, w := range e.Whens {
+			qc, err := QualifyExpr(w.Cond, schema)
+			if err != nil {
+				return nil, err
+			}
+			qt, err := QualifyExpr(w.Then, schema)
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, sqlparser.WhenClause{Cond: qc, Then: qt})
+		}
+		if e.Else != nil {
+			qe, err := QualifyExpr(e.Else, schema)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = qe
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("QualifyExpr: unsupported expression %T", e)
+}
+
+// ExprAliases returns the sorted set of table aliases (column qualifiers)
+// referenced by e. e must already be fully qualified.
+func ExprAliases(e sqlparser.Expr) []string {
+	set := map[string]bool{}
+	collectAliases(e, set)
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectAliases(e sqlparser.Expr, set map[string]bool) {
+	switch e := e.(type) {
+	case *sqlparser.ColRef:
+		set[e.Qualifier] = true
+	case *sqlparser.BinOp:
+		collectAliases(e.L, set)
+		collectAliases(e.R, set)
+	case *sqlparser.UnOp:
+		collectAliases(e.E, set)
+	case *sqlparser.IsNull:
+		collectAliases(e.E, set)
+	case *sqlparser.FuncCall:
+		for _, a := range e.Args {
+			collectAliases(a, set)
+		}
+	case *sqlparser.InSubquery:
+		for _, x := range e.Exprs {
+			collectAliases(x, set)
+		}
+	case *sqlparser.CaseWhen:
+		for _, w := range e.Whens {
+			collectAliases(w.Cond, set)
+			collectAliases(w.Then, set)
+		}
+		if e.Else != nil {
+			collectAliases(e.Else, set)
+		}
+	}
+}
+
+// ColumnsOf returns all fully-qualified column references in e, deduplicated
+// and in first-appearance order.
+func ColumnsOf(e sqlparser.Expr) []*sqlparser.ColRef {
+	var out []*sqlparser.ColRef
+	seen := map[string]bool{}
+	var walk func(sqlparser.Expr)
+	walk = func(e sqlparser.Expr) {
+		switch e := e.(type) {
+		case *sqlparser.ColRef:
+			key := e.String()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, e)
+			}
+		case *sqlparser.BinOp:
+			walk(e.L)
+			walk(e.R)
+		case *sqlparser.UnOp:
+			walk(e.E)
+		case *sqlparser.IsNull:
+			walk(e.E)
+		case *sqlparser.FuncCall:
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case *sqlparser.InSubquery:
+			for _, x := range e.Exprs {
+				walk(x)
+			}
+		case *sqlparser.CaseWhen:
+			for _, w := range e.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			if e.Else != nil {
+				walk(e.Else)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// CollectAggregates returns the distinct aggregate calls appearing in e, in
+// first-appearance order (deduplicated by printed form).
+func CollectAggregates(e sqlparser.Expr, seen map[string]*sqlparser.FuncCall, order *[]*sqlparser.FuncCall) {
+	switch e := e.(type) {
+	case nil:
+	case *sqlparser.FuncCall:
+		if IsAggregateCall(e) {
+			key := e.String()
+			if _, ok := seen[key]; !ok {
+				seen[key] = e
+				*order = append(*order, e)
+			}
+			return // no nested aggregates
+		}
+		for _, a := range e.Args {
+			CollectAggregates(a, seen, order)
+		}
+	case *sqlparser.BinOp:
+		CollectAggregates(e.L, seen, order)
+		CollectAggregates(e.R, seen, order)
+	case *sqlparser.UnOp:
+		CollectAggregates(e.E, seen, order)
+	case *sqlparser.IsNull:
+		CollectAggregates(e.E, seen, order)
+	case *sqlparser.CaseWhen:
+		for _, w := range e.Whens {
+			CollectAggregates(w.Cond, seen, order)
+			CollectAggregates(w.Then, seen, order)
+		}
+		CollectAggregates(e.Else, seen, order)
+	}
+}
+
+// IsAggregateCall reports whether e is an aggregate function call.
+func IsAggregateCall(e sqlparser.Expr) bool {
+	f, ok := e.(*sqlparser.FuncCall)
+	if !ok {
+		return false
+	}
+	switch f.Name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// HasAggregate reports whether e contains an aggregate call.
+func HasAggregate(e sqlparser.Expr) bool {
+	seen := map[string]*sqlparser.FuncCall{}
+	var order []*sqlparser.FuncCall
+	CollectAggregates(e, seen, &order)
+	return len(order) > 0
+}
+
+// ReplaceExprs returns a copy of e in which any subexpression whose printed
+// form appears in repl is substituted. It is used to rewrite aggregate calls
+// and grouping expressions into references to aggregate-output columns.
+func ReplaceExprs(e sqlparser.Expr, repl map[string]sqlparser.Expr) sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if r, ok := repl[e.String()]; ok {
+		return r
+	}
+	switch e := e.(type) {
+	case *sqlparser.BinOp:
+		return &sqlparser.BinOp{Op: e.Op, L: ReplaceExprs(e.L, repl), R: ReplaceExprs(e.R, repl)}
+	case *sqlparser.UnOp:
+		return &sqlparser.UnOp{Op: e.Op, E: ReplaceExprs(e.E, repl)}
+	case *sqlparser.IsNull:
+		return &sqlparser.IsNull{E: ReplaceExprs(e.E, repl), Negated: e.Negated}
+	case *sqlparser.FuncCall:
+		out := &sqlparser.FuncCall{Name: e.Name, Distinct: e.Distinct, Star: e.Star}
+		for _, a := range e.Args {
+			out.Args = append(out.Args, ReplaceExprs(a, repl))
+		}
+		return out
+	case *sqlparser.InSubquery:
+		out := &sqlparser.InSubquery{Query: e.Query, Negated: e.Negated}
+		for _, x := range e.Exprs {
+			out.Exprs = append(out.Exprs, ReplaceExprs(x, repl))
+		}
+		return out
+	case *sqlparser.CaseWhen:
+		out := &sqlparser.CaseWhen{}
+		for _, w := range e.Whens {
+			out.Whens = append(out.Whens, sqlparser.WhenClause{
+				Cond: ReplaceExprs(w.Cond, repl),
+				Then: ReplaceExprs(w.Then, repl),
+			})
+		}
+		if e.Else != nil {
+			out.Else = ReplaceExprs(e.Else, repl)
+		}
+		return out
+	}
+	return e
+}

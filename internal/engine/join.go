@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/value"
+)
+
+// Prober is the probing strategy of a join: given an outer row it returns
+// the positions of candidate inner rows. Implementations are read-only after
+// Build and safe for concurrent probing (the Vendor A parallel executor and
+// the iceberg NLJP operator rely on this).
+type Prober interface {
+	// Build prepares the prober over the materialized inner rows.
+	Build(rows []value.Row) error
+	// Probe returns candidate inner row positions for one outer row. The
+	// returned slice is read-only and may alias internal state.
+	Probe(outer value.Row) ([]int32, error)
+	// Describe returns a one-line description for EXPLAIN.
+	Describe() string
+}
+
+// NewHashProber probes a hash table built over equality keys; outerKeys are
+// compiled over the outer schema and innerKeys over the inner schema.
+func NewHashProber(outerKeys, innerKeys []expr.Compiled, label string) Prober {
+	return &hashMethod{outerKeys: outerKeys, innerKeys: innerKeys, label: label}
+}
+
+// NewRangeProber probes a sorted projection of the inner rows with a bound
+// computed from the outer row: outerExpr op inner[innerCol], with op one of
+// = < <= > >=.
+func NewRangeProber(outerExpr expr.Compiled, innerCol int, op, label string) Prober {
+	return &rangeMethod{outerExpr: outerExpr, innerCol: innerCol, op: op, label: label}
+}
+
+// NewScanProber returns every inner row for every probe (block nested loop).
+func NewScanProber() Prober { return &scanMethod{} }
+
+// hashMethod probes a hash table built on equality keys.
+type hashMethod struct {
+	outerKeys []expr.Compiled
+	innerKeys []expr.Compiled
+	label     string
+	table     map[string][]int32
+	keyBuf    []value.Value
+}
+
+func (h *hashMethod) Build(rows []value.Row) error {
+	h.table = make(map[string][]int32, len(rows))
+	keys := make([]value.Value, len(h.innerKeys))
+	for i, r := range rows {
+		for j, k := range h.innerKeys {
+			v, err := k(r)
+			if err != nil {
+				return err
+			}
+			keys[j] = v
+		}
+		key := value.Key(keys)
+		h.table[key] = append(h.table[key], int32(i))
+	}
+	return nil
+}
+
+func (h *hashMethod) Probe(outer value.Row) ([]int32, error) {
+	keys := make([]value.Value, len(h.outerKeys))
+	for j, k := range h.outerKeys {
+		v, err := k(outer)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			return nil, nil // NULL never equi-joins
+		}
+		keys[j] = v
+	}
+	return h.table[value.Key(keys)], nil
+}
+
+func (h *hashMethod) Describe() string { return "Hash Cond: " + h.label }
+
+// rangeMethod probes a sorted projection of the inner input with a bound
+// computed from the outer row — the stand-in for an index nested-loop join
+// over a B-tree (the dominant baseline plan in Appendix E).
+type rangeMethod struct {
+	outerExpr expr.Compiled
+	innerCol  int
+	op        string // comparison: outerVal OP innerVal, one of = < <= > >=
+	label     string
+	rows      []value.Row
+	perm      []int32
+}
+
+func (m *rangeMethod) Build(rows []value.Row) error {
+	m.rows = rows
+	m.perm = make([]int32, len(rows))
+	for i := range m.perm {
+		m.perm[i] = int32(i)
+	}
+	c := m.innerCol
+	sort.Slice(m.perm, func(a, b int) bool {
+		cmp, _ := value.Compare(rows[m.perm[a]][c], rows[m.perm[b]][c])
+		return cmp < 0
+	})
+	return nil
+}
+
+func (m *rangeMethod) Probe(outer value.Row) ([]int32, error) {
+	v, err := m.outerExpr(outer)
+	if err != nil {
+		return nil, err
+	}
+	if v.IsNull() {
+		return nil, nil
+	}
+	n := len(m.perm)
+	c := m.innerCol
+	geIdx := func(strict bool) int {
+		return sort.Search(n, func(p int) bool {
+			cmp, _ := value.Compare(m.rows[m.perm[p]][c], v)
+			if strict {
+				return cmp > 0
+			}
+			return cmp >= 0
+		})
+	}
+	switch m.op {
+	case "=":
+		lo, hi := geIdx(false), geIdx(true)
+		return m.perm[lo:hi], nil
+	case "<": // outer < inner: inner values strictly above v
+		return m.perm[geIdx(true):], nil
+	case "<=":
+		return m.perm[geIdx(false):], nil
+	case ">": // outer > inner: inner values strictly below v
+		return m.perm[:geIdx(false)], nil
+	case ">=":
+		return m.perm[:geIdx(true)], nil
+	}
+	return nil, fmt.Errorf("rangeMethod: bad op %q", m.op)
+}
+
+func (m *rangeMethod) Describe() string { return "Index Cond: " + m.label }
+
+// scanMethod probes by scanning every inner row (block nested loop).
+type scanMethod struct {
+	all []int32
+}
+
+func (m *scanMethod) Build(rows []value.Row) error {
+	m.all = make([]int32, len(rows))
+	for i := range m.all {
+		m.all[i] = int32(i)
+	}
+	return nil
+}
+
+func (m *scanMethod) Probe(value.Row) ([]int32, error) { return m.all, nil }
+
+func (m *scanMethod) Describe() string { return "Block Scan" }
+
+// NLJoin joins an outer operator against a materialized inner operator using
+// a joinMethod, applying a residual predicate over concatenated rows.
+type NLJoin struct {
+	outer    Operator
+	inner    Operator
+	method   Prober
+	residual expr.Compiled // over outerSchema ++ innerSchema; may be nil
+	name     string
+	schema   value.Schema
+
+	innerRows []value.Row
+	out       int64
+	curOuter  value.Row
+	matches   []int32
+	matchPos  int
+	scratch   value.Row
+}
+
+// NewNLJoin builds a join. name is shown by EXPLAIN ("Hash Join",
+// "Indexed Nested Loop", "Nested Loop").
+func NewNLJoin(name string, outer, inner Operator, method Prober, residual expr.Compiled) *NLJoin {
+	return &NLJoin{
+		outer: outer, inner: inner, method: method, residual: residual,
+		name:   name,
+		schema: outer.Schema().Concat(inner.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *NLJoin) Schema() value.Schema { return j.schema }
+
+// Open implements Operator.
+func (j *NLJoin) Open() error {
+	rows, err := Run(j.inner)
+	if err != nil {
+		return err
+	}
+	j.innerRows = rows
+	if err := j.method.Build(rows); err != nil {
+		return err
+	}
+	j.curOuter = nil
+	j.matches = nil
+	j.matchPos = 0
+	j.out = 0
+	j.scratch = make(value.Row, len(j.schema))
+	return j.outer.Open()
+}
+
+// Next implements Operator.
+func (j *NLJoin) Next() (value.Row, error) {
+	for {
+		for j.matchPos < len(j.matches) {
+			ir := j.innerRows[j.matches[j.matchPos]]
+			j.matchPos++
+			copy(j.scratch, j.curOuter)
+			copy(j.scratch[len(j.curOuter):], ir)
+			if j.residual != nil {
+				ok, err := expr.EvalBool(j.residual, j.scratch)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			j.out++
+			return j.scratch, nil
+		}
+		outer, err := j.outer.Next()
+		if err != nil || outer == nil {
+			return nil, err
+		}
+		j.curOuter = outer
+		j.matches, err = j.method.Probe(outer)
+		if err != nil {
+			return nil, err
+		}
+		j.matchPos = 0
+	}
+}
+
+// Close implements Operator.
+func (j *NLJoin) Close() error { return j.outer.Close() }
+
+// Describe implements Operator.
+func (j *NLJoin) Describe() string {
+	d := j.name + " (" + j.method.Describe() + ")"
+	if j.residual != nil {
+		d += " + residual filter"
+	}
+	return d
+}
+
+// Children implements Operator.
+func (j *NLJoin) Children() []Operator { return []Operator{j.outer, j.inner} }
+
+// ActualRows implements rowCounter.
+func (j *NLJoin) ActualRows() int64 { return j.out }

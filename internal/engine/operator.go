@@ -1,0 +1,424 @@
+// Package engine is the relational execution engine: Volcano-style physical
+// operators, an analyzer that resolves parsed queries, a baseline planner
+// that mimics the plans the paper observed in PostgreSQL (Appendix E), and a
+// parallel execution variant standing in for the paper's "Vendor A".
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/value"
+)
+
+// Operator is a Volcano-style iterator. Next returns a nil row at end of
+// stream. Returned rows are valid until the next call to Next; operators
+// that buffer rows clone them.
+type Operator interface {
+	Schema() value.Schema
+	Open() error
+	Next() (value.Row, error)
+	Close() error
+	// Describe returns a one-line description for EXPLAIN.
+	Describe() string
+	// Children returns the operator's inputs, for EXPLAIN.
+	Children() []Operator
+}
+
+// Run drains an operator and returns all rows (cloned).
+func Run(op Operator) ([]value.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []value.Row
+	for {
+		r, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return out, nil
+		}
+		out = append(out, r.Clone())
+	}
+}
+
+// Explain renders an operator tree as an indented plan, in the style of the
+// plans shown in Appendix E of the paper.
+func Explain(op Operator) string {
+	var b strings.Builder
+	var walk func(o Operator, depth int)
+	walk = func(o Operator, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(o.Describe())
+		b.WriteByte('\n')
+		for _, c := range o.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(op, 0)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Materialized relation scan
+
+// MemScan iterates rows held in memory. It backs base-table scans, CTE
+// scans, and derived-table scans.
+type MemScan struct {
+	Label  string
+	schema value.Schema
+	rows   []value.Row
+	pos    int
+	out    int64
+}
+
+// NewMemScan builds a scan over rows with the given schema.
+func NewMemScan(label string, schema value.Schema, rows []value.Row) *MemScan {
+	return &MemScan{Label: label, schema: schema, rows: rows}
+}
+
+// Schema implements Operator.
+func (s *MemScan) Schema() value.Schema { return s.schema }
+
+// Open implements Operator.
+func (s *MemScan) Open() error { s.pos = 0; s.out = 0; return nil }
+
+// Next implements Operator.
+func (s *MemScan) Next() (value.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	s.out++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *MemScan) Close() error { return nil }
+
+// Describe implements Operator.
+func (s *MemScan) Describe() string {
+	return fmt.Sprintf("Seq Scan on %s (%d rows)", s.Label, len(s.rows))
+}
+
+// Children implements Operator.
+func (s *MemScan) Children() []Operator { return nil }
+
+// ---------------------------------------------------------------------------
+// Filter
+
+// Filter passes through rows satisfying a predicate.
+type Filter struct {
+	child Operator
+	pred  expr.Compiled
+	label string
+	out   int64
+}
+
+// NewFilter wraps child with a predicate. label is used by EXPLAIN.
+func NewFilter(child Operator, pred expr.Compiled, label string) *Filter {
+	return &Filter{child: child, pred: pred, label: label}
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() value.Schema { return f.child.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { f.out = 0; return f.child.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (value.Row, error) {
+	for {
+		r, err := f.child.Next()
+		if err != nil || r == nil {
+			return nil, err
+		}
+		ok, err := expr.EvalBool(f.pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			f.out++
+			return r, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.child.Close() }
+
+// Describe implements Operator.
+func (f *Filter) Describe() string { return "Filter: " + f.label }
+
+// Children implements Operator.
+func (f *Filter) Children() []Operator { return []Operator{f.child} }
+
+// ---------------------------------------------------------------------------
+// Project
+
+// Project computes output expressions per input row.
+type Project struct {
+	child  Operator
+	exprs  []expr.Compiled
+	schema value.Schema
+	out    int64
+}
+
+// NewProject builds a projection. schema names the output columns.
+func NewProject(child Operator, exprs []expr.Compiled, schema value.Schema) *Project {
+	return &Project{child: child, exprs: exprs, schema: schema}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() value.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error { p.out = 0; return p.child.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (value.Row, error) {
+	r, err := p.child.Next()
+	if err != nil || r == nil {
+		return nil, err
+	}
+	out := make(value.Row, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := e(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	p.out++
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.child.Close() }
+
+// Describe implements Operator.
+func (p *Project) Describe() string { return "Project " + p.schema.String() }
+
+// Children implements Operator.
+func (p *Project) Children() []Operator { return []Operator{p.child} }
+
+// ---------------------------------------------------------------------------
+// Distinct
+
+// Distinct removes duplicate rows (by grouping-key identity).
+type Distinct struct {
+	child Operator
+	seen  map[string]bool
+	out   int64
+}
+
+// NewDistinct wraps child with duplicate elimination.
+func NewDistinct(child Operator) *Distinct { return &Distinct{child: child} }
+
+// Schema implements Operator.
+func (d *Distinct) Schema() value.Schema { return d.child.Schema() }
+
+// Open implements Operator.
+func (d *Distinct) Open() error {
+	d.seen = make(map[string]bool)
+	d.out = 0
+	return d.child.Open()
+}
+
+// Next implements Operator.
+func (d *Distinct) Next() (value.Row, error) {
+	for {
+		r, err := d.child.Next()
+		if err != nil || r == nil {
+			return nil, err
+		}
+		k := value.Key(r)
+		if !d.seen[k] {
+			d.seen[k] = true
+			d.out++
+			return r, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (d *Distinct) Close() error { return d.child.Close() }
+
+// Describe implements Operator.
+func (d *Distinct) Describe() string { return "Distinct" }
+
+// Children implements Operator.
+func (d *Distinct) Children() []Operator { return []Operator{d.child} }
+
+// ---------------------------------------------------------------------------
+// Sort
+
+// Sort materializes and orders its input.
+type Sort struct {
+	child Operator
+	keys  []expr.Compiled
+	desc  []bool
+	rows  []value.Row
+	pos   int
+}
+
+// NewSort orders child by the given key expressions.
+func NewSort(child Operator, keys []expr.Compiled, desc []bool) *Sort {
+	return &Sort{child: child, keys: keys, desc: desc}
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() value.Schema { return s.child.Schema() }
+
+// Open implements Operator.
+func (s *Sort) Open() error {
+	rows, err := Run(s.child)
+	if err != nil {
+		return err
+	}
+	type keyed struct {
+		row  value.Row
+		keys []value.Value
+	}
+	ks := make([]keyed, len(rows))
+	for i, r := range rows {
+		kv := make([]value.Value, len(s.keys))
+		for j, k := range s.keys {
+			v, err := k(r)
+			if err != nil {
+				return err
+			}
+			kv[j] = v
+		}
+		ks[i] = keyed{row: r, keys: kv}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j := range s.keys {
+			cmp, _ := value.Compare(ks[a].keys[j], ks[b].keys[j])
+			if cmp == 0 {
+				continue
+			}
+			if s.desc[j] {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	s.rows = make([]value.Row, len(ks))
+	for i := range ks {
+		s.rows[i] = ks[i].row
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (value.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error { return nil }
+
+// Describe implements Operator.
+func (s *Sort) Describe() string { return fmt.Sprintf("Sort (%d keys)", len(s.keys)) }
+
+// Children implements Operator.
+func (s *Sort) Children() []Operator { return []Operator{s.child} }
+
+// ---------------------------------------------------------------------------
+// Limit
+
+// Limit caps the number of rows.
+type Limit struct {
+	child Operator
+	n     int64
+	seen  int64
+}
+
+// NewLimit caps child at n rows.
+func NewLimit(child Operator, n int64) *Limit { return &Limit{child: child, n: n} }
+
+// Schema implements Operator.
+func (l *Limit) Schema() value.Schema { return l.child.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error { l.seen = 0; return l.child.Open() }
+
+// Next implements Operator.
+func (l *Limit) Next() (value.Row, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	r, err := l.child.Next()
+	if err != nil || r == nil {
+		return nil, err
+	}
+	l.seen++
+	return r, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.child.Close() }
+
+// Describe implements Operator.
+func (l *Limit) Describe() string { return fmt.Sprintf("Limit %d", l.n) }
+
+// Children implements Operator.
+func (l *Limit) Children() []Operator { return []Operator{l.child} }
+
+// ActualRows implementations report rows produced by the last execution,
+// consumed by ExplainAnalyze.
+
+// ActualRows implements rowCounter.
+func (s *MemScan) ActualRows() int64 { return s.out }
+
+// ActualRows implements rowCounter.
+func (f *Filter) ActualRows() int64 { return f.out }
+
+// ActualRows implements rowCounter.
+func (p *Project) ActualRows() int64 { return p.out }
+
+// ActualRows implements rowCounter.
+func (d *Distinct) ActualRows() int64 { return d.out }
+
+// rowCounter is implemented by operators that track the rows they produced
+// during the last execution.
+type rowCounter interface {
+	ActualRows() int64
+}
+
+// ExplainAnalyze executes the plan, then renders it with per-operator
+// actual row counts (in the spirit of EXPLAIN ANALYZE).
+func ExplainAnalyze(op Operator) (string, []value.Row, error) {
+	rows, err := Run(op)
+	if err != nil {
+		return "", nil, err
+	}
+	var b strings.Builder
+	var walk func(o Operator, depth int)
+	walk = func(o Operator, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(o.Describe())
+		if rc, ok := o.(rowCounter); ok {
+			fmt.Fprintf(&b, "  [actual rows=%d]", rc.ActualRows())
+		}
+		b.WriteByte('\n')
+		for _, c := range o.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(op, 0)
+	return b.String(), rows, nil
+}

@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/value"
+)
+
+// ParallelJoinAgg fuses a join with grouping/aggregation and runs the outer
+// side across worker goroutines with per-worker partial aggregation and a
+// final merge. It is the stand-in for the paper's "Vendor A", whose edge
+// over single-threaded executions came from using all four cores for
+// identical plan shapes (Section 8.1, Appendix E).
+type ParallelJoinAgg struct {
+	join    *NLJoin
+	groupBy []expr.Compiled
+	aggs    []*expr.Aggregate
+	having  expr.Compiled
+	schema  value.Schema
+	workers int
+
+	groups []*aggGroup
+	pos    int
+}
+
+// NewParallelJoinAgg fuses join+aggregate. workers <= 0 selects
+// min(4, GOMAXPROCS), matching the paper's 4-core testbed.
+func NewParallelJoinAgg(join *NLJoin, groupBy []expr.Compiled, aggs []*expr.Aggregate, having expr.Compiled, schema value.Schema, workers int) *ParallelJoinAgg {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 4 {
+			workers = 4
+		}
+	}
+	return &ParallelJoinAgg{join: join, groupBy: groupBy, aggs: aggs, having: having, schema: schema, workers: workers}
+}
+
+// Schema implements Operator.
+func (p *ParallelJoinAgg) Schema() value.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *ParallelJoinAgg) Open() error {
+	innerRows, err := Run(p.join.inner)
+	if err != nil {
+		return err
+	}
+	if err := p.join.method.Build(innerRows); err != nil {
+		return err
+	}
+	outerWidth := len(p.join.outer.Schema())
+
+	type partial struct {
+		index  map[string]*aggGroup
+		groups []*aggGroup
+		err    error
+	}
+	parts := make([]partial, p.workers)
+	// Stream the outer input in bounded batches rather than materializing
+	// it: the outer side may itself be a large join.
+	const batchSize = 2048
+	batches := make(chan []value.Row, p.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := &parts[w]
+			part.index = make(map[string]*aggGroup)
+			scratch := make(value.Row, len(p.join.schema))
+			keyVals := make([]value.Value, len(p.groupBy))
+			var keyBuf []byte
+			for batch := range batches {
+				for _, outer := range batch {
+					matches, err := p.join.method.Probe(outer)
+					if err != nil {
+						part.err = err
+						return
+					}
+					copy(scratch, outer)
+					for _, m := range matches {
+						copy(scratch[outerWidth:], innerRows[m])
+						if p.join.residual != nil {
+							ok, err := expr.EvalBool(p.join.residual, scratch)
+							if err != nil {
+								part.err = err
+								return
+							}
+							if !ok {
+								continue
+							}
+						}
+						for i, g := range p.groupBy {
+							v, err := g(scratch)
+							if err != nil {
+								part.err = err
+								return
+							}
+							keyVals[i] = v
+						}
+						keyBuf = keyBuf[:0]
+						for _, v := range keyVals {
+							keyBuf = value.AppendKey(keyBuf, v)
+						}
+						grp, ok := part.index[string(keyBuf)]
+						if !ok {
+							grp = &aggGroup{key: append(value.Row(nil), keyVals...), states: make([]*expr.State, len(p.aggs))}
+							for i, a := range p.aggs {
+								grp.states[i] = a.NewState()
+							}
+							part.index[string(keyBuf)] = grp
+							part.groups = append(part.groups, grp)
+						}
+						for _, st := range grp.states {
+							if err := st.Add(scratch); err != nil {
+								part.err = err
+								return
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	var feedErr error
+	if err := p.join.outer.Open(); err != nil {
+		feedErr = err
+	} else {
+		batch := make([]value.Row, 0, batchSize)
+		for {
+			r, err := p.join.outer.Next()
+			if err != nil {
+				feedErr = err
+				break
+			}
+			if r == nil {
+				break
+			}
+			batch = append(batch, r.Clone())
+			if len(batch) == batchSize {
+				batches <- batch
+				batch = make([]value.Row, 0, batchSize)
+			}
+		}
+		if len(batch) > 0 {
+			batches <- batch
+		}
+		p.join.outer.Close()
+	}
+	close(batches)
+	wg.Wait()
+	if feedErr != nil {
+		return feedErr
+	}
+
+	merged := make(map[string]*aggGroup)
+	p.groups = p.groups[:0]
+	p.pos = 0
+	var keyBuf []byte
+	for w := range parts {
+		if parts[w].err != nil {
+			return parts[w].err
+		}
+		for _, grp := range parts[w].groups {
+			keyBuf = keyBuf[:0]
+			for _, v := range grp.key {
+				keyBuf = value.AppendKey(keyBuf, v)
+			}
+			if m, ok := merged[string(keyBuf)]; ok {
+				for i := range m.states {
+					m.states[i].Merge(grp.states[i])
+				}
+			} else {
+				merged[string(keyBuf)] = grp
+				p.groups = append(p.groups, grp)
+			}
+		}
+	}
+	if len(p.groupBy) == 0 && len(p.groups) == 0 {
+		grp := &aggGroup{states: make([]*expr.State, len(p.aggs))}
+		for i, a := range p.aggs {
+			grp.states[i] = a.NewState()
+		}
+		p.groups = append(p.groups, grp)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (p *ParallelJoinAgg) Next() (value.Row, error) {
+	for p.pos < len(p.groups) {
+		grp := p.groups[p.pos]
+		p.pos++
+		out := make(value.Row, 0, len(grp.key)+len(grp.states))
+		out = append(out, grp.key...)
+		for _, st := range grp.states {
+			out = append(out, st.Value())
+		}
+		if p.having != nil {
+			ok, err := expr.EvalBool(p.having, out)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		return out, nil
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (p *ParallelJoinAgg) Close() error {
+	p.groups = nil
+	return nil
+}
+
+// Describe implements Operator.
+func (p *ParallelJoinAgg) Describe() string {
+	return fmt.Sprintf("Parallel JoinAggregate (%d workers, %s)", p.workers, p.join.Describe())
+}
+
+// Children implements Operator.
+func (p *ParallelJoinAgg) Children() []Operator { return []Operator{p.join.outer, p.join.inner} }

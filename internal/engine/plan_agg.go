@@ -1,0 +1,283 @@
+package engine
+
+import (
+	"fmt"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// planAggProject plans everything above the join tree: grouping and
+// aggregation with HAVING, projection, DISTINCT, ORDER BY, and LIMIT.
+func (p *Planner) planAggProject(sel *sqlparser.Select, input Operator, inputSchema value.Schema, env Env) (Operator, error) {
+	// Qualify the clauses against the join output schema.
+	groupBy := make([]sqlparser.Expr, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		q, err := QualifyExpr(g, inputSchema)
+		if err != nil {
+			return nil, err
+		}
+		groupBy[i] = q
+	}
+	var having sqlparser.Expr
+	if sel.Having != nil {
+		q, err := QualifyExpr(sel.Having, inputSchema)
+		if err != nil {
+			return nil, err
+		}
+		having = q
+	}
+	items := make([]sqlparser.SelectItem, len(sel.Items))
+	hasStar := false
+	for i, it := range sel.Items {
+		if it.Star {
+			hasStar = true
+			items[i] = it
+			continue
+		}
+		q, err := QualifyExpr(it.Expr, inputSchema)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = sqlparser.SelectItem{Expr: q, Alias: it.Alias}
+	}
+	orderBy := make([]sqlparser.OrderItem, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		q, err := qualifyOrScan(o.Expr, inputSchema)
+		if err != nil {
+			return nil, err
+		}
+		orderBy[i] = sqlparser.OrderItem{Expr: q, Desc: o.Desc}
+	}
+
+	// Collect aggregate calls across SELECT, HAVING, and ORDER BY.
+	aggSeen := map[string]*sqlparser.FuncCall{}
+	var aggCalls []*sqlparser.FuncCall
+	for _, it := range items {
+		if !it.Star {
+			CollectAggregates(it.Expr, aggSeen, &aggCalls)
+		}
+	}
+	CollectAggregates(having, aggSeen, &aggCalls)
+	for _, o := range orderBy {
+		CollectAggregates(o.Expr, aggSeen, &aggCalls)
+	}
+
+	grouped := len(groupBy) > 0 || len(aggCalls) > 0
+
+	var out Operator
+	var outSchema value.Schema
+	if grouped {
+		if hasStar {
+			return nil, fmt.Errorf("SELECT * cannot be combined with GROUP BY or aggregates")
+		}
+		op, aggSchema, repl, err := p.buildAggregate(input, inputSchema, groupBy, aggCalls, having, env)
+		if err != nil {
+			return nil, err
+		}
+		// Project the SELECT list over the aggregate output.
+		exprs := make([]expr.Compiled, len(items))
+		outSchema = make(value.Schema, len(items))
+		for i, it := range items {
+			rewritten := ReplaceExprs(it.Expr, repl)
+			c, err := p.compile(rewritten, aggSchema, env)
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = c
+			outSchema[i] = value.Column{Name: outputName(it, i), Type: inferType(it.Expr, inputSchema)}
+		}
+		proj := NewProject(op, exprs, outSchema)
+		out = proj
+		// ORDER BY keys may reference aggregates or grouping columns;
+		// rewrite them the same way and sort over the aggregate output by
+		// planning the sort below projection-equivalent keys. Since the
+		// projection is row-per-group, sorting the projection input first is
+		// equivalent; we sort on the projected schema instead, falling back
+		// to select-alias substitution.
+		if len(orderBy) > 0 {
+			sortOp, err := p.planOrderBy(proj, outSchema, items, orderBy, env)
+			if err != nil {
+				return nil, err
+			}
+			out = sortOp
+		}
+	} else {
+		// Plain projection.
+		var exprs []expr.Compiled
+		outSchema = value.Schema{}
+		for i, it := range items {
+			if it.Star {
+				for j := range inputSchema {
+					jj := j
+					exprs = append(exprs, func(r value.Row) (value.Value, error) { return r[jj], nil })
+					outSchema = append(outSchema, inputSchema[j])
+				}
+				continue
+			}
+			c, err := p.compile(it.Expr, inputSchema, env)
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, c)
+			outSchema = append(outSchema, value.Column{Name: outputName(it, i), Type: inferType(it.Expr, inputSchema)})
+		}
+		out = NewProject(input, exprs, outSchema)
+		if len(orderBy) > 0 {
+			sortOp, err := p.planOrderBy(out, outSchema, items, orderBy, env)
+			if err != nil {
+				return nil, err
+			}
+			out = sortOp
+		}
+	}
+
+	if sel.Distinct {
+		out = NewDistinct(out)
+	}
+	if sel.Limit != nil {
+		out = NewLimit(out, *sel.Limit)
+	}
+	return out, nil
+}
+
+// buildAggregate constructs the HashAggregate (or its parallel fusion) and
+// returns the aggregate output schema plus the replacement map that rewrites
+// grouping expressions and aggregate calls into references to it.
+func (p *Planner) buildAggregate(input Operator, inputSchema value.Schema, groupBy []sqlparser.Expr, aggCalls []*sqlparser.FuncCall, having sqlparser.Expr, env Env) (Operator, value.Schema, map[string]sqlparser.Expr, error) {
+	groupExprs := make([]expr.Compiled, len(groupBy))
+	aggSchema := make(value.Schema, 0, len(groupBy)+len(aggCalls))
+	repl := make(map[string]sqlparser.Expr)
+	for i, g := range groupBy {
+		c, err := p.compile(g, inputSchema, env)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		groupExprs[i] = c
+		col := value.Column{Name: fmt.Sprintf("$group%d", i), Type: inferType(g, inputSchema)}
+		if ref, ok := g.(*sqlparser.ColRef); ok {
+			col.Qualifier, col.Name = ref.Qualifier, ref.Name
+		}
+		aggSchema = append(aggSchema, col)
+		repl[g.String()] = &sqlparser.ColRef{Qualifier: col.Qualifier, Name: col.Name}
+	}
+	aggs := make([]*expr.Aggregate, len(aggCalls))
+	for i, call := range aggCalls {
+		a, err := expr.CompileAggregate(call, inputSchema, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		aggs[i] = a
+		typ := value.Float
+		if call.Name == "COUNT" {
+			typ = value.Int
+		}
+		name := fmt.Sprintf("$agg%d", i)
+		aggSchema = append(aggSchema, value.Column{Name: name, Type: typ})
+		repl[call.String()] = &sqlparser.ColRef{Name: name}
+	}
+	var havingC expr.Compiled
+	if having != nil {
+		rewritten := ReplaceExprs(having, repl)
+		c, err := p.compile(rewritten, aggSchema, env)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		havingC = c
+	}
+	if p.Parallel {
+		if join, ok := input.(*NLJoin); ok {
+			op := NewParallelJoinAgg(join, groupExprs, aggs, havingC, aggSchema, p.Workers)
+			return op, aggSchema, repl, nil
+		}
+	}
+	op := NewHashAggregate(input, groupExprs, aggs, havingC, aggSchema)
+	return op, aggSchema, repl, nil
+}
+
+func (p *Planner) planOrderBy(child Operator, outSchema value.Schema, items []sqlparser.SelectItem, orderBy []sqlparser.OrderItem, env Env) (Operator, error) {
+	aliasRepl := map[string]sqlparser.Expr{}
+	for i, it := range items {
+		if it.Star {
+			continue
+		}
+		aliasRepl[it.Expr.String()] = &sqlparser.ColRef{Name: outSchema[i].Name}
+		if it.Alias != "" {
+			aliasRepl[it.Alias] = &sqlparser.ColRef{Name: outSchema[i].Name}
+		}
+	}
+	keys := make([]expr.Compiled, len(orderBy))
+	desc := make([]bool, len(orderBy))
+	for i, o := range orderBy {
+		e := ReplaceExprs(o.Expr, aliasRepl)
+		c, err := p.compile(e, outSchema, env)
+		if err != nil {
+			return nil, fmt.Errorf("ORDER BY: %w", err)
+		}
+		keys[i] = c
+		desc[i] = o.Desc
+	}
+	return NewSort(child, keys, desc), nil
+}
+
+// qualifyOrScan qualifies an ORDER BY expression when possible; unresolved
+// references (select-list aliases) are left bare for later substitution.
+func qualifyOrScan(e sqlparser.Expr, schema value.Schema) (sqlparser.Expr, error) {
+	q, err := QualifyExpr(e, schema)
+	if err == nil {
+		return q, nil
+	}
+	return e, nil
+}
+
+func outputName(it sqlparser.SelectItem, i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if ref, ok := it.Expr.(*sqlparser.ColRef); ok {
+		return ref.Name
+	}
+	return fmt.Sprintf("col%d", i+1)
+}
+
+// inferType guesses the result type of an expression for schema purposes.
+func inferType(e sqlparser.Expr, schema value.Schema) value.Kind {
+	switch e := e.(type) {
+	case *sqlparser.Lit:
+		return e.Val.K
+	case *sqlparser.ColRef:
+		if i, err := schema.Resolve(e.Qualifier, e.Name); err == nil {
+			return schema[i].Type
+		}
+		return value.Float
+	case *sqlparser.FuncCall:
+		if e.Name == "COUNT" {
+			return value.Int
+		}
+		if e.Name == "AVG" {
+			return value.Float
+		}
+		if len(e.Args) == 1 {
+			return inferType(e.Args[0], schema)
+		}
+		return value.Float
+	case *sqlparser.BinOp:
+		switch e.Op {
+		case sqlparser.OpAdd, sqlparser.OpSub, sqlparser.OpMul, sqlparser.OpDiv:
+			lt, rt := inferType(e.L, schema), inferType(e.R, schema)
+			if lt == value.Int && rt == value.Int {
+				return value.Int
+			}
+			return value.Float
+		default:
+			return value.Bool
+		}
+	case *sqlparser.UnOp:
+		if e.Op == "-" {
+			return inferType(e.E, schema)
+		}
+		return value.Bool
+	}
+	return value.Float
+}

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"smarticeberg/internal/sqlparser"
+)
+
+func TestScalarSubquery(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Exec(cat, `
+		SELECT id, x FROM Object WHERE x > (SELECT AVG(x) FROM Object)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AVG(x) = 2.2; objects with x > 2.2: ids 3 (x=3) and 5 (x=4).
+	assertRows(t, res.Rows, []string{"3|3", "5|4"})
+}
+
+func TestScalarSubqueryInSelect(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Exec(cat, `
+		SELECT id, x - (SELECT MIN(x) FROM Object) FROM Object WHERE id <= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, res.Rows, []string{"1|0", "2|1"})
+}
+
+func TestScalarSubqueryCardinalityError(t *testing.T) {
+	cat := testCatalog(t)
+	_, err := Exec(cat, "SELECT id FROM Object WHERE x > (SELECT x FROM Object)")
+	if err == nil || !strings.Contains(err.Error(), "scalar subquery") {
+		t.Fatalf("expected cardinality error, got %v", err)
+	}
+	// Zero rows -> NULL -> predicate unknown -> empty result, no error.
+	res, err := Exec(cat, "SELECT id FROM Object WHERE x > (SELECT x FROM Object WHERE id = 99)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("NULL comparison must filter everything: %v", res.Rows)
+	}
+}
+
+func TestCaseWhen(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Exec(cat, `
+		SELECT id, CASE WHEN x < 2 THEN 'low' WHEN x < 4 THEN 'mid' ELSE 'high' END
+		FROM Object ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1|low", "2|mid", "3|mid", "4|low", "5|high"}
+	assertRows(t, res.Rows, want)
+}
+
+func TestCaseWhenNoElseAndAggregation(t *testing.T) {
+	cat := testCatalog(t)
+	// Conditional counting: SUM(CASE WHEN ... THEN 1 ELSE 0 END).
+	res, err := Exec(cat, `
+		SELECT SUM(CASE WHEN x >= 2 THEN 1 ELSE 0 END),
+		       COUNT(CASE WHEN x >= 2 THEN 1 END)
+		FROM Object`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x values: 1,2,3,1,4 -> three are >= 2; COUNT skips the NULL arms.
+	assertRows(t, res.Rows, []string{"3|3"})
+}
+
+func TestCaseWhenInGroupBy(t *testing.T) {
+	cat := testCatalog(t)
+	res, err := Exec(cat, `
+		SELECT CASE WHEN x < 3 THEN 'small' ELSE 'big' END AS bucket, COUNT(*)
+		FROM Object
+		GROUP BY CASE WHEN x < 3 THEN 'small' ELSE 'big' END
+		HAVING COUNT(*) >= 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, res.Rows, []string{"big|2", "small|3"})
+}
+
+func TestExplainAnalyze(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := sqlparser.ParseSelect(`
+		SELECT L.id, COUNT(*)
+		FROM Object L, Object R
+		WHERE L.x <= R.x AND L.y <= R.y
+		GROUP BY L.id HAVING COUNT(*) <= 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlanner(cat)
+	op, err := p.PlanSelect(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, rows, err := ExplainAnalyze(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("expected results")
+	}
+	if !strings.Contains(text, "actual rows=") {
+		t.Errorf("missing actual row counts:\n%s", text)
+	}
+	// The aggregate's actual output must equal the result row count.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "HashAggregate") {
+			want := fmt.Sprintf("actual rows=%d", len(rows))
+			if !strings.Contains(line, want) {
+				t.Errorf("aggregate line %q should contain %q", line, want)
+			}
+		}
+	}
+}

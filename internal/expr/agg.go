@@ -1,0 +1,298 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// AggKind identifies an aggregate function.
+type AggKind int
+
+// The supported aggregate functions.
+const (
+	AggCountStar AggKind = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL name of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCountStar, AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return "AGG?"
+}
+
+// IsAggregateName reports whether the (upper-cased) function name is an
+// aggregate function.
+func IsAggregateName(name string) bool {
+	switch strings.ToUpper(name) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// Aggregate is a fully resolved aggregate call: kind, DISTINCT flag, and a
+// compiled argument (nil for COUNT(*)).
+type Aggregate struct {
+	Kind     AggKind
+	Distinct bool
+	Arg      Compiled
+	// Source is the original AST node, kept for printing and matching.
+	Source *sqlparser.FuncCall
+}
+
+// CompileAggregate resolves an aggregate function call against a schema.
+func CompileAggregate(f *sqlparser.FuncCall, schema value.Schema, extra func(sqlparser.Expr) (Compiled, error)) (*Aggregate, error) {
+	if !IsAggregateName(f.Name) {
+		return nil, fmt.Errorf("%s is not an aggregate function", f.Name)
+	}
+	a := &Aggregate{Distinct: f.Distinct, Source: f}
+	switch f.Name {
+	case "COUNT":
+		if f.Star {
+			a.Kind = AggCountStar
+			return a, nil
+		}
+		a.Kind = AggCount
+	case "SUM":
+		a.Kind = AggSum
+	case "AVG":
+		a.Kind = AggAvg
+	case "MIN":
+		a.Kind = AggMin
+	case "MAX":
+		a.Kind = AggMax
+	}
+	if len(f.Args) != 1 {
+		return nil, fmt.Errorf("%s takes exactly one argument", f.Name)
+	}
+	arg, err := Compile(f.Args[0], schema, extra)
+	if err != nil {
+		return nil, err
+	}
+	a.Arg = arg
+	return a, nil
+}
+
+// Algebraic reports whether the aggregate has a bounded-size partial state
+// (Gray et al.'s "algebraic" class). DISTINCT aggregates are not algebraic:
+// their partial state is a set. The paper's memoization conditions
+// (Section 6) require algebraic aggregates whenever per-group results must
+// be combined from several cached partials.
+func (a *Aggregate) Algebraic() bool { return !a.Distinct }
+
+// State is the running accumulator of one aggregate over one group.
+type State struct {
+	agg      *Aggregate
+	count    int64
+	intSum   int64
+	floatSum float64
+	isFloat  bool
+	minMax   value.Value
+	distinct map[string]bool
+}
+
+// NewState returns a fresh accumulator.
+func (a *Aggregate) NewState() *State {
+	s := &State{agg: a}
+	if a.Distinct {
+		s.distinct = make(map[string]bool)
+	}
+	return s
+}
+
+// Add folds one input row into the accumulator. NULL arguments are skipped,
+// per SQL, except for COUNT(*).
+func (s *State) Add(row value.Row) error {
+	a := s.agg
+	if a.Kind == AggCountStar {
+		s.count++
+		return nil
+	}
+	v, err := a.Arg(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if a.Distinct {
+		key := value.Key([]value.Value{v})
+		if s.distinct[key] {
+			return nil
+		}
+		s.distinct[key] = true
+	}
+	switch a.Kind {
+	case AggCount:
+		s.count++
+	case AggSum, AggAvg:
+		s.count++
+		s.addNumeric(v)
+	case AggMin:
+		if s.count == 0 {
+			s.minMax = v
+		} else if cmp, ok := value.Compare(v, s.minMax); ok && cmp < 0 {
+			s.minMax = v
+		}
+		s.count++
+	case AggMax:
+		if s.count == 0 {
+			s.minMax = v
+		} else if cmp, ok := value.Compare(v, s.minMax); ok && cmp > 0 {
+			s.minMax = v
+		}
+		s.count++
+	}
+	return nil
+}
+
+func (s *State) addNumeric(v value.Value) {
+	if v.K == value.Float && !s.isFloat {
+		s.isFloat = true
+		s.floatSum += float64(s.intSum)
+		s.intSum = 0
+	}
+	if s.isFloat {
+		s.floatSum += v.AsFloat()
+	} else {
+		s.intSum += v.I
+	}
+}
+
+// Merge folds another accumulator of the same aggregate into s — the f°
+// combine step of the algebraic decomposition. DISTINCT states merge by set
+// union (correct, but unbounded; callers gate on Algebraic()).
+func (s *State) Merge(o *State) {
+	switch s.agg.Kind {
+	case AggCountStar:
+		s.count += o.count
+		return
+	}
+	if s.agg.Distinct {
+		// Re-add each distinct element.
+		for k := range o.distinct {
+			if !s.distinct[k] {
+				s.distinct[k] = true
+				s.count++
+			}
+		}
+		// MIN/MAX/SUM over DISTINCT would need value reconstruction; the
+		// engine only uses DISTINCT with COUNT, which the count above covers.
+		return
+	}
+	switch s.agg.Kind {
+	case AggCount:
+		s.count += o.count
+	case AggSum, AggAvg:
+		if o.isFloat && !s.isFloat {
+			s.isFloat = true
+			s.floatSum += float64(s.intSum)
+			s.intSum = 0
+		}
+		if s.isFloat {
+			if o.isFloat {
+				s.floatSum += o.floatSum
+			} else {
+				s.floatSum += float64(o.intSum)
+			}
+		} else {
+			s.intSum += o.intSum
+		}
+		s.count += o.count
+	case AggMin:
+		if o.count > 0 {
+			if s.count == 0 {
+				s.minMax = o.minMax
+			} else if cmp, ok := value.Compare(o.minMax, s.minMax); ok && cmp < 0 {
+				s.minMax = o.minMax
+			}
+			s.count += o.count
+		}
+	case AggMax:
+		if o.count > 0 {
+			if s.count == 0 {
+				s.minMax = o.minMax
+			} else if cmp, ok := value.Compare(o.minMax, s.minMax); ok && cmp > 0 {
+				s.minMax = o.minMax
+			}
+			s.count += o.count
+		}
+	}
+}
+
+// Value finalizes the aggregate — f° applied to the accumulated partial.
+func (s *State) Value() value.Value {
+	switch s.agg.Kind {
+	case AggCountStar, AggCount:
+		// count already advances only on distinct inputs for DISTINCT
+		// aggregates, so it is the answer in both modes — and it survives
+		// the Partial round-trip, which the set itself does not.
+		return value.NewInt(s.count)
+	case AggSum:
+		if s.count == 0 {
+			return value.NullValue
+		}
+		if s.isFloat {
+			return value.NewFloat(s.floatSum)
+		}
+		return value.NewInt(s.intSum)
+	case AggAvg:
+		if s.count == 0 {
+			return value.NullValue
+		}
+		sum := s.floatSum
+		if !s.isFloat {
+			sum = float64(s.intSum)
+		}
+		return value.NewFloat(sum / float64(s.count))
+	case AggMin, AggMax:
+		if s.count == 0 {
+			return value.NullValue
+		}
+		return s.minMax
+	}
+	return value.NullValue
+}
+
+// Count returns the number of non-skipped inputs, used by NLJP to decide
+// whether a group exists at all under inner-join semantics.
+func (s *State) Count() int64 { return s.count }
+
+// Partial is the bounded serialized form of an algebraic state, what the
+// NLJP cache stores per binding (the fⁱ output of Appendix C).
+type Partial struct {
+	Count    int64
+	IntSum   int64
+	FloatSum float64
+	IsFloat  bool
+	MinMax   value.Value
+}
+
+// Partial extracts the algebraic partial of the state. It must not be used
+// for DISTINCT aggregates.
+func (s *State) Partial() Partial {
+	return Partial{Count: s.count, IntSum: s.intSum, FloatSum: s.floatSum, IsFloat: s.isFloat, MinMax: s.minMax}
+}
+
+// StateFromPartial reconstitutes an accumulator from a cached partial.
+func (a *Aggregate) StateFromPartial(p Partial) *State {
+	return &State{agg: a, count: p.Count, intSum: p.IntSum, floatSum: p.FloatSum, isFloat: p.IsFloat, minMax: p.MinMax}
+}

@@ -1,0 +1,281 @@
+// Package expr compiles parsed SQL scalar expressions into evaluator
+// closures over rows, and implements the aggregate functions with the
+// algebraic decomposition (fⁱ, f°) from Gray et al. that the paper's
+// memoization technique (Section 6, Appendix C) relies on.
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// Compiled is an evaluator over a row with a fixed schema.
+type Compiled func(value.Row) (value.Value, error)
+
+// Compile translates a scalar expression into an evaluator for rows laid out
+// per schema. Aggregate function calls are rejected; the engine rewrites
+// them into column references before compiling. extra, when non-nil, is
+// consulted for expression forms the compiler does not handle itself (the
+// engine uses it to splice in IN-subquery membership tests).
+func Compile(e sqlparser.Expr, schema value.Schema, extra func(sqlparser.Expr) (Compiled, error)) (Compiled, error) {
+	c := &compiler{schema: schema, extra: extra}
+	return c.compile(e)
+}
+
+type compiler struct {
+	schema value.Schema
+	extra  func(sqlparser.Expr) (Compiled, error)
+}
+
+func (c *compiler) compile(e sqlparser.Expr) (Compiled, error) {
+	switch e := e.(type) {
+	case *sqlparser.Lit:
+		v := e.Val
+		return func(value.Row) (value.Value, error) { return v, nil }, nil
+	case *sqlparser.ColRef:
+		i, err := c.schema.Resolve(e.Qualifier, e.Name)
+		if err != nil {
+			return nil, err
+		}
+		return func(r value.Row) (value.Value, error) { return r[i], nil }, nil
+	case *sqlparser.UnOp:
+		inner, err := c.compile(e.E)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "-":
+			return func(r value.Row) (value.Value, error) {
+				v, err := inner(r)
+				if err != nil {
+					return value.NullValue, err
+				}
+				return value.Neg(v)
+			}, nil
+		case "NOT":
+			return func(r value.Row) (value.Value, error) {
+				v, err := inner(r)
+				if err != nil || v.IsNull() {
+					return value.NullValue, err
+				}
+				return value.NewBool(!v.Bool()), nil
+			}, nil
+		}
+		return nil, fmt.Errorf("unknown unary operator %q", e.Op)
+	case *sqlparser.IsNull:
+		inner, err := c.compile(e.E)
+		if err != nil {
+			return nil, err
+		}
+		negated := e.Negated
+		return func(r value.Row) (value.Value, error) {
+			v, err := inner(r)
+			if err != nil {
+				return value.NullValue, err
+			}
+			return value.NewBool(v.IsNull() != negated), nil
+		}, nil
+	case *sqlparser.BinOp:
+		return c.compileBinOp(e)
+	case *sqlparser.CaseWhen:
+		type arm struct{ cond, then Compiled }
+		arms := make([]arm, len(e.Whens))
+		for i, w := range e.Whens {
+			cond, err := c.compile(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			then, err := c.compile(w.Then)
+			if err != nil {
+				return nil, err
+			}
+			arms[i] = arm{cond: cond, then: then}
+		}
+		var elseC Compiled
+		if e.Else != nil {
+			ec, err := c.compile(e.Else)
+			if err != nil {
+				return nil, err
+			}
+			elseC = ec
+		}
+		return func(r value.Row) (value.Value, error) {
+			for _, a := range arms {
+				ok, err := EvalBool(a.cond, r)
+				if err != nil {
+					return value.NullValue, err
+				}
+				if ok {
+					return a.then(r)
+				}
+			}
+			if elseC != nil {
+				return elseC(r)
+			}
+			return value.NullValue, nil
+		}, nil
+	case *sqlparser.FuncCall:
+		if IsAggregateName(e.Name) {
+			return nil, fmt.Errorf("aggregate %s not allowed here", e.Name)
+		}
+		return c.compileScalarFunc(e)
+	}
+	if c.extra != nil {
+		return c.extra(e)
+	}
+	return nil, fmt.Errorf("unsupported expression %s", e.String())
+}
+
+func (c *compiler) compileBinOp(e *sqlparser.BinOp) (Compiled, error) {
+	l, err := c.compile(e.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.compile(e.R)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case sqlparser.OpAnd:
+		return func(row value.Row) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.NullValue, err
+			}
+			// SQL three-valued AND: false dominates NULL.
+			if !lv.IsNull() && !lv.Bool() {
+				return value.NewBool(false), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return value.NullValue, err
+			}
+			if !rv.IsNull() && !rv.Bool() {
+				return value.NewBool(false), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return value.NullValue, nil
+			}
+			return value.NewBool(true), nil
+		}, nil
+	case sqlparser.OpOr:
+		return func(row value.Row) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.NullValue, err
+			}
+			if !lv.IsNull() && lv.Bool() {
+				return value.NewBool(true), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return value.NullValue, err
+			}
+			if !rv.IsNull() && rv.Bool() {
+				return value.NewBool(true), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return value.NullValue, nil
+			}
+			return value.NewBool(false), nil
+		}, nil
+	case sqlparser.OpAdd, sqlparser.OpSub, sqlparser.OpMul, sqlparser.OpDiv:
+		op := e.Op
+		return func(row value.Row) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.NullValue, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return value.NullValue, err
+			}
+			switch op {
+			case sqlparser.OpAdd:
+				return value.Add(lv, rv)
+			case sqlparser.OpSub:
+				return value.Sub(lv, rv)
+			case sqlparser.OpMul:
+				return value.Mul(lv, rv)
+			default:
+				return value.Div(lv, rv)
+			}
+		}, nil
+	case sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+		op := e.Op
+		return func(row value.Row) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.NullValue, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return value.NullValue, err
+			}
+			cmp, ok := value.Compare(lv, rv)
+			if !ok {
+				return value.NullValue, nil
+			}
+			var res bool
+			switch op {
+			case sqlparser.OpEq:
+				res = cmp == 0
+			case sqlparser.OpNe:
+				res = cmp != 0
+			case sqlparser.OpLt:
+				res = cmp < 0
+			case sqlparser.OpLe:
+				res = cmp <= 0
+			case sqlparser.OpGt:
+				res = cmp > 0
+			default:
+				res = cmp >= 0
+			}
+			return value.NewBool(res), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown binary operator %q", e.Op)
+}
+
+func (c *compiler) compileScalarFunc(e *sqlparser.FuncCall) (Compiled, error) {
+	switch e.Name {
+	case "ABS":
+		if len(e.Args) != 1 {
+			return nil, fmt.Errorf("ABS takes one argument")
+		}
+		arg, err := c.compile(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(r value.Row) (value.Value, error) {
+			v, err := arg(r)
+			if err != nil || v.IsNull() {
+				return value.NullValue, err
+			}
+			switch v.K {
+			case value.Int:
+				if v.I < 0 {
+					return value.NewInt(-v.I), nil
+				}
+				return v, nil
+			case value.Float:
+				return value.NewFloat(math.Abs(v.F)), nil
+			}
+			return value.NullValue, fmt.Errorf("ABS of non-numeric value")
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown function %q", e.Name)
+}
+
+// EvalBool evaluates a compiled predicate under SQL WHERE semantics:
+// NULL/unknown is treated as false.
+func EvalBool(c Compiled, r value.Row) (bool, error) {
+	v, err := c(r)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Bool(), nil
+}

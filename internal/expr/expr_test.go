@@ -1,0 +1,253 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+var testSchema = value.Schema{
+	{Qualifier: "t", Name: "a", Type: value.Int},
+	{Qualifier: "t", Name: "b", Type: value.Float},
+	{Qualifier: "t", Name: "s", Type: value.Str},
+	{Qualifier: "t", Name: "n", Type: value.Int},
+}
+
+func compileWhere(t *testing.T, cond string) Compiled {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect("SELECT 1 FROM t WHERE " + cond)
+	if err != nil {
+		t.Fatalf("parse %q: %v", cond, err)
+	}
+	c, err := Compile(sel.Where, testSchema, nil)
+	if err != nil {
+		t.Fatalf("compile %q: %v", cond, err)
+	}
+	return c
+}
+
+func row(a int64, b float64, s string, n value.Value) value.Row {
+	return value.Row{value.NewInt(a), value.NewFloat(b), value.NewStr(s), n}
+}
+
+func TestCompiledPredicates(t *testing.T) {
+	cases := []struct {
+		cond string
+		row  value.Row
+		want bool
+	}{
+		{"a = 3", row(3, 0, "", value.NullValue), true},
+		{"a = 3", row(4, 0, "", value.NullValue), false},
+		{"a < b", row(1, 1.5, "", value.NullValue), true},
+		{"a + 1 <= b * 2", row(2, 1.5, "", value.NullValue), true},
+		{"s = 'x'", row(0, 0, "x", value.NullValue), true},
+		{"s <> 'x'", row(0, 0, "y", value.NullValue), true},
+		{"a = 1 AND b = 2 OR s = 'z'", row(0, 0, "z", value.NullValue), true},
+		{"NOT a = 1", row(2, 0, "", value.NullValue), true},
+		{"n IS NULL", row(0, 0, "", value.NullValue), true},
+		{"n IS NOT NULL", row(0, 0, "", value.NewInt(0)), true},
+		{"n = 5", row(0, 0, "", value.NullValue), false},     // NULL comparison is unknown
+		{"NOT n = 5", row(0, 0, "", value.NullValue), false}, // NOT unknown is unknown
+		{"a BETWEEN 2 AND 4", row(3, 0, "", value.NullValue), true},
+		{"a BETWEEN 2 AND 4", row(5, 0, "", value.NullValue), false},
+		{"ABS(a - 10) <= 2", row(9, 0, "", value.NullValue), true},
+		{"a / 2 = 1", row(3, 0, "", value.NullValue), true}, // integer division
+	}
+	for _, c := range cases {
+		got, err := EvalBool(compileWhere(t, c.cond), c.row)
+		if err != nil {
+			t.Errorf("%q: %v", c.cond, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q on %v = %v, want %v", c.cond, c.row, got, c.want)
+		}
+	}
+}
+
+// TestThreeValuedLogic pins down SQL's NULL handling for AND/OR.
+func TestThreeValuedLogic(t *testing.T) {
+	nullRow := row(1, 0, "", value.NullValue)
+	// false AND unknown = false (not unknown).
+	v, err := compileWhere(t, "a = 2 AND n = 1")(nullRow)
+	if err != nil || v.IsNull() || v.Bool() {
+		t.Errorf("false AND unknown = %v, %v", v, err)
+	}
+	// true OR unknown = true.
+	v, err = compileWhere(t, "a = 1 OR n = 1")(nullRow)
+	if err != nil || !v.Bool() {
+		t.Errorf("true OR unknown = %v, %v", v, err)
+	}
+	// true AND unknown = unknown.
+	v, err = compileWhere(t, "a = 1 AND n = 1")(nullRow)
+	if err != nil || !v.IsNull() {
+		t.Errorf("true AND unknown = %v, %v", v, err)
+	}
+	// false OR unknown = unknown.
+	v, err = compileWhere(t, "a = 2 OR n = 1")(nullRow)
+	if err != nil || !v.IsNull() {
+		t.Errorf("false OR unknown = %v, %v", v, err)
+	}
+}
+
+func TestCompileRejectsAggregates(t *testing.T) {
+	sel, err := sqlparser.ParseSelect("SELECT 1 FROM t WHERE COUNT(*) > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(sel.Where, testSchema, nil); err == nil {
+		t.Error("aggregates must be rejected outside aggregation context")
+	}
+}
+
+func mustAgg(t *testing.T, call string) *Aggregate {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect("SELECT " + call + " FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := CompileAggregate(sel.Items[0].Expr.(*sqlparser.FuncCall), testSchema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAggregateBasics(t *testing.T) {
+	rows := []value.Row{
+		row(1, 2.0, "x", value.NewInt(10)),
+		row(3, 1.0, "y", value.NullValue),
+		row(1, 4.5, "x", value.NewInt(20)),
+	}
+	check := func(call string, want value.Value) {
+		t.Helper()
+		a := mustAgg(t, call)
+		st := a.NewState()
+		for _, r := range rows {
+			if err := st.Add(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !value.Identical(st.Value(), want) {
+			t.Errorf("%s = %v, want %v", call, st.Value(), want)
+		}
+	}
+	check("COUNT(*)", value.NewInt(3))
+	check("COUNT(n)", value.NewInt(2)) // NULL skipped
+	check("COUNT(DISTINCT a)", value.NewInt(2))
+	check("COUNT(DISTINCT s)", value.NewInt(2))
+	check("SUM(a)", value.NewInt(5))
+	check("SUM(b)", value.NewFloat(7.5))
+	check("AVG(a)", value.NewFloat(5.0/3))
+	check("MIN(b)", value.NewFloat(1))
+	check("MAX(b)", value.NewFloat(4.5))
+	check("MIN(s)", value.NewStr("x"))
+	check("MAX(n)", value.NewInt(20))
+}
+
+func TestAggregateEmptyGroups(t *testing.T) {
+	for call, want := range map[string]value.Value{
+		"COUNT(*)": value.NewInt(0),
+		"COUNT(a)": value.NewInt(0),
+		"SUM(a)":   value.NullValue,
+		"AVG(a)":   value.NullValue,
+		"MIN(a)":   value.NullValue,
+		"MAX(a)":   value.NullValue,
+	} {
+		a := mustAgg(t, call)
+		if got := a.NewState().Value(); !value.Identical(got, want) {
+			t.Errorf("%s over empty = %v, want %v", call, got, want)
+		}
+	}
+}
+
+// TestAlgebraicMergeProperty: splitting the input arbitrarily, aggregating
+// partials, and merging must equal aggregating the whole set — the f°∘fⁱ
+// identity memoization relies on (Appendix C).
+func TestAlgebraicMergeProperty(t *testing.T) {
+	calls := []string{"COUNT(*)", "COUNT(a)", "SUM(a)", "SUM(b)", "AVG(b)", "MIN(a)", "MAX(b)"}
+	for _, call := range calls {
+		a := mustAgg(t, call)
+		if !a.Algebraic() {
+			t.Errorf("%s should be algebraic", call)
+		}
+		err := quick.Check(func(seed int64, split uint8) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := rng.Intn(12)
+			rows := make([]value.Row, n)
+			for i := range rows {
+				var nv value.Value
+				if rng.Intn(3) > 0 {
+					nv = value.NewInt(int64(rng.Intn(10)))
+				}
+				rows[i] = row(int64(rng.Intn(20)-10), rng.NormFloat64()*5, "s", nv)
+			}
+			cut := 0
+			if n > 0 {
+				cut = int(split) % (n + 1)
+			}
+			whole := a.NewState()
+			left, right := a.NewState(), a.NewState()
+			for i, r := range rows {
+				whole.Add(r)
+				if i < cut {
+					left.Add(r)
+				} else {
+					right.Add(r)
+				}
+			}
+			// Round-trip the partials through the cache representation.
+			l2 := a.StateFromPartial(left.Partial())
+			r2 := a.StateFromPartial(right.Partial())
+			l2.Merge(r2)
+			got, want := l2.Value(), whole.Value()
+			if got.K != want.K {
+				return false
+			}
+			if got.K == value.Float {
+				return math.Abs(got.F-want.F) < 1e-9
+			}
+			return value.Identical(got, want)
+		}, &quick.Config{MaxCount: 300})
+		if err != nil {
+			t.Errorf("%s: %v", call, err)
+		}
+	}
+}
+
+func TestDistinctNotAlgebraicButMergeable(t *testing.T) {
+	a := mustAgg(t, "COUNT(DISTINCT a)")
+	if a.Algebraic() {
+		t.Error("DISTINCT aggregates are not algebraic (unbounded partials)")
+	}
+	s1, s2 := a.NewState(), a.NewState()
+	s1.Add(row(1, 0, "", value.NullValue))
+	s1.Add(row(2, 0, "", value.NullValue))
+	s2.Add(row(2, 0, "", value.NullValue))
+	s2.Add(row(3, 0, "", value.NullValue))
+	s1.Merge(s2)
+	if got := s1.Value(); got.I != 3 {
+		t.Errorf("merged distinct count = %v, want 3", got)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	sel, err := sqlparser.ParseSelect("SELECT SUM(a, b) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileAggregate(sel.Items[0].Expr.(*sqlparser.FuncCall), testSchema, nil); err == nil {
+		t.Error("SUM with two arguments must fail")
+	}
+	sel2, err := sqlparser.ParseSelect("SELECT ABS(a) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileAggregate(sel2.Items[0].Expr.(*sqlparser.FuncCall), testSchema, nil); err == nil {
+		t.Error("ABS is not an aggregate")
+	}
+}

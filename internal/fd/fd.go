@@ -1,0 +1,165 @@
+// Package fd implements functional-dependency reasoning: attribute closure,
+// superkey tests, and inference of dependencies that hold in a join result
+// from base-table dependencies plus equality join predicates. The iceberg
+// optimizer uses it for the schema-based safety checks of Theorem 2 and the
+// multiway-join reasoning of Appendix D (Example 13) of the paper.
+package fd
+
+import (
+	"sort"
+	"strings"
+)
+
+// FD is one functional dependency From → To over attribute names.
+// Attribute names are opaque strings; the engine uses "alias.column".
+type FD struct {
+	From []string
+	To   []string
+}
+
+// String renders the dependency.
+func (f FD) String() string {
+	return strings.Join(f.From, ",") + " -> " + strings.Join(f.To, ",")
+}
+
+// Set is a collection of functional dependencies.
+type Set struct {
+	fds []FD
+}
+
+// NewSet returns a set holding the given dependencies.
+func NewSet(fds ...FD) *Set {
+	s := &Set{}
+	for _, f := range fds {
+		s.Add(f)
+	}
+	return s
+}
+
+// Add inserts a dependency.
+func (s *Set) Add(f FD) {
+	s.fds = append(s.fds, FD{From: append([]string(nil), f.From...), To: append([]string(nil), f.To...)})
+}
+
+// AddEquiv inserts a ↔ b (both directions), the dependency contributed by an
+// equality predicate a = b.
+func (s *Set) AddEquiv(a, b string) {
+	s.Add(FD{From: []string{a}, To: []string{b}})
+	s.Add(FD{From: []string{b}, To: []string{a}})
+}
+
+// AddConstant records that attribute a is constant (∅ → a), contributed by a
+// predicate a = literal.
+func (s *Set) AddConstant(a string) {
+	s.Add(FD{From: nil, To: []string{a}})
+}
+
+// All returns the dependencies in the set.
+func (s *Set) All() []FD {
+	if s == nil {
+		return nil
+	}
+	return s.fds
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	out := &Set{}
+	if s != nil {
+		for _, f := range s.fds {
+			out.Add(f)
+		}
+	}
+	return out
+}
+
+// Merge adds every dependency of other into s.
+func (s *Set) Merge(other *Set) {
+	if other == nil {
+		return
+	}
+	for _, f := range other.fds {
+		s.Add(f)
+	}
+}
+
+// Rename returns a copy of the set with every attribute passed through f.
+// It is used to instantiate base-table FDs for an aliased occurrence of the
+// table (self-joins produce several instances of the same FD set).
+func (s *Set) Rename(f func(string) string) *Set {
+	out := &Set{}
+	if s == nil {
+		return out
+	}
+	for _, d := range s.fds {
+		nd := FD{}
+		for _, a := range d.From {
+			nd.From = append(nd.From, f(a))
+		}
+		for _, a := range d.To {
+			nd.To = append(nd.To, f(a))
+		}
+		out.fds = append(out.fds, nd)
+	}
+	return out
+}
+
+// Closure computes the attribute closure of attrs under the set, using the
+// standard fixed-point algorithm.
+func (s *Set) Closure(attrs []string) map[string]bool {
+	closure := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		closure[a] = true
+	}
+	if s == nil {
+		return closure
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range s.fds {
+			if !allIn(f.From, closure) {
+				continue
+			}
+			for _, a := range f.To {
+				if !closure[a] {
+					closure[a] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// Implies reports whether from → to follows from the set.
+func (s *Set) Implies(from, to []string) bool {
+	closure := s.Closure(from)
+	return allIn(to, closure)
+}
+
+// IsSuperkey reports whether attrs functionally determine all of rel's
+// attributes.
+func (s *Set) IsSuperkey(attrs, rel []string) bool {
+	return s.Implies(attrs, rel)
+}
+
+func allIn(attrs []string, set map[string]bool) bool {
+	for _, a := range attrs {
+		if !set[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedClosure returns the closure as a sorted slice, convenient for tests
+// and debug output.
+func (s *Set) SortedClosure(attrs []string) []string {
+	m := s.Closure(attrs)
+	out := make([]string, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

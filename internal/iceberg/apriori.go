@@ -1,0 +1,336 @@
+package iceberg
+
+import (
+	"fmt"
+	"strings"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// Reducer is one generalized a-priori rewrite found by pick_gapriori
+// (Listing 9 of the paper): the relation instance TargetAlias can be
+// replaced by its semijoin with Query, whose result lists the surviving
+// grouping-key values.
+type Reducer struct {
+	// TargetAlias is T̆: the FROM item whose rows the reducer filters.
+	TargetAlias string
+	// KeyCols are the reducer's output columns, all owned by TargetAlias.
+	KeyCols []*sqlparser.ColRef
+	// Query is the reducer SELECT (the subquery of L' in Section 4.1).
+	Query *sqlparser.Select
+	// BasisAliases is the candidate set T_L the reducer was derived from.
+	BasisAliases []string
+	// Class records the monotonicity that justified the rewrite.
+	Class Monotonicity
+}
+
+// String summarizes the reducer for reports.
+func (r *Reducer) String() string {
+	cols := make([]string, len(r.KeyCols))
+	for i, c := range r.KeyCols {
+		cols[i] = c.String()
+	}
+	return fmt.Sprintf("reduce %s on (%s) via %s basis {%s}",
+		r.TargetAlias, strings.Join(cols, ", "), r.Class, strings.Join(r.BasisAliases, ", "))
+}
+
+// findReducers runs the pick_gapriori loop of Listing 9: repeatedly search
+// the not-yet-reduced relation instances for a subset T whose grouping
+// attributes admit a safe HAVING push-down per Theorem 2.
+func findReducers(b *block) []*Reducer {
+	if b.having == nil || b.groupBy == nil || len(b.items) < 2 {
+		return nil
+	}
+	remaining := append([]*item(nil), b.items...)
+	var out []*Reducer
+	for len(remaining) > 0 {
+		red, used := pickGapriori(b, remaining)
+		if red == nil {
+			break
+		}
+		out = append(out, red)
+		var next []*item
+		usedSet := aliasSet(used)
+		for _, it := range remaining {
+			if !usedSet[strings.ToLower(it.alias)] {
+				next = append(next, it)
+			}
+		}
+		remaining = next
+	}
+	return out
+}
+
+// pickGapriori tries candidate subsets of the remaining items (singletons
+// and pairs — all the paper's examples need at most two relations per
+// reducer; larger subsets explode the search space for little gain). Among
+// safe candidates it prefers the one whose reducer groups on the most
+// final grouping attributes (a proxy for filtering power: a reducer whose
+// grouping matches more of the query's GROUP BY applies the HAVING
+// threshold to finer, more selective groups), breaking ties toward smaller
+// candidate sets.
+func pickGapriori(b *block, remaining []*item) (*Reducer, []*item) {
+	type cand struct {
+		r *Reducer
+		T []*item
+	}
+	var best *cand
+	consider := func(T []*item) {
+		r := tryGapriori(b, T)
+		if r == nil {
+			return
+		}
+		if best == nil ||
+			len(r.KeyCols) > len(best.r.KeyCols) ||
+			(len(r.KeyCols) == len(best.r.KeyCols) && len(T) < len(best.T)) {
+			best = &cand{r: r, T: T}
+		}
+	}
+	for _, it := range remaining {
+		consider([]*item{it})
+	}
+	for i := 0; i < len(remaining); i++ {
+		for j := i + 1; j < len(remaining); j++ {
+			consider([]*item{remaining[i], remaining[j]})
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	return best.r, best.T
+}
+
+// tryGapriori applies the Theorem 2 safety checks to the candidate split
+// L = Q⋈[T], R = Q⋈[rest], and builds the reducer when they pass.
+func tryGapriori(b *block, T []*item) *Reducer {
+	set := aliasSet(T)
+	phi, applicable := b.havingApplicableTo(set)
+	if !applicable {
+		return nil
+	}
+	class := ClassifyHaving(phi, b.positiveFunc())
+	if class == Neither {
+		return nil
+	}
+
+	// Split GROUP BY into G_L (owned by or remappable into T) and G_R.
+	var gL, gR []*sqlparser.ColRef
+	for _, g := range b.groupBy {
+		if ng, ok := b.remapInto(g, set); ok {
+			gL = append(gL, ng)
+		} else {
+			gR = append(gR, g)
+		}
+	}
+	if len(gL) == 0 {
+		return nil
+	}
+
+	var rest []*item
+	for _, it := range b.items {
+		if !set[strings.ToLower(it.alias)] {
+			rest = append(rest, it)
+		}
+	}
+	if len(rest) == 0 {
+		return nil
+	}
+	within, crossing, _ := b.partitionConjuncts(set)
+
+	switch class {
+	case Monotone:
+		// 𝔾_R ∪ 𝕁_R^= must be a superkey of R. The proof of Theorem 2
+		// identifies two R-tuples that agree on these attributes, which
+		// requires R to be duplicate-free as well.
+		if !allUnique(rest) {
+			return nil
+		}
+		restSet := aliasSet(rest)
+		var keyAttrs []string
+		for _, g := range gR {
+			keyAttrs = append(keyAttrs, colAttr(g))
+		}
+		for _, c := range crossing {
+			// Only a bare column equated across the cut joins the 𝕁_R^= set:
+			// for `ℓ.a = r.b` two R-tuples joining the same ℓ must agree on
+			// b, but for `ℓ.a = r.b + r.c` they only agree on the sum.
+			if ref := equatedRestColumn(c, restSet); ref != nil {
+				keyAttrs = append(keyAttrs, colAttr(ref))
+			}
+		}
+		if !b.fdSetFor(rest).Implies(keyAttrs, attrsOf(rest)) {
+			return nil
+		}
+	case AntiMonotone:
+		// 𝔾_L must determine 𝕁_L within L.
+		var jL []string
+		for _, c := range crossing {
+			for _, ref := range engine.ColumnsOf(c) {
+				if set[strings.ToLower(ref.Qualifier)] {
+					jL = append(jL, colAttr(ref))
+				}
+			}
+		}
+		var gAttrs []string
+		for _, g := range gL {
+			gAttrs = append(gAttrs, colAttr(g))
+		}
+		if !b.fdSetFor(T).Implies(gAttrs, jL) {
+			return nil
+		}
+	}
+
+	// Skip reducers that provably keep every tuple.
+	var gAttrs []string
+	for _, g := range gL {
+		gAttrs = append(gAttrs, colAttr(g))
+	}
+	groupIsKey := b.fdSetFor(T).Implies(gAttrs, attrsOf(T))
+	if isTrivialReducer(phi, groupIsKey) {
+		return nil
+	}
+
+	// The reducer output must land on a single item so it can be applied as
+	// a per-relation filter.
+	target := ""
+	for _, g := range gL {
+		q := strings.ToLower(g.Qualifier)
+		if target == "" {
+			target = q
+		} else if target != q {
+			return nil
+		}
+	}
+
+	// Assemble the reducer AST:
+	//   SELECT 𝔾_L FROM T WHERE (within-T conjuncts) GROUP BY 𝔾_L HAVING Φ.
+	q := &sqlparser.Select{}
+	for _, it := range T {
+		q.From = append(q.From, &sqlparser.TableRef{Name: it.ref.Name, Alias: it.alias})
+	}
+	q.Where = engine.AndAll(within)
+	for _, g := range gL {
+		q.Items = append(q.Items, sqlparser.SelectItem{Expr: g})
+		q.GroupBy = append(q.GroupBy, g)
+	}
+	q.Having = phi
+
+	var basis []string
+	for _, it := range T {
+		basis = append(basis, it.alias)
+	}
+	var targetAlias string
+	for _, it := range T {
+		if strings.ToLower(it.alias) == target {
+			targetAlias = it.alias
+		}
+	}
+	return &Reducer{TargetAlias: targetAlias, KeyCols: gL, Query: q, BasisAliases: basis, Class: class}
+}
+
+// equatedRestColumn returns the single rest-side column of an equality
+// conjunct of the form `outerExpr = rest.col` (either orientation) where
+// the other side references no rest attributes; nil otherwise.
+func equatedRestColumn(c sqlparser.Expr, restSet map[string]bool) *sqlparser.ColRef {
+	bin, ok := c.(*sqlparser.BinOp)
+	if !ok || bin.Op != sqlparser.OpEq {
+		return nil
+	}
+	isRestCol := func(e sqlparser.Expr) *sqlparser.ColRef {
+		ref, ok := e.(*sqlparser.ColRef)
+		if ok && restSet[strings.ToLower(ref.Qualifier)] {
+			return ref
+		}
+		return nil
+	}
+	touchesRest := func(e sqlparser.Expr) bool {
+		for _, ref := range engine.ColumnsOf(e) {
+			if restSet[strings.ToLower(ref.Qualifier)] {
+				return true
+			}
+		}
+		return false
+	}
+	if ref := isRestCol(bin.L); ref != nil && !touchesRest(bin.R) {
+		return ref
+	}
+	if ref := isRestCol(bin.R); ref != nil && !touchesRest(bin.L) {
+		return ref
+	}
+	return nil
+}
+
+// applyReducer evaluates the reducer and returns the filtered rows of the
+// target item as a materialized override, plus the before/after row counts.
+func applyReducer(b *block, red *Reducer, planner *engine.Planner) (*engine.MaterializedRel, [2]int, error) {
+	op, err := planner.PlanSelect(red.Query, b.env)
+	if err != nil {
+		return nil, [2]int{}, fmt.Errorf("planning reducer for %s: %w", red.TargetAlias, err)
+	}
+	keyRows, err := engine.Run(op)
+	if err != nil {
+		return nil, [2]int{}, err
+	}
+	keep := make(map[string]bool, len(keyRows))
+	for _, r := range keyRows {
+		keep[value.Key(r)] = true
+	}
+
+	// Locate the target item's source rows and bare schema.
+	var it *item
+	for _, cand := range b.items {
+		if strings.EqualFold(cand.alias, red.TargetAlias) {
+			it = cand
+			break
+		}
+	}
+	if it == nil {
+		return nil, [2]int{}, fmt.Errorf("reducer target %q not found", red.TargetAlias)
+	}
+	srcSchema, srcRows, err := sourceOf(b, it)
+	if err != nil {
+		return nil, [2]int{}, err
+	}
+	keyIdx := make([]int, len(red.KeyCols))
+	for i, c := range red.KeyCols {
+		j, err := srcSchema.Resolve("", c.Name)
+		if err != nil {
+			return nil, [2]int{}, err
+		}
+		keyIdx[i] = j
+	}
+	var kept []value.Row
+	keyVals := make([]value.Value, len(keyIdx))
+	for _, r := range srcRows {
+		for i, j := range keyIdx {
+			keyVals[i] = r[j]
+		}
+		if keep[value.Key(keyVals)] {
+			kept = append(kept, r)
+		}
+	}
+	rel := &engine.MaterializedRel{
+		Name:   it.ref.Name + "⋉reducer",
+		Schema: srcSchema,
+		Rows:   kept,
+	}
+	return rel, [2]int{len(srcRows), len(kept)}, nil
+}
+
+// sourceOf returns the bare-name schema and rows backing a FROM item.
+func sourceOf(b *block, it *item) (value.Schema, []value.Row, error) {
+	if rel, ok := b.env[strings.ToLower(it.ref.Name)]; ok {
+		return rel.Schema, rel.Rows, nil
+	}
+	t, err := b.cat.Get(it.ref.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	bare := make(value.Schema, len(t.Schema))
+	for i, c := range t.Schema {
+		bare[i] = value.Column{Name: c.Name, Type: c.Type}
+	}
+	return bare, t.Rows, nil
+}

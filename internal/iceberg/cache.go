@@ -1,0 +1,218 @@
+package iceberg
+
+import (
+	"sort"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/value"
+)
+
+// CacheStats reports what the NLJP cache did during execution; Figure 3 of
+// the paper plots Entries/Bytes, and the ablations use the hit counters.
+type CacheStats struct {
+	Entries     int
+	Bytes       int64 // estimated resident size of the cache
+	Bindings    int64 // outer tuples processed
+	MemoHits    int64
+	PruneHits   int64
+	InnerEvals  int64 // inner-query evaluations actually performed
+	PruneProbes int64 // cache entries examined by pruning checks
+}
+
+// cacheEntry is one cached binding: the 𝕁_L values, the algebraic partials
+// of every aggregate of Φ and Λ over R⋉w, the joined-tuple count, and the
+// unpromising flag of Definition 5.
+type cacheEntry struct {
+	binding     []value.Value
+	partials    []expr.Partial
+	rowCount    int64
+	unpromising bool
+}
+
+func (e *cacheEntry) sizeBytes() int64 {
+	n := int64(48) // struct + slice headers
+	for _, v := range e.binding {
+		n += 24 + int64(len(v.S))
+	}
+	n += int64(len(e.partials)) * 56
+	return n
+}
+
+// cache is the NLJP operator's binding cache (Section 7): a hash map for
+// memoization lookups plus a prune list of unpromising entries, optionally
+// indexed (the "CI" configuration of Figure 4) by the equality/range hints
+// extracted from the pruning predicate. A nonzero limit bounds the entry
+// count with first-in-first-out eviction; eviction only loses optimization
+// opportunities, never correctness.
+type cache struct {
+	memo  map[string]*cacheEntry
+	stats CacheStats
+
+	pred    *PrunePredicate
+	indexed bool
+	// With CI: partition by the equality-hint columns, each partition kept
+	// sorted ascending by the range-hint column.
+	parts map[string]*[]*cacheEntry
+	// Without CI (or no hints): a flat list.
+	flat []*cacheEntry
+
+	limit int
+	fifo  []string // insertion order of binding keys, for eviction
+}
+
+func newCache(pred *PrunePredicate, indexed bool, limit int) *cache {
+	c := &cache{memo: map[string]*cacheEntry{}, pred: pred, indexed: indexed && pred != nil, limit: limit}
+	if c.indexed {
+		c.parts = map[string]*[]*cacheEntry{}
+	}
+	return c
+}
+
+// lookup returns the memoized entry for a binding key.
+func (c *cache) lookup(key string) (*cacheEntry, bool) {
+	e, ok := c.memo[key]
+	return e, ok
+}
+
+// insert stores a new entry under its binding key and registers unpromising
+// entries with the prune structure, evicting the oldest entry when a cache
+// limit is configured.
+func (c *cache) insert(key string, e *cacheEntry) {
+	if c.limit > 0 {
+		for len(c.memo) >= c.limit && len(c.fifo) > 0 {
+			oldest := c.fifo[0]
+			c.fifo = c.fifo[1:]
+			if victim, ok := c.memo[oldest]; ok {
+				delete(c.memo, oldest)
+				c.stats.Bytes -= victim.sizeBytes()
+				c.stats.Entries--
+				c.removeFromPrune(victim)
+			}
+		}
+		c.fifo = append(c.fifo, key)
+	}
+	c.memo[key] = e
+	c.stats.Entries++
+	c.stats.Bytes += e.sizeBytes()
+	if c.pred == nil || !e.unpromising {
+		return
+	}
+	if !c.indexed {
+		c.flat = append(c.flat, e)
+		return
+	}
+	pk := c.partKey(e.binding)
+	lst, ok := c.parts[pk]
+	if !ok {
+		lst = &[]*cacheEntry{}
+		c.parts[pk] = lst
+	}
+	if c.pred.RangeIdx < 0 {
+		*lst = append(*lst, e)
+		return
+	}
+	// Insert keeping ascending order on the range column.
+	ri := c.pred.RangeIdx
+	i := sort.Search(len(*lst), func(i int) bool {
+		cmp, _ := value.Compare((*lst)[i].binding[ri], e.binding[ri])
+		return cmp >= 0
+	})
+	*lst = append(*lst, nil)
+	copy((*lst)[i+1:], (*lst)[i:])
+	(*lst)[i] = e
+}
+
+// removeFromPrune unlinks an evicted entry from the prune structures.
+func (c *cache) removeFromPrune(victim *cacheEntry) {
+	if c.pred == nil || !victim.unpromising {
+		return
+	}
+	if !c.indexed {
+		for i, e := range c.flat {
+			if e == victim {
+				c.flat = append(c.flat[:i], c.flat[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+	lst, ok := c.parts[c.partKey(victim.binding)]
+	if !ok {
+		return
+	}
+	for i, e := range *lst {
+		if e == victim {
+			*lst = append((*lst)[:i], (*lst)[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *cache) partKey(binding []value.Value) string {
+	if len(c.pred.EqIdx) == 0 {
+		return ""
+	}
+	vals := make([]value.Value, len(c.pred.EqIdx))
+	for i, j := range c.pred.EqIdx {
+		vals[i] = binding[j]
+	}
+	return value.Key(vals)
+}
+
+// pruneMatch implements prune(ℓ, C): is some cached unpromising binding
+// subsumption-related to cand so that cand cannot contribute?
+func (c *cache) pruneMatch(cand []value.Value) bool {
+	if c.pred == nil {
+		return false
+	}
+	if !c.indexed {
+		for _, e := range c.flat {
+			c.stats.PruneProbes++
+			if c.pred.Check(cand, e.binding) {
+				return true
+			}
+		}
+		return false
+	}
+	lst, ok := c.parts[c.partKey(cand)]
+	if !ok {
+		return false
+	}
+	entries := *lst
+	ri := c.pred.RangeIdx
+	if ri < 0 {
+		for _, e := range entries {
+			c.stats.PruneProbes++
+			if c.pred.Check(cand, e.binding) {
+				return true
+			}
+		}
+		return false
+	}
+	if c.pred.RangeCachedGE {
+		// Only entries with cached[ri] >= cand[ri] can match: scan the
+		// ascending list from the top down and stop at the bound.
+		for i := len(entries) - 1; i >= 0; i-- {
+			cmp, _ := value.Compare(entries[i].binding[ri], cand[ri])
+			if cmp < 0 {
+				break
+			}
+			c.stats.PruneProbes++
+			if c.pred.Check(cand, entries[i].binding) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range entries {
+		cmp, _ := value.Compare(e.binding[ri], cand[ri])
+		if cmp > 0 {
+			break
+		}
+		c.stats.PruneProbes++
+		if c.pred.Check(cand, e.binding) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+package iceberg
+
+import (
+	"strings"
+	"testing"
+)
+
+// derivedPairsSQL is the pairs query written with a derived table instead
+// of a CTE — the shape users actually type; the optimizer must lift it and
+// still apply NLJP to the outer block.
+const derivedPairsSQL = `
+	SELECT L.pid1, L.pid2, COUNT(*)
+	FROM (SELECT s1.pid AS pid1, s2.pid AS pid2,
+	             AVG(s1.hits) AS hits1, AVG(s2.hits) AS hits2
+	      FROM Score s1, Score s2
+	      WHERE s1.teamid = s2.teamid AND s1.year = s2.year
+	        AND s1.round = s2.round AND s1.pid < s2.pid
+	      GROUP BY s1.pid, s2.pid
+	      HAVING COUNT(*) >= 3) L,
+	     (SELECT s1.pid AS pid1, s2.pid AS pid2,
+	             AVG(s1.hits) AS hits1, AVG(s2.hits) AS hits2
+	      FROM Score s1, Score s2
+	      WHERE s1.teamid = s2.teamid AND s1.year = s2.year
+	        AND s1.round = s2.round AND s1.pid < s2.pid
+	      GROUP BY s1.pid, s2.pid
+	      HAVING COUNT(*) >= 3) R
+	WHERE R.hits1 >= L.hits1 AND R.hits2 >= L.hits2
+	  AND (R.hits1 > L.hits1 OR R.hits2 > L.hits2)
+	GROUP BY L.pid1, L.pid2
+	HAVING COUNT(*) <= 3`
+
+func TestDerivedTableLifting(t *testing.T) {
+	cat := newTestCatalog(t, 7, 60)
+	base := runBaseline(t, cat, derivedPairsSQL)
+	res, report := runOpt(t, cat, derivedPairsSQL, AllOn())
+	assertSameRows(t, "derived pairs", base, res.Rows, report)
+
+	// The lifted sub-blocks must have been optimized (a-priori applies to
+	// the pair-building blocks), and the outer block must use NLJP.
+	sawLifted, sawNLJP := false, false
+	for _, blk := range report.Blocks {
+		if strings.HasPrefix(blk.Name, "__dt_") && len(blk.Reducers) > 0 {
+			sawLifted = true
+		}
+		if blk.Name == "main" && blk.NLJP != "" {
+			sawNLJP = true
+		}
+	}
+	if !sawLifted {
+		t.Errorf("expected a-priori reducers inside the lifted derived tables:\n%s", report.String())
+	}
+	if !sawNLJP {
+		t.Errorf("expected NLJP on the outer block:\n%s", report.String())
+	}
+}

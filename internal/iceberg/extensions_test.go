@@ -1,0 +1,101 @@
+package iceberg
+
+import (
+	"fmt"
+	"testing"
+
+	"smarticeberg/internal/storage"
+)
+
+// TestBindingOrderCorrectAndEffective: any binding order must preserve the
+// result; processing the prune-dominant end first should not reduce prune
+// hits compared to natural order (usually it increases them).
+func TestBindingOrderCorrectAndEffective(t *testing.T) {
+	cat := newTestCatalog(t, 13, 300)
+	base := runBaseline(t, cat, skybandSQL)
+
+	var hits [3]int64
+	for i, order := range []string{"", "asc", "desc"} {
+		opts := AllOn()
+		opts.BindingOrder = order
+		res, report := runOpt(t, cat, skybandSQL, opts)
+		assertSameRows(t, "order="+order, base, res.Rows, report)
+		hits[i] = report.TotalStats().PruneHits
+	}
+	t.Logf("prune hits: natural=%d asc=%d desc=%d", hits[0], hits[1], hits[2])
+	// For the anti-monotone skyband with hint "cached.x >= cand.x",
+	// descending order caches large-x unpromising entries first.
+	if hits[2] < hits[0] {
+		t.Errorf("descending order should not lose prune hits: natural=%d desc=%d", hits[0], hits[2])
+	}
+}
+
+// TestCacheLimitCorrectness: a tiny cache must still produce exact results,
+// with fewer (or equal) memo/prune hits and a bounded entry count.
+func TestCacheLimitCorrectness(t *testing.T) {
+	cat := newTestCatalog(t, 13, 200)
+	base := runBaseline(t, cat, skybandSQL)
+	for _, limit := range []int{1, 4, 32} {
+		opts := AllOn()
+		opts.CacheLimit = limit
+		res, report := runOpt(t, cat, skybandSQL, opts)
+		assertSameRows(t, fmt.Sprintf("limit=%d", limit), base, res.Rows, report)
+		st := report.TotalStats()
+		if st.Entries > limit {
+			t.Errorf("limit=%d: %d entries resident", limit, st.Entries)
+		}
+	}
+	// And across all queries of the differential matrix with a small cache.
+	for qname, sql := range map[string]string{"pairs": pairsSQL, "complex": complexSQL} {
+		b := runBaseline(t, cat, sql)
+		opts := AllOn()
+		opts.CacheLimit = 8
+		res, report := runOpt(t, cat, sql, opts)
+		assertSameRows(t, qname+" limit=8", b, res.Rows, report)
+	}
+}
+
+// TestNullJoinValues: NULLs in join attributes never join in SQL; NLJP's
+// pruning and memoization must preserve that (prune checks on NULL bindings
+// must simply not fire).
+func TestNullJoinValues(t *testing.T) {
+	cat := storage.NewCatalog()
+	mustExecSQL(t, cat, "CREATE TABLE Obj (id BIGINT, x DOUBLE, y DOUBLE, PRIMARY KEY (id))")
+	mustExecSQL(t, cat, `INSERT INTO Obj VALUES
+		(1, 1, 1), (2, NULL, 2), (3, 2, NULL), (4, 3, 3), (5, 1, 2), (6, NULL, NULL)`)
+	sql := `
+		SELECT L.id, COUNT(*)
+		FROM Obj L, Obj R
+		WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y)
+		GROUP BY L.id
+		HAVING COUNT(*) <= 2`
+	base := runBaseline(t, cat, sql)
+	for name, opts := range optionCombos() {
+		res, report := runOpt(t, cat, sql, opts)
+		assertSameRows(t, "nulls "+name, base, res.Rows, report)
+	}
+}
+
+// TestArithmeticEqualityNotDecomposed: for Θ of the form l.j = r.b + r.c,
+// two R-tuples joining the same ℓ agree on b+c but not on b and c
+// individually, so {b, c} must NOT enter 𝕁_R^= — the query is inflationary
+// and a-priori would be wrong (regression test for a real bug).
+func TestArithmeticEqualityNotDecomposed(t *testing.T) {
+	cat := storage.NewCatalog()
+	mustExecSQL(t, cat, "CREATE TABLE L (g TEXT, j BIGINT, PRIMARY KEY (g))")
+	mustExecSQL(t, cat, "CREATE TABLE R (b BIGINT, c BIGINT, PRIMARY KEY (b, c))")
+	mustExecSQL(t, cat, "INSERT INTO L VALUES ('u', 3)")
+	mustExecSQL(t, cat, "INSERT INTO R VALUES (1, 2), (2, 1)")
+	sql := `SELECT l.g, COUNT(*) FROM L l, R r WHERE l.j = r.b + r.c
+	        GROUP BY l.g HAVING COUNT(*) >= 2`
+	base := runBaseline(t, cat, sql)
+	if len(base) != 1 {
+		t.Fatalf("the (u) group joins both R rows and must survive: %v", base)
+	}
+	res, report := runOpt(t, cat, sql, AllOn())
+	assertSameRows(t, "arithmetic equality", base, res.Rows, report)
+	if len(report.Blocks[0].Reducers) != 0 {
+		t.Errorf("a-priori must not fire on a decomposed arithmetic equality: %v",
+			report.Blocks[0].Reducers)
+	}
+}

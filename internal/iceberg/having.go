@@ -1,0 +1,228 @@
+package iceberg
+
+import (
+	"strings"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/sqlparser"
+)
+
+// Monotonicity classifies a HAVING condition per Definition 1 of the paper.
+type Monotonicity int
+
+// Classification outcomes.
+const (
+	Neither Monotonicity = iota
+	// Monotone: Φ(T) ⇒ Φ(T') for all T ⊆ T'.
+	Monotone
+	// AntiMonotone: Φ(T) ⇒ Φ(T') for all T ⊇ T'.
+	AntiMonotone
+)
+
+// String names the classification.
+func (m Monotonicity) String() string {
+	switch m {
+	case Monotone:
+		return "monotone"
+	case AntiMonotone:
+		return "anti-monotone"
+	}
+	return "neither"
+}
+
+// ClassifyHaving determines the monotonicity of a HAVING condition. The
+// condition may be a conjunction of atoms of the form `aggregate cmp
+// constant` (either orientation); the conjunction inherits a class only if
+// every atom agrees.
+//
+// The table implemented here follows from Definition 1 (note the paper's
+// printed Table 2 swaps the MIN directions; by the definition, MIN(A) <= c
+// is monotone — adding tuples can only lower a minimum — and MIN(A) >= c is
+// anti-monotone):
+//
+//	monotone:      COUNT >= c, SUM(A) >= c (A > 0), MAX(A) >= c, MIN(A) <= c
+//	anti-monotone: COUNT <= c, SUM(A) <= c (A > 0), MAX(A) <= c, MIN(A) >= c
+//
+// positive reports whether a column's domain is strictly positive, needed
+// for the SUM rows.
+func ClassifyHaving(having sqlparser.Expr, positive func(*sqlparser.ColRef) bool) Monotonicity {
+	if having == nil {
+		return Neither
+	}
+	conjuncts := engine.SplitConjuncts(having)
+	result := Monotonicity(-1)
+	for _, c := range conjuncts {
+		m := classifyAtom(c, positive)
+		if m == Neither {
+			return Neither
+		}
+		if result == -1 {
+			result = m
+		} else if result != m {
+			return Neither
+		}
+	}
+	if result == -1 {
+		return Neither
+	}
+	return result
+}
+
+func classifyAtom(c sqlparser.Expr, positive func(*sqlparser.ColRef) bool) Monotonicity {
+	bin, ok := c.(*sqlparser.BinOp)
+	if !ok {
+		return Neither
+	}
+	agg, cmp := normalizeHavingAtom(bin)
+	if agg == nil {
+		return Neither
+	}
+	switch cmp {
+	case sqlparser.OpGe, sqlparser.OpGt:
+		cmp = sqlparser.OpGe
+	case sqlparser.OpLe, sqlparser.OpLt:
+		cmp = sqlparser.OpLe
+	default:
+		return Neither
+	}
+	argPositive := func() bool {
+		if len(agg.Args) != 1 {
+			return false
+		}
+		ref, ok := agg.Args[0].(*sqlparser.ColRef)
+		return ok && positive != nil && positive(ref)
+	}
+	switch strings.ToUpper(agg.Name) {
+	case "COUNT":
+		if cmp == sqlparser.OpGe {
+			return Monotone
+		}
+		return AntiMonotone
+	case "SUM":
+		if !argPositive() {
+			return Neither
+		}
+		if cmp == sqlparser.OpGe {
+			return Monotone
+		}
+		return AntiMonotone
+	case "MAX":
+		if cmp == sqlparser.OpGe {
+			return Monotone
+		}
+		return AntiMonotone
+	case "MIN":
+		if cmp == sqlparser.OpLe {
+			return Monotone
+		}
+		return AntiMonotone
+	}
+	return Neither
+}
+
+// normalizeHavingAtom extracts (aggregate, cmp) from `agg cmp lit` or
+// `lit cmp agg` (flipping the comparison in the latter case). It returns a
+// nil aggregate when the atom does not match.
+func normalizeHavingAtom(bin *sqlparser.BinOp) (*sqlparser.FuncCall, string) {
+	l, lok := bin.L.(*sqlparser.FuncCall)
+	r, rok := bin.R.(*sqlparser.FuncCall)
+	switch {
+	case lok && engine.IsAggregateCall(l) && isNumericLit(bin.R):
+		return l, bin.Op
+	case rok && engine.IsAggregateCall(r) && isNumericLit(bin.L):
+		return r, flipCmp(bin.Op)
+	}
+	return nil, ""
+}
+
+func isNumericLit(e sqlparser.Expr) bool {
+	lit, ok := e.(*sqlparser.Lit)
+	return ok && lit.Val.K.Numeric()
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case sqlparser.OpLt:
+		return sqlparser.OpGt
+	case sqlparser.OpLe:
+		return sqlparser.OpGe
+	case sqlparser.OpGt:
+		return sqlparser.OpLt
+	case sqlparser.OpGe:
+		return sqlparser.OpLe
+	}
+	return op
+}
+
+// positiveFunc builds the positivity oracle for a block from its items'
+// declared positive-domain columns.
+func (b *block) positiveFunc() func(*sqlparser.ColRef) bool {
+	return func(c *sqlparser.ColRef) bool {
+		for _, it := range b.items {
+			if it.positive[colAttr(c)] {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// havingApplicableTo reports whether Φ references only attributes of the
+// alias set (star is always fine), possibly after remapping through
+// equivalence classes; it returns the remapped condition.
+func (b *block) havingApplicableTo(set map[string]bool) (sqlparser.Expr, bool) {
+	if b.having == nil {
+		return nil, false
+	}
+	return b.remapExprInto(b.having, set)
+}
+
+// isTrivialReducer detects the case where an a-priori reducer cannot remove
+// anything: the grouping attributes form a superkey of the sub-block (every
+// group has exactly one tuple) and Φ is an anti-monotone COUNT threshold
+// that a singleton group always satisfies. This is why the paper states
+// a-priori "does not apply" to the skyband queries Q1–Q3 and Q8.
+func isTrivialReducer(phi sqlparser.Expr, groupIsKey bool) bool {
+	if !groupIsKey {
+		return false
+	}
+	for _, c := range engine.SplitConjuncts(phi) {
+		bin, ok := c.(*sqlparser.BinOp)
+		if !ok {
+			return false
+		}
+		agg, cmp := normalizeHavingAtom(bin)
+		if agg == nil || strings.ToUpper(agg.Name) != "COUNT" {
+			return false
+		}
+		lit := constOf(bin)
+		switch cmp {
+		case sqlparser.OpLe, sqlparser.OpLt:
+			// COUNT <= c with c >= 1 keeps every singleton group.
+			if lit < 1 {
+				return false
+			}
+		case sqlparser.OpGe:
+			if lit > 1 {
+				return false
+			}
+		case sqlparser.OpGt:
+			if lit > 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func constOf(bin *sqlparser.BinOp) float64 {
+	if lit, ok := bin.R.(*sqlparser.Lit); ok && lit.Val.K.Numeric() {
+		return lit.Val.AsFloat()
+	}
+	if lit, ok := bin.L.(*sqlparser.Lit); ok && lit.Val.K.Numeric() {
+		return lit.Val.AsFloat()
+	}
+	return 0
+}

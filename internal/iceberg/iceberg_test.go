@@ -1,0 +1,482 @@
+package iceberg
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/value"
+)
+
+// newTestCatalog builds the running-example relations of the paper with a
+// deterministic pseudo-random population.
+func newTestCatalog(t testing.TB, seed int64, n int) *storage.Catalog {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cat := storage.NewCatalog()
+
+	obj := storage.NewTable("Object", []value.Column{
+		{Name: "id", Type: value.Int},
+		{Name: "x", Type: value.Float},
+		{Name: "y", Type: value.Float},
+	}, []string{"id"})
+	for i := 0; i < n; i++ {
+		obj.Rows = append(obj.Rows, value.Row{
+			value.NewInt(int64(i)),
+			value.NewFloat(float64(rng.Intn(40))),
+			value.NewFloat(float64(rng.Intn(40))),
+		})
+	}
+	cat.Put(obj)
+
+	basket := storage.NewTable("Basket", []value.Column{
+		{Name: "bid", Type: value.Int},
+		{Name: "item", Type: value.Str},
+	}, []string{"bid", "item"})
+	for b := 0; b < n; b++ {
+		used := map[int]bool{}
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			it := rng.Intn(12)
+			if used[it] {
+				continue
+			}
+			used[it] = true
+			basket.Rows = append(basket.Rows, value.Row{
+				value.NewInt(int64(b)),
+				value.NewStr(fmt.Sprintf("item%02d", it)),
+			})
+		}
+	}
+	cat.Put(basket)
+
+	score := storage.NewTable("Score", []value.Column{
+		{Name: "pid", Type: value.Int},
+		{Name: "year", Type: value.Int},
+		{Name: "round", Type: value.Int},
+		{Name: "teamid", Type: value.Str},
+		{Name: "hits", Type: value.Float},
+		{Name: "hruns", Type: value.Float},
+	}, []string{"pid", "year", "round"})
+	score.Positive["hits"] = true
+	score.Positive["hruns"] = true
+	players := 12
+	for p := 0; p < players; p++ {
+		team := fmt.Sprintf("T%d", p%3)
+		for y := 0; y < 4; y++ {
+			if rng.Intn(4) == 0 {
+				continue
+			}
+			score.Rows = append(score.Rows, value.Row{
+				value.NewInt(int64(p)),
+				value.NewInt(int64(2000 + y)),
+				value.NewInt(int64(rng.Intn(2))),
+				value.NewStr(team),
+				value.NewFloat(float64(1 + rng.Intn(30))),
+				value.NewFloat(float64(1 + rng.Intn(10))),
+			})
+		}
+	}
+	cat.Put(score)
+
+	prod := storage.NewTable("Product", []value.Column{
+		{Name: "id", Type: value.Int},
+		{Name: "category", Type: value.Str},
+		{Name: "attr", Type: value.Str},
+		{Name: "val", Type: value.Float},
+	}, []string{"id", "attr"})
+	attrs := []string{"price", "rating", "weight"}
+	for p := 0; p < n/2+4; p++ {
+		catName := fmt.Sprintf("cat%d", p%3)
+		for _, a := range attrs {
+			if rng.Intn(5) == 0 {
+				continue
+			}
+			prod.Rows = append(prod.Rows, value.Row{
+				value.NewInt(int64(p)),
+				value.NewStr(catName),
+				value.NewStr(a),
+				value.NewFloat(float64(rng.Intn(25))),
+			})
+		}
+	}
+	cat.Put(prod)
+	return cat
+}
+
+const skybandSQL = `
+	SELECT L.id, COUNT(*)
+	FROM Object L, Object R
+	WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y)
+	GROUP BY L.id
+	HAVING COUNT(*) <= 5`
+
+const basketSQL = `
+	SELECT i1.item, i2.item, COUNT(*)
+	FROM Basket i1, Basket i2
+	WHERE i1.bid = i2.bid AND i1.item < i2.item
+	GROUP BY i1.item, i2.item
+	HAVING COUNT(*) >= 4`
+
+const pairsSQL = `
+	WITH pair AS
+	  (SELECT s1.pid AS pid1, s2.pid AS pid2,
+	          AVG(s1.hits) AS hits1, AVG(s1.hruns) AS hruns1,
+	          AVG(s2.hits) AS hits2, AVG(s2.hruns) AS hruns2
+	   FROM Score s1, Score s2
+	   WHERE s1.teamid = s2.teamid AND s1.year = s2.year
+	     AND s1.round = s2.round AND s1.pid < s2.pid
+	   GROUP BY s1.pid, s2.pid
+	   HAVING COUNT(*) >= 3)
+	SELECT L.pid1, L.pid2, COUNT(*)
+	FROM pair L, pair R
+	WHERE R.hits1 >= L.hits1 AND R.hruns1 >= L.hruns1
+	  AND R.hits2 >= L.hits2 AND R.hruns2 >= L.hruns2
+	  AND (R.hits1 > L.hits1 OR R.hruns1 > L.hruns1
+	   OR R.hits2 > L.hits2 OR R.hruns2 > L.hruns2)
+	GROUP BY L.pid1, L.pid2
+	HAVING COUNT(*) <= 3`
+
+const complexSQL = `
+	SELECT S1.id, S1.attr, S2.attr, COUNT(*)
+	FROM Product S1, Product S2, Product T1, Product T2
+	WHERE S1.id = S2.id AND T1.id = T2.id
+	  AND S1.category = T1.category
+	  AND T1.attr = S1.attr AND T2.attr = S2.attr
+	  AND T1.val > S1.val AND T2.val > S2.val
+	GROUP BY S1.id, S1.attr, S2.attr
+	HAVING COUNT(*) >= 3`
+
+func canonical(rows []value.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			if v.K == value.Float {
+				parts[j] = fmt.Sprintf("%.6f", v.F)
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runBaseline(t testing.TB, cat *storage.Catalog, sql string) []value.Row {
+	t.Helper()
+	res, err := engine.Exec(cat, sql)
+	if err != nil {
+		t.Fatalf("baseline %v", err)
+	}
+	return res.Rows
+}
+
+func runOpt(t testing.TB, cat *storage.Catalog, sql string, opts Options) (*engine.Result, *Report) {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, report, err := Exec(cat, sel, opts)
+	if err != nil {
+		t.Fatalf("optimized exec: %v\nreport so far:\n%s", err, report.String())
+	}
+	return res, report
+}
+
+func assertSameRows(t testing.TB, name string, base []value.Row, opt []value.Row, report *Report) {
+	t.Helper()
+	bc, oc := canonical(base), canonical(opt)
+	if len(bc) != len(oc) {
+		t.Fatalf("%s: baseline %d rows, optimized %d rows\nbaseline: %v\noptimized: %v\nreport:\n%s",
+			name, len(bc), len(oc), sample(bc), sample(oc), report.String())
+	}
+	for i := range bc {
+		if bc[i] != oc[i] {
+			t.Fatalf("%s: row %d differs: baseline %q optimized %q\nreport:\n%s", name, i, bc[i], oc[i], report.String())
+		}
+	}
+}
+
+func sample(rows []string) []string {
+	if len(rows) > 8 {
+		return rows[:8]
+	}
+	return rows
+}
+
+// optionCombos enumerates all technique combinations.
+func optionCombos() map[string]Options {
+	out := map[string]Options{}
+	for a := 0; a < 2; a++ {
+		for p := 0; p < 2; p++ {
+			for m := 0; m < 2; m++ {
+				for ci := 0; ci < 2; ci++ {
+					if ci == 1 && p == 0 {
+						continue
+					}
+					name := fmt.Sprintf("apriori=%d,prune=%d,memo=%d,ci=%d", a, p, m, ci)
+					out[name] = Options{
+						Apriori: a == 1, Prune: p == 1, Memo: m == 1,
+						CacheIndex: ci == 1, UseIndexes: true,
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestDifferentialAllQueries runs every workload query under every
+// optimization combination and several random instances, and requires the
+// exact baseline result set each time.
+func TestDifferentialAllQueries(t *testing.T) {
+	queries := map[string]string{
+		"skyband": skybandSQL,
+		"basket":  basketSQL,
+		"pairs":   pairsSQL,
+		"complex": complexSQL,
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		cat := newTestCatalog(t, seed, 60)
+		for qname, sql := range queries {
+			base := runBaseline(t, cat, sql)
+			for oname, opts := range optionCombos() {
+				res, report := runOpt(t, cat, sql, opts)
+				assertSameRows(t, fmt.Sprintf("seed=%d %s %s", seed, qname, oname), base, res.Rows, report)
+			}
+		}
+	}
+}
+
+// TestSkybandUsesPruneAndMemo verifies the techniques actually fire on the
+// skyband query (anti-monotone Φ, G_L key, G_R empty).
+func TestSkybandUsesPruneAndMemo(t *testing.T) {
+	cat := newTestCatalog(t, 42, 200)
+	res, report := runOpt(t, cat, skybandSQL, AllOn())
+	if len(res.Rows) == 0 {
+		t.Fatalf("expected some skyband results")
+	}
+	stats := report.TotalStats()
+	if stats.PruneHits == 0 {
+		t.Errorf("expected prune hits, got stats %+v\n%s", stats, report.String())
+	}
+	if stats.MemoHits == 0 {
+		t.Errorf("expected memo hits (40x40 grid over 200 objects), got %+v", stats)
+	}
+	if stats.InnerEvals >= stats.Bindings {
+		t.Errorf("inner evals (%d) should be well below bindings (%d)", stats.InnerEvals, stats.Bindings)
+	}
+	blk := report.Blocks[len(report.Blocks)-1]
+	if !strings.Contains(blk.NLJP, "anti-monotone") {
+		t.Errorf("expected anti-monotone classification in NLJP description:\n%s", blk.NLJP)
+	}
+	if !strings.Contains(blk.NLJP, "pruning predicate") {
+		t.Errorf("expected a derived pruning predicate:\n%s", blk.NLJP)
+	}
+}
+
+// TestPairsUsesAprioriAndPrune checks the pairs query exercises a-priori on
+// the WITH block and NLJP on the outer block, as in the paper.
+func TestPairsUsesAprioriAndPrune(t *testing.T) {
+	cat := newTestCatalog(t, 7, 60)
+	_, report := runOpt(t, cat, pairsSQL, AllOn())
+	var cteBlk, mainBlk *BlockReport
+	for _, blk := range report.Blocks {
+		switch blk.Name {
+		case "pair":
+			cteBlk = blk
+		case "main":
+			mainBlk = blk
+		}
+	}
+	if cteBlk == nil || mainBlk == nil {
+		t.Fatalf("missing block reports:\n%s", report.String())
+	}
+	if len(cteBlk.Reducers) != 2 {
+		t.Errorf("expected 2 a-priori reducers on the pair block (s1 and s2), got %v", cteBlk.Reducers)
+	}
+	if mainBlk.NLJP == "" {
+		t.Errorf("expected NLJP on the outer pairs block:\n%s", report.String())
+	}
+}
+
+// TestComplexCombinesAprioriAndPrune reproduces Example 13: the four-way
+// self-join admits two reducers (on S1 and S2) and an NLJP plan over
+// T_L = {S1, S2} — the combination the paper's own prototype could not yet
+// apply (end of Section 7).
+func TestComplexCombinesAprioriAndPrune(t *testing.T) {
+	cat := newTestCatalog(t, 11, 80)
+	_, report := runOpt(t, cat, complexSQL, AllOn())
+	blk := report.Blocks[0]
+	if len(blk.Reducers) != 2 {
+		t.Errorf("expected 2 reducers (Example 13), got %v\nnotes: %v", blk.Reducers, blk.Notes)
+	}
+	targets := map[string]bool{}
+	for alias := range blk.ReducerSizes {
+		targets[strings.ToLower(alias)] = true
+	}
+	if !targets["s1"] || !targets["s2"] {
+		t.Errorf("expected reducers to target S1 and S2, got %v", blk.ReducerSizes)
+	}
+	if blk.NLJP == "" {
+		t.Fatalf("expected NLJP on complex query:\n%s", report.String())
+	}
+	if !strings.Contains(blk.NLJP, "outer {S1, S2}") {
+		t.Errorf("expected NLJP outer {S1, S2}:\n%s", blk.NLJP)
+	}
+	if !strings.Contains(blk.NLJP, "monotone") {
+		t.Errorf("expected monotone classification:\n%s", blk.NLJP)
+	}
+}
+
+// TestBasketApriori: the market basket query of Listing 1 admits a-priori on
+// both sides (Example 6) but no NLJP (𝔾_R nonempty on either split).
+func TestBasketApriori(t *testing.T) {
+	cat := newTestCatalog(t, 3, 120)
+	_, report := runOpt(t, cat, basketSQL, AllOn())
+	blk := report.Blocks[0]
+	if len(blk.Reducers) != 2 {
+		t.Errorf("expected 2 reducers (i1, i2), got %v", blk.Reducers)
+	}
+	for alias, sz := range blk.ReducerSizes {
+		if sz[1] > sz[0] {
+			t.Errorf("reducer on %s grew the table: %v", alias, sz)
+		}
+	}
+}
+
+// TestAntiMonotoneBasketNotReduced: flipping the basket HAVING to <= makes
+// a-priori unsafe (Example 6's second half: item does not determine bid).
+func TestAntiMonotoneBasketNotReduced(t *testing.T) {
+	cat := newTestCatalog(t, 3, 120)
+	sql := strings.Replace(basketSQL, ">= 4", "<= 4", 1)
+	base := runBaseline(t, cat, sql)
+	res, report := runOpt(t, cat, sql, AllOn())
+	assertSameRows(t, "anti-basket", base, res.Rows, report)
+	if len(report.Blocks[0].Reducers) != 0 {
+		t.Errorf("anti-monotone basket must not be reduced: %v", report.Blocks[0].Reducers)
+	}
+}
+
+// TestExample5Tightness encodes the two counterexamples of Example 5,
+// verifying that the schema checks block the unsafe rewrites and that the
+// optimized result still matches the baseline.
+func TestExample5Tightness(t *testing.T) {
+	// Monotone case: L(g,j), R(j,o,g) with duplicate (j,g) pairs in R.
+	cat := storage.NewCatalog()
+	l := storage.NewTable("L", []value.Column{
+		{Name: "g", Type: value.Str}, {Name: "j", Type: value.Int},
+	}, nil)
+	l.Rows = append(l.Rows, value.Row{value.NewStr("u"), value.NewInt(1)})
+	cat.Put(l)
+	r := storage.NewTable("R", []value.Column{
+		{Name: "j", Type: value.Int}, {Name: "o", Type: value.Str}, {Name: "g", Type: value.Str},
+	}, nil)
+	r.Rows = append(r.Rows,
+		value.Row{value.NewInt(1), value.NewStr("z1"), value.NewStr("v")},
+		value.Row{value.NewInt(1), value.NewStr("z2"), value.NewStr("v")})
+	cat.Put(r)
+
+	sql := `SELECT L.g, R.g, COUNT(*) FROM L, R WHERE L.j = R.j
+	        GROUP BY L.g, R.g HAVING COUNT(*) >= 2`
+	base := runBaseline(t, cat, sql)
+	if len(base) != 1 {
+		t.Fatalf("expected the (u,v) group to survive, got %v", base)
+	}
+	res, report := runOpt(t, cat, sql, AllOn())
+	assertSameRows(t, "example5-monotone", base, res.Rows, report)
+	if len(report.Blocks[0].Reducers) != 0 {
+		t.Errorf("inflationary query must not be reduced: %v", report.Blocks[0].Reducers)
+	}
+
+	// Anti-monotone case: two L tuples in one group, only one joins.
+	cat2 := storage.NewCatalog()
+	l2 := storage.NewTable("L", []value.Column{
+		{Name: "g", Type: value.Str}, {Name: "j", Type: value.Int},
+	}, nil)
+	l2.Rows = append(l2.Rows,
+		value.Row{value.NewStr("u"), value.NewInt(1)},
+		value.Row{value.NewStr("u"), value.NewInt(2)})
+	cat2.Put(l2)
+	r2 := storage.NewTable("R", []value.Column{
+		{Name: "j", Type: value.Int}, {Name: "g", Type: value.Str},
+	}, nil)
+	r2.Rows = append(r2.Rows, value.Row{value.NewInt(1), value.NewStr("v")})
+	cat2.Put(r2)
+
+	sql2 := `SELECT L.g, R.g, COUNT(*) FROM L, R WHERE L.j = R.j
+	         GROUP BY L.g, R.g HAVING COUNT(*) <= 1`
+	base2 := runBaseline(t, cat2, sql2)
+	if len(base2) != 1 {
+		t.Fatalf("expected the (u,v) group to survive, got %v", base2)
+	}
+	res2, report2 := runOpt(t, cat2, sql2, AllOn())
+	assertSameRows(t, "example5-anti", base2, res2.Rows, report2)
+	if len(report2.Blocks[0].Reducers) != 0 {
+		t.Errorf("deflationary query must not be reduced: %v", report2.Blocks[0].Reducers)
+	}
+}
+
+// TestHavingClassification exercises the corrected Table 2.
+func TestHavingClassification(t *testing.T) {
+	pos := func(c *sqlparser.ColRef) bool { return strings.EqualFold(c.Name, "p") }
+	cases := []struct {
+		having string
+		want   Monotonicity
+	}{
+		{"COUNT(*) >= 3", Monotone},
+		{"COUNT(*) > 3", Monotone},
+		{"COUNT(*) <= 3", AntiMonotone},
+		{"COUNT(a) >= 3", Monotone},
+		{"COUNT(DISTINCT a) >= 3", Monotone},
+		{"COUNT(DISTINCT a) <= 3", AntiMonotone},
+		{"SUM(p) >= 3", Monotone},
+		{"SUM(p) <= 3", AntiMonotone},
+		{"SUM(q) >= 3", Neither}, // q not known positive
+		{"MAX(a) >= 3", Monotone},
+		{"MAX(a) <= 3", AntiMonotone},
+		{"MIN(a) <= 3", Monotone},     // per Definition 1
+		{"MIN(a) >= 3", AntiMonotone}, // per Definition 1
+		{"AVG(a) >= 3", Neither},
+		{"COUNT(*) = 3", Neither},
+		{"COUNT(*) >= 3 AND MAX(a) >= 1", Monotone},
+		{"COUNT(*) >= 3 AND COUNT(*) <= 9", Neither},
+		{"3 <= COUNT(*)", Monotone},
+		{"3 >= COUNT(*)", AntiMonotone},
+	}
+	for _, tc := range cases {
+		sel, err := sqlparser.ParseSelect("SELECT COUNT(*) FROM t GROUP BY a HAVING " + tc.having)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.having, err)
+		}
+		got := ClassifyHaving(sel.Having, pos)
+		if got != tc.want {
+			t.Errorf("ClassifyHaving(%q) = %v, want %v", tc.having, got, tc.want)
+		}
+	}
+}
+
+// TestDescribe exercises the non-executing plan description.
+func TestDescribe(t *testing.T) {
+	cat := newTestCatalog(t, 5, 40)
+	sel, err := sqlparser.ParseSelect(skybandSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := Describe(cat, sel, AllOn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"NLJP", "pruning predicate", "anti-monotone"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package iceberg
+
+import (
+	"strings"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/value"
+)
+
+// InstanceChecks evaluates the instance-based safety conditions of
+// Definition 3 / Theorem 1 for the split L = Q⋈[T] (aliases in outer),
+// R = Q⋈[rest], over the current database instance: whether the query is
+// non-inflationary and non-deflationary with respect to L.
+//
+// These checks require joining L and R and are therefore not used by the
+// optimizer itself (it relies on the schema-based Theorem 2); they exist as
+// a reference implementation — the test suite verifies that whenever the
+// schema-based check passes, the instance-based one holds on random
+// instances, which is exactly the containment Theorem 2 claims.
+type InstanceChecks struct {
+	NonInflationary bool
+	NonDeflationary bool
+	// CandidateGroups is the number of candidate LR-groups inspected.
+	CandidateGroups int
+}
+
+// CheckInstance runs the Definition 3 checks for a parsed single-block
+// query against a catalog. outer lists the aliases forming L.
+func CheckInstance(cat *storage.Catalog, sel *sqlparser.Select, outer []string, env engine.Env) (*InstanceChecks, error) {
+	b, err := analyzeBlock(cat, sel, env)
+	if err != nil {
+		return nil, err
+	}
+	outerSet := map[string]bool{}
+	for _, a := range outer {
+		outerSet[strings.ToLower(a)] = true
+	}
+	var T, rest []*item
+	for _, it := range b.items {
+		if outerSet[strings.ToLower(it.alias)] {
+			T = append(T, it)
+		} else {
+			rest = append(rest, it)
+		}
+	}
+	within, crossing, withinR := b.partitionConjuncts(aliasSet(T))
+
+	planner := &engine.Planner{Catalog: cat, UseIndexes: true}
+	materialize := func(items []*item, where []sqlparser.Expr) ([]value.Row, value.Schema, error) {
+		q := &sqlparser.Select{}
+		var schema value.Schema
+		for _, it := range items {
+			q.From = append(q.From, &sqlparser.TableRef{Name: it.ref.Name, Alias: it.alias})
+			for i, col := range it.schema {
+				q.Items = append(q.Items, sqlparser.SelectItem{
+					Expr:  &sqlparser.ColRef{Qualifier: col.Qualifier, Name: col.Name},
+					Alias: "c" + itoa(len(schema)+i),
+				})
+			}
+			schema = append(schema, it.schema...)
+		}
+		q.Where = engine.AndAll(where)
+		op, err := planner.PlanSelect(q, b.env)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows, err := engine.Run(op)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rows, schema, nil
+	}
+
+	lRows, lSchema, err := materialize(T, within)
+	if err != nil {
+		return nil, err
+	}
+	rRows, rSchema, err := materialize(rest, withinR)
+	if err != nil {
+		return nil, err
+	}
+	concat := lSchema.Concat(rSchema)
+	theta, err := compileExpr(engine.AndAll(crossing), concat)
+	if err != nil {
+		return nil, err
+	}
+
+	// Column positions for 𝔾_L (in L) and 𝔾_R (in R).
+	var gLIdx, gRIdx []int
+	for _, g := range b.groupBy {
+		if i := lSchema.IndexOf(g.Qualifier, g.Name); i >= 0 {
+			gLIdx = append(gLIdx, i)
+			continue
+		}
+		i := rSchema.IndexOf(g.Qualifier, g.Name)
+		if i < 0 {
+			return nil, errGroupNotFound(g)
+		}
+		gRIdx = append(gRIdx, i)
+	}
+
+	// For each L-tuple occurrence: the count of joining R-tuples per 𝔾_R
+	// value. Non-inflationary: every count <= 1. Non-deflationary: for
+	// every candidate group (u, v) and every ℓ in L-group u, count >= 1.
+	type lrkey struct{ u, v string }
+	groupSeen := map[lrkey]bool{}
+	lGroups := map[string][]int{} // u -> L row indices
+	counts := make([]map[string]int, len(lRows))
+
+	scratch := make(value.Row, len(concat))
+	for li, lr := range lRows {
+		copy(scratch, lr)
+		counts[li] = map[string]int{}
+		u := keyAt(lr, gLIdx)
+		lGroups[u] = append(lGroups[u], li)
+		for _, rr := range rRows {
+			copy(scratch[len(lr):], rr)
+			v, err := theta(scratch)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.Bool() {
+				continue
+			}
+			vk := keyAt(rr, gRIdx)
+			counts[li][vk]++
+			groupSeen[lrkey{u: u, v: vk}] = true
+		}
+	}
+
+	checks := &InstanceChecks{NonInflationary: true, NonDeflationary: true, CandidateGroups: len(groupSeen)}
+	for li := range lRows {
+		for _, c := range counts[li] {
+			if c > 1 {
+				checks.NonInflationary = false
+			}
+		}
+	}
+	for g := range groupSeen {
+		for _, li := range lGroups[g.u] {
+			if counts[li][g.v] == 0 {
+				checks.NonDeflationary = false
+			}
+		}
+	}
+	return checks, nil
+}
+
+func keyAt(r value.Row, idx []int) string {
+	vals := make([]value.Value, len(idx))
+	for i, j := range idx {
+		vals[i] = r[j]
+	}
+	return value.Key(vals)
+}
+
+func compileExpr(e sqlparser.Expr, schema value.Schema) (expr.Compiled, error) {
+	if e == nil {
+		return func(value.Row) (value.Value, error) { return value.NewBool(true), nil }, nil
+	}
+	return expr.Compile(e, schema, nil)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+type groupNotFound struct{ g *sqlparser.ColRef }
+
+func errGroupNotFound(g *sqlparser.ColRef) error { return &groupNotFound{g: g} }
+
+func (e *groupNotFound) Error() string {
+	return "grouping column " + e.g.String() + " not found on either side of the split"
+}

@@ -1,0 +1,284 @@
+package iceberg
+
+import (
+	"fmt"
+	"strings"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/value"
+)
+
+// RewriteMemo applies memoization through static query rewriting — the
+// Listing 8 transformation of Appendix C. Unlike the NLJP-based
+// memoization, it does not require 𝔾_R = ∅: the inner-query results are
+// cached per (𝕁_L, 𝔾_R) group inside a derived table.
+//
+// The rewritten query has the shape
+//
+//	WITH __ljt AS (SELECT DISTINCT 𝕁_L FROM L),
+//	     __ljr AS (SELECT 𝕁_L, 𝔾_R, fⁱ(E)... FROM __ljt, R WHERE Θ
+//	               GROUP BY 𝕁_L, 𝔾_R [HAVING Φ when 𝔾_L→𝔸_L])
+//	SELECT 𝔾_L, 𝔾_R, Λ over f°(...)
+//	FROM L, __ljr WHERE 𝕁_L = __ljr.𝕁_L
+//	[GROUP BY 𝔾_L, 𝔾_R HAVING Φ over f°(...) when 𝔾_L not a key]
+//
+// It returns (nil, reason, nil) when the Appendix C applicability
+// conditions fail: Φ applicable to R, all Λ aggregates over R (or *), all
+// aggregates algebraic unless 𝔾_L → 𝔸_L, and 𝕁_L not a key of L (a key
+// would make every binding distinct and the cache useless).
+func RewriteMemo(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env) (*sqlparser.Select, string, error) {
+	body := *sel
+	body.With = nil
+	b, err := analyzeBlock(cat, &body, env)
+	if err != nil {
+		return nil, "block not analyzable: " + err.Error(), nil
+	}
+	if b.groupBy == nil || len(b.groupBy) == 0 {
+		return nil, "no grouping column list", nil
+	}
+
+	// Choose the outer set T: the items owning grouping attributes; when
+	// that covers everything, fall back to the single item owning the first
+	// grouping attribute (the market-basket case: GROUP BY i1.item, i2.item).
+	owner := map[string]bool{}
+	for _, g := range b.groupBy {
+		owner[strings.ToLower(g.Qualifier)] = true
+	}
+	var T, rest []*item
+	if len(owner) < len(b.items) {
+		for _, it := range b.items {
+			if owner[strings.ToLower(it.alias)] {
+				T = append(T, it)
+			} else {
+				rest = append(rest, it)
+			}
+		}
+	} else {
+		first := strings.ToLower(b.groupBy[0].Qualifier)
+		for _, it := range b.items {
+			if strings.ToLower(it.alias) == first {
+				T = append(T, it)
+			} else {
+				rest = append(rest, it)
+			}
+		}
+	}
+	if len(T) == 0 || len(rest) == 0 {
+		return nil, "no usable outer/inner split", nil
+	}
+	tSet, restSet := aliasSet(T), aliasSet(rest)
+
+	var phiR sqlparser.Expr
+	if b.having != nil {
+		p, ok := b.havingApplicableTo(restSet)
+		if !ok {
+			return nil, "HAVING not applicable to the inner side", nil
+		}
+		phiR = p
+	}
+
+	// Collect and validate aggregates.
+	aggSeen := map[string]*sqlparser.FuncCall{}
+	var aggCalls []*sqlparser.FuncCall
+	for _, it := range b.items_ {
+		if it.Star {
+			return nil, "SELECT * not supported", nil
+		}
+		engine.CollectAggregates(it.Expr, aggSeen, &aggCalls)
+	}
+	engine.CollectAggregates(b.having, aggSeen, &aggCalls)
+	remapped := make([]*sqlparser.FuncCall, len(aggCalls))
+	for i, call := range aggCalls {
+		re, ok := b.remapExprInto(call, restSet)
+		if !ok {
+			return nil, "aggregate " + call.String() + " not computable over the inner side", nil
+		}
+		remapped[i] = re.(*sqlparser.FuncCall)
+	}
+
+	within, crossing, withinR := b.partitionConjuncts(tSet)
+	if len(crossing) == 0 {
+		return nil, "no join condition between the sides", nil
+	}
+
+	var gL, gR []*sqlparser.ColRef
+	for _, g := range b.groupBy {
+		if tSet[strings.ToLower(g.Qualifier)] {
+			gL = append(gL, g)
+		} else {
+			gR = append(gR, g)
+		}
+	}
+	var jL []*sqlparser.ColRef
+	seenJ := map[string]bool{}
+	for _, c := range crossing {
+		for _, ref := range engine.ColumnsOf(c) {
+			if tSet[strings.ToLower(ref.Qualifier)] && !seenJ[colAttr(ref)] {
+				seenJ[colAttr(ref)] = true
+				jL = append(jL, ref)
+			}
+		}
+	}
+	if len(jL) == 0 {
+		return nil, "join condition references no outer columns", nil
+	}
+
+	lFDs := b.fdSetFor(T)
+	var gAttrs, jAttrs []string
+	for _, g := range gL {
+		gAttrs = append(gAttrs, colAttr(g))
+	}
+	for _, j := range jL {
+		jAttrs = append(jAttrs, colAttr(j))
+	}
+	// With 𝔾_L → 𝔸_L every LR-group receives contribution from a single
+	// L-tuple (Lemma 1), so Φ and the full aggregates can be evaluated per
+	// (𝕁_L, 𝔾_R) group inside __ljr — even when 𝔾_R is nonempty.
+	glIsKey := allUnique(T) && lFDs.Implies(gAttrs, attrsOf(T))
+	if allUnique(T) && lFDs.Implies(jAttrs, attrsOf(T)) {
+		return nil, "J_L is a key of L: bindings never repeat", nil
+	}
+	for _, call := range aggCalls {
+		if call.Distinct && !glIsKey {
+			return nil, "non-algebraic aggregate " + call.String() + " with non-key G_L", nil
+		}
+	}
+
+	// ---- assemble the rewritten query ---------------------------------
+	const (
+		ljtName  = "__ljt"
+		ljrName  = "__ljr"
+		memAlias = "__m"
+	)
+
+	// __ljt: SELECT DISTINCT J_L FROM T WHERE within.
+	ljt := &sqlparser.Select{Distinct: true}
+	for _, it := range T {
+		ljt.From = append(ljt.From, &sqlparser.TableRef{Name: it.ref.Name, Alias: it.alias})
+	}
+	ljt.Where = engine.AndAll(within)
+	for i, c := range jL {
+		ljt.Items = append(ljt.Items, sqlparser.SelectItem{Expr: c, Alias: fmt.Sprintf("j%d", i)})
+	}
+
+	// __ljr: join __ljt (aliased t) with the inner items under Θ, group by
+	// (J_L, G_R), compute fⁱ partials (or full aggregates when glIsKey).
+	ljr := &sqlparser.Select{}
+	ljr.From = append(ljr.From, &sqlparser.TableRef{Name: ljtName, Alias: "t"})
+	for _, it := range rest {
+		ljr.From = append(ljr.From, &sqlparser.TableRef{Name: it.ref.Name, Alias: it.alias})
+	}
+	// Θ with outer columns redirected to t.j<i>.
+	jRepl := map[string]sqlparser.Expr{}
+	for i, c := range jL {
+		jRepl[c.String()] = &sqlparser.ColRef{Qualifier: "t", Name: fmt.Sprintf("j%d", i)}
+	}
+	var theta []sqlparser.Expr
+	for _, c := range crossing {
+		theta = append(theta, engine.ReplaceExprs(c, jRepl))
+	}
+	theta = append(theta, withinR...)
+	ljr.Where = engine.AndAll(theta)
+	for i := range jL {
+		col := &sqlparser.ColRef{Qualifier: "t", Name: fmt.Sprintf("j%d", i)}
+		ljr.Items = append(ljr.Items, sqlparser.SelectItem{Expr: col, Alias: fmt.Sprintf("j%d", i)})
+		ljr.GroupBy = append(ljr.GroupBy, col)
+	}
+	for i, g := range gR {
+		ljr.Items = append(ljr.Items, sqlparser.SelectItem{Expr: g, Alias: fmt.Sprintf("g%d", i)})
+		ljr.GroupBy = append(ljr.GroupBy, g)
+	}
+	// Aggregate partials. finalRepl maps original aggregate calls to the
+	// outer expression over __ljr columns.
+	finalRepl := map[string]sqlparser.Expr{}
+	memCol := func(name string) *sqlparser.ColRef {
+		return &sqlparser.ColRef{Qualifier: memAlias, Name: name}
+	}
+	for i, call := range aggCalls {
+		inner := remapped[i] // the call with arguments resolved over R
+		base := fmt.Sprintf("a%d", i)
+		if glIsKey {
+			ljr.Items = append(ljr.Items, sqlparser.SelectItem{Expr: inner, Alias: base})
+			finalRepl[call.String()] = memCol(base)
+			continue
+		}
+		switch call.Name {
+		case "COUNT":
+			ljr.Items = append(ljr.Items, sqlparser.SelectItem{Expr: inner, Alias: base})
+			finalRepl[call.String()] = &sqlparser.FuncCall{Name: "SUM", Args: []sqlparser.Expr{memCol(base)}}
+		case "SUM", "MIN", "MAX":
+			ljr.Items = append(ljr.Items, sqlparser.SelectItem{Expr: inner, Alias: base})
+			finalRepl[call.String()] = &sqlparser.FuncCall{Name: call.Name, Args: []sqlparser.Expr{memCol(base)}}
+		case "AVG":
+			sum := &sqlparser.FuncCall{Name: "SUM", Args: inner.Args}
+			cnt := &sqlparser.FuncCall{Name: "COUNT", Args: inner.Args}
+			ljr.Items = append(ljr.Items,
+				sqlparser.SelectItem{Expr: sum, Alias: base + "s"},
+				sqlparser.SelectItem{Expr: cnt, Alias: base + "c"})
+			// Multiply by 1.0 to force float division (both sums may be
+			// integers, and SQL integer division truncates).
+			finalRepl[call.String()] = &sqlparser.BinOp{
+				Op: sqlparser.OpDiv,
+				L: &sqlparser.BinOp{Op: sqlparser.OpMul,
+					L: &sqlparser.FuncCall{Name: "SUM", Args: []sqlparser.Expr{memCol(base + "s")}},
+					R: &sqlparser.Lit{Val: value.NewFloat(1)}},
+				R: &sqlparser.FuncCall{Name: "SUM", Args: []sqlparser.Expr{memCol(base + "c")}},
+			}
+		default:
+			return nil, "unsupported aggregate " + call.Name, nil
+		}
+	}
+	if glIsKey && phiR != nil {
+		// Φ can be applied inside __ljr: each (J_L, G_R) group corresponds
+		// to exactly one LR-group (Lemma 1). phiR has its column references
+		// resolved over R.
+		ljr.Having = phiR
+	}
+
+	// Final query: L joined with __ljr on the binding columns.
+	final := &sqlparser.Select{}
+	final.With = append(final.With, sel.With...)
+	final.With = append(final.With, sqlparser.CTE{Name: ljtName, Query: ljt}, sqlparser.CTE{Name: ljrName, Query: ljr})
+	for _, it := range T {
+		final.From = append(final.From, &sqlparser.TableRef{Name: it.ref.Name, Alias: it.alias})
+	}
+	final.From = append(final.From, &sqlparser.TableRef{Name: ljrName, Alias: memAlias})
+	conj := append([]sqlparser.Expr(nil), within...)
+	for i, c := range jL {
+		conj = append(conj, &sqlparser.BinOp{Op: sqlparser.OpEq, L: c, R: memCol(fmt.Sprintf("j%d", i))})
+	}
+	final.Where = engine.AndAll(conj)
+
+	// Rewrite references to inner grouping columns into __ljr outputs.
+	for i, g := range gR {
+		finalRepl[g.String()] = memCol(fmt.Sprintf("g%d", i))
+	}
+	for _, it := range b.items_ {
+		final.Items = append(final.Items, sqlparser.SelectItem{
+			Expr:  engine.ReplaceExprs(it.Expr, finalRepl),
+			Alias: it.Alias,
+		})
+	}
+	if !glIsKey {
+		for _, g := range gL {
+			final.GroupBy = append(final.GroupBy, g)
+		}
+		for i := range gR {
+			final.GroupBy = append(final.GroupBy, memCol(fmt.Sprintf("g%d", i)))
+		}
+		if b.having != nil {
+			final.Having = engine.ReplaceExprs(b.having, finalRepl)
+		}
+	}
+	for _, o := range sel.OrderBy {
+		final.OrderBy = append(final.OrderBy, sqlparser.OrderItem{
+			Expr: engine.ReplaceExprs(o.Expr, finalRepl),
+			Desc: o.Desc,
+		})
+	}
+	final.Limit = sel.Limit
+	final.Distinct = sel.Distinct
+	return final, "", nil
+}

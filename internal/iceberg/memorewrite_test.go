@@ -1,0 +1,148 @@
+package iceberg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/sqlparser"
+)
+
+// listing1SQL is the paper's original market-basket query (Listing 1) —
+// note: no item-ordering condition, so 𝕁_L = {bid} alone and memoization by
+// static rewrite applies (𝔾_R = {i2.item} ≠ ∅, beyond what NLJP handles).
+const listing1SQL = `
+	SELECT i1.item, i2.item, COUNT(*)
+	FROM Basket i1, Basket i2
+	WHERE i1.bid = i2.bid
+	GROUP BY i1.item, i2.item
+	HAVING COUNT(*) >= 4`
+
+func TestMemoRewriteListing1(t *testing.T) {
+	cat := newTestCatalog(t, 2, 80)
+	sel, err := sqlparser.ParseSelect(listing1SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, reason, err := RewriteMemo(cat, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rewritten == nil {
+		t.Fatalf("rewrite should apply to Listing 1: %s", reason)
+	}
+	if len(rewritten.With) != 2 {
+		t.Fatalf("expected __ljt and __ljr CTEs, got %d", len(rewritten.With))
+	}
+	base := runBaseline(t, cat, listing1SQL)
+	p := engine.NewPlanner(cat)
+	op, err := p.PlanSelect(rewritten, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := engine.Run(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := canonical(rows), canonical(base)
+	if len(got) != len(want) {
+		t.Fatalf("rewrite returned %d rows, baseline %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMemoRewriteViaOptions: with only Memo enabled, the basket query of
+// Listing 1 must route through the static rewrite (NLJP requires 𝔾_R = ∅)
+// and still match the baseline.
+func TestMemoRewriteViaOptions(t *testing.T) {
+	cat := newTestCatalog(t, 2, 80)
+	base := runBaseline(t, cat, listing1SQL)
+	res, report := runOpt(t, cat, listing1SQL, Options{Memo: true, UseIndexes: true})
+	assertSameRows(t, "listing1 memo", base, res.Rows, report)
+	found := false
+	for _, n := range report.Blocks[0].Notes {
+		if strings.Contains(n, "static rewrite") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected the static-rewrite note, got %v", report.Blocks[0].Notes)
+	}
+}
+
+// TestMemoRewriteSkipsUniqueBindings: adding the item-ordering condition
+// puts i1.item into 𝕁_L, making the binding a key of Basket; the rewrite
+// must decline.
+func TestMemoRewriteSkipsUniqueBindings(t *testing.T) {
+	cat := newTestCatalog(t, 2, 80)
+	sel, err := sqlparser.ParseSelect(basketSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, reason, err := RewriteMemo(cat, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rewritten != nil {
+		t.Fatalf("rewrite should decline when J_L is a key, got a rewrite")
+	}
+	if !strings.Contains(reason, "key") {
+		t.Errorf("reason should mention the key condition: %q", reason)
+	}
+}
+
+// TestMemoRewriteRandomDifferential fuzzes the static rewrite: whenever it
+// applies to a random query, the rewritten SQL must return the baseline
+// result on the same instance.
+func TestMemoRewriteRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	applied := 0
+	iterations := 300
+	if testing.Short() {
+		iterations = 80
+	}
+	for iter := 0; iter < iterations; iter++ {
+		cat := randomCatalog(rng, rng.Intn(3) > 0, rng.Intn(3) > 0)
+		sql := randomIcebergQuery(rng)
+		sel, err := sqlparser.ParseSelect(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rewritten, _, err := RewriteMemo(cat, sel, nil)
+		if err != nil {
+			t.Fatalf("iter %d %q: %v", iter, sql, err)
+		}
+		if rewritten == nil {
+			continue
+		}
+		applied++
+		base := runBaseline(t, cat, sql)
+		p := engine.NewPlanner(cat)
+		op, err := p.PlanSelect(rewritten, nil)
+		if err != nil {
+			t.Fatalf("iter %d %q: planning rewrite: %v", iter, sql, err)
+		}
+		rows, err := engine.Run(op)
+		if err != nil {
+			t.Fatalf("iter %d %q: running rewrite: %v", iter, sql, err)
+		}
+		got, want := canonical(rows), canonical(base)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d %q: rewrite %d rows vs baseline %d", iter, sql, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d %q: row %d: %q vs %q", iter, sql, i, want[i], got[i])
+			}
+		}
+	}
+	if applied < 10 {
+		t.Errorf("rewrite applied to only %d random queries; generator too narrow?", applied)
+	}
+	t.Logf("static memo rewrite verified on %d random queries", applied)
+}

@@ -1,0 +1,729 @@
+package iceberg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// NLJP is a constructed Nested-Loop Join with Pruning plan (Section 7).
+// It is specified, exactly as in the paper, by four queries:
+//
+//	Q_B   — the binding query over the outer relation L (bindingOp)
+//	Q_R(b)— the parameterized inner query over R (prober + residual + aggs)
+//	Q_C(b)— the pruning query over the cache (pred, evaluated by the cache)
+//	Q_P   — the post-processing query (having + output projection)
+type NLJP struct {
+	// Construction-time description, for Explain and the Report.
+	OuterAliases []string
+	InnerAliases []string
+	JCols        []*sqlparser.ColRef
+	GCols        []*sqlparser.ColRef
+	ClassΦ       Monotonicity
+	GLIsKey      bool
+	Pred         *PrunePredicate // nil when pruning is off or unavailable
+	Memo         bool
+	CacheIndexed bool
+	Notes        []string
+
+	bindingOp     engine.Operator
+	bindingSchema value.Schema
+	jIdx, gIdx    []int
+
+	innerRows   []value.Row
+	innerSchema value.Schema
+	prober      engine.Prober
+	residual    expr.Compiled // over bindingSchema ++ innerSchema, may be nil
+
+	aggs    []*expr.Aggregate // compiled over innerSchema
+	havingC expr.Compiled     // over [G_L cols ++ agg slots]
+	lamC    []expr.Compiled   // over the same layout
+	outCols value.Schema
+
+	bindingOrder string
+	cacheLimit   int
+
+	stats CacheStats
+}
+
+// Stats returns the cache statistics of the last Run.
+func (n *NLJP) Stats() CacheStats { return n.stats }
+
+// Describe renders the NLJP configuration like an EXPLAIN block.
+func (n *NLJP) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NLJP (outer {%s}, inner {%s})\n", strings.Join(n.OuterAliases, ", "), strings.Join(n.InnerAliases, ", "))
+	fmt.Fprintf(&b, "  HAVING class: %s; G_L superkey of L: %v\n", n.ClassΦ, n.GLIsKey)
+	fmt.Fprintf(&b, "  memoization: %v; pruning: %v; cache index: %v\n", n.Memo, n.Pred != nil, n.CacheIndexed)
+	if n.Pred != nil {
+		fmt.Fprintf(&b, "  pruning predicate p⪰(w,w') = %s\n", n.Pred.String())
+		fmt.Fprintf(&b, "  cache index hints: %s\n", n.Pred.describeHints(n.JCols))
+	}
+	fmt.Fprintf(&b, "  Q_B:\n%s", indent(engine.Explain(n.bindingOp), "    "))
+	fmt.Fprintf(&b, "  Q_R probe: %s (%d inner rows)\n", n.prober.Describe(), len(n.innerRows))
+	for _, note := range n.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", note)
+	}
+	return b.String()
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// buildNLJP implements pick_memprune of Appendix D for the minimal outer set
+// that covers the GROUP BY attributes. It returns nil (no error) when the
+// memoization/pruning techniques do not apply to this block.
+func buildNLJP(b *block, overrides map[string]*engine.MaterializedRel, opts Options) (*NLJP, error) {
+	if b.having == nil || b.groupBy == nil || len(b.groupBy) == 0 || len(b.items) < 2 {
+		return nil, nil
+	}
+	// T_L: minimal item set covering 𝔾; everything else is the inner R.
+	outerSet := map[string]bool{}
+	for _, g := range b.groupBy {
+		outerSet[strings.ToLower(g.Qualifier)] = true
+	}
+	var T, rest []*item
+	for _, it := range b.items {
+		if outerSet[strings.ToLower(it.alias)] {
+			T = append(T, it)
+		} else {
+			rest = append(rest, it)
+		}
+	}
+	if len(rest) == 0 {
+		return nil, nil // the grouping attributes span every relation
+	}
+	tSet, restSet := aliasSet(T), aliasSet(rest)
+
+	// Φ must be applicable to R (Section 5.1).
+	if _, ok := b.havingApplicableTo(restSet); !ok {
+		return nil, nil
+	}
+	// Λ aggregates must be computable over R (Section 6).
+	aggSeen := map[string]*sqlparser.FuncCall{}
+	var aggCalls []*sqlparser.FuncCall
+	for _, it := range b.items_ {
+		if it.Star {
+			return nil, nil
+		}
+		engine.CollectAggregates(it.Expr, aggSeen, &aggCalls)
+	}
+	engine.CollectAggregates(b.having, aggSeen, &aggCalls)
+	var remappedAggs []*sqlparser.FuncCall
+	for _, call := range aggCalls {
+		re, ok := b.remapExprInto(call, restSet)
+		if !ok {
+			return nil, nil
+		}
+		remappedAggs = append(remappedAggs, re.(*sqlparser.FuncCall))
+	}
+	// Non-aggregate output expressions must only use grouping columns; that
+	// is enforced later when Λ compiles over the [𝔾_L ++ aggs] layout.
+
+	within, crossing, withinR := b.partitionConjuncts(tSet)
+	if len(crossing) == 0 {
+		return nil, nil // cross product; nothing to prune or memoize on
+	}
+
+	// 𝕁_L and 𝕁_R: columns referenced by Θ on each side.
+	var jL, jR []*sqlparser.ColRef
+	seenJ := map[string]bool{}
+	for _, c := range crossing {
+		for _, ref := range engine.ColumnsOf(c) {
+			key := colAttr(ref)
+			if seenJ[key] {
+				continue
+			}
+			seenJ[key] = true
+			if tSet[strings.ToLower(ref.Qualifier)] {
+				jL = append(jL, ref)
+			} else {
+				jR = append(jR, ref)
+			}
+		}
+	}
+
+	lFDs := b.fdSetFor(T)
+	var gAttrs, jAttrs []string
+	for _, g := range b.groupBy {
+		gAttrs = append(gAttrs, colAttr(g))
+	}
+	for _, j := range jL {
+		jAttrs = append(jAttrs, colAttr(j))
+	}
+	// Key checks require duplicate-free inputs for functional determination
+	// to imply tuple identity (Theorem 3's "𝔾_L is a superkey of L").
+	glIsKey := allUnique(T) && lFDs.Implies(gAttrs, attrsOf(T))
+	jlIsKey := allUnique(T) && lFDs.Implies(jAttrs, attrsOf(T))
+
+	class := ClassifyHaving(b.having, b.positiveFunc())
+
+	n := &NLJP{
+		JCols:   jL,
+		GCols:   b.groupBy,
+		ClassΦ:  class,
+		GLIsKey: glIsKey,
+	}
+	for _, it := range T {
+		n.OuterAliases = append(n.OuterAliases, it.alias)
+	}
+	for _, it := range rest {
+		n.InnerAliases = append(n.InnerAliases, it.alias)
+	}
+
+	// Aggregate algebraic requirement (Section 6 / Appendix C): when 𝔾_L is
+	// not a key of L, per-binding partials must be combined with f°.
+	allAlgebraic := true
+	for _, call := range remappedAggs {
+		if call.Distinct {
+			allAlgebraic = false
+		}
+	}
+	if !glIsKey && !allAlgebraic {
+		n.Notes = append(n.Notes, "NLJP rejected: non-algebraic aggregates with non-key G_L")
+		return nil, nil
+	}
+
+	// Memoization conditions (Section 6).
+	n.Memo = opts.Memo
+	if n.Memo && jlIsKey {
+		n.Memo = false
+		n.Notes = append(n.Notes, "memoization disabled: J_L is a key of L (bindings never repeat)")
+	}
+	if n.Memo && !glIsKey && !allAlgebraic {
+		n.Memo = false
+	}
+
+	// Pruning conditions (Theorem 3): Φ applicable to R (checked), 𝔾_L a
+	// superkey of L, and for the anti-monotone case 𝔾_R = ∅ (holds by
+	// construction of T_L).
+	if opts.Prune && glIsKey && class != Neither {
+		pred, err := DerivePrune(b, jL, jR, crossing, class)
+		if err != nil {
+			n.Notes = append(n.Notes, "pruning unavailable: "+err.Error())
+		} else {
+			n.Pred = pred
+		}
+	} else if opts.Prune {
+		switch {
+		case !glIsKey:
+			n.Notes = append(n.Notes, "pruning unavailable: G_L is not a superkey of L")
+		case class == Neither:
+			n.Notes = append(n.Notes, "pruning unavailable: HAVING is neither monotone nor anti-monotone")
+		}
+	}
+	if !n.Memo && n.Pred == nil {
+		return nil, nil
+	}
+	n.CacheIndexed = opts.CacheIndex && n.Pred != nil
+	n.bindingOrder = opts.BindingOrder
+	n.cacheLimit = opts.CacheLimit
+
+	planner := &engine.Planner{Catalog: b.cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides}
+
+	// --- Q_B: binding query over L ------------------------------------
+	needL := append([]*sqlparser.ColRef(nil), jL...)
+	seenL := map[string]bool{}
+	for _, c := range jL {
+		seenL[colAttr(c)] = true
+	}
+	for _, g := range b.groupBy {
+		if !seenL[colAttr(g)] {
+			seenL[colAttr(g)] = true
+			needL = append(needL, g)
+		}
+	}
+	bindingSel := &sqlparser.Select{}
+	for _, it := range T {
+		bindingSel.From = append(bindingSel.From, &sqlparser.TableRef{Name: it.ref.Name, Alias: it.alias})
+	}
+	bindingSel.Where = engine.AndAll(within)
+	for i, c := range needL {
+		bindingSel.Items = append(bindingSel.Items, sqlparser.SelectItem{Expr: c, Alias: fmt.Sprintf("b%d", i)})
+	}
+	bindingOp, err := planner.PlanSelect(bindingSel, b.env)
+	if err != nil {
+		return nil, fmt.Errorf("planning Q_B: %w", err)
+	}
+	n.bindingOp = bindingOp
+	n.bindingSchema = make(value.Schema, len(needL))
+	for i, c := range needL {
+		j, err := b.combined.Resolve(c.Qualifier, c.Name)
+		if err != nil {
+			return nil, err
+		}
+		n.bindingSchema[i] = value.Column{Qualifier: c.Qualifier, Name: c.Name, Type: b.combined[j].Type}
+	}
+	indexOfL := func(c *sqlparser.ColRef) int {
+		for i, nc := range needL {
+			if colAttr(nc) == colAttr(c) {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, c := range jL {
+		n.jIdx = append(n.jIdx, indexOfL(c))
+	}
+	for _, g := range b.groupBy {
+		n.gIdx = append(n.gIdx, indexOfL(g))
+	}
+
+	// --- R: materialized inner relation --------------------------------
+	innerSel := &sqlparser.Select{}
+	var innerSchema value.Schema
+	for _, it := range rest {
+		innerSel.From = append(innerSel.From, &sqlparser.TableRef{Name: it.ref.Name, Alias: it.alias})
+		for _, col := range it.schema {
+			innerSel.Items = append(innerSel.Items,
+				sqlparser.SelectItem{Expr: &sqlparser.ColRef{Qualifier: col.Qualifier, Name: col.Name},
+					Alias: fmt.Sprintf("r%d", len(innerSel.Items))})
+			innerSchema = append(innerSchema, col)
+		}
+	}
+	innerSel.Where = engine.AndAll(withinR)
+	innerOp, err := planner.PlanSelect(innerSel, b.env)
+	if err != nil {
+		return nil, fmt.Errorf("planning inner query: %w", err)
+	}
+	innerRows, err := engine.Run(innerOp)
+	if err != nil {
+		return nil, err
+	}
+	n.innerRows = innerRows
+	n.innerSchema = innerSchema
+
+	// --- Q_R(b): probing strategy for Θ --------------------------------
+	if err := n.buildProber(b, crossing, opts); err != nil {
+		return nil, err
+	}
+
+	// --- Aggregates over R ----------------------------------------------
+	for _, call := range remappedAggs {
+		a, err := expr.CompileAggregate(call, innerSchema, nil)
+		if err != nil {
+			return nil, fmt.Errorf("compiling aggregate %s over inner schema: %w", call.String(), err)
+		}
+		n.aggs = append(n.aggs, a)
+	}
+
+	// --- Q_P: HAVING and output over [𝔾_L ++ agg slots] ----------------
+	aggOut := make(value.Schema, 0, len(b.groupBy)+len(aggCalls))
+	repl := map[string]sqlparser.Expr{}
+	for _, g := range b.groupBy {
+		j, _ := b.combined.Resolve(g.Qualifier, g.Name)
+		aggOut = append(aggOut, value.Column{Qualifier: g.Qualifier, Name: g.Name, Type: b.combined[j].Type})
+	}
+	for i, call := range aggCalls {
+		name := fmt.Sprintf("$agg%d", i)
+		typ := value.Float
+		if call.Name == "COUNT" {
+			typ = value.Int
+		}
+		aggOut = append(aggOut, value.Column{Name: name, Type: typ})
+		repl[call.String()] = &sqlparser.ColRef{Name: name}
+	}
+	havingRewritten := engine.ReplaceExprs(b.having, repl)
+	n.havingC, err = expr.Compile(havingRewritten, aggOut, nil)
+	if err != nil {
+		return nil, fmt.Errorf("compiling Q_P HAVING: %w", err)
+	}
+	for i, it := range b.items_ {
+		rewritten := engine.ReplaceExprs(it.Expr, repl)
+		c, err := expr.Compile(rewritten, aggOut, nil)
+		if err != nil {
+			return nil, fmt.Errorf("compiling output expression %s: %w", it.Expr.String(), err)
+		}
+		n.lamC = append(n.lamC, c)
+		n.outCols = append(n.outCols, value.Column{Name: outputName(it, i), Type: value.Float})
+	}
+
+	return n, nil
+}
+
+func outputName(it sqlparser.SelectItem, i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if ref, ok := it.Expr.(*sqlparser.ColRef); ok {
+		return ref.Name
+	}
+	return fmt.Sprintf("col%d", i+1)
+}
+
+// buildProber selects the inner probing strategy for Θ: hash on equality
+// conjuncts, else a range restriction on one comparison, else a full scan;
+// the remaining crossing conjuncts become a residual filter.
+func (n *NLJP) buildProber(b *block, crossing []sqlparser.Expr, opts Options) error {
+	concat := n.bindingSchema.Concat(n.innerSchema)
+	outerSet := map[string]bool{}
+	for _, c := range n.bindingSchema {
+		outerSet[strings.ToLower(c.Qualifier)] = true
+	}
+	type split struct {
+		outer sqlparser.Expr
+		inner sqlparser.Expr
+		op    string
+	}
+	classify := func(c sqlparser.Expr) *split {
+		bin, ok := c.(*sqlparser.BinOp)
+		if !ok {
+			return nil
+		}
+		switch bin.Op {
+		case sqlparser.OpEq, sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+		default:
+			return nil
+		}
+		lIn := sideIn(bin.L, outerSet)
+		rIn := sideIn(bin.R, outerSet)
+		if lIn == 1 && rIn == -1 {
+			return &split{outer: bin.L, inner: bin.R, op: bin.Op}
+		}
+		if lIn == -1 && rIn == 1 {
+			return &split{outer: bin.R, inner: bin.L, op: flipCmp(bin.Op)}
+		}
+		return nil
+	}
+
+	var equis, ranges []*split
+	splits := map[sqlparser.Expr]*split{}
+	for _, c := range crossing {
+		s := classify(c)
+		if s == nil {
+			continue
+		}
+		splits[c] = s
+		if s.op == sqlparser.OpEq {
+			equis = append(equis, s)
+		} else if _, ok := s.inner.(*sqlparser.ColRef); ok {
+			ranges = append(ranges, s)
+		}
+	}
+
+	used := map[*split]bool{}
+	switch {
+	case len(equis) > 0:
+		var outerKeys, innerKeys []expr.Compiled
+		var labels []string
+		for _, s := range equis {
+			ok, err := expr.Compile(s.outer, n.bindingSchema, nil)
+			if err != nil {
+				return err
+			}
+			ik, err := expr.Compile(s.inner, n.innerSchema, nil)
+			if err != nil {
+				return err
+			}
+			outerKeys = append(outerKeys, ok)
+			innerKeys = append(innerKeys, ik)
+			labels = append(labels, s.outer.String()+" = "+s.inner.String())
+			used[s] = true
+		}
+		n.prober = engine.NewHashProber(outerKeys, innerKeys, strings.Join(labels, " AND "))
+	case opts.UseIndexes && len(ranges) > 0:
+		s := ranges[0]
+		oe, err := expr.Compile(s.outer, n.bindingSchema, nil)
+		if err != nil {
+			return err
+		}
+		col := s.inner.(*sqlparser.ColRef)
+		ci, err := n.innerSchema.Resolve(col.Qualifier, col.Name)
+		if err != nil {
+			return err
+		}
+		n.prober = engine.NewRangeProber(oe, ci, s.op, s.outer.String()+" "+s.op+" "+s.inner.String())
+		used[s] = true
+	default:
+		n.prober = engine.NewScanProber()
+	}
+
+	var residual []sqlparser.Expr
+	for _, c := range crossing {
+		if s, ok := splits[c]; ok && used[s] {
+			continue
+		}
+		residual = append(residual, c)
+	}
+	if len(residual) > 0 {
+		pred, err := expr.Compile(engine.AndAll(residual), concat, nil)
+		if err != nil {
+			return err
+		}
+		n.residual = pred
+	}
+	return n.prober.Build(n.innerRows)
+}
+
+// sideIn returns 1 if every column of e is in the alias set, -1 if none is,
+// and 0 for mixed or column-free expressions.
+func sideIn(e sqlparser.Expr, set map[string]bool) int {
+	cols := engine.ColumnsOf(e)
+	if len(cols) == 0 {
+		return 0
+	}
+	in, out := 0, 0
+	for _, c := range cols {
+		if set[strings.ToLower(c.Qualifier)] {
+			in++
+		} else {
+			out++
+		}
+	}
+	switch {
+	case out == 0:
+		return 1
+	case in == 0:
+		return -1
+	}
+	return 0
+}
+
+// Run executes the NLJP loop of Section 7 and returns the final result.
+func (n *NLJP) Run() (*engine.Result, error) {
+	n.stats = CacheStats{}
+	c := newCache(n.Pred, n.CacheIndexed, n.cacheLimit)
+	defer func() {
+		n.stats = c.stats
+		n.stats.Bindings = c.stats.Bindings
+	}()
+
+	nextBinding, closeBindings, err := n.bindingIterator()
+	if err != nil {
+		return nil, err
+	}
+	defer closeBindings()
+
+	type group struct {
+		gVals    []value.Value
+		states   []*expr.State
+		rowCount int64
+	}
+	var groups []*group
+	groupIdx := map[string]*group{}
+	var out []value.Row
+
+	for {
+		row, err := nextBinding()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		c.stats.Bindings++
+		bVals := make([]value.Value, len(n.jIdx))
+		for i, j := range n.jIdx {
+			bVals[i] = row[j]
+		}
+		key := value.Key(bVals)
+
+		var e *cacheEntry
+		if n.Memo {
+			if hit, ok := c.lookup(key); ok {
+				c.stats.MemoHits++
+				e = hit
+			}
+		}
+		if e == nil && n.Pred != nil && c.pruneMatch(bVals) {
+			c.stats.PruneHits++
+			continue
+		}
+		if e == nil {
+			e, err = n.evalInner(row, bVals, c)
+			if err != nil {
+				return nil, err
+			}
+			c.insert(key, e)
+		}
+		if e.rowCount == 0 {
+			continue // inner-join semantics: the group does not exist
+		}
+
+		gVals := make([]value.Value, len(n.gIdx))
+		for i, j := range n.gIdx {
+			gVals[i] = row[j]
+		}
+		if n.GLIsKey {
+			r, ok, err := n.finalize(gVals, statesFromPartials(n.aggs, e.partials))
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+			continue
+		}
+		gk := value.Key(gVals)
+		grp, ok := groupIdx[gk]
+		if !ok {
+			grp = &group{gVals: gVals, states: statesFromPartials(n.aggs, e.partials), rowCount: e.rowCount}
+			groupIdx[gk] = grp
+			groups = append(groups, grp)
+			continue
+		}
+		merged := statesFromPartials(n.aggs, e.partials)
+		for i := range grp.states {
+			grp.states[i].Merge(merged[i])
+		}
+		grp.rowCount += e.rowCount
+	}
+
+	for _, grp := range groups {
+		r, ok, err := n.finalize(grp.gVals, grp.states)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+
+	return &engine.Result{Columns: n.outCols, Rows: out}, nil
+}
+
+// bindingIterator yields Q_B's rows, optionally sorted by the pruning
+// predicate's range-hint column — the exploration-order lever Section 7
+// leaves open. Processing the prune-dominant end first populates the cache
+// with maximally useful unpromising entries.
+func (n *NLJP) bindingIterator() (next func() (value.Row, error), cleanup func(), err error) {
+	if n.bindingOrder == "" || n.Pred == nil || n.Pred.RangeIdx < 0 {
+		if err := n.bindingOp.Open(); err != nil {
+			return nil, nil, err
+		}
+		return n.bindingOp.Next, func() { n.bindingOp.Close() }, nil
+	}
+	rows, err := engine.Run(n.bindingOp)
+	if err != nil {
+		return nil, nil, err
+	}
+	col := n.jIdx[n.Pred.RangeIdx]
+	desc := n.bindingOrder == "desc"
+	sortRowsBy(rows, col, desc)
+	i := 0
+	return func() (value.Row, error) {
+		if i >= len(rows) {
+			return nil, nil
+		}
+		r := rows[i]
+		i++
+		return r, nil
+	}, func() {}, nil
+}
+
+func sortRowsBy(rows []value.Row, col int, desc bool) {
+	sort.SliceStable(rows, func(a, b int) bool {
+		cmp, _ := value.Compare(rows[a][col], rows[b][col])
+		if desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	})
+}
+
+func statesFromPartials(aggs []*expr.Aggregate, partials []expr.Partial) []*expr.State {
+	states := make([]*expr.State, len(aggs))
+	for i, a := range aggs {
+		states[i] = a.StateFromPartial(partials[i])
+	}
+	return states
+}
+
+// evalInner runs Q_R(b): probe the materialized inner relation, apply the
+// residual of Θ, and fold every matching R-tuple into the aggregates. The
+// unpromising flag follows Definition 5 (with 𝔾_R = ∅ it reduces to ¬Φ).
+func (n *NLJP) evalInner(bindingRow value.Row, bVals []value.Value, c *cache) (*cacheEntry, error) {
+	c.stats.InnerEvals++
+	states := make([]*expr.State, len(n.aggs))
+	for i, a := range n.aggs {
+		states[i] = a.NewState()
+	}
+	matches, err := n.prober.Probe(bindingRow)
+	if err != nil {
+		return nil, err
+	}
+	var scratch value.Row
+	if n.residual != nil {
+		scratch = make(value.Row, len(n.bindingSchema)+len(n.innerSchema))
+		copy(scratch, bindingRow)
+	}
+	var rowCount int64
+	for _, m := range matches {
+		ir := n.innerRows[m]
+		if n.residual != nil {
+			copy(scratch[len(n.bindingSchema):], ir)
+			ok, err := expr.EvalBool(n.residual, scratch)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		rowCount++
+		for _, st := range states {
+			if err := st.Add(ir); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Decide unpromising per Definition 5. For an empty R⋉w, SQL-evaluating
+	// Φ can yield NULL (e.g. SUM over no rows), which is not the
+	// set-theoretic Φ(∅) the definition needs. The sound rule:
+	//   - monotone Φ: an empty binding is unpromising — any candidate it
+	//     subsumes joins a subset of ∅ and contributes nothing anyway;
+	//   - anti-monotone Φ: an empty binding is never unpromising (a genuine
+	//     anti-monotone Φ that holds anywhere also holds on ∅).
+	unpromising := false
+	if rowCount == 0 {
+		unpromising = n.ClassΦ == Monotone
+	} else {
+		aggRow := make(value.Row, len(n.gIdx)+len(n.aggs))
+		for i, st := range states {
+			aggRow[len(n.gIdx)+i] = st.Value()
+		}
+		phi, err := expr.EvalBool(n.havingC, aggRow)
+		if err != nil {
+			return nil, err
+		}
+		unpromising = !phi
+	}
+	e := &cacheEntry{binding: bVals, rowCount: rowCount, unpromising: unpromising}
+	e.partials = make([]expr.Partial, len(states))
+	for i, st := range states {
+		e.partials[i] = st.Partial()
+	}
+	return e, nil
+}
+
+// finalize evaluates Q_P for one group: Φ then Λ.
+func (n *NLJP) finalize(gVals []value.Value, states []*expr.State) (value.Row, bool, error) {
+	aggRow := make(value.Row, len(gVals)+len(states))
+	copy(aggRow, gVals)
+	for i, st := range states {
+		aggRow[len(gVals)+i] = st.Value()
+	}
+	ok, err := expr.EvalBool(n.havingC, aggRow)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(value.Row, len(n.lamC))
+	for i, c := range n.lamC {
+		v, err := c(aggRow)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}

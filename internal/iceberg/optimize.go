@@ -1,0 +1,425 @@
+package iceberg
+
+import (
+	"fmt"
+	"strings"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/fd"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/value"
+)
+
+// Options selects which of the paper's techniques the optimizer may apply.
+// The zero value disables everything (pure baseline execution).
+type Options struct {
+	// Apriori enables the generalized a-priori reducers of Section 4.
+	Apriori bool
+	// Prune enables NLJP cache-based pruning (Section 5).
+	Prune bool
+	// Memo enables NLJP memoization (Section 6).
+	Memo bool
+	// CacheIndex builds the pruning-cache index ("CI" in Figure 4).
+	CacheIndex bool
+	// UseIndexes permits index nested-loop joins in sub-plans ("BT").
+	UseIndexes bool
+	// BindingOrder controls the order Q_B's bindings are explored in
+	// (Section 7 leaves it unspecified and flags it as a lever): "asc" or
+	// "desc" sorts bindings by the pruning predicate's range-hint column;
+	// "" keeps the plan's natural order.
+	BindingOrder string
+	// CacheLimit bounds the number of cache entries; the oldest entry is
+	// evicted first (the replacement-policy extension of Section 7).
+	// Zero means unbounded.
+	CacheLimit int
+}
+
+// AllOn returns the paper's "all" configuration.
+func AllOn() Options {
+	return Options{Apriori: true, Prune: true, Memo: true, CacheIndex: true, UseIndexes: true}
+}
+
+// Report documents what the optimizer did for one query, including cache
+// statistics after execution (Figure 3 plots Stats.Bytes).
+type Report struct {
+	// Blocks holds one sub-report per query block (CTEs first, outermost
+	// block last).
+	Blocks []*BlockReport
+}
+
+// BlockReport covers one SELECT block.
+type BlockReport struct {
+	Name     string // "main" or the CTE name
+	Reducers []string
+	// ReducerSizes maps a reduced alias to {before, after} row counts.
+	ReducerSizes map[string][2]int
+	NLJP         string // Describe() output; empty when NLJP was not used
+	Stats        CacheStats
+	Notes        []string
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, blk := range r.Blocks {
+		fmt.Fprintf(&b, "block %s:\n", blk.Name)
+		for _, red := range blk.Reducers {
+			fmt.Fprintf(&b, "  a-priori: %s\n", red)
+		}
+		for alias, sz := range blk.ReducerSizes {
+			fmt.Fprintf(&b, "  reduced %s: %d -> %d rows\n", alias, sz[0], sz[1])
+		}
+		if blk.NLJP != "" {
+			b.WriteString(indent(blk.NLJP, "  "))
+		}
+		for _, note := range blk.Notes {
+			fmt.Fprintf(&b, "  note: %s\n", note)
+		}
+		if blk.Stats.Bindings > 0 {
+			fmt.Fprintf(&b, "  cache: %d entries, ~%d bytes; %d bindings, %d memo hits, %d prune hits, %d inner evals\n",
+				blk.Stats.Entries, blk.Stats.Bytes, blk.Stats.Bindings,
+				blk.Stats.MemoHits, blk.Stats.PruneHits, blk.Stats.InnerEvals)
+		}
+	}
+	return b.String()
+}
+
+// TotalStats sums the cache statistics across blocks.
+func (r *Report) TotalStats() CacheStats {
+	var t CacheStats
+	for _, blk := range r.Blocks {
+		t.Entries += blk.Stats.Entries
+		t.Bytes += blk.Stats.Bytes
+		t.Bindings += blk.Stats.Bindings
+		t.MemoHits += blk.Stats.MemoHits
+		t.PruneHits += blk.Stats.PruneHits
+		t.InnerEvals += blk.Stats.InnerEvals
+		t.PruneProbes += blk.Stats.PruneProbes
+	}
+	return t
+}
+
+// Exec runs a SELECT with the chosen optimizations, processing WITH blocks
+// recursively (each CTE is itself optimized, materialized, and exposed to
+// enclosing blocks with derived constraint metadata).
+func Exec(cat *storage.Catalog, sel *sqlparser.Select, opts Options) (*engine.Result, *Report, error) {
+	report := &Report{}
+	res, err := exec(cat, sel, engine.Env{}, opts, report, "main")
+	return res, report, err
+}
+
+func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Options, report *Report, name string) (*engine.Result, error) {
+	for _, cte := range sel.With {
+		res, err := exec(cat, cte.Query, env, opts, report, cte.Name)
+		if err != nil {
+			return nil, fmt.Errorf("CTE %s: %w", cte.Name, err)
+		}
+		rel := &engine.MaterializedRel{Name: cte.Name, Rows: res.Rows}
+		rel.Schema = make(value.Schema, len(res.Columns))
+		for i, c := range res.Columns {
+			rel.Schema[i] = value.Column{Name: c.Name, Type: c.Type}
+		}
+		rel.FDs, rel.Positive = deriveResultConstraints(cte.Query, rel.Schema, cat, env)
+		rel.Unique = len(rel.FDs.All()) > 0 || cte.Query.Distinct
+		env2 := engine.Env{}
+		for k, v := range env {
+			env2[k] = v
+		}
+		env2[strings.ToLower(cte.Name)] = rel
+		env = env2
+	}
+	body := *sel
+	body.With = nil
+
+	// Lift derived tables into materialized relations so the block becomes
+	// analyzable (each subquery is itself optimized recursively).
+	if hasDerived(body.From) {
+		lifted := make([]sqlparser.TableExpr, len(body.From))
+		env2 := engine.Env{}
+		for k, v := range env {
+			env2[k] = v
+		}
+		for i, te := range body.From {
+			sub, ok := te.(*sqlparser.SubqueryRef)
+			if !ok {
+				lifted[i] = te
+				continue
+			}
+			liftName := "__dt_" + strings.ToLower(sub.Alias)
+			res, err := exec(cat, sub.Query, env, opts, report, liftName)
+			if err != nil {
+				return nil, fmt.Errorf("derived table %s: %w", sub.Alias, err)
+			}
+			rel := &engine.MaterializedRel{Name: liftName, Rows: res.Rows}
+			rel.Schema = make(value.Schema, len(res.Columns))
+			for j, c := range res.Columns {
+				rel.Schema[j] = value.Column{Name: c.Name, Type: c.Type}
+			}
+			rel.FDs, rel.Positive = deriveResultConstraints(sub.Query, rel.Schema, cat, env)
+			rel.Unique = len(rel.FDs.All()) > 0 || sub.Query.Distinct
+			env2[liftName] = rel
+			lifted[i] = &sqlparser.TableRef{Name: liftName, Alias: sub.Alias}
+		}
+		body.From = lifted
+		env = env2
+	}
+
+	blk := &BlockReport{Name: name, ReducerSizes: map[string][2]int{}}
+	report.Blocks = append(report.Blocks, blk)
+
+	baseline := func(overrides map[string]*engine.MaterializedRel) (*engine.Result, error) {
+		p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides}
+		op, err := p.PlanSelect(&body, env)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := engine.Run(op)
+		if err != nil {
+			return nil, err
+		}
+		return &engine.Result{Columns: op.Schema(), Rows: rows}, nil
+	}
+
+	b, err := analyzeBlock(cat, &body, env)
+	if err != nil {
+		blk.Notes = append(blk.Notes, "not optimizable: "+err.Error())
+		return baseline(nil)
+	}
+
+	planner := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes}
+	overrides := map[string]*engine.MaterializedRel{}
+	if opts.Apriori {
+		for _, red := range findReducers(b) {
+			rel, sizes, err := applyReducer(b, red, planner)
+			if err != nil {
+				return nil, fmt.Errorf("applying reducer: %w", err)
+			}
+			blk.Reducers = append(blk.Reducers, red.String())
+			blk.ReducerSizes[red.TargetAlias] = sizes
+			overrides[strings.ToLower(red.TargetAlias)] = rel
+		}
+	}
+
+	if opts.Prune || opts.Memo {
+		nljp, err := buildNLJP(b, overrides, opts)
+		if err != nil {
+			return nil, fmt.Errorf("building NLJP: %w", err)
+		}
+		if nljp != nil {
+			res, err := nljp.Run()
+			if err != nil {
+				return nil, fmt.Errorf("running NLJP: %w", err)
+			}
+			blk.NLJP = nljp.Describe()
+			blk.Stats = nljp.Stats()
+			return res, nil
+		}
+		blk.Notes = append(blk.Notes, "NLJP not applicable")
+	}
+	if opts.Memo {
+		// Fall back to memoization by static rewrite (Appendix C,
+		// Listing 8), which also covers 𝔾_R ≠ ∅.
+		rewritten, reason, err := RewriteMemo(cat, &body, env)
+		if err != nil {
+			return nil, err
+		}
+		if rewritten != nil {
+			blk.Notes = append(blk.Notes, "memoization applied by static rewrite (Listing 8)")
+			p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides}
+			op, err := p.PlanSelect(rewritten, env)
+			if err != nil {
+				return nil, fmt.Errorf("planning memo rewrite: %w", err)
+			}
+			rows, err := engine.Run(op)
+			if err != nil {
+				return nil, fmt.Errorf("running memo rewrite: %w", err)
+			}
+			return &engine.Result{Columns: op.Schema(), Rows: rows}, nil
+		}
+		if reason != "" {
+			blk.Notes = append(blk.Notes, "memo rewrite not applicable: "+reason)
+		}
+	}
+	return baseline(overrides)
+}
+
+func hasDerived(from []sqlparser.TableExpr) bool {
+	for _, te := range from {
+		if _, ok := te.(*sqlparser.SubqueryRef); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe analyzes a query and reports the rewrites the optimizer would
+// perform. It does not execute reducers or the NLJP outer loop, but
+// constructing the NLJP description does materialize the inner relation
+// (the sub-join the inner query runs against).
+func Describe(cat *storage.Catalog, sel *sqlparser.Select, opts Options) (string, error) {
+	var b strings.Builder
+	env := engine.Env{}
+	if err := describeInto(cat, sel, env, opts, &b, "main"); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func describeInto(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Options, out *strings.Builder, name string) error {
+	for _, cte := range sel.With {
+		if err := describeInto(cat, cte.Query, env, opts, out, cte.Name); err != nil {
+			return err
+		}
+		// Expose schema-only metadata for enclosing analysis.
+		rel := &engine.MaterializedRel{Name: cte.Name}
+		rel.Schema = schemaOfSelect(cte.Query, cat, env)
+		rel.FDs, rel.Positive = deriveResultConstraints(cte.Query, rel.Schema, cat, env)
+		rel.Unique = len(rel.FDs.All()) > 0 || cte.Query.Distinct
+		env[strings.ToLower(cte.Name)] = rel
+	}
+	body := *sel
+	body.With = nil
+	fmt.Fprintf(out, "block %s:\n", name)
+	b, err := analyzeBlock(cat, &body, env)
+	if err != nil {
+		fmt.Fprintf(out, "  baseline (not optimizable: %v)\n", err)
+		return nil
+	}
+	found := false
+	if opts.Apriori {
+		for _, red := range findReducers(b) {
+			fmt.Fprintf(out, "  a-priori: %s\n", red.String())
+			found = true
+		}
+	}
+	if opts.Prune || opts.Memo {
+		nljp, err := buildNLJP(b, nil, opts)
+		if err == nil && nljp != nil {
+			out.WriteString(indent(nljp.Describe(), "  "))
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(out, "  baseline execution (no applicable technique)\n")
+	}
+	return nil
+}
+
+// schemaOfSelect computes the bare output schema of a SELECT without
+// evaluating it (best-effort; used only by Describe).
+func schemaOfSelect(sel *sqlparser.Select, cat *storage.Catalog, env engine.Env) value.Schema {
+	p := &engine.Planner{Catalog: cat, UseIndexes: true}
+	op, err := p.PlanSelect(sel, env)
+	if err != nil {
+		return nil
+	}
+	out := make(value.Schema, len(op.Schema()))
+	for i, c := range op.Schema() {
+		out[i] = value.Column{Name: c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// deriveResultConstraints infers constraint metadata for a SELECT's result:
+//   - when the query groups by column references that are all projected, the
+//     projected grouping columns functionally determine the whole output;
+//   - output columns that are plain references to positive-domain columns,
+//     or SUM/AVG/MIN/MAX over them, remain positive; COUNT(*) of a group is
+//     at least 1 and therefore positive as well.
+func deriveResultConstraints(sel *sqlparser.Select, outSchema value.Schema, cat *storage.Catalog, env engine.Env) (*fd.Set, map[string]bool) {
+	fds := fd.NewSet()
+	positive := map[string]bool{}
+	if outSchema == nil {
+		return fds, positive
+	}
+
+	// Map each output column to its source expression.
+	exprs := make([]sqlparser.Expr, len(outSchema))
+	for i, it := range sel.Items {
+		if i >= len(outSchema) || it.Star {
+			return fds, positive
+		}
+		exprs[i] = it.Expr
+	}
+
+	// Positivity oracle over base tables / env rels in this block.
+	isPositiveCol := func(ref *sqlparser.ColRef) bool {
+		for _, te := range sel.From {
+			tr, ok := te.(*sqlparser.TableRef)
+			if !ok {
+				continue
+			}
+			if ref.Qualifier != "" && !strings.EqualFold(tr.AliasName(), ref.Qualifier) {
+				continue
+			}
+			if rel, ok := env[strings.ToLower(tr.Name)]; ok {
+				if rel.Positive[strings.ToLower(ref.Name)] {
+					return true
+				}
+				continue
+			}
+			if t, err := cat.Get(tr.Name); err == nil && t.Positive[strings.ToLower(ref.Name)] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for i, e := range exprs {
+		switch e := e.(type) {
+		case *sqlparser.ColRef:
+			if isPositiveCol(e) {
+				positive[strings.ToLower(outSchema[i].Name)] = true
+			}
+		case *sqlparser.FuncCall:
+			switch e.Name {
+			case "COUNT":
+				// Groups are non-empty, so COUNT(*) >= 1 > 0.
+				if e.Star && len(sel.GroupBy) > 0 {
+					positive[strings.ToLower(outSchema[i].Name)] = true
+				}
+			case "SUM", "AVG", "MIN", "MAX":
+				if len(e.Args) == 1 {
+					if ref, ok := e.Args[0].(*sqlparser.ColRef); ok && isPositiveCol(ref) {
+						positive[strings.ToLower(outSchema[i].Name)] = true
+					}
+				}
+			}
+		}
+	}
+
+	if len(sel.GroupBy) == 0 {
+		return fds, positive
+	}
+	// Find the output positions of the grouping expressions.
+	var keyCols []string
+	for _, g := range sel.GroupBy {
+		found := ""
+		for i, e := range exprs {
+			if e != nil && e.String() == g.String() {
+				found = strings.ToLower(outSchema[i].Name)
+				break
+			}
+			// Also match an unqualified group-by against a qualified output
+			// reference (or vice versa) by bare column name.
+			if gr, ok := g.(*sqlparser.ColRef); ok {
+				if er, ok2 := e.(*sqlparser.ColRef); ok2 && strings.EqualFold(gr.Name, er.Name) &&
+					(gr.Qualifier == "" || er.Qualifier == "" || strings.EqualFold(gr.Qualifier, er.Qualifier)) {
+					found = strings.ToLower(outSchema[i].Name)
+					break
+				}
+			}
+		}
+		if found == "" {
+			return fds, positive // a grouping column is not projected
+		}
+		keyCols = append(keyCols, found)
+	}
+	all := make([]string, len(outSchema))
+	for i, c := range outSchema {
+		all[i] = strings.ToLower(c.Name)
+	}
+	fds.Add(fd.FD{From: keyCols, To: all})
+	return fds, positive
+}

@@ -1,0 +1,250 @@
+package iceberg
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"smarticeberg/internal/lincon"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// PrunePredicate is the automatically derived subsumption test of
+// Section 5.2. Internally it stores D = ¬p⪰ — the result of eliminating the
+// inner relation's variables from Θ(w',w_r) ∧ ¬Θ(w,w_r) — as a DNF over the
+// outer binding variables w (indexed by 𝕁_L position) and the cached
+// binding's variables w'.
+//
+// Check answers "does the cached unpromising binding make the candidate
+// binding unpromising?", with the role assignment depending on Φ's
+// monotonicity per Theorem 3:
+//
+//	anti-monotone Φ: prune when cand ⪰ cached → p⪰(w:=cand, w':=cached)
+//	monotone Φ:      prune when cand ⪯ cached → p⪰(w:=cached, w':=cand)
+type PrunePredicate struct {
+	sys    *lincon.System
+	notP   lincon.DNF
+	wVars  []lincon.Var // one per 𝕁_L column
+	wpVars []lincon.Var
+	class  Monotonicity
+
+	// Cache-index hints extracted from the predicate (the "CI" configuration
+	// of Figure 4): 𝕁_L positions that must be exactly equal between
+	// candidate and cached binding, and at most one position with a total-
+	// order bound.
+	EqIdx         []int
+	RangeIdx      int  // -1 when absent
+	RangeCachedGE bool // true: only cached[RangeIdx] >= cand[RangeIdx] can match
+}
+
+// DerivePrune derives the pruning predicate for a join condition Θ given as
+// crossing conjuncts, the ordered 𝕁_L columns (with types from the block),
+// the 𝕁_R columns, and Φ's monotonicity class. An error means pruning is
+// not available for this query (the caller falls back to memoization only).
+func DerivePrune(b *block, jL []*sqlparser.ColRef, jR []*sqlparser.ColRef, crossing []sqlparser.Expr, class Monotonicity) (*PrunePredicate, error) {
+	if class == Neither {
+		return nil, fmt.Errorf("HAVING condition is neither monotone nor anti-monotone")
+	}
+	sys := lincon.NewSystem()
+	tr := newTranslator(sys)
+
+	p := &PrunePredicate{sys: sys, class: class, RangeIdx: -1}
+	typeOf := func(c *sqlparser.ColRef) value.Kind {
+		if i, err := b.combined.Resolve(c.Qualifier, c.Name); err == nil {
+			return b.combined[i].Type
+		}
+		return value.Float
+	}
+	// Allocate w, w', and w_r variables.
+	for _, c := range jL {
+		p.wVars = append(p.wVars, tr.bind("w:"+colAttr(c), c.String(), typeOf(c)))
+	}
+	for _, c := range jL {
+		p.wpVars = append(p.wpVars, tr.bind("wp:"+colAttr(c), c.String()+"'", typeOf(c)))
+	}
+	elim := map[lincon.Var]bool{}
+	for _, c := range jR {
+		v := tr.bind("wr:"+colAttr(c), c.String(), typeOf(c))
+		elim[v] = true
+	}
+
+	jLSet := map[string]bool{}
+	for _, c := range jL {
+		jLSet[colAttr(c)] = true
+	}
+	keyFor := func(prefix string) func(*sqlparser.ColRef) string {
+		return func(c *sqlparser.ColRef) string {
+			if jLSet[colAttr(c)] {
+				return prefix + colAttr(c)
+			}
+			return "wr:" + colAttr(c)
+		}
+	}
+	var thetaW, thetaWp []*lincon.Formula
+	for _, c := range crossing {
+		fw, err := tr.toFormula(c, keyFor("w:"))
+		if err != nil {
+			return nil, err
+		}
+		fwp, err := tr.toFormula(c, keyFor("wp:"))
+		if err != nil {
+			return nil, err
+		}
+		thetaW = append(thetaW, fw)
+		thetaWp = append(thetaWp, fwp)
+	}
+
+	// D := ∃ w_r . Θ(w', w_r) ∧ ¬Θ(w, w_r); p⪰ = ¬D.
+	f := lincon.And(lincon.And(thetaWp...), lincon.Not(lincon.And(thetaW...)))
+	d, err := lincon.EliminateExists(sys, f, elim)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range d.Vars() {
+		if elim[v] {
+			return nil, fmt.Errorf("internal: inner variable %s not eliminated", sys.Name(v))
+		}
+	}
+	p.notP = d
+	p.extractIndexHints()
+	return p, nil
+}
+
+// Check implements prune(ℓ, C) for one cached entry (Theorem 3).
+func (p *PrunePredicate) Check(cand, cached []value.Value) bool {
+	var w, wp []value.Value
+	if p.class == AntiMonotone {
+		w, wp = cand, cached
+	} else {
+		w, wp = cached, cand
+	}
+	res, err := p.notP.Eval(func(v lincon.Var) value.Value {
+		for i, wv := range p.wVars {
+			if wv == v {
+				return w[i]
+			}
+		}
+		for i, wv := range p.wpVars {
+			if wv == v {
+				return wp[i]
+			}
+		}
+		return value.NullValue
+	})
+	if err != nil {
+		return false // evaluation failure means "cannot prove", never prune
+	}
+	return !res
+}
+
+// String renders the subsumption predicate p⪰ as the negation of the
+// eliminated DNF (matching how Example 11 presents the derivation).
+func (p *PrunePredicate) String() string {
+	return "NOT [" + p.notP.String(p.sys) + "]"
+}
+
+// Class returns the monotonicity the predicate was derived under.
+func (p *PrunePredicate) Class() Monotonicity { return p.class }
+
+// extractIndexHints scans single-atom disjuncts of D for constraints that a
+// cache index can exploit: w_i ≠ w'_i disjuncts force equality (hash
+// partition) and w_i - w'_i bounds force a one-sided range (sorted scan).
+func (p *PrunePredicate) extractIndexHints() {
+	pos := func(v lincon.Var, vars []lincon.Var) int {
+		for i, x := range vars {
+			if x == v {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, conj := range p.notP {
+		if len(conj) != 1 {
+			continue
+		}
+		a := conj[0]
+		if !a.IsLin {
+			// ¬(x ≠ y) = x = y: candidate and cached must agree on this
+			// 𝕁_L position.
+			if a.Neg && !a.YIsConst {
+				i := pos(a.X, p.wVars)
+				j := pos(a.Y, p.wpVars)
+				if i < 0 {
+					i = pos(a.Y, p.wVars)
+					j = pos(a.X, p.wpVars)
+				}
+				if i >= 0 && i == j {
+					p.EqIdx = append(p.EqIdx, i)
+				}
+			}
+			continue
+		}
+		if p.RangeIdx >= 0 || a.Op == lincon.OpEQ || len(a.Lin.Terms) != 2 || ratNonZero(a.Lin.ConstRat()) {
+			continue
+		}
+		t0, t1 := a.Lin.Terms[0], a.Lin.Terms[1]
+		if !(isIntCoeff(t0.Coeff, 1) && isIntCoeff(t1.Coeff, -1)) &&
+			!(isIntCoeff(t0.Coeff, -1) && isIntCoeff(t1.Coeff, 1)) {
+			continue
+		}
+		// Identify which term is w and which is w', at the same 𝕁_L index.
+		iw, iwp := pos(t0.Var, p.wVars), pos(t1.Var, p.wpVars)
+		cw := t0.Coeff
+		if iw < 0 {
+			iw, iwp = pos(t1.Var, p.wVars), pos(t0.Var, p.wpVars)
+			cw = t1.Coeff
+		}
+		if iw < 0 || iw != iwp {
+			continue
+		}
+		// Disjunct a (part of D = ¬p⪰): p implies ¬a.
+		// a: cw·w_i - cw·w'_i < 0. ¬a: cw·(w_i - w'_i) >= 0.
+		//   cw=+1 → w_i >= w'_i;  cw=-1 → w_i <= w'_i.
+		wGEwp := cw.Sign() > 0
+		// Map to candidate/cached roles.
+		var cachedGE bool
+		if p.class == AntiMonotone { // w = cand, w' = cached
+			cachedGE = !wGEwp
+		} else { // w = cached, w' = cand
+			cachedGE = wGEwp
+		}
+		p.RangeIdx = iw
+		p.RangeCachedGE = cachedGE
+	}
+	// Deduplicate EqIdx.
+	seen := map[int]bool{}
+	var eq []int
+	for _, i := range p.EqIdx {
+		if !seen[i] {
+			seen[i] = true
+			eq = append(eq, i)
+		}
+	}
+	p.EqIdx = eq
+}
+
+func ratNonZero(r *big.Rat) bool { return r != nil && r.Sign() != 0 }
+
+func isIntCoeff(r *big.Rat, want int64) bool {
+	return r != nil && r.IsInt() && r.Num().IsInt64() && r.Num().Int64() == want
+}
+
+// describeHints summarizes the extracted index hints for reports.
+func (p *PrunePredicate) describeHints(jL []*sqlparser.ColRef) string {
+	var parts []string
+	for _, i := range p.EqIdx {
+		parts = append(parts, "eq:"+jL[i].String())
+	}
+	if p.RangeIdx >= 0 {
+		dir := "<="
+		if p.RangeCachedGE {
+			dir = ">="
+		}
+		parts = append(parts, "range:cached."+jL[p.RangeIdx].String()+dir+"cand")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,270 @@
+package iceberg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/lincon"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/value"
+)
+
+// randomCatalog builds two small tables with narrow value domains so joins
+// hit often and HAVING thresholds straddle group sizes. keyed controls
+// whether A gets a primary key (exercising both the key and non-key safety
+// paths of Theorems 2 and 3).
+func randomCatalog(rng *rand.Rand, keyedA, keyedB bool) *storage.Catalog {
+	cat := storage.NewCatalog()
+	makeTable := func(name string, keyed bool) *storage.Table {
+		var pk []string
+		if keyed {
+			pk = []string{"id"}
+		}
+		t := storage.NewTable(name, []value.Column{
+			{Name: "id", Type: value.Int},
+			{Name: "g", Type: value.Int},
+			{Name: "j", Type: value.Int},
+			{Name: "x", Type: value.Float},
+			{Name: "y", Type: value.Float},
+			{Name: "v", Type: value.Int},
+		}, pk)
+		t.Positive["v"] = true
+		n := 8 + rng.Intn(25)
+		for i := 0; i < n; i++ {
+			id := int64(i)
+			if !keyed && rng.Intn(4) == 0 && i > 0 {
+				id = int64(rng.Intn(i)) // duplicate ids allowed without a PK
+			}
+			t.Rows = append(t.Rows, value.Row{
+				value.NewInt(id),
+				value.NewInt(int64(rng.Intn(4))),
+				value.NewInt(int64(rng.Intn(5))),
+				value.NewFloat(float64(rng.Intn(6))),
+				value.NewFloat(float64(rng.Intn(6))),
+				value.NewInt(int64(1 + rng.Intn(9))),
+			})
+		}
+		return t
+	}
+	cat.Put(makeTable("A", keyedA))
+	cat.Put(makeTable("B", keyedB))
+	return cat
+}
+
+// randomIcebergQuery assembles a two-relation iceberg query from random
+// pieces: join condition, grouping attributes, HAVING aggregate/threshold.
+func randomIcebergQuery(rng *rand.Rand) string {
+	tableB := "B"
+	if rng.Intn(2) == 0 {
+		tableB = "A" // self-join
+	}
+	joins := []string{
+		"l.j = r.j",
+		"l.x <= r.x AND l.y <= r.y",
+		"l.x <= r.x AND l.y <= r.y AND (l.x < r.x OR l.y < r.y)",
+		"l.j = r.j AND l.x < r.x",
+		"l.x < r.x OR l.y < r.y",
+		"l.j = r.j AND l.g = r.g",
+		"l.x + l.y <= r.x + r.y",
+		"l.x <= r.x AND l.x >= r.x - 2",
+		"l.j = r.x + r.y",
+		"l.j = r.j AND l.g = r.x - r.y",
+		// Non-unit coefficients exercise exact rational arithmetic inside
+		// Fourier–Motzkin elimination.
+		"l.x * 3 <= r.x * 2 + 1",
+		"l.x / 2 < r.y AND l.y <= r.x * 3",
+	}
+	join := joins[rng.Intn(len(joins))]
+
+	groupings := [][]string{
+		{"l.id"},
+		{"l.g"},
+		{"l.id", "l.g"},
+		{"l.g", "r.g"},
+		{"l.id", "r.g"},
+	}
+	grouping := groupings[rng.Intn(len(groupings))]
+
+	aggs := []string{
+		"COUNT(*)", "COUNT(r.v)", "SUM(r.v)", "MIN(r.x)", "MAX(r.y)", "AVG(r.v)",
+		"COUNT(DISTINCT r.j)",
+		// L-side aggregates exercise a-priori on the grouped side (and the
+		// NLJP-inapplicable fallback paths).
+		"SUM(l.v)", "MIN(l.x)", "MAX(l.y)", "COUNT(l.j)",
+	}
+	agg := aggs[rng.Intn(len(aggs))]
+	cmps := []string{">=", "<=", ">", "<"}
+	cmp := cmps[rng.Intn(len(cmps))]
+	threshold := 1 + rng.Intn(12)
+
+	sel := "SELECT "
+	for _, g := range grouping {
+		sel += g + ", "
+	}
+	sel += agg
+	where := join
+	groupBy := ""
+	for i, g := range grouping {
+		if i > 0 {
+			groupBy += ", "
+		}
+		groupBy += g
+	}
+	return fmt.Sprintf("%s FROM A l, %s r WHERE %s GROUP BY %s HAVING %s %s %d",
+		sel, tableB, where, groupBy, agg, cmp, threshold)
+}
+
+// TestRandomQueriesDifferential is the main fuzz-style safety net: hundreds
+// of random iceberg queries over random instances, each executed under
+// every optimizer configuration, must reproduce the baseline result
+// exactly. It exercises keyed and unkeyed inputs, self-joins, every
+// aggregate, and both HAVING directions.
+func TestRandomQueriesDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20170514))
+	combos := optionCombos()
+	iterations := 250
+	if testing.Short() {
+		iterations = 60
+	}
+	for iter := 0; iter < iterations; iter++ {
+		cat := randomCatalog(rng, rng.Intn(3) > 0, rng.Intn(3) > 0)
+		sql := randomIcebergQuery(rng)
+		baseRes, err := engine.Exec(cat, sql)
+		if err != nil {
+			t.Fatalf("iter %d: baseline %q: %v", iter, sql, err)
+		}
+		base := canonical(baseRes.Rows)
+		sel, err := sqlparser.ParseSelect(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, opts := range combos {
+			res, report, err := Exec(cat, sel, opts)
+			if err != nil {
+				t.Fatalf("iter %d %s: %q: %v", iter, name, sql, err)
+			}
+			got := canonical(res.Rows)
+			if len(got) != len(base) {
+				t.Fatalf("iter %d %s: %q\nbaseline %d rows, optimized %d rows\nreport:\n%s",
+					iter, name, sql, len(base), len(got), report.String())
+			}
+			for i := range got {
+				if got[i] != base[i] {
+					t.Fatalf("iter %d %s: %q\nrow %d: %q vs %q\nreport:\n%s",
+						iter, name, sql, i, base[i], got[i], report.String())
+				}
+			}
+		}
+	}
+}
+
+// TestSubsumptionSoundness checks Definition 4 directly: whenever the
+// derived predicate claims w ⪰ w', the joining R-tuple sets must really
+// nest, for random instances and every join-condition template.
+func TestSubsumptionSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	joins := []string{
+		"l.x <= r.x AND l.y <= r.y",
+		"l.x <= r.x AND l.y <= r.y AND (l.x < r.x OR l.y < r.y)",
+		"l.x < r.x OR l.y < r.y",
+		"l.j = r.j AND l.x < r.x",
+		"l.x + l.y <= r.x + r.y",
+		"l.x <= r.x AND l.x >= r.x - 2",
+	}
+	for _, join := range joins {
+		sql := "SELECT l.id, COUNT(*) FROM A l, B r WHERE " + join +
+			" GROUP BY l.id HAVING COUNT(*) <= 3"
+		cat := randomCatalog(rng, true, true)
+		sel, err := sqlparser.ParseSelect(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk, err := analyzeBlock(cat, sel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outer := aliasSet([]*item{blk.items[0]})
+		_, crossing, _ := blk.partitionConjuncts(outer)
+		var jL, jR []*sqlparser.ColRef
+		seen := map[string]bool{}
+		for _, c := range crossing {
+			for _, ref := range engine.ColumnsOf(c) {
+				if seen[colAttr(ref)] {
+					continue
+				}
+				seen[colAttr(ref)] = true
+				if outer[ref.Qualifier] || ref.Qualifier == "l" {
+					jL = append(jL, ref)
+				} else {
+					jR = append(jR, ref)
+				}
+			}
+		}
+		pred, err := DerivePrune(blk, jL, jR, crossing, AntiMonotone)
+		if err != nil {
+			t.Fatalf("%s: %v", join, err)
+		}
+
+		// Build an evaluator of Θ over explicit (w, r) values.
+		concat := value.Schema{}
+		for _, c := range jL {
+			i, _ := blk.combined.Resolve(c.Qualifier, c.Name)
+			concat = append(concat, blk.combined[i])
+		}
+		rTab, _ := cat.Get("B")
+		concat = append(concat, rTab.Schema.Requalify("r")...)
+		theta, err := blk.compileConj(crossing, concat)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		randomBinding := func() []value.Value {
+			out := make([]value.Value, len(jL))
+			for i, c := range jL {
+				if c.Name == "j" {
+					out[i] = value.NewInt(int64(rng.Intn(5)))
+				} else {
+					out[i] = value.NewFloat(float64(rng.Intn(6)))
+				}
+			}
+			return out
+		}
+		joinsWith := func(w []value.Value, r value.Row) bool {
+			row := make(value.Row, 0, len(w)+len(r))
+			row = append(row, w...)
+			row = append(row, r...)
+			v, err := theta(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return !v.IsNull() && v.Bool()
+		}
+		for trial := 0; trial < 400; trial++ {
+			w, wp := randomBinding(), randomBinding()
+			// Check(cand=w, cached=wp) under anti-monotone Φ asserts
+			// R⋉w ⊇ R⋉wp.
+			if !pred.Check(w, wp) {
+				continue
+			}
+			for _, r := range rTab.Rows {
+				if joinsWith(wp, r) && !joinsWith(w, r) {
+					t.Fatalf("join %q: predicate claimed w=%v subsumes w'=%v but R-tuple %v joins only w'\npredicate: %s",
+						join, w, wp, r, pred.String())
+				}
+			}
+		}
+	}
+}
+
+// compileConj is a test helper exposing Θ compilation over a schema.
+func (b *block) compileConj(conjuncts []sqlparser.Expr, schema value.Schema) (func(value.Row) (value.Value, error), error) {
+	p := &engine.Planner{Catalog: b.cat, UseIndexes: true}
+	_ = p
+	c, err := compileExprForTest(engine.AndAll(conjuncts), schema)
+	return c, err
+}
+
+var _ = lincon.Numeric

@@ -1,0 +1,12 @@
+package iceberg
+
+import (
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// compileExprForTest compiles a scalar expression for tests.
+func compileExprForTest(e sqlparser.Expr, schema value.Schema) (expr.Compiled, error) {
+	return expr.Compile(e, schema, nil)
+}

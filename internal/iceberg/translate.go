@@ -1,0 +1,231 @@
+package iceberg
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"smarticeberg/internal/lincon"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// translator converts qualified SQL predicates into lincon formulas, mapping
+// column references to constraint variables. Numeric columns become Numeric
+// variables supporting linear arithmetic; string and boolean columns become
+// Uninterpreted variables supporting only (dis)equality.
+type translator struct {
+	sys   *lincon.System
+	vars  map[string]lincon.Var // qualified attr -> variable
+	kinds map[string]value.Kind
+}
+
+func newTranslator(sys *lincon.System) *translator {
+	return &translator{sys: sys, vars: map[string]lincon.Var{}, kinds: map[string]value.Kind{}}
+}
+
+// bind registers a variable for a column under the attribute name key.
+func (t *translator) bind(key, displayName string, kind value.Kind) lincon.Var {
+	lk := lincon.Numeric
+	if !kind.Numeric() {
+		lk = lincon.Uninterpreted
+	}
+	v := t.sys.NewVar(displayName, lk)
+	t.vars[key] = v
+	t.kinds[key] = kind
+	return v
+}
+
+// toFormula translates a boolean SQL expression. Column references resolve
+// through the remap function (allowing the same predicate to be instantiated
+// for both w and w' variable sets).
+func (t *translator) toFormula(e sqlparser.Expr, attrKey func(*sqlparser.ColRef) string) (*lincon.Formula, error) {
+	switch e := e.(type) {
+	case *sqlparser.BinOp:
+		switch e.Op {
+		case sqlparser.OpAnd:
+			l, err := t.toFormula(e.L, attrKey)
+			if err != nil {
+				return nil, err
+			}
+			r, err := t.toFormula(e.R, attrKey)
+			if err != nil {
+				return nil, err
+			}
+			return lincon.And(l, r), nil
+		case sqlparser.OpOr:
+			l, err := t.toFormula(e.L, attrKey)
+			if err != nil {
+				return nil, err
+			}
+			r, err := t.toFormula(e.R, attrKey)
+			if err != nil {
+				return nil, err
+			}
+			return lincon.Or(l, r), nil
+		case sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+			return t.comparison(e, attrKey)
+		}
+		return nil, fmt.Errorf("untranslatable operator %q", e.Op)
+	case *sqlparser.UnOp:
+		if e.Op == "NOT" {
+			inner, err := t.toFormula(e.E, attrKey)
+			if err != nil {
+				return nil, err
+			}
+			return lincon.Not(inner), nil
+		}
+		return nil, fmt.Errorf("untranslatable unary %q in predicate", e.Op)
+	}
+	return nil, fmt.Errorf("untranslatable predicate %s", e.String())
+}
+
+func (t *translator) comparison(e *sqlparser.BinOp, attrKey func(*sqlparser.ColRef) string) (*lincon.Formula, error) {
+	lNum := t.isNumeric(e.L, attrKey)
+	rNum := t.isNumeric(e.R, attrKey)
+	if lNum && rNum {
+		l, err := t.linear(e.L, attrKey)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.linear(e.R, attrKey)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case sqlparser.OpEq:
+			return lincon.AtomF(lincon.LinEQ(l, r)), nil
+		case sqlparser.OpNe:
+			return lincon.Or(lincon.AtomF(lincon.LinLT(l, r)), lincon.AtomF(lincon.LinLT(r, l))), nil
+		case sqlparser.OpLt:
+			return lincon.AtomF(lincon.LinLT(l, r)), nil
+		case sqlparser.OpLe:
+			return lincon.AtomF(lincon.LinLE(l, r)), nil
+		case sqlparser.OpGt:
+			return lincon.AtomF(lincon.LinLT(r, l)), nil
+		default:
+			return lincon.AtomF(lincon.LinLE(r, l)), nil
+		}
+	}
+	// Uninterpreted comparison: only equality forms are supported.
+	if e.Op != sqlparser.OpEq && e.Op != sqlparser.OpNe {
+		return nil, fmt.Errorf("order comparison on non-numeric operands: %s", e.String())
+	}
+	neg := e.Op == sqlparser.OpNe
+	lc, lok := e.L.(*sqlparser.ColRef)
+	rc, rok := e.R.(*sqlparser.ColRef)
+	switch {
+	case lok && rok:
+		a := lincon.UEq(t.varOf(lc, attrKey), t.varOf(rc, attrKey))
+		if neg {
+			a.Neg = true
+		}
+		return lincon.AtomF(a), nil
+	case lok:
+		lit, ok := e.R.(*sqlparser.Lit)
+		if !ok {
+			return nil, fmt.Errorf("untranslatable comparison %s", e.String())
+		}
+		a := lincon.UEqConst(t.varOf(lc, attrKey), lit.Val)
+		if neg {
+			a.Neg = true
+		}
+		return lincon.AtomF(a), nil
+	case rok:
+		lit, ok := e.L.(*sqlparser.Lit)
+		if !ok {
+			return nil, fmt.Errorf("untranslatable comparison %s", e.String())
+		}
+		a := lincon.UEqConst(t.varOf(rc, attrKey), lit.Val)
+		if neg {
+			a.Neg = true
+		}
+		return lincon.AtomF(a), nil
+	}
+	return nil, fmt.Errorf("untranslatable comparison %s", e.String())
+}
+
+func (t *translator) varOf(c *sqlparser.ColRef, attrKey func(*sqlparser.ColRef) string) lincon.Var {
+	return t.vars[attrKey(c)]
+}
+
+// isNumeric reports whether the expression is numeric-typed under the
+// current bindings.
+func (t *translator) isNumeric(e sqlparser.Expr, attrKey func(*sqlparser.ColRef) string) bool {
+	switch e := e.(type) {
+	case *sqlparser.Lit:
+		return e.Val.K.Numeric()
+	case *sqlparser.ColRef:
+		k, ok := t.kinds[attrKey(e)]
+		return ok && k.Numeric()
+	case *sqlparser.BinOp:
+		switch e.Op {
+		case sqlparser.OpAdd, sqlparser.OpSub, sqlparser.OpMul, sqlparser.OpDiv:
+			return t.isNumeric(e.L, attrKey) && t.isNumeric(e.R, attrKey)
+		}
+		return false
+	case *sqlparser.UnOp:
+		return e.Op == "-" && t.isNumeric(e.E, attrKey)
+	}
+	return false
+}
+
+// linear converts a numeric scalar expression into a linear form.
+// Multiplication requires one constant side; division a constant divisor.
+func (t *translator) linear(e sqlparser.Expr, attrKey func(*sqlparser.ColRef) string) (lincon.Linear, error) {
+	switch e := e.(type) {
+	case *sqlparser.Lit:
+		if !e.Val.K.Numeric() {
+			return lincon.Linear{}, fmt.Errorf("non-numeric literal %s", e.String())
+		}
+		f := e.Val.AsFloat()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return lincon.Linear{}, fmt.Errorf("non-finite literal %s", e.String())
+		}
+		return lincon.LinConst(f), nil
+	case *sqlparser.ColRef:
+		v, ok := t.vars[attrKey(e)]
+		if !ok {
+			return lincon.Linear{}, fmt.Errorf("unbound column %s", e.String())
+		}
+		return lincon.LinVar(v), nil
+	case *sqlparser.UnOp:
+		if e.Op != "-" {
+			return lincon.Linear{}, fmt.Errorf("untranslatable unary %q", e.Op)
+		}
+		inner, err := t.linear(e.E, attrKey)
+		if err != nil {
+			return lincon.Linear{}, err
+		}
+		return inner.Scale(-1), nil
+	case *sqlparser.BinOp:
+		l, err := t.linear(e.L, attrKey)
+		if err != nil {
+			return lincon.Linear{}, err
+		}
+		r, err := t.linear(e.R, attrKey)
+		if err != nil {
+			return lincon.Linear{}, err
+		}
+		switch e.Op {
+		case sqlparser.OpAdd:
+			return l.Add(r), nil
+		case sqlparser.OpSub:
+			return l.Sub(r), nil
+		case sqlparser.OpMul:
+			if l.IsConst() {
+				return r.ScaleRat(l.ConstRat()), nil
+			}
+			if r.IsConst() {
+				return l.ScaleRat(r.ConstRat()), nil
+			}
+			return lincon.Linear{}, fmt.Errorf("non-linear product %s", e.String())
+		case sqlparser.OpDiv:
+			if c := r.ConstRat(); r.IsConst() && c != nil && c.Sign() != 0 {
+				return l.ScaleRat(new(big.Rat).Inv(c)), nil
+			}
+			return lincon.Linear{}, fmt.Errorf("non-linear quotient %s", e.String())
+		}
+	}
+	return lincon.Linear{}, fmt.Errorf("untranslatable numeric expression %s", e.String())
+}

@@ -1,0 +1,356 @@
+package lincon
+
+import (
+	"fmt"
+)
+
+// EliminateExists removes the existentially quantified variables in elim
+// from the formula and returns an equivalent (or, where disequalities on
+// eliminated variables are involved, over-approximating) DNF over the
+// remaining variables. This is the paper's Section 5.2 procedure: the UE
+// step is performed by the caller (negating under the quantifier), ToDNF
+// performs the DE steps, and per-disjunct Fourier–Motzkin projection
+// performs the EE steps.
+func EliminateExists(sys *System, f *Formula, elim map[Var]bool) (DNF, error) {
+	dnf, err := ToDNF(f)
+	if err != nil {
+		return nil, err
+	}
+	var out DNF
+	for _, conj := range dnf {
+		res, sat, err := eliminateConj(sys, conj, elim)
+		if err != nil {
+			return nil, err
+		}
+		if !sat {
+			continue
+		}
+		// Drop disjuncts that are themselves unsatisfiable over the
+		// remaining variables (e.g. x < y ∧ y < x survives constant
+		// folding but projects to false) — Fourier–Motzkin elimination of
+		// every variable decides satisfiability of a linear conjunction.
+		feasible, err := Satisfiable(sys, res)
+		if err != nil {
+			return nil, err
+		}
+		if feasible {
+			out = append(out, res)
+		}
+	}
+	return Simplify(out), nil
+}
+
+// Satisfiable decides whether a conjunction of atoms has a solution over
+// dense ordered domains, by projecting out every variable. Disequalities
+// make the answer an over-approximation (it may say true for an
+// unsatisfiable conjunction, never false for a satisfiable one).
+func Satisfiable(sys *System, conj []Atom) (bool, error) {
+	all := map[Var]bool{}
+	for _, a := range conj {
+		a.Vars(all)
+	}
+	_, sat, err := eliminateConj(sys, conj, all)
+	if err != nil {
+		return false, err
+	}
+	// With every variable eliminated, only variable-free atoms could
+	// remain, and constantFold inside eliminateConj already decided them:
+	// sat is the answer.
+	return sat, nil
+}
+
+// eliminateConj projects all elim variables out of a conjunction. sat=false
+// means the conjunction is unsatisfiable and should be dropped.
+func eliminateConj(sys *System, conj []Atom, elim map[Var]bool) (result []Atom, sat bool, err error) {
+	atoms := append([]Atom(nil), conj...)
+	// Repeat until no eliminated variable remains.
+	for {
+		atoms, sat = constantFold(atoms)
+		if !sat {
+			return nil, false, nil
+		}
+		v, found := pickVar(atoms, elim)
+		if !found {
+			return atoms, true, nil
+		}
+		atoms, sat, err = eliminateVar(sys, atoms, v)
+		if err != nil {
+			return nil, false, err
+		}
+		if !sat {
+			return nil, false, nil
+		}
+	}
+}
+
+// pickVar selects the next variable to eliminate, preferring ones bound by
+// an equality (cheap substitution, no constraint blow-up).
+func pickVar(atoms []Atom, elim map[Var]bool) (Var, bool) {
+	var fallback Var
+	haveFallback := false
+	for _, a := range atoms {
+		set := map[Var]bool{}
+		a.Vars(set)
+		for v := range set {
+			if !elim[v] {
+				continue
+			}
+			isEq := (a.IsLin && a.Op == OpEQ) || (!a.IsLin && !a.Neg)
+			if isEq {
+				return v, true
+			}
+			if !haveFallback {
+				fallback, haveFallback = v, true
+			}
+		}
+	}
+	return fallback, haveFallback
+}
+
+func eliminateVar(sys *System, atoms []Atom, v Var) ([]Atom, bool, error) {
+	// 1) Equality substitution.
+	for i, a := range atoms {
+		if a.IsLin && a.Op == OpEQ && !ratZero(a.Lin.Coeff(v)) {
+			return substituteLin(atoms, i, v), true, nil
+		}
+		if !a.IsLin && !a.Neg && (a.X == v || (!a.YIsConst && a.Y == v)) {
+			return substituteUninterp(atoms, i, v), true, nil
+		}
+	}
+	// 2) No equality: project.
+	if sys.Kind(v) == Uninterpreted {
+		// Only disequalities (and no equalities) constrain v; an infinite
+		// domain always has a witness, so drop them.
+		var out []Atom
+		for _, a := range atoms {
+			if !a.Uses(v) {
+				out = append(out, a)
+			}
+		}
+		return out, true, nil
+	}
+	return fourierMotzkin(atoms, v)
+}
+
+// substituteLin eliminates v using linear equality atoms[idx]: v = expr.
+func substituteLin(atoms []Atom, idx int, v Var) []Atom {
+	eq := atoms[idx]
+	c := eq.Lin.Coeff(v)
+	// eq: c·v + rest = 0  =>  v = -(rest)/c
+	rest := eq.Lin.Sub(LinVar(v).ScaleRat(c))
+	repl := rest.ScaleRat(ratNeg(ratInv(c)))
+	var out []Atom
+	for i, a := range atoms {
+		if i == idx {
+			continue
+		}
+		if !a.IsLin || ratZero(a.Lin.Coeff(v)) {
+			out = append(out, a)
+			continue
+		}
+		cv := a.Lin.Coeff(v)
+		na := a
+		na.Lin = a.Lin.Sub(LinVar(v).ScaleRat(cv)).Add(repl.ScaleRat(cv))
+		out = append(out, na)
+	}
+	return out
+}
+
+// substituteUninterp eliminates v using an uninterpreted equality.
+func substituteUninterp(atoms []Atom, idx int, v Var) []Atom {
+	eq := atoms[idx]
+	// Determine the replacement term for v.
+	var replVar Var
+	replIsConst := eq.YIsConst && eq.X == v
+	var replConst = eq.YConst
+	switch {
+	case eq.X == v && eq.YIsConst:
+		// v = const
+	case eq.X == v:
+		replVar = eq.Y
+	default: // eq.Y == v
+		replVar = eq.X
+	}
+	var out []Atom
+	for i, a := range atoms {
+		if i == idx {
+			continue
+		}
+		if a.IsLin || !a.Uses(v) {
+			out = append(out, a)
+			continue
+		}
+		na := a
+		if na.X == v {
+			if replIsConst {
+				// Constant must land on the Y side: swap if needed.
+				if na.YIsConst {
+					// const-vs-const comparison; fold later via constantFold
+					// by encoding as a linear truth. Keep as-is with X
+					// replaced impossible, so emit a degenerate atom.
+					out = append(out, constBoolAtom(na.YConst.String() == replConst.String() != na.Neg))
+					continue
+				}
+				na.X = na.Y
+				na.Y = 0
+				na.YIsConst = true
+				na.YConst = replConst
+			} else {
+				na.X = replVar
+			}
+		} else if !na.YIsConst && na.Y == v {
+			if replIsConst {
+				na.YIsConst = true
+				na.YConst = replConst
+			} else {
+				na.Y = replVar
+			}
+		}
+		// Normalize x = x.
+		if !na.YIsConst && na.X == na.Y {
+			out = append(out, constBoolAtom(!na.Neg))
+			continue
+		}
+		out = append(out, na)
+	}
+	return out
+}
+
+// constBoolAtom encodes a constant truth value as a variable-free linear
+// atom (0 <= 0 for true, 1 <= 0 for false).
+func constBoolAtom(b bool) Atom {
+	if b {
+		return Atom{IsLin: true, Lin: LinConst(0), Op: OpLE}
+	}
+	return Atom{IsLin: true, Lin: LinConst(1), Op: OpLE}
+}
+
+// fourierMotzkin projects a numeric variable with no equality bindings.
+// Lower bounds (coeff < 0) pair with upper bounds (coeff > 0); strictness
+// propagates. Disequalities mentioning v are dropped (sound
+// over-approximation; see the package comment).
+func fourierMotzkin(atoms []Atom, v Var) ([]Atom, bool, error) {
+	var rest []Atom
+	type bound struct {
+		lin    Linear // the bound expression e in "v >= e" / "v <= e"
+		strict bool
+	}
+	var lowers, uppers []bound
+	for _, a := range atoms {
+		if !a.Uses(v) {
+			rest = append(rest, a)
+			continue
+		}
+		if !a.IsLin {
+			// Disequality involving v: drop.
+			continue
+		}
+		c := a.Lin.Coeff(v)
+		if a.Op == OpEQ {
+			return nil, false, fmt.Errorf("internal: equality should have been substituted")
+		}
+		// a.Lin = c·v + rest' ⋈ 0  =>  v ⋈ -(rest')/c with direction by sign.
+		restLin := a.Lin.Sub(LinVar(v).ScaleRat(c)).ScaleRat(ratNeg(ratInv(c)))
+		strict := a.Op == OpLT
+		if ratSign(c) > 0 {
+			uppers = append(uppers, bound{lin: restLin, strict: strict})
+		} else {
+			lowers = append(lowers, bound{lin: restLin, strict: strict})
+		}
+	}
+	// v unbounded on one side: all constraints on v satisfiable, drop them.
+	if len(lowers) == 0 || len(uppers) == 0 {
+		return rest, true, nil
+	}
+	for _, lo := range lowers {
+		for _, hi := range uppers {
+			na := Atom{IsLin: true, Lin: lo.lin.Sub(hi.lin)}
+			if lo.strict || hi.strict {
+				na.Op = OpLT
+			} else {
+				na.Op = OpLE
+			}
+			rest = append(rest, na)
+		}
+	}
+	return rest, true, nil
+}
+
+// constantFold removes trivially true atoms and detects contradictions.
+func constantFold(atoms []Atom) ([]Atom, bool) {
+	var out []Atom
+	for _, a := range atoms {
+		if truth, ok := a.ConstTruth(); ok {
+			if !truth {
+				return nil, false
+			}
+			continue
+		}
+		if !a.IsLin && !a.YIsConst && a.X == a.Y {
+			if a.Neg {
+				return nil, false
+			}
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, true
+}
+
+// Simplify deduplicates atoms within disjuncts, drops contradictory
+// disjuncts, and removes disjuncts subsumed by a weaker one (a disjunct
+// whose atom set is a superset of another's is redundant in a disjunction).
+func Simplify(d DNF) DNF {
+	type canon struct {
+		atoms []Atom
+		keys  map[string]bool
+	}
+	var cs []canon
+	for _, conj := range d {
+		folded, sat := constantFold(conj)
+		if !sat {
+			continue
+		}
+		keys := map[string]bool{}
+		var atoms []Atom
+		for _, a := range folded {
+			k := a.canonical()
+			if !keys[k] {
+				keys[k] = true
+				atoms = append(atoms, a)
+			}
+		}
+		cs = append(cs, canon{atoms: atoms, keys: keys})
+	}
+	// Subsumption: disjunct i is redundant if some j (j≠i) has keys ⊆ i's.
+	redundant := make([]bool, len(cs))
+	for i := range cs {
+		for j := range cs {
+			if i == j || redundant[i] || redundant[j] {
+				continue
+			}
+			if len(cs[j].keys) <= len(cs[i].keys) && subset(cs[j].keys, cs[i].keys) {
+				if len(cs[j].keys) == len(cs[i].keys) && j > i {
+					continue // identical; keep the earlier one
+				}
+				redundant[i] = true
+			}
+		}
+	}
+	var out DNF
+	for i, c := range cs {
+		if !redundant[i] {
+			out = append(out, c.atoms)
+		}
+	}
+	return out
+}
+
+func subset(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,674 @@
+// Package lincon implements the constraint reasoning of Section 5.2 of the
+// paper: formulas over linear arithmetic atoms (plus uninterpreted
+// equalities for non-numeric attributes), conversion to disjunctive normal
+// form, and elimination of existentially quantified variables with the
+// Fourier–Motzkin elimination method (the paper's UE/DE/EE steps).
+//
+// The subsumption predicate p⪰ of Definition 4 is derived by eliminating
+// the inner relation's variables from Θ(w',w_r) ∧ ¬Θ(w,w_r) and negating
+// the result; see the iceberg package for the query-side glue.
+//
+// Elimination is exact for conjunctions of linear constraints over dense
+// ordered domains. Disequalities (≠) on an eliminated variable are dropped,
+// which over-approximates satisfiability; since the caller negates the
+// eliminated formula, the resulting pruning predicate errs on the side of
+// not pruning — always sound.
+package lincon
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"smarticeberg/internal/value"
+)
+
+// Var identifies a variable within a System.
+type Var int
+
+// Kind classifies a variable's domain.
+type Kind uint8
+
+// Variable kinds. Numeric variables participate in linear arithmetic;
+// Uninterpreted variables support only (dis)equality.
+const (
+	Numeric Kind = iota
+	Uninterpreted
+)
+
+// System allocates variables and remembers their names and kinds.
+type System struct {
+	names []string
+	kinds []Kind
+}
+
+// NewSystem returns an empty variable system.
+func NewSystem() *System { return &System{} }
+
+// NewVar allocates a variable.
+func (s *System) NewVar(name string, k Kind) Var {
+	s.names = append(s.names, name)
+	s.kinds = append(s.kinds, k)
+	return Var(len(s.names) - 1)
+}
+
+// Name returns the variable's name.
+func (s *System) Name(v Var) string { return s.names[v] }
+
+// Kind returns the variable's kind.
+func (s *System) Kind(v Var) Kind { return s.kinds[v] }
+
+// NumVars returns the number of allocated variables.
+func (s *System) NumVars() int { return len(s.names) }
+
+// ---------------------------------------------------------------------------
+// Exact rational coefficients
+//
+// Coefficients are *big.Rat with nil standing for zero, so the zero value of
+// Linear is a valid 0 expression. All arithmetic below is exact: inside
+// Fourier–Motzkin elimination, coefficients are divided by one another
+// (e.g. x·3 projected out scales bounds by 1/3), and floating-point rounding
+// there would let almost-cancelling terms survive as spurious constraints —
+// an unsound pruning predicate. Rationals make cancellation exact.
+// (Runtime evaluation of the derived predicate still happens in float64,
+// matching how the SQL engine itself evaluates Θ.)
+
+func ratZero(r *big.Rat) bool { return r == nil || r.Sign() == 0 }
+
+func ratSign(r *big.Rat) int {
+	if r == nil {
+		return 0
+	}
+	return r.Sign()
+}
+
+func ratAdd(a, b *big.Rat) *big.Rat {
+	if ratZero(a) {
+		return b
+	}
+	if ratZero(b) {
+		return a
+	}
+	return new(big.Rat).Add(a, b)
+}
+
+func ratMul(a, b *big.Rat) *big.Rat {
+	if ratZero(a) || ratZero(b) {
+		return nil
+	}
+	return new(big.Rat).Mul(a, b)
+}
+
+func ratNeg(a *big.Rat) *big.Rat {
+	if ratZero(a) {
+		return nil
+	}
+	return new(big.Rat).Neg(a)
+}
+
+func ratInv(a *big.Rat) *big.Rat {
+	return new(big.Rat).Inv(a)
+}
+
+func ratFloat(a *big.Rat) float64 {
+	if a == nil {
+		return 0
+	}
+	f, _ := a.Float64()
+	return f
+}
+
+func ratIsInt(a *big.Rat, want int64) bool {
+	if a == nil {
+		return want == 0
+	}
+	return a.IsInt() && a.Num().IsInt64() && a.Num().Int64() == want
+}
+
+func ratFromFloat(f float64) *big.Rat {
+	if f == 0 {
+		return nil
+	}
+	r := new(big.Rat).SetFloat64(f)
+	return r // nil for NaN/Inf, which callers treat as 0 and must pre-check
+}
+
+func ratString(a *big.Rat) string {
+	if a == nil {
+		return "0"
+	}
+	if a.IsInt() {
+		return a.Num().String()
+	}
+	return a.RatString()
+}
+
+// ---------------------------------------------------------------------------
+// Linear expressions
+
+// LinTerm is one coefficient·variable term. A nil coefficient means zero
+// (such terms are never stored).
+type LinTerm struct {
+	Var   Var
+	Coeff *big.Rat
+}
+
+// Linear is Σ coeff·var + Const with exact rational coefficients. Terms are
+// kept sorted by variable and never hold zero coefficients. The zero value
+// is the constant 0.
+type Linear struct {
+	Terms []LinTerm
+	Const *big.Rat
+}
+
+// LinVar returns the linear expression consisting of a single variable.
+func LinVar(v Var) Linear {
+	return Linear{Terms: []LinTerm{{Var: v, Coeff: big.NewRat(1, 1)}}}
+}
+
+// LinConst returns a constant linear expression. The float is converted
+// exactly (every finite float64 is a rational); NaN/Inf become 0 — callers
+// validate finiteness first.
+func LinConst(c float64) Linear { return Linear{Const: ratFromFloat(c)} }
+
+// LinRat returns a constant linear expression from a rational.
+func LinRat(c *big.Rat) Linear { return Linear{Const: c} }
+
+// Coeff returns the coefficient of v (nil when absent, meaning 0).
+func (l Linear) Coeff(v Var) *big.Rat {
+	for _, t := range l.Terms {
+		if t.Var == v {
+			return t.Coeff
+		}
+	}
+	return nil
+}
+
+// Add returns l + o.
+func (l Linear) Add(o Linear) Linear { return l.addScaled(o, big.NewRat(1, 1)) }
+
+// Sub returns l - o.
+func (l Linear) Sub(o Linear) Linear { return l.addScaled(o, big.NewRat(-1, 1)) }
+
+// Scale returns k·l for a float constant (converted exactly).
+func (l Linear) Scale(k float64) Linear { return l.ScaleRat(ratFromFloat(k)) }
+
+// ScaleRat returns k·l.
+func (l Linear) ScaleRat(k *big.Rat) Linear {
+	if ratZero(k) {
+		return Linear{}
+	}
+	out := Linear{Const: ratMul(l.Const, k), Terms: make([]LinTerm, 0, len(l.Terms))}
+	for _, t := range l.Terms {
+		out.Terms = append(out.Terms, LinTerm{Var: t.Var, Coeff: ratMul(t.Coeff, k)})
+	}
+	return out
+}
+
+func (l Linear) addScaled(o Linear, k *big.Rat) Linear {
+	out := Linear{Const: ratAdd(l.Const, ratMul(k, o.Const))}
+	i, j := 0, 0
+	for i < len(l.Terms) || j < len(o.Terms) {
+		switch {
+		case j >= len(o.Terms) || (i < len(l.Terms) && l.Terms[i].Var < o.Terms[j].Var):
+			out.Terms = append(out.Terms, l.Terms[i])
+			i++
+		case i >= len(l.Terms) || o.Terms[j].Var < l.Terms[i].Var:
+			out.Terms = append(out.Terms, LinTerm{Var: o.Terms[j].Var, Coeff: ratMul(k, o.Terms[j].Coeff)})
+			j++
+		default:
+			c := ratAdd(l.Terms[i].Coeff, ratMul(k, o.Terms[j].Coeff))
+			if !ratZero(c) {
+				out.Terms = append(out.Terms, LinTerm{Var: l.Terms[i].Var, Coeff: c})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IsConst reports whether the expression has no variables.
+func (l Linear) IsConst() bool { return len(l.Terms) == 0 }
+
+// ConstRat returns the constant part.
+func (l Linear) ConstRat() *big.Rat { return l.Const }
+
+// String renders the expression using the system's variable names.
+func (l Linear) String(s *System) string {
+	if l.IsConst() {
+		return ratString(l.Const)
+	}
+	var b strings.Builder
+	for i, t := range l.Terms {
+		switch {
+		case i == 0 && ratIsInt(t.Coeff, 1):
+			b.WriteString(s.Name(t.Var))
+		case i == 0 && ratIsInt(t.Coeff, -1):
+			b.WriteString("-" + s.Name(t.Var))
+		case i == 0:
+			b.WriteString(ratString(t.Coeff) + "*" + s.Name(t.Var))
+		case ratIsInt(t.Coeff, 1):
+			b.WriteString(" + " + s.Name(t.Var))
+		case ratIsInt(t.Coeff, -1):
+			b.WriteString(" - " + s.Name(t.Var))
+		case ratSign(t.Coeff) > 0:
+			b.WriteString(" + " + ratString(t.Coeff) + "*" + s.Name(t.Var))
+		default:
+			b.WriteString(" - " + ratString(ratNeg(t.Coeff)) + "*" + s.Name(t.Var))
+		}
+	}
+	if ratSign(l.Const) > 0 {
+		b.WriteString(" + " + ratString(l.Const))
+	} else if ratSign(l.Const) < 0 {
+		b.WriteString(" - " + ratString(ratNeg(l.Const)))
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Atoms
+
+// AtomOp is the relation of a linear atom: Lin op 0.
+type AtomOp uint8
+
+// Linear atom relations.
+const (
+	OpLE AtomOp = iota // Lin <= 0
+	OpLT               // Lin <  0
+	OpEQ               // Lin == 0
+)
+
+// Atom is a primitive constraint: either a linear constraint over numeric
+// variables (Lin ⋈ 0) or an uninterpreted (dis)equality between a variable
+// and a variable-or-constant.
+type Atom struct {
+	// Linear form (IsLin true): Lin Op 0.
+	IsLin bool
+	Lin   Linear
+	Op    AtomOp
+
+	// Uninterpreted form (IsLin false): X (=|≠) Y/YConst.
+	X        Var
+	YIsConst bool
+	Y        Var
+	YConst   value.Value
+	Neg      bool // true for ≠
+}
+
+// LinLE builds lhs <= rhs as an atom.
+func LinLE(lhs, rhs Linear) Atom { return Atom{IsLin: true, Lin: lhs.Sub(rhs), Op: OpLE} }
+
+// LinLT builds lhs < rhs.
+func LinLT(lhs, rhs Linear) Atom { return Atom{IsLin: true, Lin: lhs.Sub(rhs), Op: OpLT} }
+
+// LinEQ builds lhs = rhs.
+func LinEQ(lhs, rhs Linear) Atom { return Atom{IsLin: true, Lin: lhs.Sub(rhs), Op: OpEQ} }
+
+// UEq builds the uninterpreted equality x = y.
+func UEq(x, y Var) Atom { return Atom{X: x, Y: y} }
+
+// UEqConst builds x = c for a constant c.
+func UEqConst(x Var, c value.Value) Atom { return Atom{X: x, YIsConst: true, YConst: c} }
+
+// UNe builds x ≠ y.
+func UNe(x, y Var) Atom { return Atom{X: x, Y: y, Neg: true} }
+
+// UNeConst builds x ≠ c.
+func UNeConst(x Var, c value.Value) Atom { return Atom{X: x, YIsConst: true, YConst: c, Neg: true} }
+
+// Vars adds the atom's variables to set.
+func (a Atom) Vars(set map[Var]bool) {
+	if a.IsLin {
+		for _, t := range a.Lin.Terms {
+			set[t.Var] = true
+		}
+		return
+	}
+	set[a.X] = true
+	if !a.YIsConst {
+		set[a.Y] = true
+	}
+}
+
+// Uses reports whether the atom mentions v.
+func (a Atom) Uses(v Var) bool {
+	if a.IsLin {
+		return !ratZero(a.Lin.Coeff(v))
+	}
+	return a.X == v || (!a.YIsConst && a.Y == v)
+}
+
+// ConstTruth evaluates an atom with no variables. ok is false when the atom
+// still has variables.
+func (a Atom) ConstTruth() (truth, ok bool) {
+	if a.IsLin {
+		if !a.Lin.IsConst() {
+			return false, false
+		}
+		switch a.Op {
+		case OpLE:
+			return ratSign(a.Lin.Const) <= 0, true
+		case OpLT:
+			return ratSign(a.Lin.Const) < 0, true
+		default:
+			return ratSign(a.Lin.Const) == 0, true
+		}
+	}
+	return false, false
+}
+
+// String renders the atom.
+func (a Atom) String(s *System) string {
+	if a.IsLin {
+		op := map[AtomOp]string{OpLE: "<=", OpLT: "<", OpEQ: "="}[a.Op]
+		// Move negative terms and constant to the right-hand side for
+		// readability: split positive and negative parts.
+		lhs, rhs := Linear{}, Linear{}
+		for _, t := range a.Lin.Terms {
+			if ratSign(t.Coeff) > 0 {
+				lhs.Terms = append(lhs.Terms, t)
+			} else {
+				rhs.Terms = append(rhs.Terms, LinTerm{Var: t.Var, Coeff: ratNeg(t.Coeff)})
+			}
+		}
+		if ratSign(a.Lin.Const) > 0 {
+			lhs.Const = a.Lin.Const
+		} else {
+			rhs.Const = ratNeg(a.Lin.Const)
+		}
+		ls, rs := lhs.String(s), rhs.String(s)
+		if len(lhs.Terms) == 0 && ratZero(lhs.Const) {
+			ls = "0"
+		}
+		if len(rhs.Terms) == 0 && ratZero(rhs.Const) {
+			rs = "0"
+		}
+		return ls + " " + op + " " + rs
+	}
+	op := "="
+	if a.Neg {
+		op = "<>"
+	}
+	if a.YIsConst {
+		return s.Name(a.X) + " " + op + " '" + a.YConst.String() + "'"
+	}
+	return s.Name(a.X) + " " + op + " " + s.Name(a.Y)
+}
+
+// Eval evaluates the atom under an assignment.
+func (a Atom) Eval(assign func(Var) value.Value) (bool, error) {
+	if a.IsLin {
+		sum := ratFloat(a.Lin.Const)
+		for _, t := range a.Lin.Terms {
+			v := assign(t.Var)
+			if !v.K.Numeric() {
+				return false, fmt.Errorf("non-numeric value %s for numeric variable", v)
+			}
+			sum += ratFloat(t.Coeff) * v.AsFloat()
+		}
+		switch a.Op {
+		case OpLE:
+			return sum <= 0, nil
+		case OpLT:
+			return sum < 0, nil
+		default:
+			return sum == 0, nil
+		}
+	}
+	x := assign(a.X)
+	var y value.Value
+	if a.YIsConst {
+		y = a.YConst
+	} else {
+		y = assign(a.Y)
+	}
+	eq := value.Identical(x, y)
+	return eq != a.Neg, nil
+}
+
+// canonical returns a normalized key for deduplication: linear atoms are
+// scaled so the leading coefficient is positive.
+func (a Atom) canonical() string {
+	if !a.IsLin {
+		neg := ""
+		if a.Neg {
+			neg = "!"
+		}
+		if a.YIsConst {
+			return fmt.Sprintf("u%s:%d=%s", neg, a.X, a.YConst.String())
+		}
+		x, y := a.X, a.Y
+		if y < x {
+			x, y = y, x
+		}
+		return fmt.Sprintf("u%s:%d=%d", neg, x, y)
+	}
+	l := a.Lin
+	if len(l.Terms) > 0 && ratSign(l.Terms[0].Coeff) < 0 && a.Op == OpEQ {
+		l = l.Scale(-1)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "l%d:", a.Op)
+	for _, t := range l.Terms {
+		fmt.Fprintf(&b, "%d*%s,", t.Var, ratString(t.Coeff))
+	}
+	fmt.Fprintf(&b, "|%s", ratString(l.Const))
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Formulas
+
+// Formula is a boolean combination of atoms.
+type Formula struct {
+	kind formulaKind
+	atom Atom
+	subs []*Formula
+}
+
+type formulaKind uint8
+
+const (
+	fAtom formulaKind = iota
+	fAnd
+	fOr
+	fNot
+	fTrue
+	fFalse
+)
+
+// True is the trivially true formula.
+func True() *Formula { return &Formula{kind: fTrue} }
+
+// False is the trivially false formula.
+func False() *Formula { return &Formula{kind: fFalse} }
+
+// AtomF wraps an atom as a formula.
+func AtomF(a Atom) *Formula { return &Formula{kind: fAtom, atom: a} }
+
+// And conjoins formulas.
+func And(fs ...*Formula) *Formula { return &Formula{kind: fAnd, subs: fs} }
+
+// Or disjoins formulas.
+func Or(fs ...*Formula) *Formula { return &Formula{kind: fOr, subs: fs} }
+
+// Not negates a formula.
+func Not(f *Formula) *Formula { return &Formula{kind: fNot, subs: []*Formula{f}} }
+
+// negateAtom returns the formula ¬a. Equality atoms split into strict
+// disjunctions; everything else stays a single atom.
+func negateAtom(a Atom) *Formula {
+	if a.IsLin {
+		switch a.Op {
+		case OpLE: // ¬(L<=0) = L>0 = -L<0
+			return AtomF(Atom{IsLin: true, Lin: a.Lin.Scale(-1), Op: OpLT})
+		case OpLT: // ¬(L<0) = L>=0 = -L<=0
+			return AtomF(Atom{IsLin: true, Lin: a.Lin.Scale(-1), Op: OpLE})
+		default: // ¬(L=0) = L<0 ∨ -L<0
+			return Or(
+				AtomF(Atom{IsLin: true, Lin: a.Lin, Op: OpLT}),
+				AtomF(Atom{IsLin: true, Lin: a.Lin.Scale(-1), Op: OpLT}),
+			)
+		}
+	}
+	na := a
+	na.Neg = !a.Neg
+	return AtomF(na)
+}
+
+// MaxDNFSize bounds DNF blow-up; ToDNF fails beyond it rather than hanging.
+const MaxDNFSize = 100000
+
+// DNF is a disjunction of conjunctions of atoms.
+type DNF [][]Atom
+
+// ToDNF converts a formula to disjunctive normal form, pushing negations to
+// the atoms first (the paper's UE step produces the initial negation; the DE
+// step corresponds to the distribution done here).
+func ToDNF(f *Formula) (DNF, error) {
+	nnf := pushNot(f, false)
+	return distribute(nnf)
+}
+
+func pushNot(f *Formula, neg bool) *Formula {
+	switch f.kind {
+	case fTrue:
+		if neg {
+			return False()
+		}
+		return f
+	case fFalse:
+		if neg {
+			return True()
+		}
+		return f
+	case fAtom:
+		if neg {
+			return negateAtom(f.atom)
+		}
+		return f
+	case fNot:
+		return pushNot(f.subs[0], !neg)
+	case fAnd, fOr:
+		kind := f.kind
+		if neg {
+			if kind == fAnd {
+				kind = fOr
+			} else {
+				kind = fAnd
+			}
+		}
+		out := &Formula{kind: kind}
+		for _, s := range f.subs {
+			out.subs = append(out.subs, pushNot(s, neg))
+		}
+		return out
+	}
+	return f
+}
+
+func distribute(f *Formula) (DNF, error) {
+	switch f.kind {
+	case fTrue:
+		return DNF{{}}, nil
+	case fFalse:
+		return DNF{}, nil
+	case fAtom:
+		return DNF{{f.atom}}, nil
+	case fOr:
+		var out DNF
+		for _, s := range f.subs {
+			d, err := distribute(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, d...)
+			if len(out) > MaxDNFSize {
+				return nil, fmt.Errorf("DNF exceeds %d disjuncts", MaxDNFSize)
+			}
+		}
+		return out, nil
+	case fAnd:
+		out := DNF{{}}
+		for _, s := range f.subs {
+			d, err := distribute(s)
+			if err != nil {
+				return nil, err
+			}
+			var next DNF
+			for _, c1 := range out {
+				for _, c2 := range d {
+					conj := make([]Atom, 0, len(c1)+len(c2))
+					conj = append(conj, c1...)
+					conj = append(conj, c2...)
+					next = append(next, conj)
+					if len(next) > MaxDNFSize {
+						return nil, fmt.Errorf("DNF exceeds %d disjuncts", MaxDNFSize)
+					}
+				}
+			}
+			out = next
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("distribute: bad formula kind %d", f.kind)
+}
+
+// Eval evaluates the DNF under an assignment.
+func (d DNF) Eval(assign func(Var) value.Value) (bool, error) {
+	for _, conj := range d {
+		all := true
+		for _, a := range conj {
+			ok, err := a.Eval(assign)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// String renders the DNF.
+func (d DNF) String(s *System) string {
+	if len(d) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(d))
+	for i, conj := range d {
+		if len(conj) == 0 {
+			parts[i] = "true"
+			continue
+		}
+		atoms := make([]string, len(conj))
+		for j, a := range conj {
+			atoms[j] = a.String(s)
+		}
+		parts[i] = "(" + strings.Join(atoms, " AND ") + ")"
+	}
+	return strings.Join(parts, " OR ")
+}
+
+// Vars returns the variables used anywhere in the DNF, sorted.
+func (d DNF) Vars() []Var {
+	set := map[Var]bool{}
+	for _, conj := range d {
+		for _, a := range conj {
+			a.Vars(set)
+		}
+	}
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

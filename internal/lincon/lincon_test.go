@@ -1,0 +1,383 @@
+package lincon
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smarticeberg/internal/value"
+)
+
+// skybandTheta builds the k-skyband join condition of Listing 2 over the
+// given outer variables (x,y) and inner variables (xr,yr):
+// x <= xr AND y <= yr AND (x < xr OR y < yr).
+func skybandTheta(x, y, xr, yr Var) *Formula {
+	return And(
+		AtomF(LinLE(LinVar(x), LinVar(xr))),
+		AtomF(LinLE(LinVar(y), LinVar(yr))),
+		Or(
+			AtomF(LinLT(LinVar(x), LinVar(xr))),
+			AtomF(LinLT(LinVar(y), LinVar(yr))),
+		),
+	)
+}
+
+// simpleTheta is the simplified condition of Example 11: x < xr AND y < yr.
+func simpleTheta(x, y, xr, yr Var) *Formula {
+	return And(
+		AtomF(LinLT(LinVar(x), LinVar(xr))),
+		AtomF(LinLT(LinVar(y), LinVar(yr))),
+	)
+}
+
+// deriveNotSubsumption eliminates the inner variables from
+// Θ(w',wr) ∧ ¬Θ(w,wr); the subsumption predicate is its negation.
+func deriveNotSubsumption(t *testing.T, theta func(x, y, xr, yr Var) *Formula) (*System, DNF, [4]Var) {
+	t.Helper()
+	sys := NewSystem()
+	x := sys.NewVar("x", Numeric)
+	y := sys.NewVar("y", Numeric)
+	xp := sys.NewVar("x'", Numeric)
+	yp := sys.NewVar("y'", Numeric)
+	xr := sys.NewVar("xr", Numeric)
+	yr := sys.NewVar("yr", Numeric)
+	f := And(theta(xp, yp, xr, yr), Not(theta(x, y, xr, yr)))
+	d, err := EliminateExists(sys, f, map[Var]bool{xr: true, yr: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, d, [4]Var{x, y, xp, yp}
+}
+
+// TestSubsumptionSkyband reproduces Example 11 and Appendix B: for both the
+// simplified and the full skyband join condition, the derived ¬p⪰ must be
+// semantically equivalent to (x' < x) OR (y' < y), i.e. p⪰ ≡ x<=x' ∧ y<=y'.
+func TestSubsumptionSkyband(t *testing.T) {
+	for name, theta := range map[string]func(x, y, xr, yr Var) *Formula{
+		"simplified(Example11)": simpleTheta,
+		"full(AppendixB)":       skybandTheta,
+	} {
+		sys, d, vars := deriveNotSubsumption(t, theta)
+		t.Logf("%s: ¬p⪰ = %s", name, d.String(sys))
+		grid := []float64{-2, -1, 0, 0.5, 1, 2}
+		for _, xv := range grid {
+			for _, yv := range grid {
+				for _, xpv := range grid {
+					for _, ypv := range grid {
+						assign := func(v Var) value.Value {
+							switch v {
+							case vars[0]:
+								return value.NewFloat(xv)
+							case vars[1]:
+								return value.NewFloat(yv)
+							case vars[2]:
+								return value.NewFloat(xpv)
+							case vars[3]:
+								return value.NewFloat(ypv)
+							}
+							t.Fatalf("unexpected var %d", v)
+							return value.NullValue
+						}
+						got, err := d.Eval(assign)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want := xpv < xv || ypv < yv
+						if got != want {
+							t.Fatalf("%s: at x=%v y=%v x'=%v y'=%v: got %v want %v (¬p⪰ = %s)",
+								name, xv, yv, xpv, ypv, got, want, d.String(sys))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEliminationPreservesSatisfiability: eliminating a variable from a
+// random conjunction of linear atoms must keep the projection semantics:
+// the eliminated DNF holds on an assignment of the remaining variables iff
+// some value of the eliminated variable satisfies the original (checked on
+// a discretized witness grid, which FME theory guarantees is enough here
+// because all our coefficients are ±1 and bounds land on grid points).
+func TestEliminationPreservesSatisfiability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sys := NewSystem()
+	const nv = 4
+	vars := make([]Var, nv)
+	for i := range vars {
+		vars[i] = sys.NewVar(string(rune('a'+i)), Numeric)
+	}
+	elimVar := vars[nv-1]
+	for iter := 0; iter < 300; iter++ {
+		// Random conjunction of var-vs-var / var-vs-const comparisons.
+		n := 1 + rng.Intn(4)
+		var conj []Atom
+		f := make([]*Formula, 0, n)
+		for i := 0; i < n; i++ {
+			l := LinVar(vars[rng.Intn(nv)])
+			var r Linear
+			if rng.Intn(3) == 0 {
+				r = LinConst(float64(rng.Intn(5) - 2))
+			} else {
+				r = LinVar(vars[rng.Intn(nv)])
+			}
+			var a Atom
+			switch rng.Intn(3) {
+			case 0:
+				a = LinLE(l, r)
+			case 1:
+				a = LinLT(l, r)
+			default:
+				a = LinEQ(l, r)
+			}
+			conj = append(conj, a)
+			f = append(f, AtomF(a))
+		}
+		d, err := EliminateExists(sys, And(f...), map[Var]bool{elimVar: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare on a grid of the remaining variables.
+		grid := []float64{-2, -1, -0.5, 0, 0.5, 1, 2, 3}
+		witness := []float64{-4, -2.5, -2, -1.5, -1, -0.75, -0.5, -0.25, 0, 0.25, 0.5, 0.75, 1, 1.5, 2, 2.5, 3, 4.5}
+		var vals [nv]float64
+		var rec func(i int)
+		failed := false
+		rec = func(i int) {
+			if failed {
+				return
+			}
+			if i == nv-1 {
+				assign := func(v Var) value.Value { return value.NewFloat(vals[int(v)]) }
+				got, err := d.Eval(assign)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := false
+				for _, w := range witness {
+					vals[nv-1] = w
+					all := true
+					for _, a := range conj {
+						ok, err := a.Eval(assign)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !ok {
+							all = false
+							break
+						}
+					}
+					if all {
+						want = true
+						break
+					}
+				}
+				if got != want {
+					failed = true
+					t.Errorf("iter %d: projection mismatch at %v: got %v want %v\nconj atoms: %d, result: %s",
+						iter, vals[:nv-1], got, want, len(conj), d.String(sys))
+				}
+				return
+			}
+			for _, g := range grid {
+				vals[i] = g
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		if failed {
+			return
+		}
+	}
+}
+
+// TestUninterpretedEquality checks substitution of string-typed variables.
+func TestUninterpretedEquality(t *testing.T) {
+	sys := NewSystem()
+	a := sys.NewVar("a", Uninterpreted)
+	b := sys.NewVar("b", Uninterpreted)
+	c := sys.NewVar("c", Uninterpreted)
+	// ∃c: a = c ∧ c = b  ≡  a = b
+	f := And(AtomF(UEq(a, c)), AtomF(UEq(c, b)))
+	d, err := EliminateExists(sys, f, map[Var]bool{c: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(av, bv string, want bool) {
+		t.Helper()
+		got, err := d.Eval(func(v Var) value.Value {
+			if v == a {
+				return value.NewStr(av)
+			}
+			return value.NewStr(bv)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("a=%q b=%q: got %v want %v (%s)", av, bv, got, want, d.String(sys))
+		}
+	}
+	check("x", "x", true)
+	check("x", "y", false)
+
+	// ∃c: a = c ∧ c ≠ b — c exists unless... always satisfiable picking
+	// c = a when a ≠ b; when a = b there is no witness, but dropping the
+	// disequality over-approximates to true. Soundness direction only:
+	// result must be implied-by the exact projection (a ≠ b).
+	f2 := And(AtomF(UEq(a, c)), AtomF(UNe(c, b)))
+	d2, err := EliminateExists(sys, f2, map[Var]bool{c: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d2.Eval(func(v Var) value.Value {
+		if v == a {
+			return value.NewStr("x")
+		}
+		return value.NewStr("y")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Errorf("exact projection a≠b must imply eliminated result")
+	}
+}
+
+// TestDNFProperties uses testing/quick to verify that ToDNF preserves
+// semantics of random formulas.
+func TestDNFProperties(t *testing.T) {
+	sys := NewSystem()
+	vars := []Var{sys.NewVar("p", Numeric), sys.NewVar("q", Numeric), sys.NewVar("r", Numeric)}
+	type node struct {
+		f     *Formula
+		check func(map[Var]float64) bool
+	}
+	var build func(rng *rand.Rand, depth int) node
+	build = func(rng *rand.Rand, depth int) node {
+		if depth == 0 || rng.Intn(3) == 0 {
+			l, r := vars[rng.Intn(3)], vars[rng.Intn(3)]
+			switch rng.Intn(3) {
+			case 0:
+				return node{AtomF(LinLE(LinVar(l), LinVar(r))), func(m map[Var]float64) bool { return m[l] <= m[r] }}
+			case 1:
+				return node{AtomF(LinLT(LinVar(l), LinVar(r))), func(m map[Var]float64) bool { return m[l] < m[r] }}
+			default:
+				return node{AtomF(LinEQ(LinVar(l), LinVar(r))), func(m map[Var]float64) bool { return m[l] == m[r] }}
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			a, b := build(rng, depth-1), build(rng, depth-1)
+			return node{And(a.f, b.f), func(m map[Var]float64) bool { return a.check(m) && b.check(m) }}
+		case 1:
+			a, b := build(rng, depth-1), build(rng, depth-1)
+			return node{Or(a.f, b.f), func(m map[Var]float64) bool { return a.check(m) || b.check(m) }}
+		default:
+			a := build(rng, depth-1)
+			return node{Not(a.f), func(m map[Var]float64) bool { return !a.check(m) }}
+		}
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(seed int64, p, q, r int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := build(rng, 3)
+		dnf, err := ToDNF(n.f)
+		if err != nil {
+			return false
+		}
+		m := map[Var]float64{vars[0]: float64(p % 4), vars[1]: float64(q % 4), vars[2]: float64(r % 4)}
+		got, err := dnf.Eval(func(v Var) value.Value { return value.NewFloat(m[v]) })
+		if err != nil {
+			return false
+		}
+		return got == n.check(m)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSatisfiable checks the conjunction-satisfiability decision procedure.
+func TestSatisfiable(t *testing.T) {
+	sys := NewSystem()
+	x := sys.NewVar("x", Numeric)
+	y := sys.NewVar("y", Numeric)
+	u := sys.NewVar("u", Uninterpreted)
+	v := sys.NewVar("v", Uninterpreted)
+	cases := []struct {
+		name string
+		conj []Atom
+		want bool
+	}{
+		{"empty", nil, true},
+		{"x<y,y<x", []Atom{LinLT(LinVar(x), LinVar(y)), LinLT(LinVar(y), LinVar(x))}, false},
+		{"x<=y,y<=x", []Atom{LinLE(LinVar(x), LinVar(y)), LinLE(LinVar(y), LinVar(x))}, true},
+		{"x<y,y<x+2", []Atom{LinLT(LinVar(x), LinVar(y)), LinLT(LinVar(y), LinVar(x).Add(LinConst(2)))}, true},
+		{"x=y,x<y", []Atom{LinEQ(LinVar(x), LinVar(y)), LinLT(LinVar(x), LinVar(y))}, false},
+		{"const false", []Atom{LinLT(LinConst(1), LinConst(0))}, false},
+		{"u=v,u<>v", []Atom{UEq(u, v), UNe(u, v)}, false},
+		{"u=v alone", []Atom{UEq(u, v)}, true},
+		{"chain infeasible", []Atom{
+			LinLE(LinVar(x), LinConst(0)),
+			LinLE(LinConst(5), LinVar(y)),
+			LinLE(LinVar(y), LinVar(x)),
+		}, false},
+	}
+	for _, c := range cases {
+		got, err := Satisfiable(sys, c.conj)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: Satisfiable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRationalExactness: coefficients like 1/3 must cancel exactly through
+// elimination; with float64 arithmetic the residue would survive as a
+// spurious constraint.
+func TestRationalExactness(t *testing.T) {
+	sys := NewSystem()
+	x := sys.NewVar("x", Numeric)
+	y := sys.NewVar("y", Numeric)
+	z := sys.NewVar("z", Numeric)
+	third := LinVar(x).Scale(1).ScaleRat(bigRat(1, 3))
+	sixth := LinVar(x).ScaleRat(bigRat(1, 6))
+	half := LinVar(x).ScaleRat(bigRat(1, 2))
+	// x/3 + x/6 - x/2 == 0 exactly.
+	sum := third.Add(sixth).Sub(half)
+	if !sum.IsConst() || ratSign(sum.ConstRat()) != 0 {
+		t.Fatalf("x/3 + x/6 - x/2 must cancel exactly, got %s", sum.String(sys))
+	}
+	// ∃z: 3z = x ∧ z < y  ≡  x < 3y; check semantics on a grid.
+	f := And(
+		AtomF(LinEQ(LinVar(z).Scale(3), LinVar(x))),
+		AtomF(LinLT(LinVar(z), LinVar(y))),
+	)
+	d, err := EliminateExists(sys, f, map[Var]bool{z: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for xv := -6.0; xv <= 6; xv += 1.5 {
+		for yv := -3.0; yv <= 3; yv += 0.75 {
+			got, err := d.Eval(func(v Var) value.Value {
+				if v == x {
+					return value.NewFloat(xv)
+				}
+				return value.NewFloat(yv)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := xv < 3*yv; got != want {
+				t.Fatalf("x=%v y=%v: got %v want %v (%s)", xv, yv, got, want, d.String(sys))
+			}
+		}
+	}
+}
+
+func bigRat(n, d int64) *big.Rat { return big.NewRat(n, d) }

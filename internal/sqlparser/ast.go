@@ -1,0 +1,290 @@
+// Package sqlparser provides a hand-written lexer and recursive-descent
+// parser for the SQL subset exercised by the paper's workloads: WITH, single-
+// and multi-block SELECT with joins in the FROM/WHERE style, GROUP BY,
+// HAVING, aggregate functions (including DISTINCT and *), derived tables,
+// (tuple) IN subqueries, ORDER BY, LIMIT, CREATE TABLE, and INSERT.
+package sqlparser
+
+import (
+	"strings"
+
+	"smarticeberg/internal/value"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column in a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type value.Kind
+}
+
+// CreateTable is a CREATE TABLE statement. PrimaryKey lists the key columns
+// (possibly empty).
+type CreateTable struct {
+	Name       string
+	Columns    []ColumnDef
+	PrimaryKey []string
+}
+
+func (*CreateTable) stmt() {}
+
+// Insert is an INSERT ... VALUES statement.
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+func (*Insert) stmt() {}
+
+// CTE is one WITH common-table-expression.
+type CTE struct {
+	Name  string
+	Query *Select
+}
+
+// SelectItem is one projection in the SELECT list. Star marks a bare `*`.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a (possibly nested) SELECT statement.
+type Select struct {
+	With     []CTE
+	Distinct bool
+	Items    []SelectItem
+	From     []TableExpr
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    *int64
+}
+
+func (*Select) stmt() {}
+
+// TableExpr is an item in the FROM clause.
+type TableExpr interface{ tableExpr() }
+
+// TableRef names a base table or CTE, with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (*TableRef) tableExpr() {}
+
+// AliasName returns the name the table is reachable under.
+func (t *TableRef) AliasName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// SubqueryRef is a derived table: (SELECT ...) alias.
+type SubqueryRef struct {
+	Query *Select
+	Alias string
+}
+
+func (*SubqueryRef) tableExpr() {}
+
+// Expr is a scalar SQL expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// ColRef is a (possibly qualified) column reference.
+type ColRef struct {
+	Qualifier string
+	Name      string
+}
+
+func (*ColRef) expr() {}
+
+// String renders the reference.
+func (c *ColRef) String() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+// Lit is a literal constant.
+type Lit struct {
+	Val value.Value
+}
+
+func (*Lit) expr() {}
+
+// String renders the literal.
+func (l *Lit) String() string {
+	if l.Val.K == value.Str {
+		return "'" + strings.ReplaceAll(l.Val.S, "'", "''") + "'"
+	}
+	return l.Val.String()
+}
+
+// Binary operators produced by the parser.
+const (
+	OpAdd = "+"
+	OpSub = "-"
+	OpMul = "*"
+	OpDiv = "/"
+	OpEq  = "="
+	OpNe  = "<>"
+	OpLt  = "<"
+	OpLe  = "<="
+	OpGt  = ">"
+	OpGe  = ">="
+	OpAnd = "AND"
+	OpOr  = "OR"
+)
+
+// BinOp is a binary operation.
+type BinOp struct {
+	Op string
+	L  Expr
+	R  Expr
+}
+
+func (*BinOp) expr() {}
+
+// String renders the operation with explicit parentheses.
+func (b *BinOp) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// UnOp is a unary operation: "-" or "NOT".
+type UnOp struct {
+	Op string
+	E  Expr
+}
+
+func (*UnOp) expr() {}
+
+// String renders the operation.
+func (u *UnOp) String() string { return "(" + u.Op + " " + u.E.String() + ")" }
+
+// FuncCall is a function call; the engine recognizes the aggregate functions
+// COUNT, SUM, AVG, MIN, MAX plus scalar ABS.
+type FuncCall struct {
+	Name     string // upper-cased
+	Distinct bool
+	Star     bool // COUNT(*)
+	Args     []Expr
+}
+
+func (*FuncCall) expr() {}
+
+// String renders the call.
+func (f *FuncCall) String() string {
+	var b strings.Builder
+	b.WriteString(f.Name)
+	b.WriteByte('(')
+	if f.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if f.Star {
+		b.WriteByte('*')
+	} else {
+		for i, a := range f.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// InSubquery is `(e1, ..., ek) IN (SELECT ...)` or `e IN (SELECT ...)`.
+type InSubquery struct {
+	Exprs   []Expr
+	Query   *Select
+	Negated bool
+}
+
+func (*InSubquery) expr() {}
+
+// String renders the membership test (subquery elided).
+func (in *InSubquery) String() string {
+	parts := make([]string, len(in.Exprs))
+	for i, e := range in.Exprs {
+		parts[i] = e.String()
+	}
+	op := "IN"
+	if in.Negated {
+		op = "NOT IN"
+	}
+	return "(" + strings.Join(parts, ", ") + ") " + op + " (SELECT ...)"
+}
+
+// ScalarSubquery is `(SELECT ...)` used as a scalar expression; it must
+// produce at most one row of one column (zero rows yield NULL).
+type ScalarSubquery struct {
+	Query *Select
+}
+
+func (*ScalarSubquery) expr() {}
+
+// String renders the subquery placeholder.
+func (*ScalarSubquery) String() string { return "(SELECT ...)" }
+
+// CaseWhen is a searched CASE expression:
+// CASE WHEN cond THEN val [WHEN ...] [ELSE val] END.
+type CaseWhen struct {
+	Whens []WhenClause
+	Else  Expr // may be nil (NULL)
+}
+
+// WhenClause is one WHEN/THEN arm.
+type WhenClause struct {
+	Cond Expr
+	Then Expr
+}
+
+func (*CaseWhen) expr() {}
+
+// String renders the expression.
+func (c *CaseWhen) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range c.Whens {
+		b.WriteString(" WHEN " + w.Cond.String() + " THEN " + w.Then.String())
+	}
+	if c.Else != nil {
+		b.WriteString(" ELSE " + c.Else.String())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// IsNull is `e IS [NOT] NULL`.
+type IsNull struct {
+	E       Expr
+	Negated bool
+}
+
+func (*IsNull) expr() {}
+
+// String renders the test.
+func (n *IsNull) String() string {
+	if n.Negated {
+		return "(" + n.E.String() + " IS NOT NULL)"
+	}
+	return "(" + n.E.String() + " IS NULL)"
+}

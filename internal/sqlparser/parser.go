@@ -1,0 +1,737 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"smarticeberg/internal/value"
+)
+
+// Parse parses a single SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokPunct, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses a SELECT statement (with optional WITH prefix).
+func ParseSelect(src string) (*Select, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("statement is not a SELECT")
+	}
+	return sel, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, p.errorf("expected %s, found %q", want, p.peek().text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	pos := p.peek().pos
+	line := 1 + strings.Count(p.src[:min(pos, len(p.src))], "\n")
+	return fmt.Errorf("parse error at line %d (offset %d): %s", line, pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"), p.at(tokKeyword, "WITH"):
+		return p.parseSelect()
+	case p.at(tokKeyword, "CREATE"):
+		return p.parseCreateTable()
+	case p.at(tokKeyword, "INSERT"):
+		return p.parseInsert()
+	}
+	return nil, p.errorf("expected SELECT, WITH, CREATE, or INSERT")
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	p.next() // CREATE
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name.text}
+	for {
+		if p.accept(tokKeyword, "PRIMARY") {
+			if _, err := p.expect(tokKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, col.text)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			kind, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, ColumnDef{Name: col.text, Type: kind})
+		}
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) parseTypeName() (value.Kind, error) {
+	t := p.next()
+	if t.kind != tokKeyword && t.kind != tokIdent {
+		return value.Null, p.errorf("expected type name, found %q", t.text)
+	}
+	switch strings.ToUpper(t.text) {
+	case "BIGINT", "INT", "INTEGER":
+		return value.Int, nil
+	case "DOUBLE", "FLOAT", "REAL":
+		p.accept(tokKeyword, "PRECISION")
+		return value.Float, nil
+	case "TEXT", "VARCHAR":
+		if p.accept(tokPunct, "(") {
+			if _, err := p.expect(tokNumber, ""); err != nil {
+				return value.Null, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return value.Null, err
+			}
+		}
+		return value.Str, nil
+	case "BOOLEAN":
+		return value.Bool, nil
+	}
+	return value.Null, p.errorf("unknown type %q", t.text)
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name.text}
+	if p.accept(tokPunct, "(") {
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col.text)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	sel := &Select{}
+	if p.accept(tokKeyword, "WITH") {
+		for {
+			name, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "AS"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			sel.With = append(sel.With, CTE{Name: name.text, Query: q})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel.Distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "FROM") {
+		for {
+			te, err := p.parseTableExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, te)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		sel.Limit = &n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokPunct, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		t := p.next()
+		if t.kind != tokIdent && t.kind != tokKeyword {
+			return SelectItem{}, p.errorf("expected alias after AS")
+		}
+		item.Alias = t.text
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableExpr() (TableExpr, error) {
+	if p.accept(tokPunct, "(") {
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		p.accept(tokKeyword, "AS")
+		alias, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errorf("derived table requires an alias")
+		}
+		return &SubqueryRef{Query: q, Alias: alias.text}, nil
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ref := &TableRef{Name: name.text}
+	if p.accept(tokKeyword, "AS") {
+		alias, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref.Alias = alias.text
+	} else if p.at(tokIdent, "") {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	expr     := orExpr
+//	orExpr   := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := NOT notExpr | predicate
+//	predicate:= addExpr ((cmpOp addExpr) | IN (subquery) | IS [NOT] NULL
+//	            | BETWEEN addExpr AND addExpr)?
+//	addExpr  := mulExpr (('+'|'-') mulExpr)*
+//	mulExpr  := unary (('*'|'/') unary)*
+//	unary    := '-' unary | primary
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: "NOT", E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokPunct, "=") || p.at(tokPunct, "<>") || p.at(tokPunct, "<") ||
+		p.at(tokPunct, "<=") || p.at(tokPunct, ">") || p.at(tokPunct, ">=") {
+		op := p.next().text
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: op, L: left, R: right}, nil
+	}
+	negated := false
+	if p.at(tokKeyword, "NOT") && p.toks[p.i+1].kind == tokKeyword && p.toks[p.i+1].text == "IN" {
+		p.next()
+		negated = true
+	}
+	if p.accept(tokKeyword, "IN") {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		exprs := []Expr{left}
+		if row, ok := left.(*rowExpr); ok {
+			exprs = row.items
+		}
+		return &InSubquery{Exprs: exprs, Query: q, Negated: negated}, nil
+	}
+	if p.accept(tokKeyword, "IS") {
+		neg := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{E: left, Negated: neg}, nil
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: OpAnd,
+			L: &BinOp{Op: OpGe, L: left, R: lo},
+			R: &BinOp{Op: OpLe, L: left, R: hi}}, nil
+	}
+	if row, ok := left.(*rowExpr); ok {
+		return nil, p.errorf("row value (%d columns) used outside IN", len(row.items))
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "+") || p.at(tokPunct, "-") {
+		op := p.next().text
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "*") || p.at(tokPunct, "/") {
+		op := p.next().text
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokPunct, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*Lit); ok && lit.Val.K.Numeric() {
+			neg, _ := value.Neg(lit.Val)
+			return &Lit{Val: neg}, nil
+		}
+		return &UnOp{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+// rowExpr is a transient parse node for a parenthesized expression list; it
+// is only legal immediately before IN and never escapes the parser.
+type rowExpr struct{ items []Expr }
+
+func (*rowExpr) expr()            {}
+func (r *rowExpr) String() string { return "(row)" }
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.text)
+			}
+			return &Lit{Val: value.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(t.text, 64)
+			if ferr != nil {
+				return nil, p.errorf("bad number %q", t.text)
+			}
+			return &Lit{Val: value.NewFloat(f)}, nil
+		}
+		return &Lit{Val: value.NewInt(i)}, nil
+	case tokString:
+		p.next()
+		return &Lit{Val: value.NewStr(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Lit{Val: value.NullValue}, nil
+		case "TRUE":
+			p.next()
+			return &Lit{Val: value.NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Lit{Val: value.NewBool(false)}, nil
+		case "CASE":
+			return p.parseCase()
+		}
+		return nil, p.errorf("unexpected keyword %q in expression", t.text)
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			if p.at(tokKeyword, "SELECT") || p.at(tokKeyword, "WITH") {
+				q, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+				return &ScalarSubquery{Query: q}, nil
+			}
+			first, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(tokPunct, ",") {
+				items := []Expr{first}
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					items = append(items, e)
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+				return &rowExpr{items: items}, nil
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return first, nil
+		}
+	case tokIdent:
+		p.next()
+		name := t.text
+		if p.accept(tokPunct, "(") {
+			return p.parseFuncTail(name)
+		}
+		if p.accept(tokPunct, ".") {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Qualifier: name, Name: col.text}, nil
+		}
+		return &ColRef{Name: name}, nil
+	}
+	return nil, p.errorf("unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	p.next() // CASE
+	c := &CaseWhen{}
+	for p.accept(tokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN clause")
+	}
+	if p.accept(tokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseFuncTail(name string) (Expr, error) {
+	f := &FuncCall{Name: strings.ToUpper(name)}
+	if p.accept(tokPunct, "*") {
+		f.Star = true
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if p.accept(tokPunct, ")") {
+		return f, nil
+	}
+	f.Distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Args = append(f.Args, e)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,263 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"smarticeberg/internal/value"
+)
+
+func mustSelect(t *testing.T, sql string) *Select {
+	t.Helper()
+	sel, err := ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "SELECT a, b.c AS x, 1+2*3 FROM t1, t2 b WHERE a = 1 AND b.c < 2.5")
+	if len(sel.Items) != 3 {
+		t.Fatalf("items: %d", len(sel.Items))
+	}
+	if sel.Items[1].Alias != "x" {
+		t.Errorf("alias: %q", sel.Items[1].Alias)
+	}
+	if len(sel.From) != 2 {
+		t.Fatalf("from: %d", len(sel.From))
+	}
+	tr := sel.From[1].(*TableRef)
+	if tr.Name != "t2" || tr.AliasName() != "b" {
+		t.Errorf("t2 b parsed as %+v", tr)
+	}
+	// Precedence: 1+2*3 parses as (1 + (2 * 3)).
+	bin := sel.Items[2].Expr.(*BinOp)
+	if bin.Op != OpAdd {
+		t.Errorf("precedence wrong: %s", bin.String())
+	}
+	if bin.R.(*BinOp).Op != OpMul {
+		t.Errorf("precedence wrong: %s", bin.String())
+	}
+}
+
+func TestParsePrecedenceAndOr(t *testing.T) {
+	sel := mustSelect(t, "SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or := sel.Where.(*BinOp)
+	if or.Op != OpOr {
+		t.Fatalf("OR should be at top: %s", sel.Where.String())
+	}
+	if or.R.(*BinOp).Op != OpAnd {
+		t.Fatalf("AND binds tighter: %s", sel.Where.String())
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	sel := mustSelect(t, "SELECT 1 FROM t WHERE NOT a = 1 AND b = 2")
+	and := sel.Where.(*BinOp)
+	if and.Op != OpAnd {
+		t.Fatalf("want AND at top, got %s", sel.Where.String())
+	}
+	if _, ok := and.L.(*UnOp); !ok {
+		t.Fatalf("NOT should bind to the comparison: %s", sel.Where.String())
+	}
+}
+
+func TestParseGroupByHavingOrderLimit(t *testing.T) {
+	sel := mustSelect(t, `
+		SELECT item, COUNT(*) cnt FROM basket
+		GROUP BY item HAVING COUNT(*) >= 20 AND SUM(price) <= 100
+		ORDER BY cnt DESC, item LIMIT 5`)
+	if len(sel.GroupBy) != 1 || len(sel.OrderBy) != 2 || sel.Limit == nil || *sel.Limit != 5 {
+		t.Fatalf("clauses wrong: %+v", sel)
+	}
+	if !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Error("DESC/ASC parsed wrong")
+	}
+	havingStr := sel.Having.String()
+	if !strings.Contains(havingStr, "COUNT(*)") || !strings.Contains(havingStr, "SUM(price)") {
+		t.Errorf("having: %s", havingStr)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	sel := mustSelect(t, "SELECT COUNT(*), COUNT(DISTINCT a), AVG(b), MIN(c), MAX(d), SUM(e) FROM t")
+	f0 := sel.Items[0].Expr.(*FuncCall)
+	if !f0.Star || f0.Name != "COUNT" {
+		t.Errorf("COUNT(*): %+v", f0)
+	}
+	f1 := sel.Items[1].Expr.(*FuncCall)
+	if !f1.Distinct || len(f1.Args) != 1 {
+		t.Errorf("COUNT(DISTINCT a): %+v", f1)
+	}
+}
+
+func TestParseWith(t *testing.T) {
+	sel := mustSelect(t, `
+		WITH a AS (SELECT x FROM t), b AS (SELECT y FROM a)
+		SELECT a.x FROM a, b WHERE a.x = b.y`)
+	if len(sel.With) != 2 || sel.With[0].Name != "a" || sel.With[1].Name != "b" {
+		t.Fatalf("with: %+v", sel.With)
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	sel := mustSelect(t, "SELECT d.x FROM (SELECT a AS x FROM t) d")
+	sub := sel.From[0].(*SubqueryRef)
+	if sub.Alias != "d" {
+		t.Fatalf("derived alias: %+v", sub)
+	}
+}
+
+func TestParseInSubquery(t *testing.T) {
+	sel := mustSelect(t, `
+		SELECT * FROM t WHERE (a, b) IN (SELECT a, b FROM s) AND c NOT IN (SELECT c FROM u)`)
+	conj := sel.Where.(*BinOp)
+	in := conj.L.(*InSubquery)
+	if len(in.Exprs) != 2 || in.Negated {
+		t.Fatalf("tuple IN: %+v", in)
+	}
+	notIn := conj.R.(*InSubquery)
+	if len(notIn.Exprs) != 1 || !notIn.Negated {
+		t.Fatalf("NOT IN: %+v", notIn)
+	}
+}
+
+func TestParseBetweenIsNull(t *testing.T) {
+	sel := mustSelect(t, "SELECT 1 FROM t WHERE a BETWEEN 1 AND 3 AND b IS NOT NULL AND c IS NULL")
+	s := sel.Where.String()
+	for _, want := range []string{">=", "<=", "IS NOT NULL", "IS NULL"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %s in %s", want, s)
+		}
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	sel := mustSelect(t, "SELECT 42, -7, 2.5, 1e3, 'it''s', NULL, TRUE, FALSE FROM t")
+	want := []value.Value{
+		value.NewInt(42), value.NewInt(-7), value.NewFloat(2.5), value.NewFloat(1000),
+		value.NewStr("it's"), value.NullValue, value.NewBool(true), value.NewBool(false),
+	}
+	for i, w := range want {
+		lit, ok := sel.Items[i].Expr.(*Lit)
+		if !ok {
+			t.Fatalf("item %d not a literal: %T", i, sel.Items[i].Expr)
+		}
+		if lit.Val.K != w.K || !value.Identical(lit.Val, w) {
+			t.Errorf("item %d: got %v want %v", i, lit.Val, w)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	mustSelect(t, `
+		SELECT a -- trailing comment
+		FROM t /* block
+		comment */ WHERE a > 0`)
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE t (
+		id BIGINT, name VARCHAR(20), score DOUBLE PRECISION, ok BOOLEAN,
+		PRIMARY KEY (id, name))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTable)
+	if len(ct.Columns) != 4 || len(ct.PrimaryKey) != 2 {
+		t.Fatalf("create: %+v", ct)
+	}
+	wantTypes := []value.Kind{value.Int, value.Str, value.Float, value.Bool}
+	for i, w := range wantTypes {
+		if ct.Columns[i].Type != w {
+			t.Errorf("column %d type %v want %v", i, ct.Columns[i].Type, w)
+		}
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*Insert)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert: %+v", ins)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM (SELECT b FROM t)", // derived table needs alias
+		"SELECT a FROM t WHERE a = ",
+		"SELECT a FROM t LIMIT x",
+		"SELECT 'unterminated FROM t",
+		"SELECT a FROM t; SELECT b FROM t", // trailing input
+		"SELECT (a, b) FROM t",             // row value outside IN
+		"CREATE TABLE t (a WIBBLE)",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("expected error for %q", sql)
+		}
+	}
+}
+
+func TestNotEqualsSpellings(t *testing.T) {
+	a := mustSelect(t, "SELECT 1 FROM t WHERE a <> b")
+	b := mustSelect(t, "SELECT 1 FROM t WHERE a != b")
+	if a.Where.String() != b.Where.String() {
+		t.Errorf("<> and != should normalize identically: %s vs %s", a.Where.String(), b.Where.String())
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	// Printed expressions must re-parse to the same printed form.
+	exprs := []string{
+		"SELECT 1 FROM t WHERE ((a + b) * 2) >= (c - 1)",
+		"SELECT 1 FROM t WHERE (a < b OR c >= d) AND NOT (e = f)",
+	}
+	for _, sql := range exprs {
+		sel := mustSelect(t, sql)
+		printed := sel.Where.String()
+		sel2 := mustSelect(t, "SELECT 1 FROM t WHERE "+printed)
+		if sel2.Where.String() != printed {
+			t.Errorf("round trip changed: %q -> %q", printed, sel2.Where.String())
+		}
+	}
+}
+
+func TestParseCaseWhen(t *testing.T) {
+	sel := mustSelect(t, "SELECT CASE WHEN a < 1 THEN 'x' WHEN a < 2 THEN 'y' ELSE 'z' END FROM t")
+	c, ok := sel.Items[0].Expr.(*CaseWhen)
+	if !ok || len(c.Whens) != 2 || c.Else == nil {
+		t.Fatalf("case parsed wrong: %+v", sel.Items[0].Expr)
+	}
+	printed := c.String()
+	sel2 := mustSelect(t, "SELECT "+printed+" FROM t")
+	if sel2.Items[0].Expr.String() != printed {
+		t.Errorf("round trip changed: %q -> %q", printed, sel2.Items[0].Expr.String())
+	}
+	if _, err := Parse("SELECT CASE ELSE 1 END FROM t"); err == nil {
+		t.Error("CASE without WHEN must fail")
+	}
+	if _, err := Parse("SELECT CASE WHEN a THEN 1 FROM t"); err == nil {
+		t.Error("CASE without END must fail")
+	}
+}
+
+func TestParseScalarSubquery(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE a > (SELECT MAX(b) FROM s) AND a < 9")
+	and := sel.Where.(*BinOp)
+	cmp := and.L.(*BinOp)
+	if _, ok := cmp.R.(*ScalarSubquery); !ok {
+		t.Fatalf("expected scalar subquery, got %T", cmp.R)
+	}
+}

@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"smarticeberg/internal/value"
+)
+
+// LoadCSV bulk-loads rows from CSV into the table. When header is true the
+// first record names the columns (any order, case-insensitive, extra file
+// columns rejected); otherwise records must match the schema order. Fields
+// are coerced to the column types; empty fields become NULL.
+func (t *Table) LoadCSV(r io.Reader, header bool) (int, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	cr.TrimLeadingSpace = true
+
+	colIdx := make([]int, len(t.Schema))
+	for i := range colIdx {
+		colIdx[i] = i
+	}
+	first := true
+	loaded := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return loaded, nil
+		}
+		if err != nil {
+			return loaded, err
+		}
+		if first && header {
+			first = false
+			if len(rec) != len(t.Schema) {
+				return 0, fmt.Errorf("csv header has %d columns, table %s has %d", len(rec), t.Name, len(t.Schema))
+			}
+			for i, name := range rec {
+				j, err := t.ColumnIndex(strings.TrimSpace(name))
+				if err != nil {
+					return 0, err
+				}
+				colIdx[i] = j
+			}
+			continue
+		}
+		first = false
+		if len(rec) != len(t.Schema) {
+			return loaded, fmt.Errorf("csv record %d has %d fields, want %d", loaded+1, len(rec), len(t.Schema))
+		}
+		row := make(value.Row, len(t.Schema))
+		for i, field := range rec {
+			v, err := parseCSVField(field, t.Schema[colIdx[i]].Type)
+			if err != nil {
+				return loaded, fmt.Errorf("csv record %d, column %s: %w", loaded+1, t.Schema[colIdx[i]].Name, err)
+			}
+			row[colIdx[i]] = v
+		}
+		if err := t.Insert(row); err != nil {
+			return loaded, err
+		}
+		loaded++
+	}
+}
+
+func parseCSVField(field string, kind value.Kind) (value.Value, error) {
+	if field == "" {
+		return value.NullValue, nil
+	}
+	switch kind {
+	case value.Int:
+		i, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+		if err != nil {
+			return value.NullValue, err
+		}
+		return value.NewInt(i), nil
+	case value.Float:
+		f, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return value.NullValue, err
+		}
+		return value.NewFloat(f), nil
+	case value.Bool:
+		b, err := strconv.ParseBool(strings.TrimSpace(field))
+		if err != nil {
+			return value.NullValue, err
+		}
+		return value.NewBool(b), nil
+	default:
+		return value.NewStr(field), nil
+	}
+}
+
+// WriteCSV writes the table (or any schema+rows pair via WriteRowsCSV) with
+// a header line.
+func (t *Table) WriteCSV(w io.Writer) error {
+	return WriteRowsCSV(w, t.Schema, t.Rows)
+}
+
+// WriteRowsCSV writes rows with a header derived from the schema. NULLs
+// become empty fields.
+func WriteRowsCSV(w io.Writer, schema value.Schema, rows []value.Row) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(schema))
+	for i, c := range schema {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(schema))
+	for _, row := range rows {
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smarticeberg/internal/fd"
+	"smarticeberg/internal/value"
+)
+
+func csvTable() *Table {
+	return NewTable("t", []value.Column{
+		{Name: "id", Type: value.Int},
+		{Name: "name", Type: value.Str},
+		{Name: "score", Type: value.Float},
+		{Name: "ok", Type: value.Bool},
+	}, []string{"id"})
+}
+
+func TestLoadCSVWithHeader(t *testing.T) {
+	tab := csvTable()
+	in := "score,id,name,ok\n1.5,1,alice,true\n,2,bob,false\n"
+	n, err := tab.LoadCSV(strings.NewReader(in), true)
+	if err != nil || n != 2 {
+		t.Fatalf("loaded %d, err %v", n, err)
+	}
+	if tab.Rows[0][0].I != 1 || tab.Rows[0][1].S != "alice" || tab.Rows[0][2].F != 1.5 || !tab.Rows[0][3].Bool() {
+		t.Errorf("row 0 wrong: %v", tab.Rows[0])
+	}
+	if !tab.Rows[1][2].IsNull() {
+		t.Errorf("empty field must load as NULL: %v", tab.Rows[1])
+	}
+}
+
+func TestLoadCSVPositional(t *testing.T) {
+	tab := csvTable()
+	n, err := tab.LoadCSV(strings.NewReader("3,carol,2.25,false\n"), false)
+	if err != nil || n != 1 {
+		t.Fatalf("loaded %d, err %v", n, err)
+	}
+	if tab.Rows[0][1].S != "carol" {
+		t.Errorf("row wrong: %v", tab.Rows[0])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	tab := csvTable()
+	if _, err := tab.LoadCSV(strings.NewReader("id,wat,score,ok\n"), true); err == nil {
+		t.Error("unknown header column must fail")
+	}
+	tab = csvTable()
+	if _, err := tab.LoadCSV(strings.NewReader("1,alice\n"), false); err == nil {
+		t.Error("short record must fail")
+	}
+	tab = csvTable()
+	if _, err := tab.LoadCSV(strings.NewReader("x,alice,1.5,true\n"), false); err == nil {
+		t.Error("non-integer id must fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := csvTable()
+	in := "id,name,score,ok\n1,alice,1.5,true\n2,bob,,false\n"
+	if _, err := tab.LoadCSV(strings.NewReader(in), true); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tab2 := csvTable()
+	n, err := tab2.LoadCSV(&buf, true)
+	if err != nil || n != 2 {
+		t.Fatalf("round trip loaded %d, err %v", n, err)
+	}
+	for i := range tab.Rows {
+		for j := range tab.Rows[i] {
+			if !value.Identical(tab.Rows[i][j], tab2.Rows[i][j]) {
+				t.Errorf("row %d col %d: %v vs %v", i, j, tab.Rows[i][j], tab2.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestSaveLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cat := NewCatalog()
+	tab := NewTable("players", []value.Column{
+		{Name: "id", Type: value.Int},
+		{Name: "name", Type: value.Str},
+		{Name: "avg", Type: value.Float},
+		{Name: "active", Type: value.Bool},
+	}, []string{"id"})
+	tab.Positive["avg"] = true
+	tab.FDs.Add(fd.FD{From: []string{"name"}, To: []string{"avg"}})
+	tab.Rows = append(tab.Rows,
+		value.Row{value.NewInt(1), value.NewStr("ann"), value.NewFloat(0.31), value.NewBool(true)},
+		value.Row{value.NewInt(2), value.NewStr("bob"), value.NewFloat(0.27), value.NewBool(false)},
+		value.Row{value.NewInt(3), value.NewStr("cay"), value.NullValue, value.NewBool(true)},
+	)
+	if _, err := tab.CreateIndex("avg_idx", "avg"); err != nil {
+		t.Fatal(err)
+	}
+	cat.Put(tab)
+
+	if err := cat.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := loaded.Get("players")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lt.Rows) != 3 {
+		t.Fatalf("rows: %d", len(lt.Rows))
+	}
+	for i := range tab.Rows {
+		for j := range tab.Rows[i] {
+			if !value.Identical(tab.Rows[i][j], lt.Rows[i][j]) {
+				t.Errorf("row %d col %d: %v vs %v", i, j, tab.Rows[i][j], lt.Rows[i][j])
+			}
+		}
+	}
+	if !lt.Positive["avg"] {
+		t.Error("positive flag lost")
+	}
+	if len(lt.PrimaryKey) != 1 || lt.PrimaryKey[0] != "id" {
+		t.Errorf("primary key lost: %v", lt.PrimaryKey)
+	}
+	if !lt.FDs.Implies([]string{"name"}, []string{"avg"}) {
+		t.Error("declared FD lost")
+	}
+	if lt.FindIndex("avg") == nil {
+		t.Error("index lost")
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("missing manifest must fail")
+	}
+}

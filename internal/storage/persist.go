@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"smarticeberg/internal/fd"
+	"smarticeberg/internal/value"
+)
+
+// The on-disk layout of a saved catalog is one directory holding a
+// `catalog.json` manifest (schemas and constraints) plus one CSV file per
+// table. It is deliberately human-readable: rows can be inspected or edited
+// with ordinary tools and re-loaded.
+
+// manifest is the serialized catalog metadata.
+type manifest struct {
+	Tables []tableMeta `json:"tables"`
+}
+
+type tableMeta struct {
+	Name       string      `json:"name"`
+	Columns    []columnDef `json:"columns"`
+	PrimaryKey []string    `json:"primary_key,omitempty"`
+	FDs        []fdDef     `json:"fds,omitempty"`
+	Positive   []string    `json:"positive,omitempty"`
+	Indexes    []indexDef  `json:"indexes,omitempty"`
+	File       string      `json:"file"`
+}
+
+type columnDef struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type fdDef struct {
+	From []string `json:"from"`
+	To   []string `json:"to"`
+}
+
+type indexDef struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+}
+
+func kindName(k value.Kind) string {
+	switch k {
+	case value.Int:
+		return "bigint"
+	case value.Float:
+		return "double"
+	case value.Str:
+		return "text"
+	case value.Bool:
+		return "boolean"
+	}
+	return "text"
+}
+
+func kindFromName(s string) (value.Kind, error) {
+	switch strings.ToLower(s) {
+	case "bigint", "int", "integer":
+		return value.Int, nil
+	case "double", "float", "real":
+		return value.Float, nil
+	case "text", "varchar", "string":
+		return value.Str, nil
+	case "boolean", "bool":
+		return value.Bool, nil
+	}
+	return value.Null, fmt.Errorf("unknown column type %q", s)
+}
+
+// SaveDir writes the catalog to a directory (created if needed):
+// catalog.json plus one CSV per table.
+func (c *Catalog) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var m manifest
+	for _, name := range c.Names() {
+		t, err := c.Get(name)
+		if err != nil {
+			return err
+		}
+		meta := tableMeta{
+			Name:       t.Name,
+			PrimaryKey: t.PrimaryKey,
+			File:       strings.ToLower(t.Name) + ".csv",
+		}
+		for _, col := range t.Schema {
+			meta.Columns = append(meta.Columns, columnDef{Name: col.Name, Type: kindName(col.Type)})
+		}
+		for _, dep := range t.FDs.All() {
+			meta.FDs = append(meta.FDs, fdDef{From: dep.From, To: dep.To})
+		}
+		for col, pos := range t.Positive {
+			if pos {
+				meta.Positive = append(meta.Positive, col)
+			}
+		}
+		for _, idx := range t.Indexes() {
+			meta.Indexes = append(meta.Indexes, indexDef{Name: idx.Name, Columns: idx.Columns})
+		}
+		f, err := os.Create(filepath.Join(dir, meta.File))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		m.Tables = append(m.Tables, meta)
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "catalog.json"), data, 0o644)
+}
+
+// LoadDir reads a catalog saved by SaveDir.
+func LoadDir(dir string) (*Catalog, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("parsing catalog.json: %w", err)
+	}
+	cat := NewCatalog()
+	for _, meta := range m.Tables {
+		cols := make([]value.Column, len(meta.Columns))
+		for i, cd := range meta.Columns {
+			k, err := kindFromName(cd.Type)
+			if err != nil {
+				return nil, fmt.Errorf("table %s: %w", meta.Name, err)
+			}
+			cols[i] = value.Column{Name: cd.Name, Type: k}
+		}
+		t := NewTable(meta.Name, cols, meta.PrimaryKey)
+		for _, dep := range meta.FDs {
+			t.FDs.Add(fd.FD{From: dep.From, To: dep.To})
+		}
+		for _, col := range meta.Positive {
+			t.Positive[strings.ToLower(col)] = true
+		}
+		f, err := os.Open(filepath.Join(dir, meta.File))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := t.LoadCSV(f, true); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("loading %s: %w", meta.File, err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		for _, idx := range meta.Indexes {
+			if _, err := t.CreateIndex(idx.Name, idx.Columns...); err != nil {
+				return nil, fmt.Errorf("rebuilding index %s on %s: %w", idx.Name, meta.Name, err)
+			}
+		}
+		cat.Put(t)
+	}
+	return cat, nil
+}

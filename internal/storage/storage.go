@@ -1,0 +1,241 @@
+// Package storage provides the in-memory relational storage layer: heap
+// tables with declared constraints (primary key, functional dependencies,
+// positive-domain columns), a catalog, and secondary sorted indexes that
+// stand in for the B-tree indexes the paper's experiments configure (the
+// "PK", "BT", and "CI" configurations of Figure 4).
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smarticeberg/internal/fd"
+	"smarticeberg/internal/value"
+)
+
+// Table is an in-memory heap of rows plus declared metadata.
+type Table struct {
+	Name   string
+	Schema value.Schema // qualifiers are the table name
+	Rows   []value.Row
+
+	// PrimaryKey lists the key columns (may be empty).
+	PrimaryKey []string
+	// FDs holds the declared functional dependencies over bare column
+	// names (the primary key's FD is added automatically).
+	FDs *fd.Set
+	// Positive marks columns whose domain is known to be strictly
+	// positive reals; Table 2's SUM rows require this for monotonicity.
+	Positive map[string]bool
+
+	indexes []*Index
+}
+
+// NewTable creates an empty table. cols use bare names; the schema qualifier
+// is set to the table name.
+func NewTable(name string, cols []value.Column, primaryKey []string) *Table {
+	schema := make(value.Schema, len(cols))
+	for i, c := range cols {
+		schema[i] = value.Column{Qualifier: name, Name: c.Name, Type: c.Type}
+	}
+	t := &Table{
+		Name:       name,
+		Schema:     schema,
+		PrimaryKey: append([]string(nil), primaryKey...),
+		FDs:        fd.NewSet(),
+		Positive:   make(map[string]bool),
+	}
+	if len(primaryKey) > 0 {
+		all := make([]string, len(cols))
+		for i, c := range cols {
+			all[i] = c.Name
+		}
+		t.FDs.Add(fd.FD{From: primaryKey, To: all})
+	}
+	return t
+}
+
+// ColumnNames returns the bare column names in schema order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Schema))
+	for i, c := range t.Schema {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// ColumnIndex returns the position of the named column, or an error.
+func (t *Table) ColumnIndex(name string) (int, error) {
+	for i, c := range t.Schema {
+		if strings.EqualFold(c.Name, name) {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("table %s has no column %q", t.Name, name)
+}
+
+// Insert appends a row after checking arity. Indexes are invalidated; call
+// BuildIndexes (or CreateIndex again) after bulk loading.
+func (t *Table) Insert(row value.Row) error {
+	if len(row) != len(t.Schema) {
+		return fmt.Errorf("table %s: row has %d values, want %d", t.Name, len(row), len(t.Schema))
+	}
+	t.Rows = append(t.Rows, row)
+	for _, idx := range t.indexes {
+		idx.stale = true
+	}
+	return nil
+}
+
+// InsertAll appends rows in bulk.
+func (t *Table) InsertAll(rows []value.Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Index is a secondary sorted index over one or more columns. It stores a
+// permutation of row positions ordered by the key columns, supporting the
+// range scans an index nested-loop join needs. It is the stand-in for the
+// paper's secondary B-tree indexes ("BT" in Figure 4).
+type Index struct {
+	Name    string
+	Columns []string
+	colIdx  []int
+	perm    []int32
+	table   *Table
+	stale   bool
+}
+
+// CreateIndex builds (or rebuilds) a sorted index over the given columns.
+func (t *Table) CreateIndex(name string, columns ...string) (*Index, error) {
+	colIdx := make([]int, len(columns))
+	for i, c := range columns {
+		j, err := t.ColumnIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		colIdx[i] = j
+	}
+	idx := &Index{Name: name, Columns: append([]string(nil), columns...), colIdx: colIdx, table: t, stale: true}
+	idx.build()
+	t.indexes = append(t.indexes, idx)
+	return idx, nil
+}
+
+// Indexes returns the table's secondary indexes.
+func (t *Table) Indexes() []*Index { return t.indexes }
+
+// DropIndexes removes all secondary indexes (used by the index-configuration
+// experiments).
+func (t *Table) DropIndexes() { t.indexes = nil }
+
+// FindIndex returns an index whose leading column is col, if any.
+func (t *Table) FindIndex(col string) *Index {
+	for _, idx := range t.indexes {
+		if strings.EqualFold(idx.Columns[0], col) {
+			return idx
+		}
+	}
+	return nil
+}
+
+func (i *Index) build() {
+	rows := i.table.Rows
+	i.perm = make([]int32, len(rows))
+	for j := range i.perm {
+		i.perm[j] = int32(j)
+	}
+	sort.Slice(i.perm, func(a, b int) bool {
+		ra, rb := rows[i.perm[a]], rows[i.perm[b]]
+		for _, c := range i.colIdx {
+			cmp, _ := value.Compare(ra[c], rb[c])
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return i.perm[a] < i.perm[b]
+	})
+	i.stale = false
+}
+
+// Refresh rebuilds the index if rows were inserted since the last build.
+func (i *Index) Refresh() {
+	if i.stale {
+		i.build()
+	}
+}
+
+// leadCol returns the payload of the leading key column for permutation
+// position p.
+func (i *Index) leadVal(p int) value.Value {
+	return i.table.Rows[i.perm[p]][i.colIdx[0]]
+}
+
+// RangeScan returns the row positions whose leading key column v satisfies
+// lo ⋈ v ⋈ hi. Nil bounds are unbounded; loStrict/hiStrict select < vs <=.
+// The returned slice aliases the index and must not be modified.
+func (i *Index) RangeScan(lo *value.Value, loStrict bool, hi *value.Value, hiStrict bool) []int32 {
+	i.Refresh()
+	n := len(i.perm)
+	start := 0
+	if lo != nil {
+		start = sort.Search(n, func(p int) bool {
+			cmp, _ := value.Compare(i.leadVal(p), *lo)
+			if loStrict {
+				return cmp > 0
+			}
+			return cmp >= 0
+		})
+	}
+	end := n
+	if hi != nil {
+		end = sort.Search(n, func(p int) bool {
+			cmp, _ := value.Compare(i.leadVal(p), *hi)
+			if hiStrict {
+				return cmp >= 0
+			}
+			return cmp > 0
+		})
+	}
+	if start > end {
+		return nil
+	}
+	return i.perm[start:end]
+}
+
+// Catalog maps table names to tables.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Put registers a table, replacing any previous table of the same name.
+func (c *Catalog) Put(t *Table) { c.tables[strings.ToLower(t.Name)] = t }
+
+// Get looks up a table by name.
+func (c *Catalog) Get(name string) (*Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("table %q not found", name)
+	}
+	return t, nil
+}
+
+// Names returns the registered table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}

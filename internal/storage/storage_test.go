@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smarticeberg/internal/value"
+)
+
+func numTable(t *testing.T, vals []int64) *Table {
+	if t != nil {
+		t.Helper()
+	}
+	tab := NewTable("t", []value.Column{
+		{Name: "id", Type: value.Int},
+		{Name: "v", Type: value.Int},
+	}, []string{"id"})
+	for i, v := range vals {
+		if err := tab.Insert(value.Row{value.NewInt(int64(i)), value.NewInt(v)}); err != nil {
+			panic(err)
+		}
+	}
+	return tab
+}
+
+func TestInsertArity(t *testing.T) {
+	tab := numTable(t, nil)
+	if err := tab.Insert(value.Row{value.NewInt(1)}); err == nil {
+		t.Error("short row must fail")
+	}
+	if err := tab.InsertAll([]value.Row{{value.NewInt(1), value.NewInt(2)}}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnIndexAndNames(t *testing.T) {
+	tab := numTable(t, nil)
+	if i, err := tab.ColumnIndex("V"); err != nil || i != 1 {
+		t.Errorf("case-insensitive lookup: %d %v", i, err)
+	}
+	if _, err := tab.ColumnIndex("nope"); err == nil {
+		t.Error("missing column must fail")
+	}
+	names := tab.ColumnNames()
+	if len(names) != 2 || names[0] != "id" {
+		t.Errorf("names: %v", names)
+	}
+}
+
+func TestPrimaryKeyFD(t *testing.T) {
+	tab := numTable(t, nil)
+	if !tab.FDs.Implies([]string{"id"}, []string{"v"}) {
+		t.Error("primary key FD missing")
+	}
+}
+
+// TestIndexRangeScan compares index range scans against brute-force
+// filtering over random data, for all bound combinations.
+func TestIndexRangeScan(t *testing.T) {
+	err := quick.Check(func(seed int64, loRaw, hiRaw int8, loStrict, hiStrict, noLo, noHi bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]int64, 40)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(20) - 10)
+		}
+		tab := numTable(nil, vals)
+		idx, err := tab.CreateIndex("v_idx", "v")
+		if err != nil {
+			return false
+		}
+		var lo, hi *value.Value
+		loV := value.NewInt(int64(loRaw % 12))
+		hiV := value.NewInt(int64(hiRaw % 12))
+		if !noLo {
+			lo = &loV
+		}
+		if !noHi {
+			hi = &hiV
+		}
+		got := map[int32]bool{}
+		for _, p := range idx.RangeScan(lo, loStrict, hi, hiStrict) {
+			got[p] = true
+		}
+		for i, v := range vals {
+			in := true
+			if lo != nil {
+				if loStrict && v <= lo.I {
+					in = false
+				}
+				if !loStrict && v < lo.I {
+					in = false
+				}
+			}
+			if hi != nil {
+				if hiStrict && v >= hi.I {
+					in = false
+				}
+				if !hiStrict && v > hi.I {
+					in = false
+				}
+			}
+			if in != got[int32(i)] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexRefreshAfterInsert(t *testing.T) {
+	tab := numTable(t, []int64{5, 1, 3})
+	idx, err := tab.CreateIndex("v_idx", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := value.NewInt(4)
+	if got := idx.RangeScan(&lo, false, nil, false); len(got) != 1 {
+		t.Fatalf("before insert: %v", got)
+	}
+	if err := tab.Insert(value.Row{value.NewInt(3), value.NewInt(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.RangeScan(&lo, false, nil, false); len(got) != 2 {
+		t.Fatalf("index must refresh after insert: %v", got)
+	}
+}
+
+func TestFindIndexAndDrop(t *testing.T) {
+	tab := numTable(t, []int64{1})
+	if _, err := tab.CreateIndex("v_idx", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if tab.FindIndex("V") == nil {
+		t.Error("FindIndex should be case-insensitive")
+	}
+	if tab.FindIndex("id") != nil {
+		t.Error("no index on id")
+	}
+	tab.DropIndexes()
+	if len(tab.Indexes()) != 0 {
+		t.Error("DropIndexes failed")
+	}
+	if _, err := tab.CreateIndex("bad", "nope"); err == nil {
+		t.Error("index on missing column must fail")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	c.Put(numTable(t, nil))
+	if _, err := c.Get("T"); err != nil {
+		t.Error("catalog lookup should be case-insensitive")
+	}
+	if _, err := c.Get("missing"); err == nil {
+		t.Error("missing table must fail")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "t" {
+		t.Errorf("names: %v", names)
+	}
+}

@@ -1,0 +1,108 @@
+package value
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is a tuple of scalar values laid out per some Schema.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Concat returns the concatenation of two rows (an LR-tuple in paper terms).
+func Concat(l, r Row) Row {
+	out := make(Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+// Column describes one attribute of a schema. Qualifier is the table alias
+// the column is reachable under ("" for anonymous derived columns).
+type Column struct {
+	Qualifier string
+	Name      string
+	Type      Kind
+}
+
+// String renders the column as qualifier.name.
+func (c Column) String() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+// Schema is an ordered list of columns describing a row layout.
+type Schema []Column
+
+// String renders the schema as a parenthesized column list.
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Resolve finds the index of a column reference. qualifier may be empty, in
+// which case the name must be unambiguous across the schema. Matching is
+// case-insensitive, like SQL identifiers.
+func (s Schema) Resolve(qualifier, name string) (int, error) {
+	found := -1
+	for i, c := range s {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(c.Qualifier, qualifier) {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("ambiguous column reference %q", ref(qualifier, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("column %q not found in schema %s", ref(qualifier, name), s)
+	}
+	return found, nil
+}
+
+func ref(qualifier, name string) string {
+	if qualifier == "" {
+		return name
+	}
+	return qualifier + "." + name
+}
+
+// Requalify returns a copy of the schema with every column's qualifier
+// replaced by alias, as happens when a derived table is given an alias.
+func (s Schema) Requalify(alias string) Schema {
+	out := make(Schema, len(s))
+	for i, c := range s {
+		out[i] = Column{Qualifier: alias, Name: c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// Concat returns the schema of an LR-tuple.
+func (s Schema) Concat(other Schema) Schema {
+	out := make(Schema, 0, len(s)+len(other))
+	out = append(out, s...)
+	return append(out, other...)
+}
+
+// IndexOf returns the position of the exact (qualifier, name) pair, or -1.
+func (s Schema) IndexOf(qualifier, name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) && strings.EqualFold(c.Qualifier, qualifier) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,318 @@
+// Package value defines the typed scalar values, rows, and schemas shared by
+// every layer of the engine: storage, expression evaluation, join execution,
+// and the iceberg optimizer.
+//
+// A Value is a small tagged union. Rows are flat []Value slices whose layout
+// is described by a Schema. Values are comparable across the numeric kinds
+// (Int and Float compare by numeric value), which matches the SQL semantics
+// the rest of the system assumes.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the runtime types a Value can hold.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	Null Kind = iota
+	Int
+	Float
+	Str
+	Bool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "NULL"
+	case Int:
+		return "BIGINT"
+	case Float:
+		return "DOUBLE"
+	case Str:
+		return "TEXT"
+	case Bool:
+		return "BOOLEAN"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Numeric reports whether the kind is Int or Float.
+func (k Kind) Numeric() bool { return k == Int || k == Float }
+
+// Value is a scalar runtime value. The zero Value is SQL NULL.
+type Value struct {
+	K Kind
+	I int64   // payload for Int and Bool (0/1)
+	F float64 // payload for Float
+	S string  // payload for Str
+}
+
+// Convenience constructors.
+
+// NewInt returns an Int value.
+func NewInt(i int64) Value { return Value{K: Int, I: i} }
+
+// NewFloat returns a Float value.
+func NewFloat(f float64) Value { return Value{K: Float, F: f} }
+
+// NewStr returns a Str value.
+func NewStr(s string) Value { return Value{K: Str, S: s} }
+
+// NewBool returns a Bool value.
+func NewBool(b bool) Value {
+	if b {
+		return Value{K: Bool, I: 1}
+	}
+	return Value{K: Bool}
+}
+
+// NullValue is the SQL NULL.
+var NullValue = Value{}
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.K == Null }
+
+// Bool returns the boolean payload. It is only meaningful for Bool values.
+func (v Value) Bool() bool { return v.K == Bool && v.I != 0 }
+
+// AsFloat converts a numeric value to float64.
+func (v Value) AsFloat() float64 {
+	if v.K == Int {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// String renders the value the way the SQL shell prints it.
+func (v Value) String() string {
+	switch v.K {
+	case Null:
+		return "NULL"
+	case Int:
+		return strconv.FormatInt(v.I, 10)
+	case Float:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case Str:
+		return v.S
+	case Bool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+// Compare orders two values. NULL sorts before everything; numeric kinds
+// compare by numeric value; mixed non-numeric kinds compare by kind tag so
+// that Compare is a total order usable for sorting. The boolean ok result is
+// false when the comparison is not meaningful in SQL (e.g. Int vs Str);
+// callers implementing SQL predicates should treat !ok as "unknown".
+func Compare(a, b Value) (cmp int, ok bool) {
+	if a.K == Null || b.K == Null {
+		return cmpKindOrder(a, b), false
+	}
+	switch {
+	case a.K == Int && b.K == Int:
+		return cmpInt64(a.I, b.I), true
+	case a.K.Numeric() && b.K.Numeric():
+		return cmpFloat64(a.AsFloat(), b.AsFloat()), true
+	case a.K == Str && b.K == Str:
+		switch {
+		case a.S < b.S:
+			return -1, true
+		case a.S > b.S:
+			return 1, true
+		}
+		return 0, true
+	case a.K == Bool && b.K == Bool:
+		return cmpInt64(a.I, b.I), true
+	}
+	return cmpKindOrder(a, b), false
+}
+
+func cmpKindOrder(a, b Value) int {
+	if a.K != b.K {
+		return cmpInt64(int64(a.K), int64(b.K))
+	}
+	switch a.K {
+	case Int, Bool:
+		return cmpInt64(a.I, b.I)
+	case Float:
+		return cmpFloat64(a.F, b.F)
+	case Str:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+	}
+	return 0
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Equal reports SQL equality (NULL equals nothing, including NULL).
+func Equal(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Identical reports Go-level sameness, with NULL identical to NULL. It is the
+// relation used for grouping and DISTINCT, matching SQL's treatment of NULLs
+// in GROUP BY.
+func Identical(a, b Value) bool {
+	if a.K == Null || b.K == Null {
+		return a.K == b.K
+	}
+	c, _ := Compare(a, b)
+	return c == 0
+}
+
+// Arithmetic errors.
+type arithError struct{ op string }
+
+func (e *arithError) Error() string { return "invalid operands for " + e.op }
+
+// Add returns a+b with SQL numeric promotion. NULL propagates.
+func Add(a, b Value) (Value, error) { return arith(a, b, "+") }
+
+// Sub returns a-b.
+func Sub(a, b Value) (Value, error) { return arith(a, b, "-") }
+
+// Mul returns a*b.
+func Mul(a, b Value) (Value, error) { return arith(a, b, "*") }
+
+// Div returns a/b. Integer division of two Ints truncates, matching the SQL
+// engines the paper benchmarks against. Division by zero yields NULL.
+func Div(a, b Value) (Value, error) { return arith(a, b, "/") }
+
+// Neg returns -a.
+func Neg(a Value) (Value, error) {
+	switch a.K {
+	case Null:
+		return NullValue, nil
+	case Int:
+		return NewInt(-a.I), nil
+	case Float:
+		return NewFloat(-a.F), nil
+	}
+	return NullValue, &arithError{op: "unary -"}
+}
+
+func arith(a, b Value, op string) (Value, error) {
+	if a.K == Null || b.K == Null {
+		return NullValue, nil
+	}
+	if !a.K.Numeric() || !b.K.Numeric() {
+		if op == "+" && a.K == Str && b.K == Str {
+			return NewStr(a.S + b.S), nil
+		}
+		return NullValue, &arithError{op: op}
+	}
+	if a.K == Int && b.K == Int {
+		switch op {
+		case "+":
+			return NewInt(a.I + b.I), nil
+		case "-":
+			return NewInt(a.I - b.I), nil
+		case "*":
+			return NewInt(a.I * b.I), nil
+		case "/":
+			if b.I == 0 {
+				return NullValue, nil
+			}
+			return NewInt(a.I / b.I), nil
+		}
+	}
+	x, y := a.AsFloat(), b.AsFloat()
+	switch op {
+	case "+":
+		return NewFloat(x + y), nil
+	case "-":
+		return NewFloat(x - y), nil
+	case "*":
+		return NewFloat(x * y), nil
+	case "/":
+		if y == 0 {
+			return NullValue, nil
+		}
+		return NewFloat(x / y), nil
+	}
+	return NullValue, &arithError{op: op}
+}
+
+// AppendKey appends a self-delimiting encoding of v to dst. Two values encode
+// to the same bytes iff Identical(a,b); numeric kinds are normalized so that
+// Int 3 and Float 3.0 share a key, matching grouping semantics.
+func AppendKey(dst []byte, v Value) []byte {
+	switch v.K {
+	case Null:
+		return append(dst, 0)
+	case Int, Float:
+		f := v.AsFloat()
+		// Encode integral floats and ints identically, but only within the
+		// range where the float-to-int conversion is exact; beyond ±2⁶³ the
+		// conversion would saturate and collide distinct values.
+		if v.K == Int || (f == math.Trunc(f) && f >= -9.223372036854775e18 && f <= 9.223372036854775e18) {
+			var i int64
+			if v.K == Int {
+				i = v.I
+			} else {
+				i = int64(f)
+			}
+			dst = append(dst, 1)
+			return appendUint64(dst, uint64(i))
+		}
+		dst = append(dst, 2)
+		return appendUint64(dst, math.Float64bits(f))
+	case Str:
+		dst = append(dst, 3)
+		dst = appendUint64(dst, uint64(len(v.S)))
+		return append(dst, v.S...)
+	case Bool:
+		dst = append(dst, 4, byte(v.I))
+	}
+	return dst
+}
+
+func appendUint64(dst []byte, u uint64) []byte {
+	return append(dst,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+// Key returns the grouping key for a tuple of values.
+func Key(vs []Value) string {
+	var buf []byte
+	for _, v := range vs {
+		buf = AppendKey(buf, v)
+	}
+	return string(buf)
+}

@@ -1,0 +1,190 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBasics(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{NewInt(1), NewInt(2), -1, true},
+		{NewInt(2), NewInt(2), 0, true},
+		{NewInt(3), NewInt(2), 1, true},
+		{NewInt(2), NewFloat(2.0), 0, true},
+		{NewFloat(1.5), NewInt(2), -1, true},
+		{NewStr("a"), NewStr("b"), -1, true},
+		{NewStr("b"), NewStr("b"), 0, true},
+		{NewBool(false), NewBool(true), -1, true},
+		{NullValue, NewInt(1), -1, false},
+		{NewInt(1), NullValue, 0, false},
+		{NewInt(1), NewStr("1"), 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok := Compare(c.a, c.b)
+		if ok != c.ok || (ok && cmp != c.cmp) {
+			t.Errorf("Compare(%v, %v) = (%d, %v), want (%d, %v)", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestCompareIsTotalOrderOnMixedKinds(t *testing.T) {
+	// Even when ok=false, the returned ordering must be antisymmetric and
+	// usable for sorting.
+	vals := []Value{NullValue, NewInt(-1), NewInt(3), NewFloat(2.5), NewStr("x"), NewBool(true)}
+	for _, a := range vals {
+		for _, b := range vals {
+			ca, _ := Compare(a, b)
+			cb, _ := Compare(b, a)
+			if ca != -cb && !(a.K.Numeric() && b.K.Numeric()) {
+				t.Errorf("Compare not antisymmetric for %v,%v: %d vs %d", a, b, ca, cb)
+			}
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	mustEq := func(got Value, err error, want Value) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if !Identical(got, want) {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	v, err := Add(NewInt(2), NewInt(3))
+	mustEq(v, err, NewInt(5))
+	v, err = Add(NewInt(2), NewFloat(0.5))
+	mustEq(v, err, NewFloat(2.5))
+	v, err = Sub(NewFloat(2), NewInt(3))
+	mustEq(v, err, NewFloat(-1))
+	v, err = Mul(NewInt(4), NewInt(5))
+	mustEq(v, err, NewInt(20))
+	v, err = Div(NewInt(7), NewInt(2))
+	mustEq(v, err, NewInt(3)) // integer division truncates
+	v, err = Div(NewFloat(7), NewInt(2))
+	mustEq(v, err, NewFloat(3.5))
+	v, err = Div(NewInt(7), NewInt(0))
+	mustEq(v, err, NullValue) // divide by zero -> NULL
+	v, err = Add(NullValue, NewInt(1))
+	mustEq(v, err, NullValue)
+	v, err = Add(NewStr("a"), NewStr("b"))
+	mustEq(v, err, NewStr("ab"))
+	if _, err := Mul(NewStr("a"), NewInt(1)); err == nil {
+		t.Error("expected error multiplying string")
+	}
+	v, err = Neg(NewInt(4))
+	mustEq(v, err, NewInt(-4))
+}
+
+// TestKeyIdentity: key encoding agrees with Identical (grouping semantics).
+func TestKeyIdentity(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	gen := func(kind uint8, i int64, f float64, s string) Value {
+		switch kind % 5 {
+		case 0:
+			return NullValue
+		case 1:
+			return NewInt(i % 50)
+		case 2:
+			// Mix integral and fractional floats.
+			if i%2 == 0 {
+				return NewFloat(float64(int64(f*10) % 50))
+			}
+			return NewFloat(f)
+		case 3:
+			return NewStr(s)
+		default:
+			return NewBool(i%2 == 0)
+		}
+	}
+	err := quick.Check(func(k1, k2 uint8, i1, i2 int64, f1, f2 float64, s1, s2 string) bool {
+		a, b := gen(k1, i1, f1, s1), gen(k2, i2, f2, s2)
+		sameKey := Key([]Value{a}) == Key([]Value{b})
+		return sameKey == Identical(a, b)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKeyIntFloatNormalization: Int 3 and Float 3.0 must group together.
+func TestKeyIntFloatNormalization(t *testing.T) {
+	if Key([]Value{NewInt(3)}) != Key([]Value{NewFloat(3)}) {
+		t.Error("Int 3 and Float 3.0 should share a grouping key")
+	}
+	if Key([]Value{NewFloat(3.5)}) == Key([]Value{NewInt(3)}) {
+		t.Error("3.5 must not collide with 3")
+	}
+	if Key([]Value{NewFloat(math.Inf(1))}) == Key([]Value{NewFloat(math.MaxFloat64)}) {
+		t.Error("Inf must not collide with MaxFloat64")
+	}
+}
+
+// TestKeySelfDelimiting: concatenated tuples with shifted boundaries must
+// not collide.
+func TestKeySelfDelimiting(t *testing.T) {
+	a := Key([]Value{NewStr("ab"), NewStr("c")})
+	b := Key([]Value{NewStr("a"), NewStr("bc")})
+	if a == b {
+		t.Error("string boundaries must be encoded")
+	}
+	c := Key([]Value{NewInt(1), NullValue})
+	d := Key([]Value{NullValue, NewInt(1)})
+	if c == d {
+		t.Error("value order must matter")
+	}
+}
+
+func TestSchemaResolve(t *testing.T) {
+	s := Schema{
+		{Qualifier: "l", Name: "id", Type: Int},
+		{Qualifier: "r", Name: "id", Type: Int},
+		{Qualifier: "r", Name: "x", Type: Float},
+	}
+	if i, err := s.Resolve("l", "id"); err != nil || i != 0 {
+		t.Errorf("l.id: %d, %v", i, err)
+	}
+	if i, err := s.Resolve("R", "X"); err != nil || i != 2 {
+		t.Errorf("case-insensitive resolve failed: %d, %v", i, err)
+	}
+	if _, err := s.Resolve("", "id"); err == nil {
+		t.Error("ambiguous reference must fail")
+	}
+	if i, err := s.Resolve("", "x"); err != nil || i != 2 {
+		t.Errorf("unqualified unambiguous resolve failed: %d, %v", i, err)
+	}
+	if _, err := s.Resolve("l", "nope"); err == nil {
+		t.Error("missing column must fail")
+	}
+}
+
+func TestSchemaRequalifyAndConcat(t *testing.T) {
+	s := Schema{{Qualifier: "t", Name: "a", Type: Int}}
+	r := s.Requalify("x")
+	if r[0].Qualifier != "x" || s[0].Qualifier != "t" {
+		t.Error("Requalify must copy")
+	}
+	c := s.Concat(r)
+	if len(c) != 2 || c[0].Qualifier != "t" || c[1].Qualifier != "x" {
+		t.Errorf("Concat wrong: %v", c)
+	}
+}
+
+func TestRowCloneConcat(t *testing.T) {
+	r := Row{NewInt(1), NewStr("a")}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if r[0].I != 1 {
+		t.Error("Clone must not alias")
+	}
+	j := Concat(r, Row{NewBool(true)})
+	if len(j) != 3 || !j[2].Bool() {
+		t.Errorf("Concat wrong: %v", j)
+	}
+}

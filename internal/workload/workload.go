@@ -1,0 +1,273 @@
+// Package workload generates the deterministic synthetic datasets used by
+// the experiment harness. The paper evaluates on Major League Baseball
+// season statistics (Sean Lahman's archive, ~3×10⁵ rows); since that data
+// cannot ship with this reproduction, the generators below produce season
+// statistics with the properties the experiments depend on: heavy-tailed,
+// positively correlated attribute pairs (Figure 2 plots two such pairs),
+// many duplicate attribute combinations (what memoization exploits), and
+// highly selective iceberg thresholds.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/value"
+)
+
+// PlayerPerformance builds the pivoted season-statistics table
+// player_performance(playerid, year, round, teamid, b_h, b_hr, b_rbi, b_sb,
+// b_bb) with n rows (player-seasons). Statistics are integer-valued,
+// correlated through a latent talent factor, and heavy-tailed like real
+// batting lines: many part-time seasons with tiny counts, a long tail of
+// stars.
+func PlayerPerformance(n int, seed int64) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := storage.NewTable("player_performance", []value.Column{
+		{Name: "playerid", Type: value.Int},
+		{Name: "year", Type: value.Int},
+		{Name: "round", Type: value.Int},
+		{Name: "teamid", Type: value.Str},
+		{Name: "b_h", Type: value.Float},
+		{Name: "b_hr", Type: value.Float},
+		{Name: "b_rbi", Type: value.Float},
+		{Name: "b_sb", Type: value.Float},
+		{Name: "b_bb", Type: value.Float},
+	}, []string{"playerid", "year", "round"})
+	for _, c := range []string{"b_h", "b_hr", "b_rbi", "b_sb", "b_bb"} {
+		t.Positive[c] = true
+	}
+	t.Rows = make([]value.Row, 0, n)
+	player := 0
+	for len(t.Rows) < n {
+		p := newPlayer(rng, player)
+		player++
+		seasons := 1 + rng.Intn(12)
+		for s := 0; s < seasons && len(t.Rows) < n; s++ {
+			row := p.season(rng, s)
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+type playerProfile struct {
+	id      int
+	talent  float64 // latent skill, heavy-tailed
+	power   float64 // home-run tendency (0..1)
+	speed   float64 // stolen-base tendency, anti-correlated with power
+	eye     float64 // walk tendency
+	team    string
+	debut   int
+	regular bool // full-time player vs. bench/september call-up
+}
+
+func newPlayer(rng *rand.Rand, id int) *playerProfile {
+	talent := math.Abs(rng.NormFloat64())
+	power := clamp01(0.15 + 0.3*rng.NormFloat64())
+	return &playerProfile{
+		id:      id,
+		talent:  talent,
+		power:   power,
+		speed:   clamp01(0.6 - 0.5*power + 0.25*rng.NormFloat64()),
+		eye:     clamp01(0.2 + 0.25*talent + 0.2*rng.NormFloat64()),
+		team:    fmt.Sprintf("T%02d", rng.Intn(30)),
+		debut:   1980 + rng.Intn(35),
+		regular: rng.Float64() < 0.4,
+	}
+}
+
+// season produces one season line. Counting stats scale with plate
+// appearances; a large fraction of seasons are partial, producing the
+// characteristic mass near the origin visible in Figure 2.
+func (p *playerProfile) season(rng *rand.Rand, s int) value.Row {
+	pa := 30 + rng.Intn(120) // partial season
+	if p.regular && rng.Float64() < 0.8 {
+		pa = 350 + rng.Intn(350)
+	}
+	rate := 0.16 + 0.035*p.talent + 0.01*rng.NormFloat64()
+	h := math.Max(0, float64(pa)*rate)
+	hr := math.Max(0, h*(0.015+0.12*p.power+0.01*rng.NormFloat64()))
+	rbi := math.Max(0, 0.45*h+1.4*hr+3*rng.NormFloat64())
+	sb := math.Max(0, float64(pa)/600*(25*p.speed+4*rng.NormFloat64()))
+	bb := math.Max(0, float64(pa)*(0.03+0.09*p.eye+0.008*rng.NormFloat64()))
+	return value.Row{
+		value.NewInt(int64(p.id)),
+		value.NewInt(int64(p.debut + s)),
+		value.NewInt(int64(s % 2)),
+		value.NewStr(p.team),
+		value.NewFloat(math.Round(h)),
+		value.NewFloat(math.Round(hr)),
+		value.NewFloat(math.Round(rbi)),
+		value.NewFloat(math.Round(sb)),
+		value.NewFloat(math.Round(bb)),
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Scores builds the Score(pid, year, round, teamid, hits, hruns) table of
+// the "pairs" query (Listing 4): per (player, year, round) batting lines
+// with teammates sharing teamid/year/round so that player pairs exist.
+func Scores(players, years int, seed int64) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := storage.NewTable("Score", []value.Column{
+		{Name: "pid", Type: value.Int},
+		{Name: "year", Type: value.Int},
+		{Name: "round", Type: value.Int},
+		{Name: "teamid", Type: value.Str},
+		{Name: "hits", Type: value.Float},
+		{Name: "hruns", Type: value.Float},
+	}, []string{"pid", "year", "round"})
+	t.Positive["hits"] = true
+	t.Positive["hruns"] = true
+	teams := players/12 + 1
+	for p := 0; p < players; p++ {
+		prof := newPlayer(rng, p)
+		team := p % teams // stable team so pairs persist across years
+		// A third of players are short-career call-ups: they fall below the
+		// pairs query's co-occurrence threshold and are exactly what the
+		// a-priori reducer removes before the self-join.
+		career := 1 + rng.Intn(years)
+		if rng.Float64() < 0.3 {
+			career = 1
+		}
+		start := rng.Intn(years - 1)
+		for y := start; y < start+career && y < years; y++ {
+			for r := 0; r < 2; r++ {
+				if rng.Float64() < 0.15 {
+					continue
+				}
+				row := prof.season(rng, y)
+				t.Rows = append(t.Rows, value.Row{
+					value.NewInt(int64(p)),
+					value.NewInt(int64(2000 + y)),
+					value.NewInt(int64(r)),
+					value.NewStr(fmt.Sprintf("T%02d", team)),
+					row[4], // hits
+					row[5], // home runs
+				})
+			}
+		}
+	}
+	return t
+}
+
+// Attrs lists the unpivoted statistic names of UnpivotedPerformance.
+var Attrs = []string{"b_h", "b_hr", "b_rbi", "b_sb", "b_bb"}
+
+// UnpivotedPerformance re-organizes player seasons as key–value rows, the
+// layout the paper's complex query (Listing 3) runs on:
+// performance_kv(id, category, attr, val), one row per (season, statistic).
+// category buckets players into comparable groups (the paper compares
+// products of the same category; here seasons of the same era).
+func UnpivotedPerformance(n int, seed int64) *storage.Table {
+	pivoted := PlayerPerformance((n+len(Attrs)-1)/len(Attrs), seed)
+	t := storage.NewTable("performance_kv", []value.Column{
+		{Name: "id", Type: value.Int},
+		{Name: "category", Type: value.Str},
+		{Name: "attr", Type: value.Str},
+		{Name: "val", Type: value.Float},
+	}, []string{"id", "attr"})
+	t.Positive["val"] = true
+	for i, row := range pivoted.Rows {
+		year := row[1].I
+		era := fmt.Sprintf("era%d", (year/5)%6)
+		for a, name := range Attrs {
+			if len(t.Rows) >= n {
+				return t
+			}
+			t.Rows = append(t.Rows, value.Row{
+				value.NewInt(int64(i)),
+				value.NewStr(era),
+				value.NewStr(name),
+				row[4+a],
+			})
+		}
+	}
+	return t
+}
+
+// Dist selects the point distribution of Objects.
+type Dist int
+
+// The standard skyline-benchmark distributions.
+const (
+	Independent Dist = iota
+	Correlated
+	AntiCorrelated
+)
+
+// Objects builds the Object(id, x, y) table of the k-skyband query
+// (Listing 2) with n points drawn from the requested distribution.
+func Objects(n int, dist Dist, seed int64) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := storage.NewTable("Object", []value.Column{
+		{Name: "id", Type: value.Int},
+		{Name: "x", Type: value.Float},
+		{Name: "y", Type: value.Float},
+	}, []string{"id"})
+	for i := 0; i < n; i++ {
+		var x, y float64
+		switch dist {
+		case Correlated:
+			base := rng.Float64()
+			x = clamp01(base + 0.15*rng.NormFloat64())
+			y = clamp01(base + 0.15*rng.NormFloat64())
+		case AntiCorrelated:
+			base := rng.Float64()
+			x = clamp01(base + 0.1*rng.NormFloat64())
+			y = clamp01(1 - base + 0.1*rng.NormFloat64())
+		default:
+			x, y = rng.Float64(), rng.Float64()
+		}
+		t.Rows = append(t.Rows, value.Row{
+			value.NewInt(int64(i)),
+			value.NewFloat(math.Round(x*1000) / 1000),
+			value.NewFloat(math.Round(y*1000) / 1000),
+		})
+	}
+	return t
+}
+
+// Baskets builds the market-basket table Basket(bid, item) with nBaskets
+// baskets over nItems distinct items. Item popularity is Zipf-distributed
+// (exponent zipfS > 1), producing the frequent/infrequent split the
+// a-priori technique exploits.
+func Baskets(nBaskets, nItems, avgSize int, zipfS float64, seed int64) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+	if zipfS <= 1 {
+		zipfS = 1.2
+	}
+	z := rand.NewZipf(rng, zipfS, 1, uint64(nItems-1))
+	t := storage.NewTable("Basket", []value.Column{
+		{Name: "bid", Type: value.Int},
+		{Name: "item", Type: value.Str},
+	}, []string{"bid", "item"})
+	for b := 0; b < nBaskets; b++ {
+		size := 1 + rng.Intn(2*avgSize)
+		seen := map[uint64]bool{}
+		for k := 0; k < size; k++ {
+			it := z.Uint64()
+			if seen[it] {
+				continue
+			}
+			seen[it] = true
+			t.Rows = append(t.Rows, value.Row{
+				value.NewInt(int64(b)),
+				value.NewStr(fmt.Sprintf("item%04d", it)),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"testing"
+
+	"smarticeberg/internal/value"
+)
+
+func TestPlayerPerformanceShape(t *testing.T) {
+	tab := PlayerPerformance(5000, 1)
+	if len(tab.Rows) != 5000 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Determinism.
+	again := PlayerPerformance(5000, 1)
+	for i := range tab.Rows {
+		for j := range tab.Rows[i] {
+			if !value.Identical(tab.Rows[i][j], again.Rows[i][j]) {
+				t.Fatalf("not deterministic at row %d col %d", i, j)
+			}
+		}
+	}
+	other := PlayerPerformance(5000, 2)
+	same := true
+	for i := range tab.Rows {
+		if !value.Identical(tab.Rows[i][4], other.Rows[i][4]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+	// Primary key must actually be unique.
+	seen := map[string]bool{}
+	hIdx, _ := tab.ColumnIndex("b_h")
+	hrIdx, _ := tab.ColumnIndex("b_hr")
+	var sumH, sumHr, sumHHr, sumH2, sumHr2 float64
+	for _, r := range tab.Rows {
+		k := value.Key(r[:3])
+		if seen[k] {
+			t.Fatalf("duplicate primary key %v", r[:3])
+		}
+		seen[k] = true
+		h, hr := r[hIdx].AsFloat(), r[hrIdx].AsFloat()
+		if h < 0 || hr < 0 {
+			t.Fatalf("negative counting stat: %v", r)
+		}
+		sumH += h
+		sumHr += hr
+		sumHHr += h * hr
+		sumH2 += h * h
+		sumHr2 += hr * hr
+	}
+	// Hits and home runs must be positively correlated (Figure 2's shape).
+	n := float64(len(tab.Rows))
+	cov := sumHHr/n - (sumH/n)*(sumHr/n)
+	varH := sumH2/n - (sumH/n)*(sumH/n)
+	varHr := sumHr2/n - (sumHr/n)*(sumHr/n)
+	if corr := cov / (sqrt(varH) * sqrt(varHr)); corr < 0.3 {
+		t.Errorf("expected positive h/hr correlation, got %.3f", corr)
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton's method is plenty here and avoids importing math for one call.
+	g := x
+	for i := 0; i < 40; i++ {
+		g = (g + x/g) / 2
+	}
+	return g
+}
+
+func TestScoresTeammatesExist(t *testing.T) {
+	tab := Scores(120, 10, 3)
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty Score table")
+	}
+	// Some (team, year, round) group must have at least two players,
+	// otherwise the pairs query is vacuous.
+	groups := map[string]map[int64]bool{}
+	pidIdx, _ := tab.ColumnIndex("pid")
+	for _, r := range tab.Rows {
+		k := value.Key(value.Row{r[3], r[1], r[2]})
+		if groups[k] == nil {
+			groups[k] = map[int64]bool{}
+		}
+		groups[k][r[pidIdx].I] = true
+	}
+	best := 0
+	for _, g := range groups {
+		if len(g) > best {
+			best = len(g)
+		}
+	}
+	if best < 2 {
+		t.Errorf("no teammates in any round: max group size %d", best)
+	}
+	if !tab.Positive["hits"] || !tab.Positive["hruns"] {
+		t.Error("hits/hruns must be declared positive")
+	}
+}
+
+func TestUnpivotedMatchesAttrs(t *testing.T) {
+	tab := UnpivotedPerformance(1000, 1)
+	if len(tab.Rows) != 1000 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	attrSet := map[string]bool{}
+	for _, a := range Attrs {
+		attrSet[a] = true
+	}
+	ids := map[int64]map[string]bool{}
+	for _, r := range tab.Rows {
+		if !attrSet[r[2].S] {
+			t.Fatalf("unknown attr %q", r[2].S)
+		}
+		if ids[r[0].I] == nil {
+			ids[r[0].I] = map[string]bool{}
+		}
+		if ids[r[0].I][r[2].S] {
+			t.Fatalf("duplicate (id, attr): %v", r[:3])
+		}
+		ids[r[0].I][r[2].S] = true
+	}
+}
+
+func TestObjectsDistributions(t *testing.T) {
+	for _, d := range []Dist{Independent, Correlated, AntiCorrelated} {
+		tab := Objects(2000, d, 7)
+		if len(tab.Rows) != 2000 {
+			t.Fatalf("rows: %d", len(tab.Rows))
+		}
+		var sx, sy, sxy, sx2, sy2 float64
+		for _, r := range tab.Rows {
+			x, y := r[1].F, r[2].F
+			if x < 0 || x > 1 || y < 0 || y > 1 {
+				t.Fatalf("point out of unit square: %v", r)
+			}
+			sx += x
+			sy += y
+			sxy += x * y
+			sx2 += x * x
+			sy2 += y * y
+		}
+		n := float64(len(tab.Rows))
+		corr := (sxy/n - sx/n*sy/n) / (sqrt(sx2/n-sx/n*sx/n) * sqrt(sy2/n-sy/n*sy/n))
+		switch d {
+		case Correlated:
+			if corr < 0.5 {
+				t.Errorf("correlated dist corr=%.2f", corr)
+			}
+		case AntiCorrelated:
+			if corr > -0.5 {
+				t.Errorf("anticorrelated dist corr=%.2f", corr)
+			}
+		default:
+			if corr < -0.2 || corr > 0.2 {
+				t.Errorf("independent dist corr=%.2f", corr)
+			}
+		}
+	}
+}
+
+func TestBasketsZipf(t *testing.T) {
+	tab := Baskets(3000, 100, 5, 1.4, 2)
+	counts := map[string]int{}
+	perBasket := map[int64]map[string]bool{}
+	for _, r := range tab.Rows {
+		counts[r[1].S]++
+		b := r[0].I
+		if perBasket[b] == nil {
+			perBasket[b] = map[string]bool{}
+		}
+		if perBasket[b][r[1].S] {
+			t.Fatalf("duplicate item in basket %d", b)
+		}
+		perBasket[b][r[1].S] = true
+	}
+	// Zipf: the most popular item should dwarf the median.
+	maxC, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < total/10 {
+		t.Errorf("expected a heavy head: max item count %d of %d", maxC, total)
+	}
+}

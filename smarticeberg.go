@@ -1,0 +1,438 @@
+// Package smarticeberg is a from-scratch Go implementation of the
+// Smart-Iceberg system from "Optimizing Iceberg Queries with Complex Joins"
+// (Walenz, Roy, Yang — SIGMOD 2017): an in-memory SQL engine plus an
+// automatic optimizer for iceberg queries that combines generalized
+// a-priori HAVING push-down, cache-based pruning via automatically derived
+// subsumption predicates (Fourier–Motzkin elimination), and memoization,
+// executed with the paper's NLJP (Nested-Loop Join with Pruning) operator.
+//
+// Typical use:
+//
+//	db := smarticeberg.Open()
+//	db.MustExec(`CREATE TABLE Object (id BIGINT, x DOUBLE, y DOUBLE, PRIMARY KEY (id))`)
+//	db.MustExec(`INSERT INTO Object VALUES (1, 0.5, 0.5), ...`)
+//	res, report, err := db.QueryOpt(`
+//	    SELECT L.id, COUNT(*)
+//	    FROM Object L, Object R
+//	    WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y)
+//	    GROUP BY L.id HAVING COUNT(*) <= 50`, smarticeberg.AllOptimizations())
+//
+// Query runs the same SQL through the unoptimized baseline executor (the
+// paper's "PostgreSQL" reference point) and QueryVendorA through the
+// parallel variant (the paper's "Vendor A" stand-in).
+package smarticeberg
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/fd"
+	"smarticeberg/internal/iceberg"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/value"
+	"smarticeberg/internal/workload"
+)
+
+// Options selects optimizer techniques; see the package documentation of
+// the corresponding paper sections.
+type Options struct {
+	// Apriori enables generalized a-priori reducers (Section 4).
+	Apriori bool
+	// Prune enables NLJP cache-based pruning (Section 5).
+	Prune bool
+	// Memo enables NLJP memoization (Section 6).
+	Memo bool
+	// CacheIndex indexes the pruning cache ("CI" in Figure 4).
+	CacheIndex bool
+	// NoIndexes disables index nested-loop joins in sub-plans (the "PK
+	// only" configuration of Figure 4). The zero value keeps indexes on.
+	NoIndexes bool
+	// BindingOrder explores NLJP bindings in "asc" or "desc" order of the
+	// pruning predicate's range-hint column ("" keeps plan order).
+	BindingOrder string
+	// CacheLimit bounds NLJP cache entries (0 = unbounded); the oldest
+	// entry is evicted first.
+	CacheLimit int
+}
+
+// AllOptimizations enables every technique, the paper's "all" bar.
+func AllOptimizations() Options {
+	return Options{Apriori: true, Prune: true, Memo: true, CacheIndex: true}
+}
+
+func (o Options) internal() iceberg.Options {
+	return iceberg.Options{
+		Apriori:      o.Apriori,
+		Prune:        o.Prune,
+		Memo:         o.Memo,
+		CacheIndex:   o.CacheIndex,
+		UseIndexes:   !o.NoIndexes,
+		BindingOrder: o.BindingOrder,
+		CacheLimit:   o.CacheLimit,
+	}
+}
+
+// Result is a fully evaluated query result. Row values are Go natives:
+// int64, float64, string, bool, or nil for SQL NULL.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+
+	raw *engine.Result
+}
+
+// String renders the result as an aligned table.
+func (r *Result) String() string { return r.raw.String() }
+
+func (r *Result) setRaw(raw *engine.Result) {
+	r.raw = raw
+	r.Columns = make([]string, len(raw.Columns))
+	for i, c := range raw.Columns {
+		r.Columns[i] = c.Name
+	}
+	r.Rows = make([][]any, len(raw.Rows))
+	for i, row := range raw.Rows {
+		vals := make([]any, len(row))
+		for j, v := range row {
+			vals[j] = toNative(v)
+		}
+		r.Rows[i] = vals
+	}
+}
+
+func toNative(v value.Value) any {
+	switch v.K {
+	case value.Int:
+		return v.I
+	case value.Float:
+		return v.F
+	case value.Str:
+		return v.S
+	case value.Bool:
+		return v.I != 0
+	}
+	return nil
+}
+
+// Stats reports what the NLJP cache did during an optimized execution; the
+// paper's Figure 3 plots Entries/Bytes.
+type Stats struct {
+	CacheEntries int
+	CacheBytes   int64
+	Bindings     int64
+	MemoHits     int64
+	PruneHits    int64
+	InnerEvals   int64
+}
+
+// Report documents the rewrites an optimized execution performed.
+type Report struct {
+	// Text is the human-readable optimizer report (reducers found, the
+	// NLJP configuration, the derived pruning predicate).
+	Text string
+	// Stats aggregates cache statistics over all query blocks.
+	Stats Stats
+}
+
+// DB is an in-memory database instance.
+type DB struct {
+	cat *storage.Catalog
+}
+
+// Open creates an empty database.
+func Open() *DB { return &DB{cat: storage.NewCatalog()} }
+
+// OpenDir loads a database previously written by Save: a directory holding
+// a catalog.json manifest (schemas, keys, FDs, indexes) and one CSV per
+// table.
+func OpenDir(dir string) (*DB, error) {
+	cat, err := storage.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{cat: cat}, nil
+}
+
+// Save writes the whole database to a directory in the OpenDir format.
+func (db *DB) Save(dir string) error { return db.cat.SaveDir(dir) }
+
+// Exec runs a DDL/DML statement (CREATE TABLE, INSERT) or a query whose
+// result is discarded.
+func (db *DB) Exec(sql string) error {
+	_, err := engine.Exec(db.cat, sql)
+	return err
+}
+
+// MustExec is Exec that panics on error, for loading fixtures.
+func (db *DB) MustExec(sql string) {
+	if err := db.Exec(sql); err != nil {
+		panic(err)
+	}
+}
+
+// Query executes a SELECT with the baseline (unoptimized, serial) executor.
+func (db *DB) Query(sql string) (*Result, error) {
+	raw, err := engine.Exec(db.cat, sql)
+	if err != nil {
+		return nil, err
+	}
+	if raw == nil {
+		return nil, fmt.Errorf("statement returned no result")
+	}
+	out := &Result{}
+	out.setRaw(raw)
+	return out, nil
+}
+
+// QueryVendorA executes a SELECT with the parallel baseline executor (the
+// paper's commercial "Vendor A" stand-in).
+func (db *DB) QueryVendorA(sql string) (*Result, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := engine.NewPlanner(db.cat)
+	p.Parallel = true
+	op, err := p.PlanSelect(sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := engine.Run(op)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{}
+	out.setRaw(&engine.Result{Columns: op.Schema(), Rows: rows})
+	return out, nil
+}
+
+// QueryOpt executes a SELECT with the Smart-Iceberg optimizer.
+func (db *DB) QueryOpt(sql string, opts Options) (*Result, *Report, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, rep, err := iceberg.Exec(db.cat, sel, opts.internal())
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &Result{}
+	out.setRaw(raw)
+	st := rep.TotalStats()
+	return out, &Report{
+		Text: rep.String(),
+		Stats: Stats{
+			CacheEntries: st.Entries,
+			CacheBytes:   st.Bytes,
+			Bindings:     st.Bindings,
+			MemoHits:     st.MemoHits,
+			PruneHits:    st.PruneHits,
+			InnerEvals:   st.InnerEvals,
+		},
+	}, nil
+}
+
+// Explain returns the baseline plan when opts is nil, or the optimizer's
+// rewrite description when opts is given.
+func (db *DB) Explain(sql string, opts *Options) (string, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return "", err
+	}
+	if opts == nil {
+		p := engine.NewPlanner(db.cat)
+		op, err := p.PlanSelect(sel, nil)
+		if err != nil {
+			return "", err
+		}
+		return engine.Explain(op), nil
+	}
+	return iceberg.Describe(db.cat, sel, opts.internal())
+}
+
+// ExplainAnalyze executes a SELECT through the baseline planner and returns
+// the plan annotated with actual per-operator row counts, plus the result.
+func (db *DB) ExplainAnalyze(sql string) (string, *Result, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	p := engine.NewPlanner(db.cat)
+	op, err := p.PlanSelect(sel, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	text, rows, err := engine.ExplainAnalyze(op)
+	if err != nil {
+		return "", nil, err
+	}
+	out := &Result{}
+	out.setRaw(&engine.Result{Columns: op.Schema(), Rows: rows})
+	return text, out, nil
+}
+
+// CreateIndex declares a secondary sorted index (the "BT" indexes of
+// Figure 4) over the named columns of a table.
+func (db *DB) CreateIndex(table, name string, columns ...string) error {
+	t, err := db.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	_, err = t.CreateIndex(name, columns...)
+	return err
+}
+
+// DropIndexes removes all secondary indexes of a table.
+func (db *DB) DropIndexes(table string) error {
+	t, err := db.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	t.DropIndexes()
+	return nil
+}
+
+// DeclarePositive marks columns as having a strictly positive domain,
+// enabling the SUM rows of the monotonicity table (Table 2).
+func (db *DB) DeclarePositive(table string, columns ...string) error {
+	t, err := db.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	for _, c := range columns {
+		if _, err := t.ColumnIndex(c); err != nil {
+			return err
+		}
+		t.Positive[lowerASCII(c)] = true
+	}
+	return nil
+}
+
+// DeclareFD declares a functional dependency from → to over a table's
+// columns (beyond the primary key, which is declared in CREATE TABLE). The
+// optimizer's safety checks (Theorem 2 of the paper) consume these; see
+// Example 7, where item → did licenses an anti-monotone reduction.
+func (db *DB) DeclareFD(table string, from, to []string) error {
+	t, err := db.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	for _, c := range append(append([]string{}, from...), to...) {
+		if _, err := t.ColumnIndex(c); err != nil {
+			return err
+		}
+	}
+	t.FDs.Add(fd.FD{From: lowerAll(from), To: lowerAll(to)})
+	return nil
+}
+
+func lowerAll(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = lowerASCII(s)
+	}
+	return out
+}
+
+// ImportCSV bulk-loads a CSV file into an existing table. When header is
+// true the first line names the columns (any order); empty fields load as
+// NULL. It returns the number of rows loaded.
+func (db *DB) ImportCSV(table, path string, header bool) (int, error) {
+	t, err := db.cat.Get(table)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return t.LoadCSV(f, header)
+}
+
+// ExportCSV writes a table to a CSV file with a header line.
+func (db *DB) ExportCSV(table, path string) error {
+	t, err := db.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteCSV streams a query result as CSV.
+func (r *Result) WriteCSV(w io.Writer) error {
+	return storage.WriteRowsCSV(w, r.raw.Columns, r.raw.Rows)
+}
+
+// TableRows returns the number of rows in a table.
+func (db *DB) TableRows(table string) (int, error) {
+	t, err := db.cat.Get(table)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.Rows), nil
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// ---------------------------------------------------------------------------
+// Workload loaders (deterministic synthetic datasets; see DESIGN.md for the
+// substitution rationale vs. the paper's MLB archive).
+
+// LoadPlayerPerformance loads the pivoted season-statistics table used by
+// the skyband experiments (Q1–Q3, Q8).
+func (db *DB) LoadPlayerPerformance(n int, seed int64) {
+	db.cat.Put(workload.PlayerPerformance(n, seed))
+}
+
+// LoadScores loads the Score table used by the pairs experiments (Q4–Q7).
+func (db *DB) LoadScores(players, years int, seed int64) {
+	db.cat.Put(workload.Scores(players, years, seed))
+}
+
+// LoadUnpivoted loads the key–value layout used by the complex query.
+func (db *DB) LoadUnpivoted(n int, seed int64) {
+	db.cat.Put(workload.UnpivotedPerformance(n, seed))
+}
+
+// LoadObjects loads a 2-D point table for plain k-skyband queries; dist is
+// "independent", "correlated", or "anticorrelated".
+func (db *DB) LoadObjects(n int, dist string, seed int64) error {
+	var d workload.Dist
+	switch dist {
+	case "independent", "":
+		d = workload.Independent
+	case "correlated":
+		d = workload.Correlated
+	case "anticorrelated":
+		d = workload.AntiCorrelated
+	default:
+		return fmt.Errorf("unknown distribution %q", dist)
+	}
+	db.cat.Put(workload.Objects(n, d, seed))
+	return nil
+}
+
+// LoadBaskets loads a Zipf-distributed market-basket table.
+func (db *DB) LoadBaskets(nBaskets, nItems, avgSize int, seed int64) {
+	db.cat.Put(workload.Baskets(nBaskets, nItems, avgSize, 1.4, seed))
+}

@@ -1,0 +1,197 @@
+package smarticeberg_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"smarticeberg"
+)
+
+func discountDB(t *testing.T) *smarticeberg.DB {
+	t.Helper()
+	db := smarticeberg.Open()
+	db.MustExec("CREATE TABLE Basket (bid BIGINT, item TEXT, did BIGINT, PRIMARY KEY (bid, item, did))")
+	db.MustExec("CREATE TABLE Discount (did BIGINT, rate DOUBLE, PRIMARY KEY (did))")
+	db.MustExec(`INSERT INTO Discount VALUES (1, 0.1), (2, 0.2), (3, 0.0)`)
+	// item "a" appears in 3 baskets (threshold 3 keeps it), "b" in 1.
+	db.MustExec(`INSERT INTO Basket VALUES
+		(1,'a',1),(2,'a',1),(3,'a',2),
+		(1,'b',2),
+		(4,'c',3),(5,'c',3),(6,'c',3)`)
+	return db
+}
+
+// TestExample7Monotone reproduces Example 7 of the paper: the discount-rate
+// query with a monotone HAVING admits a-priori on Basket (L) but not on
+// Discount (R).
+func TestExample7Monotone(t *testing.T) {
+	db := discountDB(t)
+	const q = `
+		SELECT item, rate, COUNT(DISTINCT bid)
+		FROM Basket L, Discount R
+		WHERE L.did = R.did
+		GROUP BY item, rate
+		HAVING COUNT(DISTINCT bid) >= 3`
+	base, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, report, err := db.QueryOpt(q, smarticeberg.AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRows(base, res) {
+		t.Fatalf("mismatch:\n%s\nvs\n%s\nreport:\n%s", base.String(), res.String(), report.Text)
+	}
+	if !strings.Contains(report.Text, "reduce L") {
+		t.Errorf("expected an a-priori reducer on Basket (L):\n%s", report.Text)
+	}
+	if strings.Contains(report.Text, "reduce R") {
+		t.Errorf("a-priori must not apply to Discount (R), per Example 7:\n%s", report.Text)
+	}
+}
+
+// TestExample7AntiMonotone covers the example's second half: with the
+// anti-monotone threshold and the declared dependency item → did, a-priori
+// applies to Basket via the 𝔾_L → 𝕁_L check.
+func TestExample7AntiMonotone(t *testing.T) {
+	db := smarticeberg.Open()
+	db.MustExec("CREATE TABLE Basket (bid BIGINT, item TEXT, did BIGINT, PRIMARY KEY (bid, item))")
+	db.MustExec("CREATE TABLE Discount (did BIGINT, rate DOUBLE, PRIMARY KEY (did))")
+	db.MustExec(`INSERT INTO Discount VALUES (1, 0.1), (2, 0.2)`)
+	// item → did holds: each item always uses the same discount.
+	db.MustExec(`INSERT INTO Basket VALUES
+		(1,'a',1),(2,'a',1),(3,'a',1),
+		(1,'b',2),(4,'b',2)`)
+	if err := db.DeclareFD("Basket", []string{"item"}, []string{"did"}); err != nil {
+		t.Fatal(err)
+	}
+	const q = `
+		SELECT item, rate, COUNT(DISTINCT bid)
+		FROM Basket L, Discount R
+		WHERE L.did = R.did
+		GROUP BY item, rate
+		HAVING COUNT(DISTINCT bid) <= 2`
+	base, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, report, err := db.QueryOpt(q, smarticeberg.Options{Apriori: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRows(base, res) {
+		t.Fatalf("mismatch:\n%s\nvs\n%s\nreport:\n%s", base.String(), res.String(), report.Text)
+	}
+	if !strings.Contains(report.Text, "anti-monotone") || !strings.Contains(report.Text, "reduce L") {
+		t.Errorf("expected an anti-monotone reducer on Basket enabled by item → did:\n%s", report.Text)
+	}
+}
+
+// TestPublicAPISurface exercises the remaining facade methods end to end.
+func TestPublicAPISurface(t *testing.T) {
+	db := smarticeberg.Open()
+	db.LoadPlayerPerformance(400, 3)
+	if n, err := db.TableRows("player_performance"); err != nil || n != 400 {
+		t.Fatalf("TableRows: %d, %v", n, err)
+	}
+	db.LoadScores(60, 8, 3)
+	db.LoadUnpivoted(300, 3)
+	db.LoadBaskets(200, 40, 4, 3)
+	if err := db.LoadObjects(100, "correlated", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadObjects(100, "sideways", 3); err == nil {
+		t.Error("bad distribution name must error")
+	}
+
+	const q = `
+		SELECT R.playerid, R.year, R.round, COUNT(1)
+		FROM player_performance L, player_performance R
+		WHERE L.b_h >= R.b_h AND L.b_hr >= R.b_hr
+		  AND (L.b_h > R.b_h OR L.b_hr > R.b_hr)
+		GROUP BY R.playerid, R.year, R.round
+		HAVING COUNT(1) < 20`
+	base, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendor, err := db.QueryVendorA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, report, err := db.QueryOpt(q, smarticeberg.AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRows(base, vendor) || !sameRows(base, opt) {
+		t.Fatalf("executors disagree: base=%d vendor=%d opt=%d rows",
+			len(base.Rows), len(vendor.Rows), len(opt.Rows))
+	}
+	if report.Stats.Bindings == 0 {
+		t.Errorf("expected NLJP stats, got %+v", report.Stats)
+	}
+
+	// Index management.
+	if err := db.CreateIndex("player_performance", "extra", "b_rbi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropIndexes("player_performance"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeclarePositive("player_performance", "b_h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeclarePositive("player_performance", "nope"); err == nil {
+		t.Error("DeclarePositive on missing column must fail")
+	}
+
+	// Explain, both flavors.
+	plan, err := db.Explain(q, nil)
+	if err != nil || !strings.Contains(plan, "HashAggregate") {
+		t.Errorf("baseline explain: %v\n%s", err, plan)
+	}
+	opts := smarticeberg.AllOptimizations()
+	rewrite, err := db.Explain(q, &opts)
+	if err != nil || !strings.Contains(rewrite, "NLJP") {
+		t.Errorf("optimizer explain: %v\n%s", err, rewrite)
+	}
+
+	// Result value conversion.
+	for _, rowv := range opt.Rows {
+		if _, ok := rowv[0].(int64); !ok {
+			t.Fatalf("playerid should convert to int64, got %T", rowv[0])
+		}
+	}
+}
+
+func sameRows(a, b *smarticeberg.Result) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	canon := func(r *smarticeberg.Result) []string {
+		out := make([]string, len(r.Rows))
+		for i, row := range r.Rows {
+			parts := make([]string, len(row))
+			for j, v := range row {
+				if f, ok := v.(float64); ok {
+					parts[j] = fmt.Sprintf("%.6f", f)
+				} else {
+					parts[j] = fmt.Sprintf("%v", v)
+				}
+			}
+			out[i] = strings.Join(parts, "|")
+		}
+		sort.Strings(out)
+		return out
+	}
+	ca, cb := canon(a), canon(b)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
