@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race lint vet bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine package holds the concurrent executor (ParallelJoinAgg) and its
+# determinism test; the full module runs under the race detector too.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# icelint runs the project's own analysis passes (opcontract, rowalias,
+# valuecmp, closecheck) over every package. See DESIGN.md, "Static analysis
+# & invariants".
+lint: vet
+	$(GO) run ./cmd/icelint ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -1,0 +1,72 @@
+// Command icelint is the project's multichecker: it runs the custom
+// static-analysis passes from internal/analysis over the named packages and
+// exits nonzero when any contract violation survives.
+//
+// Usage:
+//
+//	go run ./cmd/icelint ./...          # lint the whole module
+//	go run ./cmd/icelint ./internal/engine
+//	go run ./cmd/icelint -list          # show the registered passes
+//
+// Findings can be suppressed case-by-case with a directive on or directly
+// above the offending line:
+//
+//	//lint:ignore rowalias row is only held until the next outer.Next call
+//
+// The reason is mandatory; directives without one are ignored.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smarticeberg/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analysis passes and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: icelint [-list] [packages]\n\nPasses:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadTargets(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icelint:", err)
+		os.Exit(2)
+	}
+	count := 0
+	for _, p := range pkgs {
+		if p.Standard || p.Info == nil {
+			continue
+		}
+		diags, err := analysis.RunAnalyzers(p, analysis.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icelint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			count++
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(os.Stderr, "icelint: %d violation(s)\n", count)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,218 @@
+// Package analysis is a small, dependency-free static-analysis framework in
+// the spirit of golang.org/x/tools/go/analysis, plus the engine-specific lint
+// passes that enforce this repository's unwritten execution contracts:
+//
+//   - opcontract: Volcano operators follow the Open/Next/Close protocol and
+//     Next uses the nil-row exhaustion sentinel (internal/engine/operator.go);
+//   - rowalias: rows returned by a child's Next may be reused by the producer
+//     and must be cloned before being retained;
+//   - valuecmp: value.Value is compared through its comparators (Compare,
+//     Equal, Identical) or the Key encoding, never with == / != / switch;
+//   - closecheck: errors from Operator Open/Close are never silently dropped.
+//
+// The framework is built directly on go/ast and go/types (the container this
+// repo builds in has no module proxy access, so golang.org/x/tools is not
+// available); the Analyzer/Pass shapes mirror x/tools so the passes could be
+// ported to a real multichecker by swapping the driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one lint pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and //lint:ignore directives.
+	Name string
+	// Doc is a one-line description shown by `icelint -help`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the standard icelint passes.
+func All() []*Analyzer {
+	return []*Analyzer{OpContract, RowAlias, ValueCmp, CloseCheck}
+}
+
+// ignoreRe matches suppression directives of the form
+//
+//	//lint:ignore pass1,pass2 reason
+//
+// A directive suppresses matching diagnostics on its own line (trailing
+// comment) or on the following line. The reason is mandatory.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+\S`)
+
+// ignoreSet maps "file:line" to the set of suppressed analyzer names.
+type ignoreSet map[string]map[string]bool
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	ig := ignoreSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						if ig[key] == nil {
+							ig[key] = map[string]bool{}
+						}
+						ig[key][name] = true
+					}
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig ignoreSet) suppressed(d Diagnostic) bool {
+	key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+	return ig[key]["all"] || ig[key][d.Analyzer]
+}
+
+// RunAnalyzers applies every analyzer to the package and returns the
+// surviving diagnostics sorted by position. //lint:ignore directives are
+// honored here so every driver (icelint, tests) behaves identically.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: running %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	ig := collectIgnores(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ig.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared type-identification helpers.
+//
+// Passes identify the engine's contract types structurally by package-path
+// suffix so they work both on this module ("smarticeberg/internal/value") and
+// on test fixtures that import the same packages.
+
+const (
+	valuePkgSuffix  = "internal/value"
+	enginePkgSuffix = "internal/engine"
+)
+
+func namedFrom(t types.Type) *types.Named {
+	// Deliberately no pointer unwrapping: a *value.Value compared against nil
+	// is pointer equality, which is fine.
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n
+}
+
+func isPkgType(t types.Type, pkgSuffix, name string) bool {
+	n := namedFrom(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == pkgSuffix || strings.HasSuffix(obj.Pkg().Path(), "/"+pkgSuffix))
+}
+
+// isValueRow reports whether t is value.Row.
+func isValueRow(t types.Type) bool { return isPkgType(t, valuePkgSuffix, "Row") }
+
+// isValueValue reports whether t is value.Value.
+func isValueValue(t types.Type) bool { return isPkgType(t, valuePkgSuffix, "Value") }
+
+// operatorInterface locates the engine.Operator interface visible from pkg:
+// the package itself when linting internal/engine, or any direct import.
+func operatorInterface(pkg *types.Package) *types.Interface {
+	candidates := append([]*types.Package{pkg}, pkg.Imports()...)
+	for _, p := range candidates {
+		if p.Path() != enginePkgSuffix && !strings.HasSuffix(p.Path(), "/"+enginePkgSuffix) {
+			continue
+		}
+		obj := p.Scope().Lookup("Operator")
+		if obj == nil {
+			continue
+		}
+		if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+			return iface
+		}
+	}
+	return nil
+}
+
+// implementsOperator reports whether T or *T satisfies engine.Operator.
+func implementsOperator(t types.Type, iface *types.Interface) bool {
+	if iface == nil {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}

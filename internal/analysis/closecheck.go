@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CloseCheck flags calls to an engine.Operator's Open or Close whose error
+// result is silently discarded — as a bare statement, a defer, or a go
+// statement. Operator compositions propagate child failures through these
+// two methods (a Sort that materializes in Open, a scan that flushes in
+// Close), so dropping the error hides real execution failures. An explicit
+// `_ = op.Close()` is treated as a deliberate, visible discard and allowed.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "flag dropped errors from Operator Open/Close calls",
+	Run:  runCloseCheck,
+}
+
+func runCloseCheck(pass *Pass) error {
+	iface := operatorInterface(pass.Pkg)
+	if iface == nil {
+		return nil
+	}
+	check := func(e ast.Expr, how string) {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Open" && sel.Sel.Name != "Close") {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || !implementsOperator(tv.Type, iface) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"error from %s%s.%s() dropped; Open/Close propagate child operator failures — handle it or discard explicitly with _ =",
+			how, exprString(sel.X), sel.Sel.Name)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				check(n.X, "")
+			case *ast.DeferStmt:
+				check(n.Call, "deferred ")
+			case *ast.GoStmt:
+				check(n.Call, "go ")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exprString renders simple receiver expressions for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	default:
+		return "operator"
+	}
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureDeps are the module packages the fixtures import; their dependency
+// closure (including the standard library) is type-checked once per test
+// binary via the shared loader.
+var fixtureDeps = []string{
+	"smarticeberg/internal/engine",
+	"smarticeberg/internal/value",
+}
+
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader = NewLoader()
+		_, loaderErr = loader.Load("../..", fixtureDeps)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loading fixture dependencies: %v", loaderErr)
+	}
+	return loader
+}
+
+// wantRe matches golden expectations:  // want `regex`  or  // want "regex"
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				raw := m[1]
+				var pat string
+				if strings.HasPrefix(raw, "`") {
+					pat = strings.Trim(raw, "`")
+				} else {
+					var err error
+					pat, err = strconv.Unquote(raw)
+					if err != nil {
+						t.Fatalf("bad want string %s: %v", raw, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func testGolden(t *testing.T, a *Analyzer, fixture string) {
+	l := sharedLoader(t)
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := l.CheckDir("../..", dir, nil) // deps already loaded
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pkg)
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", filepath.Base(file), line) }
+	byLine := map[string][]*expectation{}
+	for _, w := range wants {
+		byLine[key(w.file, w.line)] = append(byLine[key(w.file, w.line)], w)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range byLine[key(d.Pos.Filename, d.Pos.Line)] {
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+func TestOpContractGolden(t *testing.T) { testGolden(t, OpContract, "opcontract") }
+func TestRowAliasGolden(t *testing.T)   { testGolden(t, RowAlias, "rowalias") }
+func TestValueCmpGolden(t *testing.T)   { testGolden(t, ValueCmp, "valuecmp") }
+func TestCloseCheckGolden(t *testing.T) { testGolden(t, CloseCheck, "closecheck") }
+
+// TestRepoClean asserts the linter's own verdict on the repository: zero
+// violations across every package of the module. This is the same gate
+// `make lint` and CI enforce, kept here so plain `go test ./...` catches
+// regressions too.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	l := sharedLoader(t)
+	pkgs, err := l.LoadTargets("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if p.Standard || p.Info == nil {
+			continue
+		}
+		diags, err := RunAnalyzers(p, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

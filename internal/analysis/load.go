@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	Path     string
+	Dir      string
+	Standard bool // part of the Go distribution (never analyzed)
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+}
+
+// listedPkg mirrors the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList shells out to the go command, the only authority on build-tag
+// resolution and package membership. -deps emits packages in dependency
+// order (imports before importers), which the type-checking loop relies on.
+func goList(dir string, patterns []string, deps bool) ([]*listedPkg, error) {
+	args := []string{"list"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, "-json=Dir,ImportPath,Name,GoFiles,CgoFiles,Imports,Standard,Incomplete,Error")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPkg
+	for {
+		p := &listedPkg{}
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Loader type-checks packages from source, caching results so that shared
+// dependencies (the standard library above all) are checked once per process.
+type Loader struct {
+	Fset  *token.FileSet
+	cache map[string]*Package
+}
+
+// NewLoader returns an empty loader with a fresh file set.
+func NewLoader() *Loader {
+	return &Loader{Fset: token.NewFileSet(), cache: map[string]*Package{}}
+}
+
+func (l *Loader) importerFor() types.ImporterFrom {
+	return &mapImporter{l: l}
+}
+
+type mapImporter struct{ l *Loader }
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *mapImporter) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.l.cache[path]; ok {
+		return p.Types, nil
+	}
+	return nil, fmt.Errorf("package %q not loaded (dependency order violation)", path)
+}
+
+// Load resolves patterns with `go list -deps` relative to dir and
+// type-checks every resulting package from source. It returns the packages
+// matched by the patterns' transitive closure; callers filter on Standard to
+// decide what to analyze.
+func (l *Loader) Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range listed {
+		p, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LoadTargets loads patterns and their dependency closure, returning only
+// the packages that match the patterns themselves — the set a lint driver
+// should analyze (dependencies are type-checked but not linted).
+func (l *Loader) LoadTargets(dir string, patterns []string) ([]*Package, error) {
+	targets, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	want := map[string]bool{}
+	for _, t := range targets {
+		want[t.ImportPath] = true
+	}
+	all, err := l.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range all {
+		if want[p.Path] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func (l *Loader) check(lp *listedPkg) (*Package, error) {
+	if p, ok := l.cache[lp.ImportPath]; ok {
+		return p, nil
+	}
+	if lp.ImportPath == "unsafe" {
+		p := &Package{Path: "unsafe", Standard: true, Fset: l.Fset, Types: types.Unsafe}
+		l.cache["unsafe"] = p
+		return p, nil
+	}
+	if lp.Error != nil {
+		return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+	}
+	if len(lp.CgoFiles) > 0 {
+		// No cgo in this module or its (empty) dependency set; if a future
+		// import pulls one in, fall back to the binary export data importer.
+		tp, err := importer.Default().Import(lp.ImportPath)
+		if err != nil {
+			return nil, fmt.Errorf("package %s uses cgo and has no export data: %w", lp.ImportPath, err)
+		}
+		p := &Package{Path: lp.ImportPath, Dir: lp.Dir, Standard: lp.Standard, Fset: l.Fset, Types: tp}
+		l.cache[lp.ImportPath] = p
+		return p, nil
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.importerFor(),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		// Dependencies only contribute their exported API; skipping their
+		// function bodies keeps a full ./... load fast and sidesteps
+		// compiler-intrinsic oddities in the runtime package.
+		IgnoreFuncBodies: lp.Standard,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err)
+		},
+	}
+	tp, err := conf.Check(lp.ImportPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+	}
+	p := &Package{
+		Path:     lp.ImportPath,
+		Dir:      lp.Dir,
+		Standard: lp.Standard,
+		Fset:     l.Fset,
+		Files:    files,
+		Types:    tp,
+		Info:     info,
+	}
+	l.cache[lp.ImportPath] = p
+	return p, nil
+}
+
+// CheckDir parses and type-checks a directory of fixture files as an
+// ad-hoc package named by its directory. deps lists module packages the
+// fixtures import (they are loaded first, along with their dependencies).
+// The go tool never sees the fixture directory, so fixtures can live under
+// testdata/ where `go build ./...` ignores them.
+func (l *Loader) CheckDir(moduleDir, fixtureDir string, deps []string) (*Package, error) {
+	if len(deps) > 0 {
+		if _, err := l.Load(moduleDir, deps); err != nil {
+			return nil, err
+		}
+	}
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", fixtureDir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(fixtureDir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l.importerFor(),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	path := "fixtures/" + filepath.Base(fixtureDir)
+	tp, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", fixtureDir, err)
+	}
+	return &Package{Path: path, Dir: fixtureDir, Fset: l.Fset, Files: files, Types: tp, Info: info}, nil
+}

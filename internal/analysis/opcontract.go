@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// OpContract enforces the Volcano iterator protocol documented on
+// engine.Operator: every implementation defines Open/Next/Close itself (no
+// silent inheritance through embedding, which is how a wrapper ends up with
+// the wrong Schema or a pass-through Close), uses pointer receivers for the
+// stateful protocol methods, and has at least one Next path that yields the
+// nil-row exhaustion sentinel (directly or by delegating to a child's Next).
+var OpContract = &Analyzer{
+	Name: "opcontract",
+	Doc:  "check engine.Operator implementations for the Open/Next/Close protocol and the nil-row exhaustion sentinel",
+	Run:  runOpContract,
+}
+
+var protocolMethods = []string{"Open", "Next", "Close"}
+
+func runOpContract(pass *Pass) error {
+	iface := operatorInterface(pass.Pkg)
+	if iface == nil {
+		return nil // package cannot name engine.Operator; nothing to check
+	}
+
+	// Index method declarations by receiver type name across the package.
+	decls := map[string]map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			name := recvTypeName(fd.Recv.List[0].Type)
+			if name == "" {
+				continue
+			}
+			if decls[name] == nil {
+				decls[name] = map[string]*ast.FuncDecl{}
+			}
+			decls[name][fd.Name.Name] = fd
+		}
+	}
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if !implementsOperator(named, iface) {
+			continue
+		}
+
+		explicit := map[string]bool{}
+		for i := 0; i < named.NumMethods(); i++ {
+			explicit[named.Method(i).Name()] = true
+		}
+		var missing []string
+		for _, m := range protocolMethods {
+			if !explicit[m] {
+				missing = append(missing, m)
+			}
+		}
+		if len(missing) > 0 {
+			pass.Reportf(tn.Pos(),
+				"operator %s inherits %s from an embedded type; define the Open/Next/Close protocol explicitly",
+				name, strings.Join(missing, ", "))
+		}
+		for _, m := range protocolMethods {
+			fd := decls[name][m]
+			if fd == nil {
+				continue
+			}
+			if !isPointerRecv(fd) {
+				pass.Reportf(fd.Pos(),
+					"operator method %s.%s has a value receiver; operators are stateful iterators and need pointer receivers",
+					name, m)
+			}
+			if m == "Next" && fd.Body != nil && !nextHasSentinel(fd.Body) {
+				pass.Reportf(fd.Pos(),
+					"%s.Next never returns the nil-row exhaustion sentinel; end of stream must yield (nil, nil) or delegate to a child's Next",
+					name)
+			}
+		}
+	}
+	return nil
+}
+
+// recvTypeName unwraps a receiver type expression to its base identifier.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func isPointerRecv(fd *ast.FuncDecl) bool {
+	_, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+	return ok
+}
+
+// nextHasSentinel reports whether the body contains a return that can signal
+// exhaustion: a return whose first result is the nil row, or a tail
+// delegation `return <child>.Next()`.
+func nextHasSentinel(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		if id, ok := ret.Results[0].(*ast.Ident); ok && id.Name == "nil" {
+			found = true
+			return false
+		}
+		if len(ret.Results) == 1 {
+			if call, ok := ret.Results[0].(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Next" {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

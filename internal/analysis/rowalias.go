@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RowAlias flags retained references to rows obtained from an Operator's
+// Next. The engine contract (internal/engine/operator.go) says a returned row
+// is only valid until the next call to Next — producers like NLJoin hand out
+// an internal scratch buffer they overwrite on every call — so appending such
+// a row to a slice, storing it into a map, field, or composite literal, or
+// sending it over a channel without an explicit Clone() is a data-corruption
+// bug that only manifests once the producer recycles the buffer.
+//
+// The check is intraprocedural and name-based: a variable is tainted when it
+// is assigned from a call to a method named Next whose first result is
+// value.Row; it stays tainted for the rest of the function (the pass is not
+// flow-sensitive). Cloned uses (r.Clone()) and element-wise copies
+// (append(dst, r...)) are allowed. Deliberate short-lived retention can be
+// suppressed with //lint:ignore rowalias <reason>.
+var RowAlias = &Analyzer{
+	Name: "rowalias",
+	Doc:  "flag rows returned by Next retained without Clone()",
+	Run:  runRowAlias,
+}
+
+func runRowAlias(pass *Pass) error {
+	for _, f := range pass.Files {
+		tainted := map[types.Object]bool{}
+		// Pass 1: find variables bound to Next results.
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Next" {
+				return true
+			}
+			if !firstResultIsRow(pass, call) {
+				return true
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			if obj := pass.objectOf(id); obj != nil {
+				tainted[obj] = true
+			}
+			return true
+		})
+		if len(tainted) == 0 {
+			continue
+		}
+		isTainted := func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj := pass.TypesInfo.Uses[id]
+			return obj != nil && tainted[obj]
+		}
+		report := func(e ast.Expr, how string) {
+			pass.Reportf(e.Pos(),
+				"row %q obtained from Next is %s without an explicit copy; the producer may reuse its buffer — clone it first (row.Clone())",
+				e.(*ast.Ident).Name, how)
+		}
+		// Pass 2: find retention sinks.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && n.Ellipsis == 0 {
+					for _, arg := range n.Args[1:] {
+						if isTainted(arg) {
+							report(arg, "appended to a slice")
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) || !isTainted(n.Rhs[i]) {
+						continue
+					}
+					switch lhs.(type) {
+					case *ast.IndexExpr:
+						report(n.Rhs[i], "stored into a map or slice element")
+					case *ast.SelectorExpr:
+						report(n.Rhs[i], "stored into a struct field")
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						el = kv.Value
+					}
+					if isTainted(el) {
+						report(el, "captured in a composite literal")
+					}
+				}
+			case *ast.SendStmt:
+				if isTainted(n.Value) {
+					report(n.Value, "sent over a channel")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// objectOf resolves an identifier from either a definition (r, err := ...) or
+// a use (r, err = ...).
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if obj := p.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.TypesInfo.Uses[id]
+}
+
+// firstResultIsRow reports whether the call's first result type is value.Row.
+func firstResultIsRow(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isValueRow(t.At(0).Type())
+	default:
+		return isValueRow(t)
+	}
+}

@@ -1,0 +1,46 @@
+// Package fixtures exercises the closecheck pass: errors from an Operator's
+// Open/Close must be handled or explicitly discarded.
+package fixtures
+
+import (
+	"smarticeberg/internal/engine"
+)
+
+// DeferBad silently drops a deferred Close error.
+func DeferBad(op engine.Operator) error {
+	if err := op.Open(); err != nil {
+		return err
+	}
+	defer op.Close() // want `deferred op.Close\(\) dropped`
+	_, err := op.Next()
+	return err
+}
+
+// StmtBad drops the error of a bare Close statement.
+func StmtBad(op engine.Operator) {
+	op.Close() // want `op.Close\(\) dropped`
+}
+
+// OpenBad drops an Open error.
+func OpenBad(op engine.Operator) {
+	op.Open() // want `op.Open\(\) dropped`
+}
+
+// RunGood propagates the Close error through a named return.
+func RunGood(op engine.Operator) (err error) {
+	if err := op.Open(); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := op.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	_, err = op.Next()
+	return err
+}
+
+// DiscardGood discards visibly, which the pass allows.
+func DiscardGood(op engine.Operator) {
+	_ = op.Close()
+}

@@ -1,0 +1,77 @@
+// Package fixtures exercises the opcontract pass: operators must define the
+// Open/Next/Close protocol explicitly, on pointer receivers, and Next must
+// have an exhaustion-sentinel path.
+package fixtures
+
+import (
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/value"
+)
+
+// GoodScan is a clean, protocol-following operator.
+type GoodScan struct {
+	rows []value.Row
+	pos  int
+}
+
+func (s *GoodScan) Schema() value.Schema { return nil }
+func (s *GoodScan) Open() error          { s.pos = 0; return nil }
+func (s *GoodScan) Next() (value.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+func (s *GoodScan) Close() error              { return nil }
+func (s *GoodScan) Describe() string          { return "good scan" }
+func (s *GoodScan) Children() []engine.Operator { return nil }
+
+// GoodWrap delegates Next to its child — also a valid sentinel path.
+type GoodWrap struct {
+	child engine.Operator
+}
+
+func (w *GoodWrap) Schema() value.Schema        { return w.child.Schema() }
+func (w *GoodWrap) Open() error                 { return w.child.Open() }
+func (w *GoodWrap) Next() (value.Row, error)    { return w.child.Next() }
+func (w *GoodWrap) Close() error                { return w.child.Close() }
+func (w *GoodWrap) Describe() string            { return "good wrap" }
+func (w *GoodWrap) Children() []engine.Operator { return []engine.Operator{w.child} }
+
+// BadNext fabricates rows forever and never signals exhaustion.
+type BadNext struct {
+	row value.Row
+}
+
+func (b *BadNext) Schema() value.Schema { return nil }
+func (b *BadNext) Open() error          { return nil }
+func (b *BadNext) Next() (value.Row, error) { // want `never returns the nil-row exhaustion sentinel`
+	return b.row.Clone(), nil
+}
+func (b *BadNext) Close() error              { return nil }
+func (b *BadNext) Describe() string          { return "bad next" }
+func (b *BadNext) Children() []engine.Operator { return nil }
+
+// ValueRecv advances its cursor on a value receiver, so the position is lost
+// on every call.
+type ValueRecv struct {
+	pos int
+}
+
+func (v *ValueRecv) Schema() value.Schema { return nil }
+func (v *ValueRecv) Open() error          { return nil }
+func (v ValueRecv) Next() (value.Row, error) { // want `value receiver`
+	v.pos++
+	return nil, nil
+}
+func (v *ValueRecv) Close() error              { return nil }
+func (v *ValueRecv) Describe() string          { return "value recv" }
+func (v *ValueRecv) Children() []engine.Operator { return nil }
+
+// Inherited gets the whole protocol by embedding instead of defining it.
+type Inherited struct { // want `inherits Open, Next, Close from an embedded type`
+	*GoodScan
+	extra int
+}

@@ -1,0 +1,102 @@
+// Package fixtures exercises the rowalias pass: rows handed out by Next may
+// alias a producer-owned buffer and must be cloned before being retained.
+package fixtures
+
+import (
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/value"
+)
+
+// CollectBad buffers raw Next rows.
+func CollectBad(op engine.Operator) ([]value.Row, error) {
+	var out []value.Row
+	for {
+		r, err := op.Next()
+		if err != nil || r == nil {
+			return out, err
+		}
+		out = append(out, r) // want `appended to a slice`
+	}
+}
+
+// CollectGood clones before buffering.
+func CollectGood(op engine.Operator) ([]value.Row, error) {
+	var out []value.Row
+	for {
+		r, err := op.Next()
+		if err != nil || r == nil {
+			return out, err
+		}
+		out = append(out, r.Clone())
+	}
+}
+
+// SpreadGood copies the row's values element-wise, which is safe.
+func SpreadGood(op engine.Operator) (value.Row, error) {
+	var flat value.Row
+	r, err := op.Next()
+	if err != nil || r == nil {
+		return flat, err
+	}
+	flat = append(flat, r...)
+	return flat, nil
+}
+
+// MapBad indexes a raw row into a map.
+func MapBad(op engine.Operator, m map[string]value.Row) error {
+	r, err := op.Next()
+	if err != nil || r == nil {
+		return err
+	}
+	m["last"] = r // want `stored into a map or slice element`
+	return nil
+}
+
+// Holder retains the last row it saw.
+type Holder struct {
+	last value.Row
+}
+
+// FieldBad stores a raw row into a field.
+func (h *Holder) FieldBad(op engine.Operator) error {
+	r, err := op.Next()
+	if err != nil {
+		return err
+	}
+	h.last = r // want `stored into a struct field`
+	return nil
+}
+
+// FieldIgnored shows a justified suppression.
+func (h *Holder) FieldIgnored(op engine.Operator) error {
+	r, err := op.Next()
+	if err != nil {
+		return err
+	}
+	//lint:ignore rowalias fixture demonstrating a justified short-lived retention
+	h.last = r
+	return nil
+}
+
+type pair struct {
+	row value.Row
+}
+
+// LiteralBad captures a raw row in a composite literal.
+func LiteralBad(op engine.Operator) (pair, error) {
+	r, err := op.Next()
+	if err != nil {
+		return pair{}, err
+	}
+	return pair{row: r}, nil // want `captured in a composite literal`
+}
+
+// SendBad ships a raw row to another goroutine.
+func SendBad(op engine.Operator, ch chan value.Row) error {
+	r, err := op.Next()
+	if err != nil {
+		return err
+	}
+	ch <- r // want `sent over a channel`
+	return nil
+}

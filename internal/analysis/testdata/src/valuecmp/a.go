@@ -1,0 +1,62 @@
+// Package fixtures exercises the valuecmp pass: value.Value must be compared
+// through the comparators in internal/value, never with Go equality.
+package fixtures
+
+import (
+	"smarticeberg/internal/value"
+)
+
+// EqBad uses Go equality on two SQL values.
+func EqBad(a, b value.Value) bool {
+	return a == b // want `compared with ==`
+}
+
+// NeqBad uses Go inequality.
+func NeqBad(a, b value.Value) bool {
+	return a != b // want `compared with !=`
+}
+
+// EqGood goes through the SQL comparator.
+func EqGood(a, b value.Value) bool {
+	return value.Identical(a, b)
+}
+
+// PtrGood compares pointers, which is ordinary Go identity, not SQL equality.
+func PtrGood(a, b *value.Value) bool {
+	return a == b && a != nil
+}
+
+// KindGood compares kinds, which are plain enums.
+func KindGood(a, b value.Value) bool {
+	return a.K == b.K
+}
+
+// SwitchBad dispatches on a value with Go equality per case.
+func SwitchBad(v value.Value) int {
+	switch v { // want `switch on a value.Value`
+	case value.NewInt(1):
+		return 1
+	}
+	return 0
+}
+
+// SwitchGood dispatches on the kind tag.
+func SwitchGood(v value.Value) int {
+	switch v.K {
+	case value.Int:
+		return 1
+	}
+	return 0
+}
+
+// BadIndex groups values under Go equality.
+var BadIndex map[value.Value]int // want `map keyed by value.Value`
+
+// GoodIndex groups under the Identical relation via the key encoding.
+func GoodIndex(rows []value.Row) map[string]int {
+	idx := make(map[string]int)
+	for _, r := range rows {
+		idx[value.Key(r)]++
+	}
+	return idx
+}

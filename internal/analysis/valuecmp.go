@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ValueCmp forbids Go-level equality on value.Value. The struct compiles
+// under == because all its fields are comparable, but Go equality disagrees
+// with the engine's SQL semantics in every interesting case: Int 3 and Float
+// 3.0 are the same SQL value yet differ under ==, and NULLs compare equal to
+// each other. Grouping and joins must go through value.Compare / value.Equal
+// / value.Identical, and map keys through the value.Key / value.AppendKey
+// encoding (which is exactly the Identical relation).
+var ValueCmp = &Analyzer{
+	Name: "valuecmp",
+	Doc:  "forbid ==/!=/switch/map-key use of value.Value; use the value comparators and key encoding",
+	Run:  runValueCmp,
+}
+
+func runValueCmp(pass *Pass) error {
+	typeOf := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && isValueValue(tv.Type)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if (n.Op == token.EQL || n.Op == token.NEQ) && (typeOf(n.X) || typeOf(n.Y)) {
+					pass.Reportf(n.OpPos,
+						"value.Value compared with %s; Go equality breaks SQL semantics (Int 3 != Float 3.0, NULL == NULL) — use value.Equal, value.Identical, or value.Compare",
+						n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && typeOf(n.Tag) {
+					pass.Reportf(n.Tag.Pos(),
+						"switch on a value.Value uses Go equality per case; compare with value.Identical or switch on the Kind instead")
+				}
+			case *ast.MapType:
+				if typeOf(n.Key) {
+					pass.Reportf(n.Key.Pos(),
+						"map keyed by value.Value groups with Go equality; encode keys with value.Key or value.AppendKey instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

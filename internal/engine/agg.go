@@ -39,11 +39,15 @@ func NewHashAggregate(child Operator, groupBy []expr.Compiled, aggs []*expr.Aggr
 func (h *HashAggregate) Schema() value.Schema { return h.schema }
 
 // Open implements Operator.
-func (h *HashAggregate) Open() error {
+func (h *HashAggregate) Open() (err error) {
 	if err := h.child.Open(); err != nil {
 		return err
 	}
-	defer h.child.Close()
+	defer func() {
+		if cerr := h.child.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	index := make(map[string]*aggGroup)
 	h.groups = h.groups[:0]
 	h.pos = 0

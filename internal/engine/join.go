@@ -234,6 +234,7 @@ func (j *NLJoin) Next() (value.Row, error) {
 		if err != nil || outer == nil {
 			return nil, err
 		}
+		//lint:ignore rowalias curOuter is only read until the next j.outer.Next call, within the row's validity window
 		j.curOuter = outer
 		j.matches, err = j.method.Probe(outer)
 		if err != nil {

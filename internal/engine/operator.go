@@ -27,12 +27,17 @@ type Operator interface {
 	Children() []Operator
 }
 
-// Run drains an operator and returns all rows (cloned).
-func Run(op Operator) ([]value.Row, error) {
+// Run drains an operator and returns all rows (cloned). A Close failure is
+// reported unless the drain itself already failed.
+func Run(op Operator) (rows []value.Row, err error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
-	defer op.Close()
+	defer func() {
+		if cerr := op.Close(); cerr != nil && err == nil {
+			rows, err = nil, cerr
+		}
+	}()
 	var out []value.Row
 	for {
 		r, err := op.Next()

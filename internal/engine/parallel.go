@@ -147,7 +147,9 @@ func (p *ParallelJoinAgg) Open() error {
 		if len(batch) > 0 {
 			batches <- batch
 		}
-		p.join.outer.Close()
+		if cerr := p.join.outer.Close(); cerr != nil && feedErr == nil {
+			feedErr = cerr
+		}
 	}
 	close(batches)
 	wg.Wait()

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"testing"
+
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/value"
+)
+
+// parallelTestCatalog builds a Fact/Dim catalog large enough that the
+// ParallelJoinAgg outer feed spans multiple batches, so worker scheduling
+// genuinely interleaves. Row values come from a fixed LCG, keeping the data
+// identical across runs.
+func parallelTestCatalog(tb testing.TB) *storage.Catalog {
+	tb.Helper()
+	seed := uint64(42)
+	next := func(n uint64) int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int64((seed >> 33) % n)
+	}
+	fact := storage.NewTable("Fact", []value.Column{
+		{Name: "k", Type: value.Int},
+		{Name: "v", Type: value.Int},
+	}, nil)
+	for i := 0; i < 5000; i++ {
+		fact.Rows = append(fact.Rows, value.Row{value.NewInt(int64(i % 97)), value.NewInt(next(50))})
+	}
+	dim := storage.NewTable("Dim", []value.Column{
+		{Name: "k", Type: value.Int},
+		{Name: "w", Type: value.Int},
+	}, nil)
+	for i := 0; i < 300; i++ {
+		dim.Rows = append(dim.Rows, value.Row{value.NewInt(int64(i % 97)), value.NewInt(next(50))})
+	}
+	cat := storage.NewCatalog()
+	cat.Put(fact)
+	cat.Put(dim)
+	return cat
+}
+
+func planParallelJoinAgg(tb testing.TB, cat *storage.Catalog, workers int) Operator {
+	tb.Helper()
+	sql := `
+		SELECT f.k, COUNT(*), SUM(d.w)
+		FROM Fact f, Dim d
+		WHERE f.k = d.k AND f.v <= d.w
+		GROUP BY f.k
+		HAVING COUNT(*) >= 1`
+	stmt, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p := NewPlanner(cat)
+	p.Parallel = workers > 0
+	p.Workers = workers
+	op, err := p.PlanSelect(stmt, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return op
+}
+
+func hasParallelJoinAgg(op Operator) bool {
+	if _, ok := op.(*ParallelJoinAgg); ok {
+		return true
+	}
+	for _, c := range op.Children() {
+		if hasParallelJoinAgg(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestParallelJoinAggDeterministic checks that the Vendor A executor is a
+// pure optimization: the same query produces the same multiset of rows with
+// one worker, with four workers, and across repeated four-worker runs. Under
+// -race this also drives the worker pool hard enough to surface unsound
+// sharing between the feeder and the workers.
+func TestParallelJoinAggDeterministic(t *testing.T) {
+	cat := parallelTestCatalog(t)
+
+	serial, err := Run(planParallelJoinAgg(t, cat, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("query produced no rows; the test data is broken")
+	}
+	want := rowsToStrings(serial)
+
+	for _, workers := range []int{1, 4} {
+		op := planParallelJoinAgg(t, cat, workers)
+		if !hasParallelJoinAgg(op) {
+			t.Fatalf("workers=%d: plan does not use ParallelJoinAgg:\n%s", workers, Explain(op))
+		}
+		// Repeat to give the scheduler chances to interleave differently.
+		for run := 0; run < 3; run++ {
+			rows, err := Run(op)
+			if err != nil {
+				t.Fatalf("workers=%d run %d: %v", workers, run, err)
+			}
+			got := rowsToStrings(rows)
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d run %d: got %d rows, want %d", workers, run, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d run %d: row %d = %q, want %q", workers, run, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

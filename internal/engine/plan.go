@@ -90,7 +90,16 @@ func (p *Planner) PlanSelect(sel *sqlparser.Select, env Env) (Operator, error) {
 		}
 		env[lower(cte.Name)] = rel
 	}
-	return p.planBody(sel, env)
+	op, err := p.planBody(sel, env)
+	if err != nil {
+		return nil, err
+	}
+	if Validate {
+		if err := ValidatePlan(op); err != nil {
+			return nil, err
+		}
+	}
+	return op, nil
 }
 
 // Materialize plans and fully evaluates a SELECT, returning its rows with a

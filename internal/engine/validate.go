@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+
+	"smarticeberg/internal/value"
+)
+
+// Validate enables plan-invariant checking: when set, the planner runs
+// ValidatePlan over every operator tree it builds before handing it to the
+// caller. It is a debug flag — off by default in production paths, switched
+// on by the test packages so every planned query in the suite is checked.
+var Validate bool
+
+// ValidatePlan walks a built operator tree and asserts the structural
+// invariants the executor relies on but never re-checks at runtime:
+//
+//   - every operator reports a schema consistent with its inputs
+//     (pass-through operators preserve the child schema; joins concatenate;
+//     projections and aggregates have one column per output expression);
+//   - materialized rows match the declared arity, so column offsets compiled
+//     against the schema cannot read out of range;
+//   - fully-qualified column names are unambiguous after a join, so later
+//     Resolve calls cannot silently bind to the wrong input.
+//
+// A violation is a planner bug, not a data error, which is why this is a
+// validator rather than a runtime check.
+func ValidatePlan(op Operator) error {
+	if op == nil {
+		return fmt.Errorf("plan validation: nil operator")
+	}
+	if err := validateNode(op); err != nil {
+		return err
+	}
+	for _, c := range op.Children() {
+		if err := ValidatePlan(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateNode(op Operator) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("plan validation: %s: %s", op.Describe(), fmt.Sprintf(format, args...))
+	}
+	switch o := op.(type) {
+	case *MemScan:
+		width := len(o.schema)
+		for i, r := range o.rows {
+			if len(r) != width {
+				return bad("row %d has %d values, schema declares %d columns", i, len(r), width)
+			}
+		}
+	case *Filter:
+		if err := sameSchema(o.Schema(), o.child.Schema()); err != nil {
+			return bad("filter must preserve its child schema: %v", err)
+		}
+	case *Project:
+		if len(o.exprs) != len(o.schema) {
+			return bad("%d output expressions but %d schema columns", len(o.exprs), len(o.schema))
+		}
+	case *Distinct:
+		if err := sameSchema(o.Schema(), o.child.Schema()); err != nil {
+			return bad("distinct must preserve its child schema: %v", err)
+		}
+	case *Sort:
+		if err := sameSchema(o.Schema(), o.child.Schema()); err != nil {
+			return bad("sort must preserve its child schema: %v", err)
+		}
+		if len(o.keys) != len(o.desc) {
+			return bad("%d sort keys but %d direction flags", len(o.keys), len(o.desc))
+		}
+	case *Limit:
+		if err := sameSchema(o.Schema(), o.child.Schema()); err != nil {
+			return bad("limit must preserve its child schema: %v", err)
+		}
+		if o.n < 0 {
+			return bad("negative limit %d", o.n)
+		}
+	case *NLJoin:
+		want := len(o.outer.Schema()) + len(o.inner.Schema())
+		if len(o.schema) != want {
+			return bad("schema has %d columns, outer+inner have %d", len(o.schema), want)
+		}
+		if err := uniqueQualified(o.schema); err != nil {
+			return bad("%v", err)
+		}
+	case *HashAggregate:
+		if len(o.schema) != len(o.groupBy)+len(o.aggs) {
+			return bad("schema has %d columns, expected %d group keys + %d aggregates",
+				len(o.schema), len(o.groupBy), len(o.aggs))
+		}
+	case *ParallelJoinAgg:
+		if o.join == nil {
+			return bad("missing fused join input")
+		}
+		if len(o.schema) != len(o.groupBy)+len(o.aggs) {
+			return bad("schema has %d columns, expected %d group keys + %d aggregates",
+				len(o.schema), len(o.groupBy), len(o.aggs))
+		}
+		if o.workers <= 0 {
+			return bad("non-positive worker count %d", o.workers)
+		}
+	case *reschema:
+		if len(o.schema) != len(o.child.Schema()) {
+			return bad("relabeled schema has %d columns, child has %d",
+				len(o.schema), len(o.child.Schema()))
+		}
+	}
+	return nil
+}
+
+// sameSchema checks that a pass-through operator reports exactly its child's
+// column layout (same arity, names, and types, position by position).
+func sameSchema(got, want value.Schema) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("arity %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("column %d is %s, child has %s", i, got[i].String(), want[i].String())
+		}
+	}
+	return nil
+}
+
+// uniqueQualified rejects duplicate fully-qualified names in a join output.
+// Bare duplicates are legal (SELECT a.x, a.x), but two distinct join inputs
+// must never contribute the same qualifier.column pair, or Resolve over the
+// concatenated schema becomes ambiguous.
+func uniqueQualified(s value.Schema) error {
+	seen := make(map[string]bool, len(s))
+	for _, c := range s {
+		if c.Qualifier == "" {
+			continue
+		}
+		key := c.Qualifier + "." + c.Name
+		if seen[key] {
+			return fmt.Errorf("duplicate qualified column %s in join output", key)
+		}
+		seen[key] = true
+	}
+	return nil
+}

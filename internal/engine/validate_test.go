@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/value"
+)
+
+// Every plan the test suite builds goes through ValidatePlan.
+func init() { Validate = true }
+
+func col(q, n string, k value.Kind) value.Column {
+	return value.Column{Qualifier: q, Name: n, Type: k}
+}
+
+func intRow(vs ...int64) value.Row {
+	r := make(value.Row, len(vs))
+	for i, v := range vs {
+		r[i] = value.NewInt(v)
+	}
+	return r
+}
+
+func identity(i int) expr.Compiled {
+	return func(r value.Row) (value.Value, error) { return r[i], nil }
+}
+
+func wantViolation(t *testing.T, op Operator, substr string) {
+	t.Helper()
+	err := ValidatePlan(op)
+	if err == nil {
+		t.Fatalf("ValidatePlan accepted an invalid plan; wanted error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("ValidatePlan error = %q; wanted it to contain %q", err, substr)
+	}
+}
+
+func TestValidatePlanAcceptsWellFormedTree(t *testing.T) {
+	scan := NewMemScan("t", value.Schema{col("t", "a", value.Int), col("t", "b", value.Int)},
+		[]value.Row{intRow(1, 2), intRow(3, 4)})
+	proj := NewProject(scan, []expr.Compiled{identity(0)}, value.Schema{col("", "a", value.Int)})
+	if err := ValidatePlan(NewLimit(NewDistinct(proj), 10)); err != nil {
+		t.Fatalf("ValidatePlan rejected a well-formed plan: %v", err)
+	}
+}
+
+func TestValidatePlanRowArity(t *testing.T) {
+	scan := NewMemScan("t", value.Schema{col("t", "a", value.Int), col("t", "b", value.Int)},
+		[]value.Row{intRow(1, 2), intRow(3)})
+	wantViolation(t, scan, "row 1 has 1 values, schema declares 2 columns")
+}
+
+func TestValidatePlanProjectArity(t *testing.T) {
+	scan := NewMemScan("t", value.Schema{col("t", "a", value.Int)}, []value.Row{intRow(1)})
+	proj := NewProject(scan, []expr.Compiled{identity(0), identity(0)},
+		value.Schema{col("", "a", value.Int)})
+	wantViolation(t, proj, "2 output expressions but 1 schema columns")
+}
+
+func TestValidatePlanJoinSchema(t *testing.T) {
+	left := NewMemScan("l", value.Schema{col("l", "a", value.Int)}, []value.Row{intRow(1)})
+	right := NewMemScan("r", value.Schema{col("r", "b", value.Int)}, []value.Row{intRow(1)})
+
+	join := NewNLJoin("Nested Loop", left, right, NewScanProber(), nil)
+	if err := ValidatePlan(join); err != nil {
+		t.Fatalf("ValidatePlan rejected a well-formed join: %v", err)
+	}
+
+	// Corrupt the concatenated schema the way a planner bug would.
+	join.schema = join.schema[:1]
+	wantViolation(t, join, "schema has 1 columns, outer+inner have 2")
+}
+
+func TestValidatePlanDuplicateQualifiedColumns(t *testing.T) {
+	left := NewMemScan("l", value.Schema{col("t", "a", value.Int)}, []value.Row{intRow(1)})
+	right := NewMemScan("r", value.Schema{col("t", "a", value.Int)}, []value.Row{intRow(1)})
+	join := NewNLJoin("Nested Loop", left, right, NewScanProber(), nil)
+	wantViolation(t, join, "duplicate qualified column t.a")
+}
+
+func TestValidatePlanAggregateArity(t *testing.T) {
+	scan := NewMemScan("t", value.Schema{col("t", "a", value.Int)}, []value.Row{intRow(1)})
+	agg := NewHashAggregate(scan, []expr.Compiled{identity(0)}, nil, nil,
+		value.Schema{col("", "a", value.Int), col("", "n", value.Int)})
+	wantViolation(t, agg, "expected 1 group keys + 0 aggregates")
+}
+
+func TestValidatePlanChecksDescendants(t *testing.T) {
+	bad := NewMemScan("t", value.Schema{col("t", "a", value.Int)}, []value.Row{intRow(1, 2)})
+	wrapped := NewLimit(NewDistinct(bad), 5)
+	wantViolation(t, wrapped, "row 0 has 2 values")
+}

@@ -348,6 +348,11 @@ func buildNLJP(b *block, overrides map[string]*engine.MaterializedRel, opts Opti
 		n.outCols = append(n.outCols, value.Column{Name: outputName(it, i), Type: value.Float})
 	}
 
+	if engine.Validate {
+		if err := n.validate(); err != nil {
+			return nil, err
+		}
+	}
 	return n, nil
 }
 
@@ -489,8 +494,9 @@ func sideIn(e sqlparser.Expr, set map[string]bool) int {
 	return 0
 }
 
-// Run executes the NLJP loop of Section 7 and returns the final result.
-func (n *NLJP) Run() (*engine.Result, error) {
+// Run executes the NLJP loop of Section 7 and returns the final result. A
+// binding-query Close failure is reported unless the loop already failed.
+func (n *NLJP) Run() (res *engine.Result, err error) {
 	n.stats = CacheStats{}
 	c := newCache(n.Pred, n.CacheIndexed, n.cacheLimit)
 	defer func() {
@@ -502,7 +508,11 @@ func (n *NLJP) Run() (*engine.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer closeBindings()
+	defer func() {
+		if cerr := closeBindings(); cerr != nil && err == nil {
+			res, err = nil, cerr
+		}
+	}()
 
 	type group struct {
 		gVals    []value.Value
@@ -596,12 +606,12 @@ func (n *NLJP) Run() (*engine.Result, error) {
 // predicate's range-hint column — the exploration-order lever Section 7
 // leaves open. Processing the prune-dominant end first populates the cache
 // with maximally useful unpromising entries.
-func (n *NLJP) bindingIterator() (next func() (value.Row, error), cleanup func(), err error) {
+func (n *NLJP) bindingIterator() (next func() (value.Row, error), cleanup func() error, err error) {
 	if n.bindingOrder == "" || n.Pred == nil || n.Pred.RangeIdx < 0 {
 		if err := n.bindingOp.Open(); err != nil {
 			return nil, nil, err
 		}
-		return n.bindingOp.Next, func() { n.bindingOp.Close() }, nil
+		return n.bindingOp.Next, n.bindingOp.Close, nil
 	}
 	rows, err := engine.Run(n.bindingOp)
 	if err != nil {
@@ -618,7 +628,7 @@ func (n *NLJP) bindingIterator() (next func() (value.Row, error), cleanup func()
 		r := rows[i]
 		i++
 		return r, nil
-	}, func() {}, nil
+	}, func() error { return nil }, nil
 }
 
 func sortRowsBy(rows []value.Row, col int, desc bool) {

@@ -1,0 +1,89 @@
+package iceberg
+
+import (
+	"fmt"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/lincon"
+)
+
+// validate asserts the structural invariants of a constructed NLJP plan.
+// It runs when engine.Validate is set (the test suites switch it on), after
+// buildNLJP has assembled all four component queries:
+//
+//   - the binding-column maps 𝕁 (jIdx) and 𝔾 (gIdx) address real columns of
+//     the Q_B output, one per declared join/grouping attribute;
+//   - the subsumption predicate p⪰ references only join-attribute variables
+//     (w, w'): every inner variable w_r must have been eliminated, or Check
+//     would evaluate cached entries against columns the cache never stores;
+//   - the cache-index hints point at valid 𝕁_L positions;
+//   - the post-processing query Q_P has one compiled expression per output
+//     column.
+func (n *NLJP) validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("NLJP validation: %s", fmt.Sprintf(format, args...))
+	}
+	if len(n.jIdx) != len(n.JCols) {
+		return bad("%d binding positions for %d join columns", len(n.jIdx), len(n.JCols))
+	}
+	if len(n.gIdx) != len(n.GCols) {
+		return bad("%d binding positions for %d grouping columns", len(n.gIdx), len(n.GCols))
+	}
+	width := len(n.bindingSchema)
+	for i, j := range n.jIdx {
+		if j < 0 || j >= width {
+			return bad("join column %s maps to binding position %d, Q_B has %d columns",
+				n.JCols[i].String(), j, width)
+		}
+	}
+	for i, j := range n.gIdx {
+		if j < 0 || j >= width {
+			return bad("grouping column %s maps to binding position %d, Q_B has %d columns",
+				n.GCols[i].String(), j, width)
+		}
+	}
+	if len(n.lamC) != len(n.outCols) {
+		return bad("%d output expressions for %d output columns", len(n.lamC), len(n.outCols))
+	}
+	if n.Pred != nil {
+		if err := n.Pred.validate(len(n.JCols)); err != nil {
+			return bad("%v", err)
+		}
+	}
+	if err := engine.ValidatePlan(n.bindingOp); err != nil {
+		return bad("Q_B: %v", err)
+	}
+	return nil
+}
+
+// validate checks that the derived subsumption predicate is closed over the
+// join-attribute variables and that its index hints stay within 𝕁_L. nJ is
+// the number of 𝕁_L columns.
+func (p *PrunePredicate) validate(nJ int) error {
+	if len(p.wVars) != nJ || len(p.wpVars) != nJ {
+		return fmt.Errorf("predicate binds %d w / %d w' variables for %d join columns",
+			len(p.wVars), len(p.wpVars), nJ)
+	}
+	allowed := make(map[lincon.Var]bool, 2*nJ)
+	for _, v := range p.wVars {
+		allowed[v] = true
+	}
+	for _, v := range p.wpVars {
+		allowed[v] = true
+	}
+	for _, v := range p.notP.Vars() {
+		if !allowed[v] {
+			return fmt.Errorf("subsumption predicate references non-join-attribute variable %s",
+				p.sys.Name(v))
+		}
+	}
+	for _, i := range p.EqIdx {
+		if i < 0 || i >= nJ {
+			return fmt.Errorf("equality index hint %d out of range (|J_L| = %d)", i, nJ)
+		}
+	}
+	if p.RangeIdx != -1 && (p.RangeIdx < 0 || p.RangeIdx >= nJ) {
+		return fmt.Errorf("range index hint %d out of range (|J_L| = %d)", p.RangeIdx, nJ)
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+package iceberg
+
+import (
+	"smarticeberg/internal/engine"
+)
+
+// Every plan built during the iceberg tests — including each constructed
+// NLJP and its component queries — goes through the plan validators.
+func init() { engine.Validate = true }
