@@ -24,5 +24,8 @@ vet:
 lint: vet
 	$(GO) run ./cmd/icelint ./...
 
+# The root run regenerates BENCH_nljp.json (parallel NLJP worker sweep);
+# the internal/bench run is the harness's own benchmark smoke.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./internal/bench/...

@@ -165,6 +165,47 @@ func BenchmarkFigure8(b *testing.B) {
 	}
 }
 
+// BenchmarkNLJPWorkers measures the parallel NLJP binding loop on each
+// figure query at 1 and 4 workers and writes the results — ns/op, allocs/op,
+// cache hit counters, worker count — to BENCH_nljp.json in the working
+// directory. `make bench` runs it; commit the refreshed file when numbers
+// move. Wall-clock speedup requires real cores (GOMAXPROCS is recorded per
+// record so single-core runs are not mistaken for scaling data).
+func BenchmarkNLJPWorkers(b *testing.B) {
+	ds := bench.NewDataset(benchN(), benchN(), 1)
+	// The harness re-invokes each sub-benchmark while calibrating b.N; keep
+	// only the final (largest-N) record per (query, workers) point.
+	latest := map[string]bench.NLJPBenchRecord{}
+	var order []string
+	for _, q := range bench.Figure1Queries() {
+		for _, w := range []int{1, 4} {
+			name := q.Name + "/w" + strconv.Itoa(w)
+			b.Run(name, func(b *testing.B) {
+				rec, err := bench.MeasureNLJP(ds, q.Name, q.SQL, w, b.N)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, seen := latest[name]; !seen {
+					order = append(order, name)
+				}
+				latest[name] = rec
+				b.ReportMetric(float64(rec.AllocsPerOp), "allocs/op-total")
+				b.ReportMetric(float64(rec.Stats.MemoHits), "memo-hits")
+				b.ReportMetric(float64(rec.Stats.PruneHits), "prune-hits")
+			})
+		}
+	}
+	if len(order) > 0 {
+		records := make([]bench.NLJPBenchRecord, len(order))
+		for i, name := range order {
+			records[i] = latest[name]
+		}
+		if err := bench.WriteNLJPBench("BENCH_nljp.json", records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblations times the design-choice ablations called out in
 // DESIGN.md: cache index on/off for pruning, and the a-priori+prune
 // combination on the complex query (the paper's future-work item).

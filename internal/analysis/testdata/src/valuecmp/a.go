@@ -3,6 +3,8 @@
 package fixtures
 
 import (
+	"sync"
+
 	"smarticeberg/internal/value"
 )
 
@@ -59,4 +61,27 @@ func GoodIndex(rows []value.Row) map[string]int {
 		idx[value.Key(r)]++
 	}
 	return idx
+}
+
+// SyncStoreBad hides a value.Value map key behind sync.Map's any parameter.
+func SyncStoreBad(m *sync.Map, v value.Value) {
+	m.Store(v, 1) // want `sync.Map keyed by value.Value`
+}
+
+// SyncLoadBad probes a sync.Map with a raw value key.
+func SyncLoadBad(m *sync.Map, v value.Value) (any, bool) {
+	return m.Load(v) // want `sync.Map keyed by value.Value`
+}
+
+// SyncLoadOrStoreBad is the racy-insert variant of the same bug, on a
+// non-pointer receiver.
+func SyncLoadOrStoreBad(v value.Value) {
+	var m sync.Map
+	m.LoadOrStore(v, 1) // want `sync.Map keyed by value.Value`
+	m.Delete(v)         // want `sync.Map keyed by value.Value`
+}
+
+// SyncGood encodes the key first, like any other map.
+func SyncGood(m *sync.Map, v value.Value) {
+	m.Store(value.Key([]value.Value{v}), 1)
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // ValueCmp forbids Go-level equality on value.Value. The struct compiles
@@ -14,14 +15,34 @@ import (
 // encoding (which is exactly the Identical relation).
 var ValueCmp = &Analyzer{
 	Name: "valuecmp",
-	Doc:  "forbid ==/!=/switch/map-key use of value.Value; use the value comparators and key encoding",
+	Doc:  "forbid ==/!=/switch/map-key/sync.Map-key use of value.Value; use the value comparators and key encoding",
 	Run:  runValueCmp,
+}
+
+// syncMapKeyMethods are the sync.Map methods whose first argument is the
+// key. sync.Map hashes keys with Go equality just like a built-in map, so a
+// value.Value key has the same semantic bug the MapType check catches — but
+// hidden behind an `any` parameter the compiler never questions.
+var syncMapKeyMethods = map[string]bool{
+	"Store": true, "Load": true, "LoadOrStore": true, "LoadAndDelete": true,
+	"Delete": true, "Swap": true, "CompareAndSwap": true, "CompareAndDelete": true,
 }
 
 func runValueCmp(pass *Pass) error {
 	typeOf := func(e ast.Expr) bool {
 		tv, ok := pass.TypesInfo.Types[e]
 		return ok && isValueValue(tv.Type)
+	}
+	isSyncMap := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		t := tv.Type
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		return isPkgType(t, "sync", "Map")
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -41,6 +62,15 @@ func runValueCmp(pass *Pass) error {
 				if typeOf(n.Key) {
 					pass.Reportf(n.Key.Pos(),
 						"map keyed by value.Value groups with Go equality; encode keys with value.Key or value.AppendKey instead")
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !syncMapKeyMethods[sel.Sel.Name] || len(n.Args) == 0 {
+					return true
+				}
+				if isSyncMap(sel.X) && typeOf(n.Args[0]) {
+					pass.Reportf(n.Args[0].Pos(),
+						"sync.Map keyed by value.Value groups with Go equality; encode keys with value.Key or value.AppendKey instead")
 				}
 			}
 			return true

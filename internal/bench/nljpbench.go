@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"smarticeberg/internal/iceberg"
+	"smarticeberg/internal/sqlparser"
+)
+
+// SysAllWorkers is the "all" configuration with a parallel NLJP binding
+// loop: w goroutines over the sharded cache (w <= 1 is the sequential
+// loop, negative selects min(4, GOMAXPROCS)).
+func SysAllWorkers(w int) System {
+	opts := iceberg.AllOn()
+	opts.Workers = w
+	return System{Name: fmt.Sprintf("all-w%d", w), Run: runOptimized(opts)}
+}
+
+// NLJPBenchRecord is one (query, worker count) measurement of the parallel
+// NLJP binding loop, serialized into BENCH_nljp.json. AllocsPerOp and
+// BytesPerOp come from runtime.MemStats deltas across the timed loop, so
+// they include everything the execution allocated (plan, data, cache).
+type NLJPBenchRecord struct {
+	Query       string             `json:"query"`
+	Workers     int                `json:"workers"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Iters       int                `json:"iters"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Rows        int                `json:"rows"`
+	Stats       iceberg.CacheStats `json:"stats"`
+}
+
+// MeasureNLJP times iters optimized executions of one query at the given
+// worker count and reports per-operation wall time and allocation deltas.
+func MeasureNLJP(ds *Dataset, queryName, sql string, workers, iters int) (NLJPBenchRecord, error) {
+	rec := NLJPBenchRecord{
+		Query: queryName, Workers: workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Iters: iters,
+	}
+	if iters <= 0 {
+		return rec, fmt.Errorf("iters must be positive")
+	}
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return rec, err
+	}
+	opts := iceberg.AllOn()
+	opts.Workers = workers
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		res, report, err := iceberg.Exec(ds.Cat, sel, opts)
+		if err != nil {
+			return rec, err
+		}
+		rec.Rows = len(res.Rows)
+		rec.Stats = report.TotalStats()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	rec.NsPerOp = elapsed.Nanoseconds() / int64(iters)
+	rec.AllocsPerOp = int64(after.Mallocs-before.Mallocs) / int64(iters)
+	rec.BytesPerOp = int64(after.TotalAlloc-before.TotalAlloc) / int64(iters)
+	return rec, nil
+}
+
+// WriteNLJPBench writes the records as indented JSON, the BENCH_nljp.json
+// artifact `make bench` regenerates.
+func WriteNLJPBench(path string, records []NLJPBenchRecord) error {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"smarticeberg/internal/iceberg"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// TestParallelWorkersMatchSequential: across every Figure 1–8 workload
+// query, the parallel NLJP binding loop returns exactly the rows of the
+// sequential loop (same order, same values), and the cache-accounting
+// invariant MemoHits + PruneHits + InnerEvals == Bindings holds at every
+// worker count. Run under -race in CI, this doubles as the concurrency
+// smoke test over the real workloads.
+func TestParallelWorkersMatchSequential(t *testing.T) {
+	ds := NewDataset(300, 300, 1)
+	for _, q := range Figure1Queries() {
+		sel, err := sqlparser.ParseSelect(q.SQL)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", q.Name, err)
+		}
+		run := func(workers int) ([]value.Row, iceberg.CacheStats) {
+			t.Helper()
+			opts := iceberg.AllOn()
+			opts.Workers = workers
+			res, report, err := iceberg.Exec(ds.Cat, sel, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", q.Name, workers, err)
+			}
+			st := report.TotalStats()
+			if st.Bindings > 0 && st.MemoHits+st.PruneHits+st.InnerEvals != st.Bindings {
+				t.Errorf("%s workers=%d: memo %d + prune %d + evals %d != bindings %d",
+					q.Name, workers, st.MemoHits, st.PruneHits, st.InnerEvals, st.Bindings)
+			}
+			return res.Rows, st
+		}
+		seqRows, _ := run(1)
+		for _, w := range []int{2, 4} {
+			parRows, _ := run(w)
+			if len(parRows) != len(seqRows) {
+				t.Fatalf("%s workers=%d: %d rows, want %d", q.Name, w, len(parRows), len(seqRows))
+			}
+			for i := range seqRows {
+				for j := range seqRows[i] {
+					if parRows[i][j] != seqRows[i][j] {
+						t.Fatalf("%s workers=%d: row %d col %d = %v, want %v",
+							q.Name, w, i, j, parRows[i][j], seqRows[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkNLJPWorkers is the CI bench smoke for the parallel binding loop:
+// every figure query at 1 and 4 workers, reporting the cache hit counters
+// as metrics. The root-level BenchmarkNLJPWorkers (bench_test.go) is the
+// one that emits BENCH_nljp.json.
+func BenchmarkNLJPWorkers(b *testing.B) {
+	ds := NewDataset(300, 300, 1)
+	for _, q := range Figure1Queries() {
+		for _, w := range []int{1, 4} {
+			sys := SysAllWorkers(w)
+			b.Run(fmt.Sprintf("%s/w%d", q.Name, w), func(b *testing.B) {
+				var stats iceberg.CacheStats
+				for i := 0; i < b.N; i++ {
+					_, st, err := sys.Run(ds, q.SQL)
+					if err != nil {
+						b.Fatal(err)
+					}
+					stats = st
+				}
+				b.ReportMetric(float64(stats.MemoHits), "memo-hits")
+				b.ReportMetric(float64(stats.PruneHits), "prune-hits")
+			})
+		}
+	}
+}

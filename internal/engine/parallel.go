@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"smarticeberg/internal/expr"
@@ -29,13 +28,7 @@ type ParallelJoinAgg struct {
 // NewParallelJoinAgg fuses join+aggregate. workers <= 0 selects
 // min(4, GOMAXPROCS), matching the paper's 4-core testbed.
 func NewParallelJoinAgg(join *NLJoin, groupBy []expr.Compiled, aggs []*expr.Aggregate, having expr.Compiled, schema value.Schema, workers int) *ParallelJoinAgg {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > 4 {
-			workers = 4
-		}
-	}
-	return &ParallelJoinAgg{join: join, groupBy: groupBy, aggs: aggs, having: having, schema: schema, workers: workers}
+	return &ParallelJoinAgg{join: join, groupBy: groupBy, aggs: aggs, having: having, schema: schema, workers: DefaultWorkers(workers)}
 }
 
 // Schema implements Operator.

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers resolves a worker-count knob: a positive request is taken
+// as-is, anything else selects min(4, GOMAXPROCS), matching the paper's
+// 4-core "Vendor A" testbed. Shared by ParallelJoinAgg and the iceberg
+// NLJP operator so every parallel executor sizes itself the same way.
+func DefaultWorkers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	return w
+}
+
+// RunChunked partitions [0, items) into contiguous chunks of chunkSize and
+// processes them on up to workers goroutines. Chunks are claimed dynamically
+// (an atomic counter, so fast workers steal remaining chunks) but the chunk
+// index space itself is deterministic: chunk c always covers
+// [c*chunkSize, min((c+1)*chunkSize, items)). Callers that accumulate
+// per-chunk partial results and fold them in chunk-index order therefore get
+// results independent of scheduling — the foundation of the NLJP parallel
+// binding loop's determinism guarantee.
+//
+// process receives the claiming worker's id (for worker-local scratch), the
+// chunk index, and the chunk's [lo, hi) range. The first error (lowest chunk
+// index among failures, so error identity is deterministic too) aborts the
+// remaining chunks and is returned.
+func RunChunked(items, chunkSize, workers int, process func(worker, chunk, lo, hi int) error) error {
+	if items <= 0 {
+		return nil
+	}
+	if chunkSize <= 0 {
+		chunkSize = items
+	}
+	numChunks := (items + chunkSize - 1) / chunkSize
+	if workers > numChunks {
+		workers = numChunks
+	}
+	if workers <= 1 {
+		for c := 0; c < numChunks; c++ {
+			lo, hi := c*chunkSize, (c+1)*chunkSize
+			if hi > items {
+				hi = items
+			}
+			if err := process(0, c, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		errs   = make([]error, numChunks)
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks || failed.Load() {
+					return
+				}
+				lo, hi := c*chunkSize, (c+1)*chunkSize
+				if hi > items {
+					hi = items
+				}
+				if err := process(w, c, lo, hi); err != nil {
+					errs[c] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestRunChunkedCoversRange: every index in [0, items) is processed exactly
+// once, for a spread of sizes and worker counts, under the race detector.
+func TestRunChunkedCoversRange(t *testing.T) {
+	for _, items := range []int{0, 1, 7, 100, 1023} {
+		for _, chunk := range []int{1, 16, 1000} {
+			for _, workers := range []int{1, 3, 8} {
+				seen := make([]int32, items)
+				var mu sync.Mutex
+				err := RunChunked(items, chunk, workers, func(worker, c, lo, hi int) error {
+					if lo < 0 || hi > items || lo >= hi {
+						return fmt.Errorf("bad range [%d,%d) for %d items", lo, hi, items)
+					}
+					mu.Lock()
+					for i := lo; i < hi; i++ {
+						seen[i]++
+					}
+					mu.Unlock()
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("items=%d chunk=%d workers=%d: %v", items, chunk, workers, err)
+				}
+				for i, n := range seen {
+					if n != 1 {
+						t.Fatalf("items=%d chunk=%d workers=%d: index %d processed %d times", items, chunk, workers, i, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunChunkedErrorDeterminism: when several chunks fail, the error of the
+// lowest-index failing chunk is returned — scheduling cannot change which
+// error the caller sees among chunks that ran.
+func TestRunChunkedErrorDeterminism(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for trial := 0; trial < 20; trial++ {
+		err := RunChunked(100, 10, 4, func(worker, c, lo, hi int) error {
+			switch c {
+			case 2:
+				return errLow
+			case 7:
+				return errHigh
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		if errors.Is(err, errHigh) {
+			// Chunk 7 may fail before chunk 2 is claimed only if chunk 2
+			// never ran; with 4 workers claiming chunks in index order,
+			// chunk 2 is always claimed before chunk 7.
+			t.Fatalf("trial %d: got the high-index chunk's error", trial)
+		}
+	}
+}
+
+// TestRunChunkedAborts: after a failure, the remaining chunks are skipped
+// (workers observe the failure flag and drain).
+func TestRunChunkedAborts(t *testing.T) {
+	var processed int32
+	var mu sync.Mutex
+	boom := errors.New("boom")
+	err := RunChunked(1000, 1, 2, func(worker, c, lo, hi int) error {
+		mu.Lock()
+		processed++
+		mu.Unlock()
+		if c == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if processed == 1000 {
+		t.Error("failure should abort remaining chunks")
+	}
+}
+
+// TestDefaultWorkers pins the resolution rule shared by ParallelJoinAgg and
+// the NLJP binding loop.
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(3); got != 3 {
+		t.Errorf("explicit request: got %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if want > 4 {
+		want = 4
+	}
+	for _, req := range []int{0, -1} {
+		if got := DefaultWorkers(req); got != want {
+			t.Errorf("DefaultWorkers(%d) = %d, want %d", req, got, want)
+		}
+	}
+}

@@ -177,6 +177,76 @@ func (s *State) addNumeric(v value.Value) {
 	}
 }
 
+// Reset clears the accumulator for reuse, so hot loops can keep one State
+// per aggregate instead of allocating per input group.
+func (s *State) Reset() {
+	s.count = 0
+	s.intSum = 0
+	s.floatSum = 0
+	s.isFloat = false
+	s.minMax = value.Value{}
+	if s.distinct != nil {
+		clear(s.distinct)
+	}
+}
+
+// LoadPartial overwrites the accumulator with a cached algebraic partial —
+// StateFromPartial without the allocation. It must not be used for DISTINCT
+// aggregates (their set state is not captured by a Partial).
+func (s *State) LoadPartial(p Partial) {
+	s.count = p.Count
+	s.intSum = p.IntSum
+	s.floatSum = p.FloatSum
+	s.isFloat = p.IsFloat
+	s.minMax = p.MinMax
+}
+
+// MergePartial folds a cached algebraic partial directly into the
+// accumulator, performing exactly the operations Merge would perform on
+// StateFromPartial(p) — same float addition order, so results are
+// bit-identical — without materializing the intermediate State. Like
+// Partial itself, it does not apply to DISTINCT aggregates.
+func (s *State) MergePartial(p Partial) {
+	switch s.agg.Kind {
+	case AggCountStar, AggCount:
+		s.count += p.Count
+	case AggSum, AggAvg:
+		if p.IsFloat && !s.isFloat {
+			s.isFloat = true
+			s.floatSum += float64(s.intSum)
+			s.intSum = 0
+		}
+		if s.isFloat {
+			if p.IsFloat {
+				s.floatSum += p.FloatSum
+			} else {
+				s.floatSum += float64(p.IntSum)
+			}
+		} else {
+			s.intSum += p.IntSum
+		}
+		s.count += p.Count
+	case AggMin:
+		if p.Count > 0 {
+			if s.count == 0 {
+				s.minMax = p.MinMax
+			} else if cmp, ok := value.Compare(p.MinMax, s.minMax); ok && cmp < 0 {
+				s.minMax = p.MinMax
+			}
+			s.count += p.Count
+		}
+	case AggMax:
+		if p.Count > 0 {
+			if s.count == 0 {
+				s.minMax = p.MinMax
+			} else if cmp, ok := value.Compare(p.MinMax, s.minMax); ok && cmp > 0 {
+				s.minMax = p.MinMax
+			}
+			s.count += p.Count
+		}
+	}
+}
+
 // Merge folds another accumulator of the same aggregate into s — the f°
 // combine step of the algebraic decomposition. DISTINCT states merge by set
 // union (correct, but unbounded; callers gate on Algebraic()).

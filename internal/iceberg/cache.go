@@ -2,6 +2,8 @@ package iceberg
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"smarticeberg/internal/expr"
 	"smarticeberg/internal/value"
@@ -19,14 +21,65 @@ type CacheStats struct {
 	PruneProbes int64 // cache entries examined by pruning checks
 }
 
+// statsCounters is the concurrent form of CacheStats: lock-free counters the
+// worker goroutines update (batched per chunk where possible) that are
+// aggregated into a plain CacheStats snapshot when the run closes.
+type statsCounters struct {
+	entries     atomic.Int64
+	bytes       atomic.Int64
+	bindings    atomic.Int64
+	memoHits    atomic.Int64
+	pruneHits   atomic.Int64
+	innerEvals  atomic.Int64
+	pruneProbes atomic.Int64
+}
+
+func (s *statsCounters) snapshot() CacheStats {
+	return CacheStats{
+		Entries:     int(s.entries.Load()),
+		Bytes:       s.bytes.Load(),
+		Bindings:    s.bindings.Load(),
+		MemoHits:    s.memoHits.Load(),
+		PruneHits:   s.pruneHits.Load(),
+		InnerEvals:  s.innerEvals.Load(),
+		PruneProbes: s.pruneProbes.Load(),
+	}
+}
+
+// addLocal folds a worker's locally batched per-binding counters in. The
+// per-binding counters (Bindings, MemoHits, PruneHits, InnerEvals) are the
+// hottest, so workers accumulate them in plain ints per chunk and flush once
+// here rather than contending on the atomics per binding.
+func (s *statsCounters) addLocal(l *localStats) {
+	s.bindings.Add(l.bindings)
+	s.memoHits.Add(l.memoHits)
+	s.pruneHits.Add(l.pruneHits)
+	s.innerEvals.Add(l.innerEvals)
+	*l = localStats{}
+}
+
+// localStats is one worker's per-chunk batch of binding-loop counters.
+type localStats struct {
+	bindings   int64
+	memoHits   int64
+	pruneHits  int64
+	innerEvals int64
+}
+
 // cacheEntry is one cached binding: the 𝕁_L values, the algebraic partials
 // of every aggregate of Φ and Λ over R⋉w, the joined-tuple count, and the
-// unpromising flag of Definition 5.
+// unpromising flag of Definition 5. Entries are immutable after insertion,
+// which is what lets prune scans read them without locks.
 type cacheEntry struct {
 	binding     []value.Value
 	partials    []expr.Partial
 	rowCount    int64
 	unpromising bool
+
+	// node links the entry into its shard's flat prune list (nil when the
+	// entry is promising or the cache is indexed), giving O(1) unlink on
+	// eviction instead of the old O(n) slice scan.
+	node *pruneNode
 }
 
 func (e *cacheEntry) sizeBytes() int64 {
@@ -38,114 +91,246 @@ func (e *cacheEntry) sizeBytes() int64 {
 	return n
 }
 
-// cache is the NLJP operator's binding cache (Section 7): a hash map for
-// memoization lookups plus a prune list of unpromising entries, optionally
-// indexed (the "CI" configuration of Figure 4) by the equality/range hints
-// extracted from the pruning predicate. A nonzero limit bounds the entry
-// count with first-in-first-out eviction; eviction only loses optimization
-// opportunities, never correctness.
+// pruneNode is one element of a shard's flat prune list: an intrusive
+// singly-linked list whose next pointers are atomic so prune scans can
+// traverse it lock-free while writers (insert, eviction) mutate it under the
+// shard mutex. prev is only touched by writers.
+type pruneNode struct {
+	e    *cacheEntry
+	next atomic.Pointer[pruneNode]
+	prev *pruneNode
+}
+
+// prunePart is one equality-hint partition of the indexed ("CI") prune
+// structure: a copy-on-write slice, sorted ascending by the range-hint
+// column when one exists. Readers load the published slice atomically and
+// scan it without locks; writers copy under the part mutex and republish.
+type prunePart struct {
+	mu      sync.Mutex
+	entries atomic.Pointer[[]*cacheEntry]
+}
+
+func (p *prunePart) load() []*cacheEntry {
+	if s := p.entries.Load(); s != nil {
+		return *s
+	}
+	return nil
+}
+
+// cacheShard is one hash shard of the memoization map, with its own lock,
+// FIFO eviction ring, and flat prune list. Sharding by binding-key hash
+// keeps concurrent workers off each other's locks; a missed memo or prune
+// hit due to an entry published on another core a moment too late costs
+// only a recomputation, never correctness.
+type cacheShard struct {
+	mu        sync.RWMutex
+	memo      map[string]*cacheEntry
+	fifo      keyRing
+	pruneHead atomic.Pointer[pruneNode]
+}
+
+// cache is the NLJP operator's binding cache (Section 7): a sharded hash
+// map for memoization lookups plus prune structures of unpromising entries,
+// optionally indexed (the "CI" configuration of Figure 4) by the
+// equality/range hints extracted from the pruning predicate. A nonzero
+// limit bounds the entry count with per-shard first-in-first-out eviction;
+// eviction only loses optimization opportunities, never correctness. With a
+// single shard (the sequential binding loop) eviction is exact global FIFO;
+// with several shards each holds ceil(limit/shards) entries, so the bound
+// is honored per shard and approximately overall.
 type cache struct {
-	memo  map[string]*cacheEntry
-	stats CacheStats
+	stats statsCounters
 
 	pred    *PrunePredicate
 	indexed bool
+
+	shards    []cacheShard
+	shardMask uint32
+
 	// With CI: partition by the equality-hint columns, each partition kept
 	// sorted ascending by the range-hint column.
-	parts map[string]*[]*cacheEntry
-	// Without CI (or no hints): a flat list.
-	flat []*cacheEntry
+	partsMu sync.RWMutex
+	parts   map[string]*prunePart
 
-	limit int
-	fifo  []string // insertion order of binding keys, for eviction
+	limitPerShard int
 }
 
-func newCache(pred *PrunePredicate, indexed bool, limit int) *cache {
-	c := &cache{memo: map[string]*cacheEntry{}, pred: pred, indexed: indexed && pred != nil, limit: limit}
+// newCache sizes the cache for the given worker count: one shard for the
+// sequential loop (preserving exact FIFO semantics), and a power-of-two
+// multiple of the worker count otherwise.
+func newCache(pred *PrunePredicate, indexed bool, limit, workers int) *cache {
+	shardCount := 1
+	if workers > 1 {
+		for shardCount < workers*4 {
+			shardCount <<= 1
+		}
+		if shardCount > 64 {
+			shardCount = 64
+		}
+	}
+	c := &cache{
+		pred:      pred,
+		indexed:   indexed && pred != nil,
+		shards:    make([]cacheShard, shardCount),
+		shardMask: uint32(shardCount - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].memo = map[string]*cacheEntry{}
+	}
+	if limit > 0 {
+		c.limitPerShard = (limit + shardCount - 1) / shardCount
+	}
 	if c.indexed {
-		c.parts = map[string]*[]*cacheEntry{}
+		c.parts = map[string]*prunePart{}
 	}
 	return c
 }
 
-// lookup returns the memoized entry for a binding key.
-func (c *cache) lookup(key string) (*cacheEntry, bool) {
-	e, ok := c.memo[key]
+// shardFor hashes a binding key (FNV-1a) to its shard.
+func (c *cache) shardFor(key []byte) *cacheShard {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return &c.shards[h&c.shardMask]
+}
+
+// lookup returns the memoized entry for a binding key. The []byte key is
+// compared via the allocation-free string conversion.
+func (c *cache) lookup(key []byte) (*cacheEntry, bool) {
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.memo[string(key)]
+	sh.mu.RUnlock()
 	return e, ok
 }
 
 // insert stores a new entry under its binding key and registers unpromising
-// entries with the prune structure, evicting the oldest entry when a cache
-// limit is configured.
-func (c *cache) insert(key string, e *cacheEntry) {
-	if c.limit > 0 {
-		for len(c.memo) >= c.limit && len(c.fifo) > 0 {
-			oldest := c.fifo[0]
-			c.fifo = c.fifo[1:]
-			if victim, ok := c.memo[oldest]; ok {
-				delete(c.memo, oldest)
-				c.stats.Bytes -= victim.sizeBytes()
-				c.stats.Entries--
-				c.removeFromPrune(victim)
+// entries with the prune structure, evicting the shard's oldest entry when
+// a cache limit is configured. Concurrent workers may race to insert the
+// same key; the first insertion wins and later ones are dropped (the
+// entries are semantically identical, so dropping one only discards a
+// duplicate allocation).
+func (c *cache) insert(key []byte, e *cacheEntry) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if _, dup := sh.memo[string(key)]; dup {
+		sh.mu.Unlock()
+		return
+	}
+	if c.limitPerShard > 0 {
+		for len(sh.memo) >= c.limitPerShard {
+			oldest, ok := sh.fifo.pop()
+			if !ok {
+				break
 			}
+			victim, ok := sh.memo[oldest]
+			if !ok {
+				continue
+			}
+			delete(sh.memo, oldest)
+			c.stats.bytes.Add(-victim.sizeBytes())
+			c.stats.entries.Add(-1)
+			c.removeFromPrune(sh, victim)
 		}
-		c.fifo = append(c.fifo, key)
+		sh.fifo.push(string(key))
 	}
-	c.memo[key] = e
-	c.stats.Entries++
-	c.stats.Bytes += e.sizeBytes()
-	if c.pred == nil || !e.unpromising {
-		return
+	sh.memo[string(key)] = e
+	c.stats.entries.Add(1)
+	c.stats.bytes.Add(e.sizeBytes())
+	if c.pred != nil && e.unpromising {
+		if c.indexed {
+			c.insertIndexed(e)
+		} else {
+			n := &pruneNode{e: e}
+			e.node = n
+			if head := sh.pruneHead.Load(); head != nil {
+				n.next.Store(head)
+				head.prev = n
+			}
+			sh.pruneHead.Store(n)
+		}
 	}
-	if !c.indexed {
-		c.flat = append(c.flat, e)
-		return
-	}
-	pk := c.partKey(e.binding)
-	lst, ok := c.parts[pk]
-	if !ok {
-		lst = &[]*cacheEntry{}
-		c.parts[pk] = lst
-	}
-	if c.pred.RangeIdx < 0 {
-		*lst = append(*lst, e)
-		return
-	}
-	// Insert keeping ascending order on the range column.
-	ri := c.pred.RangeIdx
-	i := sort.Search(len(*lst), func(i int) bool {
-		cmp, _ := value.Compare((*lst)[i].binding[ri], e.binding[ri])
-		return cmp >= 0
-	})
-	*lst = append(*lst, nil)
-	copy((*lst)[i+1:], (*lst)[i:])
-	(*lst)[i] = e
+	sh.mu.Unlock()
 }
 
-// removeFromPrune unlinks an evicted entry from the prune structures.
-func (c *cache) removeFromPrune(victim *cacheEntry) {
+// insertIndexed registers an unpromising entry with its CI partition,
+// keeping the partition's copy-on-write slice sorted on the range column.
+func (c *cache) insertIndexed(e *cacheEntry) {
+	pk := c.partKey(e.binding)
+	c.partsMu.RLock()
+	part := c.parts[pk]
+	c.partsMu.RUnlock()
+	if part == nil {
+		c.partsMu.Lock()
+		part = c.parts[pk]
+		if part == nil {
+			part = &prunePart{}
+			c.parts[pk] = part
+		}
+		c.partsMu.Unlock()
+	}
+	part.mu.Lock()
+	old := part.load()
+	i := len(old)
+	if ri := c.pred.RangeIdx; ri >= 0 {
+		i = sort.Search(len(old), func(i int) bool {
+			cmp, _ := value.Compare(old[i].binding[ri], e.binding[ri])
+			return cmp >= 0
+		})
+	}
+	next := make([]*cacheEntry, len(old)+1)
+	copy(next, old[:i])
+	next[i] = e
+	copy(next[i+1:], old[i:])
+	part.entries.Store(&next)
+	part.mu.Unlock()
+}
+
+// removeFromPrune unlinks an evicted entry from the prune structures, called
+// with the entry's shard lock held. An evicted entry never survives in the
+// prune index: the flat list unlinks its node in O(1), and the CI partition
+// republishes its slice without the victim.
+func (c *cache) removeFromPrune(sh *cacheShard, victim *cacheEntry) {
 	if c.pred == nil || !victim.unpromising {
 		return
 	}
 	if !c.indexed {
-		for i, e := range c.flat {
-			if e == victim {
-				c.flat = append(c.flat[:i], c.flat[i+1:]...)
-				return
-			}
-		}
-		return
-	}
-	lst, ok := c.parts[c.partKey(victim.binding)]
-	if !ok {
-		return
-	}
-	for i, e := range *lst {
-		if e == victim {
-			*lst = append((*lst)[:i], (*lst)[i+1:]...)
+		n := victim.node
+		if n == nil {
 			return
 		}
+		nxt := n.next.Load()
+		if n.prev == nil {
+			sh.pruneHead.Store(nxt)
+		} else {
+			n.prev.next.Store(nxt)
+		}
+		if nxt != nil {
+			nxt.prev = n.prev
+		}
+		victim.node = nil
+		return
 	}
+	c.partsMu.RLock()
+	part := c.parts[c.partKey(victim.binding)]
+	c.partsMu.RUnlock()
+	if part == nil {
+		return
+	}
+	part.mu.Lock()
+	old := part.load()
+	for i, e := range old {
+		if e == victim {
+			next := make([]*cacheEntry, 0, len(old)-1)
+			next = append(next, old[:i]...)
+			next = append(next, old[i+1:]...)
+			part.entries.Store(&next)
+			break
+		}
+	}
+	part.mu.Unlock()
 }
 
 func (c *cache) partKey(binding []value.Value) string {
@@ -160,29 +345,41 @@ func (c *cache) partKey(binding []value.Value) string {
 }
 
 // pruneMatch implements prune(ℓ, C): is some cached unpromising binding
-// subsumption-related to cand so that cand cannot contribute?
+// subsumption-related to cand so that cand cannot contribute? Reads are
+// lock-free against the published prune entries; an entry published
+// concurrently with the scan may be missed, which costs one inner
+// evaluation and nothing else.
 func (c *cache) pruneMatch(cand []value.Value) bool {
 	if c.pred == nil {
 		return false
 	}
 	if !c.indexed {
-		for _, e := range c.flat {
-			c.stats.PruneProbes++
-			if c.pred.Check(cand, e.binding) {
-				return true
+		var probes int64
+		for i := range c.shards {
+			for n := c.shards[i].pruneHead.Load(); n != nil; n = n.next.Load() {
+				probes++
+				if c.pred.Check(cand, n.e.binding) {
+					c.stats.pruneProbes.Add(probes)
+					return true
+				}
 			}
 		}
+		c.stats.pruneProbes.Add(probes)
 		return false
 	}
-	lst, ok := c.parts[c.partKey(cand)]
-	if !ok {
+	c.partsMu.RLock()
+	part := c.parts[c.partKey(cand)]
+	c.partsMu.RUnlock()
+	if part == nil {
 		return false
 	}
-	entries := *lst
+	entries := part.load()
 	ri := c.pred.RangeIdx
+	var probes int64
+	defer func() { c.stats.pruneProbes.Add(probes) }()
 	if ri < 0 {
 		for _, e := range entries {
-			c.stats.PruneProbes++
+			probes++
 			if c.pred.Check(cand, e.binding) {
 				return true
 			}
@@ -197,7 +394,7 @@ func (c *cache) pruneMatch(cand []value.Value) bool {
 			if cmp < 0 {
 				break
 			}
-			c.stats.PruneProbes++
+			probes++
 			if c.pred.Check(cand, entries[i].binding) {
 				return true
 			}
@@ -209,10 +406,86 @@ func (c *cache) pruneMatch(cand []value.Value) bool {
 		if cmp > 0 {
 			break
 		}
-		c.stats.PruneProbes++
+		probes++
 		if c.pred.Check(cand, e.binding) {
 			return true
 		}
 	}
 	return false
+}
+
+// pruneResident collects every entry currently registered with the prune
+// structures. It exists for invariant checks (tests assert that eviction
+// never leaves a prune entry behind) and takes the write locks, so it must
+// not be called from the hot path.
+func (c *cache) pruneResident() []*cacheEntry {
+	var out []*cacheEntry
+	if !c.indexed {
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			for n := sh.pruneHead.Load(); n != nil; n = n.next.Load() {
+				out = append(out, n.e)
+			}
+			sh.mu.Unlock()
+		}
+		return out
+	}
+	c.partsMu.RLock()
+	for _, part := range c.parts {
+		part.mu.Lock()
+		out = append(out, part.load()...)
+		part.mu.Unlock()
+	}
+	c.partsMu.RUnlock()
+	return out
+}
+
+// memoHas reports whether a binding key is resident, for tests.
+func (c *cache) memoHas(key string) bool {
+	_, ok := c.lookup([]byte(key))
+	return ok
+}
+
+// keyRing is a growable ring buffer of binding keys recording insertion
+// order for FIFO eviction. The previous implementation re-sliced a plain
+// []string (c.fifo = c.fifo[1:]), which pins the backing array and copies
+// on append growth forever; the ring reuses its slots.
+type keyRing struct {
+	buf  []string
+	head int // index of the oldest element
+	n    int // number of live elements
+}
+
+func (r *keyRing) push(k string) {
+	if r.n == len(r.buf) {
+		grown := make([]string, maxInt(4, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = k
+	r.n++
+}
+
+func (r *keyRing) pop() (string, bool) {
+	if r.n == 0 {
+		return "", false
+	}
+	k := r.buf[r.head]
+	r.buf[r.head] = "" // release the string for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return k, true
+}
+
+func (r *keyRing) len() int { return r.n }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -1,0 +1,170 @@
+package iceberg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"smarticeberg/internal/value"
+)
+
+// TestKeyRingFIFO: the eviction ring yields keys in insertion order across
+// growth and wraparound.
+func TestKeyRingFIFO(t *testing.T) {
+	var r keyRing
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop on empty ring succeeded")
+	}
+	// Interleave pushes and pops so head wraps around the backing array.
+	next, expect := 0, 0
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			r.push(fmt.Sprintf("k%04d", next))
+			next++
+		}
+	}
+	popCheck := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			k, ok := r.pop()
+			if !ok {
+				t.Fatalf("ring empty, expected k%04d", expect)
+			}
+			if want := fmt.Sprintf("k%04d", expect); k != want {
+				t.Fatalf("pop = %s, want %s", k, want)
+			}
+			expect++
+		}
+	}
+	push(3)
+	popCheck(2)
+	push(10) // forces growth with head != 0
+	popCheck(8)
+	push(5)
+	popCheck(8)
+	if r.len() != 0 {
+		t.Fatalf("ring not drained: %d left", r.len())
+	}
+}
+
+func intEntry(i int, unpromising bool) *cacheEntry {
+	return &cacheEntry{binding: []value.Value{value.NewInt(int64(i))}, rowCount: 1, unpromising: unpromising}
+}
+
+// TestCacheEvictionFIFOOrder: with one shard (the sequential configuration)
+// a bounded cache evicts in exact global insertion order.
+func TestCacheEvictionFIFOOrder(t *testing.T) {
+	c := newCache(nil, false, 3, 1)
+	for i := 0; i < 6; i++ {
+		e := intEntry(i, false)
+		c.insert([]byte(value.Key(e.binding)), e)
+	}
+	for i := 0; i < 6; i++ {
+		key := value.Key([]value.Value{value.NewInt(int64(i))})
+		resident := c.memoHas(key)
+		if want := i >= 3; resident != want {
+			t.Errorf("entry %d resident=%v, want %v", i, resident, want)
+		}
+	}
+	st := c.stats.snapshot()
+	if st.Entries != 3 {
+		t.Errorf("Entries = %d, want 3", st.Entries)
+	}
+	if st.Bytes <= 0 {
+		t.Errorf("Bytes = %d, want > 0", st.Bytes)
+	}
+}
+
+// TestCacheEvictionPruneConsistency: eviction must never leave an evicted
+// entry registered with the prune structures — in flat mode (per-shard
+// linked lists) and in indexed mode (partitioned copy-on-write slices),
+// sequential and sharded alike.
+func TestCacheEvictionPruneConsistency(t *testing.T) {
+	pred := &PrunePredicate{RangeIdx: -1}
+	predRange := &PrunePredicate{RangeIdx: 0, RangeCachedGE: true}
+	for _, tc := range []struct {
+		name    string
+		pred    *PrunePredicate
+		indexed bool
+		workers int
+	}{
+		{"flat-seq", pred, false, 1},
+		{"flat-sharded", pred, false, 4},
+		{"indexed-seq", predRange, true, 1},
+		{"indexed-sharded", predRange, true, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newCache(tc.pred, tc.indexed, 4, tc.workers)
+			rng := rand.New(rand.NewSource(42))
+			order := rng.Perm(40)
+			for step, i := range order {
+				e := intEntry(i, i%2 == 0)
+				c.insert([]byte(value.Key(e.binding)), e)
+				for _, pe := range c.pruneResident() {
+					if !pe.unpromising {
+						t.Fatalf("step %d: promising entry in prune structure", step)
+					}
+					if !c.memoHas(value.Key(pe.binding)) {
+						t.Fatalf("step %d: prune entry %v evicted from memo but still prune-resident", step, pe.binding)
+					}
+				}
+			}
+			// The per-shard limit bounds residency: exactly `limit` for one
+			// shard, at most limit rounded up per shard otherwise.
+			st := c.stats.snapshot()
+			bound := 4
+			if tc.workers > 1 {
+				bound = len(c.shards) * c.limitPerShard
+			}
+			if st.Entries > bound {
+				t.Errorf("Entries = %d, want <= %d", st.Entries, bound)
+			}
+			if tc.workers == 1 && st.Entries != 4 {
+				t.Errorf("sequential Entries = %d, want exactly 4", st.Entries)
+			}
+		})
+	}
+}
+
+// TestCacheIndexedPartsStaySorted: the copy-on-write partitions keep their
+// range-column order through interleaved inserts and evictions, which the
+// early-exit scans of pruneMatch rely on.
+func TestCacheIndexedPartsStaySorted(t *testing.T) {
+	pred := &PrunePredicate{EqIdx: []int{1}, RangeIdx: 0, RangeCachedGE: true}
+	c := newCache(pred, true, 6, 1)
+	rng := rand.New(rand.NewSource(7))
+	for _, i := range rng.Perm(30) {
+		e := &cacheEntry{
+			binding:     []value.Value{value.NewInt(int64(i)), value.NewInt(int64(i % 3))},
+			rowCount:    1,
+			unpromising: true,
+		}
+		c.insert([]byte(value.Key(e.binding)), e)
+		c.partsMu.RLock()
+		for pk, part := range c.parts {
+			entries := part.load()
+			for j := 1; j < len(entries); j++ {
+				cmp, _ := value.Compare(entries[j-1].binding[0], entries[j].binding[0])
+				if cmp > 0 {
+					t.Fatalf("part %q out of order at %d: %v > %v", pk, j, entries[j-1].binding[0], entries[j].binding[0])
+				}
+			}
+		}
+		c.partsMu.RUnlock()
+	}
+}
+
+// TestCacheLimitParallelCorrectness: a tiny cache under a parallel binding
+// loop still yields exact results (eviction and relaxed sharing only lose
+// optimization opportunities).
+func TestCacheLimitParallelCorrectness(t *testing.T) {
+	cat := newTestCatalog(t, 13, 200)
+	for qname, sql := range map[string]string{"skyband": skybandSQL, "pairs": pairsSQL} {
+		base := runBaseline(t, cat, sql)
+		opts := AllOn()
+		opts.CacheLimit = 8
+		opts.Workers = 4
+		res, report := runOpt(t, cat, sql, opts)
+		assertSameRows(t, qname+" limit=8 workers=4", base, res.Rows, report)
+	}
+}

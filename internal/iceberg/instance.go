@@ -111,10 +111,12 @@ func CheckInstance(cat *storage.Catalog, sel *sqlparser.Select, outer []string, 
 	counts := make([]map[string]int, len(lRows))
 
 	scratch := make(value.Row, len(concat))
+	keyBuf := make([]byte, 0, 64)
 	for li, lr := range lRows {
 		copy(scratch, lr)
 		counts[li] = map[string]int{}
-		u := keyAt(lr, gLIdx)
+		var u string
+		u, keyBuf = keyAt(lr, gLIdx, keyBuf)
 		lGroups[u] = append(lGroups[u], li)
 		for _, rr := range rRows {
 			copy(scratch[len(lr):], rr)
@@ -125,7 +127,8 @@ func CheckInstance(cat *storage.Catalog, sel *sqlparser.Select, outer []string, 
 			if v.IsNull() || !v.Bool() {
 				continue
 			}
-			vk := keyAt(rr, gRIdx)
+			var vk string
+			vk, keyBuf = keyAt(rr, gRIdx, keyBuf)
 			counts[li][vk]++
 			groupSeen[lrkey{u: u, v: vk}] = true
 		}
@@ -149,12 +152,15 @@ func CheckInstance(cat *storage.Catalog, sel *sqlparser.Select, outer []string, 
 	return checks, nil
 }
 
-func keyAt(r value.Row, idx []int) string {
-	vals := make([]value.Value, len(idx))
-	for i, j := range idx {
-		vals[i] = r[j]
+// keyAt builds the group key of the idx columns in the reusable buffer and
+// returns it (allocating only the final string) along with the buffer for
+// the next call — the O(|L|·|R|) check loop builds two keys per pair.
+func keyAt(r value.Row, idx []int, buf []byte) (string, []byte) {
+	buf = buf[:0]
+	for _, j := range idx {
+		buf = value.AppendKey(buf, r[j])
 	}
-	return value.Key(vals)
+	return string(buf), buf
 }
 
 func compileExpr(e sqlparser.Expr, schema value.Schema) (expr.Compiled, error) {

@@ -47,6 +47,7 @@ type NLJP struct {
 
 	bindingOrder string
 	cacheLimit   int
+	workers      int
 
 	stats CacheStats
 }
@@ -228,6 +229,7 @@ func buildNLJP(b *block, overrides map[string]*engine.MaterializedRel, opts Opti
 	n.CacheIndexed = opts.CacheIndex && n.Pred != nil
 	n.bindingOrder = opts.BindingOrder
 	n.cacheLimit = opts.CacheLimit
+	n.workers = opts.Workers
 
 	planner := &engine.Planner{Catalog: b.cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides}
 
@@ -494,16 +496,133 @@ func sideIn(e sqlparser.Expr, set map[string]bool) int {
 	return 0
 }
 
-// Run executes the NLJP loop of Section 7 and returns the final result. A
-// binding-query Close failure is reported unless the loop already failed.
+// Run executes the NLJP loop of Section 7 and returns the final result.
+// With workers > 1 the binding loop fans out across goroutines over the
+// sharded cache; any other worker count runs the streaming sequential loop.
+// Both paths produce byte-identical results (DESIGN.md, "Parallel NLJP").
+// A binding-query Close failure is reported unless the loop already failed.
 func (n *NLJP) Run() (res *engine.Result, err error) {
 	n.stats = CacheStats{}
-	c := newCache(n.Pred, n.CacheIndexed, n.cacheLimit)
-	defer func() {
-		n.stats = c.stats
-		n.stats.Bindings = c.stats.Bindings
-	}()
+	workers := n.workers
+	if workers < 0 {
+		workers = engine.DefaultWorkers(0)
+	}
+	c := newCache(n.Pred, n.CacheIndexed, n.cacheLimit, workers)
+	defer func() { n.stats = c.stats.snapshot() }()
+	if workers > 1 {
+		return n.runParallel(c, workers)
+	}
+	return n.runSequential(c)
+}
 
+// nljpGroup accumulates one 𝔾_L group when 𝔾_L is not a key of L.
+type nljpGroup struct {
+	gVals    []value.Value
+	states   []*expr.State
+	rowCount int64
+}
+
+// nljpScratch is one worker's reusable state for the binding loop. The hot
+// path allocates nothing per binding beyond data that is genuinely retained:
+// new cache entries, new groups, and output rows.
+type nljpScratch struct {
+	bVals     []value.Value // 𝕁_L values of the current binding
+	gVals     []value.Value // 𝔾_L values of the current binding
+	keyBuf    []byte        // AppendKeys target for binding and group keys
+	states    []*expr.State // evalInner accumulators, Reset per call
+	finStates []*expr.State // finalize-from-partials accumulators
+	residRow  value.Row     // binding ++ inner row for the residual filter
+	aggRow    value.Row     // [𝔾_L ++ agg slots] row for Φ and Λ
+	local     localStats    // per-binding counters, flushed in batches
+}
+
+func (n *NLJP) newScratch() *nljpScratch {
+	s := &nljpScratch{
+		bVals:     make([]value.Value, len(n.jIdx)),
+		gVals:     make([]value.Value, len(n.gIdx)),
+		keyBuf:    make([]byte, 0, 64),
+		states:    make([]*expr.State, len(n.aggs)),
+		finStates: make([]*expr.State, len(n.aggs)),
+		aggRow:    make(value.Row, len(n.gIdx)+len(n.aggs)),
+	}
+	for i, a := range n.aggs {
+		s.states[i] = a.NewState()
+		s.finStates[i] = a.NewState()
+	}
+	if n.residual != nil {
+		s.residRow = make(value.Row, len(n.bindingSchema)+len(n.innerSchema))
+	}
+	return s
+}
+
+// handleBinding advances one Q_B row through memoization lookup, the prune
+// check, and — when both miss — the inner evaluation Q_R(b) plus cache
+// insertion. It returns the binding's cache entry, or nil when the binding
+// was pruned. Each binding increments exactly one of the memoHits /
+// pruneHits / innerEvals counters (batched in s.local).
+func (n *NLJP) handleBinding(row value.Row, c *cache, s *nljpScratch) (*cacheEntry, error) {
+	s.local.bindings++
+	for i, j := range n.jIdx {
+		s.bVals[i] = row[j]
+	}
+	s.keyBuf = value.AppendKeys(s.keyBuf[:0], s.bVals)
+	if n.Memo {
+		if hit, ok := c.lookup(s.keyBuf); ok {
+			s.local.memoHits++
+			return hit, nil
+		}
+	}
+	if n.Pred != nil && c.pruneMatch(s.bVals) {
+		s.local.pruneHits++
+		return nil, nil
+	}
+	e, err := n.evalInner(row, s)
+	if err != nil {
+		return nil, err
+	}
+	c.insert(s.keyBuf, e)
+	return e, nil
+}
+
+// foldGroup folds one binding's cached partials into its 𝔾_L group. The
+// operation sequence matches the sequential loop exactly (StateFromPartial
+// on first sight, a Merge-equivalent MergePartial after), so aggregate
+// floats stay bit-identical however bindings were scheduled.
+func (n *NLJP) foldGroup(groupIdx map[string]*nljpGroup, groups *[]*nljpGroup, gVals []value.Value, key []byte, e *cacheEntry) {
+	grp, ok := groupIdx[string(key)]
+	if !ok {
+		grp = &nljpGroup{
+			gVals:    append([]value.Value(nil), gVals...),
+			states:   statesFromPartials(n.aggs, e.partials),
+			rowCount: e.rowCount,
+		}
+		groupIdx[string(key)] = grp
+		*groups = append(*groups, grp)
+		return
+	}
+	for i := range grp.states {
+		grp.states[i].MergePartial(e.partials[i])
+	}
+	grp.rowCount += e.rowCount
+}
+
+// flushGroups finalizes the accumulated groups in first-seen order.
+func (n *NLJP) flushGroups(s *nljpScratch, groups []*nljpGroup, out []value.Row) ([]value.Row, error) {
+	for _, grp := range groups {
+		r, ok, err := n.finalizeStates(s, grp.gVals, grp.states)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// runSequential is the single-threaded binding loop: Q_B streams through one
+// scratch without being materialized.
+func (n *NLJP) runSequential(c *cache) (res *engine.Result, err error) {
 	nextBinding, closeBindings, err := n.bindingIterator()
 	if err != nil {
 		return nil, err
@@ -514,13 +633,11 @@ func (n *NLJP) Run() (res *engine.Result, err error) {
 		}
 	}()
 
-	type group struct {
-		gVals    []value.Value
-		states   []*expr.State
-		rowCount int64
-	}
-	var groups []*group
-	groupIdx := map[string]*group{}
+	s := n.newScratch()
+	defer c.stats.addLocal(&s.local)
+
+	var groups []*nljpGroup
+	groupIdx := map[string]*nljpGroup{}
 	var out []value.Row
 
 	for {
@@ -531,41 +648,18 @@ func (n *NLJP) Run() (res *engine.Result, err error) {
 		if row == nil {
 			break
 		}
-		c.stats.Bindings++
-		bVals := make([]value.Value, len(n.jIdx))
-		for i, j := range n.jIdx {
-			bVals[i] = row[j]
+		e, err := n.handleBinding(row, c, s)
+		if err != nil {
+			return nil, err
 		}
-		key := value.Key(bVals)
-
-		var e *cacheEntry
-		if n.Memo {
-			if hit, ok := c.lookup(key); ok {
-				c.stats.MemoHits++
-				e = hit
-			}
+		if e == nil || e.rowCount == 0 {
+			continue // pruned, or (inner-join semantics) the group is empty
 		}
-		if e == nil && n.Pred != nil && c.pruneMatch(bVals) {
-			c.stats.PruneHits++
-			continue
-		}
-		if e == nil {
-			e, err = n.evalInner(row, bVals, c)
-			if err != nil {
-				return nil, err
-			}
-			c.insert(key, e)
-		}
-		if e.rowCount == 0 {
-			continue // inner-join semantics: the group does not exist
-		}
-
-		gVals := make([]value.Value, len(n.gIdx))
 		for i, j := range n.gIdx {
-			gVals[i] = row[j]
+			s.gVals[i] = row[j]
 		}
 		if n.GLIsKey {
-			r, ok, err := n.finalize(gVals, statesFromPartials(n.aggs, e.partials))
+			r, ok, err := n.finalizePartials(s, s.gVals, e.partials)
 			if err != nil {
 				return nil, err
 			}
@@ -574,32 +668,123 @@ func (n *NLJP) Run() (res *engine.Result, err error) {
 			}
 			continue
 		}
-		gk := value.Key(gVals)
-		grp, ok := groupIdx[gk]
-		if !ok {
-			grp = &group{gVals: gVals, states: statesFromPartials(n.aggs, e.partials), rowCount: e.rowCount}
-			groupIdx[gk] = grp
-			groups = append(groups, grp)
-			continue
-		}
-		merged := statesFromPartials(n.aggs, e.partials)
-		for i := range grp.states {
-			grp.states[i].Merge(merged[i])
-		}
-		grp.rowCount += e.rowCount
+		s.keyBuf = value.AppendKeys(s.keyBuf[:0], s.gVals)
+		n.foldGroup(groupIdx, &groups, s.gVals, s.keyBuf, e)
 	}
 
-	for _, grp := range groups {
-		r, ok, err := n.finalize(grp.gVals, grp.states)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, r)
-		}
+	out, err = n.flushGroups(s, groups, out)
+	if err != nil {
+		return nil, err
 	}
-
 	return &engine.Result{Columns: n.outCols, Rows: out}, nil
+}
+
+// runParallel materializes Q_B and fans the binding loop out across worker
+// goroutines in contiguous chunks (engine.RunChunked). Each worker owns a
+// scratch; results land in per-chunk sinks — output rows for the 𝔾_L-key
+// fast path, per-binding group contributions otherwise — which are then
+// folded in chunk-index order. That replay performs the exact per-binding
+// operation sequence of the sequential loop, so results are byte-identical
+// to workers=1 regardless of how chunks were scheduled; cache effects
+// (which entries are resident when) may differ, which changes only the
+// memo/prune hit counters, never results.
+func (n *NLJP) runParallel(c *cache, workers int) (*engine.Result, error) {
+	bindings, err := n.materializeBindings()
+	if err != nil {
+		return nil, err
+	}
+	if len(bindings) == 0 {
+		return &engine.Result{Columns: n.outCols}, nil
+	}
+
+	type contrib struct {
+		gVals []value.Value
+		e     *cacheEntry
+	}
+	type chunkSink struct {
+		out      []value.Row
+		contribs []contrib
+	}
+
+	// Small chunks keep workers busy near the end of the index space; large
+	// chunks amortize sink bookkeeping. The size never affects results.
+	chunkSize := len(bindings) / (workers * 8)
+	if chunkSize < 16 {
+		chunkSize = 16
+	}
+	if chunkSize > 1024 {
+		chunkSize = 1024
+	}
+	numChunks := (len(bindings) + chunkSize - 1) / chunkSize
+	sinks := make([]chunkSink, numChunks)
+	scratches := make([]*nljpScratch, workers)
+
+	err = engine.RunChunked(len(bindings), chunkSize, workers, func(worker, chunk, lo, hi int) error {
+		s := scratches[worker]
+		if s == nil {
+			s = n.newScratch()
+			scratches[worker] = s
+		}
+		sink := &sinks[chunk]
+		for _, row := range bindings[lo:hi] {
+			e, err := n.handleBinding(row, c, s)
+			if err != nil {
+				return err
+			}
+			if e == nil || e.rowCount == 0 {
+				continue
+			}
+			for i, j := range n.gIdx {
+				s.gVals[i] = row[j]
+			}
+			if n.GLIsKey {
+				r, ok, err := n.finalizePartials(s, s.gVals, e.partials)
+				if err != nil {
+					return err
+				}
+				if ok {
+					sink.out = append(sink.out, r)
+				}
+				continue
+			}
+			sink.contribs = append(sink.contribs, contrib{gVals: append([]value.Value(nil), s.gVals...), e: e})
+		}
+		c.stats.addLocal(&s.local)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s := n.newScratch()
+	var groups []*nljpGroup
+	groupIdx := map[string]*nljpGroup{}
+	var out []value.Row
+	for i := range sinks {
+		out = append(out, sinks[i].out...)
+		for _, ct := range sinks[i].contribs {
+			s.keyBuf = value.AppendKeys(s.keyBuf[:0], ct.gVals)
+			n.foldGroup(groupIdx, &groups, ct.gVals, s.keyBuf, ct.e)
+		}
+	}
+	out, err = n.flushGroups(s, groups, out)
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Result{Columns: n.outCols, Rows: out}, nil
+}
+
+// materializeBindings drains Q_B into memory, applying the bindingOrder
+// exploration-order lever when configured.
+func (n *NLJP) materializeBindings() ([]value.Row, error) {
+	rows, err := engine.Run(n.bindingOp)
+	if err != nil {
+		return nil, err
+	}
+	if n.bindingOrder != "" && n.Pred != nil && n.Pred.RangeIdx >= 0 {
+		sortRowsBy(rows, n.jIdx[n.Pred.RangeIdx], n.bindingOrder == "desc")
+	}
+	return rows, nil
 }
 
 // bindingIterator yields Q_B's rows, optionally sorted by the pruning
@@ -613,13 +798,10 @@ func (n *NLJP) bindingIterator() (next func() (value.Row, error), cleanup func()
 		}
 		return n.bindingOp.Next, n.bindingOp.Close, nil
 	}
-	rows, err := engine.Run(n.bindingOp)
+	rows, err := n.materializeBindings()
 	if err != nil {
 		return nil, nil, err
 	}
-	col := n.jIdx[n.Pred.RangeIdx]
-	desc := n.bindingOrder == "desc"
-	sortRowsBy(rows, col, desc)
 	i := 0
 	return func() (value.Row, error) {
 		if i >= len(rows) {
@@ -652,27 +834,26 @@ func statesFromPartials(aggs []*expr.Aggregate, partials []expr.Partial) []*expr
 // evalInner runs Q_R(b): probe the materialized inner relation, apply the
 // residual of Θ, and fold every matching R-tuple into the aggregates. The
 // unpromising flag follows Definition 5 (with 𝔾_R = ∅ it reduces to ¬Φ).
-func (n *NLJP) evalInner(bindingRow value.Row, bVals []value.Value, c *cache) (*cacheEntry, error) {
-	c.stats.InnerEvals++
-	states := make([]*expr.State, len(n.aggs))
-	for i, a := range n.aggs {
-		states[i] = a.NewState()
+// Accumulators and rows come from the scratch; only the returned cache
+// entry is allocated (it outlives the call inside the cache).
+func (n *NLJP) evalInner(bindingRow value.Row, s *nljpScratch) (*cacheEntry, error) {
+	s.local.innerEvals++
+	for _, st := range s.states {
+		st.Reset()
 	}
 	matches, err := n.prober.Probe(bindingRow)
 	if err != nil {
 		return nil, err
 	}
-	var scratch value.Row
 	if n.residual != nil {
-		scratch = make(value.Row, len(n.bindingSchema)+len(n.innerSchema))
-		copy(scratch, bindingRow)
+		copy(s.residRow, bindingRow)
 	}
 	var rowCount int64
 	for _, m := range matches {
 		ir := n.innerRows[m]
 		if n.residual != nil {
-			copy(scratch[len(n.bindingSchema):], ir)
-			ok, err := expr.EvalBool(n.residual, scratch)
+			copy(s.residRow[len(n.bindingSchema):], ir)
+			ok, err := expr.EvalBool(n.residual, s.residRow)
 			if err != nil {
 				return nil, err
 			}
@@ -681,7 +862,7 @@ func (n *NLJP) evalInner(bindingRow value.Row, bVals []value.Value, c *cache) (*
 			}
 		}
 		rowCount++
-		for _, st := range states {
+		for _, st := range s.states {
 			if err := st.Add(ir); err != nil {
 				return nil, err
 			}
@@ -698,42 +879,58 @@ func (n *NLJP) evalInner(bindingRow value.Row, bVals []value.Value, c *cache) (*
 	if rowCount == 0 {
 		unpromising = n.ClassΦ == Monotone
 	} else {
-		aggRow := make(value.Row, len(n.gIdx)+len(n.aggs))
-		for i, st := range states {
-			aggRow[len(n.gIdx)+i] = st.Value()
+		for i := range n.gIdx {
+			s.aggRow[i] = value.Value{}
 		}
-		phi, err := expr.EvalBool(n.havingC, aggRow)
+		for i, st := range s.states {
+			s.aggRow[len(n.gIdx)+i] = st.Value()
+		}
+		phi, err := expr.EvalBool(n.havingC, s.aggRow)
 		if err != nil {
 			return nil, err
 		}
 		unpromising = !phi
 	}
-	e := &cacheEntry{binding: bVals, rowCount: rowCount, unpromising: unpromising}
-	e.partials = make([]expr.Partial, len(states))
-	for i, st := range states {
+	e := &cacheEntry{
+		binding:     append([]value.Value(nil), s.bVals...),
+		rowCount:    rowCount,
+		unpromising: unpromising,
+		partials:    make([]expr.Partial, len(s.states)),
+	}
+	for i, st := range s.states {
 		e.partials[i] = st.Partial()
 	}
 	return e, nil
 }
 
-// finalize evaluates Q_P for one group: Φ then Λ.
-func (n *NLJP) finalize(gVals []value.Value, states []*expr.State) (value.Row, bool, error) {
-	aggRow := make(value.Row, len(gVals)+len(states))
-	copy(aggRow, gVals)
+// finalizeStates evaluates Q_P for one group — Φ then Λ — in the scratch
+// aggRow. Only the returned output row is allocated.
+func (n *NLJP) finalizeStates(s *nljpScratch, gVals []value.Value, states []*expr.State) (value.Row, bool, error) {
+	copy(s.aggRow, gVals)
 	for i, st := range states {
-		aggRow[len(gVals)+i] = st.Value()
+		s.aggRow[len(gVals)+i] = st.Value()
 	}
-	ok, err := expr.EvalBool(n.havingC, aggRow)
+	ok, err := expr.EvalBool(n.havingC, s.aggRow)
 	if err != nil || !ok {
 		return nil, false, err
 	}
 	out := make(value.Row, len(n.lamC))
 	for i, c := range n.lamC {
-		v, err := c(aggRow)
+		v, err := c(s.aggRow)
 		if err != nil {
 			return nil, false, err
 		}
 		out[i] = v
 	}
 	return out, true, nil
+}
+
+// finalizePartials is finalizeStates fed directly from cached partials (the
+// 𝔾_L-key fast path), loading them into the scratch accumulators instead of
+// materializing fresh States per binding.
+func (n *NLJP) finalizePartials(s *nljpScratch, gVals []value.Value, partials []expr.Partial) (value.Row, bool, error) {
+	for i := range s.finStates {
+		s.finStates[i].LoadPartial(partials[i])
+	}
+	return n.finalizeStates(s, gVals, s.finStates)
 }

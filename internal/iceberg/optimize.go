@@ -33,6 +33,12 @@ type Options struct {
 	// evicted first (the replacement-policy extension of Section 7).
 	// Zero means unbounded.
 	CacheLimit int
+	// Workers sets the NLJP binding-loop parallelism: 0 or 1 runs the
+	// sequential loop, w > 1 fans bindings out across w goroutines over a
+	// sharded cache, and any negative value selects
+	// engine.DefaultWorkers(0) = min(4, GOMAXPROCS). Results are identical
+	// for every setting; only cache hit counters may vary.
+	Workers int
 }
 
 // AllOn returns the paper's "all" configuration.

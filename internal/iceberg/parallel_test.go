@@ -1,0 +1,116 @@
+package iceberg
+
+import (
+	"fmt"
+	"testing"
+
+	"smarticeberg/internal/value"
+)
+
+// figureQueries are the workloads behind the paper's figures that the
+// differential tests exercise (newTestCatalog loads all four tables).
+func figureQueries() map[string]string {
+	return map[string]string{
+		"skyband": skybandSQL,
+		"basket":  basketSQL,
+		"pairs":   pairsSQL,
+		"complex": complexSQL,
+	}
+}
+
+// requireIdenticalResults demands byte-identical results — same row order,
+// same values, no float rounding — which is the parallel loop's contract
+// with the sequential one (DESIGN.md, "Parallel NLJP"), strictly stronger
+// than assertSameRows' sorted-and-rounded comparison.
+func requireIdenticalResults(t *testing.T, name string, want, got []value.Row) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			t.Fatalf("%s: row %d has %d columns, want %d", name, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: row %d col %d = %#v, want %#v", name, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestParallelNLJPDeterminism: for every figure workload and every worker
+// count, the parallel binding loop returns results byte-identical to
+// workers=1 (exact row order, exact float bits), and the cache statistics
+// satisfy the accounting invariant
+//
+//	MemoHits + PruneHits + InnerEvals == Bindings
+//
+// (each binding takes exactly one of the three paths, also when workers
+// race on the shared cache).
+func TestParallelNLJPDeterminism(t *testing.T) {
+	cat := newTestCatalog(t, 7, 250)
+	for qname, sql := range figureQueries() {
+		base := runBaseline(t, cat, sql)
+		seqRes, seqReport := runOpt(t, cat, sql, AllOn())
+		assertSameRows(t, qname+" sequential", base, seqRes.Rows, seqReport)
+		checkStatsInvariant(t, qname+" sequential", seqReport)
+
+		for _, w := range []int{2, 4, -1} {
+			opts := AllOn()
+			opts.Workers = w
+			res, report := runOpt(t, cat, sql, opts)
+			name := fmt.Sprintf("%s workers=%d", qname, w)
+			requireIdenticalResults(t, name, seqRes.Rows, res.Rows)
+			checkStatsInvariant(t, name, report)
+		}
+	}
+}
+
+// TestParallelRespectsBindingOrder: the exploration-order lever composes
+// with the parallel loop — sorted bindings are chunked in sorted order, so
+// results stay identical to the sequential sorted run.
+func TestParallelRespectsBindingOrder(t *testing.T) {
+	cat := newTestCatalog(t, 11, 200)
+	for _, order := range []string{"asc", "desc"} {
+		seqOpts := AllOn()
+		seqOpts.BindingOrder = order
+		seqRes, _ := runOpt(t, cat, skybandSQL, seqOpts)
+
+		parOpts := seqOpts
+		parOpts.Workers = 4
+		parRes, report := runOpt(t, cat, skybandSQL, parOpts)
+		name := "order=" + order + " workers=4"
+		requireIdenticalResults(t, name, seqRes.Rows, parRes.Rows)
+		checkStatsInvariant(t, name, report)
+	}
+}
+
+// TestSequentialScratchReuseMatchesLegacy: the allocation-lean sequential
+// path must agree with the baseline across all option combinations (guards
+// the scratch-reuse rewrite of the hot loop, not just the parallel fan-out).
+func TestSequentialScratchReuseMatchesLegacy(t *testing.T) {
+	cat := newTestCatalog(t, 3, 150)
+	for qname, sql := range figureQueries() {
+		base := runBaseline(t, cat, sql)
+		for cname, opts := range optionCombos() {
+			res, report := runOpt(t, cat, sql, opts)
+			assertSameRows(t, qname+" "+cname, base, res.Rows, report)
+			checkStatsInvariant(t, qname+" "+cname, report)
+		}
+	}
+}
+
+func checkStatsInvariant(t *testing.T, name string, report *Report) {
+	t.Helper()
+	for _, blk := range report.Blocks {
+		st := blk.Stats
+		if st.Bindings == 0 {
+			continue
+		}
+		if got := st.MemoHits + st.PruneHits + st.InnerEvals; got != st.Bindings {
+			t.Errorf("%s block %s: MemoHits(%d) + PruneHits(%d) + InnerEvals(%d) = %d, want Bindings = %d",
+				name, blk.Name, st.MemoHits, st.PruneHits, st.InnerEvals, got, st.Bindings)
+		}
+	}
+}

@@ -308,11 +308,19 @@ func appendUint64(dst []byte, u uint64) []byte {
 		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
 }
 
+// AppendKeys appends the self-delimiting encodings of all values to dst,
+// equivalent to appending Key(vs) but without materializing a string. Hot
+// loops that probe maps with a reused scratch buffer (looked up via the
+// no-alloc string(buf) conversion) use this to avoid one allocation per
+// tuple.
+func AppendKeys(dst []byte, vs []Value) []byte {
+	for _, v := range vs {
+		dst = AppendKey(dst, v)
+	}
+	return dst
+}
+
 // Key returns the grouping key for a tuple of values.
 func Key(vs []Value) string {
-	var buf []byte
-	for _, v := range vs {
-		buf = AppendKey(buf, v)
-	}
-	return string(buf)
+	return string(AppendKeys(nil, vs))
 }

@@ -141,6 +141,25 @@ func TestKeySelfDelimiting(t *testing.T) {
 	}
 }
 
+// TestAppendKeysMatchesKey: the buffer-reusing multi-value append must
+// produce exactly the bytes of Key, including when appending after existing
+// content.
+func TestAppendKeysMatchesKey(t *testing.T) {
+	vs := []Value{NewInt(7), NewFloat(2.5), NewStr("ab"), NullValue, NewBool(true)}
+	if got := string(AppendKeys(nil, vs)); got != Key(vs) {
+		t.Errorf("AppendKeys(nil, vs) = %q, Key(vs) = %q", got, Key(vs))
+	}
+	buf := AppendKeys([]byte("prefix"), vs)
+	if string(buf) != "prefix"+Key(vs) {
+		t.Error("AppendKeys must append after existing content")
+	}
+	// Reusing the truncated buffer must give the same encoding again.
+	buf = AppendKeys(buf[:0], vs)
+	if string(buf) != Key(vs) {
+		t.Error("AppendKeys must be reusable via buf[:0]")
+	}
+}
+
 func TestSchemaResolve(t *testing.T) {
 	s := Schema{
 		{Qualifier: "l", Name: "id", Type: Int},

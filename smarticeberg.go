@@ -56,6 +56,11 @@ type Options struct {
 	// CacheLimit bounds NLJP cache entries (0 = unbounded); the oldest
 	// entry is evicted first.
 	CacheLimit int
+	// Workers parallelizes the NLJP binding loop: 0 or 1 keeps the
+	// sequential loop, w > 1 uses w goroutines over a sharded cache, and a
+	// negative value selects min(4, GOMAXPROCS). Results are identical for
+	// every setting.
+	Workers int
 }
 
 // AllOptimizations enables every technique, the paper's "all" bar.
@@ -72,6 +77,7 @@ func (o Options) internal() iceberg.Options {
 		UseIndexes:   !o.NoIndexes,
 		BindingOrder: o.BindingOrder,
 		CacheLimit:   o.CacheLimit,
+		Workers:      o.Workers,
 	}
 }
 
