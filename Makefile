@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench
+.PHONY: all build test race lint vet bench faulttest
 
 all: build lint test
 
@@ -23,6 +23,13 @@ vet:
 # & invariants".
 lint: vet
 	$(GO) run ./cmd/icelint ./...
+
+# Resilience suite: the fault-injection matrices, cancellation/deadline
+# coverage, memory-budget degradation, and goroutine-leak checks — always
+# under the race detector, since these tests exist to catch cleanup races.
+# See DESIGN.md, "Resilience: cancellation, budgets, failpoints".
+faulttest:
+	$(GO) test -race -count=1 -run 'Fault|Cancel|Deadline|Budget|Leak|Smoke' . ./internal/engine/ ./internal/iceberg/ ./internal/resource/ ./internal/failpoint/
 
 # The root run regenerates BENCH_nljp.json (parallel NLJP worker sweep);
 # the internal/bench run is the harness's own benchmark smoke.

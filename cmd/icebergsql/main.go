@@ -29,6 +29,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -38,9 +40,16 @@ import (
 	"smarticeberg"
 )
 
+var (
+	flagTimeout = flag.Duration("timeout", 0, "per-query deadline (e.g. 30s); 0 disables")
+	flagMem     = flag.Int64("mem", 0, "per-query memory budget in bytes; 0 = unlimited")
+)
+
 func main() {
+	flag.Parse()
 	db := smarticeberg.Open()
 	opts := smarticeberg.AllOptimizations()
+	opts.MemoryBudget = *flagMem
 	optimize := true
 	var lastReport string
 
@@ -81,7 +90,14 @@ func runSQL(db *smarticeberg.DB, sql string, opts smarticeberg.Options, optimize
 	upper := strings.ToUpper(strings.TrimSpace(sql))
 	start := time.Now()
 	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "WITH") {
+		ctx := context.Background()
+		if *flagTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *flagTimeout)
+			defer cancel()
+		}
 		if optimize {
+			opts.Ctx = ctx
 			res, report, err := db.QueryOpt(sql, opts)
 			if err != nil {
 				fmt.Println("error:", err)
@@ -89,10 +105,14 @@ func runSQL(db *smarticeberg.DB, sql string, opts smarticeberg.Options, optimize
 			}
 			*lastReport = report.Text
 			fmt.Print(res.String())
-			fmt.Printf("Time: %.3fs (optimized; \\report for rewrites)\n", time.Since(start).Seconds())
+			degraded := ""
+			if report.Stats.Degraded {
+				degraded = "; degraded under memory budget"
+			}
+			fmt.Printf("Time: %.3fs (optimized; \\report for rewrites%s)\n", time.Since(start).Seconds(), degraded)
 			return
 		}
-		res, err := db.Query(sql)
+		res, err := db.QueryCtx(ctx, sql)
 		if err != nil {
 			fmt.Println("error:", err)
 			return

@@ -8,7 +8,9 @@
 //     and must be cloned before being retained;
 //   - valuecmp: value.Value is compared through its comparators (Compare,
 //     Equal, Identical) or the Key encoding, never with == / != / switch;
-//   - closecheck: errors from Operator Open/Close are never silently dropped.
+//   - closecheck: errors from Operator Open/Close are never silently dropped;
+//   - goexit: goroutines in the execution packages carry a deferred recover
+//     so a worker panic becomes a typed error instead of a process crash.
 //
 // The framework is built directly on go/ast and go/types (the container this
 // repo builds in has no module proxy access, so golang.org/x/tools is not
@@ -70,7 +72,7 @@ func (d Diagnostic) String() string {
 
 // All returns the standard icelint passes.
 func All() []*Analyzer {
-	return []*Analyzer{OpContract, RowAlias, ValueCmp, CloseCheck}
+	return []*Analyzer{OpContract, RowAlias, ValueCmp, CloseCheck, GoExit}
 }
 
 // ignoreRe matches suppression directives of the form

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GoExit flags goroutines launched inside the execution packages
+// (internal/engine, internal/iceberg) whose body does not start with a
+// deferred recover. A panic in a bare goroutine crashes the whole process —
+// no operator, optimizer fallback, or caller can catch it — so every worker
+// must begin with `defer func() { recover() ... }()` or an equivalent
+// containment helper such as `defer CapturePanic(site, &err)` that converts
+// the panic into a typed *engine.PanicError.
+var GoExit = &Analyzer{
+	Name: "goexit",
+	Doc:  "flag goroutines in the execution packages without a deferred recover",
+	Run:  runGoExit,
+}
+
+// goexitPkgSuffixes limits the pass to the packages whose goroutines run user
+// queries. Test fixtures are type-checked as "fixtures/goexit".
+var goexitPkgSuffixes = []string{"internal/engine", "internal/iceberg", "goexit"}
+
+// containmentCallRe accepts deferred helper calls whose name advertises panic
+// handling (CapturePanic, engine.CapturePanic, recoverWorker, ...).
+var containmentCallRe = regexp.MustCompile(`(?i)(recover|panic)`)
+
+func runGoExit(pass *Pass) error {
+	path := pass.Pkg.Path()
+	inScope := false
+	for _, suf := range goexitPkgSuffixes {
+		if strings.HasSuffix(path, suf) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	// Index the package's own function declarations so `go helper(...)` can
+	// be checked through the named function's body.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goroutineBody(pass, gs.Call.Fun, decls)
+			if body == nil {
+				// The callee's body is out of reach (imported function,
+				// method value, function-typed variable); assume it contains
+				// its own panics rather than guessing.
+				return true
+			}
+			if !hasRecoverDefer(body) {
+				pass.Reportf(gs.Pos(),
+					"goroutine has no deferred recover; a panic here crashes the process — start the body with a defer that recovers (e.g. engine.CapturePanic) and reports a typed error")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineBody resolves the function body a go statement will run: a
+// function literal directly, or the declaration of a package-level function
+// named by the call. Returns nil when the body is not visible in this
+// package.
+func goroutineBody(pass *Pass, fun ast.Expr, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	switch fn := ast.Unparen(fun).(type) {
+	case *ast.FuncLit:
+		return fn.Body
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[fn]; obj != nil {
+			if fd := decls[obj]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[fn.Sel]; obj != nil {
+			if fd := decls[obj]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasRecoverDefer reports whether any top-level statement of body is a defer
+// that contains a recover() call or invokes a containment helper by name.
+func hasRecoverDefer(body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		ds, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		switch fn := ast.Unparen(ds.Call.Fun).(type) {
+		case *ast.FuncLit:
+			if callsRecover(fn.Body) {
+				return true
+			}
+		default:
+			if containmentCallRe.MatchString(finalIdent(ds.Call.Fun)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callsRecover reports whether the block contains a call to the builtin
+// recover, including inside nested literals.
+func callsRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// finalIdent extracts the rightmost identifier of a call target for the
+// name-based containment check.
+func finalIdent(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

@@ -119,6 +119,7 @@ func TestOpContractGolden(t *testing.T) { testGolden(t, OpContract, "opcontract"
 func TestRowAliasGolden(t *testing.T)   { testGolden(t, RowAlias, "rowalias") }
 func TestValueCmpGolden(t *testing.T)   { testGolden(t, ValueCmp, "valuecmp") }
 func TestCloseCheckGolden(t *testing.T) { testGolden(t, CloseCheck, "closecheck") }
+func TestGoExitGolden(t *testing.T)     { testGolden(t, GoExit, "goexit") }
 
 // TestRepoClean asserts the linter's own verdict on the repository: zero
 // violations across every package of the module. This is the same gate

@@ -1,0 +1,91 @@
+// Package fixtures exercises the goexit pass: goroutines in the execution
+// packages must begin with a deferred recover (or a containment helper such
+// as engine.CapturePanic) so a panic cannot crash the process.
+package fixtures
+
+import (
+	"sync"
+
+	"smarticeberg/internal/engine"
+)
+
+func expensive() int { return 1 }
+
+// BareBad launches a goroutine with no containment at all.
+func BareBad() {
+	go func() { // want `goroutine has no deferred recover`
+		_ = expensive()
+	}()
+}
+
+// RecoverGood contains panics with an inline deferred recover.
+func RecoverGood() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		_ = expensive()
+	}()
+}
+
+// CaptureGood uses the engine's containment helper.
+func CaptureGood() {
+	go func() {
+		var err error
+		defer engine.CapturePanic("fixture worker", &err)
+		_ = expensive()
+	}()
+}
+
+// LateDeferGood: the recover defer need not be the first statement, only a
+// top-level one — `defer wg.Done()` commonly comes first.
+func LateDeferGood(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		_ = expensive()
+	}()
+}
+
+// NestedOnlyBad: a recover inside a nested callback does not protect the
+// goroutine's own frame.
+func NestedOnlyBad() {
+	go func() { // want `goroutine has no deferred recover`
+		f := func() {
+			defer func() { _ = recover() }()
+		}
+		f()
+	}()
+}
+
+// NamedBad starts a package function that lacks containment.
+func NamedBad() {
+	go worker() // want `goroutine has no deferred recover`
+}
+
+func worker() {
+	_ = expensive()
+}
+
+// NamedGood starts a package function that recovers.
+func NamedGood() {
+	go safeWorker()
+}
+
+func safeWorker() {
+	defer func() { _ = recover() }()
+	_ = expensive()
+}
+
+// OpaqueOK: the pass cannot see through a function-typed variable and gives
+// the callee the benefit of the doubt.
+func OpaqueOK(fn func()) {
+	go fn()
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
 	"smarticeberg/internal/value"
 )
 
@@ -13,15 +15,23 @@ import (
 // that output layout) filters groups. With no groupBy expressions the
 // aggregate is scalar: exactly one group, even over empty input.
 type HashAggregate struct {
+	execState
 	child   Operator
 	groupBy []expr.Compiled
 	aggs    []*expr.Aggregate
 	having  expr.Compiled
 	schema  value.Schema
 
-	groups []*aggGroup
-	pos    int
-	out    int64
+	groups   []*aggGroup
+	reserved int64
+	pos      int
+	out      int64
+}
+
+// groupBytes estimates the resident size of one aggregate group: header,
+// materialized key row, and one state per aggregate.
+func (h *HashAggregate) groupBytes(key value.Row) int64 {
+	return 48 + resource.RowBytes(key) + 56*int64(len(h.aggs))
 }
 
 type aggGroup struct {
@@ -40,6 +50,9 @@ func (h *HashAggregate) Schema() value.Schema { return h.schema }
 
 // Open implements Operator.
 func (h *HashAggregate) Open() (err error) {
+	if err := failpoint.Inject(failpoint.AggOpen); err != nil {
+		return err
+	}
 	if err := h.child.Open(); err != nil {
 		return err
 	}
@@ -55,6 +68,9 @@ func (h *HashAggregate) Open() (err error) {
 	keyVals := make([]value.Value, len(h.groupBy))
 	var keyBuf []byte
 	for {
+		if err := h.step(); err != nil {
+			return err
+		}
 		r, err := h.child.Next()
 		if err != nil {
 			return err
@@ -79,6 +95,11 @@ func (h *HashAggregate) Open() (err error) {
 			for i, a := range h.aggs {
 				grp.states[i] = a.NewState()
 			}
+			n := h.groupBytes(grp.key)
+			if err := h.exec().Charge("hash aggregation", n); err != nil {
+				return err
+			}
+			h.reserved += n
 			index[string(keyBuf)] = grp
 			h.groups = append(h.groups, grp)
 		}
@@ -101,7 +122,13 @@ func (h *HashAggregate) Open() (err error) {
 
 // Next implements Operator.
 func (h *HashAggregate) Next() (value.Row, error) {
+	if err := failpoint.Inject(failpoint.AggNext); err != nil {
+		return nil, err
+	}
 	for h.pos < len(h.groups) {
+		if err := h.step(); err != nil {
+			return nil, err
+		}
 		grp := h.groups[h.pos]
 		h.pos++
 		out := make(value.Row, 0, len(grp.key)+len(grp.states))
@@ -126,8 +153,10 @@ func (h *HashAggregate) Next() (value.Row, error) {
 
 // Close implements Operator.
 func (h *HashAggregate) Close() error {
+	h.exec().Release(h.reserved)
+	h.reserved = 0
 	h.groups = nil
-	return nil
+	return failpoint.Inject(failpoint.AggClose)
 }
 
 // Describe implements Operator.

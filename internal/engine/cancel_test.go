@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/testleak"
+	"smarticeberg/internal/value"
+)
+
+// The cancellation contract under test: once the context is cancelled, every
+// operator must surface context.Canceled within cancelCheckEvery Next calls,
+// and Close must still succeed so resources are released.
+
+var cancelSchema = value.Schema{
+	{Name: "g", Type: value.Int},
+	{Name: "v", Type: value.Int},
+}
+
+func cancelRows(n int) []value.Row {
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{value.NewInt(int64(i % 997)), value.NewInt(int64(i))}
+	}
+	return rows
+}
+
+// col compiles to a bare column reference.
+func colAt(i int) expr.Compiled {
+	return func(r value.Row) (value.Value, error) { return r[i], nil }
+}
+
+func truePred(value.Row) (value.Value, error) { return value.NewBool(true), nil }
+
+// driveCancelled opens op under a cancellable context, pulls warm rows, then
+// cancels and counts Next calls until the typed error surfaces.
+func driveCancelled(t *testing.T, name string, op Operator, warm int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	Bind(op, NewExecContext(ctx, nil))
+	if err := op.Open(); err != nil {
+		t.Fatalf("%s: open: %v", name, err)
+	}
+	for i := 0; i < warm; i++ {
+		r, err := op.Next()
+		if err != nil {
+			t.Fatalf("%s: warmup next: %v", name, err)
+		}
+		if r == nil {
+			t.Fatalf("%s: stream ended after %d rows, need more data for the test", name, i)
+		}
+	}
+	cancel()
+	var err error
+	for calls := 0; err == nil; calls++ {
+		// One full tick window is the contract; allow one extra for ticks
+		// consumed during warmup.
+		if calls > 2*cancelCheckEvery {
+			t.Fatalf("%s: no cancellation after %d Next calls past cancel()", name, calls)
+		}
+		var r value.Row
+		r, err = op.Next()
+		if err == nil && r == nil {
+			t.Fatalf("%s: stream ended cleanly before cancellation surfaced", name)
+		}
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("%s: Next error = %v, want context.Canceled", name, err)
+	}
+	if cerr := op.Close(); cerr != nil {
+		t.Fatalf("%s: Close after cancellation: %v", name, cerr)
+	}
+}
+
+// TestCancelMidStream covers the streaming phase of every operator kind: the
+// cancel lands between two Next calls and must surface within the tick
+// window.
+func TestCancelMidStream(t *testing.T) {
+	rows := cancelRows(20000)
+	newScan := func() Operator { return NewMemScan("t", cancelSchema, rows) }
+	aggs := []*expr.Aggregate{{Kind: expr.AggCountStar}}
+	aggSchema := value.Schema{{Name: "g", Type: value.Int}, {Name: "count", Type: value.Int}}
+
+	cases := []struct {
+		name string
+		op   func() Operator
+	}{
+		{"MemScan", newScan},
+		{"Filter", func() Operator { return NewFilter(newScan(), truePred, "true") }},
+		{"Distinct", func() Operator { return NewDistinct(NewProject(newScan(), []expr.Compiled{colAt(1)}, cancelSchema[1:2])) }},
+		{"NLJoin-hash", func() Operator {
+			return NewNLJoin("Hash Join", newScan(), newScan(),
+				NewHashProber([]expr.Compiled{colAt(0)}, []expr.Compiled{colAt(0)}, "g = g"), nil)
+		}},
+		{"NLJoin-scan", func() Operator {
+			return NewNLJoin("Nested Loop", newScan(),
+				NewMemScan("inner", cancelSchema, cancelRows(4)), NewScanProber(), nil)
+		}},
+		// HashAggregate's streaming phase is group emission; 997 groups leave
+		// plenty of stream after warmup.
+		{"HashAggregate-emit", func() Operator {
+			return NewHashAggregate(newScan(), []expr.Compiled{colAt(0)}, aggs, nil, aggSchema)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			driveCancelled(t, tc.name, tc.op(), 100)
+		})
+	}
+}
+
+// cancelAfterHits returns a failpoint action that cancels the context on the
+// n-th trigger and lets execution continue — the engine's own tick checks
+// must then stop the query.
+func cancelAfterHits(cancel context.CancelFunc, n int64) failpoint.Action {
+	var hits atomic.Int64
+	return func(string) error {
+		if hits.Add(1) == n {
+			cancel()
+		}
+		return nil
+	}
+}
+
+// TestCancelDuringMaterialization covers the build phase of the blocking
+// operators: the cancel lands while Open is still consuming the child, long
+// before the first output row.
+func TestCancelDuringMaterialization(t *testing.T) {
+	rows := cancelRows(20000)
+	newScan := func() Operator { return NewMemScan("t", cancelSchema, rows) }
+	aggs := []*expr.Aggregate{{Kind: expr.AggCountStar}}
+	aggSchema := value.Schema{{Name: "g", Type: value.Int}, {Name: "count", Type: value.Int}}
+
+	cases := []struct {
+		name string
+		op   func() Operator
+	}{
+		{"Sort-build", func() Operator { return NewSort(newScan(), []expr.Compiled{colAt(1)}, []bool{false}) }},
+		{"HashAggregate-build", func() Operator {
+			return NewHashAggregate(newScan(), []expr.Compiled{colAt(0)}, aggs, nil, aggSchema)
+		}},
+		{"NLJoin-build", func() Operator {
+			return NewNLJoin("Hash Join", NewMemScan("outer", cancelSchema, cancelRows(4)), newScan(),
+				NewHashProber([]expr.Compiled{colAt(0)}, []expr.Compiled{colAt(0)}, "g = g"), nil)
+		}},
+		{"ParallelJoinAgg-build", func() Operator {
+			join := NewNLJoin("Hash Join", newScan(), newScan(),
+				NewHashProber([]expr.Compiled{colAt(0)}, []expr.Compiled{colAt(0)}, "g = g"), nil)
+			return NewParallelJoinAgg(join, []expr.Compiled{colAt(0)}, aggs, nil, aggSchema, 4)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			testleak.Check(t)
+			defer failpoint.Reset()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			// Cancel deep inside the child drain, then let the ticks react.
+			failpoint.Enable(failpoint.ScanNext, cancelAfterHits(cancel, 5000))
+			_, err := RunExec(NewExecContext(ctx, nil), tc.op())
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: RunExec error = %v, want context.Canceled", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestCancelParallelProbe cancels while ParallelJoinAgg workers are probing:
+// the feeder and all workers must shut down cleanly (the leak check enforces
+// it) and the typed error must win over any internal sentinel.
+func TestCancelParallelProbe(t *testing.T) {
+	testleak.Check(t)
+	rows := cancelRows(20000)
+	join := NewNLJoin("Hash Join",
+		NewMemScan("outer", cancelSchema, rows),
+		NewMemScan("inner", cancelSchema, cancelRows(1000)),
+		NewHashProber([]expr.Compiled{colAt(0)}, []expr.Compiled{colAt(0)}, "g = g"), nil)
+	aggs := []*expr.Aggregate{{Kind: expr.AggCountStar}}
+	aggSchema := value.Schema{{Name: "g", Type: value.Int}, {Name: "count", Type: value.Int}}
+	op := NewParallelJoinAgg(join, []expr.Compiled{colAt(0)}, aggs, nil, aggSchema, 4)
+
+	defer failpoint.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The inner build drains 1000 scan rows first; hit 10000 lands mid-probe
+	// in the outer feed.
+	failpoint.Enable(failpoint.ScanNext, cancelAfterHits(cancel, 10000))
+	_, err := RunExec(NewExecContext(ctx, nil), op)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunExec error = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCtxDeadline: an already-expired deadline stops the query before it
+// produces a result, surfacing as context.DeadlineExceeded.
+func TestRunCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	op := NewMemScan("t", cancelSchema, cancelRows(20000))
+	if _, err := RunCtx(ctx, op); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx error = %v, want context.DeadlineExceeded", err)
+	}
+}

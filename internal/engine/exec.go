@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -64,6 +65,18 @@ func (r *Result) String() string {
 // ExecStatement executes a parsed statement against the catalog. DDL/DML
 // statements return a nil result.
 func ExecStatement(cat *storage.Catalog, stmt sqlparser.Statement) (*Result, error) {
+	return ExecStatementExec(nil, cat, stmt)
+}
+
+// ExecStatementCtx is ExecStatement with cancellation/deadline support for
+// the query's whole lifetime, including nested materializations.
+func ExecStatementCtx(ctx context.Context, cat *storage.Catalog, stmt sqlparser.Statement) (*Result, error) {
+	return ExecStatementExec(NewExecContext(ctx, nil), cat, stmt)
+}
+
+// ExecStatementExec executes a parsed statement under an execution context
+// (nil = background, unlimited budget).
+func ExecStatementExec(ec *ExecContext, cat *storage.Catalog, stmt sqlparser.Statement) (*Result, error) {
 	switch stmt := stmt.(type) {
 	case *sqlparser.CreateTable:
 		cols := make([]value.Column, len(stmt.Columns))
@@ -76,11 +89,12 @@ func ExecStatement(cat *storage.Catalog, stmt sqlparser.Statement) (*Result, err
 		return nil, execInsert(cat, stmt)
 	case *sqlparser.Select:
 		p := NewPlanner(cat)
+		p.Exec = ec
 		op, err := p.PlanSelect(stmt, nil)
 		if err != nil {
 			return nil, err
 		}
-		rows, err := Run(op)
+		rows, err := RunExec(ec, op)
 		if err != nil {
 			return nil, err
 		}
@@ -146,9 +160,15 @@ func coerce(v value.Value, k value.Kind) value.Value {
 
 // Exec parses and executes a SQL string.
 func Exec(cat *storage.Catalog, sql string) (*Result, error) {
+	return ExecCtx(context.Background(), cat, sql)
+}
+
+// ExecCtx parses and executes a SQL string under ctx; cancellation and
+// deadlines are observed mid-stream.
+func ExecCtx(ctx context.Context, cat *storage.Catalog, sql string) (*Result, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return ExecStatement(cat, stmt)
+	return ExecStatementCtx(ctx, cat, stmt)
 }

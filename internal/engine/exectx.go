@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"context"
+
+	"smarticeberg/internal/resource"
+)
+
+// ExecContext carries one query's cross-cutting execution state: the
+// caller's context (cancellation, deadlines) and the memory budget. It is
+// attached to every operator of a plan by Bind (RunExec does this
+// automatically) and shared by all goroutines the plan spawns.
+type ExecContext struct {
+	ctx    context.Context
+	budget *resource.Budget
+}
+
+// NewExecContext builds an execution context; ctx nil means Background and
+// budget nil means unlimited.
+func NewExecContext(ctx context.Context, budget *resource.Budget) *ExecContext {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &ExecContext{ctx: ctx, budget: budget}
+}
+
+// backgroundExec is what unbound operators and plain Run use: no deadline,
+// no budget.
+var backgroundExec = &ExecContext{ctx: context.Background()}
+
+// Context returns the carried context (never nil).
+func (ec *ExecContext) Context() context.Context {
+	if ec == nil {
+		return context.Background()
+	}
+	return ec.ctx
+}
+
+// Err reports the context's cancellation state. Nil-safe.
+func (ec *ExecContext) Err() error {
+	if ec == nil {
+		return nil
+	}
+	return ec.ctx.Err()
+}
+
+// Budget returns the carried budget (nil = unlimited). Nil-safe.
+func (ec *ExecContext) Budget() *resource.Budget {
+	if ec == nil {
+		return nil
+	}
+	return ec.budget
+}
+
+// Charge reserves n bytes against the budget, returning a typed
+// resource.ErrBudgetExceeded failure when it does not fit. Nil-safe.
+func (ec *ExecContext) Charge(site string, n int64) error {
+	if ec == nil {
+		return nil
+	}
+	return ec.budget.Reserve(site, n)
+}
+
+// Release returns n bytes to the budget. Nil-safe.
+func (ec *ExecContext) Release(n int64) {
+	if ec != nil {
+		ec.budget.Release(n)
+	}
+}
+
+// ExecAware is implemented by operators that consume the execution context;
+// Bind walks a plan and attaches it.
+type ExecAware interface {
+	BindExec(*ExecContext)
+}
+
+// Bind attaches an execution context to every operator of a plan tree.
+// Binding nil is a no-op; rebinding an already-bound tree with the same
+// context is harmless (nested materializations do it).
+func Bind(op Operator, ec *ExecContext) {
+	if op == nil || ec == nil {
+		return
+	}
+	if a, ok := op.(ExecAware); ok {
+		a.BindExec(ec)
+	}
+	for _, c := range op.Children() {
+		Bind(c, ec)
+	}
+}
+
+// cancelCheckEvery is how many Next steps an operator may take between
+// context checks; deadlines and cancellation are therefore observed within
+// this many rows at every level of the plan.
+const cancelCheckEvery = 64
+
+// execState is the embeddable per-operator slice of the resilience layer:
+// the bound ExecContext plus a tick counter that rate-limits context checks
+// to one every cancelCheckEvery rows. The zero value (unbound) never fails.
+type execState struct {
+	ec   *ExecContext
+	tick uint32
+}
+
+// BindExec implements ExecAware for every operator embedding execState.
+func (s *execState) BindExec(ec *ExecContext) { s.ec = ec }
+
+// exec returns the bound context for nested RunExec calls (may be nil;
+// RunExec substitutes the background context).
+func (s *execState) exec() *ExecContext { return s.ec }
+
+// step performs the rate-limited cancellation check; Next loops call it once
+// per row.
+func (s *execState) step() error {
+	if s.ec == nil {
+		return nil
+	}
+	s.tick++
+	if s.tick%cancelCheckEvery != 0 {
+		return nil
+	}
+	return s.ec.Err()
+}

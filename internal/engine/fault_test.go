@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/testleak"
+	"smarticeberg/internal/value"
+)
+
+var errBoom = errors.New("boom: injected by test")
+
+// faultPlan builds a plan containing every sequential operator kind the
+// failpoint sites live in: Sort(HashAggregate(NLJoin(Filter(Scan), Scan))).
+func faultPlan() Operator {
+	outer := NewFilter(NewMemScan("t", cancelSchema, cancelRows(2000)), truePred, "true")
+	inner := NewMemScan("u", cancelSchema, cancelRows(500))
+	join := NewNLJoin("Hash Join", outer, inner,
+		NewHashProber([]expr.Compiled{colAt(0)}, []expr.Compiled{colAt(0)}, "g = g"), nil)
+	aggs := []*expr.Aggregate{{Kind: expr.AggCountStar}}
+	aggSchema := value.Schema{{Name: "g", Type: value.Int}, {Name: "count", Type: value.Int}}
+	agg := NewHashAggregate(join, []expr.Compiled{colAt(0)}, aggs, nil, aggSchema)
+	return NewSort(agg, []expr.Compiled{colAt(0)}, []bool{false})
+}
+
+// TestFaultMatrix injects a single fault — an error or a panic — at every
+// engine failpoint and asserts the invariant of the resilience layer: the
+// query fails with exactly one typed error and every byte charged to the
+// budget is released again.
+func TestFaultMatrix(t *testing.T) {
+	points := []string{
+		failpoint.ScanOpen, failpoint.ScanNext, failpoint.ScanClose,
+		failpoint.FilterNext,
+		failpoint.JoinOpen, failpoint.JoinNext, failpoint.JoinClose,
+		failpoint.AggOpen, failpoint.AggNext, failpoint.AggClose,
+		failpoint.SortOpen,
+	}
+	for _, pt := range points {
+		for _, mode := range []string{"error", "panic"} {
+			t.Run(fmt.Sprintf("%s/%s", pt, mode), func(t *testing.T) {
+				testleak.Check(t)
+				defer failpoint.Reset()
+				if mode == "error" {
+					failpoint.Enable(pt, failpoint.Once(failpoint.Error(errBoom)))
+				} else {
+					failpoint.Enable(pt, failpoint.Once(failpoint.Panic("matrix")))
+				}
+				budget := resource.NewBudget(1 << 30)
+				rows, err := RunExec(NewExecContext(nil, budget), faultPlan())
+				if err == nil {
+					t.Fatalf("%s/%s: query succeeded with %d rows, want injected failure", pt, mode, len(rows))
+				}
+				// Close sites are re-hit during best-effort cleanup; Once
+				// guarantees the fault itself fired a single time.
+				if hits := failpoint.Hits(pt); hits == 0 {
+					t.Fatalf("%s: never fired — the site is not reachable in this plan", pt)
+				}
+				switch mode {
+				case "error":
+					if !errors.Is(err, errBoom) {
+						t.Fatalf("%s: error = %v, want the injected errBoom", pt, err)
+					}
+				case "panic":
+					var pe *PanicError
+					if !errors.As(err, &pe) {
+						t.Fatalf("%s: error = %v (%T), want *PanicError", pt, err, err)
+					}
+					if pe.Site == "" || len(pe.Stack) == 0 {
+						t.Fatalf("%s: PanicError missing site or stack: %+v", pt, pe)
+					}
+				}
+				if used := budget.Used(); used != 0 {
+					t.Fatalf("%s/%s: %d bytes still reserved after failure; resources leaked", pt, mode, used)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultParallelWorkers injects faults at worker startup of the Vendor A
+// executor: the failure must surface as one typed error, the feeder must not
+// deadlock, and no goroutine may outlive the query.
+func TestFaultParallelWorkers(t *testing.T) {
+	plan := func() Operator {
+		join := NewNLJoin("Hash Join",
+			NewMemScan("t", cancelSchema, cancelRows(20000)),
+			NewMemScan("u", cancelSchema, cancelRows(500)),
+			NewHashProber([]expr.Compiled{colAt(0)}, []expr.Compiled{colAt(0)}, "g = g"), nil)
+		aggs := []*expr.Aggregate{{Kind: expr.AggCountStar}}
+		aggSchema := value.Schema{{Name: "g", Type: value.Int}, {Name: "count", Type: value.Int}}
+		return NewParallelJoinAgg(join, []expr.Compiled{colAt(0)}, aggs, nil, aggSchema, 4)
+	}
+	for _, mode := range []string{"error", "panic", "error-all-workers"} {
+		t.Run(mode, func(t *testing.T) {
+			testleak.Check(t)
+			defer failpoint.Reset()
+			switch mode {
+			case "error":
+				failpoint.Enable(failpoint.ParallelWorkerStart, failpoint.Once(failpoint.Error(errBoom)))
+			case "panic":
+				failpoint.Enable(failpoint.ParallelWorkerStart, failpoint.Once(failpoint.Panic("worker")))
+			case "error-all-workers":
+				// Every worker dies at startup; the feeder must still drain.
+				failpoint.Enable(failpoint.ParallelWorkerStart, failpoint.Error(errBoom))
+			}
+			_, err := RunExec(nil, plan())
+			if err == nil {
+				t.Fatal("query succeeded, want injected worker failure")
+			}
+			if mode == "panic" {
+				var pe *PanicError
+				if !errors.As(err, &pe) {
+					t.Fatalf("error = %v (%T), want *PanicError", err, err)
+				}
+			} else if !errors.Is(err, errBoom) {
+				t.Fatalf("error = %v, want the injected errBoom", err)
+			}
+		})
+	}
+}
+
+// TestFaultChunkWorkers exercises the shared chunked-loop harness the
+// parallel NLJP binding loop runs on.
+func TestFaultChunkWorkers(t *testing.T) {
+	for _, mode := range []string{"error", "panic"} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", mode, workers), func(t *testing.T) {
+				testleak.Check(t)
+				defer failpoint.Reset()
+				if mode == "error" {
+					failpoint.Enable(failpoint.ChunkWorkerStart, failpoint.Once(failpoint.Error(errBoom)))
+				} else {
+					failpoint.Enable(failpoint.ChunkWorkerStart, failpoint.Once(failpoint.Panic("chunk")))
+				}
+				err := RunChunked(10000, 64, workers, func(w, c, lo, hi int) error { return nil })
+				if err == nil {
+					t.Fatal("RunChunked succeeded, want injected failure")
+				}
+				if mode == "panic" {
+					var pe *PanicError
+					if !errors.As(err, &pe) {
+						t.Fatalf("error = %v (%T), want *PanicError", err, err)
+					}
+				} else if !errors.Is(err, errBoom) {
+					t.Fatalf("error = %v, want the injected errBoom", err)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultProcessPanic: a panic raised by user code mid-plan (not at a
+// failpoint) is still contained by Run and reported with the operator site.
+func TestFaultProcessPanic(t *testing.T) {
+	boom := func(value.Row) (value.Value, error) { panic("predicate exploded") }
+	op := NewFilter(NewMemScan("t", cancelSchema, cancelRows(100)), boom, "boom")
+	_, err := Run(op)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v (%T), want *PanicError", err, err)
+	}
+}

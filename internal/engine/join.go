@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
 	"smarticeberg/internal/value"
 )
 
@@ -164,6 +166,7 @@ func (m *scanMethod) Describe() string { return "Block Scan" }
 // NLJoin joins an outer operator against a materialized inner operator using
 // a joinMethod, applying a residual predicate over concatenated rows.
 type NLJoin struct {
+	execState
 	outer    Operator
 	inner    Operator
 	method   Prober
@@ -172,6 +175,7 @@ type NLJoin struct {
 	schema   value.Schema
 
 	innerRows []value.Row
+	reserved  int64
 	out       int64
 	curOuter  value.Row
 	matches   []int32
@@ -194,8 +198,18 @@ func (j *NLJoin) Schema() value.Schema { return j.schema }
 
 // Open implements Operator.
 func (j *NLJoin) Open() error {
-	rows, err := Run(j.inner)
+	if err := failpoint.Inject(failpoint.JoinOpen); err != nil {
+		return err
+	}
+	rows, err := RunExec(j.exec(), j.inner)
 	if err != nil {
+		return err
+	}
+	// The build side is materialized for the whole probe phase; charge it so
+	// a runaway inner join fails with a typed budget error, not an OOM kill.
+	j.reserved = resource.RowsBytes(rows)
+	if err := j.exec().Charge("join build side", j.reserved); err != nil {
+		j.reserved = 0
 		return err
 	}
 	j.innerRows = rows
@@ -212,7 +226,13 @@ func (j *NLJoin) Open() error {
 
 // Next implements Operator.
 func (j *NLJoin) Next() (value.Row, error) {
+	if err := failpoint.Inject(failpoint.JoinNext); err != nil {
+		return nil, err
+	}
 	for {
+		if err := j.step(); err != nil {
+			return nil, err
+		}
 		for j.matchPos < len(j.matches) {
 			ir := j.innerRows[j.matches[j.matchPos]]
 			j.matchPos++
@@ -245,7 +265,16 @@ func (j *NLJoin) Next() (value.Row, error) {
 }
 
 // Close implements Operator.
-func (j *NLJoin) Close() error { return j.outer.Close() }
+func (j *NLJoin) Close() error {
+	j.exec().Release(j.reserved)
+	j.reserved = 0
+	if err := failpoint.Inject(failpoint.JoinClose); err != nil {
+		//lint:ignore closecheck injected fault takes precedence; the real close still runs
+		_ = j.outer.Close()
+		return err
+	}
+	return j.outer.Close()
+}
 
 // Describe implements Operator.
 func (j *NLJoin) Describe() string {

@@ -5,11 +5,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
 	"smarticeberg/internal/value"
 )
 
@@ -28,27 +31,69 @@ type Operator interface {
 }
 
 // Run drains an operator and returns all rows (cloned). A Close failure is
-// reported unless the drain itself already failed.
-func Run(op Operator) (rows []value.Row, err error) {
-	if err := op.Open(); err != nil {
-		return nil, err
+// reported unless the drain itself already failed. Panics anywhere in the
+// plan surface as a *PanicError; cancellation and budgets are available
+// through RunCtx / RunExec.
+func Run(op Operator) ([]value.Row, error) {
+	return RunExec(nil, op)
+}
+
+// RunCtx is Run under a context: the plan observes cancellation and
+// deadlines within cancelCheckEvery rows at every operator.
+func RunCtx(ctx context.Context, op Operator) ([]value.Row, error) {
+	return RunExec(NewExecContext(ctx, nil), op)
+}
+
+// RunExec drains an operator under an execution context (nil means no
+// deadline and no budget). It binds ec to the whole plan, contains panics
+// from Open/Next/Close as *PanicError (closing the plan best-effort first so
+// resources are released), and reports a cancellation that landed after the
+// last row so a cancelled query never returns a successful partial result.
+func RunExec(ec *ExecContext, op Operator) (rows []value.Row, err error) {
+	if ec == nil {
+		ec = backgroundExec
 	}
+	Bind(op, ec)
 	defer func() {
-		if cerr := op.Close(); cerr != nil && err == nil {
-			rows, err = nil, cerr
+		if r := recover(); r != nil {
+			_ = op.Close() // best-effort release while panicking
+			rows, err = nil, NewPanicError(op.Describe(), r)
 		}
 	}()
+	if err := op.Open(); err != nil {
+		//lint:ignore closecheck the Open failure takes precedence; Close here only releases partial state
+		_ = op.Close()
+		return nil, err
+	}
 	var out []value.Row
+	var runErr error
+	var tick uint32
 	for {
-		r, err := op.Next()
-		if err != nil {
-			return nil, err
+		tick++
+		if tick%cancelCheckEvery == 0 {
+			if runErr = ec.Err(); runErr != nil {
+				break
+			}
 		}
-		if r == nil {
-			return out, nil
+		var r value.Row
+		r, runErr = op.Next()
+		if runErr != nil || r == nil {
+			break
 		}
 		out = append(out, r.Clone())
 	}
+	if cerr := op.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	if runErr == nil {
+		// A cancel that fired between the last tick check and end of stream
+		// (or during Close) still invalidates the result.
+		runErr = ec.Err()
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return out, nil
 }
 
 // Explain renders an operator tree as an indented plan, in the style of the
@@ -74,6 +119,7 @@ func Explain(op Operator) string {
 // MemScan iterates rows held in memory. It backs base-table scans, CTE
 // scans, and derived-table scans.
 type MemScan struct {
+	execState
 	Label  string
 	schema value.Schema
 	rows   []value.Row
@@ -90,10 +136,23 @@ func NewMemScan(label string, schema value.Schema, rows []value.Row) *MemScan {
 func (s *MemScan) Schema() value.Schema { return s.schema }
 
 // Open implements Operator.
-func (s *MemScan) Open() error { s.pos = 0; s.out = 0; return nil }
+func (s *MemScan) Open() error {
+	if err := failpoint.Inject(failpoint.ScanOpen); err != nil {
+		return err
+	}
+	s.pos = 0
+	s.out = 0
+	return nil
+}
 
 // Next implements Operator.
 func (s *MemScan) Next() (value.Row, error) {
+	if err := failpoint.Inject(failpoint.ScanNext); err != nil {
+		return nil, err
+	}
+	if err := s.step(); err != nil {
+		return nil, err
+	}
 	if s.pos >= len(s.rows) {
 		return nil, nil
 	}
@@ -104,7 +163,7 @@ func (s *MemScan) Next() (value.Row, error) {
 }
 
 // Close implements Operator.
-func (s *MemScan) Close() error { return nil }
+func (s *MemScan) Close() error { return failpoint.Inject(failpoint.ScanClose) }
 
 // Describe implements Operator.
 func (s *MemScan) Describe() string {
@@ -119,6 +178,7 @@ func (s *MemScan) Children() []Operator { return nil }
 
 // Filter passes through rows satisfying a predicate.
 type Filter struct {
+	execState
 	child Operator
 	pred  expr.Compiled
 	label string
@@ -138,7 +198,13 @@ func (f *Filter) Open() error { f.out = 0; return f.child.Open() }
 
 // Next implements Operator.
 func (f *Filter) Next() (value.Row, error) {
+	if err := failpoint.Inject(failpoint.FilterNext); err != nil {
+		return nil, err
+	}
 	for {
+		if err := f.step(); err != nil {
+			return nil, err
+		}
 		r, err := f.child.Next()
 		if err != nil || r == nil {
 			return nil, err
@@ -217,6 +283,7 @@ func (p *Project) Children() []Operator { return []Operator{p.child} }
 
 // Distinct removes duplicate rows (by grouping-key identity).
 type Distinct struct {
+	execState
 	child Operator
 	seen  map[string]bool
 	out   int64
@@ -238,6 +305,9 @@ func (d *Distinct) Open() error {
 // Next implements Operator.
 func (d *Distinct) Next() (value.Row, error) {
 	for {
+		if err := d.step(); err != nil {
+			return nil, err
+		}
 		r, err := d.child.Next()
 		if err != nil || r == nil {
 			return nil, err
@@ -265,11 +335,13 @@ func (d *Distinct) Children() []Operator { return []Operator{d.child} }
 
 // Sort materializes and orders its input.
 type Sort struct {
-	child Operator
-	keys  []expr.Compiled
-	desc  []bool
-	rows  []value.Row
-	pos   int
+	execState
+	child    Operator
+	keys     []expr.Compiled
+	desc     []bool
+	rows     []value.Row
+	pos      int
+	reserved int64
 }
 
 // NewSort orders child by the given key expressions.
@@ -282,8 +354,16 @@ func (s *Sort) Schema() value.Schema { return s.child.Schema() }
 
 // Open implements Operator.
 func (s *Sort) Open() error {
-	rows, err := Run(s.child)
+	if err := failpoint.Inject(failpoint.SortOpen); err != nil {
+		return err
+	}
+	rows, err := RunExec(s.exec(), s.child)
 	if err != nil {
+		return err
+	}
+	s.reserved = resource.RowsBytes(rows)
+	if err := s.exec().Charge("sort materialization", s.reserved); err != nil {
+		s.reserved = 0
 		return err
 	}
 	type keyed struct {
@@ -334,7 +414,12 @@ func (s *Sort) Next() (value.Row, error) {
 }
 
 // Close implements Operator.
-func (s *Sort) Close() error { return nil }
+func (s *Sort) Close() error {
+	s.exec().Release(s.reserved)
+	s.reserved = 0
+	s.rows = nil
+	return nil
+}
 
 // Describe implements Operator.
 func (s *Sort) Describe() string { return fmt.Sprintf("Sort (%d keys)", len(s.keys)) }

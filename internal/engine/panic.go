@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic converted to an error at a goroutine or Run
+// boundary, carrying the panicking site (an operator Describe or worker
+// name), the recovered value, and the stack captured at recovery. A panic
+// anywhere in a plan — including inside parallel workers — surfaces to the
+// caller as exactly one *PanicError instead of killing the process.
+type PanicError struct {
+	Site  string
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Site, e.Value)
+}
+
+// NewPanicError wraps a recovered value. A value that already is a
+// *PanicError passes through unchanged so nested containment boundaries do
+// not re-wrap.
+func NewPanicError(site string, recovered any) *PanicError {
+	if pe, ok := recovered.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Site: site, Value: recovered, Stack: debug.Stack()}
+}
+
+// CapturePanic converts an in-flight panic into a *PanicError stored in
+// *errp. It must be invoked as a deferred call:
+//
+//	defer engine.CapturePanic("parallel join worker", &err)
+//
+// With no panic in flight it leaves *errp untouched.
+func CapturePanic(site string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = NewPanicError(site, r)
+	}
+}

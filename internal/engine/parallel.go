@@ -3,8 +3,11 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
 	"smarticeberg/internal/value"
 )
 
@@ -14,6 +17,7 @@ import (
 // over single-threaded executions came from using all four cores for
 // identical plan shapes (Section 8.1, Appendix E).
 type ParallelJoinAgg struct {
+	execState
 	join    *NLJoin
 	groupBy []expr.Compiled
 	aggs    []*expr.Aggregate
@@ -21,8 +25,9 @@ type ParallelJoinAgg struct {
 	schema  value.Schema
 	workers int
 
-	groups []*aggGroup
-	pos    int
+	groups   []*aggGroup
+	reserved atomic.Int64
+	pos      int
 }
 
 // NewParallelJoinAgg fuses join+aggregate. workers <= 0 selects
@@ -34,12 +39,22 @@ func NewParallelJoinAgg(join *NLJoin, groupBy []expr.Compiled, aggs []*expr.Aggr
 // Schema implements Operator.
 func (p *ParallelJoinAgg) Schema() value.Schema { return p.schema }
 
+// errStopped is an internal sentinel: the feeder was unblocked by the stop
+// channel. The real failure is in a worker's partial; the sentinel never
+// escapes Open.
+var errStopped = fmt.Errorf("parallel join: stopped by worker failure")
+
 // Open implements Operator.
 func (p *ParallelJoinAgg) Open() error {
-	innerRows, err := Run(p.join.inner)
+	innerRows, err := RunExec(p.exec(), p.join.inner)
 	if err != nil {
 		return err
 	}
+	innerBytes := resource.RowsBytes(innerRows)
+	if err := p.exec().Charge("parallel join build side", innerBytes); err != nil {
+		return err
+	}
+	p.reserved.Add(innerBytes)
 	if err := p.join.method.Build(innerRows); err != nil {
 		return err
 	}
@@ -51,6 +66,12 @@ func (p *ParallelJoinAgg) Open() error {
 		err    error
 	}
 	parts := make([]partial, p.workers)
+	// stop lets whoever fails first (a worker or the feeder) unblock
+	// everyone else: the feeder's sends select on it, so workers that exited
+	// early can never strand the feeder on a full channel.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	fail := func() { stopOnce.Do(func() { close(stop) }) }
 	// Stream the outer input in bounded batches rather than materializing
 	// it: the outer side may itself be a large join.
 	const batchSize = 2048
@@ -61,15 +82,46 @@ func (p *ParallelJoinAgg) Open() error {
 		go func(w int) {
 			defer wg.Done()
 			part := &parts[w]
+			defer func() {
+				if r := recover(); r != nil {
+					part.err = NewPanicError("parallel join worker", r)
+					fail()
+					// Keep draining so the feeder never blocks on a send
+					// this worker would have consumed.
+					for range batches {
+					}
+				}
+			}()
+			if err := failpoint.Inject(failpoint.ParallelWorkerStart); err != nil {
+				part.err = err
+				fail()
+				for range batches {
+				}
+				return
+			}
 			part.index = make(map[string]*aggGroup)
 			scratch := make(value.Row, len(p.join.schema))
 			keyVals := make([]value.Value, len(p.groupBy))
 			var keyBuf []byte
+			var tick uint32
+			abort := func(err error) {
+				part.err = err
+				fail()
+				for range batches {
+				}
+			}
 			for batch := range batches {
 				for _, outer := range batch {
+					tick++
+					if tick%cancelCheckEvery == 0 {
+						if err := p.exec().Err(); err != nil {
+							abort(err)
+							return
+						}
+					}
 					matches, err := p.join.method.Probe(outer)
 					if err != nil {
-						part.err = err
+						abort(err)
 						return
 					}
 					copy(scratch, outer)
@@ -78,7 +130,7 @@ func (p *ParallelJoinAgg) Open() error {
 						if p.join.residual != nil {
 							ok, err := expr.EvalBool(p.join.residual, scratch)
 							if err != nil {
-								part.err = err
+								abort(err)
 								return
 							}
 							if !ok {
@@ -88,7 +140,7 @@ func (p *ParallelJoinAgg) Open() error {
 						for i, g := range p.groupBy {
 							v, err := g(scratch)
 							if err != nil {
-								part.err = err
+								abort(err)
 								return
 							}
 							keyVals[i] = v
@@ -103,12 +155,18 @@ func (p *ParallelJoinAgg) Open() error {
 							for i, a := range p.aggs {
 								grp.states[i] = a.NewState()
 							}
+							n := 48 + resource.RowBytes(grp.key) + 56*int64(len(p.aggs))
+							if err := p.exec().Charge("parallel aggregation", n); err != nil {
+								abort(err)
+								return
+							}
+							p.reserved.Add(n)
 							part.index[string(keyBuf)] = grp
 							part.groups = append(part.groups, grp)
 						}
 						for _, st := range grp.states {
 							if err := st.Add(scratch); err != nil {
-								part.err = err
+								abort(err)
 								return
 							}
 						}
@@ -121,8 +179,16 @@ func (p *ParallelJoinAgg) Open() error {
 	if err := p.join.outer.Open(); err != nil {
 		feedErr = err
 	} else {
+		var tick uint32
 		batch := make([]value.Row, 0, batchSize)
 		for {
+			tick++
+			if tick%cancelCheckEvery == 0 {
+				if err := p.exec().Err(); err != nil {
+					feedErr = err
+					break
+				}
+			}
 			r, err := p.join.outer.Next()
 			if err != nil {
 				feedErr = err
@@ -133,21 +199,52 @@ func (p *ParallelJoinAgg) Open() error {
 			}
 			batch = append(batch, r.Clone())
 			if len(batch) == batchSize {
-				batches <- batch
+				select {
+				case batches <- batch:
+				case <-stop:
+					feedErr = errStopped
+				}
+				if feedErr != nil {
+					break
+				}
 				batch = make([]value.Row, 0, batchSize)
 			}
 		}
-		if len(batch) > 0 {
-			batches <- batch
+		if feedErr == nil && len(batch) > 0 {
+			select {
+			case batches <- batch:
+			case <-stop:
+				feedErr = errStopped
+			}
 		}
-		if cerr := p.join.outer.Close(); cerr != nil && feedErr == nil {
+		if cerr := p.join.outer.Close(); cerr != nil && (feedErr == nil || feedErr == errStopped) {
 			feedErr = cerr
 		}
 	}
 	close(batches)
 	wg.Wait()
-	if feedErr != nil {
+	// A worker's failure takes precedence over the sentinel it caused; a
+	// genuine feeder failure (outer error, cancellation) wins otherwise.
+	var workerErr error
+	for w := range parts {
+		if parts[w].err != nil {
+			workerErr = parts[w].err
+			break
+		}
+	}
+	if feedErr != nil && feedErr != errStopped {
 		return feedErr
+	}
+	if workerErr != nil {
+		return workerErr
+	}
+	if feedErr == errStopped {
+		// stop fired but no error was recorded (cannot normally happen);
+		// surface the cancellation state rather than inventing an error.
+		if err := p.exec().Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("parallel join: aborted")
 	}
 
 	merged := make(map[string]*aggGroup)
@@ -155,9 +252,6 @@ func (p *ParallelJoinAgg) Open() error {
 	p.pos = 0
 	var keyBuf []byte
 	for w := range parts {
-		if parts[w].err != nil {
-			return parts[w].err
-		}
 		for _, grp := range parts[w].groups {
 			keyBuf = keyBuf[:0]
 			for _, v := range grp.key {
@@ -209,6 +303,7 @@ func (p *ParallelJoinAgg) Next() (value.Row, error) {
 
 // Close implements Operator.
 func (p *ParallelJoinAgg) Close() error {
+	p.exec().Release(p.reserved.Swap(0))
 	p.groups = nil
 	return nil
 }

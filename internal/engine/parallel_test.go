@@ -5,6 +5,7 @@ import (
 
 	"smarticeberg/internal/sqlparser"
 	"smarticeberg/internal/storage"
+	"smarticeberg/internal/testleak"
 	"smarticeberg/internal/value"
 )
 
@@ -79,6 +80,7 @@ func hasParallelJoinAgg(op Operator) bool {
 // -race this also drives the worker pool hard enough to surface unsound
 // sharing between the feeder and the workers.
 func TestParallelJoinAggDeterministic(t *testing.T) {
+	testleak.Check(t)
 	cat := parallelTestCatalog(t)
 
 	serial, err := Run(planParallelJoinAgg(t, cat, 0))

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"smarticeberg/internal/failpoint"
 )
 
 // DefaultWorkers resolves a worker-count knob: a positive request is taken
@@ -46,33 +48,43 @@ func RunChunked(items, chunkSize, workers int, process func(worker, chunk, lo, h
 		workers = numChunks
 	}
 	if workers <= 1 {
-		for c := 0; c < numChunks; c++ {
-			lo, hi := c*chunkSize, (c+1)*chunkSize
-			if hi > items {
-				hi = items
-			}
-			if err := process(0, c, lo, hi); err != nil {
-				return err
-			}
-		}
-		return nil
+		return runChunkedSerial(items, chunkSize, numChunks, process)
 	}
 
 	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		errs   = make([]error, numChunks)
-		wg     sync.WaitGroup
+		next       atomic.Int64
+		failed     atomic.Bool
+		errs       = make([]error, numChunks)
+		workerErrs = make([]error, workers)
+		wg         sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			cur := -1
+			defer func() {
+				if r := recover(); r != nil {
+					err := NewPanicError("chunk worker", r)
+					if cur >= 0 {
+						errs[cur] = err
+					} else {
+						workerErrs[w] = err
+					}
+					failed.Store(true)
+				}
+			}()
+			if err := failpoint.Inject(failpoint.ChunkWorkerStart); err != nil {
+				workerErrs[w] = err
+				failed.Store(true)
+				return
+			}
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= numChunks || failed.Load() {
 					return
 				}
+				cur = c
 				lo, hi := c*chunkSize, (c+1)*chunkSize
 				if hi > items {
 					hi = items
@@ -88,6 +100,30 @@ func RunChunked(items, chunkSize, workers int, process func(worker, chunk, lo, h
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			return err
+		}
+	}
+	for _, err := range workerErrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runChunkedSerial is the workers<=1 path, with the same panic conversion as
+// the parallel path so callers see one error taxonomy.
+func runChunkedSerial(items, chunkSize, numChunks int, process func(worker, chunk, lo, hi int) error) (err error) {
+	defer CapturePanic("chunk worker", &err)
+	if ferr := failpoint.Inject(failpoint.ChunkWorkerStart); ferr != nil {
+		return ferr
+	}
+	for c := 0; c < numChunks; c++ {
+		lo, hi := c*chunkSize, (c+1)*chunkSize
+		if hi > items {
+			hi = items
+		}
+		if err := process(0, c, lo, hi); err != nil {
 			return err
 		}
 	}

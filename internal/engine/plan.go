@@ -59,6 +59,10 @@ type Planner struct {
 	// splice reduced relations (a-priori semijoins) under an otherwise
 	// unchanged query.
 	AliasOverrides map[string]*MaterializedRel
+	// Exec carries the query's cancellation context and memory budget into
+	// every materialization the planner performs (CTEs, scalar subqueries).
+	// Nil means background context, unlimited budget.
+	Exec *ExecContext
 }
 
 // NewPlanner returns a baseline planner (indexes on, serial execution).
@@ -109,7 +113,7 @@ func (p *Planner) Materialize(sel *sqlparser.Select, env Env, name string) (*Mat
 	if err != nil {
 		return nil, err
 	}
-	rows, err := Run(op)
+	rows, err := RunExec(p.Exec, op)
 	if err != nil {
 		return nil, err
 	}
@@ -458,7 +462,7 @@ func (p *Planner) compile(e sqlparser.Expr, schema value.Schema, env Env) (expr.
 						resultErr = err
 						return
 					}
-					rows, err := Run(op)
+					rows, err := RunExec(p.Exec, op)
 					if err != nil {
 						resultErr = err
 						return
@@ -503,7 +507,7 @@ func (p *Planner) compile(e sqlparser.Expr, schema value.Schema, env Env) (expr.
 					setErr = err
 					return
 				}
-				rows, err := Run(op)
+				rows, err := RunExec(p.Exec, op)
 				if err != nil {
 					setErr = err
 					return

@@ -1,0 +1,224 @@
+// Package failpoint is the engine's fault-injection harness, in the spirit
+// of pingcap/failpoint but stdlib-only. Code under test declares named
+// injection sites with Inject; tests (or the SMARTICEBERG_FAILPOINTS
+// environment variable) arm a site with an Action that returns an error,
+// panics, or cancels a context. A disarmed site costs one atomic load, so
+// the calls stay in production builds.
+//
+//	failpoint.Enable(failpoint.ScanNext, failpoint.Error(errBoom))
+//	defer failpoint.Reset()
+//
+// Env arming uses a semicolon-separated spec of point=mode pairs, where mode
+// is "error", "panic", or "error(message)":
+//
+//	SMARTICEBERG_FAILPOINTS='engine/scan/next=error;iceberg/cache/insert=panic'
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Canonical injection-site names. Sites live in the execution engine; the
+// names are declared here so tests can enumerate the matrix without
+// importing internal engine packages for the strings.
+const (
+	ScanOpen  = "engine/scan/open"
+	ScanNext  = "engine/scan/next"
+	ScanClose = "engine/scan/close"
+
+	FilterNext = "engine/filter/next"
+
+	JoinOpen  = "engine/join/open"
+	JoinNext  = "engine/join/next"
+	JoinClose = "engine/join/close"
+
+	AggOpen  = "engine/agg/open"
+	AggNext  = "engine/agg/next"
+	AggClose = "engine/agg/close"
+
+	SortOpen = "engine/sort/open"
+
+	ParallelWorkerStart = "engine/parallel/worker-start"
+	ChunkWorkerStart    = "engine/chunk/worker-start"
+
+	CacheInsert = "iceberg/cache/insert"
+	CacheLookup = "iceberg/cache/lookup"
+	NLJPBinding = "iceberg/nljp/binding"
+)
+
+// Points returns every declared injection site, for test matrices.
+func Points() []string {
+	return []string{
+		ScanOpen, ScanNext, ScanClose,
+		FilterNext,
+		JoinOpen, JoinNext, JoinClose,
+		AggOpen, AggNext, AggClose,
+		SortOpen,
+		ParallelWorkerStart, ChunkWorkerStart,
+		CacheInsert, CacheLookup, NLJPBinding,
+	}
+}
+
+// Action is what an armed failpoint does. It may return an error (injected
+// as the site's failure), panic, or perform a side effect such as cancelling
+// a context and return nil to let execution continue.
+type Action func(name string) error
+
+// ErrInjected is the default error injected by env-armed "error" mode and by
+// Error(nil).
+var ErrInjected = errors.New("failpoint: injected error")
+
+// Error returns an Action that fails with err (ErrInjected when nil).
+func Error(err error) Action {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(string) error { return err }
+}
+
+// Panic returns an Action that panics with a message naming the site.
+func Panic(msg string) Action {
+	return func(name string) error {
+		if msg == "" {
+			msg = "injected panic"
+		}
+		panic(fmt.Sprintf("failpoint %s: %s", name, msg))
+	}
+}
+
+// Cancel returns an Action that invokes cancel (e.g. a context.CancelFunc)
+// and lets execution continue; the cancellation is then observed by the
+// engine's regular deadline checks.
+func Cancel(cancel func()) Action {
+	return func(string) error { cancel(); return nil }
+}
+
+// Once wraps an Action so only the first trigger fires; later triggers
+// no-op. Useful for injecting a single transient fault.
+func Once(a Action) Action {
+	var done atomic.Bool
+	return func(name string) error {
+		if done.Swap(true) {
+			return nil
+		}
+		return a(name)
+	}
+}
+
+type point struct {
+	action Action
+	hits   atomic.Int64
+}
+
+var (
+	armed  atomic.Int32 // number of armed points; 0 = fast path
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// Inject is the per-site hook: it does nothing (one atomic load) unless the
+// site is armed, in which case the armed Action runs.
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return injectSlow(name)
+}
+
+func injectSlow(name string) error {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	p.hits.Add(1)
+	return p.action(name)
+}
+
+// Enable arms a site with an action, replacing any previous arming.
+func Enable(name string, a Action) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; !exists {
+		armed.Add(1)
+	}
+	points[name] = &point{action: a}
+}
+
+// Disable disarms one site.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; exists {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site. Tests defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+	armed.Store(0)
+}
+
+// Hits reports how many times a site has triggered since it was armed.
+func Hits(name string) int64 {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.hits.Load()
+}
+
+// EnableFromSpec arms sites from a "point=mode;point=mode" spec. Modes:
+// "error", "error(message)", "panic", "panic(message)". Unknown modes or
+// malformed pairs are reported, not silently ignored.
+func EnableFromSpec(spec string) error {
+	for _, pair := range strings.Split(spec, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, mode, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: malformed spec entry %q (want point=mode)", pair)
+		}
+		name, mode = strings.TrimSpace(name), strings.TrimSpace(mode)
+		arg := ""
+		if i := strings.IndexByte(mode, '('); i >= 0 && strings.HasSuffix(mode, ")") {
+			arg = mode[i+1 : len(mode)-1]
+			mode = mode[:i]
+		}
+		switch mode {
+		case "error":
+			if arg != "" {
+				Enable(name, Error(fmt.Errorf("failpoint %s: %s", name, arg)))
+			} else {
+				Enable(name, Error(nil))
+			}
+		case "panic":
+			Enable(name, Panic(arg))
+		default:
+			return fmt.Errorf("failpoint: unknown mode %q for point %s", mode, name)
+		}
+	}
+	return nil
+}
+
+func init() {
+	if spec := os.Getenv("SMARTICEBERG_FAILPOINTS"); spec != "" {
+		if err := EnableFromSpec(spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}

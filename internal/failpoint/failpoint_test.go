@@ -1,0 +1,148 @@
+package failpoint
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Reset()
+	if err := Inject(ScanNext); err != nil {
+		t.Fatalf("disarmed Inject returned %v", err)
+	}
+	if Hits(ScanNext) != 0 {
+		t.Fatal("disarmed site counted a hit")
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Enable(ScanNext, Error(boom))
+	if err := Inject(ScanNext); !errors.Is(err, boom) {
+		t.Fatalf("Inject = %v, want boom", err)
+	}
+	// Other sites stay disarmed.
+	if err := Inject(ScanOpen); err != nil {
+		t.Fatalf("unrelated site fired: %v", err)
+	}
+	if Hits(ScanNext) != 1 {
+		t.Fatalf("Hits = %d, want 1", Hits(ScanNext))
+	}
+	Disable(ScanNext)
+	if err := Inject(ScanNext); err != nil {
+		t.Fatalf("disabled site still fires: %v", err)
+	}
+}
+
+func TestErrorNilDefaultsToErrInjected(t *testing.T) {
+	defer Reset()
+	Enable(JoinOpen, Error(nil))
+	if err := Inject(JoinOpen); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Inject = %v, want ErrInjected", err)
+	}
+}
+
+func TestPanicActionNamesTheSite(t *testing.T) {
+	defer Reset()
+	Enable(AggOpen, Panic("kaboom"))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, AggOpen) || !strings.Contains(msg, "kaboom") {
+			t.Fatalf("panic value %v does not name site and message", r)
+		}
+	}()
+	_ = Inject(AggOpen)
+}
+
+func TestCancelAction(t *testing.T) {
+	defer Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	Enable(SortOpen, Cancel(cancel))
+	if err := Inject(SortOpen); err != nil {
+		t.Fatalf("Cancel action must let execution continue, got %v", err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("context not cancelled")
+	}
+}
+
+func TestOnce(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Enable(CacheInsert, Once(Error(boom)))
+	if err := Inject(CacheInsert); !errors.Is(err, boom) {
+		t.Fatalf("first trigger = %v, want boom", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := Inject(CacheInsert); err != nil {
+			t.Fatalf("trigger %d after Once fired: %v", i+2, err)
+		}
+	}
+	if Hits(CacheInsert) != 4 {
+		t.Fatalf("Hits = %d, want 4 (hits count triggers, not fired actions)", Hits(CacheInsert))
+	}
+}
+
+func TestEnableFromSpec(t *testing.T) {
+	defer Reset()
+	if err := EnableFromSpec("engine/scan/next=error;iceberg/cache/insert=error(cache broke)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject(ScanNext); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ScanNext = %v, want ErrInjected", err)
+	}
+	err := Inject(CacheInsert)
+	if err == nil || !strings.Contains(err.Error(), "cache broke") {
+		t.Fatalf("CacheInsert = %v, want the spec message", err)
+	}
+	if err := EnableFromSpec("x=frobnicate"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := EnableFromSpec("justapoint"); err == nil {
+		t.Fatal("malformed pair accepted")
+	}
+}
+
+func TestPointsEnumeratesEverySite(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Points() {
+		if seen[p] {
+			t.Fatalf("duplicate point %s", p)
+		}
+		seen[p] = true
+	}
+	for _, p := range []string{ScanOpen, FilterNext, JoinNext, AggClose, SortOpen, ParallelWorkerStart, ChunkWorkerStart, CacheInsert, CacheLookup, NLJPBinding} {
+		if !seen[p] {
+			t.Fatalf("Points() missing %s", p)
+		}
+	}
+}
+
+// TestConcurrentInject: arming, firing, and disarming from many goroutines
+// stays race-free (the engine's workers call Inject concurrently).
+func TestConcurrentInject(t *testing.T) {
+	defer Reset()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = Inject(ScanNext)
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		Enable(ScanNext, Error(nil))
+		Disable(ScanNext)
+	}
+	wg.Wait()
+}

@@ -269,7 +269,7 @@ func applyReducer(b *block, red *Reducer, planner *engine.Planner) (*engine.Mate
 	if err != nil {
 		return nil, [2]int{}, fmt.Errorf("planning reducer for %s: %w", red.TargetAlias, err)
 	}
-	keyRows, err := engine.Run(op)
+	keyRows, err := engine.RunExec(planner.Exec, op)
 	if err != nil {
 		return nil, [2]int{}, err
 	}

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 
 	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
 	"smarticeberg/internal/value"
 )
 
@@ -19,6 +21,14 @@ type CacheStats struct {
 	PruneHits   int64
 	InnerEvals  int64 // inner-query evaluations actually performed
 	PruneProbes int64 // cache entries examined by pruning checks
+
+	// Degraded reports that the run hit its memory budget and shed cache
+	// entries (or stopped caching) to stay inside it; results are still
+	// exact, only the optimization opportunities shrank.
+	Degraded bool
+	// BudgetEvictions counts entries evicted specifically by budget
+	// pressure, as opposed to the configured CacheLimit.
+	BudgetEvictions int64
 }
 
 // statsCounters is the concurrent form of CacheStats: lock-free counters the
@@ -152,13 +162,21 @@ type cache struct {
 	partsMu sync.RWMutex
 	parts   map[string]*prunePart
 
-	limitPerShard int
+	// limitPerShard is atomic because budget pressure tightens it mid-run
+	// (graceful degradation) while workers read it on every insert.
+	limitPerShard atomic.Int64
+
+	// budget, when non-nil, bounds the cache's resident bytes; inserts that
+	// do not fit evict oldest-first and, as a last resort, skip caching.
+	budget          *resource.Budget
+	degraded        atomic.Bool
+	budgetEvictions atomic.Int64
 }
 
 // newCache sizes the cache for the given worker count: one shard for the
 // sequential loop (preserving exact FIFO semantics), and a power-of-two
 // multiple of the worker count otherwise.
-func newCache(pred *PrunePredicate, indexed bool, limit, workers int) *cache {
+func newCache(pred *PrunePredicate, indexed bool, limit, workers int, budget *resource.Budget) *cache {
 	shardCount := 1
 	if workers > 1 {
 		for shardCount < workers*4 {
@@ -173,17 +191,32 @@ func newCache(pred *PrunePredicate, indexed bool, limit, workers int) *cache {
 		indexed:   indexed && pred != nil,
 		shards:    make([]cacheShard, shardCount),
 		shardMask: uint32(shardCount - 1),
+		budget:    budget,
 	}
 	for i := range c.shards {
 		c.shards[i].memo = map[string]*cacheEntry{}
 	}
 	if limit > 0 {
-		c.limitPerShard = (limit + shardCount - 1) / shardCount
+		c.limitPerShard.Store(int64((limit + shardCount - 1) / shardCount))
 	}
 	if c.indexed {
 		c.parts = map[string]*prunePart{}
 	}
 	return c
+}
+
+// snapshot folds the degradation state into the counter snapshot.
+func (c *cache) snapshot() CacheStats {
+	s := c.stats.snapshot()
+	s.Degraded = c.degraded.Load()
+	s.BudgetEvictions = c.budgetEvictions.Load()
+	return s
+}
+
+// trackFIFO reports whether inserts must maintain the eviction ring: either
+// an entry limit is configured or budget pressure may demand evictions.
+func (c *cache) trackFIFO() bool {
+	return c.limitPerShard.Load() > 0 || c.budget != nil
 }
 
 // shardFor hashes a binding key (FNV-1a) to its shard.
@@ -197,13 +230,18 @@ func (c *cache) shardFor(key []byte) *cacheShard {
 }
 
 // lookup returns the memoized entry for a binding key. The []byte key is
-// compared via the allocation-free string conversion.
-func (c *cache) lookup(key []byte) (*cacheEntry, bool) {
+// compared via the allocation-free string conversion. The error is only ever
+// an injected fault (the failpoint models a corrupted or unavailable cache
+// tier).
+func (c *cache) lookup(key []byte) (*cacheEntry, bool, error) {
+	if err := failpoint.Inject(failpoint.CacheLookup); err != nil {
+		return nil, false, err
+	}
 	sh := c.shardFor(key)
 	sh.mu.RLock()
 	e, ok := sh.memo[string(key)]
 	sh.mu.RUnlock()
-	return e, ok
+	return e, ok, nil
 }
 
 // insert stores a new entry under its binding key and registers unpromising
@@ -212,28 +250,38 @@ func (c *cache) lookup(key []byte) (*cacheEntry, bool) {
 // same key; the first insertion wins and later ones are dropped (the
 // entries are semantically identical, so dropping one only discards a
 // duplicate allocation).
-func (c *cache) insert(key []byte, e *cacheEntry) {
+func (c *cache) insert(key []byte, e *cacheEntry) error {
+	if err := failpoint.Inject(failpoint.CacheInsert); err != nil {
+		return err
+	}
 	sh := c.shardFor(key)
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if _, dup := sh.memo[string(key)]; dup {
-		sh.mu.Unlock()
-		return
+		return nil
 	}
-	if c.limitPerShard > 0 {
-		for len(sh.memo) >= c.limitPerShard {
-			oldest, ok := sh.fifo.pop()
-			if !ok {
+	if limit := c.limitPerShard.Load(); limit > 0 {
+		for int64(len(sh.memo)) >= limit {
+			if !c.evictOldest(sh) {
 				break
 			}
-			victim, ok := sh.memo[oldest]
-			if !ok {
-				continue
-			}
-			delete(sh.memo, oldest)
-			c.stats.bytes.Add(-victim.sizeBytes())
-			c.stats.entries.Add(-1)
-			c.removeFromPrune(sh, victim)
 		}
+	}
+	if c.budget != nil {
+		// Graceful degradation: shed the shard's oldest entries until the
+		// new one fits; an insert that cannot fit even into an empty shard
+		// is skipped entirely. Either way the run continues — only the cache
+		// hit rate suffers, never correctness.
+		for c.budget.Reserve("NLJP cache", e.sizeBytes()) != nil {
+			if !c.evictOldest(sh) {
+				c.markDegraded(sh)
+				return nil
+			}
+			c.budgetEvictions.Add(1)
+			c.markDegraded(sh)
+		}
+	}
+	if c.trackFIFO() {
 		sh.fifo.push(string(key))
 	}
 	sh.memo[string(key)] = e
@@ -252,7 +300,47 @@ func (c *cache) insert(key []byte, e *cacheEntry) {
 			sh.pruneHead.Store(n)
 		}
 	}
-	sh.mu.Unlock()
+	return nil
+}
+
+// evictOldest removes the shard's oldest resident entry, returning false
+// when nothing is left to evict. Called with the shard lock held.
+func (c *cache) evictOldest(sh *cacheShard) bool {
+	for {
+		oldest, ok := sh.fifo.pop()
+		if !ok {
+			return false
+		}
+		victim, ok := sh.memo[oldest]
+		if !ok {
+			continue // key already displaced by a newer entry
+		}
+		delete(sh.memo, oldest)
+		c.stats.bytes.Add(-victim.sizeBytes())
+		c.stats.entries.Add(-1)
+		if c.budget != nil {
+			c.budget.Release(victim.sizeBytes())
+		}
+		c.removeFromPrune(sh, victim)
+		return true
+	}
+}
+
+// markDegraded records budget pressure and, on first pressure, tightens the
+// per-shard entry limit to the shard's current occupancy so later inserts
+// recycle space instead of repeatedly colliding with the budget.
+func (c *cache) markDegraded(sh *cacheShard) {
+	if c.degraded.CompareAndSwap(false, true) {
+		c.limitPerShard.Store(int64(maxInt(1, len(sh.memo))))
+	}
+}
+
+// releaseBudget returns the cache's resident bytes to the budget at end of
+// run; entries die with the cache.
+func (c *cache) releaseBudget() {
+	if c.budget != nil {
+		c.budget.Release(c.stats.bytes.Load())
+	}
 }
 
 // insertIndexed registers an unpromising entry with its CI partition,
@@ -443,7 +531,7 @@ func (c *cache) pruneResident() []*cacheEntry {
 
 // memoHas reports whether a binding key is resident, for tests.
 func (c *cache) memoHas(key string) bool {
-	_, ok := c.lookup([]byte(key))
+	_, ok, _ := c.lookup([]byte(key))
 	return ok
 }
 

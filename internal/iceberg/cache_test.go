@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"smarticeberg/internal/testleak"
 	"smarticeberg/internal/value"
 )
 
@@ -54,10 +55,10 @@ func intEntry(i int, unpromising bool) *cacheEntry {
 // TestCacheEvictionFIFOOrder: with one shard (the sequential configuration)
 // a bounded cache evicts in exact global insertion order.
 func TestCacheEvictionFIFOOrder(t *testing.T) {
-	c := newCache(nil, false, 3, 1)
+	c := newCache(nil, false, 3, 1, nil)
 	for i := 0; i < 6; i++ {
 		e := intEntry(i, false)
-		c.insert([]byte(value.Key(e.binding)), e)
+		_ = c.insert([]byte(value.Key(e.binding)), e)
 	}
 	for i := 0; i < 6; i++ {
 		key := value.Key([]value.Value{value.NewInt(int64(i))})
@@ -94,12 +95,12 @@ func TestCacheEvictionPruneConsistency(t *testing.T) {
 		{"indexed-sharded", predRange, true, 4},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			c := newCache(tc.pred, tc.indexed, 4, tc.workers)
+			c := newCache(tc.pred, tc.indexed, 4, tc.workers, nil)
 			rng := rand.New(rand.NewSource(42))
 			order := rng.Perm(40)
 			for step, i := range order {
 				e := intEntry(i, i%2 == 0)
-				c.insert([]byte(value.Key(e.binding)), e)
+				_ = c.insert([]byte(value.Key(e.binding)), e)
 				for _, pe := range c.pruneResident() {
 					if !pe.unpromising {
 						t.Fatalf("step %d: promising entry in prune structure", step)
@@ -114,7 +115,7 @@ func TestCacheEvictionPruneConsistency(t *testing.T) {
 			st := c.stats.snapshot()
 			bound := 4
 			if tc.workers > 1 {
-				bound = len(c.shards) * c.limitPerShard
+				bound = len(c.shards) * int(c.limitPerShard.Load())
 			}
 			if st.Entries > bound {
 				t.Errorf("Entries = %d, want <= %d", st.Entries, bound)
@@ -131,7 +132,7 @@ func TestCacheEvictionPruneConsistency(t *testing.T) {
 // early-exit scans of pruneMatch rely on.
 func TestCacheIndexedPartsStaySorted(t *testing.T) {
 	pred := &PrunePredicate{EqIdx: []int{1}, RangeIdx: 0, RangeCachedGE: true}
-	c := newCache(pred, true, 6, 1)
+	c := newCache(pred, true, 6, 1, nil)
 	rng := rand.New(rand.NewSource(7))
 	for _, i := range rng.Perm(30) {
 		e := &cacheEntry{
@@ -139,7 +140,7 @@ func TestCacheIndexedPartsStaySorted(t *testing.T) {
 			rowCount:    1,
 			unpromising: true,
 		}
-		c.insert([]byte(value.Key(e.binding)), e)
+		_ = c.insert([]byte(value.Key(e.binding)), e)
 		c.partsMu.RLock()
 		for pk, part := range c.parts {
 			entries := part.load()
@@ -158,6 +159,7 @@ func TestCacheIndexedPartsStaySorted(t *testing.T) {
 // loop still yields exact results (eviction and relaxed sharing only lose
 // optimization opportunities).
 func TestCacheLimitParallelCorrectness(t *testing.T) {
+	testleak.Check(t)
 	cat := newTestCatalog(t, 13, 200)
 	for qname, sql := range map[string]string{"skyband": skybandSQL, "pairs": pairsSQL} {
 		base := runBaseline(t, cat, sql)

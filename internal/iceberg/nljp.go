@@ -7,6 +7,8 @@ import (
 
 	"smarticeberg/internal/engine"
 	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
 	"smarticeberg/internal/sqlparser"
 	"smarticeberg/internal/value"
 )
@@ -49,7 +51,30 @@ type NLJP struct {
 	cacheLimit   int
 	workers      int
 
+	// ec carries the query's cancellation context and memory budget; nil
+	// means background context, unlimited budget. reservedInner is the bytes
+	// charged for the materialized inner relation, released by releaseInner.
+	ec            *engine.ExecContext
+	reservedInner int64
+
 	stats CacheStats
+}
+
+// releaseInner returns the inner relation's budget reservation; the
+// optimizer calls it once the NLJP result (or its fallback) is final.
+func (n *NLJP) releaseInner() {
+	n.ec.Release(n.reservedInner)
+	n.reservedInner = 0
+}
+
+// checkCtx is the binding loop's rate-limited cancellation check, one
+// context poll per 64 bindings (matching the engine's per-operator cadence).
+func (n *NLJP) checkCtx(s *nljpScratch) error {
+	s.tick++
+	if s.tick%64 != 0 {
+		return nil
+	}
+	return n.ec.Err()
 }
 
 // Stats returns the cache statistics of the last Run.
@@ -84,7 +109,7 @@ func indent(s, pad string) string {
 // buildNLJP implements pick_memprune of Appendix D for the minimal outer set
 // that covers the GROUP BY attributes. It returns nil (no error) when the
 // memoization/pruning techniques do not apply to this block.
-func buildNLJP(b *block, overrides map[string]*engine.MaterializedRel, opts Options) (*NLJP, error) {
+func buildNLJP(b *block, overrides map[string]*engine.MaterializedRel, opts Options, ec *engine.ExecContext) (*NLJP, error) {
 	if b.having == nil || b.groupBy == nil || len(b.groupBy) == 0 || len(b.items) < 2 {
 		return nil, nil
 	}
@@ -230,8 +255,9 @@ func buildNLJP(b *block, overrides map[string]*engine.MaterializedRel, opts Opti
 	n.bindingOrder = opts.BindingOrder
 	n.cacheLimit = opts.CacheLimit
 	n.workers = opts.Workers
+	n.ec = ec
 
-	planner := &engine.Planner{Catalog: b.cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides}
+	planner := &engine.Planner{Catalog: b.cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec}
 
 	// --- Q_B: binding query over L ------------------------------------
 	needL := append([]*sqlparser.ColRef(nil), jL...)
@@ -298,8 +324,16 @@ func buildNLJP(b *block, overrides map[string]*engine.MaterializedRel, opts Opti
 	if err != nil {
 		return nil, fmt.Errorf("planning inner query: %w", err)
 	}
-	innerRows, err := engine.Run(innerOp)
+	innerRows, err := engine.RunExec(ec, innerOp)
 	if err != nil {
+		return nil, err
+	}
+	// The inner relation stays materialized across the whole binding loop;
+	// a budget failure here is caught by the optimizer, which falls back to
+	// the baseline plan.
+	n.reservedInner = resource.RowsBytes(innerRows)
+	if err := ec.Charge("NLJP inner relation", n.reservedInner); err != nil {
+		n.reservedInner = 0
 		return nil, err
 	}
 	n.innerRows = innerRows
@@ -507,12 +541,29 @@ func (n *NLJP) Run() (res *engine.Result, err error) {
 	if workers < 0 {
 		workers = engine.DefaultWorkers(0)
 	}
-	c := newCache(n.Pred, n.CacheIndexed, n.cacheLimit, workers)
-	defer func() { n.stats = c.stats.snapshot() }()
+	c := newCache(n.Pred, n.CacheIndexed, n.cacheLimit, workers, n.ec.Budget())
+	defer func() {
+		n.stats = c.snapshot()
+		c.releaseBudget()
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, engine.NewPanicError("NLJP", r)
+		}
+	}()
 	if workers > 1 {
-		return n.runParallel(c, workers)
+		res, err = n.runParallel(c, workers)
+	} else {
+		res, err = n.runSequential(c)
 	}
-	return n.runSequential(c)
+	if err == nil {
+		// A cancel that landed after the last binding still invalidates the
+		// result, mirroring engine.RunExec's end-of-stream check.
+		if cerr := n.ec.Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return res, err
 }
 
 // nljpGroup accumulates one 𝔾_L group when 𝔾_L is not a key of L.
@@ -534,6 +585,7 @@ type nljpScratch struct {
 	residRow  value.Row     // binding ++ inner row for the residual filter
 	aggRow    value.Row     // [𝔾_L ++ agg slots] row for Φ and Λ
 	local     localStats    // per-binding counters, flushed in batches
+	tick      uint32        // checkCtx rate limiter
 }
 
 func (n *NLJP) newScratch() *nljpScratch {
@@ -561,13 +613,20 @@ func (n *NLJP) newScratch() *nljpScratch {
 // was pruned. Each binding increments exactly one of the memoHits /
 // pruneHits / innerEvals counters (batched in s.local).
 func (n *NLJP) handleBinding(row value.Row, c *cache, s *nljpScratch) (*cacheEntry, error) {
+	if err := failpoint.Inject(failpoint.NLJPBinding); err != nil {
+		return nil, err
+	}
 	s.local.bindings++
 	for i, j := range n.jIdx {
 		s.bVals[i] = row[j]
 	}
 	s.keyBuf = value.AppendKeys(s.keyBuf[:0], s.bVals)
 	if n.Memo {
-		if hit, ok := c.lookup(s.keyBuf); ok {
+		hit, ok, err := c.lookup(s.keyBuf)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			s.local.memoHits++
 			return hit, nil
 		}
@@ -580,7 +639,9 @@ func (n *NLJP) handleBinding(row value.Row, c *cache, s *nljpScratch) (*cacheEnt
 	if err != nil {
 		return nil, err
 	}
-	c.insert(s.keyBuf, e)
+	if err := c.insert(s.keyBuf, e); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -641,6 +702,9 @@ func (n *NLJP) runSequential(c *cache) (res *engine.Result, err error) {
 	var out []value.Row
 
 	for {
+		if err := n.checkCtx(s); err != nil {
+			return nil, err
+		}
 		row, err := nextBinding()
 		if err != nil {
 			return nil, err
@@ -727,6 +791,9 @@ func (n *NLJP) runParallel(c *cache, workers int) (*engine.Result, error) {
 		}
 		sink := &sinks[chunk]
 		for _, row := range bindings[lo:hi] {
+			if err := n.checkCtx(s); err != nil {
+				return err
+			}
 			e, err := n.handleBinding(row, c, s)
 			if err != nil {
 				return err
@@ -777,7 +844,7 @@ func (n *NLJP) runParallel(c *cache, workers int) (*engine.Result, error) {
 // materializeBindings drains Q_B into memory, applying the bindingOrder
 // exploration-order lever when configured.
 func (n *NLJP) materializeBindings() ([]value.Row, error) {
-	rows, err := engine.Run(n.bindingOp)
+	rows, err := engine.RunExec(n.ec, n.bindingOp)
 	if err != nil {
 		return nil, err
 	}
@@ -793,7 +860,10 @@ func (n *NLJP) materializeBindings() ([]value.Row, error) {
 // with maximally useful unpromising entries.
 func (n *NLJP) bindingIterator() (next func() (value.Row, error), cleanup func() error, err error) {
 	if n.bindingOrder == "" || n.Pred == nil || n.Pred.RangeIdx < 0 {
+		engine.Bind(n.bindingOp, n.ec)
 		if err := n.bindingOp.Open(); err != nil {
+			//lint:ignore closecheck the Open failure takes precedence; Close only releases partial state
+			_ = n.bindingOp.Close()
 			return nil, nil, err
 		}
 		return n.bindingOp.Next, n.bindingOp.Close, nil

@@ -1,11 +1,14 @@
 package iceberg
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
 	"smarticeberg/internal/engine"
 	"smarticeberg/internal/fd"
+	"smarticeberg/internal/resource"
 	"smarticeberg/internal/sqlparser"
 	"smarticeberg/internal/storage"
 	"smarticeberg/internal/value"
@@ -39,6 +42,16 @@ type Options struct {
 	// engine.DefaultWorkers(0) = min(4, GOMAXPROCS). Results are identical
 	// for every setting; only cache hit counters may vary.
 	Workers int
+	// Ctx, when non-nil, carries cancellation and deadlines into the whole
+	// execution — planning materializations, the NLJP binding loop, and any
+	// fallback plan all observe it mid-stream.
+	Ctx context.Context
+	// MemBudget caps the query's accounted memory in bytes (0 = unlimited).
+	// On pressure the optimizer degrades gracefully: the NLJP cache sheds
+	// entries first, then the whole NLJP is abandoned for the baseline
+	// plan; only when even the baseline cannot fit does the query fail,
+	// with an error wrapping resource.ErrBudgetExceeded.
+	MemBudget int64
 }
 
 // AllOn returns the paper's "all" configuration.
@@ -52,6 +65,9 @@ type Report struct {
 	// Blocks holds one sub-report per query block (CTEs first, outermost
 	// block last).
 	Blocks []*BlockReport
+	// MemoryPeak is the high-water mark of accounted memory in bytes. Only
+	// tracked when Options.MemBudget set a budget; 0 otherwise.
+	MemoryPeak int64
 }
 
 // BlockReport covers one SELECT block.
@@ -102,6 +118,8 @@ func (r *Report) TotalStats() CacheStats {
 		t.PruneHits += blk.Stats.PruneHits
 		t.InnerEvals += blk.Stats.InnerEvals
 		t.PruneProbes += blk.Stats.PruneProbes
+		t.Degraded = t.Degraded || blk.Stats.Degraded
+		t.BudgetEvictions += blk.Stats.BudgetEvictions
 	}
 	return t
 }
@@ -111,13 +129,17 @@ func (r *Report) TotalStats() CacheStats {
 // enclosing blocks with derived constraint metadata).
 func Exec(cat *storage.Catalog, sel *sqlparser.Select, opts Options) (*engine.Result, *Report, error) {
 	report := &Report{}
-	res, err := exec(cat, sel, engine.Env{}, opts, report, "main")
+	// One execution context per query: a single deadline and one budget pool
+	// shared by every block, materialization, and fallback.
+	ec := engine.NewExecContext(opts.Ctx, resource.NewBudget(opts.MemBudget))
+	res, err := exec(cat, sel, engine.Env{}, opts, report, "main", ec)
+	report.MemoryPeak = ec.Budget().Peak()
 	return res, report, err
 }
 
-func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Options, report *Report, name string) (*engine.Result, error) {
+func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Options, report *Report, name string, ec *engine.ExecContext) (*engine.Result, error) {
 	for _, cte := range sel.With {
-		res, err := exec(cat, cte.Query, env, opts, report, cte.Name)
+		res, err := exec(cat, cte.Query, env, opts, report, cte.Name, ec)
 		if err != nil {
 			return nil, fmt.Errorf("CTE %s: %w", cte.Name, err)
 		}
@@ -153,7 +175,7 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 				continue
 			}
 			liftName := "__dt_" + strings.ToLower(sub.Alias)
-			res, err := exec(cat, sub.Query, env, opts, report, liftName)
+			res, err := exec(cat, sub.Query, env, opts, report, liftName, ec)
 			if err != nil {
 				return nil, fmt.Errorf("derived table %s: %w", sub.Alias, err)
 			}
@@ -175,12 +197,12 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 	report.Blocks = append(report.Blocks, blk)
 
 	baseline := func(overrides map[string]*engine.MaterializedRel) (*engine.Result, error) {
-		p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides}
+		p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec}
 		op, err := p.PlanSelect(&body, env)
 		if err != nil {
 			return nil, err
 		}
-		rows, err := engine.Run(op)
+		rows, err := engine.RunExec(ec, op)
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +215,7 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 		return baseline(nil)
 	}
 
-	planner := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes}
+	planner := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, Exec: ec}
 	overrides := map[string]*engine.MaterializedRel{}
 	if opts.Apriori {
 		for _, red := range findReducers(b) {
@@ -208,17 +230,33 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 	}
 
 	if opts.Prune || opts.Memo {
-		nljp, err := buildNLJP(b, overrides, opts)
+		nljp, err := buildNLJP(b, overrides, opts, ec)
 		if err != nil {
+			if errors.Is(err, resource.ErrBudgetExceeded) {
+				// Degradation ladder, second rung: the NLJP working set does
+				// not fit, so abandon the technique and run the baseline plan
+				// on the same (now released) budget.
+				blk.Notes = append(blk.Notes, "NLJP abandoned ("+err.Error()+"); falling back to baseline plan")
+				return baseline(overrides)
+			}
 			return nil, fmt.Errorf("building NLJP: %w", err)
 		}
 		if nljp != nil {
 			res, err := nljp.Run()
-			if err != nil {
-				return nil, fmt.Errorf("running NLJP: %w", err)
-			}
 			blk.NLJP = nljp.Describe()
 			blk.Stats = nljp.Stats()
+			if blk.Stats.Degraded {
+				blk.Notes = append(blk.Notes, fmt.Sprintf(
+					"cache degraded under memory budget (%d budget evictions)", blk.Stats.BudgetEvictions))
+			}
+			nljp.releaseInner()
+			if err != nil {
+				if errors.Is(err, resource.ErrBudgetExceeded) {
+					blk.Notes = append(blk.Notes, "NLJP abandoned mid-run ("+err.Error()+"); falling back to baseline plan")
+					return baseline(overrides)
+				}
+				return nil, fmt.Errorf("running NLJP: %w", err)
+			}
 			return res, nil
 		}
 		blk.Notes = append(blk.Notes, "NLJP not applicable")
@@ -232,13 +270,17 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 		}
 		if rewritten != nil {
 			blk.Notes = append(blk.Notes, "memoization applied by static rewrite (Listing 8)")
-			p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides}
+			p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec}
 			op, err := p.PlanSelect(rewritten, env)
 			if err != nil {
 				return nil, fmt.Errorf("planning memo rewrite: %w", err)
 			}
-			rows, err := engine.Run(op)
+			rows, err := engine.RunExec(ec, op)
 			if err != nil {
+				if errors.Is(err, resource.ErrBudgetExceeded) {
+					blk.Notes = append(blk.Notes, "memo rewrite abandoned ("+err.Error()+"); falling back to baseline plan")
+					return baseline(overrides)
+				}
 				return nil, fmt.Errorf("running memo rewrite: %w", err)
 			}
 			return &engine.Result{Columns: op.Schema(), Rows: rows}, nil
@@ -300,7 +342,7 @@ func describeInto(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, o
 		}
 	}
 	if opts.Prune || opts.Memo {
-		nljp, err := buildNLJP(b, nil, opts)
+		nljp, err := buildNLJP(b, nil, opts, nil)
 		if err == nil && nljp != nil {
 			out.WriteString(indent(nljp.Describe(), "  "))
 			found = true

@@ -1,0 +1,147 @@
+// Package resource provides the execution engine's memory accounting: a
+// Budget of bytes shared by every operator of one query. Operators that
+// materialize state (join build sides, hash-aggregate tables, the NLJP
+// binding cache) reserve an estimate of what they retain and release it on
+// Close; a reservation that would exceed the budget fails with a typed
+// ErrBudgetExceeded so callers can degrade (shrink a cache, fall back to a
+// cheaper plan) instead of exhausting the process.
+//
+// Estimates are deliberately coarse — the goal is bounding worst-case
+// resident state on iceberg queries (the paper's Section 1 pitch), not
+// byte-exact accounting.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"smarticeberg/internal/value"
+)
+
+// ErrBudgetExceeded is the sentinel all budget failures wrap; match it with
+// errors.Is. The concrete error is a *BudgetError carrying the numbers.
+var ErrBudgetExceeded = errors.New("memory budget exceeded")
+
+// BudgetError reports one failed reservation.
+type BudgetError struct {
+	// Site names the charging operator or structure ("hash join build",
+	// "NLJP inner relation", ...). May be empty when charged generically.
+	Site      string
+	Requested int64
+	Used      int64
+	Limit     int64
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	site := e.Site
+	if site == "" {
+		site = "execution"
+	}
+	return fmt.Sprintf("%s: %v: requested %d bytes with %d of %d in use", site, ErrBudgetExceeded, e.Requested, e.Used, e.Limit)
+}
+
+// Unwrap makes errors.Is(err, ErrBudgetExceeded) work.
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// Budget is an atomic byte budget shared across the goroutines of one query.
+// A nil *Budget is valid and unlimited: every method no-ops, so call sites
+// need no nil checks.
+type Budget struct {
+	limit int64
+	used  atomic.Int64
+	peak  atomic.Int64
+}
+
+// NewBudget returns a budget of limit bytes; limit <= 0 returns nil (an
+// unlimited budget).
+func NewBudget(limit int64) *Budget {
+	if limit <= 0 {
+		return nil
+	}
+	return &Budget{limit: limit}
+}
+
+// Reserve charges n bytes, failing with a *BudgetError (wrapping
+// ErrBudgetExceeded) when the reservation would push usage past the limit.
+// On failure nothing is charged.
+func (b *Budget) Reserve(site string, n int64) error {
+	if b == nil || n <= 0 {
+		return nil
+	}
+	for {
+		used := b.used.Load()
+		if used+n > b.limit {
+			return &BudgetError{Site: site, Requested: n, Used: used, Limit: b.limit}
+		}
+		if b.used.CompareAndSwap(used, used+n) {
+			for {
+				p := b.peak.Load()
+				if used+n <= p || b.peak.CompareAndSwap(p, used+n) {
+					break
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// Release returns n bytes to the budget. Releasing more than was reserved
+// clamps at zero rather than going negative (coarse estimates may not match
+// exactly across degradation paths).
+func (b *Budget) Release(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	if next := b.used.Add(-n); next < 0 {
+		// Clamp: a concurrent Reserve between Add and CAS keeps the value
+		// conservative (never below zero from this release's perspective).
+		b.used.CompareAndSwap(next, 0)
+	}
+}
+
+// Used reports the bytes currently reserved.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Peak reports the high-water mark of reserved bytes — how much memory the
+// query actually needed. Sizing a budget just below a query's peak is how
+// tests (and operators) probe the degradation ladder.
+func (b *Budget) Peak() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.peak.Load()
+}
+
+// Limit reports the configured limit, or 0 for an unlimited budget.
+func (b *Budget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}
+
+// RowBytes estimates the resident size of one row: slice header plus per
+// value the Value struct and any retained string bytes.
+func RowBytes(r value.Row) int64 {
+	n := int64(24)
+	for _, v := range r {
+		n += 32 + int64(len(v.S))
+	}
+	return n
+}
+
+// RowsBytes estimates the resident size of a materialized row set.
+func RowsBytes(rows []value.Row) int64 {
+	n := int64(24)
+	for _, r := range rows {
+		n += RowBytes(r)
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package resource
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"smarticeberg/internal/value"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if err := b.Reserve("x", 1<<40); err != nil {
+		t.Fatalf("nil budget Reserve: %v", err)
+	}
+	b.Release(1 << 40)
+	if b.Used() != 0 || b.Limit() != 0 || b.Peak() != 0 {
+		t.Fatal("nil budget reported usage")
+	}
+	if NewBudget(0) != nil || NewBudget(-5) != nil {
+		t.Fatal("NewBudget(<=0) must return the nil (unlimited) budget")
+	}
+}
+
+func TestReserveReleaseAccounting(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Reserve("a", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reserve("b", 30); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Reserve("c", 20)
+	if err == nil {
+		t.Fatal("overcommit succeeded")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("error %v does not wrap ErrBudgetExceeded", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not *BudgetError", err)
+	}
+	if be.Site != "c" || be.Requested != 20 || be.Used != 90 || be.Limit != 100 {
+		t.Fatalf("BudgetError fields wrong: %+v", be)
+	}
+	// A failed reservation charges nothing.
+	if b.Used() != 90 {
+		t.Fatalf("Used = %d after failed reserve, want 90", b.Used())
+	}
+	b.Release(60)
+	if b.Used() != 30 {
+		t.Fatalf("Used = %d, want 30", b.Used())
+	}
+	if b.Peak() != 90 {
+		t.Fatalf("Peak = %d, want 90", b.Peak())
+	}
+	// Over-release clamps at zero (coarse estimates may not round-trip).
+	b.Release(1000)
+	if b.Used() != 0 {
+		t.Fatalf("Used = %d after over-release, want 0", b.Used())
+	}
+	if err := b.Reserve("d", 100); err != nil {
+		t.Fatalf("budget not reusable after clamp: %v", err)
+	}
+}
+
+func TestBudgetConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	b := NewBudget(workers * 10)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := b.Reserve("w", 10); err == nil {
+					b.Release(10)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Used() != 0 {
+		t.Fatalf("Used = %d after balanced concurrent traffic, want 0", b.Used())
+	}
+	if b.Peak() > b.Limit() {
+		t.Fatalf("Peak %d exceeds limit %d", b.Peak(), b.Limit())
+	}
+}
+
+func TestRowBytesEstimates(t *testing.T) {
+	small := value.Row{value.NewInt(1)}
+	large := value.Row{value.NewInt(1), value.NewStr("a longer retained string value")}
+	if RowBytes(small) <= 0 || RowBytes(large) <= RowBytes(small) {
+		t.Fatalf("RowBytes not monotone: small=%d large=%d", RowBytes(small), RowBytes(large))
+	}
+	rows := []value.Row{small, large}
+	if RowsBytes(rows) < RowBytes(small)+RowBytes(large) {
+		t.Fatalf("RowsBytes %d below the sum of its rows", RowsBytes(rows))
+	}
+	if RowsBytes(nil) <= 0 {
+		t.Fatal("RowsBytes(nil) must still count the slice header")
+	}
+}
+
+func TestBudgetErrorMessage(t *testing.T) {
+	err := (&BudgetError{Requested: 7, Used: 3, Limit: 9}).Error()
+	for _, frag := range []string{"7", "3", "9", "memory budget exceeded"} {
+		if !strings.Contains(err, frag) {
+			t.Fatalf("error %q missing %q", err, frag)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Package testleak is a minimal goroutine-leak detector for tests, in the
+// spirit of go.uber.org/goleak but stdlib-only. Call Check at the top of a
+// test; at cleanup time it waits briefly for the goroutine count to return
+// to the starting level and fails the test with a full stack dump if it
+// does not. The engine's workers all join before their operator returns, so
+// any surplus goroutine at cleanup is a leak, not scheduling noise.
+package testleak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the goroutine count and registers a cleanup that fails the
+// test if, after a grace period, more goroutines are running than when the
+// test began.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			// Let exiting workers finish their final scheduling step.
+			runtime.Gosched()
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d goroutines before test, %d after\n%s", before, after, buf[:n])
+	})
+}

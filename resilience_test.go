@@ -1,0 +1,111 @@
+package smarticeberg_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"smarticeberg"
+)
+
+// figure1SQL is the paper's Figure-1 skyband query over the synthetic
+// player_performance workload — the standing example for every resilience
+// smoke test (deadlines, budgets).
+const figure1SQL = `
+	SELECT R.playerid, R.year, R.round, COUNT(1)
+	FROM player_performance L, player_performance R
+	WHERE L.b_h >= R.b_h AND L.b_hr >= R.b_hr
+	  AND (L.b_h > R.b_h OR L.b_hr > R.b_hr)
+	GROUP BY R.playerid, R.year, R.round
+	HAVING COUNT(1) < 20`
+
+func perfDB(t *testing.T) *smarticeberg.DB {
+	t.Helper()
+	db := smarticeberg.Open()
+	db.LoadPlayerPerformance(800, 7)
+	return db
+}
+
+// expiredCtx returns a context whose 1ms deadline has already passed, so
+// every executor must fail deterministically — no timing races.
+func expiredCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	t.Cleanup(cancel)
+	<-ctx.Done()
+	return ctx
+}
+
+// TestDeadlineSmoke: the Figure-1 query under a 1ms deadline returns a clean
+// context.DeadlineExceeded from every executor — baseline, parallel, and
+// optimized — instead of running to completion or crashing.
+func TestDeadlineSmoke(t *testing.T) {
+	db := perfDB(t)
+	ctx := expiredCtx(t)
+
+	if _, err := db.QueryCtx(ctx, figure1SQL); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("QueryCtx error = %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := db.QueryVendorACtx(ctx, figure1SQL); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("QueryVendorACtx error = %v, want context.DeadlineExceeded", err)
+	}
+	opts := smarticeberg.AllOptimizations()
+	opts.Ctx = ctx
+	if _, _, err := db.QueryOpt(figure1SQL, opts); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("QueryOpt error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestCancellationSmoke: a cancelled context surfaces context.Canceled.
+func TestCancellationSmoke(t *testing.T) {
+	db := perfDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryCtx(ctx, figure1SQL); !errors.Is(err, context.Canceled) {
+		t.Errorf("QueryCtx error = %v, want context.Canceled", err)
+	}
+	opts := smarticeberg.AllOptimizations()
+	opts.Ctx = ctx
+	if _, _, err := db.QueryOpt(figure1SQL, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("QueryOpt error = %v, want context.Canceled", err)
+	}
+}
+
+// TestMemoryBudgetSmoke exercises the public budget API end to end: a
+// generous budget runs clean, any tighter budget either degrades to the
+// identical result or fails with the exported typed sentinel.
+func TestMemoryBudgetSmoke(t *testing.T) {
+	db := perfDB(t)
+	base, err := db.Query(figure1SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := smarticeberg.AllOptimizations()
+	opts.MemoryBudget = 1 << 30
+	res, report, err := db.QueryOpt(figure1SQL, opts)
+	if err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+	if !sameRows(base, res) {
+		t.Fatalf("budgeted run changed the result:\n%s", report.Text)
+	}
+	if report.Stats.Degraded {
+		t.Errorf("generous budget reported degradation: %+v", report.Stats)
+	}
+
+	for _, budget := range []int64{1 << 16, 1 << 13, 1 << 10} {
+		opts.MemoryBudget = budget
+		res, report, err := db.QueryOpt(figure1SQL, opts)
+		if err != nil {
+			if !errors.Is(err, smarticeberg.ErrBudgetExceeded) {
+				t.Fatalf("budget=%d: error %v, want ErrBudgetExceeded or success", budget, err)
+			}
+			continue
+		}
+		if !sameRows(base, res) {
+			t.Fatalf("budget=%d changed the result:\n%s", budget, report.Text)
+		}
+	}
+}

@@ -23,6 +23,7 @@
 package smarticeberg
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -30,11 +31,19 @@ import (
 	"smarticeberg/internal/engine"
 	"smarticeberg/internal/fd"
 	"smarticeberg/internal/iceberg"
+	"smarticeberg/internal/resource"
 	"smarticeberg/internal/sqlparser"
 	"smarticeberg/internal/storage"
 	"smarticeberg/internal/value"
 	"smarticeberg/internal/workload"
 )
+
+// ErrBudgetExceeded is the sentinel wrapped by every memory-budget failure.
+// A query run under Options.MemoryBudget first degrades (shrinking the NLJP
+// cache, then abandoning the rewrite for the baseline plan); only when even
+// the baseline cannot fit does it fail, with an error matching this via
+// errors.Is.
+var ErrBudgetExceeded = resource.ErrBudgetExceeded
 
 // Options selects optimizer techniques; see the package documentation of
 // the corresponding paper sections.
@@ -61,6 +70,15 @@ type Options struct {
 	// negative value selects min(4, GOMAXPROCS). Results are identical for
 	// every setting.
 	Workers int
+	// Ctx, when non-nil, carries cancellation and deadlines into optimized
+	// execution: a cancelled context aborts the query mid-stream (including
+	// parallel workers) with the context's error.
+	Ctx context.Context
+	// MemoryBudget caps the query's accounted memory in bytes (0 =
+	// unlimited). Under pressure the NLJP cache degrades before the
+	// optimizer abandons its rewrite for the baseline plan; only when even
+	// that cannot fit does the query fail, with a typed error.
+	MemoryBudget int64
 }
 
 // AllOptimizations enables every technique, the paper's "all" bar.
@@ -78,6 +96,8 @@ func (o Options) internal() iceberg.Options {
 		BindingOrder: o.BindingOrder,
 		CacheLimit:   o.CacheLimit,
 		Workers:      o.Workers,
+		Ctx:          o.Ctx,
+		MemBudget:    o.MemoryBudget,
 	}
 }
 
@@ -132,6 +152,9 @@ type Stats struct {
 	MemoHits     int64
 	PruneHits    int64
 	InnerEvals   int64
+	// Degraded reports that the run hit its MemoryBudget and shed cache
+	// entries (or fell back) to stay within it; results are still exact.
+	Degraded bool
 }
 
 // Report documents the rewrites an optimized execution performed.
@@ -181,7 +204,13 @@ func (db *DB) MustExec(sql string) {
 
 // Query executes a SELECT with the baseline (unoptimized, serial) executor.
 func (db *DB) Query(sql string) (*Result, error) {
-	raw, err := engine.Exec(db.cat, sql)
+	return db.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx is Query under a context: the query observes cancellation and
+// deadlines mid-stream and returns the context's error.
+func (db *DB) QueryCtx(ctx context.Context, sql string) (*Result, error) {
+	raw, err := engine.ExecCtx(ctx, db.cat, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -196,17 +225,25 @@ func (db *DB) Query(sql string) (*Result, error) {
 // QueryVendorA executes a SELECT with the parallel baseline executor (the
 // paper's commercial "Vendor A" stand-in).
 func (db *DB) QueryVendorA(sql string) (*Result, error) {
+	return db.QueryVendorACtx(context.Background(), sql)
+}
+
+// QueryVendorACtx is QueryVendorA under a context; cancellation cleanly
+// shuts down the parallel workers before the error is returned.
+func (db *DB) QueryVendorACtx(ctx context.Context, sql string) (*Result, error) {
 	sel, err := sqlparser.ParseSelect(sql)
 	if err != nil {
 		return nil, err
 	}
+	ec := engine.NewExecContext(ctx, nil)
 	p := engine.NewPlanner(db.cat)
 	p.Parallel = true
+	p.Exec = ec
 	op, err := p.PlanSelect(sel, nil)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := engine.Run(op)
+	rows, err := engine.RunExec(ec, op)
 	if err != nil {
 		return nil, err
 	}
@@ -237,6 +274,7 @@ func (db *DB) QueryOpt(sql string, opts Options) (*Result, *Report, error) {
 			MemoHits:     st.MemoHits,
 			PruneHits:    st.PruneHits,
 			InnerEvals:   st.InnerEvals,
+			Degraded:     st.Degraded,
 		},
 	}, nil
 }
