@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench faulttest
+.PHONY: all build test race lint vet bench bench-vector faulttest
 
 all: build lint test
 
@@ -36,3 +36,10 @@ faulttest:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./internal/bench/...
+
+# Row vs batch microbenchmarks (scan→filter→hash-aggregate and hash join at
+# batch sizes 1/64/1024), pinned to one CPU so the speedup is per-core, not
+# parallelism. Regenerates BENCH_vector.json. See DESIGN.md, "Vectorized
+# execution".
+bench-vector:
+	$(GO) test -bench=BenchmarkVector -benchtime=100x -cpu=1 -run=^$$ .

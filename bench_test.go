@@ -10,11 +10,13 @@
 package smarticeberg_test
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"testing"
 
 	"smarticeberg/internal/bench"
+	"smarticeberg/internal/engine"
 )
 
 func benchN() int {
@@ -237,4 +239,69 @@ func BenchmarkAblations(b *testing.B) {
 			})
 		}
 	})
+}
+
+// BenchmarkVector measures the vectorized pipeline against the row pipeline
+// on the scan→filter→hash-aggregate and hash-join microbenches at chunk
+// sizes 1, 64, and 1024, and writes BENCH_vector.json in the working
+// directory. `make bench-vector` runs it pinned to one CPU so the recorded
+// speedup is per-core throughput, not parallelism; GOMAXPROCS is recorded
+// per record either way.
+func BenchmarkVector(b *testing.B) {
+	inputN := 10 * benchN()
+	rows := bench.VectorRows(inputN)
+	inner := bench.VectorRows(inputN / 50)
+	benches := []struct {
+		name  string
+		build func(batchSize int) func() engine.Operator
+	}{
+		{"scanfilteragg", func(bs int) func() engine.Operator {
+			return func() engine.Operator { return bench.ScanFilterAggPlan(rows, bs) }
+		}},
+		{"hashjoin", func(bs int) func() engine.Operator {
+			return func() engine.Operator { return bench.HashJoinPlan(rows, inner, bs) }
+		}},
+	}
+	// The harness re-invokes sub-benchmarks while calibrating b.N; keep only
+	// the final (largest-N) record per point.
+	latest := map[string]bench.VectorBenchRecord{}
+	var order []string
+	record := func(name string, rec bench.VectorBenchRecord) {
+		if _, seen := latest[name]; !seen {
+			order = append(order, name)
+		}
+		latest[name] = rec
+	}
+	for _, bm := range benches {
+		b.Run(bm.name+"/row", func(b *testing.B) {
+			rec, err := bench.MeasureVector(bm.name, "row", 0, inputN, b.N, bm.build(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			record(bm.name+"/row", rec)
+			b.ReportMetric(rec.RowsPerSec, "rows/s")
+			b.ReportMetric(float64(rec.AllocsPerOp), "allocs/op-total")
+		})
+		for _, size := range []int{1, 64, 1024} {
+			name := fmt.Sprintf("%s/batch%d", bm.name, size)
+			b.Run(name, func(b *testing.B) {
+				rec, err := bench.MeasureVector(bm.name, "batch", size, inputN, b.N, bm.build(size))
+				if err != nil {
+					b.Fatal(err)
+				}
+				record(name, rec)
+				b.ReportMetric(rec.RowsPerSec, "rows/s")
+				b.ReportMetric(float64(rec.AllocsPerOp), "allocs/op-total")
+			})
+		}
+	}
+	if len(order) > 0 {
+		records := make([]bench.VectorBenchRecord, len(order))
+		for i, name := range order {
+			records[i] = latest[name]
+		}
+		if err := bench.WriteVectorBench("BENCH_vector.json", records); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -43,6 +43,7 @@ import (
 var (
 	flagTimeout = flag.Duration("timeout", 0, "per-query deadline (e.g. 30s); 0 disables")
 	flagMem     = flag.Int64("mem", 0, "per-query memory budget in bytes; 0 = unlimited")
+	flagBatch   = flag.Int("batch", 0, "vectorized batch size for query execution; 0 = row-at-a-time")
 )
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 	db := smarticeberg.Open()
 	opts := smarticeberg.AllOptimizations()
 	opts.MemoryBudget = *flagMem
+	opts.BatchSize = *flagBatch
 	optimize := true
 	var lastReport string
 
@@ -112,13 +114,23 @@ func runSQL(db *smarticeberg.DB, sql string, opts smarticeberg.Options, optimize
 			fmt.Printf("Time: %.3fs (optimized; \\report for rewrites%s)\n", time.Since(start).Seconds(), degraded)
 			return
 		}
-		res, err := db.QueryCtx(ctx, sql)
+		var (
+			res *smarticeberg.Result
+			err error
+		)
+		mode := "baseline"
+		if *flagBatch > 0 {
+			res, err = db.QueryBatchCtx(ctx, sql, *flagBatch)
+			mode = fmt.Sprintf("baseline, batch %d", *flagBatch)
+		} else {
+			res, err = db.QueryCtx(ctx, sql)
+		}
 		if err != nil {
 			fmt.Println("error:", err)
 			return
 		}
 		fmt.Print(res.String())
-		fmt.Printf("Time: %.3fs (baseline)\n", time.Since(start).Seconds())
+		fmt.Printf("Time: %.3fs (%s)\n", time.Since(start).Seconds(), mode)
 		return
 	}
 	if err := db.Exec(sql); err != nil {
@@ -168,9 +180,12 @@ func command(db *smarticeberg.DB, line string, opts *smarticeberg.Options, optim
 			text string
 			err  error
 		)
-		if *optimize {
+		switch {
+		case *optimize:
 			text, err = db.Explain(sql, opts)
-		} else {
+		case *flagBatch > 0:
+			text, err = db.ExplainBatch(sql, *flagBatch)
+		default:
 			text, err = db.Explain(sql, nil)
 		}
 		if err != nil {

@@ -1,0 +1,144 @@
+// Golden equivalence harness for the vectorized pipeline: every workload
+// query runs through the row path and the batch path at several chunk sizes,
+// and the results must be byte-identical — same row order, same group
+// first-seen order, same float accumulation order. Run under -race in CI.
+package smarticeberg_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"smarticeberg"
+	"smarticeberg/internal/bench"
+)
+
+// equivBatchSizes mirrors the engine-level matrix: degenerate, tiny odd, and
+// the production default.
+var equivBatchSizes = []int{1, 2, 7, 1024}
+
+func equivDB(t *testing.T) *smarticeberg.DB {
+	t.Helper()
+	db := smarticeberg.Open()
+	db.LoadPlayerPerformance(300, 1)
+	db.LoadScores(30, 12, 2)
+	db.LoadUnpivoted(40, 3)
+	return db
+}
+
+// identicalNative compares two native result cells bit-for-bit.
+func identicalNative(a, b any) bool {
+	af, aok := a.(float64)
+	bf, bok := b.(float64)
+	if aok || bok {
+		return aok && bok && math.Float64bits(af) == math.Float64bits(bf)
+	}
+	return a == b
+}
+
+func assertIdenticalResults(t *testing.T, label string, got, want *smarticeberg.Result) {
+	t.Helper()
+	if len(got.Columns) != len(want.Columns) {
+		t.Fatalf("%s: got %d columns, want %d", label, len(got.Columns), len(want.Columns))
+	}
+	for i := range got.Columns {
+		if got.Columns[i] != want.Columns[i] {
+			t.Fatalf("%s: column %d = %q, want %q", label, i, got.Columns[i], want.Columns[i])
+		}
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: got %d rows, want %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		for j := range got.Rows[i] {
+			if !identicalNative(got.Rows[i][j], want.Rows[i][j]) {
+				t.Fatalf("%s: row %d col %d = %v (%T), want %v (%T)",
+					label, i, j, got.Rows[i][j], got.Rows[i][j], want.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}
+
+// equivQueries is every workload query the harness covers: the eight
+// Figure-1 queries plus the Listing-3 complex join and two plain shapes
+// exercising ORDER BY / DISTINCT paths.
+func equivQueries() []struct{ Name, SQL string } {
+	qs := bench.Figure1Queries()
+	qs = append(qs,
+		struct{ Name, SQL string }{"Complex", bench.ComplexSQL(2)},
+		struct{ Name, SQL string }{"OrderBy",
+			`SELECT playerid, year, b_h FROM player_performance ORDER BY b_h DESC, playerid, year LIMIT 20`},
+		struct{ Name, SQL string }{"Distinct",
+			`SELECT DISTINCT teamid FROM Score`},
+	)
+	return qs
+}
+
+// TestBatchRowEquivalence: baseline row execution vs the vectorized pipeline
+// at every tested chunk size.
+func TestBatchRowEquivalence(t *testing.T) {
+	db := equivDB(t)
+	for _, q := range equivQueries() {
+		t.Run(q.Name, func(t *testing.T) {
+			want, err := db.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("row path: %v", err)
+			}
+			for _, size := range equivBatchSizes {
+				got, err := db.QueryBatch(q.SQL, size)
+				if err != nil {
+					t.Fatalf("batch %d: %v", size, err)
+				}
+				assertIdenticalResults(t, fmt.Sprintf("batch %d", size), got, want)
+			}
+		})
+	}
+}
+
+// TestBatchOptimizerEquivalence: the optimizer (NLJP) runs its internal plan
+// fragments — inner relation, binding query, per-binding aggregates —
+// through the batch pipeline when Options.BatchSize is set; results must be
+// byte-identical to the row-mode optimizer, which in turn matches baseline.
+func TestBatchOptimizerEquivalence(t *testing.T) {
+	db := equivDB(t)
+	for _, q := range bench.Figure1Queries() {
+		t.Run(q.Name, func(t *testing.T) {
+			opts := smarticeberg.AllOptimizations()
+			want, _, err := db.QueryOpt(q.SQL, opts)
+			if err != nil {
+				t.Fatalf("row-mode optimizer: %v", err)
+			}
+			for _, size := range equivBatchSizes {
+				opts := smarticeberg.AllOptimizations()
+				opts.BatchSize = size
+				got, _, err := db.QueryOpt(q.SQL, opts)
+				if err != nil {
+					t.Fatalf("batch %d: %v", size, err)
+				}
+				assertIdenticalResults(t, fmt.Sprintf("batch %d", size), got, want)
+			}
+		})
+	}
+}
+
+// TestBatchCancellation: the batch pipeline observes cancellation at chunk
+// granularity through the public API.
+func TestBatchCancellation(t *testing.T) {
+	db := equivDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.QueryBatchCtx(ctx, bench.SkybandSQL("b_h", "b_hr", 50), 64)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryBatchCtx under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	opts := smarticeberg.AllOptimizations()
+	opts.BatchSize = 64
+	opts.Ctx = ctx
+	_, _, err = db.QueryOpt(bench.SkybandSQL("b_h", "b_hr", 50), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryOpt (batch) under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}

@@ -192,6 +192,16 @@ func isValueRow(t types.Type) bool { return isPkgType(t, valuePkgSuffix, "Row") 
 // isValueValue reports whether t is value.Value.
 func isValueValue(t types.Type) bool { return isPkgType(t, valuePkgSuffix, "Value") }
 
+// isValueBatchPtr reports whether t is *value.Batch (batches travel by
+// pointer: NextBatch returns *value.Batch).
+func isValueBatchPtr(t types.Type) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isPkgType(p.Elem(), valuePkgSuffix, "Batch")
+}
+
 // operatorInterface locates the engine.Operator interface visible from pkg:
 // the package itself when linting internal/engine, or any direct import.
 func operatorInterface(pkg *types.Package) *types.Interface {

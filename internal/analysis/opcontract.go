@@ -121,8 +121,10 @@ func isPointerRecv(fd *ast.FuncDecl) bool {
 }
 
 // nextHasSentinel reports whether the body contains a return that can signal
-// exhaustion: a return whose first result is the nil row, or a tail
-// delegation `return <child>.Next()`.
+// exhaustion: a return whose first result is the nil row, a tail delegation
+// `return <child>.Next()`, or a tail delegation to a batch row cursor
+// (`return <cursor>.next(...)` — the engine's NextBatch-to-Next adapter,
+// which itself yields the nil sentinel when the batch stream ends).
 func nextHasSentinel(body *ast.BlockStmt) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -139,9 +141,11 @@ func nextHasSentinel(body *ast.BlockStmt) bool {
 		}
 		if len(ret.Results) == 1 {
 			if call, ok := ret.Results[0].(*ast.CallExpr); ok {
-				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Next" {
-					found = true
-					return false
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if sel.Sel.Name == "Next" || sel.Sel.Name == "next" {
+						found = true
+						return false
+					}
 				}
 			}
 		}

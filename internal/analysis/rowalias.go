@@ -6,29 +6,57 @@ import (
 )
 
 // RowAlias flags retained references to rows obtained from an Operator's
-// Next. The engine contract (internal/engine/operator.go) says a returned row
-// is only valid until the next call to Next — producers like NLJoin hand out
-// an internal scratch buffer they overwrite on every call — so appending such
-// a row to a slice, storing it into a map, field, or composite literal, or
-// sending it over a channel without an explicit Clone() is a data-corruption
-// bug that only manifests once the producer recycles the buffer.
+// Next, and to batches (or rows sliced out of batches) obtained from a
+// BatchOperator's NextBatch. The engine contract
+// (internal/engine/operator.go, internal/engine/batch.go) says a returned row
+// is only valid until the next call to Next, and a returned batch — plus
+// every row a Batch.Row call slices out of it — only until the next call to
+// NextBatch: producers hand out internal buffers they overwrite on every
+// call. Appending such a value to a slice, storing it into a map, field, or
+// composite literal, or sending it over a channel without an explicit Clone()
+// is a data-corruption bug that only manifests once the producer recycles the
+// buffer.
 //
 // The check is intraprocedural and name-based: a variable is tainted when it
 // is assigned from a call to a method named Next whose first result is
-// value.Row; it stays tainted for the rest of the function (the pass is not
-// flow-sensitive). Cloned uses (r.Clone()) and element-wise copies
-// (append(dst, r...)) are allowed. Deliberate short-lived retention can be
-// suppressed with //lint:ignore rowalias <reason>.
+// value.Row, from a call to a method named NextBatch whose first result is
+// *value.Batch, or from a call to a method named Row returning value.Row (a
+// batch slice); it stays tainted for the rest of the function (the pass is
+// not flow-sensitive). Cloned uses (r.Clone(), b.Clone(), b.CloneRows(...))
+// and element-wise copies (append(dst, r...)) are allowed. Deliberate
+// short-lived retention can be suppressed with //lint:ignore rowalias
+// <reason>.
 var RowAlias = &Analyzer{
 	Name: "rowalias",
-	Doc:  "flag rows returned by Next retained without Clone()",
+	Doc:  "flag rows returned by Next and batches returned by NextBatch retained without Clone()",
 	Run:  runRowAlias,
+}
+
+// rowaliasKind describes what a tainted variable holds, for reporting.
+type rowaliasKind int
+
+const (
+	taintRow rowaliasKind = iota
+	taintBatch
+	taintBatchRow
+)
+
+func (k rowaliasKind) describe() (noun, origin string) {
+	switch k {
+	case taintBatch:
+		return "batch", "NextBatch"
+	case taintBatchRow:
+		return "row", "Batch.Row"
+	default:
+		return "row", "Next"
+	}
 }
 
 func runRowAlias(pass *Pass) error {
 	for _, f := range pass.Files {
-		tainted := map[types.Object]bool{}
-		// Pass 1: find variables bound to Next results.
+		tainted := map[types.Object]rowaliasKind{}
+		// Pass 1: find variables bound to Next / NextBatch / Batch.Row
+		// results.
 		ast.Inspect(f, func(n ast.Node) bool {
 			as, ok := n.(*ast.AssignStmt)
 			if !ok || len(as.Rhs) != 1 {
@@ -39,10 +67,29 @@ func runRowAlias(pass *Pass) error {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "Next" {
+			if !ok {
 				return true
 			}
-			if !firstResultIsRow(pass, call) {
+			var kind rowaliasKind
+			switch sel.Sel.Name {
+			case "Next":
+				if !firstResultIsRow(pass, call) {
+					return true
+				}
+				kind = taintRow
+			case "NextBatch":
+				if !firstResultIsBatch(pass, call) {
+					return true
+				}
+				kind = taintBatch
+			case "Row":
+				// Batch.Row slices a row out of the batch buffer; it inherits
+				// the batch's validity window.
+				if !firstResultIsRow(pass, call) || !recvIsBatch(pass, sel) {
+					return true
+				}
+				kind = taintBatchRow
+			default:
 				return true
 			}
 			id, ok := as.Lhs[0].(*ast.Ident)
@@ -50,25 +97,30 @@ func runRowAlias(pass *Pass) error {
 				return true
 			}
 			if obj := pass.objectOf(id); obj != nil {
-				tainted[obj] = true
+				tainted[obj] = kind
 			}
 			return true
 		})
 		if len(tainted) == 0 {
 			continue
 		}
-		isTainted := func(e ast.Expr) bool {
+		taintOf := func(e ast.Expr) (rowaliasKind, bool) {
 			id, ok := e.(*ast.Ident)
 			if !ok {
-				return false
+				return 0, false
 			}
 			obj := pass.TypesInfo.Uses[id]
-			return obj != nil && tainted[obj]
+			if obj == nil {
+				return 0, false
+			}
+			k, ok := tainted[obj]
+			return k, ok
 		}
-		report := func(e ast.Expr, how string) {
+		report := func(e ast.Expr, kind rowaliasKind, how string) {
+			noun, origin := kind.describe()
 			pass.Reportf(e.Pos(),
-				"row %q obtained from Next is %s without an explicit copy; the producer may reuse its buffer — clone it first (row.Clone())",
-				e.(*ast.Ident).Name, how)
+				"%s %q obtained from %s is %s without an explicit copy; the producer may reuse its buffer — clone it first (%s.Clone())",
+				noun, e.(*ast.Ident).Name, origin, how, noun)
 		}
 		// Pass 2: find retention sinks.
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -76,21 +128,25 @@ func runRowAlias(pass *Pass) error {
 			case *ast.CallExpr:
 				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && n.Ellipsis == 0 {
 					for _, arg := range n.Args[1:] {
-						if isTainted(arg) {
-							report(arg, "appended to a slice")
+						if k, ok := taintOf(arg); ok {
+							report(arg, k, "appended to a slice")
 						}
 					}
 				}
 			case *ast.AssignStmt:
 				for i, lhs := range n.Lhs {
-					if i >= len(n.Rhs) || !isTainted(n.Rhs[i]) {
+					if i >= len(n.Rhs) {
+						continue
+					}
+					k, ok := taintOf(n.Rhs[i])
+					if !ok {
 						continue
 					}
 					switch lhs.(type) {
 					case *ast.IndexExpr:
-						report(n.Rhs[i], "stored into a map or slice element")
+						report(n.Rhs[i], k, "stored into a map or slice element")
 					case *ast.SelectorExpr:
-						report(n.Rhs[i], "stored into a struct field")
+						report(n.Rhs[i], k, "stored into a struct field")
 					}
 				}
 			case *ast.CompositeLit:
@@ -98,13 +154,13 @@ func runRowAlias(pass *Pass) error {
 					if kv, ok := el.(*ast.KeyValueExpr); ok {
 						el = kv.Value
 					}
-					if isTainted(el) {
-						report(el, "captured in a composite literal")
+					if k, ok := taintOf(el); ok {
+						report(el, k, "captured in a composite literal")
 					}
 				}
 			case *ast.SendStmt:
-				if isTainted(n.Value) {
-					report(n.Value, "sent over a channel")
+				if k, ok := taintOf(n.Value); ok {
+					report(n.Value, k, "sent over a channel")
 				}
 			}
 			return true
@@ -134,4 +190,33 @@ func firstResultIsRow(pass *Pass, call *ast.CallExpr) bool {
 	default:
 		return isValueRow(t)
 	}
+}
+
+// firstResultIsBatch reports whether the call's first result type is
+// *value.Batch.
+func firstResultIsBatch(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isValueBatchPtr(t.At(0).Type())
+	default:
+		return isValueBatchPtr(t)
+	}
+}
+
+// recvIsBatch reports whether the selector's receiver is a value.Batch (by
+// value or pointer).
+func recvIsBatch(pass *Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if isValueBatchPtr(t) {
+		return true
+	}
+	return isPkgType(t, valuePkgSuffix, "Batch")
 }

@@ -100,3 +100,94 @@ func SendBad(op engine.Operator, ch chan value.Row) error {
 	ch <- r // want `sent over a channel`
 	return nil
 }
+
+// BatchCollectBad buffers raw NextBatch chunks: the producer reuses the
+// chunk's buffer on every call.
+func BatchCollectBad(op engine.BatchOperator) ([]*value.Batch, error) {
+	var out []*value.Batch
+	for {
+		b, err := op.NextBatch()
+		if err != nil || b == nil {
+			return out, err
+		}
+		out = append(out, b) // want `appended to a slice`
+	}
+}
+
+// BatchCollectGood clones each chunk before buffering.
+func BatchCollectGood(op engine.BatchOperator) ([]*value.Batch, error) {
+	var out []*value.Batch
+	for {
+		b, err := op.NextBatch()
+		if err != nil || b == nil {
+			return out, err
+		}
+		out = append(out, b.Clone())
+	}
+}
+
+// BatchRowsGood drains a chunk through CloneRows, which copies.
+func BatchRowsGood(op engine.BatchOperator) ([]value.Row, error) {
+	var out []value.Row
+	for {
+		b, err := op.NextBatch()
+		if err != nil || b == nil {
+			return out, err
+		}
+		out = b.CloneRows(out)
+	}
+}
+
+// BatchHolder retains the last chunk it saw.
+type BatchHolder struct {
+	last *value.Batch
+}
+
+// BatchFieldBad stores a raw chunk into a field.
+func (h *BatchHolder) BatchFieldBad(op engine.BatchOperator) error {
+	b, err := op.NextBatch()
+	if err != nil {
+		return err
+	}
+	h.last = b // want `stored into a struct field`
+	return nil
+}
+
+// BatchRowBad retains a row sliced out of a chunk: it aliases the chunk's
+// buffer and dies with it.
+func BatchRowBad(op engine.BatchOperator) ([]value.Row, error) {
+	var out []value.Row
+	b, err := op.NextBatch()
+	if err != nil || b == nil {
+		return out, err
+	}
+	for i := 0; i < b.Len(); i++ {
+		r := b.Row(i)
+		out = append(out, r) // want `appended to a slice`
+	}
+	return out, nil
+}
+
+// BatchRowGood clones the sliced row before retaining it.
+func BatchRowGood(op engine.BatchOperator) ([]value.Row, error) {
+	var out []value.Row
+	b, err := op.NextBatch()
+	if err != nil || b == nil {
+		return out, err
+	}
+	for i := 0; i < b.Len(); i++ {
+		r := b.Row(i)
+		out = append(out, r.Clone())
+	}
+	return out, nil
+}
+
+// BatchSendBad ships a raw chunk to another goroutine.
+func BatchSendBad(op engine.BatchOperator, ch chan *value.Batch) error {
+	b, err := op.NextBatch()
+	if err != nil {
+		return err
+	}
+	ch <- b // want `sent over a channel`
+	return nil
+}

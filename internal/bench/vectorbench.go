@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/value"
+)
+
+// VectorBenchRecord is one (microbench, pipeline, chunk size) measurement of
+// the vectorized executor, serialized into BENCH_vector.json. RowsPerSec is
+// input rows consumed per second — the throughput metric the batch path is
+// judged on. AllocsPerOp/BytesPerOp come from runtime.MemStats deltas across
+// the timed loop, so they cover everything one execution allocates.
+type VectorBenchRecord struct {
+	Bench       string  `json:"bench"`
+	Mode        string  `json:"mode"` // "row" or "batch"
+	BatchSize   int     `json:"batch_size"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Iters       int     `json:"iters"`
+	InputRows   int     `json:"input_rows"`
+	OutputRows  int     `json:"output_rows"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+var vectorSchema = value.Schema{
+	{Name: "g", Type: value.Int},
+	{Name: "v", Type: value.Int},
+	{Name: "f", Type: value.Float},
+}
+
+// VectorRows builds the synthetic input shared by the microbenches: an int
+// group key (997 distinct values), an int payload, and a float payload.
+func VectorRows(n int) []value.Row {
+	// One flat backing array keeps the table contiguous in memory, as a real
+	// materialized mem-table would be, so scans stride instead of chasing
+	// per-row allocations.
+	flat := make([]value.Value, 3*n)
+	rows := make([]value.Row, n)
+	for i := range rows {
+		r := value.Row(flat[3*i : 3*i+3 : 3*i+3])
+		r[0] = value.NewInt(int64(i % 997))
+		r[1] = value.NewInt(int64(i))
+		r[2] = value.NewFloat(float64(i) * 0.25)
+		rows[i] = r
+	}
+	return rows
+}
+
+func vectorCol(i int) expr.Compiled {
+	return func(r value.Row) (value.Value, error) { return r[i], nil }
+}
+
+func vectorPred(r value.Row) (value.Value, error) {
+	return value.NewBool(r[1].I%4 != 0), nil
+}
+
+// ScanFilterAggPlan builds the scan → filter → hash-aggregate microbench:
+// the row pipeline when batchSize <= 0, the vectorized pipeline (fused
+// scan+filter feeding the batch aggregate) otherwise.
+func ScanFilterAggPlan(rows []value.Row, batchSize int) engine.Operator {
+	groupBy := []expr.Compiled{vectorCol(0)}
+	aggs := []*expr.Aggregate{
+		{Kind: expr.AggCountStar},
+		{Kind: expr.AggSum, Arg: vectorCol(2)},
+	}
+	schema := value.Schema{
+		{Name: "g", Type: value.Int},
+		{Name: "count", Type: value.Int},
+		{Name: "sum", Type: value.Float},
+	}
+	if batchSize <= 0 {
+		scan := engine.NewMemScan("t", vectorSchema, rows)
+		return engine.NewHashAggregate(engine.NewFilter(scan, vectorPred, "v % 4 != 0"), groupBy, aggs, nil, schema)
+	}
+	scan := engine.NewBatchMemScan("t", vectorSchema, rows, batchSize)
+	scan.FusePredicate(vectorPred, "v % 4 != 0")
+	agg := engine.NewBatchHashAggregate(scan, groupBy, aggs, nil, schema)
+	agg.SetGroupColumns([]int{0})
+	agg.SetAggColumns([]int{-1, 2})
+	return agg
+}
+
+// HashJoinPlan builds the hash-join microbench: outer ⋈ inner on the group
+// column, with a cheap residual so the probe loop does real per-match work.
+func HashJoinPlan(outer, inner []value.Row, batchSize int) engine.Operator {
+	method := engine.NewHashProber(
+		[]expr.Compiled{vectorCol(0)}, []expr.Compiled{vectorCol(0)}, "g = g")
+	innerScan := engine.NewMemScan("u", vectorSchema, inner)
+	if batchSize <= 0 {
+		return engine.NewNLJoin("Hash Join",
+			engine.NewMemScan("t", vectorSchema, outer), innerScan, method, nil)
+	}
+	return engine.NewBatchNLJoin("Hash Join",
+		engine.NewBatchMemScan("t", vectorSchema, outer, batchSize), innerScan, method, nil, batchSize)
+}
+
+// MeasureVector times iters executions of the plan produced by build and
+// reports throughput over inputRows plus allocation deltas. batchSize <= 0
+// drives the plan through the row protocol, otherwise through RunExecBatch.
+func MeasureVector(name, mode string, batchSize, inputRows, iters int, build func() engine.Operator) (VectorBenchRecord, error) {
+	rec := VectorBenchRecord{
+		Bench: name, Mode: mode, BatchSize: batchSize,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Iters: iters, InputRows: inputRows,
+	}
+	if iters <= 0 {
+		return rec, fmt.Errorf("iters must be positive")
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		rows, err := engine.RunExecBatch(nil, build(), batchSize)
+		if err != nil {
+			return rec, err
+		}
+		rec.OutputRows = len(rows)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	rec.NsPerOp = elapsed.Nanoseconds() / int64(iters)
+	if rec.NsPerOp > 0 {
+		rec.RowsPerSec = float64(inputRows) / (float64(rec.NsPerOp) / 1e9)
+	}
+	rec.AllocsPerOp = int64(after.Mallocs-before.Mallocs) / int64(iters)
+	rec.BytesPerOp = int64(after.TotalAlloc-before.TotalAlloc) / int64(iters)
+	return rec, nil
+}
+
+// WriteVectorBench writes the records as indented JSON, the
+// BENCH_vector.json artifact `make bench-vector` regenerates.
+func WriteVectorBench(path string, records []VectorBenchRecord) error {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smarticeberg/internal/engine"
+)
+
+// TestMeasureVector: row and batch microbench plans agree on output
+// cardinality, and the record carries sane metrics.
+func TestMeasureVector(t *testing.T) {
+	rows := VectorRows(20000)
+	inner := VectorRows(400)
+
+	cases := []struct {
+		name  string
+		build func(batchSize int) func() engine.Operator
+	}{
+		{"scanfilteragg", func(bs int) func() engine.Operator {
+			return func() engine.Operator { return ScanFilterAggPlan(rows, bs) }
+		}},
+		{"hashjoin", func(bs int) func() engine.Operator {
+			return func() engine.Operator { return HashJoinPlan(rows, inner, bs) }
+		}},
+	}
+	for _, tc := range cases {
+		rowRec, err := MeasureVector(tc.name, "row", 0, len(rows), 1, tc.build(0))
+		if err != nil {
+			t.Fatalf("%s row: %v", tc.name, err)
+		}
+		for _, size := range []int{1, 64, 1024} {
+			batchRec, err := MeasureVector(tc.name, "batch", size, len(rows), 1, tc.build(size))
+			if err != nil {
+				t.Fatalf("%s batch %d: %v", tc.name, size, err)
+			}
+			if batchRec.OutputRows != rowRec.OutputRows {
+				t.Fatalf("%s: batch %d emitted %d rows, row path %d",
+					tc.name, size, batchRec.OutputRows, rowRec.OutputRows)
+			}
+			if batchRec.NsPerOp <= 0 || batchRec.RowsPerSec <= 0 {
+				t.Fatalf("%s batch %d: degenerate metrics %+v", tc.name, size, batchRec)
+			}
+		}
+	}
+}
+
+// TestWriteVectorBench round-trips the JSON artifact.
+func TestWriteVectorBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_vector.json")
+	in := []VectorBenchRecord{
+		{Bench: "scanfilteragg", Mode: "row", Iters: 1, InputRows: 10, NsPerOp: 5},
+		{Bench: "scanfilteragg", Mode: "batch", BatchSize: 1024, Iters: 1, InputRows: 10, NsPerOp: 2},
+	}
+	if err := WriteVectorBench(path, in); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []VectorBenchRecord
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) || out[1].BatchSize != 1024 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}

@@ -26,6 +26,14 @@ type HashAggregate struct {
 	reserved int64
 	pos      int
 	out      int64
+	outRow   value.Row
+	// groupCols caches direct input-column indexes for the group keys (-1
+	// when a key is not a bare column reference); Batchify hands them to the
+	// batch aggregate so the common GROUP BY col case skips closure calls.
+	groupCols []int
+	// aggCols likewise caches direct input-column indexes for single-column
+	// aggregate arguments (-1 when the argument is not a bare column).
+	aggCols []int
 }
 
 // groupBytes estimates the resident size of one aggregate group: header,
@@ -48,6 +56,26 @@ func NewHashAggregate(child Operator, groupBy []expr.Compiled, aggs []*expr.Aggr
 // Schema implements Operator.
 func (h *HashAggregate) Schema() value.Schema { return h.schema }
 
+// SetGroupColumns records direct input-column indexes for the group keys
+// (one per groupBy expression, -1 when a key is not a bare column). The row
+// operator keeps evaluating the compiled expressions; the indexes exist so
+// Batchify can hand them to BatchHashAggregate's fast path.
+func (h *HashAggregate) SetGroupColumns(cols []int) {
+	if len(cols) == len(h.groupBy) {
+		h.groupCols = cols
+	}
+}
+
+// SetAggColumns records direct input-column indexes for single-column
+// aggregate arguments (one per aggregate, -1 when the argument is not a bare
+// column). Like SetGroupColumns, the row operator only stores them so
+// Batchify can hand them to BatchHashAggregate's specialized adders.
+func (h *HashAggregate) SetAggColumns(cols []int) {
+	if len(cols) == len(h.aggs) {
+		h.aggCols = cols
+	}
+}
+
 // Open implements Operator.
 func (h *HashAggregate) Open() (err error) {
 	if err := failpoint.Inject(failpoint.AggOpen); err != nil {
@@ -65,6 +93,7 @@ func (h *HashAggregate) Open() (err error) {
 	h.groups = h.groups[:0]
 	h.pos = 0
 	h.out = 0
+	h.outRow = make(value.Row, len(h.schema))
 	keyVals := make([]value.Value, len(h.groupBy))
 	var keyBuf []byte
 	for {
@@ -131,10 +160,13 @@ func (h *HashAggregate) Next() (value.Row, error) {
 		}
 		grp := h.groups[h.pos]
 		h.pos++
-		out := make(value.Row, 0, len(grp.key)+len(grp.states))
-		out = append(out, grp.key...)
-		for _, st := range grp.states {
-			out = append(out, st.Value())
+		// One scratch row serves every emission: the Operator contract says a
+		// returned row is valid only until the next Next call, so reuse is
+		// legal and saves one allocation per group.
+		out := h.outRow
+		n := copy(out, grp.key)
+		for i, st := range grp.states {
+			out[n+i] = st.Value()
 		}
 		if h.having != nil {
 			ok, err := expr.EvalBool(h.having, out)

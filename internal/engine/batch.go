@@ -1,0 +1,488 @@
+package engine
+
+import (
+	"fmt"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/value"
+)
+
+// DefaultBatchSize is the chunk capacity the batch pipeline uses when the
+// caller asks for batching without naming a size. 1024 rows keeps a chunk of
+// typical width within the L2 cache while amortizing per-chunk bookkeeping
+// (cancellation polls, failpoint loads, interface dispatch) to noise.
+const DefaultBatchSize = 1024
+
+// batchScanCheckEvery bounds how many input rows a fused scan+filter may
+// consume inside a single NextBatch call between context polls: a highly
+// selective predicate must not turn "one check per chunk" into "one check
+// per full table scan".
+const batchScanCheckEvery = 4096
+
+// BatchOperator is the chunk-at-a-time side of the Volcano contract: an
+// Operator that can also deliver its stream as value.Batch chunks. NextBatch
+// returns nil at end of stream. The returned batch is owned by the caller
+// until the next NextBatch (or Next) call — it may be read and mutated in
+// place (filters compact into it), but retaining it or a row sliced from it
+// requires Clone (enforced by the icelint rowalias pass). An operator's Next
+// and NextBatch share one cursor; a consumer must stick to one protocol per
+// Open.
+type BatchOperator interface {
+	Operator
+	NextBatch() (*value.Batch, error)
+	// BatchSize reports the operator's output chunk capacity, for EXPLAIN.
+	BatchSize() int
+}
+
+// batchCursor adapts NextBatch to the row protocol: every native batch
+// operator embeds one so it still satisfies plain Operator (Sort, Distinct,
+// Limit, and the NLJP binding loop compose with batch children unchanged).
+type batchCursor struct {
+	cur *value.Batch
+	pos int
+}
+
+func (c *batchCursor) reset() { c.cur, c.pos = nil, 0 }
+
+func (c *batchCursor) next(nextBatch func() (*value.Batch, error)) (value.Row, error) {
+	for {
+		if c.cur != nil && c.pos < c.cur.Len() {
+			r := c.cur.Row(c.pos)
+			c.pos++
+			return r, nil
+		}
+		b, err := nextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		//lint:ignore rowalias the cursor serves rows only until the next NextBatch call, within the batch's validity window
+		c.cur = b
+		c.pos = 0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Batch scan (with optional fused filter)
+
+// BatchMemScan is the chunk-at-a-time MemScan. When a predicate is fused in
+// (Batchify folds an adjacent Filter into the scan), rows failing it never
+// leave the operator — the scan and filter share one loop and one chunk.
+type BatchMemScan struct {
+	execState
+	batchCursor
+	Label     string
+	schema    value.Schema
+	rows      []value.Row
+	pred      expr.Compiled // optional fused filter
+	predLabel string
+	size      int
+	pos       int
+	out       int64
+	batch     *value.Batch
+}
+
+// NewBatchMemScan builds a batch scan over rows with the given schema and
+// chunk capacity.
+func NewBatchMemScan(label string, schema value.Schema, rows []value.Row, size int) *BatchMemScan {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &BatchMemScan{Label: label, schema: schema, rows: rows, size: size}
+}
+
+// FusePredicate folds a filter into the scan loop; label is shown by EXPLAIN.
+func (s *BatchMemScan) FusePredicate(pred expr.Compiled, label string) {
+	s.pred, s.predLabel = pred, label
+}
+
+// Schema implements Operator.
+func (s *BatchMemScan) Schema() value.Schema { return s.schema }
+
+// BatchSize implements BatchOperator.
+func (s *BatchMemScan) BatchSize() int { return s.size }
+
+// Open implements Operator.
+func (s *BatchMemScan) Open() error {
+	if err := failpoint.Inject(failpoint.ScanOpen); err != nil {
+		return err
+	}
+	s.pos = 0
+	s.out = 0
+	s.reset()
+	if s.batch == nil {
+		// View mode: the chunk holds references into the materialized rows,
+		// which outlive the scan, so no value is ever copied.
+		s.batch = value.NewViewBatch(len(s.schema), s.size)
+	}
+	return nil
+}
+
+// NextBatch implements BatchOperator.
+func (s *BatchMemScan) NextBatch() (*value.Batch, error) {
+	if err := failpoint.Inject(failpoint.ScanNext); err != nil {
+		return nil, err
+	}
+	if s.pred != nil {
+		if err := failpoint.Inject(failpoint.FilterNext); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.stepChunk(); err != nil {
+		return nil, err
+	}
+	b := s.batch
+	b.Reset()
+	scanned := 0
+	for s.pos < len(s.rows) && b.Len() < s.size {
+		r := s.rows[s.pos]
+		s.pos++
+		if scanned++; scanned == batchScanCheckEvery {
+			scanned = 0
+			if err := s.stepChunk(); err != nil {
+				return nil, err
+			}
+		}
+		if s.pred != nil {
+			ok, err := expr.EvalBool(s.pred, r)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		b.AppendRef(r)
+	}
+	if b.Len() == 0 {
+		return nil, nil
+	}
+	s.out += int64(b.Len())
+	return b, nil
+}
+
+// Next implements Operator.
+func (s *BatchMemScan) Next() (value.Row, error) { return s.next(s.NextBatch) }
+
+// Close implements Operator.
+func (s *BatchMemScan) Close() error { return failpoint.Inject(failpoint.ScanClose) }
+
+// Describe implements Operator.
+func (s *BatchMemScan) Describe() string {
+	d := fmt.Sprintf("Seq Scan on %s (%d rows)", s.Label, len(s.rows))
+	if s.pred != nil {
+		d += "; Filter: " + s.predLabel
+	}
+	return d
+}
+
+// Children implements Operator.
+func (s *BatchMemScan) Children() []Operator { return nil }
+
+// ActualRows implements rowCounter.
+func (s *BatchMemScan) ActualRows() int64 { return s.out }
+
+// ---------------------------------------------------------------------------
+// Batch filter
+
+// BatchFilter compacts each child chunk in place, keeping rows that satisfy
+// the predicate. Order within the chunk is preserved, so the stream is
+// byte-identical to Filter over the same input.
+type BatchFilter struct {
+	execState
+	batchCursor
+	child BatchOperator
+	pred  expr.Compiled
+	label string
+	out   int64
+}
+
+// NewBatchFilter wraps child with a predicate; label is used by EXPLAIN.
+func NewBatchFilter(child BatchOperator, pred expr.Compiled, label string) *BatchFilter {
+	return &BatchFilter{child: child, pred: pred, label: label}
+}
+
+// Schema implements Operator.
+func (f *BatchFilter) Schema() value.Schema { return f.child.Schema() }
+
+// BatchSize implements BatchOperator.
+func (f *BatchFilter) BatchSize() int { return f.child.BatchSize() }
+
+// Open implements Operator.
+func (f *BatchFilter) Open() error {
+	f.out = 0
+	f.reset()
+	return f.child.Open()
+}
+
+// NextBatch implements BatchOperator.
+func (f *BatchFilter) NextBatch() (*value.Batch, error) {
+	if err := failpoint.Inject(failpoint.FilterNext); err != nil {
+		return nil, err
+	}
+	for {
+		if err := f.stepChunk(); err != nil {
+			return nil, err
+		}
+		b, err := f.child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		w := 0
+		for i := 0; i < b.Len(); i++ {
+			ok, err := expr.EvalBool(f.pred, b.Row(i))
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			b.MoveRow(w, i)
+			w++
+		}
+		if w == 0 {
+			continue // fully filtered chunk; pull the next one
+		}
+		b.Truncate(w)
+		f.out += int64(w)
+		return b, nil
+	}
+}
+
+// Next implements Operator.
+func (f *BatchFilter) Next() (value.Row, error) { return f.next(f.NextBatch) }
+
+// Close implements Operator.
+func (f *BatchFilter) Close() error { return f.child.Close() }
+
+// Describe implements Operator.
+func (f *BatchFilter) Describe() string { return "Filter: " + f.label }
+
+// Children implements Operator.
+func (f *BatchFilter) Children() []Operator { return []Operator{f.child} }
+
+// ActualRows implements rowCounter.
+func (f *BatchFilter) ActualRows() int64 { return f.out }
+
+// ---------------------------------------------------------------------------
+// Batch project
+
+// BatchProject evaluates the output expressions over each chunk into its own
+// output batch (the child's chunk cannot be reused: the output width
+// differs).
+type BatchProject struct {
+	execState
+	batchCursor
+	child  BatchOperator
+	exprs  []expr.Compiled
+	schema value.Schema
+	out    int64
+	batch  *value.Batch
+}
+
+// NewBatchProject builds a batch projection; schema names the output columns.
+func NewBatchProject(child BatchOperator, exprs []expr.Compiled, schema value.Schema) *BatchProject {
+	return &BatchProject{child: child, exprs: exprs, schema: schema}
+}
+
+// Schema implements Operator.
+func (p *BatchProject) Schema() value.Schema { return p.schema }
+
+// BatchSize implements BatchOperator.
+func (p *BatchProject) BatchSize() int { return p.child.BatchSize() }
+
+// Open implements Operator.
+func (p *BatchProject) Open() error {
+	p.out = 0
+	p.reset()
+	if p.batch == nil {
+		p.batch = value.NewBatch(len(p.exprs), p.child.BatchSize())
+	}
+	return p.child.Open()
+}
+
+// NextBatch implements BatchOperator.
+func (p *BatchProject) NextBatch() (*value.Batch, error) {
+	if err := p.stepChunk(); err != nil {
+		return nil, err
+	}
+	in, err := p.child.NextBatch()
+	if err != nil || in == nil {
+		return nil, err
+	}
+	out := p.batch
+	out.Reset()
+	for i := 0; i < in.Len(); i++ {
+		r := in.Row(i)
+		dst := out.PushRow()
+		for j, e := range p.exprs {
+			v, err := e(r)
+			if err != nil {
+				return nil, err
+			}
+			dst[j] = v
+		}
+	}
+	p.out += int64(out.Len())
+	return out, nil
+}
+
+// Next implements Operator.
+func (p *BatchProject) Next() (value.Row, error) { return p.next(p.NextBatch) }
+
+// Close implements Operator.
+func (p *BatchProject) Close() error { return p.child.Close() }
+
+// Describe implements Operator.
+func (p *BatchProject) Describe() string { return "Project " + p.schema.String() }
+
+// Children implements Operator.
+func (p *BatchProject) Children() []Operator { return []Operator{p.child} }
+
+// ActualRows implements rowCounter.
+func (p *BatchProject) ActualRows() int64 { return p.out }
+
+// ---------------------------------------------------------------------------
+// Adapters
+
+// BatchOf returns op's stream as a BatchOperator with chunks of up to size
+// rows. Operators that already speak the batch protocol are returned as-is;
+// anything else is wrapped in an adapter that gathers child rows into a
+// reused chunk (copying them, since a child row is only valid until its next
+// Next call).
+func BatchOf(op Operator, size int) BatchOperator {
+	if b, ok := op.(BatchOperator); ok {
+		return b
+	}
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &batchAdapter{child: op, size: size}
+}
+
+type batchAdapter struct {
+	execState
+	child Operator
+	size  int
+	batch *value.Batch
+	done  bool
+}
+
+func (a *batchAdapter) Schema() value.Schema { return a.child.Schema() }
+func (a *batchAdapter) BatchSize() int       { return a.size }
+
+func (a *batchAdapter) Open() error {
+	a.done = false
+	if a.batch == nil {
+		a.batch = value.NewBatch(len(a.child.Schema()), a.size)
+	}
+	return a.child.Open()
+}
+
+func (a *batchAdapter) NextBatch() (*value.Batch, error) {
+	if a.done {
+		return nil, nil
+	}
+	if err := a.stepChunk(); err != nil {
+		return nil, err
+	}
+	b := a.batch
+	b.Reset()
+	for b.Len() < a.size {
+		r, err := a.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			a.done = true
+			break
+		}
+		b.AppendRow(r)
+	}
+	if b.Len() == 0 {
+		return nil, nil
+	}
+	return b, nil
+}
+
+func (a *batchAdapter) Next() (value.Row, error) { return a.child.Next() }
+func (a *batchAdapter) Close() error             { return a.child.Close() }
+func (a *batchAdapter) Describe() string         { return "Batch Adapter" }
+func (a *batchAdapter) Children() []Operator     { return []Operator{a.child} }
+
+// RowsOf returns a plain row-protocol view of a batch operator. Every
+// BatchOperator already implements Operator, so this is only needed when a
+// caller wants an explicit row-only facade (tests comparing the two
+// protocols, mostly).
+func RowsOf(op BatchOperator) Operator { return &rowsAdapter{child: op} }
+
+type rowsAdapter struct {
+	batchCursor
+	child BatchOperator
+}
+
+func (a *rowsAdapter) Schema() value.Schema { return a.child.Schema() }
+func (a *rowsAdapter) Open() error {
+	a.reset()
+	return a.child.Open()
+}
+func (a *rowsAdapter) Next() (value.Row, error) { return a.next(a.child.NextBatch) }
+func (a *rowsAdapter) Close() error             { return a.child.Close() }
+func (a *rowsAdapter) Describe() string         { return "Row Adapter" }
+func (a *rowsAdapter) Children() []Operator     { return []Operator{a.child} }
+
+// ---------------------------------------------------------------------------
+// Batch drain
+
+// RunExecBatch drains op through the batch protocol in chunks of size rows,
+// with the same guarantees as RunExec: ec is bound to the whole plan, panics
+// surface as *PanicError after a best-effort Close, and a cancellation that
+// lands after the last chunk still fails the query. Cancellation, failpoint,
+// and budget checks happen per chunk. size <= 0 falls back to the row-at-a-
+// time RunExec.
+func RunExecBatch(ec *ExecContext, op Operator, size int) (rows []value.Row, err error) {
+	if size <= 0 {
+		return RunExec(ec, op)
+	}
+	if ec == nil {
+		ec = backgroundExec
+	}
+	bop := BatchOf(op, size)
+	Bind(bop, ec)
+	defer func() {
+		if r := recover(); r != nil {
+			_ = bop.Close() // best-effort release while panicking
+			rows, err = nil, NewPanicError(bop.Describe(), r)
+		}
+	}()
+	if err := bop.Open(); err != nil {
+		//lint:ignore closecheck the Open failure takes precedence; Close here only releases partial state
+		_ = bop.Close()
+		return nil, err
+	}
+	var out []value.Row
+	var runErr error
+	for {
+		if runErr = ec.Err(); runErr != nil {
+			break
+		}
+		var b *value.Batch
+		b, runErr = bop.NextBatch()
+		if runErr != nil || b == nil {
+			break
+		}
+		out = b.CloneRows(out)
+	}
+	if cerr := bop.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	if runErr == nil {
+		// A cancel between the last chunk and end of stream (or during
+		// Close) still invalidates the result, mirroring RunExec.
+		runErr = ec.Err()
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return out, nil
+}

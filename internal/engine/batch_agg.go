@@ -1,0 +1,441 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/value"
+)
+
+// BatchHashAggregate is the chunk-at-a-time HashAggregate. The build phase
+// consumes whole chunks: group keys are encoded with value.AppendKeys into a
+// reused buffer, the hash-table probe runs in one tight loop per chunk, and
+// budget/cancellation checks happen once per chunk instead of once per row.
+// Rows are folded in stream order, so group first-seen order and float
+// accumulation order are bit-identical to the row operator.
+type BatchHashAggregate struct {
+	execState
+	batchCursor
+	child   BatchOperator
+	groupBy []expr.Compiled
+	// groupCols, when fully resolved (no -1 entries), lets the build loop
+	// read group keys straight out of the input row instead of calling the
+	// compiled closures — the common GROUP BY col case.
+	groupCols []int
+	aggs      []*expr.Aggregate
+	// aggCols, per aggregate, is the input column its argument reads when the
+	// argument is a bare column (-1 otherwise): those aggregates fold with a
+	// direct-column adder instead of evaluating the compiled argument.
+	aggCols []int
+	having  expr.Compiled
+	schema  value.Schema
+
+	groups   []*batchAggGroup
+	reserved int64
+	pos      int
+	out      int64
+	batch    *value.Batch
+}
+
+// batchAggGroup is the slab-friendly twin of aggGroup: states live inline in
+// a bulk-allocated block instead of one heap object per state.
+type batchAggGroup struct {
+	key    value.Row
+	states []expr.State
+}
+
+// aggSlabSize is how many groups (and their states and key values) each slab
+// block holds. Blocks are never reallocated, so *batchAggGroup pointers and
+// key rows sliced from a block stay valid as more groups arrive.
+const aggSlabSize = 256
+
+// aggSlabs hands out groups, state blocks, and key storage from fixed-size
+// blocks, cutting the per-group allocation count from ~5 (group, key row,
+// state slice, one object per state) to amortized ~3 block allocations per
+// aggSlabSize groups.
+type aggSlabs struct {
+	groups []batchAggGroup
+	states []expr.State
+	keys   []value.Value
+	width  int // key values per group
+	nAggs  int
+}
+
+// intGroupTable is an insert-only open-addressing hash table from int64
+// group keys to groups, replacing the generic map on the aggregate's hottest
+// probe path. For single-key aggregates it owns every integer-canonical key
+// (see intKeyOf): value.AppendKey gives those keys an encoding tag that no
+// other value kind produces, so partitioning them away from the byte-keyed
+// index preserves grouping semantics — including Int 3 and Float 3.0
+// landing in one group — while skipping the key encoding, the string
+// allocation, and the generic map entirely.
+type intGroupTable struct {
+	keys []int64
+	grps []*batchAggGroup
+	n    int
+	mask uint64
+}
+
+// intKeyOf mirrors value.AppendKey's numeric normalization: ok reports that
+// v encodes with the integer tag, and k is the int64 that encoding carries.
+// Two ok values group together iff their ks are equal, and an ok value never
+// shares an encoding with a !ok one, so ok keys can live in their own table.
+func intKeyOf(v value.Value) (k int64, ok bool) {
+	switch v.K {
+	case value.Int:
+		return v.I, true
+	case value.Float:
+		f := v.F
+		if f == math.Trunc(f) && f >= -9.223372036854775e18 && f <= 9.223372036854775e18 {
+			return int64(f), true
+		}
+	}
+	return 0, false
+}
+
+func newIntGroupTable(hint int) *intGroupTable {
+	// Size for the hint at 2/3 load so a build that stays within it never
+	// rehashes mid-stream.
+	size := 512
+	for 3*hint >= 2*size {
+		size *= 2
+	}
+	return &intGroupTable{
+		keys: make([]int64, size),
+		grps: make([]*batchAggGroup, size),
+		mask: uint64(size - 1),
+	}
+}
+
+func (t *intGroupTable) slot(k int64) uint64 {
+	// Fibonacci hashing spreads consecutive keys across the table.
+	return (uint64(k) * 0x9E3779B97F4A7C15 >> 17) & t.mask
+}
+
+// get returns the group for k, or nil (empty slots have a nil group).
+func (t *intGroupTable) get(k int64) *batchAggGroup {
+	for i := t.slot(k); ; i = (i + 1) & t.mask {
+		g := t.grps[i]
+		if g == nil || t.keys[i] == k {
+			return g
+		}
+	}
+}
+
+// put inserts k → g (k must not be present), growing at 2/3 load.
+func (t *intGroupTable) put(k int64, g *batchAggGroup) {
+	if 3*t.n >= 2*len(t.keys) {
+		old := *t
+		t.keys = make([]int64, 2*len(old.keys))
+		t.grps = make([]*batchAggGroup, 2*len(old.grps))
+		t.mask = uint64(len(t.keys) - 1)
+		for i, og := range old.grps {
+			if og != nil {
+				t.insert(old.keys[i], og)
+			}
+		}
+	}
+	t.insert(k, g)
+	t.n++
+}
+
+func (t *intGroupTable) insert(k int64, g *batchAggGroup) {
+	i := t.slot(k)
+	for t.grps[i] != nil {
+		i = (i + 1) & t.mask
+	}
+	t.keys[i] = k
+	t.grps[i] = g
+}
+
+func (s *aggSlabs) alloc(keyVals []value.Value, aggs []*expr.Aggregate) *batchAggGroup {
+	if len(s.groups) == cap(s.groups) {
+		s.groups = make([]batchAggGroup, 0, aggSlabSize)
+	}
+	if len(s.states)+s.nAggs > cap(s.states) {
+		s.states = make([]expr.State, 0, aggSlabSize*s.nAggs)
+	}
+	if len(s.keys)+s.width > cap(s.keys) {
+		s.keys = make([]value.Value, 0, aggSlabSize*s.width)
+	}
+	s.groups = append(s.groups, batchAggGroup{})
+	grp := &s.groups[len(s.groups)-1]
+
+	lo := len(s.states)
+	s.states = s.states[:lo+s.nAggs]
+	grp.states = s.states[lo : lo+s.nAggs : lo+s.nAggs]
+	for i, a := range aggs {
+		a.InitState(&grp.states[i])
+	}
+
+	klo := len(s.keys)
+	s.keys = s.keys[:klo+s.width]
+	grp.key = value.Row(s.keys[klo : klo+s.width : klo+s.width])
+	copy(grp.key, keyVals)
+	return grp
+}
+
+// NewBatchHashAggregate constructs the operator; schema lays out group
+// columns followed by aggregate slots, exactly as NewHashAggregate.
+func NewBatchHashAggregate(child BatchOperator, groupBy []expr.Compiled, aggs []*expr.Aggregate, having expr.Compiled, schema value.Schema) *BatchHashAggregate {
+	return &BatchHashAggregate{child: child, groupBy: groupBy, aggs: aggs, having: having, schema: schema}
+}
+
+// SetGroupColumns installs direct input-column indexes for the group keys
+// (one per groupBy expression, -1 when the key is not a bare column).
+func (h *BatchHashAggregate) SetGroupColumns(cols []int) {
+	if len(cols) != len(h.groupBy) {
+		return
+	}
+	for _, c := range cols {
+		if c < 0 {
+			return
+		}
+	}
+	h.groupCols = cols
+}
+
+// SetAggColumns installs direct input-column indexes for single-column
+// aggregate arguments (one per aggregate, -1 when the argument is not a bare
+// column). Unlike SetGroupColumns it tolerates -1 entries: each aggregate
+// independently picks the direct-column adder or the generic one.
+func (h *BatchHashAggregate) SetAggColumns(cols []int) {
+	if len(cols) == len(h.aggs) {
+		h.aggCols = cols
+	}
+}
+
+// groupBytes matches HashAggregate's per-group estimate so the two paths
+// charge the budget identically.
+func (h *BatchHashAggregate) groupBytes(key value.Row) int64 {
+	return 48 + resource.RowBytes(key) + 56*int64(len(h.aggs))
+}
+
+// Schema implements Operator.
+func (h *BatchHashAggregate) Schema() value.Schema { return h.schema }
+
+// BatchSize implements BatchOperator.
+func (h *BatchHashAggregate) BatchSize() int { return h.child.BatchSize() }
+
+// Open implements Operator.
+func (h *BatchHashAggregate) Open() (err error) {
+	if err := failpoint.Inject(failpoint.AggOpen); err != nil {
+		return err
+	}
+	if err := h.child.Open(); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := h.child.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	// aggIndexHint sizes the int-key table for the common analytic case up
+	// front so it does not rehash while the build loop is hot; a few hundred
+	// groups is typical for the iceberg workloads this path serves. The byte
+	// index starts empty — integer keys never touch it.
+	const aggIndexHint = 1024
+	index := make(map[string]*batchAggGroup)
+	h.groups = h.groups[:0]
+	h.pos = 0
+	h.out = 0
+	h.reset()
+	if h.batch == nil {
+		h.batch = value.NewBatch(len(h.schema), h.child.BatchSize())
+	}
+	slabs := aggSlabs{width: len(h.groupBy), nAggs: len(h.aggs)}
+	adders := make([]func(*expr.State, value.Row) error, len(h.aggs))
+	for i, a := range h.aggs {
+		if h.aggCols != nil && h.aggCols[i] >= 0 {
+			adders[i] = a.AdderCol(h.aggCols[i])
+		} else {
+			adders[i] = a.Adder()
+		}
+	}
+	keyVals := make([]value.Value, len(h.groupBy))
+	var keyBuf []byte
+	fastCols := h.groupCols != nil
+	// With a single group key, integer-canonical keys are partitioned into
+	// intTab (see intKeyOf) and everything else stays in the byte-keyed
+	// index; the two key spaces are disjoint by construction.
+	var intTab *intGroupTable
+	if len(h.groupBy) == 1 {
+		intTab = newIntGroupTable(aggIndexHint)
+	}
+	singleCol := -1
+	if fastCols && len(h.groupCols) == 1 {
+		singleCol = h.groupCols[0]
+	}
+	for {
+		if err := h.stepChunk(); err != nil {
+			return err
+		}
+		b, err := h.child.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		var chunkBytes int64
+		n := b.Len()
+		if singleCol >= 0 {
+			// GROUP BY over one bare column: the key is read straight from
+			// the row and probes the open-addressing table, no encoding and
+			// no keyVals staging on the hit path.
+			for i := 0; i < n; i++ {
+				r := b.Row(i)
+				v := r[singleCol]
+				var grp *batchAggGroup
+				if ik, isInt := intKeyOf(v); isInt {
+					if grp = intTab.get(ik); grp == nil {
+						keyVals[0] = v
+						grp = slabs.alloc(keyVals, h.aggs)
+						chunkBytes += h.groupBytes(grp.key)
+						intTab.put(ik, grp)
+						h.groups = append(h.groups, grp)
+					}
+				} else {
+					keyVals[0] = v
+					keyBuf = value.AppendKeys(keyBuf[:0], keyVals)
+					var ok bool
+					grp, ok = index[string(keyBuf)]
+					if !ok {
+						grp = slabs.alloc(keyVals, h.aggs)
+						chunkBytes += h.groupBytes(grp.key)
+						index[string(keyBuf)] = grp
+						h.groups = append(h.groups, grp)
+					}
+				}
+				for k := range adders {
+					if err := adders[k](&grp.states[k], r); err != nil {
+						return err
+					}
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				r := b.Row(i)
+				if fastCols {
+					for k, c := range h.groupCols {
+						keyVals[k] = r[c]
+					}
+				} else {
+					for k, g := range h.groupBy {
+						v, err := g(r)
+						if err != nil {
+							return err
+						}
+						keyVals[k] = v
+					}
+				}
+				var grp *batchAggGroup
+				ik, isInt := int64(0), false
+				if intTab != nil {
+					ik, isInt = intKeyOf(keyVals[0])
+				}
+				if isInt {
+					if grp = intTab.get(ik); grp == nil {
+						grp = slabs.alloc(keyVals, h.aggs)
+						chunkBytes += h.groupBytes(grp.key)
+						intTab.put(ik, grp)
+						h.groups = append(h.groups, grp)
+					}
+				} else {
+					keyBuf = value.AppendKeys(keyBuf[:0], keyVals)
+					var ok bool
+					grp, ok = index[string(keyBuf)]
+					if !ok {
+						grp = slabs.alloc(keyVals, h.aggs)
+						chunkBytes += h.groupBytes(grp.key)
+						index[string(keyBuf)] = grp
+						h.groups = append(h.groups, grp)
+					}
+				}
+				for k := range adders {
+					if err := adders[k](&grp.states[k], r); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		// One budget charge per chunk covers every group the chunk created.
+		if chunkBytes > 0 {
+			if err := h.exec().Charge("hash aggregation", chunkBytes); err != nil {
+				return err
+			}
+			h.reserved += chunkBytes
+		}
+	}
+	if len(h.groupBy) == 0 && len(h.groups) == 0 {
+		// Scalar aggregate over empty input still yields one row.
+		h.groups = append(h.groups, slabs.alloc(nil, h.aggs))
+	}
+	return nil
+}
+
+// NextBatch implements BatchOperator.
+func (h *BatchHashAggregate) NextBatch() (*value.Batch, error) {
+	if err := failpoint.Inject(failpoint.AggNext); err != nil {
+		return nil, err
+	}
+	if err := h.stepChunk(); err != nil {
+		return nil, err
+	}
+	out := h.batch
+	out.Reset()
+	size := h.child.BatchSize()
+	for h.pos < len(h.groups) && out.Len() < size {
+		grp := h.groups[h.pos]
+		h.pos++
+		dst := out.PushRow()
+		n := copy(dst, grp.key)
+		for i := range grp.states {
+			dst[n+i] = grp.states[i].Value()
+		}
+		if h.having != nil {
+			ok, err := expr.EvalBool(h.having, dst)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				out.PopRow()
+				continue
+			}
+		}
+	}
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	h.out += int64(out.Len())
+	return out, nil
+}
+
+// Next implements Operator.
+func (h *BatchHashAggregate) Next() (value.Row, error) { return h.next(h.NextBatch) }
+
+// Close implements Operator.
+func (h *BatchHashAggregate) Close() error {
+	h.exec().Release(h.reserved)
+	h.reserved = 0
+	h.groups = nil
+	return failpoint.Inject(failpoint.AggClose)
+}
+
+// Describe implements Operator.
+func (h *BatchHashAggregate) Describe() string {
+	d := fmt.Sprintf("HashAggregate (%d group keys, %d aggregates)", len(h.groupBy), len(h.aggs))
+	if h.having != nil {
+		d += " + HAVING filter"
+	}
+	return d
+}
+
+// Children implements Operator.
+func (h *BatchHashAggregate) Children() []Operator { return []Operator{h.child} }
+
+// ActualRows implements rowCounter.
+func (h *BatchHashAggregate) ActualRows() int64 { return h.out }

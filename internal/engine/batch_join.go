@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/value"
+)
+
+// BatchNLJoin is the chunk-at-a-time NLJoin: the build side is materialized
+// through the batch pipeline, outer rows arrive in chunks, and matches are
+// emitted into an output chunk. Probing uses a caller-owned ProbeScratch so
+// the hot loop is allocation-free. Outer rows are consumed in order and
+// matches emitted in probe order, so the stream is byte-identical to NLJoin.
+type BatchNLJoin struct {
+	execState
+	batchCursor
+	outer    BatchOperator
+	inner    Operator
+	method   Prober
+	residual expr.Compiled // over outerSchema ++ innerSchema; may be nil
+	name     string
+	schema   value.Schema
+	size     int
+
+	innerRows []value.Row
+	reserved  int64
+	out       int64
+	outerCur  *value.Batch
+	outerPos  int
+	curOuter  value.Row
+	matches   []int32
+	matchPos  int
+	probe     ProbeScratch
+	batch     *value.Batch
+}
+
+// NewBatchNLJoin builds a batch join over a batch outer and a (materialized
+// at Open) inner; name is shown by EXPLAIN.
+func NewBatchNLJoin(name string, outer BatchOperator, inner Operator, method Prober, residual expr.Compiled, size int) *BatchNLJoin {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &BatchNLJoin{
+		outer: outer, inner: inner, method: method, residual: residual,
+		name:   name,
+		schema: outer.Schema().Concat(inner.Schema()),
+		size:   size,
+	}
+}
+
+// Schema implements Operator.
+func (j *BatchNLJoin) Schema() value.Schema { return j.schema }
+
+// BatchSize implements BatchOperator.
+func (j *BatchNLJoin) BatchSize() int { return j.size }
+
+// Open implements Operator.
+func (j *BatchNLJoin) Open() error {
+	if err := failpoint.Inject(failpoint.JoinOpen); err != nil {
+		return err
+	}
+	rows, err := RunExecBatch(j.exec(), j.inner, j.size)
+	if err != nil {
+		return err
+	}
+	// Same accounting as NLJoin: the materialized build side is charged for
+	// the whole probe phase.
+	j.reserved = resource.RowsBytes(rows)
+	if err := j.exec().Charge("join build side", j.reserved); err != nil {
+		j.reserved = 0
+		return err
+	}
+	j.innerRows = rows
+	if err := j.method.Build(rows); err != nil {
+		return err
+	}
+	j.outerCur = nil
+	j.outerPos = 0
+	j.curOuter = nil
+	j.matches = nil
+	j.matchPos = 0
+	j.out = 0
+	j.reset()
+	if j.batch == nil {
+		j.batch = value.NewBatch(len(j.schema), j.size)
+	}
+	return j.outer.Open()
+}
+
+// NextBatch implements BatchOperator.
+func (j *BatchNLJoin) NextBatch() (*value.Batch, error) {
+	if err := failpoint.Inject(failpoint.JoinNext); err != nil {
+		return nil, err
+	}
+	if err := j.stepChunk(); err != nil {
+		return nil, err
+	}
+	out := j.batch
+	out.Reset()
+	outerWidth := len(j.outer.Schema())
+	for out.Len() < j.size {
+		if j.matchPos < len(j.matches) {
+			ir := j.innerRows[j.matches[j.matchPos]]
+			j.matchPos++
+			dst := out.PushRow()
+			copy(dst, j.curOuter)
+			copy(dst[outerWidth:], ir)
+			if j.residual != nil {
+				ok, err := expr.EvalBool(j.residual, dst)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					out.PopRow()
+				}
+			}
+			continue
+		}
+		// Advance to the next outer row, pulling a fresh outer chunk when the
+		// current one is spent. A spent match list keeps curOuter pointing
+		// into outerCur, which stays valid until the next outer.NextBatch.
+		if j.outerCur == nil || j.outerPos >= j.outerCur.Len() {
+			b, err := j.outer.NextBatch()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				j.outerCur = nil
+				j.curOuter = nil
+				break
+			}
+			//lint:ignore rowalias outerCur is only read until the next outer.NextBatch call, within the batch's validity window
+			j.outerCur = b
+			j.outerPos = 0
+		}
+		//lint:ignore rowalias curOuter aliases outerCur and is released before the next outer chunk is pulled
+		j.curOuter = j.outerCur.Row(j.outerPos)
+		j.outerPos++
+		matches, err := ProbeInto(j.method, j.curOuter, &j.probe)
+		if err != nil {
+			return nil, err
+		}
+		j.matches = matches
+		j.matchPos = 0
+	}
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	j.out += int64(out.Len())
+	return out, nil
+}
+
+// Next implements Operator.
+func (j *BatchNLJoin) Next() (value.Row, error) { return j.next(j.NextBatch) }
+
+// Close implements Operator.
+func (j *BatchNLJoin) Close() error {
+	j.exec().Release(j.reserved)
+	j.reserved = 0
+	if err := failpoint.Inject(failpoint.JoinClose); err != nil {
+		//lint:ignore closecheck injected fault takes precedence; the real close still runs
+		_ = j.outer.Close()
+		return err
+	}
+	return j.outer.Close()
+}
+
+// Describe implements Operator.
+func (j *BatchNLJoin) Describe() string {
+	d := j.name + " (" + j.method.Describe() + ")"
+	if j.residual != nil {
+		d += " + residual filter"
+	}
+	return d
+}
+
+// Children implements Operator.
+func (j *BatchNLJoin) Children() []Operator { return []Operator{j.outer, j.inner} }
+
+// ActualRows implements rowCounter.
+func (j *BatchNLJoin) ActualRows() int64 { return j.out }

@@ -1,0 +1,521 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/testleak"
+	"smarticeberg/internal/value"
+)
+
+// batchTestSizes are the chunk sizes every equivalence test runs at: the
+// degenerate size, an even and an odd divisor of nothing in particular, and
+// the production default.
+var batchTestSizes = []int{1, 2, 7, 1024}
+
+// sameValue is byte-identity: same kind and, for floats, the same bit
+// pattern (value.Identical would accept cross-kind numeric equality and
+// -0 == +0, which is weaker than the equivalence the batch path promises).
+func sameValue(a, b value.Value) bool {
+	if a.K != b.K {
+		return false
+	}
+	if a.K == value.Float {
+		return math.Float64bits(a.F) == math.Float64bits(b.F)
+	}
+	return value.Identical(a, b)
+}
+
+// assertIdenticalRows requires got and want to match row for row, value for
+// value, in order — batch execution must not even reorder groups.
+func assertIdenticalRows(t *testing.T, label string, got, want []value.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d rows, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: row %d arity %d, want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if !sameValue(got[i][j], want[i][j]) {
+				t.Fatalf("%s: row %d col %d = %v, want %v", label, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// batchEquivRows builds a small table with int and float columns so float
+// accumulation order is observable.
+var batchEquivSchema = value.Schema{
+	{Name: "g", Type: value.Int},
+	{Name: "v", Type: value.Int},
+	{Name: "f", Type: value.Float},
+}
+
+func batchEquivRows(n int) []value.Row {
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.NewInt(int64(i % 13)),
+			value.NewInt(int64(i)),
+			value.NewFloat(float64(i)*0.1 + 1e9), // large base: order-sensitive float sums
+		}
+	}
+	return rows
+}
+
+func evenPred(r value.Row) (value.Value, error) {
+	return value.NewBool(r[1].I%2 == 0), nil
+}
+
+// TestBatchOperatorEquivalence hand-builds row and batch versions of each
+// operator shape and requires byte-identical output at every chunk size.
+func TestBatchOperatorEquivalence(t *testing.T) {
+	rows := batchEquivRows(3000)
+	inner := func() []value.Row { return batchEquivRows(40) }
+	aggs := []*expr.Aggregate{
+		{Kind: expr.AggCountStar},
+		{Kind: expr.AggSum, Arg: colAt(2)},
+	}
+	aggSchema := value.Schema{
+		{Name: "g", Type: value.Int},
+		{Name: "count", Type: value.Int},
+		{Name: "sum", Type: value.Float},
+	}
+	having := func(r value.Row) (value.Value, error) {
+		return value.NewBool(r[1].I > 10), nil
+	}
+
+	cases := []struct {
+		name  string
+		row   func() Operator
+		batch func(size int) Operator
+	}{
+		{
+			name: "scan",
+			row:  func() Operator { return NewMemScan("t", batchEquivSchema, rows) },
+			batch: func(size int) Operator {
+				return NewBatchMemScan("t", batchEquivSchema, rows, size)
+			},
+		},
+		{
+			name: "scan+filter fused",
+			row: func() Operator {
+				return NewFilter(NewMemScan("t", batchEquivSchema, rows), evenPred, "even(v)")
+			},
+			batch: func(size int) Operator {
+				s := NewBatchMemScan("t", batchEquivSchema, rows, size)
+				s.FusePredicate(evenPred, "even(v)")
+				return s
+			},
+		},
+		{
+			name: "standalone batch filter",
+			row: func() Operator {
+				return NewFilter(NewMemScan("t", batchEquivSchema, rows), evenPred, "even(v)")
+			},
+			batch: func(size int) Operator {
+				return NewBatchFilter(NewBatchMemScan("t", batchEquivSchema, rows, size), evenPred, "even(v)")
+			},
+		},
+		{
+			name: "project",
+			row: func() Operator {
+				return NewProject(NewMemScan("t", batchEquivSchema, rows),
+					[]expr.Compiled{colAt(2), colAt(0)},
+					value.Schema{{Name: "f", Type: value.Float}, {Name: "g", Type: value.Int}})
+			},
+			batch: func(size int) Operator {
+				return NewBatchProject(NewBatchMemScan("t", batchEquivSchema, rows, size),
+					[]expr.Compiled{colAt(2), colAt(0)},
+					value.Schema{{Name: "f", Type: value.Float}, {Name: "g", Type: value.Int}})
+			},
+		},
+		{
+			name: "hash aggregate",
+			row: func() Operator {
+				return NewHashAggregate(NewMemScan("t", batchEquivSchema, rows),
+					[]expr.Compiled{colAt(0)}, aggs, having, aggSchema)
+			},
+			batch: func(size int) Operator {
+				return NewBatchHashAggregate(NewBatchMemScan("t", batchEquivSchema, rows, size),
+					[]expr.Compiled{colAt(0)}, aggs, having, aggSchema)
+			},
+		},
+		{
+			name: "hash join",
+			row: func() Operator {
+				return NewNLJoin("Hash Join",
+					NewMemScan("t", batchEquivSchema, rows),
+					NewMemScan("u", batchEquivSchema, inner()),
+					NewHashProber([]expr.Compiled{colAt(0)}, []expr.Compiled{colAt(0)}, "g = g"),
+					evenPred)
+			},
+			batch: func(size int) Operator {
+				return NewBatchNLJoin("Hash Join",
+					NewBatchMemScan("t", batchEquivSchema, rows, size),
+					NewMemScan("u", batchEquivSchema, inner()),
+					NewHashProber([]expr.Compiled{colAt(0)}, []expr.Compiled{colAt(0)}, "g = g"),
+					evenPred, size)
+			},
+		},
+		{
+			name: "adapter round trip",
+			row:  func() Operator { return NewMemScan("t", batchEquivSchema, rows) },
+			batch: func(size int) Operator {
+				return RowsOf(BatchOf(NewMemScan("t", batchEquivSchema, rows), size))
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := RunExec(nil, tc.row())
+			if err != nil {
+				t.Fatalf("row plan: %v", err)
+			}
+			for _, size := range batchTestSizes {
+				got, err := RunExecBatch(nil, tc.batch(size), size)
+				if err != nil {
+					t.Fatalf("batch plan size %d: %v", size, err)
+				}
+				assertIdenticalRows(t, fmt.Sprintf("size %d", size), got, want)
+			}
+		})
+	}
+}
+
+// TestBatchifyPlannerEquivalence runs whole SQL statements through the
+// planner with and without a batch size; the batch pipeline must be
+// byte-identical including group first-seen order and float accumulation
+// order.
+func TestBatchifyPlannerEquivalence(t *testing.T) {
+	cat := testCatalog(t)
+	queries := []string{
+		`SELECT i1.item, i2.item, COUNT(*)
+		 FROM Basket i1, Basket i2
+		 WHERE i1.bid = i2.bid AND i1.item < i2.item
+		 GROUP BY i1.item, i2.item
+		 HAVING COUNT(*) >= 2`,
+		`SELECT L.id, COUNT(*)
+		 FROM Object L, Object R
+		 WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y)
+		 GROUP BY L.id HAVING COUNT(*) <= 1`,
+		`SELECT COUNT(*), SUM(x), MIN(y), MAX(y), AVG(x) FROM Object`,
+		`SELECT id, x + y FROM Object WHERE x >= 2 ORDER BY id DESC LIMIT 3`,
+		`SELECT DISTINCT item FROM Basket`,
+		`SELECT bid, COUNT(*) FROM Basket GROUP BY bid`,
+	}
+	run := func(sql string, size int) []value.Row {
+		t.Helper()
+		sel, err := sqlparser.ParseSelect(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		p := NewPlanner(cat)
+		p.BatchSize = size
+		op, err := p.PlanSelect(sel, nil)
+		if err != nil {
+			t.Fatalf("plan %q: %v", sql, err)
+		}
+		rows, err := RunExecBatch(nil, op, size)
+		if err != nil {
+			t.Fatalf("run %q size %d: %v", sql, size, err)
+		}
+		return rows
+	}
+	for qi, sql := range queries {
+		want := run(sql, 0)
+		for _, size := range batchTestSizes {
+			assertIdenticalRows(t, fmt.Sprintf("query %d size %d", qi, size), run(sql, size), want)
+		}
+	}
+}
+
+// TestExplainBatchAnnotation: EXPLAIN marks every node with its pipeline and
+// the effective chunk size.
+func TestExplainBatchAnnotation(t *testing.T) {
+	cat := testCatalog(t)
+	sel, err := sqlparser.ParseSelect(`SELECT bid, COUNT(*) FROM Basket WHERE item < 'd' GROUP BY bid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewPlanner(cat)
+	p.BatchSize = 64
+	op, err := p.PlanSelect(sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Explain(op)
+	if !strings.Contains(text, "[batch 64]") {
+		t.Fatalf("EXPLAIN with BatchSize=64 lacks [batch 64] annotation:\n%s", text)
+	}
+
+	p = NewPlanner(cat)
+	op, err = p.PlanSelect(sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text = Explain(op)
+	if !strings.Contains(text, "[row]") {
+		t.Fatalf("EXPLAIN with BatchSize=0 lacks [row] annotation:\n%s", text)
+	}
+	if strings.Contains(text, "[batch") {
+		t.Fatalf("row-mode EXPLAIN claims a batch pipeline:\n%s", text)
+	}
+}
+
+// batchFaultPlan mirrors faultPlan with the batch pipeline underneath:
+// Sort(BatchHashAggregate(BatchNLJoin(fused BatchMemScan, MemScan))).
+func batchFaultPlan(size int) Operator {
+	outer := NewBatchMemScan("t", cancelSchema, cancelRows(2000), size)
+	outer.FusePredicate(truePred, "true")
+	inner := NewMemScan("u", cancelSchema, cancelRows(500))
+	join := NewBatchNLJoin("Hash Join", outer, inner,
+		NewHashProber([]expr.Compiled{colAt(0)}, []expr.Compiled{colAt(0)}, "g = g"), nil, size)
+	aggs := []*expr.Aggregate{{Kind: expr.AggCountStar}}
+	aggSchema := value.Schema{{Name: "g", Type: value.Int}, {Name: "count", Type: value.Int}}
+	agg := NewBatchHashAggregate(join, []expr.Compiled{colAt(0)}, aggs, nil, aggSchema)
+	return NewSort(agg, []expr.Compiled{colAt(0)}, []bool{false})
+}
+
+// TestBatchFaultMatrix re-runs the fault matrix against the batch pipeline:
+// every failpoint site the row plan hits must also be live on the batch
+// path, fail with one typed error, and release every charged byte.
+func TestBatchFaultMatrix(t *testing.T) {
+	points := []string{
+		failpoint.ScanOpen, failpoint.ScanNext, failpoint.ScanClose,
+		failpoint.FilterNext,
+		failpoint.JoinOpen, failpoint.JoinNext, failpoint.JoinClose,
+		failpoint.AggOpen, failpoint.AggNext, failpoint.AggClose,
+		failpoint.SortOpen,
+	}
+	for _, pt := range points {
+		for _, mode := range []string{"error", "panic"} {
+			t.Run(fmt.Sprintf("%s/%s", pt, mode), func(t *testing.T) {
+				testleak.Check(t)
+				defer failpoint.Reset()
+				if mode == "error" {
+					failpoint.Enable(pt, failpoint.Once(failpoint.Error(errBoom)))
+				} else {
+					failpoint.Enable(pt, failpoint.Once(failpoint.Panic("batch matrix")))
+				}
+				budget := resource.NewBudget(1 << 30)
+				rows, err := RunExecBatch(NewExecContext(nil, budget), batchFaultPlan(64), 64)
+				if err == nil {
+					t.Fatalf("%s/%s: query succeeded with %d rows, want injected failure", pt, mode, len(rows))
+				}
+				if hits := failpoint.Hits(pt); hits == 0 {
+					t.Fatalf("%s: never fired — the site is not reachable in the batch plan", pt)
+				}
+				switch mode {
+				case "error":
+					if !errors.Is(err, errBoom) {
+						t.Fatalf("%s: error = %v, want the injected errBoom", pt, err)
+					}
+				case "panic":
+					var pe *PanicError
+					if !errors.As(err, &pe) {
+						t.Fatalf("%s: error = %v (%T), want *PanicError", pt, err, err)
+					}
+				}
+				if used := budget.Used(); used != 0 {
+					t.Fatalf("%s/%s: %d bytes still reserved after failure; resources leaked", pt, mode, used)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchCancelMidStream: with a small chunk size the per-chunk
+// cancellation poll must surface context.Canceled within the same tick
+// window the row contract promises.
+func TestBatchCancelMidStream(t *testing.T) {
+	rows := cancelRows(20000)
+	const size = 16
+	newScan := func() *BatchMemScan { return NewBatchMemScan("t", cancelSchema, rows, size) }
+	cases := []struct {
+		name string
+		op   func() Operator
+	}{
+		{"BatchMemScan", func() Operator { return newScan() }},
+		{"BatchMemScan fused filter", func() Operator {
+			s := newScan()
+			s.FusePredicate(truePred, "true")
+			return s
+		}},
+		{"BatchFilter", func() Operator { return NewBatchFilter(newScan(), truePred, "true") }},
+		{"BatchNLJoin", func() Operator {
+			return NewBatchNLJoin("Hash Join", newScan(),
+				NewMemScan("u", cancelSchema, cancelRows(500)),
+				NewHashProber([]expr.Compiled{colAt(0)}, []expr.Compiled{colAt(0)}, "g = g"), nil, size)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			testleak.Check(t)
+			driveCancelled(t, tc.name, tc.op(), 100)
+		})
+	}
+}
+
+// TestBatchCancelDuringAggBuild: a cancel that lands while the batch
+// aggregate is draining its input chunks must abort the build phase.
+func TestBatchCancelDuringAggBuild(t *testing.T) {
+	testleak.Check(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: Open's first chunk poll must see it
+	aggs := []*expr.Aggregate{{Kind: expr.AggCountStar}}
+	aggSchema := value.Schema{{Name: "g", Type: value.Int}, {Name: "count", Type: value.Int}}
+	agg := NewBatchHashAggregate(NewBatchMemScan("t", cancelSchema, cancelRows(20000), 32),
+		[]expr.Compiled{colAt(0)}, aggs, nil, aggSchema)
+	_, err := RunExecBatch(NewExecContext(ctx, nil), agg, 32)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunExecBatch under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBatchBudgetEquivalence: the batch aggregate charges the budget with
+// the same accounting formula as the row aggregate, so a budget that fails
+// the row plan fails the batch plan too (and vice versa).
+func TestBatchBudgetEquivalence(t *testing.T) {
+	rows := batchEquivRows(5000)
+	aggs := []*expr.Aggregate{{Kind: expr.AggCountStar}}
+	aggSchema := value.Schema{{Name: "g", Type: value.Int}, {Name: "count", Type: value.Int}}
+	rowPlan := func() Operator {
+		return NewHashAggregate(NewMemScan("t", batchEquivSchema, rows),
+			[]expr.Compiled{colAt(0)}, aggs, nil, aggSchema)
+	}
+	batchPlan := func() Operator {
+		return NewBatchHashAggregate(NewBatchMemScan("t", batchEquivSchema, rows, 128),
+			[]expr.Compiled{colAt(0)}, aggs, nil, aggSchema)
+	}
+	for _, limit := range []int64{1 << 30, 512} {
+		rowBudget := resource.NewBudget(limit)
+		_, rowErr := RunExec(NewExecContext(nil, rowBudget), rowPlan())
+		batchBudget := resource.NewBudget(limit)
+		_, batchErr := RunExecBatch(NewExecContext(nil, batchBudget), batchPlan(), 128)
+		if (rowErr == nil) != (batchErr == nil) {
+			t.Fatalf("limit %d: row err = %v, batch err = %v — paths disagree", limit, rowErr, batchErr)
+		}
+		if rowErr != nil && !errors.Is(batchErr, resource.ErrBudgetExceeded) {
+			t.Fatalf("limit %d: batch err = %v, want budget error", limit, batchErr)
+		}
+		if rowBudget.Used() != 0 || batchBudget.Used() != 0 {
+			t.Fatalf("limit %d: leaked reservations (row %d, batch %d)", limit, rowBudget.Used(), batchBudget.Used())
+		}
+	}
+}
+
+// TestHashAggregateNextAllocs: group emission reuses one scratch row, so a
+// drained aggregate hands out rows without allocating.
+func TestHashAggregateNextAllocs(t *testing.T) {
+	rows := batchEquivRows(4000)
+	aggs := []*expr.Aggregate{{Kind: expr.AggCountStar}, {Kind: expr.AggSum, Arg: colAt(1)}}
+	aggSchema := value.Schema{
+		{Name: "g", Type: value.Int},
+		{Name: "count", Type: value.Int},
+		{Name: "sum", Type: value.Int},
+	}
+	agg := NewHashAggregate(NewMemScan("t", batchEquivSchema, rows),
+		[]expr.Compiled{colAt(0)}, aggs, nil, aggSchema)
+	Bind(agg, NewExecContext(nil, nil))
+	if err := agg.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := agg.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if _, err := agg.Next(); err != nil { // warm once
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := agg.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("HashAggregate.Next allocates %.1f objects per row, want 0", allocs)
+	}
+}
+
+// TestHashProbeAllocs: probing a built hash table through caller-owned
+// scratch is allocation-free.
+func TestHashProbeAllocs(t *testing.T) {
+	build := batchEquivRows(512)
+	method := NewHashProber([]expr.Compiled{colAt(0)}, []expr.Compiled{colAt(0)}, "g = g")
+	if err := method.Build(build); err != nil {
+		t.Fatal(err)
+	}
+	probeRow := value.Row{value.NewInt(7), value.NewInt(1), value.NewFloat(0)}
+	var scratch ProbeScratch
+	if _, err := ProbeInto(method, probeRow, &scratch); err != nil { // warm scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ProbeInto(method, probeRow, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("ProbeInto allocates %.1f objects per probe, want 0", allocs)
+	}
+}
+
+// TestBatchRepeatedEOS: after exhaustion every batch operator keeps
+// returning (nil, nil) from both protocols — BatchNLJoin relies on this.
+func TestBatchRepeatedEOS(t *testing.T) {
+	ops := []struct {
+		name string
+		op   Operator
+	}{
+		{"BatchMemScan", NewBatchMemScan("t", batchEquivSchema, batchEquivRows(10), 4)},
+		{"BatchFilter", NewBatchFilter(NewBatchMemScan("t", batchEquivSchema, batchEquivRows(10), 4), evenPred, "even")},
+		{"BatchHashAggregate", NewBatchHashAggregate(
+			NewBatchMemScan("t", batchEquivSchema, batchEquivRows(10), 4),
+			[]expr.Compiled{colAt(0)},
+			[]*expr.Aggregate{{Kind: expr.AggCountStar}}, nil,
+			value.Schema{{Name: "g", Type: value.Int}, {Name: "count", Type: value.Int}})},
+	}
+	for _, tc := range ops {
+		t.Run(tc.name, func(t *testing.T) {
+			Bind(tc.op, NewExecContext(nil, nil))
+			if err := tc.op.Open(); err != nil {
+				t.Fatal(err)
+			}
+			bo := tc.op.(BatchOperator)
+			for {
+				b, err := bo.NextBatch()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b == nil {
+					break
+				}
+			}
+			for i := 0; i < 3; i++ {
+				if b, err := bo.NextBatch(); err != nil || b != nil {
+					t.Fatalf("NextBatch after EOS #%d = (%v, %v), want (nil, nil)", i, b, err)
+				}
+				if r, err := tc.op.Next(); err != nil || r != nil {
+					t.Fatalf("Next after EOS #%d = (%v, %v), want (nil, nil)", i, r, err)
+				}
+			}
+			if err := tc.op.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

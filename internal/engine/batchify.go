@@ -1,0 +1,93 @@
+package engine
+
+import "smarticeberg/internal/value"
+
+// Batchify rewrites a planned row-at-a-time operator tree into its
+// chunk-at-a-time form: hot operators (scan, filter, project, hash
+// aggregation, joins) are replaced by native batch implementations, a Filter
+// directly over a scan is fused into the scan's chunk loop, and operators
+// without a native batch form (Sort, Distinct, Limit, the Vendor A parallel
+// fusion) keep their row implementation — they still compose, because every
+// BatchOperator also serves the row protocol through an internal cursor.
+// size <= 0 returns the tree unchanged. The rewrite preserves row order,
+// group first-seen order, and float accumulation order, so results are
+// byte-identical to the row pipeline.
+func Batchify(op Operator, size int) Operator {
+	if size <= 0 {
+		return op
+	}
+	return batchify(op, size)
+}
+
+func batchify(op Operator, size int) Operator {
+	switch o := op.(type) {
+	case *MemScan:
+		return NewBatchMemScan(o.Label, o.schema, o.rows, size)
+	case *Filter:
+		c := batchify(o.child, size)
+		if bs, ok := c.(*BatchMemScan); ok && bs.pred == nil {
+			bs.FusePredicate(o.pred, o.label)
+			return bs
+		}
+		if bc, ok := c.(BatchOperator); ok {
+			return NewBatchFilter(bc, o.pred, o.label)
+		}
+		return NewFilter(c, o.pred, o.label)
+	case *Project:
+		c := batchify(o.child, size)
+		if bc, ok := c.(BatchOperator); ok {
+			return NewBatchProject(bc, o.exprs, o.schema)
+		}
+		return NewProject(c, o.exprs, o.schema)
+	case *HashAggregate:
+		c := BatchOf(batchify(o.child, size), size)
+		agg := NewBatchHashAggregate(c, o.groupBy, o.aggs, o.having, o.schema)
+		if o.groupCols != nil {
+			agg.SetGroupColumns(o.groupCols)
+		}
+		if o.aggCols != nil {
+			agg.SetAggColumns(o.aggCols)
+		}
+		return agg
+	case *NLJoin:
+		outer := BatchOf(batchify(o.outer, size), size)
+		inner := batchify(o.inner, size)
+		return NewBatchNLJoin(o.name, outer, inner, o.method, o.residual, size)
+	case *Distinct:
+		return NewDistinct(batchify(o.child, size))
+	case *Sort:
+		return NewSort(batchify(o.child, size), o.keys, o.desc)
+	case *Limit:
+		return NewLimit(batchify(o.child, size), o.n)
+	case *reschema:
+		c := batchify(o.child, size)
+		if bc, ok := c.(BatchOperator); ok {
+			return &batchReschema{child: bc, schema: o.schema}
+		}
+		return &reschema{child: c, schema: o.schema}
+	default:
+		// ParallelJoinAgg (its internals drive the join specially) and any
+		// already-batch operator from a nested PlanSelect pass through.
+		return op
+	}
+}
+
+// batchReschema is reschema's batch counterpart: it relabels the child
+// schema and forwards chunks untouched.
+type batchReschema struct {
+	batchCursor
+	child  BatchOperator
+	schema value.Schema
+}
+
+func (r *batchReschema) Schema() value.Schema { return r.schema }
+func (r *batchReschema) BatchSize() int       { return r.child.BatchSize() }
+func (r *batchReschema) Open() error {
+	r.reset()
+	return r.child.Open()
+}
+func (r *batchReschema) NextBatch() (*value.Batch, error) { return r.child.NextBatch() }
+func (r *batchReschema) Next() (value.Row, error)         { return r.next(r.child.NextBatch) }
+func (r *batchReschema) Close() error                     { return r.child.Close() }
+func (r *batchReschema) Describe() string                 { return "Subquery Scan" }
+func (r *batchReschema) Children() []Operator             { return []Operator{r.child} }

@@ -121,3 +121,14 @@ func (s *execState) step() error {
 	}
 	return s.ec.Err()
 }
+
+// stepChunk is the batch-path counterpart of step: one unconditional context
+// poll per NextBatch call. A chunk bounds the rows processed between checks,
+// so cancellation latency stays within one batch instead of cancelCheckEvery
+// rows — the per-chunk granularity the vectorized path trades for throughput.
+func (s *execState) stepChunk() error {
+	if s.ec == nil {
+		return nil
+	}
+	return s.ec.Err()
+}

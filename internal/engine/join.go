@@ -40,18 +40,45 @@ func NewRangeProber(outerExpr expr.Compiled, innerCol int, op, label string) Pro
 // NewScanProber returns every inner row for every probe (block nested loop).
 func NewScanProber() Prober { return &scanMethod{} }
 
+// ProbeScratch holds one prober caller's reusable key buffers. Prober
+// implementations must stay read-only after Build so concurrent probers can
+// share them; moving the per-probe scratch to the caller is what makes the
+// probe loop allocation-free without breaking that contract — each worker
+// (NLJoin, BatchNLJoin, ParallelJoinAgg workers, NLJP bindings) owns its own
+// scratch. The zero value is ready to use.
+type ProbeScratch struct {
+	keys []value.Value
+	buf  []byte
+}
+
+// probeKeyer is implemented by probers that can probe through a caller-owned
+// scratch instead of allocating per probe.
+type probeKeyer interface {
+	ProbeWith(outer value.Row, s *ProbeScratch) ([]int32, error)
+}
+
+// ProbeInto probes p for one outer row, routing through the caller-owned
+// scratch when the prober supports it. The returned slice is read-only and
+// may alias the prober's internal state, exactly as Prober.Probe.
+func ProbeInto(p Prober, outer value.Row, s *ProbeScratch) ([]int32, error) {
+	if pk, ok := p.(probeKeyer); ok {
+		return pk.ProbeWith(outer, s)
+	}
+	return p.Probe(outer)
+}
+
 // hashMethod probes a hash table built on equality keys.
 type hashMethod struct {
 	outerKeys []expr.Compiled
 	innerKeys []expr.Compiled
 	label     string
 	table     map[string][]int32
-	keyBuf    []value.Value
 }
 
 func (h *hashMethod) Build(rows []value.Row) error {
 	h.table = make(map[string][]int32, len(rows))
 	keys := make([]value.Value, len(h.innerKeys))
+	var buf []byte
 	for i, r := range rows {
 		for j, k := range h.innerKeys {
 			v, err := k(r)
@@ -60,14 +87,26 @@ func (h *hashMethod) Build(rows []value.Row) error {
 			}
 			keys[j] = v
 		}
-		key := value.Key(keys)
-		h.table[key] = append(h.table[key], int32(i))
+		buf = value.AppendKeys(buf[:0], keys)
+		h.table[string(buf)] = append(h.table[string(buf)], int32(i))
 	}
 	return nil
 }
 
 func (h *hashMethod) Probe(outer value.Row) ([]int32, error) {
-	keys := make([]value.Value, len(h.outerKeys))
+	var s ProbeScratch
+	return h.ProbeWith(outer, &s)
+}
+
+// ProbeWith implements probeKeyer: key evaluation and encoding go through the
+// caller's scratch, and the table lookup converts the byte key in place
+// (string(s.buf) in a map index does not allocate), so a probe costs zero
+// allocations.
+func (h *hashMethod) ProbeWith(outer value.Row, s *ProbeScratch) ([]int32, error) {
+	if cap(s.keys) < len(h.outerKeys) {
+		s.keys = make([]value.Value, len(h.outerKeys))
+	}
+	keys := s.keys[:len(h.outerKeys)]
 	for j, k := range h.outerKeys {
 		v, err := k(outer)
 		if err != nil {
@@ -78,7 +117,8 @@ func (h *hashMethod) Probe(outer value.Row) ([]int32, error) {
 		}
 		keys[j] = v
 	}
-	return h.table[value.Key(keys)], nil
+	s.buf = value.AppendKeys(s.buf[:0], keys)
+	return h.table[string(s.buf)], nil
 }
 
 func (h *hashMethod) Describe() string { return "Hash Cond: " + h.label }
@@ -181,6 +221,7 @@ type NLJoin struct {
 	matches   []int32
 	matchPos  int
 	scratch   value.Row
+	probe     ProbeScratch
 }
 
 // NewNLJoin builds a join. name is shown by EXPLAIN ("Hash Join",
@@ -256,7 +297,7 @@ func (j *NLJoin) Next() (value.Row, error) {
 		}
 		//lint:ignore rowalias curOuter is only read until the next j.outer.Next call, within the row's validity window
 		j.curOuter = outer
-		j.matches, err = j.method.Probe(outer)
+		j.matches, err = ProbeInto(j.method, outer, &j.probe)
 		if err != nil {
 			return nil, err
 		}

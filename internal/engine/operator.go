@@ -97,13 +97,16 @@ func RunExec(ec *ExecContext, op Operator) (rows []value.Row, err error) {
 }
 
 // Explain renders an operator tree as an indented plan, in the style of the
-// plans shown in Appendix E of the paper.
+// plans shown in Appendix E of the paper. Each line is annotated with the
+// operator's execution mode: [batch N] for chunk-at-a-time operators (N is
+// the effective chunk capacity) and [row] for the Volcano path.
 func Explain(op Operator) string {
 	var b strings.Builder
 	var walk func(o Operator, depth int)
 	walk = func(o Operator, depth int) {
 		b.WriteString(strings.Repeat("  ", depth))
 		b.WriteString(o.Describe())
+		b.WriteString(pipelineTag(o))
 		b.WriteByte('\n')
 		for _, c := range o.Children() {
 			walk(c, depth+1)
@@ -111,6 +114,14 @@ func Explain(op Operator) string {
 	}
 	walk(op, 0)
 	return b.String()
+}
+
+// pipelineTag renders the execution-mode annotation for EXPLAIN.
+func pipelineTag(o Operator) string {
+	if b, ok := o.(BatchOperator); ok {
+		return fmt.Sprintf("  [batch %d]", b.BatchSize())
+	}
+	return "  [row]"
 }
 
 // ---------------------------------------------------------------------------
@@ -357,7 +368,15 @@ func (s *Sort) Open() error {
 	if err := failpoint.Inject(failpoint.SortOpen); err != nil {
 		return err
 	}
-	rows, err := RunExec(s.exec(), s.child)
+	var rows []value.Row
+	var err error
+	if bc, ok := s.child.(BatchOperator); ok {
+		// A batch child is drained chunk-at-a-time: same rows, fewer
+		// allocations and per-row checks.
+		rows, err = RunExecBatch(s.exec(), bc, bc.BatchSize())
+	} else {
+		rows, err = RunExec(s.exec(), s.child)
+	}
 	if err != nil {
 		return err
 	}
@@ -501,6 +520,7 @@ func ExplainAnalyze(op Operator) (string, []value.Row, error) {
 	walk = func(o Operator, depth int) {
 		b.WriteString(strings.Repeat("  ", depth))
 		b.WriteString(o.Describe())
+		b.WriteString(pipelineTag(o))
 		if rc, ok := o.(rowCounter); ok {
 			fmt.Fprintf(&b, "  [actual rows=%d]", rc.ActualRows())
 		}

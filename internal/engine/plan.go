@@ -63,6 +63,11 @@ type Planner struct {
 	// every materialization the planner performs (CTEs, scalar subqueries).
 	// Nil means background context, unlimited budget.
 	Exec *ExecContext
+	// BatchSize > 0 plans onto the vectorized batch pipeline with chunks of
+	// that many rows: Batchify rewrites every planned tree (including CTE
+	// and subquery materializations) and results stay byte-identical to the
+	// row path. 0 keeps the row-at-a-time Volcano pipeline.
+	BatchSize int
 }
 
 // NewPlanner returns a baseline planner (indexes on, serial execution).
@@ -98,6 +103,7 @@ func (p *Planner) PlanSelect(sel *sqlparser.Select, env Env) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
+	op = Batchify(op, p.BatchSize)
 	if Validate {
 		if err := ValidatePlan(op); err != nil {
 			return nil, err
@@ -113,7 +119,7 @@ func (p *Planner) Materialize(sel *sqlparser.Select, env Env, name string) (*Mat
 	if err != nil {
 		return nil, err
 	}
-	rows, err := RunExec(p.Exec, op)
+	rows, err := RunExecBatch(p.Exec, op, p.BatchSize)
 	if err != nil {
 		return nil, err
 	}
@@ -462,7 +468,7 @@ func (p *Planner) compile(e sqlparser.Expr, schema value.Schema, env Env) (expr.
 						resultErr = err
 						return
 					}
-					rows, err := RunExec(p.Exec, op)
+					rows, err := RunExecBatch(p.Exec, op, p.BatchSize)
 					if err != nil {
 						resultErr = err
 						return
@@ -507,7 +513,7 @@ func (p *Planner) compile(e sqlparser.Expr, schema value.Schema, env Env) (expr.
 					setErr = err
 					return
 				}
-				rows, err := RunExec(p.Exec, op)
+				rows, err := RunExecBatch(p.Exec, op, p.BatchSize)
 				if err != nil {
 					setErr = err
 					return

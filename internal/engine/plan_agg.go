@@ -193,6 +193,33 @@ func (p *Planner) buildAggregate(input Operator, inputSchema value.Schema, group
 		}
 	}
 	op := NewHashAggregate(input, groupExprs, aggs, havingC, aggSchema)
+	// Record which group keys are bare column references so the batch
+	// pipeline can read them straight out of the input row.
+	cols := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		cols[i] = -1
+		if ref, ok := g.(*sqlparser.ColRef); ok {
+			if ci, err := inputSchema.Resolve(ref.Qualifier, ref.Name); err == nil {
+				cols[i] = ci
+			}
+		}
+	}
+	op.SetGroupColumns(cols)
+	// Likewise record single-column aggregate arguments (COUNT(x), SUM(x), …)
+	// so the batch aggregate can read them without evaluating the compiled
+	// argument expression.
+	acols := make([]int, len(aggCalls))
+	for i, call := range aggCalls {
+		acols[i] = -1
+		if len(call.Args) == 1 && !call.Star {
+			if ref, ok := call.Args[0].(*sqlparser.ColRef); ok {
+				if ci, err := inputSchema.Resolve(ref.Qualifier, ref.Name); err == nil {
+					acols[i] = ci
+				}
+			}
+		}
+	}
+	op.SetAggColumns(acols)
 	return op, aggSchema, repl, nil
 }
 

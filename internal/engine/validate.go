@@ -107,6 +107,59 @@ func validateNode(op Operator) error {
 			return bad("relabeled schema has %d columns, child has %d",
 				len(o.schema), len(o.child.Schema()))
 		}
+	case *BatchMemScan:
+		width := len(o.schema)
+		for i, r := range o.rows {
+			if len(r) != width {
+				return bad("row %d has %d values, schema declares %d columns", i, len(r), width)
+			}
+		}
+		if o.size <= 0 {
+			return bad("non-positive batch size %d", o.size)
+		}
+	case *BatchFilter:
+		if err := sameSchema(o.Schema(), o.child.Schema()); err != nil {
+			return bad("filter must preserve its child schema: %v", err)
+		}
+	case *BatchProject:
+		if len(o.exprs) != len(o.schema) {
+			return bad("%d output expressions but %d schema columns", len(o.exprs), len(o.schema))
+		}
+	case *BatchHashAggregate:
+		if len(o.schema) != len(o.groupBy)+len(o.aggs) {
+			return bad("schema has %d columns, expected %d group keys + %d aggregates",
+				len(o.schema), len(o.groupBy), len(o.aggs))
+		}
+		if o.groupCols != nil && len(o.groupCols) != len(o.groupBy) {
+			return bad("%d group-column indexes for %d group keys", len(o.groupCols), len(o.groupBy))
+		}
+	case *BatchNLJoin:
+		want := len(o.outer.Schema()) + len(o.inner.Schema())
+		if len(o.schema) != want {
+			return bad("schema has %d columns, outer+inner have %d", len(o.schema), want)
+		}
+		if err := uniqueQualified(o.schema); err != nil {
+			return bad("%v", err)
+		}
+		if o.size <= 0 {
+			return bad("non-positive batch size %d", o.size)
+		}
+	case *batchAdapter:
+		if err := sameSchema(o.Schema(), o.child.Schema()); err != nil {
+			return bad("batch adapter must preserve its child schema: %v", err)
+		}
+		if o.size <= 0 {
+			return bad("non-positive batch size %d", o.size)
+		}
+	case *rowsAdapter:
+		if err := sameSchema(o.Schema(), o.child.Schema()); err != nil {
+			return bad("row adapter must preserve its child schema: %v", err)
+		}
+	case *batchReschema:
+		if len(o.schema) != len(o.child.Schema()) {
+			return bad("relabeled schema has %d columns, child has %d",
+				len(o.schema), len(o.child.Schema()))
+		}
 	}
 	return nil
 }

@@ -111,11 +111,84 @@ type State struct {
 
 // NewState returns a fresh accumulator.
 func (a *Aggregate) NewState() *State {
-	s := &State{agg: a}
+	s := &State{}
+	a.InitState(s)
+	return s
+}
+
+// InitState resets s to a fresh accumulator for a, so batch operators can
+// lay states out in bulk-allocated slabs instead of one heap object per
+// group.
+func (a *Aggregate) InitState(s *State) {
+	*s = State{agg: a}
 	if a.Distinct {
 		s.distinct = make(map[string]bool)
 	}
-	return s
+}
+
+// Adder returns the tightest per-row accumulate function available for the
+// aggregate: COUNT(*) needs no argument evaluation at all, and non-DISTINCT
+// COUNT/SUM/AVG skip the kind dispatch. Everything else falls back to the
+// generic Add. Every variant folds rows in exactly the order Add would, so
+// results — including float accumulation order — are unchanged.
+func (a *Aggregate) Adder() func(*State, value.Row) error {
+	switch {
+	case a.Kind == AggCountStar:
+		return func(s *State, _ value.Row) error { s.count++; return nil }
+	case a.Distinct:
+		return (*State).Add
+	case a.Kind == AggCount:
+		return func(s *State, r value.Row) error {
+			v, err := a.Arg(r)
+			if err != nil || v.IsNull() {
+				return err
+			}
+			s.count++
+			return nil
+		}
+	case a.Kind == AggSum || a.Kind == AggAvg:
+		return func(s *State, r value.Row) error {
+			v, err := a.Arg(r)
+			if err != nil || v.IsNull() {
+				return err
+			}
+			s.count++
+			s.addNumeric(v)
+			return nil
+		}
+	default:
+		return (*State).Add
+	}
+}
+
+// AdderCol is Adder for an aggregate whose argument is the bare input column
+// col: the accumulate function indexes the row directly instead of calling
+// the compiled argument closure. Semantics are identical to Add.
+func (a *Aggregate) AdderCol(col int) func(*State, value.Row) error {
+	switch {
+	case a.Kind == AggCountStar:
+		return a.Adder()
+	case a.Kind == AggCount && !a.Distinct:
+		return func(s *State, r value.Row) error {
+			if r[col].IsNull() {
+				return nil
+			}
+			s.count++
+			return nil
+		}
+	case (a.Kind == AggSum || a.Kind == AggAvg) && !a.Distinct:
+		return func(s *State, r value.Row) error {
+			v := r[col]
+			if v.IsNull() {
+				return nil
+			}
+			s.count++
+			s.addNumeric(v)
+			return nil
+		}
+	default:
+		return func(s *State, r value.Row) error { return s.AddValue(r[col]) }
+	}
 }
 
 // Add folds one input row into the accumulator. NULL arguments are skipped,
@@ -129,6 +202,19 @@ func (s *State) Add(row value.Row) error {
 	v, err := a.Arg(row)
 	if err != nil {
 		return err
+	}
+	return s.AddValue(v)
+}
+
+// AddValue folds one already-evaluated argument into the accumulator,
+// exactly as Add would after evaluating its expression — callers that can
+// read the argument straight out of a column use this to skip the compiled
+// closure. Meaningless for COUNT(*), whose Add never evaluates an argument.
+func (s *State) AddValue(v value.Value) error {
+	a := s.agg
+	if a.Kind == AggCountStar {
+		s.count++
+		return nil
 	}
 	if v.IsNull() {
 		return nil

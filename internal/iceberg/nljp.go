@@ -50,6 +50,7 @@ type NLJP struct {
 	bindingOrder string
 	cacheLimit   int
 	workers      int
+	batchSize    int
 
 	// ec carries the query's cancellation context and memory budget; nil
 	// means background context, unlimited budget. reservedInner is the bytes
@@ -255,9 +256,12 @@ func buildNLJP(b *block, overrides map[string]*engine.MaterializedRel, opts Opti
 	n.bindingOrder = opts.BindingOrder
 	n.cacheLimit = opts.CacheLimit
 	n.workers = opts.Workers
+	n.batchSize = opts.BatchSize
 	n.ec = ec
 
-	planner := &engine.Planner{Catalog: b.cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec}
+	// BatchSize routes the binding-side queries (Q_B and the inner relation)
+	// through the engine's vectorized batch pipeline.
+	planner := &engine.Planner{Catalog: b.cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize}
 
 	// --- Q_B: binding query over L ------------------------------------
 	needL := append([]*sqlparser.ColRef(nil), jL...)
@@ -324,7 +328,7 @@ func buildNLJP(b *block, overrides map[string]*engine.MaterializedRel, opts Opti
 	if err != nil {
 		return nil, fmt.Errorf("planning inner query: %w", err)
 	}
-	innerRows, err := engine.RunExec(ec, innerOp)
+	innerRows, err := engine.RunExecBatch(ec, innerOp, opts.BatchSize)
 	if err != nil {
 		return nil, err
 	}
@@ -584,6 +588,7 @@ type nljpScratch struct {
 	finStates []*expr.State // finalize-from-partials accumulators
 	residRow  value.Row     // binding ++ inner row for the residual filter
 	aggRow    value.Row     // [𝔾_L ++ agg slots] row for Φ and Λ
+	probe     engine.ProbeScratch // allocation-free prober key buffers
 	local     localStats    // per-binding counters, flushed in batches
 	tick      uint32        // checkCtx rate limiter
 }
@@ -844,7 +849,7 @@ func (n *NLJP) runParallel(c *cache, workers int) (*engine.Result, error) {
 // materializeBindings drains Q_B into memory, applying the bindingOrder
 // exploration-order lever when configured.
 func (n *NLJP) materializeBindings() ([]value.Row, error) {
-	rows, err := engine.RunExec(n.ec, n.bindingOp)
+	rows, err := engine.RunExecBatch(n.ec, n.bindingOp, n.batchSize)
 	if err != nil {
 		return nil, err
 	}
@@ -911,7 +916,7 @@ func (n *NLJP) evalInner(bindingRow value.Row, s *nljpScratch) (*cacheEntry, err
 	for _, st := range s.states {
 		st.Reset()
 	}
-	matches, err := n.prober.Probe(bindingRow)
+	matches, err := engine.ProbeInto(n.prober, bindingRow, &s.probe)
 	if err != nil {
 		return nil, err
 	}

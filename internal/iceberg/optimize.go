@@ -52,6 +52,12 @@ type Options struct {
 	// plan; only when even the baseline cannot fit does the query fail,
 	// with an error wrapping resource.ErrBudgetExceeded.
 	MemBudget int64
+	// BatchSize > 0 runs every planned query — baseline plans, reducers,
+	// memo rewrites, and NLJP's binding-side inner queries — through the
+	// engine's vectorized batch pipeline in chunks of that many rows.
+	// Results are byte-identical to the row path; 0 keeps row-at-a-time
+	// execution.
+	BatchSize int
 }
 
 // AllOn returns the paper's "all" configuration.
@@ -197,12 +203,12 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 	report.Blocks = append(report.Blocks, blk)
 
 	baseline := func(overrides map[string]*engine.MaterializedRel) (*engine.Result, error) {
-		p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec}
+		p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize}
 		op, err := p.PlanSelect(&body, env)
 		if err != nil {
 			return nil, err
 		}
-		rows, err := engine.RunExec(ec, op)
+		rows, err := engine.RunExecBatch(ec, op, opts.BatchSize)
 		if err != nil {
 			return nil, err
 		}
@@ -215,7 +221,7 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 		return baseline(nil)
 	}
 
-	planner := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, Exec: ec}
+	planner := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, Exec: ec, BatchSize: opts.BatchSize}
 	overrides := map[string]*engine.MaterializedRel{}
 	if opts.Apriori {
 		for _, red := range findReducers(b) {
@@ -270,12 +276,12 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 		}
 		if rewritten != nil {
 			blk.Notes = append(blk.Notes, "memoization applied by static rewrite (Listing 8)")
-			p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec}
+			p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize}
 			op, err := p.PlanSelect(rewritten, env)
 			if err != nil {
 				return nil, fmt.Errorf("planning memo rewrite: %w", err)
 			}
-			rows, err := engine.RunExec(ec, op)
+			rows, err := engine.RunExecBatch(ec, op, opts.BatchSize)
 			if err != nil {
 				if errors.Is(err, resource.ErrBudgetExceeded) {
 					blk.Notes = append(blk.Notes, "memo rewrite abandoned ("+err.Error()+"); falling back to baseline plan")

@@ -1,0 +1,192 @@
+package value
+
+// Batch is a chunk of rows sharing one schema. It is the unit of the
+// engine's vectorized execution path: operators hand batches down the tree
+// instead of single rows, amortizing per-row interface and bookkeeping costs
+// over the chunk.
+//
+// A batch has one of two representations:
+//
+//   - buffer mode (NewBatch): rows live row-major in a single flat buffer,
+//     so a whole chunk costs one allocation and stays cache-friendly.
+//     Producers that compute fresh rows (projections, aggregates, joins)
+//     build chunks this way with AppendRow/PushRow.
+//   - view mode (NewViewBatch): the batch holds references to rows owned by
+//     someone else — a scan over materialized storage appends the selected
+//     rows with AppendRef and never copies a value.
+//
+// Consumers are representation-agnostic: Row, Len, MoveRow, Truncate,
+// PopRow, Clone, and CloneRows behave identically in both modes.
+//
+// Aliasing contract: rows returned by Row alias batch-owned (or, in view
+// mode, producer-owned) storage, and a batch returned by an operator's
+// NextBatch is valid only until the next NextBatch (or Next) call — the
+// producer reuses the chunk. Callers that retain a batch or a row sliced
+// from one must Clone it first (the icelint rowalias pass enforces this).
+type Batch struct {
+	width int
+	n     int
+	buf   []Value
+	// view, when non-nil, marks view mode: rows[i] lives in view[i] and buf
+	// is unused. An empty view batch keeps view non-nil (zero-length) so
+	// the mode survives Reset.
+	view []Row
+}
+
+// NewBatch returns an empty buffer-mode batch for rows of the given width,
+// with capacity for rows chunks before the buffer regrows.
+func NewBatch(width, rows int) *Batch {
+	if width < 0 {
+		width = 0
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	return &Batch{width: width, buf: make([]Value, 0, width*rows)}
+}
+
+// NewViewBatch returns an empty view-mode batch for rows of the given width,
+// with capacity for rows references before the slice regrows.
+func NewViewBatch(width, rows int) *Batch {
+	if width < 0 {
+		width = 0
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	return &Batch{width: width, view: make([]Row, 0, rows)}
+}
+
+// Width returns the number of values per row.
+func (b *Batch) Width() int { return b.width }
+
+// Len returns the number of rows currently in the batch.
+func (b *Batch) Len() int {
+	if b.view != nil {
+		return len(b.view)
+	}
+	return b.n
+}
+
+// Reset empties the batch, keeping its storage (and representation) for
+// reuse.
+func (b *Batch) Reset() {
+	if b.view != nil {
+		b.view = b.view[:0]
+		return
+	}
+	b.n = 0
+	b.buf = b.buf[:0]
+}
+
+// Row returns row i. In buffer mode the row is a full-capacity slice into
+// the batch's buffer; in view mode it is the referenced row itself. Either
+// way it is valid only as long as the batch; see the aliasing contract.
+func (b *Batch) Row(i int) Row {
+	if b.view != nil {
+		return b.view[i]
+	}
+	lo, hi := i*b.width, (i+1)*b.width
+	return Row(b.buf[lo:hi:hi])
+}
+
+// AppendRow copies r into the batch (buffer mode only). r must have exactly
+// Width values.
+func (b *Batch) AppendRow(r Row) {
+	b.buf = append(b.buf, r...)
+	b.n++
+}
+
+// AppendRef appends a reference to r without copying (view mode only). The
+// row must outlive the chunk's validity window.
+func (b *Batch) AppendRef(r Row) {
+	b.view = append(b.view, r)
+}
+
+// PushRow appends one uninitialized row and returns it for in-place writing
+// (buffer mode only). The caller must write every slot: slots may hold stale
+// values from a previous use of the buffer.
+func (b *Batch) PushRow() Row {
+	lo := len(b.buf)
+	hi := lo + b.width
+	if cap(b.buf) >= hi {
+		b.buf = b.buf[:hi]
+	} else {
+		b.buf = append(b.buf, make([]Value, b.width)...)
+	}
+	b.n++
+	return Row(b.buf[lo:hi:hi])
+}
+
+// PopRow removes the last row (the inverse of PushRow, for producers that
+// discover post-write that a row fails a predicate).
+func (b *Batch) PopRow() {
+	if b.view != nil {
+		if len(b.view) > 0 {
+			b.view = b.view[:len(b.view)-1]
+		}
+		return
+	}
+	if b.n == 0 {
+		return
+	}
+	b.n--
+	b.buf = b.buf[:b.n*b.width]
+}
+
+// Truncate keeps the first n rows.
+func (b *Batch) Truncate(n int) {
+	if n < 0 || n > b.Len() {
+		return
+	}
+	if b.view != nil {
+		b.view = b.view[:n]
+		return
+	}
+	b.n = n
+	b.buf = b.buf[:n*b.width]
+}
+
+// MoveRow moves row src over row dst inside the batch (in-place filter
+// compaction): a value copy in buffer mode, a reference move in view mode.
+func (b *Batch) MoveRow(dst, src int) {
+	if dst == src {
+		return
+	}
+	if b.view != nil {
+		b.view[dst] = b.view[src]
+		return
+	}
+	copy(b.Row(dst), b.Row(src))
+}
+
+// Clone returns a deep buffer-mode copy that does not alias the receiver's
+// storage.
+func (b *Batch) Clone() *Batch {
+	n := b.Len()
+	out := &Batch{width: b.width, n: n, buf: make([]Value, 0, n*b.width)}
+	for i := 0; i < n; i++ {
+		out.buf = append(out.buf, b.Row(i)...)
+	}
+	return out
+}
+
+// CloneRows appends independent copies of all rows to dst and returns it.
+// All rows share one freshly allocated backing array (one allocation for the
+// values plus the header growth), so draining a stream batch-by-batch costs
+// two allocations per chunk instead of one per row.
+func (b *Batch) CloneRows(dst []Row) []Row {
+	n := b.Len()
+	if n == 0 {
+		return dst
+	}
+	flat := make([]Value, 0, n*b.width)
+	for i := 0; i < n; i++ {
+		flat = append(flat, b.Row(i)...)
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := i*b.width, (i+1)*b.width
+		dst = append(dst, Row(flat[lo:hi:hi]))
+	}
+	return dst
+}

@@ -1,0 +1,176 @@
+package value
+
+import "testing"
+
+func batchRow(vs ...int64) Row {
+	r := make(Row, len(vs))
+	for i, v := range vs {
+		r[i] = NewInt(v)
+	}
+	return r
+}
+
+func TestBatchAppendRowAndRowAccess(t *testing.T) {
+	b := NewBatch(2, 4)
+	if b.Width() != 2 || b.Len() != 0 {
+		t.Fatalf("fresh batch: width=%d len=%d", b.Width(), b.Len())
+	}
+	b.AppendRow(batchRow(1, 2))
+	b.AppendRow(batchRow(3, 4))
+	if b.Len() != 2 {
+		t.Fatalf("len = %d, want 2", b.Len())
+	}
+	r := b.Row(1)
+	if r[0].I != 3 || r[1].I != 4 {
+		t.Fatalf("row 1 = %v", r)
+	}
+	// Row must be capacity-clipped: an append to it cannot clobber the
+	// following row's slot.
+	if cap(r) != 2 {
+		t.Fatalf("row cap = %d, want 2", cap(r))
+	}
+}
+
+func TestBatchPushPopTruncate(t *testing.T) {
+	b := NewBatch(1, 2)
+	r := b.PushRow()
+	r[0] = NewInt(7)
+	r = b.PushRow()
+	r[0] = NewInt(8)
+	b.PopRow()
+	if b.Len() != 1 || b.Row(0)[0].I != 7 {
+		t.Fatalf("after pop: len=%d row0=%v", b.Len(), b.Row(0))
+	}
+	b.PushRow()[0] = NewInt(9)
+	b.Truncate(1)
+	if b.Len() != 1 || b.Row(0)[0].I != 7 {
+		t.Fatalf("after truncate: len=%d row0=%v", b.Len(), b.Row(0))
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("after reset: len=%d", b.Len())
+	}
+}
+
+func TestBatchMoveRowCompaction(t *testing.T) {
+	b := NewBatch(2, 4)
+	for i := int64(0); i < 4; i++ {
+		b.AppendRow(batchRow(i, i*10))
+	}
+	// Keep rows 1 and 3 (a typical filter compaction).
+	b.MoveRow(0, 1)
+	b.MoveRow(1, 3)
+	b.Truncate(2)
+	if b.Row(0)[0].I != 1 || b.Row(1)[0].I != 3 {
+		t.Fatalf("compacted = %v %v", b.Row(0), b.Row(1))
+	}
+}
+
+func TestBatchCloneIndependence(t *testing.T) {
+	b := NewBatch(1, 1)
+	b.AppendRow(batchRow(1))
+	c := b.Clone()
+	b.Row(0)[0] = NewInt(99)
+	if c.Row(0)[0].I != 1 {
+		t.Fatalf("clone aliases the original buffer")
+	}
+}
+
+func TestBatchCloneRows(t *testing.T) {
+	b := NewBatch(2, 3)
+	for i := int64(0); i < 3; i++ {
+		b.AppendRow(batchRow(i, i+100))
+	}
+	rows := b.CloneRows(nil)
+	if len(rows) != 3 {
+		t.Fatalf("cloned %d rows, want 3", len(rows))
+	}
+	b.Row(0)[0] = NewInt(777)
+	if rows[0][0].I != 0 {
+		t.Fatalf("cloned rows alias the batch buffer")
+	}
+	// Cloned rows are capacity-clipped so appends to one cannot spill into
+	// its neighbor.
+	if cap(rows[0]) != 2 {
+		t.Fatalf("cloned row cap = %d, want 2", cap(rows[0]))
+	}
+	// Reuse after reset must not corrupt previously cloned rows.
+	b.Reset()
+	b.AppendRow(batchRow(50, 51))
+	if rows[1][0].I != 1 || rows[1][1].I != 101 {
+		t.Fatalf("cloned rows corrupted by batch reuse: %v", rows[1])
+	}
+}
+
+func TestViewBatchBasics(t *testing.T) {
+	src := []Row{batchRow(1, 2), batchRow(3, 4), batchRow(5, 6)}
+	b := NewViewBatch(2, 2)
+	if b.Width() != 2 || b.Len() != 0 {
+		t.Fatalf("fresh view batch: width=%d len=%d", b.Width(), b.Len())
+	}
+	for _, r := range src {
+		b.AppendRef(r)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len = %d, want 3", b.Len())
+	}
+	// Row returns the referenced row itself: no copy, full aliasing.
+	if &b.Row(1)[0] != &src[1][0] {
+		t.Fatalf("view Row(1) does not alias the source row")
+	}
+	// PopRow and Truncate drop references without touching the source rows.
+	b.PopRow()
+	b.Truncate(1)
+	if b.Len() != 1 || b.Row(0)[0].I != 1 {
+		t.Fatalf("after pop+truncate: len=%d row0=%v", b.Len(), b.Row(0))
+	}
+	if src[2][0].I != 5 {
+		t.Fatalf("source row mutated by view batch bookkeeping")
+	}
+	// Reset keeps view mode: the batch stays reference-backed for reuse.
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("len after reset = %d", b.Len())
+	}
+	b.AppendRef(src[0])
+	if &b.Row(0)[0] != &src[0][0] {
+		t.Fatalf("view mode lost across Reset")
+	}
+}
+
+func TestViewBatchMoveRowCompaction(t *testing.T) {
+	src := []Row{batchRow(10), batchRow(11), batchRow(12)}
+	b := NewViewBatch(1, 3)
+	for _, r := range src {
+		b.AppendRef(r)
+	}
+	// In-place filter idiom: keep rows 0 and 2.
+	b.MoveRow(1, 2)
+	b.Truncate(2)
+	if b.Row(0)[0].I != 10 || b.Row(1)[0].I != 12 {
+		t.Fatalf("compacted view = [%v %v]", b.Row(0), b.Row(1))
+	}
+	// MoveRow moves the reference, not the values: source rows are intact.
+	if src[1][0].I != 11 {
+		t.Fatalf("MoveRow on a view batch overwrote the source row")
+	}
+}
+
+func TestViewBatchCloneDetaches(t *testing.T) {
+	src := []Row{batchRow(1, 2), batchRow(3, 4)}
+	b := NewViewBatch(2, 2)
+	b.AppendRef(src[0])
+	b.AppendRef(src[1])
+
+	c := b.Clone()
+	rows := b.CloneRows(nil)
+	src[0][0] = NewInt(99)
+	if c.Row(0)[0].I != 1 || rows[0][0].I != 1 {
+		t.Fatalf("Clone/CloneRows of a view batch alias the source rows")
+	}
+	// The clone is an ordinary buffer-mode batch.
+	c.AppendRow(batchRow(5, 6))
+	if c.Len() != 3 || c.Row(2)[1].I != 6 {
+		t.Fatalf("clone of view batch not buffer-backed: %v", c.Row(2))
+	}
+}

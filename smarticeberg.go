@@ -79,6 +79,11 @@ type Options struct {
 	// optimizer abandons its rewrite for the baseline plan; only when even
 	// that cannot fit does the query fail, with a typed error.
 	MemoryBudget int64
+	// BatchSize selects chunk-at-a-time (vectorized) execution for the
+	// plan fragments NLJP runs internally — the inner relation scan, the
+	// binding query, and per-binding inner aggregates. 0 keeps the
+	// row-at-a-time path; results are identical for every setting.
+	BatchSize int
 }
 
 // AllOptimizations enables every technique, the paper's "all" bar.
@@ -98,6 +103,7 @@ func (o Options) internal() iceberg.Options {
 		Workers:      o.Workers,
 		Ctx:          o.Ctx,
 		MemBudget:    o.MemoryBudget,
+		BatchSize:    o.BatchSize,
 	}
 }
 
@@ -252,6 +258,38 @@ func (db *DB) QueryVendorACtx(ctx context.Context, sql string) (*Result, error) 
 	return out, nil
 }
 
+// QueryBatch executes a SELECT through the baseline planner's vectorized
+// (chunk-at-a-time) pipeline with the given batch size. batchSize <= 0
+// falls back to the row-at-a-time Volcano path; results are byte-identical
+// for every setting.
+func (db *DB) QueryBatch(sql string, batchSize int) (*Result, error) {
+	return db.QueryBatchCtx(context.Background(), sql, batchSize)
+}
+
+// QueryBatchCtx is QueryBatch under a context; cancellation is observed at
+// chunk granularity.
+func (db *DB) QueryBatchCtx(ctx context.Context, sql string, batchSize int) (*Result, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	ec := engine.NewExecContext(ctx, nil)
+	p := engine.NewPlanner(db.cat)
+	p.Exec = ec
+	p.BatchSize = batchSize
+	op, err := p.PlanSelect(sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := engine.RunExecBatch(ec, op, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{}
+	out.setRaw(&engine.Result{Columns: op.Schema(), Rows: rows})
+	return out, nil
+}
+
 // QueryOpt executes a SELECT with the Smart-Iceberg optimizer.
 func (db *DB) QueryOpt(sql string, opts Options) (*Result, *Report, error) {
 	sel, err := sqlparser.ParseSelect(sql)
@@ -295,6 +333,23 @@ func (db *DB) Explain(sql string, opts *Options) (string, error) {
 		return engine.Explain(op), nil
 	}
 	return iceberg.Describe(db.cat, sel, opts.internal())
+}
+
+// ExplainBatch returns the baseline plan as it would execute with the given
+// vectorized batch size: each operator is annotated with "[batch N]" when it
+// runs chunk-at-a-time and "[row]" when it falls back to row-at-a-time.
+func (db *DB) ExplainBatch(sql string, batchSize int) (string, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return "", err
+	}
+	p := engine.NewPlanner(db.cat)
+	p.BatchSize = batchSize
+	op, err := p.PlanSelect(sel, nil)
+	if err != nil {
+		return "", err
+	}
+	return engine.Explain(op), nil
 }
 
 // ExplainAnalyze executes a SELECT through the baseline planner and returns
