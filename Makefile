@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench bench-vector faulttest
+.PHONY: all build test race lint vet bench bench-vector bench-spill faulttest spilltest
 
 all: build lint test
 
@@ -31,6 +31,14 @@ lint: vet
 faulttest:
 	$(GO) test -race -count=1 -run 'Fault|Cancel|Deadline|Budget|Leak|Smoke' . ./internal/engine/ ./internal/iceberg/ ./internal/resource/ ./internal/failpoint/
 
+# Spill suite: byte-identity of spilled aggregation, the disk-fault matrix
+# (every spill failpoint × error/panic/corrupt-frame), the NLJP overflow
+# tier, and the public-API acceptance tests — under the race detector, since
+# spill cleanup runs on panic/cancellation paths. See DESIGN.md, "Spill &
+# recovery".
+spilltest:
+	$(GO) test -race -count=1 -run 'Spill|TestCacheOverflow|TestCacheEntryCodec|TestNLJP' . ./internal/engine/ ./internal/iceberg/ ./internal/spill/ ./internal/bench/
+
 # The root run regenerates BENCH_nljp.json (parallel NLJP worker sweep);
 # the internal/bench run is the harness's own benchmark smoke.
 bench:
@@ -43,3 +51,9 @@ bench:
 # execution".
 bench-vector:
 	$(GO) test -bench=BenchmarkVector -benchtime=100x -cpu=1 -run=^$$ .
+
+# In-memory vs spilling aggregation at a quarter of the measured peak, row
+# and batch pipelines, pinned to one CPU. Regenerates BENCH_spill.json. See
+# DESIGN.md, "Spill & recovery".
+bench-spill:
+	$(GO) test -bench=BenchmarkSpill -benchtime=20x -cpu=1 -run=^$$ .

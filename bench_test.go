@@ -305,3 +305,61 @@ func BenchmarkVector(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSpill compares the in-memory aggregate against the same plan
+// forced to spill at a quarter of its measured peak, row path and the
+// production batch size. Regenerates BENCH_spill.json (`make bench-spill`).
+func BenchmarkSpill(b *testing.B) {
+	inputN := 10 * benchN()
+	rows := bench.VectorRows(inputN)
+	latest := map[string]bench.SpillBenchRecord{}
+	var order []string
+	record := func(name string, rec bench.SpillBenchRecord) {
+		if _, seen := latest[name]; !seen {
+			order = append(order, name)
+		}
+		latest[name] = rec
+	}
+	for _, size := range []int{0, 1024} {
+		size := size
+		build := func() engine.Operator { return bench.ScanFilterAggPlan(rows, size) }
+		peak, err := bench.SpillAggPeak(rows, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipeline := "row"
+		if size > 0 {
+			pipeline = fmt.Sprintf("batch%d", size)
+		}
+		for _, mode := range []struct {
+			name   string
+			budget int64
+		}{
+			{"memory", 0},
+			{"spill", peak / 4},
+		} {
+			name := fmt.Sprintf("scanfilteragg/%s/%s", pipeline, mode.name)
+			b.Run(fmt.Sprintf("%s/%s", pipeline, mode.name), func(b *testing.B) {
+				dir := b.TempDir()
+				rec, err := bench.MeasureSpill("scanfilteragg", mode.name, mode.budget, dir, size, inputN, b.N, build)
+				if err != nil {
+					b.Fatal(err)
+				}
+				record(name, rec)
+				b.ReportMetric(rec.RowsPerSec, "rows/s")
+				if mode.name == "spill" {
+					b.ReportMetric(float64(rec.SpillBytes), "spill-B/op")
+				}
+			})
+		}
+	}
+	if len(order) > 0 {
+		records := make([]bench.SpillBenchRecord, len(order))
+		for i, name := range order {
+			records[i] = latest[name]
+		}
+		if err := bench.WriteSpillBench("BENCH_spill.json", records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

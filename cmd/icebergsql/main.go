@@ -41,9 +41,11 @@ import (
 )
 
 var (
-	flagTimeout = flag.Duration("timeout", 0, "per-query deadline (e.g. 30s); 0 disables")
-	flagMem     = flag.Int64("mem", 0, "per-query memory budget in bytes; 0 = unlimited")
-	flagBatch   = flag.Int("batch", 0, "vectorized batch size for query execution; 0 = row-at-a-time")
+	flagTimeout  = flag.Duration("timeout", 0, "per-query deadline (e.g. 30s); 0 disables")
+	flagMem      = flag.Int64("mem", 0, "per-query memory budget in bytes; 0 = unlimited")
+	flagBatch    = flag.Int("batch", 0, "vectorized batch size for query execution; 0 = row-at-a-time")
+	flagSpill    = flag.Bool("spill", false, "spill to disk instead of failing when -mem is exceeded")
+	flagSpillDir = flag.String("spill-dir", "", "parent directory for spill files; empty = system temp dir")
 )
 
 func main() {
@@ -52,6 +54,8 @@ func main() {
 	opts := smarticeberg.AllOptimizations()
 	opts.MemoryBudget = *flagMem
 	opts.BatchSize = *flagBatch
+	opts.Spill = *flagSpill
+	opts.SpillDir = *flagSpillDir
 	optimize := true
 	var lastReport string
 
@@ -108,8 +112,12 @@ func runSQL(db *smarticeberg.DB, sql string, opts smarticeberg.Options, optimize
 			*lastReport = report.Text
 			fmt.Print(res.String())
 			degraded := ""
-			if report.Stats.Degraded {
-				degraded = "; degraded under memory budget"
+			if report.Stats.Degraded() {
+				names := make([]string, len(report.Stats.Degradations))
+				for i, r := range report.Stats.Degradations {
+					names[i] = r.String()
+				}
+				degraded = "; degraded under memory budget: " + strings.Join(names, ", ")
 			}
 			fmt.Printf("Time: %.3fs (optimized; \\report for rewrites%s)\n", time.Since(start).Seconds(), degraded)
 			return
@@ -231,7 +239,7 @@ func command(db *smarticeberg.DB, line string, opts *smarticeberg.Options, optim
 	case "\\analyze":
 		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\analyze"))
 		sql = strings.TrimSuffix(sql, ";")
-		text, _, err := db.ExplainAnalyze(sql)
+		text, _, err := db.ExplainAnalyzeOpts(sql, *opts)
 		if err != nil {
 			fmt.Println("error:", err)
 		} else {

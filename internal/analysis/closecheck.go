@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // CloseCheck flags calls to an engine.Operator's Open or Close whose error
@@ -10,13 +11,20 @@ import (
 // two methods (a Sort that materializes in Open, a scan that flushes in
 // Close), so dropping the error hides real execution failures. An explicit
 // `_ = op.Close()` is treated as a deliberate, visible discard and allowed.
+//
+// It also flags os.CreateTemp / os.MkdirTemp results that a function
+// neither cleans up (no os.Remove / os.RemoveAll reachable in the same
+// function referencing the result) nor hands off (returned, stored,
+// passed to another call) — a leaked temp file survives the process, which
+// the spill subsystem's cleanup guarantees forbid.
 var CloseCheck = &Analyzer{
 	Name: "closecheck",
-	Doc:  "flag dropped errors from Operator Open/Close calls",
+	Doc:  "flag dropped errors from Operator Open/Close calls and leaked temp files",
 	Run:  runCloseCheck,
 }
 
 func runCloseCheck(pass *Pass) error {
+	runTempCleanup(pass)
 	iface := operatorInterface(pass.Pkg)
 	if iface == nil {
 		return nil
@@ -52,6 +60,180 @@ func runCloseCheck(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// runTempCleanup scans every function for os.CreateTemp / os.MkdirTemp
+// results that neither reach a cleanup call nor escape the function. The
+// analysis is deliberately shallow and lenient: storing the result anywhere
+// (a return, a struct literal, another variable, an argument to any call
+// other than the cleanup functions themselves) transfers responsibility and
+// silences the check. Only the clear bug — a temp path that provably dies
+// with the function without ever being removed — is reported.
+func runTempCleanup(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkTempCleanup(pass, fd)
+		}
+	}
+}
+
+// osCall returns the called function's name when fn is a direct selector on
+// the os package ("CreateTemp", "Remove", ...), and "" otherwise.
+func osCall(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "os" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+type tempResource struct {
+	obj     types.Object
+	assign  *ast.AssignStmt
+	creator string // "CreateTemp" or "MkdirTemp"
+	cleaned bool
+	escaped bool
+}
+
+func checkTempCleanup(pass *Pass, fd *ast.FuncDecl) {
+	// Pass 1: the temp resources this function creates.
+	var res []*tempResource
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := osCall(pass, call)
+		if name != "CreateTemp" && name != "MkdirTemp" {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		res = append(res, &tempResource{obj: obj, assign: as, creator: name})
+		return true
+	})
+	if len(res) == 0 {
+		return
+	}
+	refs := func(e ast.Expr, r *tempResource) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == r.obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	// refsOutsideCalls ignores call subtrees: calls are judged separately
+	// (cleanup vs hand-off by argument), so `_, err = f.Write(p)` is a use
+	// of f, not an escape of it.
+	refsOutsideCalls := func(e ast.Expr, r *tempResource) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := n.(*ast.CallExpr); ok {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == r.obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	// Pass 2: for each resource, find a cleanup or an escape anywhere in
+	// the function (reachability is approximated by presence — a cleanup
+	// behind a branch still counts, keeping the check low-noise).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch osCall(pass, n) {
+			case "Remove", "RemoveAll":
+				for _, r := range res {
+					for _, arg := range n.Args {
+						if refs(arg, r) {
+							r.cleaned = true
+						}
+					}
+				}
+				return false
+			default:
+				for _, r := range res {
+					for _, arg := range n.Args {
+						if refs(arg, r) {
+							r.escaped = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range res {
+				if n == r.assign {
+					continue
+				}
+				for _, rhs := range n.Rhs {
+					if refsOutsideCalls(rhs, r) {
+						r.escaped = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range res {
+				for _, e := range n.Results {
+					if refsOutsideCalls(e, r) {
+						r.escaped = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			for _, r := range res {
+				if refsOutsideCalls(n.Value, r) {
+					r.escaped = true
+				}
+			}
+		}
+		return true
+	})
+	for _, r := range res {
+		if r.cleaned || r.escaped {
+			continue
+		}
+		pass.Reportf(r.assign.Pos(),
+			"os.%s result %s is neither removed (os.Remove/os.RemoveAll) nor handed off in this function — the temp %s leaks",
+			r.creator, r.obj.Name(), tempKind(r.creator))
+	}
+}
+
+func tempKind(creator string) string {
+	if creator == "MkdirTemp" {
+		return "directory"
+	}
+	return "file"
 }
 
 // exprString renders simple receiver expressions for diagnostics.

@@ -1,0 +1,87 @@
+// Fixtures for the temp-file side of closecheck: os.CreateTemp/os.MkdirTemp
+// results must be removed or handed off before the function returns.
+package fixtures
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// TempLeakFile never removes the temp file it creates.
+func TempLeakFile() error {
+	f, err := os.CreateTemp("", "scratch-*") // want `os.CreateTemp result f is neither removed`
+	if err != nil {
+		return err
+	}
+	_, err = f.Write([]byte("data"))
+	_ = f.Close()
+	return err
+}
+
+// TempLeakDir never removes the temp directory.
+func TempLeakDir() (int, error) {
+	dir, err := os.MkdirTemp("", "work-*") // want `os.MkdirTemp result dir is neither removed`
+	if err != nil {
+		return 0, err
+	}
+	if dir == "" {
+		return 0, nil
+	}
+	ents, err := os.ReadDir(filepath.Dir("x"))
+	return len(ents), err
+}
+
+// TempRemoveGood cleans the file up with a deferred os.Remove.
+func TempRemoveGood() error {
+	f, err := os.CreateTemp("", "scratch-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name())
+	_, err = f.Write([]byte("data"))
+	_ = f.Close()
+	return err
+}
+
+// TempRemoveAllGood cleans the directory with os.RemoveAll behind a branch;
+// presence counts as reachable for this check.
+func TempRemoveAllGood(keep bool) error {
+	dir, err := os.MkdirTemp("", "work-*")
+	if err != nil {
+		return err
+	}
+	if !keep {
+		return os.RemoveAll(dir)
+	}
+	return nil
+}
+
+type holder struct{ dir string }
+
+// TempEscapeStruct hands the directory off inside a returned struct — the
+// caller owns cleanup now.
+func TempEscapeStruct() (*holder, error) {
+	dir, err := os.MkdirTemp("", "work-*")
+	if err != nil {
+		return nil, err
+	}
+	return &holder{dir: dir}, nil
+}
+
+// TempEscapeReturn returns the path itself.
+func TempEscapeReturn() (string, error) {
+	dir, err := os.MkdirTemp("", "work-*")
+	return dir, err
+}
+
+// TempEscapeCall passes the path to another function.
+func TempEscapeCall() error {
+	f, err := os.CreateTemp("", "scratch-*")
+	if err != nil {
+		return err
+	}
+	register(f.Name())
+	return f.Close()
+}
+
+func register(string) {}

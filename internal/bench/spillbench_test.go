@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smarticeberg/internal/engine"
+)
+
+// TestMeasureSpill: the squeezed-budget run must actually spill, produce the
+// same output cardinality as the in-memory baseline, and leave the spill
+// parent directory empty.
+func TestMeasureSpill(t *testing.T) {
+	rows := VectorRows(20000)
+	for _, size := range []int{0, 1024} {
+		build := func() engine.Operator { return ScanFilterAggPlan(rows, size) }
+		memRec, err := MeasureSpill("scanfilteragg", "memory", 0, "", size, len(rows), 1, build)
+		if err != nil {
+			t.Fatalf("batch=%d memory: %v", size, err)
+		}
+		peak, err := SpillAggPeak(rows, size)
+		if err != nil {
+			t.Fatalf("batch=%d peak: %v", size, err)
+		}
+		if peak <= 0 {
+			t.Fatalf("batch=%d: no peak measured", size)
+		}
+		dir := t.TempDir()
+		spillRec, err := MeasureSpill("scanfilteragg", "spill", peak/4, dir, size, len(rows), 1, build)
+		if err != nil {
+			t.Fatalf("batch=%d spill: %v", size, err)
+		}
+		if spillRec.OutputRows != memRec.OutputRows {
+			t.Fatalf("batch=%d: spill emitted %d rows, memory %d", size, spillRec.OutputRows, memRec.OutputRows)
+		}
+		if spillRec.SpillFrames <= 0 || spillRec.SpillBytes <= 0 {
+			t.Fatalf("batch=%d: spill mode reported no disk traffic: %+v", size, spillRec)
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("batch=%d: spill parent dir not cleaned (%d entries)", size, len(ents))
+		}
+	}
+}
+
+// TestWriteSpillBench round-trips the JSON artifact.
+func TestWriteSpillBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_spill.json")
+	in := []SpillBenchRecord{
+		{Bench: "scanfilteragg", Mode: "memory", Iters: 1, InputRows: 10, NsPerOp: 5},
+		{Bench: "scanfilteragg", Mode: "spill", Budget: 4096, Iters: 1, InputRows: 10, NsPerOp: 9, SpillFrames: 12},
+	}
+	if err := WriteSpillBench(path, in); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []SpillBenchRecord
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) || out[1].SpillFrames != 12 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}

@@ -27,6 +27,11 @@ type HashAggregate struct {
 	pos      int
 	out      int64
 	outRow   value.Row
+	// seq numbers input rows; a group records the seq that created it so the
+	// spill path can restore first-seen emission order.
+	seq       int64
+	spiller   *aggSpiller
+	spillNote string
 	// groupCols caches direct input-column indexes for the group keys (-1
 	// when a key is not a bare column reference); Batchify hands them to the
 	// batch aggregate so the common GROUP BY col case skips closure calls.
@@ -43,8 +48,9 @@ func (h *HashAggregate) groupBytes(key value.Row) int64 {
 }
 
 type aggGroup struct {
-	key    value.Row
-	states []*expr.State
+	key       value.Row
+	states    []*expr.State
+	firstSeen int64
 }
 
 // NewHashAggregate constructs the operator. schema describes the output
@@ -93,6 +99,9 @@ func (h *HashAggregate) Open() (err error) {
 	h.groups = h.groups[:0]
 	h.pos = 0
 	h.out = 0
+	h.seq = 0
+	h.spiller = nil
+	h.spillNote = ""
 	h.outRow = make(value.Row, len(h.schema))
 	keyVals := make([]value.Value, len(h.groupBy))
 	var keyBuf []byte
@@ -107,6 +116,15 @@ func (h *HashAggregate) Open() (err error) {
 		if r == nil {
 			break
 		}
+		h.seq++
+		if h.spiller != nil {
+			// Overflow mode: every resident group has been flushed; rows
+			// stream straight to their hash partition on disk.
+			if err := h.spiller.spillRow(h.seq, r); err != nil {
+				return err
+			}
+			continue
+		}
 		for i, g := range h.groupBy {
 			v, err := g(r)
 			if err != nil {
@@ -120,13 +138,27 @@ func (h *HashAggregate) Open() (err error) {
 		}
 		grp, ok := index[string(keyBuf)]
 		if !ok {
-			grp = &aggGroup{key: append(value.Row(nil), keyVals...), states: make([]*expr.State, len(h.aggs))}
+			grp = &aggGroup{key: append(value.Row(nil), keyVals...), states: make([]*expr.State, len(h.aggs)), firstSeen: h.seq}
 			for i, a := range h.aggs {
 				grp.states[i] = a.NewState()
 			}
 			n := h.groupBytes(grp.key)
 			if err := h.exec().Charge("hash aggregation", n); err != nil {
-				return err
+				// The failing group is not resident yet: start the spill
+				// tier (when available), flush the resident groups, and
+				// route this row to disk like the rest of the tail.
+				sp, serr := h.startSpill()
+				if serr != nil {
+					return serr
+				}
+				if sp == nil {
+					return err
+				}
+				index = nil
+				if err := sp.spillRow(h.seq, r); err != nil {
+					return err
+				}
+				continue
 			}
 			h.reserved += n
 			index[string(keyBuf)] = grp
@@ -138,8 +170,10 @@ func (h *HashAggregate) Open() (err error) {
 			}
 		}
 	}
-	if len(h.groupBy) == 0 && len(h.groups) == 0 {
-		// Scalar aggregate over empty input still yields one row.
+	if len(h.groupBy) == 0 && len(h.groups) == 0 && h.spiller == nil {
+		// Scalar aggregate over empty input still yields one row. (With the
+		// spiller active at least one row reached it, so the merge rebuilds
+		// the scalar group.)
 		grp := &aggGroup{states: make([]*expr.State, len(h.aggs))}
 		for i, a := range h.aggs {
 			grp.states[i] = a.NewState()
@@ -149,10 +183,52 @@ func (h *HashAggregate) Open() (err error) {
 	return nil
 }
 
+// startSpill flips the operator into overflow mode: flush every resident
+// group to disk and release their budget reservation. Returns (nil, nil)
+// when no spill manager is attached — the caller then surfaces the original
+// budget error.
+func (h *HashAggregate) startSpill() (*aggSpiller, error) {
+	sp, err := newAggSpiller(h.exec(), h.groupBy, h.aggs, h.having, len(h.schema))
+	if sp == nil || err != nil {
+		return nil, err
+	}
+	for _, grp := range h.groups {
+		states := grp.states
+		if err := sp.spillGroup(grp.firstSeen, grp.key, func(i int) *expr.State { return states[i] }); err != nil {
+			_ = sp.discard()
+			return nil, err
+		}
+	}
+	h.exec().Release(h.reserved)
+	h.reserved = 0
+	h.groups = h.groups[:0]
+	h.spiller = sp
+	return sp, nil
+}
+
 // Next implements Operator.
 func (h *HashAggregate) Next() (value.Row, error) {
 	if err := failpoint.Inject(failpoint.AggNext); err != nil {
 		return nil, err
+	}
+	if h.spiller != nil {
+		if err := h.step(); err != nil {
+			return nil, err
+		}
+		if !h.spiller.merged {
+			if err := h.spiller.merge(); err != nil {
+				return nil, err
+			}
+			h.spillNote = h.spiller.note
+		}
+		r, err := h.spiller.next()
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			h.out++
+		}
+		return r, nil
 	}
 	for h.pos < len(h.groups) {
 		if err := h.step(); err != nil {
@@ -188,7 +264,15 @@ func (h *HashAggregate) Close() error {
 	h.exec().Release(h.reserved)
 	h.reserved = 0
 	h.groups = nil
-	return failpoint.Inject(failpoint.AggClose)
+	var spillErr error
+	if h.spiller != nil {
+		spillErr = containPanic("spill discard", h.spiller.discard)
+		h.spiller = nil
+	}
+	if err := failpoint.Inject(failpoint.AggClose); err != nil {
+		return err
+	}
+	return spillErr
 }
 
 // Describe implements Operator.
@@ -197,7 +281,7 @@ func (h *HashAggregate) Describe() string {
 	if h.having != nil {
 		d += " + HAVING filter"
 	}
-	return d
+	return d + h.spillNote
 }
 
 // Children implements Operator.

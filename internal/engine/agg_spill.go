@@ -1,0 +1,572 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/spill"
+	"smarticeberg/internal/value"
+)
+
+// aggSpiller is the disk overflow tier shared by HashAggregate and
+// BatchHashAggregate. When a group-state budget charge fails and the
+// ExecContext carries a spill.Manager, the operator flushes every resident
+// group to hash-partitioned run files and streams all subsequent input rows
+// to the same partitions. The merge phase rebuilds each partition's groups
+// and replays its rows through the same per-row adders in global sequence
+// order, so every float is accumulated in exactly the order the in-memory
+// fold would have used; recorded first-seen sequence numbers then restore
+// the global group emission order. The result is byte-identical to the
+// unspilled run.
+//
+// Partitions that still exceed the budget during the merge are re-split
+// with a depth-salted hash and merged recursively (Grace style) down to
+// spillMaxDepth, at which point the original typed budget error surfaces.
+type aggSpiller struct {
+	ec      *ExecContext
+	mgr     *spill.Manager
+	groupBy []expr.Compiled
+	aggs    []*expr.Aggregate
+	adders  []func(*expr.State, value.Row) error
+	having  expr.Compiled
+	width   int // output row width: group keys + aggregate slots
+
+	parts    []*spill.Writer
+	keyVals  []value.Value
+	keyBuf   []byte
+	frameBuf []byte
+
+	groupsFlushed int64
+	rowsSpilled   int64
+	partitions    int
+	reserved      int64 // merge-phase budget charges not yet released
+
+	merged   bool
+	outPaths []string
+	runs     []*emitRun
+	note     string
+}
+
+const (
+	spillFanout   = 8
+	spillMaxDepth = 10
+
+	spillKindGroup = 1 // frame: kind, firstSeen u64, key row, nStates u32, states
+	spillKindRow   = 2 // frame: kind, seq u64, input row
+)
+
+// newAggSpiller starts the overflow tier, creating one run file per
+// partition. Returns (nil, nil) when the context has no spill manager.
+func newAggSpiller(ec *ExecContext, groupBy []expr.Compiled, aggs []*expr.Aggregate, having expr.Compiled, width int) (*aggSpiller, error) {
+	mgr := ec.Spill()
+	if mgr == nil {
+		return nil, nil
+	}
+	as := &aggSpiller{
+		ec:      ec,
+		mgr:     mgr,
+		groupBy: groupBy,
+		aggs:    aggs,
+		having:  having,
+		width:   width,
+		keyVals: make([]value.Value, len(groupBy)),
+		adders:  make([]func(*expr.State, value.Row) error, len(aggs)),
+	}
+	for i, a := range aggs {
+		as.adders[i] = a.Adder()
+	}
+	as.parts = make([]*spill.Writer, spillFanout)
+	for i := range as.parts {
+		w, err := mgr.Create("agg")
+		if err != nil {
+			_ = as.discard()
+			return nil, err
+		}
+		as.parts[i] = w
+	}
+	as.partitions = spillFanout
+	ec.Degrade(DegradeSpill)
+	return as, nil
+}
+
+// spillPartition routes a grouping key (its AppendKeys encoding, so Int 3
+// and Float 3.0 stay together) to a partition; depth salts the hash so a
+// recursive re-split redistributes keys that collided at the parent level.
+// The avalanche finalizer matters: FNV-1a's low bits never see the high
+// bits, so a bare h % 8 makes each depth a permutation of its parent's
+// partitioning instead of an independent re-split.
+func spillPartition(keyBytes []byte, depth int) int {
+	h := uint32(2166136261) ^ (uint32(depth) * 0x9747b28d)
+	for _, b := range keyBytes {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return int(h % spillFanout)
+}
+
+// groupCharge mirrors the operators' groupBytes formula so spilled and
+// resident groups cost the budget the same.
+func (as *aggSpiller) groupCharge(key value.Row) int64 {
+	return 48 + resource.RowBytes(key) + 56*int64(len(as.aggs))
+}
+
+// charge / release wrap the budget so as.reserved always mirrors the
+// outstanding merge reservations; a panic that unwinds past the merge is
+// then released by discard, keeping Budget.Used() at zero.
+func (as *aggSpiller) charge(n int64) error {
+	if err := as.ec.Charge("spill merge", n); err != nil {
+		return err
+	}
+	as.reserved += n
+	return nil
+}
+
+func (as *aggSpiller) release(n int64) {
+	as.ec.Release(n)
+	as.reserved -= n
+}
+
+// spillGroup flushes one resident group (its first-seen sequence number,
+// exact key row, and complete accumulator snapshots) to its partition.
+func (as *aggSpiller) spillGroup(firstSeen int64, key value.Row, state func(int) *expr.State) error {
+	as.keyBuf = value.AppendKeys(as.keyBuf[:0], key)
+	p := spillPartition(as.keyBuf, 0)
+	buf := append(as.frameBuf[:0], spillKindGroup)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(firstSeen))
+	buf = value.AppendRowBinary(buf, key)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(as.aggs)))
+	for i := range as.aggs {
+		buf = state(i).EncodeSpill(buf)
+	}
+	as.frameBuf = buf
+	as.groupsFlushed++
+	return as.parts[p].WriteFrame(buf)
+}
+
+// spillRow streams one input row, tagged with its global sequence number, to
+// the partition its grouping key hashes to.
+func (as *aggSpiller) spillRow(seq int64, r value.Row) error {
+	for i, g := range as.groupBy {
+		v, err := g(r)
+		if err != nil {
+			return err
+		}
+		as.keyVals[i] = v
+	}
+	as.keyBuf = value.AppendKeys(as.keyBuf[:0], as.keyVals)
+	p := spillPartition(as.keyBuf, 0)
+	buf := append(as.frameBuf[:0], spillKindRow)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(seq))
+	buf = value.AppendRowBinary(buf, r)
+	as.frameBuf = buf
+	as.rowsSpilled++
+	return as.parts[p].WriteFrame(buf)
+}
+
+// spillGroupState is one group being rebuilt during the merge.
+type spillGroupState struct {
+	firstSeen int64
+	key       value.Row
+	states    []*expr.State
+}
+
+// merge closes the partition writers, merges every partition (recursively
+// when needed), and opens the sorted output runs for emission. Called
+// lazily on the operator's first Next.
+func (as *aggSpiller) merge() error {
+	for _, w := range as.parts {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	for _, w := range as.parts {
+		if err := as.finalizePartition(w.Path(), 0); err != nil {
+			return err
+		}
+	}
+	as.parts = nil
+	if err := as.startEmit(); err != nil {
+		return err
+	}
+	as.merged = true
+	as.note = fmt.Sprintf(" [spilled: %d groups + %d rows, %d partitions]",
+		as.groupsFlushed, as.rowsSpilled, as.partitions)
+	return nil
+}
+
+// finalizePartition rebuilds one partition's groups in memory, finalizes
+// them in first-seen order, and writes the surviving output rows to a
+// sorted run file. If the partition alone exceeds the budget it is re-split
+// and each child merged recursively.
+func (as *aggSpiller) finalizePartition(path string, depth int) error {
+	groups, reserved, err := as.loadPartition(path)
+	if err != nil {
+		as.release(reserved)
+		if errors.Is(err, resource.ErrBudgetExceeded) && depth < spillMaxDepth {
+			return as.repartition(path, depth, err)
+		}
+		return err
+	}
+	defer as.release(reserved)
+	if err := as.mgr.Remove(path); err != nil {
+		return err
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].firstSeen < groups[j].firstSeen })
+	out, err := as.mgr.Create("run")
+	if err != nil {
+		return err
+	}
+	as.outPaths = append(as.outPaths, out.Path())
+	row := make(value.Row, as.width)
+	for _, g := range groups {
+		n := copy(row, g.key)
+		for i, st := range g.states {
+			row[n+i] = st.Value()
+		}
+		if as.having != nil {
+			ok, err := expr.EvalBool(as.having, row)
+			if err != nil {
+				_ = out.Close()
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		buf := binary.BigEndian.AppendUint64(as.frameBuf[:0], uint64(g.firstSeen))
+		buf = value.AppendRowBinary(buf, row)
+		as.frameBuf = buf
+		if err := out.WriteFrame(buf); err != nil {
+			_ = out.Close()
+			return err
+		}
+	}
+	return out.Close()
+}
+
+// loadPartition replays one partition file: flushed group snapshots are
+// restored, then raw rows (already in global sequence order within the
+// file) fold through the same adders the in-memory build uses. Each
+// rebuilt group is charged to the budget; the caller releases `reserved`.
+func (as *aggSpiller) loadPartition(path string) (groups []*spillGroupState, reserved int64, err error) {
+	r, err := as.mgr.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer func() {
+		if cerr := r.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	index := make(map[string]*spillGroupState)
+	for {
+		payload, err := r.Next()
+		if err != nil {
+			return groups, reserved, err
+		}
+		if payload == nil {
+			return groups, reserved, nil
+		}
+		if len(payload) < 9 {
+			return groups, reserved, fmt.Errorf("%w: %s: short spill frame", spill.ErrCorrupt, path)
+		}
+		kind := payload[0]
+		seq := int64(binary.BigEndian.Uint64(payload[1:]))
+		body := payload[9:]
+		switch kind {
+		case spillKindGroup:
+			key, rest, derr := value.DecodeRowBinary(body)
+			if derr != nil {
+				return groups, reserved, fmt.Errorf("%w: %s: bad group key", spill.ErrCorrupt, path)
+			}
+			if len(rest) < 4 || int(binary.BigEndian.Uint32(rest)) != len(as.aggs) {
+				return groups, reserved, fmt.Errorf("%w: %s: bad state count", spill.ErrCorrupt, path)
+			}
+			rest = rest[4:]
+			states := make([]*expr.State, len(as.aggs))
+			for i, a := range as.aggs {
+				st := a.NewState()
+				rest, derr = st.DecodeSpill(rest)
+				if derr != nil {
+					return groups, reserved, fmt.Errorf("%w: %s: bad aggregate state", spill.ErrCorrupt, path)
+				}
+				states[i] = st
+			}
+			n := as.groupCharge(key)
+			if cerr := as.charge(n); cerr != nil {
+				return groups, reserved, cerr
+			}
+			reserved += n
+			g := &spillGroupState{firstSeen: seq, key: key, states: states}
+			as.keyBuf = value.AppendKeys(as.keyBuf[:0], key)
+			index[string(as.keyBuf)] = g
+			groups = append(groups, g)
+		case spillKindRow:
+			row, _, derr := value.DecodeRowBinary(body)
+			if derr != nil {
+				return groups, reserved, fmt.Errorf("%w: %s: bad spilled row", spill.ErrCorrupt, path)
+			}
+			for i, gexp := range as.groupBy {
+				v, eerr := gexp(row)
+				if eerr != nil {
+					return groups, reserved, eerr
+				}
+				as.keyVals[i] = v
+			}
+			as.keyBuf = value.AppendKeys(as.keyBuf[:0], as.keyVals)
+			g, ok := index[string(as.keyBuf)]
+			if !ok {
+				key := append(value.Row(nil), as.keyVals...)
+				n := as.groupCharge(key)
+				if cerr := as.charge(n); cerr != nil {
+					return groups, reserved, cerr
+				}
+				reserved += n
+				g = &spillGroupState{firstSeen: seq, key: key, states: make([]*expr.State, len(as.aggs))}
+				for i, a := range as.aggs {
+					g.states[i] = a.NewState()
+				}
+				index[string(as.keyBuf)] = g
+				groups = append(groups, g)
+			}
+			for i, add := range as.adders {
+				if aerr := add(g.states[i], row); aerr != nil {
+					return groups, reserved, aerr
+				}
+			}
+		default:
+			return groups, reserved, fmt.Errorf("%w: %s: unknown frame kind %d", spill.ErrCorrupt, path, kind)
+		}
+	}
+}
+
+// repartition re-splits an over-budget partition into spillFanout children
+// using the next depth's hash salt, then merges each child. chargeErr (the
+// typed budget failure that triggered the split) surfaces unchanged if the
+// recursion bottoms out without fitting.
+func (as *aggSpiller) repartition(path string, depth int, chargeErr error) error {
+	subs := make([]*spill.Writer, spillFanout)
+	for i := range subs {
+		w, err := as.mgr.Create("agg")
+		if err != nil {
+			return err
+		}
+		subs[i] = w
+	}
+	as.partitions += spillFanout
+	r, err := as.mgr.Open(path)
+	if err != nil {
+		return err
+	}
+	routeErr := func() error {
+		for {
+			payload, err := r.Next()
+			if err != nil {
+				return err
+			}
+			if payload == nil {
+				return nil
+			}
+			if len(payload) < 9 {
+				return fmt.Errorf("%w: %s: short spill frame", spill.ErrCorrupt, path)
+			}
+			body := payload[9:]
+			switch payload[0] {
+			case spillKindGroup:
+				key, _, derr := value.DecodeRowBinary(body)
+				if derr != nil {
+					return fmt.Errorf("%w: %s: bad group key", spill.ErrCorrupt, path)
+				}
+				as.keyBuf = value.AppendKeys(as.keyBuf[:0], key)
+			case spillKindRow:
+				row, _, derr := value.DecodeRowBinary(body)
+				if derr != nil {
+					return fmt.Errorf("%w: %s: bad spilled row", spill.ErrCorrupt, path)
+				}
+				for i, gexp := range as.groupBy {
+					v, eerr := gexp(row)
+					if eerr != nil {
+						return eerr
+					}
+					as.keyVals[i] = v
+				}
+				as.keyBuf = value.AppendKeys(as.keyBuf[:0], as.keyVals)
+			default:
+				return fmt.Errorf("%w: %s: unknown frame kind %d", spill.ErrCorrupt, path, payload[0])
+			}
+			// Frames are rewritten verbatim: order within each child file
+			// still matches global sequence order.
+			if err := subs[spillPartition(as.keyBuf, depth+1)].WriteFrame(payload); err != nil {
+				return err
+			}
+		}
+	}()
+	if cerr := r.Close(); cerr != nil && routeErr == nil {
+		routeErr = cerr
+	}
+	for _, w := range subs {
+		if cerr := w.Close(); cerr != nil && routeErr == nil {
+			routeErr = cerr
+		}
+	}
+	if routeErr != nil {
+		for _, w := range subs {
+			_ = w.Discard()
+		}
+		return routeErr
+	}
+	// If every frame landed in one child, the split made no progress — the
+	// partition is a single group (or hash-colliding set) that simply does
+	// not fit. Recursing further would only fan out files, so surface the
+	// typed budget error now. depth also hard-caps the recursion.
+	var parentFrames, nonEmpty int64
+	var onlyChild *spill.Writer
+	for _, w := range subs {
+		parentFrames += w.Frames()
+		if w.Frames() > 0 {
+			nonEmpty++
+			onlyChild = w
+		}
+	}
+	noProgress := nonEmpty <= 1 && onlyChild != nil && onlyChild.Frames() == parentFrames
+	if noProgress || depth+1 >= spillMaxDepth {
+		for _, w := range subs {
+			_ = w.Discard()
+		}
+		return chargeErr
+	}
+	if err := as.mgr.Remove(path); err != nil {
+		return err
+	}
+	for _, w := range subs {
+		if err := as.finalizePartition(w.Path(), depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitRun is one sorted output run during emission.
+type emitRun struct {
+	r    *spill.Reader
+	path string
+	seq  int64
+	row  value.Row
+	done bool
+}
+
+func (as *aggSpiller) startEmit() error {
+	for _, p := range as.outPaths {
+		r, err := as.mgr.Open(p)
+		if err != nil {
+			return err
+		}
+		run := &emitRun{r: r, path: p}
+		as.runs = append(as.runs, run)
+		if err := as.fill(run); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fill advances one run to its next output row.
+func (as *aggSpiller) fill(run *emitRun) error {
+	payload, err := run.r.Next()
+	if err != nil {
+		return err
+	}
+	if payload == nil {
+		run.done = true
+		if err := run.r.Close(); err != nil {
+			return err
+		}
+		return as.mgr.Remove(run.path)
+	}
+	if len(payload) < 8 {
+		return fmt.Errorf("%w: %s: short output frame", spill.ErrCorrupt, run.path)
+	}
+	run.seq = int64(binary.BigEndian.Uint64(payload))
+	row, _, derr := value.DecodeRowBinary(payload[8:])
+	if derr != nil {
+		return fmt.Errorf("%w: %s: bad output row", spill.ErrCorrupt, run.path)
+	}
+	run.row = row
+	return nil
+}
+
+// next streams the globally next output row: runs are each sorted by
+// first-seen sequence, so a k-way min pick restores the exact order the
+// in-memory aggregate would have emitted. Returns nil at end of stream.
+func (as *aggSpiller) next() (value.Row, error) {
+	var pick *emitRun
+	for _, run := range as.runs {
+		if run.done {
+			continue
+		}
+		if pick == nil || run.seq < pick.seq {
+			pick = run
+		}
+	}
+	if pick == nil {
+		return nil, nil
+	}
+	row := pick.row
+	if err := as.fill(pick); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// containPanic runs a cleanup function, converting a panic into an error.
+// Operator Close runs while RunExec may already be unwinding a panic; a
+// second panic there would escape the recover and kill the process, so the
+// discard path must never re-panic (failpoints can arm its IO sites too).
+func containPanic(what string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = NewPanicError(what, r)
+		}
+	}()
+	return fn()
+}
+
+// discard closes and removes everything the spiller still holds on disk.
+// Operator Close calls it on success and failure alike; files already
+// removed by the merge are tolerated. Manager.Cleanup remains the
+// directory-level backstop for paths this spiller never learned about.
+func (as *aggSpiller) discard() error {
+	as.release(as.reserved)
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, run := range as.runs {
+		if !run.done {
+			keep(run.r.Close())
+		}
+	}
+	as.runs = nil
+	for _, p := range as.outPaths {
+		keep(as.mgr.Remove(p))
+	}
+	as.outPaths = nil
+	for _, w := range as.parts {
+		if w != nil {
+			keep(w.Discard())
+		}
+	}
+	as.parts = nil
+	return first
+}

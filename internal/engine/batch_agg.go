@@ -38,13 +38,19 @@ type BatchHashAggregate struct {
 	pos      int
 	out      int64
 	batch    *value.Batch
+	// seq numbers input rows across chunks; a group records the seq that
+	// created it so the spill path can restore first-seen emission order.
+	seq       int64
+	spiller   *aggSpiller
+	spillNote string
 }
 
 // batchAggGroup is the slab-friendly twin of aggGroup: states live inline in
 // a bulk-allocated block instead of one heap object per state.
 type batchAggGroup struct {
-	key    value.Row
-	states []expr.State
+	key       value.Row
+	states    []expr.State
+	firstSeen int64
 }
 
 // aggSlabSize is how many groups (and their states and key values) each slab
@@ -151,7 +157,7 @@ func (t *intGroupTable) insert(k int64, g *batchAggGroup) {
 	t.grps[i] = g
 }
 
-func (s *aggSlabs) alloc(keyVals []value.Value, aggs []*expr.Aggregate) *batchAggGroup {
+func (s *aggSlabs) alloc(keyVals []value.Value, aggs []*expr.Aggregate, firstSeen int64) *batchAggGroup {
 	if len(s.groups) == cap(s.groups) {
 		s.groups = make([]batchAggGroup, 0, aggSlabSize)
 	}
@@ -161,7 +167,7 @@ func (s *aggSlabs) alloc(keyVals []value.Value, aggs []*expr.Aggregate) *batchAg
 	if len(s.keys)+s.width > cap(s.keys) {
 		s.keys = make([]value.Value, 0, aggSlabSize*s.width)
 	}
-	s.groups = append(s.groups, batchAggGroup{})
+	s.groups = append(s.groups, batchAggGroup{firstSeen: firstSeen})
 	grp := &s.groups[len(s.groups)-1]
 
 	lo := len(s.states)
@@ -242,6 +248,9 @@ func (h *BatchHashAggregate) Open() (err error) {
 	h.groups = h.groups[:0]
 	h.pos = 0
 	h.out = 0
+	h.seq = 0
+	h.spiller = nil
+	h.spillNote = ""
 	h.reset()
 	if h.batch == nil {
 		h.batch = value.NewBatch(len(h.schema), h.child.BatchSize())
@@ -282,18 +291,30 @@ func (h *BatchHashAggregate) Open() (err error) {
 		}
 		var chunkBytes int64
 		n := b.Len()
+		if h.spiller != nil {
+			// Overflow mode: every resident group has been flushed; rows
+			// stream straight to their hash partition on disk.
+			for i := 0; i < n; i++ {
+				h.seq++
+				if err := h.spiller.spillRow(h.seq, b.Row(i)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		if singleCol >= 0 {
 			// GROUP BY over one bare column: the key is read straight from
 			// the row and probes the open-addressing table, no encoding and
 			// no keyVals staging on the hit path.
 			for i := 0; i < n; i++ {
 				r := b.Row(i)
+				h.seq++
 				v := r[singleCol]
 				var grp *batchAggGroup
 				if ik, isInt := intKeyOf(v); isInt {
 					if grp = intTab.get(ik); grp == nil {
 						keyVals[0] = v
-						grp = slabs.alloc(keyVals, h.aggs)
+						grp = slabs.alloc(keyVals, h.aggs, h.seq)
 						chunkBytes += h.groupBytes(grp.key)
 						intTab.put(ik, grp)
 						h.groups = append(h.groups, grp)
@@ -304,7 +325,7 @@ func (h *BatchHashAggregate) Open() (err error) {
 					var ok bool
 					grp, ok = index[string(keyBuf)]
 					if !ok {
-						grp = slabs.alloc(keyVals, h.aggs)
+						grp = slabs.alloc(keyVals, h.aggs, h.seq)
 						chunkBytes += h.groupBytes(grp.key)
 						index[string(keyBuf)] = grp
 						h.groups = append(h.groups, grp)
@@ -319,6 +340,7 @@ func (h *BatchHashAggregate) Open() (err error) {
 		} else {
 			for i := 0; i < n; i++ {
 				r := b.Row(i)
+				h.seq++
 				if fastCols {
 					for k, c := range h.groupCols {
 						keyVals[k] = r[c]
@@ -339,7 +361,7 @@ func (h *BatchHashAggregate) Open() (err error) {
 				}
 				if isInt {
 					if grp = intTab.get(ik); grp == nil {
-						grp = slabs.alloc(keyVals, h.aggs)
+						grp = slabs.alloc(keyVals, h.aggs, h.seq)
 						chunkBytes += h.groupBytes(grp.key)
 						intTab.put(ik, grp)
 						h.groups = append(h.groups, grp)
@@ -349,7 +371,7 @@ func (h *BatchHashAggregate) Open() (err error) {
 					var ok bool
 					grp, ok = index[string(keyBuf)]
 					if !ok {
-						grp = slabs.alloc(keyVals, h.aggs)
+						grp = slabs.alloc(keyVals, h.aggs, h.seq)
 						chunkBytes += h.groupBytes(grp.key)
 						index[string(keyBuf)] = grp
 						h.groups = append(h.groups, grp)
@@ -365,15 +387,51 @@ func (h *BatchHashAggregate) Open() (err error) {
 		// One budget charge per chunk covers every group the chunk created.
 		if chunkBytes > 0 {
 			if err := h.exec().Charge("hash aggregation", chunkBytes); err != nil {
-				return err
+				// The chunk's rows are already folded into resident states,
+				// so the spill tier (when available) flushes every group —
+				// including this chunk's — and later chunks stream to disk.
+				if serr := h.startSpill(); serr != nil {
+					return serr
+				}
+				if h.spiller == nil {
+					return err
+				}
+				index = nil
+				intTab = nil
+			} else {
+				h.reserved += chunkBytes
 			}
-			h.reserved += chunkBytes
 		}
 	}
-	if len(h.groupBy) == 0 && len(h.groups) == 0 {
-		// Scalar aggregate over empty input still yields one row.
-		h.groups = append(h.groups, slabs.alloc(nil, h.aggs))
+	if len(h.groupBy) == 0 && len(h.groups) == 0 && h.spiller == nil {
+		// Scalar aggregate over empty input still yields one row. (With the
+		// spiller active at least one row reached it, so the merge rebuilds
+		// the scalar group.)
+		h.groups = append(h.groups, slabs.alloc(nil, h.aggs, 0))
 	}
+	return nil
+}
+
+// startSpill flips the operator into overflow mode: flush every resident
+// group (their states already include the chunk whose charge failed) and
+// release the budget reservation. No-op leaving h.spiller nil when no spill
+// manager is attached.
+func (h *BatchHashAggregate) startSpill() error {
+	sp, err := newAggSpiller(h.exec(), h.groupBy, h.aggs, h.having, len(h.schema))
+	if sp == nil || err != nil {
+		return err
+	}
+	for _, grp := range h.groups {
+		states := grp.states
+		if err := sp.spillGroup(grp.firstSeen, grp.key, func(i int) *expr.State { return &states[i] }); err != nil {
+			_ = sp.discard()
+			return err
+		}
+	}
+	h.exec().Release(h.reserved)
+	h.reserved = 0
+	h.groups = h.groups[:0]
+	h.spiller = sp
 	return nil
 }
 
@@ -388,6 +446,29 @@ func (h *BatchHashAggregate) NextBatch() (*value.Batch, error) {
 	out := h.batch
 	out.Reset()
 	size := h.child.BatchSize()
+	if h.spiller != nil {
+		if !h.spiller.merged {
+			if err := h.spiller.merge(); err != nil {
+				return nil, err
+			}
+			h.spillNote = h.spiller.note
+		}
+		for out.Len() < size {
+			r, err := h.spiller.next()
+			if err != nil {
+				return nil, err
+			}
+			if r == nil {
+				break
+			}
+			copy(out.PushRow(), r)
+		}
+		if out.Len() == 0 {
+			return nil, nil
+		}
+		h.out += int64(out.Len())
+		return out, nil
+	}
 	for h.pos < len(h.groups) && out.Len() < size {
 		grp := h.groups[h.pos]
 		h.pos++
@@ -422,7 +503,15 @@ func (h *BatchHashAggregate) Close() error {
 	h.exec().Release(h.reserved)
 	h.reserved = 0
 	h.groups = nil
-	return failpoint.Inject(failpoint.AggClose)
+	var spillErr error
+	if h.spiller != nil {
+		spillErr = containPanic("spill discard", h.spiller.discard)
+		h.spiller = nil
+	}
+	if err := failpoint.Inject(failpoint.AggClose); err != nil {
+		return err
+	}
+	return spillErr
 }
 
 // Describe implements Operator.
@@ -431,7 +520,7 @@ func (h *BatchHashAggregate) Describe() string {
 	if h.having != nil {
 		d += " + HAVING filter"
 	}
-	return d
+	return d + h.spillNote
 }
 
 // Children implements Operator.

@@ -93,7 +93,9 @@ func TestCancelMidStream(t *testing.T) {
 	}{
 		{"MemScan", newScan},
 		{"Filter", func() Operator { return NewFilter(newScan(), truePred, "true") }},
-		{"Distinct", func() Operator { return NewDistinct(NewProject(newScan(), []expr.Compiled{colAt(1)}, cancelSchema[1:2])) }},
+		{"Distinct", func() Operator {
+			return NewDistinct(NewProject(newScan(), []expr.Compiled{colAt(1)}, cancelSchema[1:2]))
+		}},
 		{"NLJoin-hash", func() Operator {
 			return NewNLJoin("Hash Join", newScan(), newScan(),
 				NewHashProber([]expr.Compiled{colAt(0)}, []expr.Compiled{colAt(0)}, "g = g"), nil)

@@ -1,0 +1,41 @@
+package engine
+
+// DegradeReason enumerates the rungs of the degradation ladder a query can
+// descend under memory pressure, in ladder order: the NLJP cache sheds
+// entries first, aggregation state overflows to disk next, and as the last
+// resort before a typed error the optimizer falls back to the baseline plan.
+type DegradeReason int
+
+const (
+	// DegradeCacheShed: the NLJP memoization cache evicted or refused
+	// entries to stay inside the budget.
+	DegradeCacheShed DegradeReason = iota
+	// DegradeSpill: operator state overflowed to checksummed disk runs.
+	DegradeSpill
+	// DegradeBaseline: the optimizer abandoned the rewritten plan and
+	// re-ran the query on the baseline plan.
+	DegradeBaseline
+)
+
+// String returns the stable name printed in EXPLAIN ANALYZE and reports.
+func (r DegradeReason) String() string {
+	switch r {
+	case DegradeCacheShed:
+		return "cache-shed"
+	case DegradeSpill:
+		return "spill"
+	case DegradeBaseline:
+		return "baseline-fallback"
+	default:
+		return "unknown"
+	}
+}
+
+// DegradeReasonStrings formats reasons for one-line reports.
+func DegradeReasonStrings(rs []DegradeReason) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.String()
+	}
+	return out
+}

@@ -2,17 +2,25 @@ package engine
 
 import (
 	"context"
+	"sync"
 
 	"smarticeberg/internal/resource"
+	"smarticeberg/internal/spill"
 )
 
 // ExecContext carries one query's cross-cutting execution state: the
-// caller's context (cancellation, deadlines) and the memory budget. It is
-// attached to every operator of a plan by Bind (RunExec does this
+// caller's context (cancellation, deadlines), the memory budget, the
+// optional spill manager that lets operators overflow to disk instead of
+// failing the budget, and the record of degradations the query suffered. It
+// is attached to every operator of a plan by Bind (RunExec does this
 // automatically) and shared by all goroutines the plan spawns.
 type ExecContext struct {
 	ctx    context.Context
 	budget *resource.Budget
+	spill  *spill.Manager
+
+	mu       sync.Mutex
+	degraded []DegradeReason
 }
 
 // NewExecContext builds an execution context; ctx nil means Background and
@@ -66,6 +74,62 @@ func (ec *ExecContext) Release(n int64) {
 	if ec != nil {
 		ec.budget.Release(n)
 	}
+}
+
+// SetSpill attaches a query-scoped spill manager; operators that support
+// disk overflow consult it when a Charge fails. Nil (the default) disables
+// spilling, restoring PR 3's shed → baseline → error ladder.
+func (ec *ExecContext) SetSpill(m *spill.Manager) {
+	if ec != nil {
+		ec.spill = m
+	}
+}
+
+// Spill returns the attached spill manager (nil = spilling disabled).
+// Nil-safe.
+func (ec *ExecContext) Spill() *spill.Manager {
+	if ec == nil {
+		return nil
+	}
+	return ec.spill
+}
+
+// Degrade records that the query left the fast path for the given reason.
+// Reasons are deduplicated; recording is safe from concurrent workers and on
+// a nil receiver.
+func (ec *ExecContext) Degrade(r DegradeReason) {
+	if ec == nil {
+		return
+	}
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	for _, have := range ec.degraded {
+		if have == r {
+			return
+		}
+	}
+	ec.degraded = append(ec.degraded, r)
+}
+
+// Degradations returns the recorded reasons in ladder order (cache-shed →
+// spill → baseline-fallback), or nil when the query ran clean. Nil-safe.
+func (ec *ExecContext) Degradations() []DegradeReason {
+	if ec == nil {
+		return nil
+	}
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	if len(ec.degraded) == 0 {
+		return nil
+	}
+	out := make([]DegradeReason, len(ec.degraded))
+	copy(out, ec.degraded)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
 
 // ExecAware is implemented by operators that consume the execution context;

@@ -511,7 +511,15 @@ type rowCounter interface {
 // ExplainAnalyze executes the plan, then renders it with per-operator
 // actual row counts (in the spirit of EXPLAIN ANALYZE).
 func ExplainAnalyze(op Operator) (string, []value.Row, error) {
-	rows, err := Run(op)
+	return ExplainAnalyzeExec(nil, op)
+}
+
+// ExplainAnalyzeExec is ExplainAnalyze under an execution context: the run
+// observes its deadline, budget, and spill manager, and the rendered plan
+// ends with a "Degraded:" line when the query descended the degradation
+// ladder (cache-shed, spill, baseline-fallback).
+func ExplainAnalyzeExec(ec *ExecContext, op Operator) (string, []value.Row, error) {
+	rows, err := RunExec(ec, op)
 	if err != nil {
 		return "", nil, err
 	}
@@ -530,5 +538,8 @@ func ExplainAnalyze(op Operator) (string, []value.Row, error) {
 		}
 	}
 	walk(op, 0)
+	if degs := ec.Degradations(); len(degs) > 0 {
+		fmt.Fprintf(&b, "Degraded: %s\n", strings.Join(DegradeReasonStrings(degs), ", "))
+	}
 	return b.String(), rows, nil
 }

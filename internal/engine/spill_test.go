@@ -1,0 +1,441 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/spill"
+	"smarticeberg/internal/testleak"
+	"smarticeberg/internal/value"
+)
+
+// The spill contract under test: with a spill.Manager attached, a budget
+// that would have failed the aggregate instead completes by overflowing to
+// disk, and the output — values, float bits, group emission order — is
+// byte-identical to the unbudgeted in-memory run.
+
+var spillSchema = value.Schema{
+	{Name: "g", Type: value.Int},
+	{Name: "s", Type: value.Str},
+	{Name: "f", Type: value.Float},
+	{Name: "v", Type: value.Int},
+}
+
+// spillRows produces rows over ~groups distinct keys, mixing Int and Float
+// group values that normalize to the same key (Int k vs Float k.0) so the
+// spill path must preserve AppendKey grouping semantics, plus string and
+// float aggregate inputs exercising every accumulator field.
+func spillRows(n, groups int) []value.Row {
+	rows := make([]value.Row, n)
+	for i := range rows {
+		k := int64(i % groups)
+		var g value.Value
+		if i%3 == 0 {
+			g = value.NewFloat(float64(k)) // Float k.0 groups with Int k
+		} else {
+			g = value.NewInt(k)
+		}
+		rows[i] = value.Row{
+			g,
+			value.NewStr(fmt.Sprintf("s%d", i%7)),
+			value.NewFloat(float64(i) * 0.25),
+			value.NewInt(int64(n - i)),
+		}
+	}
+	return rows
+}
+
+func spillAggs() []*expr.Aggregate {
+	argF := func(r value.Row) (value.Value, error) { return r[2], nil }
+	argV := func(r value.Row) (value.Value, error) { return r[3], nil }
+	argS := func(r value.Row) (value.Value, error) { return r[1], nil }
+	return []*expr.Aggregate{
+		{Kind: expr.AggCountStar},
+		{Kind: expr.AggSum, Arg: argF},
+		{Kind: expr.AggMin, Arg: argV},
+		{Kind: expr.AggCount, Distinct: true, Arg: argS},
+	}
+}
+
+var spillOutSchema = value.Schema{
+	{Name: "g", Type: value.Int},
+	{Name: "count", Type: value.Int},
+	{Name: "sum_f", Type: value.Float},
+	{Name: "min_v", Type: value.Int},
+	{Name: "cd_s", Type: value.Int},
+}
+
+// spillHaving keeps groups whose COUNT(*) (column 1) is above a threshold,
+// compiled over the aggregate's output layout.
+func spillHaving(r value.Row) (value.Value, error) {
+	return value.NewBool(r[1].I > 2), nil
+}
+
+func spillRowPlan(rows []value.Row, having expr.Compiled) Operator {
+	return NewHashAggregate(
+		NewMemScan("t", spillSchema, rows),
+		[]expr.Compiled{colAt(0)}, spillAggs(), having, spillOutSchema)
+}
+
+func spillBatchPlan(rows []value.Row, having expr.Compiled, size int) Operator {
+	return NewBatchHashAggregate(
+		NewBatchMemScan("t", spillSchema, rows, size),
+		[]expr.Compiled{colAt(0)}, spillAggs(), having, spillOutSchema)
+}
+
+// mustRows drains a plan without any budget and returns its rows.
+func mustRows(t *testing.T, op Operator) []value.Row {
+	t.Helper()
+	rows, err := Run(op)
+	if err != nil {
+		t.Fatalf("unbudgeted run: %v", err)
+	}
+	return rows
+}
+
+// identicalRows compares with bit-exact float semantics.
+func identicalRows(t *testing.T, label string, got, want []value.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: row %d width %d, want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			g, w := got[i][j], want[i][j]
+			if g.K != w.K || g.S != w.S || g.I != w.I ||
+				math.Float64bits(g.F) != math.Float64bits(w.F) {
+				t.Fatalf("%s: row %d col %d: got %#v want %#v", label, i, j, g, w)
+			}
+		}
+	}
+}
+
+// aggPeak measures the aggregate's own budget peak for the plan.
+func aggPeak(t *testing.T, build func() Operator) int64 {
+	t.Helper()
+	budget := resource.NewBudget(1 << 40)
+	if _, err := RunExec(NewExecContext(nil, budget), build()); err != nil {
+		t.Fatalf("peak run: %v", err)
+	}
+	return budget.Peak()
+}
+
+// runSpilled executes the plan under the given budget with spilling enabled
+// and asserts the invariants: spill actually engaged, budget fully
+// released, and no temp files surviving cleanup.
+func runSpilled(t *testing.T, build func() Operator, limit int64) []value.Row {
+	t.Helper()
+	parent := t.TempDir()
+	mgr, err := spill.NewManager(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := resource.NewBudget(limit)
+	ec := NewExecContext(nil, budget)
+	ec.SetSpill(mgr)
+	rows, err := RunExec(ec, build())
+	if err != nil {
+		t.Fatalf("spilled run (limit %d): %v", limit, err)
+	}
+	degs := ec.Degradations()
+	if len(degs) != 1 || degs[0] != DegradeSpill {
+		t.Fatalf("degradations = %v, want [spill]", degs)
+	}
+	if mgr.Stats().FramesOut == 0 {
+		t.Fatal("no frames spilled despite budget pressure")
+	}
+	if used := budget.Used(); used != 0 {
+		t.Fatalf("budget leak: Used()=%d after Close", used)
+	}
+	if err := mgr.Cleanup(); err != nil {
+		t.Fatalf("Cleanup: %v", err)
+	}
+	ents, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not empty after cleanup: %v", ents)
+	}
+	return rows
+}
+
+func TestSpillRowAggByteIdentical(t *testing.T) {
+	defer testleak.Check(t)
+	rows := spillRows(6000, 499)
+	for _, having := range []expr.Compiled{nil, spillHaving} {
+		name := "plain"
+		if having != nil {
+			name = "having"
+		}
+		t.Run(name, func(t *testing.T) {
+			build := func() Operator { return spillRowPlan(rows, having) }
+			want := mustRows(t, build())
+			peak := aggPeak(t, build)
+			for _, frac := range []int64{2, 4, 16} {
+				got := runSpilled(t, build, peak/frac)
+				identicalRows(t, fmt.Sprintf("limit=peak/%d", frac), got, want)
+			}
+		})
+	}
+}
+
+func TestSpillBatchAggByteIdentical(t *testing.T) {
+	defer testleak.Check(t)
+	rows := spillRows(6000, 499)
+	rowWant := mustRows(t, spillRowPlan(rows, spillHaving))
+	for _, size := range []int{1, 7, 1024} {
+		t.Run(fmt.Sprintf("batch%d", size), func(t *testing.T) {
+			build := func() Operator { return spillBatchPlan(rows, spillHaving, size) }
+			want := mustRows(t, build())
+			identicalRows(t, "batch vs row unbudgeted", want, rowWant)
+			peak := aggPeak(t, build)
+			for _, frac := range []int64{2, 8} {
+				got := runSpilled(t, build, peak/frac)
+				identicalRows(t, fmt.Sprintf("limit=peak/%d", frac), got, want)
+			}
+		})
+	}
+}
+
+// TestSpillRecursiveRepartition squeezes the budget so hard that single
+// partitions exceed it during the merge, forcing depth-salted re-splits.
+func TestSpillRecursiveRepartition(t *testing.T) {
+	defer testleak.Check(t)
+	rows := spillRows(8000, 997)
+	build := func() Operator { return spillRowPlan(rows, nil) }
+	want := mustRows(t, build())
+	peak := aggPeak(t, build)
+	// ~1/40 of peak holds ~25 of 997 groups: every top-level partition
+	// (~125 groups) must re-split at least once.
+	got := runSpilled(t, build, peak/40)
+	identicalRows(t, "recursive merge", got, want)
+}
+
+// TestSpillBudgetBelowOneGroup: even spilling cannot complete when a single
+// group's state exceeds the budget; the typed budget error must surface
+// (never a wrong or partial result), and everything is cleaned up.
+func TestSpillBudgetBelowOneGroup(t *testing.T) {
+	defer testleak.Check(t)
+	rows := spillRows(400, 13)
+	parent := t.TempDir()
+	mgr, err := spill.NewManager(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := resource.NewBudget(16) // below one group's charge
+	ec := NewExecContext(nil, budget)
+	ec.SetSpill(mgr)
+	_, err = RunExec(ec, spillRowPlan(rows, nil))
+	if !errors.Is(err, resource.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if used := budget.Used(); used != 0 {
+		t.Fatalf("budget leak: Used()=%d", used)
+	}
+	if err := mgr.Cleanup(); err != nil {
+		t.Fatalf("Cleanup: %v", err)
+	}
+	if ents, _ := os.ReadDir(parent); len(ents) != 0 {
+		t.Fatalf("spill dir not empty: %v", ents)
+	}
+}
+
+// TestSpillScalarAggregate: a scalar aggregate holds exactly one group, so
+// spilling cannot shrink its working set. The typed budget error must come
+// back (via the repartition no-progress guard, since every spilled row
+// routes to the empty key) and the spill dir must still come back empty.
+func TestSpillScalarAggregate(t *testing.T) {
+	defer testleak.Check(t)
+	rows := spillRows(3000, 1)
+	parent := t.TempDir()
+	mgr, err := spill.NewManager(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := resource.NewBudget(32) // below the single group's charge
+	ec := NewExecContext(nil, budget)
+	ec.SetSpill(mgr)
+	_, err = RunExec(ec, NewHashAggregate(
+		NewMemScan("t", spillSchema, rows), nil, spillAggs(), nil,
+		spillOutSchema[1:]))
+	if !errors.Is(err, resource.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if used := budget.Used(); used != 0 {
+		t.Fatalf("budget leak: Used()=%d", used)
+	}
+	if err := mgr.Cleanup(); err != nil {
+		t.Fatalf("Cleanup: %v", err)
+	}
+	if ents, _ := os.ReadDir(parent); len(ents) != 0 {
+		t.Fatalf("spill dir not empty: %v", ents)
+	}
+}
+
+// TestSpillFaultMatrix drives every spill failpoint site in error, panic,
+// and corrupt-frame modes through both aggregate paths on a plan that is
+// actively spilling. The contract: exactly one typed error (the injected
+// error, a *PanicError, or spill.ErrCorrupt) — never a silently wrong
+// result — with the budget fully released and no files left after Cleanup.
+func TestSpillFaultMatrix(t *testing.T) {
+	rows := spillRows(3000, 251)
+	rowPeak := aggPeak(t, func() Operator { return spillRowPlan(rows, nil) })
+	batchPeak := aggPeak(t, func() Operator { return spillBatchPlan(rows, nil, 64) })
+
+	paths := []struct {
+		name  string
+		build func() Operator
+		peak  int64
+	}{
+		{"row", func() Operator { return spillRowPlan(rows, nil) }, rowPeak},
+		{"batch", func() Operator { return spillBatchPlan(rows, nil, 64) }, batchPeak},
+	}
+	sites := []string{
+		failpoint.SpillWrite,
+		failpoint.SpillFlush,
+		failpoint.SpillRead,
+		failpoint.SpillRemove,
+		failpoint.SpillCorrupt,
+	}
+	modes := []struct {
+		name   string
+		action failpoint.Action
+		check  func(t *testing.T, site string, err error)
+	}{
+		{"error", failpoint.Error(errBoom), func(t *testing.T, site string, err error) {
+			// Arming SpillCorrupt flips a real payload byte, so the error that
+			// surfaces is the genuine checksum failure, not the injected one.
+			if site == failpoint.SpillCorrupt {
+				if !errors.Is(err, spill.ErrCorrupt) {
+					t.Fatalf("want ErrCorrupt, got %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("want errBoom, got %v", err)
+			}
+		}},
+		{"panic", failpoint.Panic("spill fault"), func(t *testing.T, site string, err error) {
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *PanicError, got %v", err)
+			}
+		}},
+	}
+
+	for _, p := range paths {
+		for _, site := range sites {
+			for _, mode := range modes {
+				t.Run(fmt.Sprintf("%s/%s/%s", p.name, site, mode.name), func(t *testing.T) {
+					defer testleak.Check(t)
+					defer failpoint.Reset()
+					parent := t.TempDir()
+					mgr, err := spill.NewManager(parent)
+					if err != nil {
+						t.Fatal(err)
+					}
+					budget := resource.NewBudget(p.peak / 4)
+					ec := NewExecContext(nil, budget)
+					ec.SetSpill(mgr)
+					failpoint.Enable(site, mode.action)
+					_, err = RunExec(ec, p.build())
+					failpoint.Reset()
+					if err == nil {
+						t.Fatal("query succeeded despite injected spill fault")
+					}
+					mode.check(t, site, err)
+					if used := budget.Used(); used != 0 {
+						t.Fatalf("budget leak: Used()=%d", used)
+					}
+					if err := mgr.Cleanup(); err != nil {
+						t.Fatalf("Cleanup: %v", err)
+					}
+					if ents, _ := os.ReadDir(parent); len(ents) != 0 {
+						t.Fatalf("spill dir not empty after cleanup: %v", ents)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSpillCorruptOnce: a single corrupted frame is detected (not folded
+// into the result); after the transient fault clears, the same query
+// completes with byte-identical output.
+func TestSpillCorruptOnce(t *testing.T) {
+	defer testleak.Check(t)
+	defer failpoint.Reset()
+	rows := spillRows(3000, 251)
+	build := func() Operator { return spillRowPlan(rows, nil) }
+	want := mustRows(t, build())
+	peak := aggPeak(t, build)
+
+	failpoint.Enable(failpoint.SpillCorrupt, failpoint.Once(failpoint.Error(errBoom)))
+	mgr, err := spill.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := resource.NewBudget(peak / 4)
+	ec := NewExecContext(nil, budget)
+	ec.SetSpill(mgr)
+	_, err = RunExec(ec, build())
+	if !errors.Is(err, spill.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if mgr.Stats().Corruptions == 0 {
+		t.Fatal("corruption not counted")
+	}
+	if used := budget.Used(); used != 0 {
+		t.Fatalf("budget leak: Used()=%d", used)
+	}
+	if err := mgr.Cleanup(); err != nil {
+		t.Fatalf("Cleanup: %v", err)
+	}
+	failpoint.Reset()
+
+	got := runSpilled(t, build, peak/4)
+	identicalRows(t, "after transient corruption", got, want)
+}
+
+// TestSpillDescribeAnnotation: EXPLAIN ANALYZE output names the spill and
+// the degradation rung after a spilled run.
+func TestSpillDescribeAnnotation(t *testing.T) {
+	rows := spillRows(4000, 499)
+	build := func() Operator { return spillRowPlan(rows, nil) }
+	peak := aggPeak(t, build)
+	mgr, err := spill.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Cleanup()
+	ec := NewExecContext(nil, resource.NewBudget(peak/4))
+	ec.SetSpill(mgr)
+	text, _, err := ExplainAnalyzeExec(ec, build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wantSub := range []string{"[spilled:", "Degraded: spill"} {
+		if !contains(text, wantSub) {
+			t.Fatalf("EXPLAIN ANALYZE missing %q:\n%s", wantSub, text)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

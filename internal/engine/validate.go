@@ -32,9 +32,38 @@ func ValidatePlan(op Operator) error {
 	if err := validateNode(op); err != nil {
 		return err
 	}
+	if err := validateBinding(op, op.Children()); err != nil {
+		return err
+	}
 	for _, c := range op.Children() {
 		if err := ValidatePlan(c); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// execHolder is satisfied by every operator embedding execState.
+type execHolder interface{ exec() *ExecContext }
+
+// validateBinding asserts that a bound operator's children are bound to the
+// same ExecContext. A tree spanning two contexts would split its budget
+// accounting across budgets and — under spilling — write run files owned by
+// one query's spill directory while another query's cleanup removes them,
+// so mixed binding is a planner bug even though each half would "work".
+func validateBinding(op Operator, children []Operator) error {
+	h, ok := op.(execHolder)
+	if !ok || h.exec() == nil {
+		return nil
+	}
+	for _, c := range children {
+		ch, ok := c.(execHolder)
+		if !ok || ch.exec() == nil {
+			continue
+		}
+		if ch.exec() != h.exec() {
+			return fmt.Errorf("plan validation: %s: child %s is bound to a different ExecContext",
+				op.Describe(), c.Describe())
 		}
 	}
 	return nil

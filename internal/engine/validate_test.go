@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -92,4 +93,17 @@ func TestValidatePlanChecksDescendants(t *testing.T) {
 	bad := NewMemScan("t", value.Schema{col("t", "a", value.Int)}, []value.Row{intRow(1, 2)})
 	wrapped := NewLimit(NewDistinct(bad), 5)
 	wantViolation(t, wrapped, "row 0 has 2 values")
+}
+
+func TestValidatePlanMixedBinding(t *testing.T) {
+	scan := NewMemScan("t", value.Schema{col("t", "a", value.Int)}, []value.Row{intRow(1)})
+	plan := NewLimit(NewDistinct(scan), 10)
+	ecA := NewExecContext(context.Background(), nil)
+	ecB := NewExecContext(context.Background(), nil)
+	Bind(plan, ecA)
+	if err := ValidatePlan(plan); err != nil {
+		t.Fatalf("uniformly bound plan rejected: %v", err)
+	}
+	scan.BindExec(ecB)
+	wantViolation(t, plan, "bound to a different ExecContext")
 }

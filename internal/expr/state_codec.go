@@ -1,0 +1,98 @@
+package expr
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+
+	"smarticeberg/internal/value"
+)
+
+// Spill codec for aggregate accumulators. Unlike Partial — which carries
+// only the algebraic fields and therefore cannot represent DISTINCT
+// aggregates — this is a complete snapshot: a decoded State folds subsequent
+// rows exactly as the original would have, so spill-and-replay reproduces
+// the in-memory result bit for bit (float sums included, via Float64bits).
+
+// ErrStateCodec is returned when a spilled accumulator cannot be decoded.
+var ErrStateCodec = errors.New("expr: invalid spilled aggregate state")
+
+// EncodeSpill appends a self-delimiting exact snapshot of the accumulator.
+func (s *State) EncodeSpill(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(s.count))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(s.intSum))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(s.floatSum))
+	if s.isFloat {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = value.AppendBinary(dst, s.minMax)
+	if s.distinct == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.distinct)))
+	// Deterministic element order so identical states encode identically.
+	keys := make([]string, 0, len(s.distinct))
+	for k := range s.distinct {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(k)))
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// DecodeSpill restores a snapshot written by EncodeSpill into s (which must
+// have been initialized for the same aggregate) and returns the remaining
+// bytes.
+func (s *State) DecodeSpill(b []byte) ([]byte, error) {
+	if len(b) < 8+8+8+1 {
+		return b, ErrStateCodec
+	}
+	s.count = int64(binary.BigEndian.Uint64(b))
+	s.intSum = int64(binary.BigEndian.Uint64(b[8:]))
+	s.floatSum = math.Float64frombits(binary.BigEndian.Uint64(b[16:]))
+	s.isFloat = b[24] != 0
+	b = b[25:]
+	var err error
+	s.minMax, b, err = value.DecodeBinary(b)
+	if err != nil {
+		return b, ErrStateCodec
+	}
+	if len(b) < 1 {
+		return b, ErrStateCodec
+	}
+	hasDistinct := b[0] != 0
+	b = b[1:]
+	if !hasDistinct {
+		return b, nil
+	}
+	if len(b) < 4 {
+		return b, ErrStateCodec
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if s.distinct == nil {
+		s.distinct = make(map[string]bool, n)
+	} else {
+		clear(s.distinct)
+	}
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return b, ErrStateCodec
+		}
+		kn := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < kn {
+			return b, ErrStateCodec
+		}
+		s.distinct[string(b[:kn])] = true
+		b = b[kn:]
+	}
+	return b, nil
+}

@@ -49,6 +49,17 @@ const (
 	CacheInsert = "iceberg/cache/insert"
 	CacheLookup = "iceberg/cache/lookup"
 	NLJPBinding = "iceberg/nljp/binding"
+
+	// Spill IO sites, one per disk path of internal/spill: frame/file writes
+	// (including file creation), buffer flushes, frame reads, and temp-file
+	// removal. SpillCorrupt is special: arming it with an error action makes
+	// the reader flip a payload byte before the checksum check, so the real
+	// corruption-detection path runs instead of a simulated failure.
+	SpillWrite   = "spill/write"
+	SpillFlush   = "spill/flush"
+	SpillRead    = "spill/read"
+	SpillCorrupt = "spill/corrupt-frame"
+	SpillRemove  = "spill/remove"
 )
 
 // Points returns every declared injection site, for test matrices.
@@ -61,6 +72,7 @@ func Points() []string {
 		SortOpen,
 		ParallelWorkerStart, ChunkWorkerStart,
 		CacheInsert, CacheLookup, NLJPBinding,
+		SpillWrite, SpillFlush, SpillRead, SpillCorrupt, SpillRemove,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"smarticeberg/internal/expr"
 	"smarticeberg/internal/failpoint"
 	"smarticeberg/internal/resource"
+	"smarticeberg/internal/spill"
 	"smarticeberg/internal/value"
 )
 
@@ -29,6 +30,14 @@ type CacheStats struct {
 	// BudgetEvictions counts entries evicted specifically by budget
 	// pressure, as opposed to the configured CacheLimit.
 	BudgetEvictions int64
+
+	// SpilledEntries counts evicted entries preserved in the on-disk
+	// overflow tier instead of dropped; SpillHits counts memo hits served
+	// from it. SpillCorruptions counts overflow entries that failed their
+	// checksum (each was dropped and its binding recomputed from source).
+	SpilledEntries   int64
+	SpillHits        int64
+	SpillCorruptions int64
 }
 
 // statsCounters is the concurrent form of CacheStats: lock-free counters the
@@ -171,12 +180,26 @@ type cache struct {
 	budget          *resource.Budget
 	degraded        atomic.Bool
 	budgetEvictions atomic.Int64
+
+	// mgr, when non-nil, enables the overflow tier (cache_spill.go):
+	// evicted entries go to an on-disk index instead of being dropped. The
+	// index is created lazily on first eviction; overflowOff latches the
+	// tier off after any write failure. encBuf is guarded by overflowMu.
+	mgr              *spill.Manager
+	overflowMu       sync.Mutex
+	overflow         *spill.Index
+	overflowOff      atomic.Bool
+	overflowBytes    atomic.Int64
+	encBuf           []byte
+	spilledEntries   atomic.Int64
+	spillHits        atomic.Int64
+	spillCorruptions atomic.Int64
 }
 
 // newCache sizes the cache for the given worker count: one shard for the
 // sequential loop (preserving exact FIFO semantics), and a power-of-two
 // multiple of the worker count otherwise.
-func newCache(pred *PrunePredicate, indexed bool, limit, workers int, budget *resource.Budget) *cache {
+func newCache(pred *PrunePredicate, indexed bool, limit, workers int, budget *resource.Budget, mgr *spill.Manager) *cache {
 	shardCount := 1
 	if workers > 1 {
 		for shardCount < workers*4 {
@@ -192,6 +215,7 @@ func newCache(pred *PrunePredicate, indexed bool, limit, workers int, budget *re
 		shards:    make([]cacheShard, shardCount),
 		shardMask: uint32(shardCount - 1),
 		budget:    budget,
+		mgr:       mgr,
 	}
 	for i := range c.shards {
 		c.shards[i].memo = map[string]*cacheEntry{}
@@ -210,6 +234,9 @@ func (c *cache) snapshot() CacheStats {
 	s := c.stats.snapshot()
 	s.Degraded = c.degraded.Load()
 	s.BudgetEvictions = c.budgetEvictions.Load()
+	s.SpilledEntries = c.spilledEntries.Load()
+	s.SpillHits = c.spillHits.Load()
+	s.SpillCorruptions = c.spillCorruptions.Load()
 	return s
 }
 
@@ -241,6 +268,11 @@ func (c *cache) lookup(key []byte) (*cacheEntry, bool, error) {
 	sh.mu.RLock()
 	e, ok := sh.memo[string(key)]
 	sh.mu.RUnlock()
+	if !ok {
+		if oe, ohit := c.lookupOverflow(key); ohit {
+			return oe, true, nil
+		}
+	}
 	return e, ok, nil
 }
 
@@ -322,6 +354,7 @@ func (c *cache) evictOldest(sh *cacheShard) bool {
 			c.budget.Release(victim.sizeBytes())
 		}
 		c.removeFromPrune(sh, victim)
+		c.spillVictim(oldest, victim)
 		return true
 	}
 }

@@ -1,0 +1,197 @@
+package iceberg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/spill"
+	"smarticeberg/internal/value"
+)
+
+// The cache's overflow tier: entries evicted from the in-memory memo map
+// are written to an on-disk spill.Index instead of being dropped, so under
+// memory pressure the binding loop still memo-hits bindings it has already
+// evaluated (from disk) rather than re-running their inner queries. The
+// tier is strictly best-effort: any write failure turns it off for the rest
+// of the run, and any read failure — including a checksum mismatch — is
+// treated as a cache miss plus a dropped key, so the binding is recomputed
+// from source and a corrupted frame can never produce a wrong answer.
+//
+// Spilled entries serve memoization only: they are not re-registered with
+// the prune structures (those stay memory-resident), so pruning capability
+// degrades with eviction exactly as before — spilling restores the memo hit
+// rate, the cheaper and far more frequent win.
+
+var errEntryCodec = errors.New("iceberg: invalid cache entry encoding")
+
+// encodeCacheEntry appends a cacheEntry's persistent fields to dst:
+// binding row, rowCount, unpromising flag, and the algebraic partials.
+// The prune node is deliberately not carried.
+func encodeCacheEntry(dst []byte, e *cacheEntry) []byte {
+	dst = value.AppendRowBinary(dst, e.binding)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(e.rowCount))
+	if e.unpromising {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.partials)))
+	for _, p := range e.partials {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.Count))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.IntSum))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.FloatSum))
+		if p.IsFloat {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = value.AppendBinary(dst, p.MinMax)
+	}
+	return dst
+}
+
+// decodeCacheEntry rebuilds an entry from its encoded form. The entry is a
+// read-only memo hit: node stays nil and it is never re-inserted into the
+// resident map.
+func decodeCacheEntry(b []byte) (*cacheEntry, error) {
+	binding, rest, err := value.DecodeRowBinary(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: binding: %v", errEntryCodec, err)
+	}
+	if len(rest) < 13 {
+		return nil, fmt.Errorf("%w: truncated header", errEntryCodec)
+	}
+	e := &cacheEntry{
+		binding:     binding,
+		rowCount:    int64(binary.BigEndian.Uint64(rest)),
+		unpromising: rest[8] == 1,
+	}
+	n := int(binary.BigEndian.Uint32(rest[9:]))
+	rest = rest[13:]
+	e.partials = make([]expr.Partial, n)
+	for i := 0; i < n; i++ {
+		if len(rest) < 25 {
+			return nil, fmt.Errorf("%w: truncated partial", errEntryCodec)
+		}
+		p := expr.Partial{
+			Count:    int64(binary.BigEndian.Uint64(rest)),
+			IntSum:   int64(binary.BigEndian.Uint64(rest[8:])),
+			FloatSum: math.Float64frombits(binary.BigEndian.Uint64(rest[16:])),
+			IsFloat:  rest[24] == 1,
+		}
+		var derr error
+		p.MinMax, rest, derr = value.DecodeBinary(rest[25:])
+		if derr != nil {
+			return nil, fmt.Errorf("%w: partial min/max: %v", errEntryCodec, derr)
+		}
+		e.partials[i] = p
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errEntryCodec, len(rest))
+	}
+	return e, nil
+}
+
+// spillVictim offers an evicted entry to the overflow tier. Called with the
+// victim's shard lock held; the overflow mutex nests strictly inside shard
+// locks (never the reverse), so there is no ordering cycle. Every failure
+// path disables the tier and returns — eviction then degrades to dropping,
+// exactly the pre-spill behavior.
+func (c *cache) spillVictim(key string, e *cacheEntry) {
+	if c.mgr == nil || c.overflowOff.Load() {
+		return
+	}
+	c.overflowMu.Lock()
+	defer c.overflowMu.Unlock()
+	if c.overflow == nil {
+		idx, err := c.mgr.NewIndex("memo")
+		if err != nil {
+			c.overflowOff.Store(true)
+			return
+		}
+		c.overflow = idx
+	}
+	var refCost int64
+	if !c.overflow.Has([]byte(key)) {
+		refCost = spill.RefBytes(key)
+		if c.budget != nil && c.budget.Reserve("NLJP overflow index", refCost) != nil {
+			c.overflowOff.Store(true)
+			return
+		}
+	}
+	c.encBuf = encodeCacheEntry(c.encBuf[:0], e)
+	if err := c.overflow.Put([]byte(key), c.encBuf); err != nil {
+		if c.budget != nil {
+			c.budget.Release(refCost)
+		}
+		c.overflowOff.Store(true)
+		return
+	}
+	c.overflowBytes.Add(refCost)
+	c.spilledEntries.Add(1)
+}
+
+// lookupOverflow serves a memo miss from the overflow tier. Any failure is
+// a miss: an unreadable or corrupt entry is dropped (so it is not retried)
+// and the caller recomputes the binding from source.
+func (c *cache) lookupOverflow(key []byte) (*cacheEntry, bool) {
+	if c.mgr == nil || c.overflowOff.Load() {
+		return nil, false
+	}
+	c.overflowMu.Lock()
+	defer c.overflowMu.Unlock()
+	if c.overflow == nil {
+		return nil, false
+	}
+	payload, ok, err := c.overflow.Get(key)
+	if err != nil {
+		if errors.Is(err, spill.ErrCorrupt) {
+			c.spillCorruptions.Add(1)
+		}
+		c.dropOverflowLocked(key)
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	e, derr := decodeCacheEntry(payload)
+	if derr != nil {
+		c.spillCorruptions.Add(1)
+		c.dropOverflowLocked(key)
+		return nil, false
+	}
+	c.spillHits.Add(1)
+	return e, true
+}
+
+// dropOverflowLocked removes a failed key and returns its budget charge.
+// Caller holds overflowMu.
+func (c *cache) dropOverflowLocked(key []byte) {
+	if !c.overflow.Has(key) {
+		return
+	}
+	c.overflow.Delete(key)
+	n := spill.RefBytes(string(key))
+	c.overflowBytes.Add(-n)
+	if c.budget != nil {
+		c.budget.Release(n)
+	}
+}
+
+// close releases the cache's budget reservations and shuts the overflow
+// index down (the manager's Cleanup removes the file itself).
+func (c *cache) close() {
+	c.releaseBudget()
+	c.overflowMu.Lock()
+	if c.overflow != nil {
+		_ = c.overflow.Close()
+		c.overflow = nil
+	}
+	c.overflowMu.Unlock()
+	if c.budget != nil {
+		c.budget.Release(c.overflowBytes.Swap(0))
+	}
+}

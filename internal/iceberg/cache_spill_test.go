@@ -1,0 +1,316 @@
+package iceberg
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/spill"
+	"smarticeberg/internal/testleak"
+	"smarticeberg/internal/value"
+)
+
+// richEntry builds a cache entry exercising every persisted field: a mixed
+// binding row, odd row counts, both unpromising flags, and partials whose
+// min/max span the value kinds.
+func richEntry(i int) *cacheEntry {
+	return &cacheEntry{
+		binding:     []value.Value{value.NewInt(int64(i)), value.NewStr(fmt.Sprintf("b%d", i)), value.NewFloat(float64(i) / 4)},
+		rowCount:    int64(i)*7 + 1,
+		unpromising: i%2 == 0,
+		partials: []expr.Partial{
+			{Count: int64(i), IntSum: int64(i) * 100, MinMax: value.NewInt(int64(i))},
+			{Count: int64(i) + 1, FloatSum: float64(i) * 0.5, IsFloat: true, MinMax: value.NewStr("zz")},
+			{MinMax: value.NullValue},
+		},
+	}
+}
+
+func entriesEqual(a, b *cacheEntry) bool {
+	if a.rowCount != b.rowCount || a.unpromising != b.unpromising ||
+		len(a.binding) != len(b.binding) || len(a.partials) != len(b.partials) {
+		return false
+	}
+	for i := range a.binding {
+		if a.binding[i] != b.binding[i] {
+			return false
+		}
+	}
+	for i := range a.partials {
+		if a.partials[i] != b.partials[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCacheEntryCodec: the overflow codec round-trips every persisted field
+// and rejects truncation at each boundary instead of misreading.
+func TestCacheEntryCodec(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		e := richEntry(i)
+		enc := encodeCacheEntry(nil, e)
+		got, err := decodeCacheEntry(enc)
+		if err != nil {
+			t.Fatalf("entry %d: decode: %v", i, err)
+		}
+		if !entriesEqual(e, got) {
+			t.Fatalf("entry %d: round-trip mismatch:\n got %+v\nwant %+v", i, got, e)
+		}
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := decodeCacheEntry(enc[:cut]); err == nil {
+				t.Fatalf("entry %d: decode accepted a %d/%d-byte truncation", i, cut, len(enc))
+			}
+		}
+	}
+}
+
+// overflowCache builds a sequential single-shard cache with a tiny limit
+// backed by a real spill manager rooted in a test temp dir.
+func overflowCache(t *testing.T, limit int, budget *resource.Budget) (*cache, *spill.Manager) {
+	t.Helper()
+	mgr, err := spill.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := mgr.Cleanup(); err != nil {
+			t.Errorf("manager cleanup: %v", err)
+		}
+	})
+	return newCache(nil, false, limit, 1, budget, mgr), mgr
+}
+
+// TestCacheOverflowRoundTrip: evicted entries stay reachable through the
+// overflow tier with their exact contents, lookups count as spill hits, and
+// closing the cache returns every accounted byte.
+func TestCacheOverflowRoundTrip(t *testing.T) {
+	budget := resource.NewBudget(1 << 20)
+	c, mgr := overflowCache(t, 2, budget)
+	const n = 6
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		e := richEntry(i)
+		keys[i] = value.Key(e.binding)
+		if err := c.insert([]byte(keys[i]), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.snapshot()
+	if st.SpilledEntries != n-2 {
+		t.Fatalf("SpilledEntries = %d, want %d", st.SpilledEntries, n-2)
+	}
+	for i := 0; i < n; i++ {
+		e, ok, err := c.lookup([]byte(keys[i]))
+		if err != nil || !ok {
+			t.Fatalf("entry %d: lookup ok=%v err=%v, want a hit", i, ok, err)
+		}
+		if !entriesEqual(e, richEntry(i)) {
+			t.Fatalf("entry %d: overflow returned different contents: %+v", i, e)
+		}
+		if i < n-2 && e.node != nil {
+			t.Fatalf("entry %d: spilled hit carries a prune node", i)
+		}
+	}
+	if st := c.snapshot(); st.SpillHits != n-2 {
+		t.Fatalf("SpillHits = %d, want %d", st.SpillHits, n-2)
+	}
+	if got := mgr.Stats(); got.OverflowPuts != n-2 || got.OverflowGets != n-2 {
+		t.Fatalf("manager counters = %+v, want %d puts and gets", got, n-2)
+	}
+	c.close()
+	if used := budget.Used(); used != 0 {
+		t.Fatalf("budget.Used() = %d after close, want 0", used)
+	}
+}
+
+// TestCacheOverflowFaults: every overflow IO failure degrades — a write
+// fault turns the tier off for the run, a read fault or corrupt frame is a
+// miss with the key dropped — and none of them ever surfaces as an error.
+func TestCacheOverflowFaults(t *testing.T) {
+	fill := func(t *testing.T, c *cache, n int) []string {
+		t.Helper()
+		keys := make([]string, n)
+		for i := 0; i < n; i++ {
+			e := richEntry(i)
+			keys[i] = value.Key(e.binding)
+			if err := c.insert([]byte(keys[i]), e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return keys
+	}
+
+	t.Run("write-error-disables-tier", func(t *testing.T) {
+		defer failpoint.Reset()
+		c, _ := overflowCache(t, 1, nil)
+		failpoint.Enable(failpoint.SpillWrite, failpoint.Once(failpoint.Error(errBoom)))
+		keys := fill(t, c, 4)
+		if !c.overflowOff.Load() {
+			t.Fatal("write fault did not disable the overflow tier")
+		}
+		if st := c.snapshot(); st.SpilledEntries != 0 {
+			t.Fatalf("SpilledEntries = %d after first-write fault, want 0", st.SpilledEntries)
+		}
+		// Evicted keys are plain misses now — never errors.
+		if _, ok, err := c.lookup([]byte(keys[0])); ok || err != nil {
+			t.Fatalf("lookup after tier-off: ok=%v err=%v, want clean miss", ok, err)
+		}
+		c.close()
+	})
+
+	t.Run("read-error-drops-key", func(t *testing.T) {
+		defer failpoint.Reset()
+		c, _ := overflowCache(t, 1, nil)
+		keys := fill(t, c, 3)
+		failpoint.Enable(failpoint.SpillRead, failpoint.Once(failpoint.Error(errBoom)))
+		if _, ok, err := c.lookup([]byte(keys[0])); ok || err != nil {
+			t.Fatalf("faulted read: ok=%v err=%v, want clean miss", ok, err)
+		}
+		if hits := failpoint.Hits(failpoint.SpillRead); hits == 0 {
+			t.Fatal("spill/read never fired — lookup did not reach the index")
+		}
+		// The key was dropped, the tier stays on for the others.
+		if c.overflow.Has([]byte(keys[0])) {
+			t.Fatal("faulted key still present in the overflow index")
+		}
+		if _, ok, err := c.lookup([]byte(keys[1])); !ok || err != nil {
+			t.Fatalf("healthy key after read fault: ok=%v err=%v, want hit", ok, err)
+		}
+		c.close()
+	})
+
+	t.Run("corrupt-frame-recomputes", func(t *testing.T) {
+		defer failpoint.Reset()
+		c, _ := overflowCache(t, 1, nil)
+		keys := fill(t, c, 3)
+		failpoint.Enable(failpoint.SpillCorrupt, failpoint.Once(failpoint.Error(errBoom)))
+		if _, ok, err := c.lookup([]byte(keys[0])); ok || err != nil {
+			t.Fatalf("corrupt read: ok=%v err=%v, want clean miss", ok, err)
+		}
+		st := c.snapshot()
+		if st.SpillCorruptions != 1 {
+			t.Fatalf("SpillCorruptions = %d, want 1", st.SpillCorruptions)
+		}
+		// Dropped, so the retry is a miss too — not an infinite corrupt loop.
+		if _, ok, err := c.lookup([]byte(keys[0])); ok || err != nil {
+			t.Fatalf("retry after corruption: ok=%v err=%v, want clean miss", ok, err)
+		}
+		c.close()
+	})
+}
+
+// spillOpts returns the all-on configuration with the memo cache squeezed
+// hard enough that the binding loop must evict, plus the disk overflow tier.
+func spillOpts(t *testing.T, workers int) Options {
+	opts := AllOn()
+	opts.Workers = workers
+	opts.CacheLimit = 4
+	opts.Spill = true
+	opts.SpillDir = t.TempDir()
+	return opts
+}
+
+func assertSpillDirEmpty(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading spill parent dir: %v", err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill parent dir not empty after query: %d entries, first %q", len(ents), ents[0].Name())
+	}
+}
+
+// TestNLJPMemoOverflow: with a tiny memo limit and spilling on, the binding
+// loop overflows evicted entries to disk, the rows stay identical to the
+// baseline, the report shows the spill rung, and the query-scoped spill
+// directory is gone afterwards — sequential and parallel alike.
+func TestNLJPMemoOverflow(t *testing.T) {
+	cat := newTestCatalog(t, 13, 200)
+	base := runBaseline(t, cat, skybandSQL)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			testleak.Check(t)
+			opts := spillOpts(t, workers)
+			res, report, err := execOpt(cat, skybandSQL, opts)
+			if err != nil {
+				t.Fatalf("spilling run failed: %v", err)
+			}
+			assertSameRows(t, "skyband with memo overflow", base, res.Rows, report)
+			st := report.TotalStats()
+			if st.SpilledEntries == 0 {
+				t.Fatalf("no entries spilled (stats %+v) — the overflow tier never engaged", st)
+			}
+			if report.Spill.OverflowPuts == 0 {
+				t.Fatalf("manager counted no overflow puts: %+v", report.Spill)
+			}
+			found := false
+			for _, r := range report.Degradations {
+				if r == engine.DegradeSpill {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("Degradations = %v, want the spill rung", report.Degradations)
+			}
+			assertSpillDirEmpty(t, opts.SpillDir)
+		})
+	}
+}
+
+// TestNLJPSpillFaultMatrix injects faults into the overflow tier during a
+// full optimized run. Write and corruption faults must be invisible — the
+// query completes with identical rows (the tier turns off or the entry is
+// recomputed from source); a panic surfaces as exactly one typed error. In
+// every case the spill directory is removed.
+func TestNLJPSpillFaultMatrix(t *testing.T) {
+	cat := newTestCatalog(t, 13, 200)
+	base := runBaseline(t, cat, skybandSQL)
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []string{"write-error", "corrupt-frame", "write-panic"} {
+			t.Run(fmt.Sprintf("%s/workers=%d", mode, workers), func(t *testing.T) {
+				testleak.Check(t)
+				defer failpoint.Reset()
+				switch mode {
+				case "write-error":
+					failpoint.Enable(failpoint.SpillWrite, failpoint.Once(failpoint.Error(errBoom)))
+				case "corrupt-frame":
+					// Every read of the overflow index returns a frame whose
+					// checksum no longer matches.
+					failpoint.Enable(failpoint.SpillCorrupt, failpoint.Error(errBoom))
+				case "write-panic":
+					failpoint.Enable(failpoint.SpillWrite, failpoint.Once(failpoint.Panic("spill fault")))
+				}
+				opts := spillOpts(t, workers)
+				res, report, err := execOpt(cat, skybandSQL, opts)
+				if mode == "write-panic" {
+					if err == nil {
+						t.Fatal("query succeeded through an injected panic")
+					}
+					var pe *engine.PanicError
+					if !errors.As(err, &pe) {
+						t.Fatalf("error = %v (%T), want *engine.PanicError", err, err)
+					}
+				} else {
+					if err != nil {
+						t.Fatalf("%s must stay invisible, got error: %v", mode, err)
+					}
+					assertSameRows(t, "skyband under "+mode, base, res.Rows, report)
+				}
+				if mode != "corrupt-frame" {
+					if hits := failpoint.Hits(failpoint.SpillWrite); hits == 0 {
+						t.Fatal("spill/write never fired — the overflow tier is not reachable")
+					}
+				}
+				failpoint.Reset()
+				assertSpillDirEmpty(t, opts.SpillDir)
+			})
+		}
+	}
+}

@@ -55,7 +55,7 @@ func intEntry(i int, unpromising bool) *cacheEntry {
 // TestCacheEvictionFIFOOrder: with one shard (the sequential configuration)
 // a bounded cache evicts in exact global insertion order.
 func TestCacheEvictionFIFOOrder(t *testing.T) {
-	c := newCache(nil, false, 3, 1, nil)
+	c := newCache(nil, false, 3, 1, nil, nil)
 	for i := 0; i < 6; i++ {
 		e := intEntry(i, false)
 		_ = c.insert([]byte(value.Key(e.binding)), e)
@@ -95,7 +95,7 @@ func TestCacheEvictionPruneConsistency(t *testing.T) {
 		{"indexed-sharded", predRange, true, 4},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			c := newCache(tc.pred, tc.indexed, 4, tc.workers, nil)
+			c := newCache(tc.pred, tc.indexed, 4, tc.workers, nil, nil)
 			rng := rand.New(rand.NewSource(42))
 			order := rng.Perm(40)
 			for step, i := range order {
@@ -132,7 +132,7 @@ func TestCacheEvictionPruneConsistency(t *testing.T) {
 // early-exit scans of pruneMatch rely on.
 func TestCacheIndexedPartsStaySorted(t *testing.T) {
 	pred := &PrunePredicate{EqIdx: []int{1}, RangeIdx: 0, RangeCachedGE: true}
-	c := newCache(pred, true, 6, 1, nil)
+	c := newCache(pred, true, 6, 1, nil, nil)
 	rng := rand.New(rand.NewSource(7))
 	for _, i := range rng.Perm(30) {
 		e := &cacheEntry{

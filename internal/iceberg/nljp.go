@@ -9,6 +9,7 @@ import (
 	"smarticeberg/internal/expr"
 	"smarticeberg/internal/failpoint"
 	"smarticeberg/internal/resource"
+	"smarticeberg/internal/spill"
 	"smarticeberg/internal/sqlparser"
 	"smarticeberg/internal/value"
 )
@@ -545,10 +546,22 @@ func (n *NLJP) Run() (res *engine.Result, err error) {
 	if workers < 0 {
 		workers = engine.DefaultWorkers(0)
 	}
-	c := newCache(n.Pred, n.CacheIndexed, n.cacheLimit, workers, n.ec.Budget())
+	// The overflow tier only pays off when memoization is on: without it the
+	// cache is never looked up, so spilled entries could never be served.
+	var mgr *spill.Manager
+	if n.Memo {
+		mgr = n.ec.Spill()
+	}
+	c := newCache(n.Pred, n.CacheIndexed, n.cacheLimit, workers, n.ec.Budget(), mgr)
 	defer func() {
 		n.stats = c.snapshot()
-		c.releaseBudget()
+		if n.stats.Degraded {
+			n.ec.Degrade(engine.DegradeCacheShed)
+		}
+		if n.stats.SpilledEntries > 0 {
+			n.ec.Degrade(engine.DegradeSpill)
+		}
+		c.close()
 	}()
 	defer func() {
 		if r := recover(); r != nil {

@@ -9,6 +9,7 @@ import (
 	"smarticeberg/internal/engine"
 	"smarticeberg/internal/fd"
 	"smarticeberg/internal/resource"
+	"smarticeberg/internal/spill"
 	"smarticeberg/internal/sqlparser"
 	"smarticeberg/internal/storage"
 	"smarticeberg/internal/value"
@@ -58,6 +59,18 @@ type Options struct {
 	// Results are byte-identical to the row path; 0 keeps row-at-a-time
 	// execution.
 	BatchSize int
+	// Spill lets operators overflow to checksummed disk files instead of
+	// failing when MemBudget is exceeded: hash aggregations partition their
+	// groups to run files and merge them back (byte-identical results), and
+	// the NLJP cache keeps evicted memo entries in an on-disk index. It adds
+	// a rung to the degradation ladder between cache-shedding and the
+	// baseline fallback. All spill files live in a query-scoped temp
+	// directory that is removed when the query ends — on success, error,
+	// cancellation, and panic alike.
+	Spill bool
+	// SpillDir is the parent directory for the query's spill directory;
+	// empty means os.TempDir().
+	SpillDir string
 }
 
 // AllOn returns the paper's "all" configuration.
@@ -74,6 +87,13 @@ type Report struct {
 	// MemoryPeak is the high-water mark of accounted memory in bytes. Only
 	// tracked when Options.MemBudget set a budget; 0 otherwise.
 	MemoryPeak int64
+	// Degradations lists the rungs of the degradation ladder the query
+	// descended, in ladder order (cache-shed → spill → baseline-fallback).
+	// Empty when the query ran entirely on the fast path.
+	Degradations []engine.DegradeReason
+	// Spill snapshots the spill manager's IO counters; zero when
+	// Options.Spill was off or never engaged.
+	Spill spill.Stats
 }
 
 // BlockReport covers one SELECT block.
@@ -110,6 +130,14 @@ func (r *Report) String() string {
 				blk.Stats.MemoHits, blk.Stats.PruneHits, blk.Stats.InnerEvals)
 		}
 	}
+	if r.Spill.Files > 0 {
+		fmt.Fprintf(&b, "spill: %d files, %d frames out (%d bytes), %d frames in, %d overflow puts, %d overflow gets, %d corruptions\n",
+			r.Spill.Files, r.Spill.FramesOut, r.Spill.BytesOut, r.Spill.FramesIn,
+			r.Spill.OverflowPuts, r.Spill.OverflowGets, r.Spill.Corruptions)
+	}
+	if len(r.Degradations) > 0 {
+		fmt.Fprintf(&b, "degraded: %s\n", strings.Join(engine.DegradeReasonStrings(r.Degradations), ", "))
+	}
 	return b.String()
 }
 
@@ -126,6 +154,9 @@ func (r *Report) TotalStats() CacheStats {
 		t.PruneProbes += blk.Stats.PruneProbes
 		t.Degraded = t.Degraded || blk.Stats.Degraded
 		t.BudgetEvictions += blk.Stats.BudgetEvictions
+		t.SpilledEntries += blk.Stats.SpilledEntries
+		t.SpillHits += blk.Stats.SpillHits
+		t.SpillCorruptions += blk.Stats.SpillCorruptions
 	}
 	return t
 }
@@ -133,14 +164,46 @@ func (r *Report) TotalStats() CacheStats {
 // Exec runs a SELECT with the chosen optimizations, processing WITH blocks
 // recursively (each CTE is itself optimized, materialized, and exposed to
 // enclosing blocks with derived constraint metadata).
-func Exec(cat *storage.Catalog, sel *sqlparser.Select, opts Options) (*engine.Result, *Report, error) {
-	report := &Report{}
+func Exec(cat *storage.Catalog, sel *sqlparser.Select, opts Options) (res *engine.Result, report *Report, err error) {
+	report = &Report{}
 	// One execution context per query: a single deadline and one budget pool
 	// shared by every block, materialization, and fallback.
 	ec := engine.NewExecContext(opts.Ctx, resource.NewBudget(opts.MemBudget))
-	res, err := exec(cat, sel, engine.Env{}, opts, report, "main", ec)
+	if opts.Spill {
+		mgr, merr := spill.NewManager(opts.SpillDir)
+		if merr != nil {
+			return nil, report, merr
+		}
+		ec.SetSpill(mgr)
+		// The deferred cleanup runs on success, error, and panic alike:
+		// no spill file outlives its query. A cleanup failure surfaces only
+		// when the query itself succeeded (leaking temp files silently would
+		// hide a real problem; masking the query's own error would hide a
+		// bigger one).
+		defer func() {
+			report.Spill = mgr.Stats()
+			report.Degradations = ec.Degradations()
+			if cerr := cleanupSpill(mgr); cerr != nil && err == nil {
+				res, err = nil, cerr
+			}
+		}()
+	}
+	res, err = exec(cat, sel, engine.Env{}, opts, report, "main", ec)
 	report.MemoryPeak = ec.Budget().Peak()
+	report.Degradations = ec.Degradations()
 	return res, report, err
+}
+
+// cleanupSpill removes the query's spill directory, containing a panic from
+// the removal path (fault injection can arm it) as a typed error so the
+// caller's stack never unwinds out of a deferred cleanup.
+func cleanupSpill(mgr *spill.Manager) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = engine.NewPanicError("spill cleanup", r)
+		}
+	}()
+	return mgr.Cleanup()
 }
 
 func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Options, report *Report, name string, ec *engine.ExecContext) (*engine.Result, error) {
@@ -239,10 +302,11 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 		nljp, err := buildNLJP(b, overrides, opts, ec)
 		if err != nil {
 			if errors.Is(err, resource.ErrBudgetExceeded) {
-				// Degradation ladder, second rung: the NLJP working set does
-				// not fit, so abandon the technique and run the baseline plan
-				// on the same (now released) budget.
+				// Degradation ladder, next rung after shed/spill: the NLJP
+				// working set does not fit, so abandon the technique and run
+				// the baseline plan on the same (now released) budget.
 				blk.Notes = append(blk.Notes, "NLJP abandoned ("+err.Error()+"); falling back to baseline plan")
+				ec.Degrade(engine.DegradeBaseline)
 				return baseline(overrides)
 			}
 			return nil, fmt.Errorf("building NLJP: %w", err)
@@ -259,6 +323,7 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 			if err != nil {
 				if errors.Is(err, resource.ErrBudgetExceeded) {
 					blk.Notes = append(blk.Notes, "NLJP abandoned mid-run ("+err.Error()+"); falling back to baseline plan")
+					ec.Degrade(engine.DegradeBaseline)
 					return baseline(overrides)
 				}
 				return nil, fmt.Errorf("running NLJP: %w", err)
@@ -285,6 +350,7 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 			if err != nil {
 				if errors.Is(err, resource.ErrBudgetExceeded) {
 					blk.Notes = append(blk.Notes, "memo rewrite abandoned ("+err.Error()+"); falling back to baseline plan")
+					ec.Degrade(engine.DegradeBaseline)
 					return baseline(overrides)
 				}
 				return nil, fmt.Errorf("running memo rewrite: %w", err)

@@ -1,0 +1,149 @@
+package spill
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"smarticeberg/internal/failpoint"
+)
+
+const writerBufSize = 64 << 10
+
+// maxFrameSize bounds a single payload. A header whose length field exceeds
+// it is treated as corruption rather than trusted as an allocation size.
+const maxFrameSize = 64 << 20
+
+// Writer appends checksummed frames to one run file.
+type Writer struct {
+	mgr     *Manager
+	f       *os.File
+	w       *bufio.Writer
+	path    string
+	frames  int64
+	closed  bool
+	scratch []byte
+}
+
+func newWriter(m *Manager, f *os.File, path string) *Writer {
+	return &Writer{mgr: m, f: f, w: bufio.NewWriterSize(f, writerBufSize), path: path}
+}
+
+// Path returns the run file's path.
+func (w *Writer) Path() string { return w.path }
+
+// Frames returns how many frames have been written so far.
+func (w *Writer) Frames() int64 { return w.frames }
+
+// WriteFrame appends one frame holding payload. The payload is copied before
+// return, so callers may reuse their buffer.
+func (w *Writer) WriteFrame(payload []byte) error {
+	if err := failpoint.Inject(failpoint.SpillWrite); err != nil {
+		return err
+	}
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("spill: frame payload %d exceeds %d bytes", len(payload), maxFrameSize)
+	}
+	w.scratch = encodeFrame(w.scratch[:0], payload)
+	if _, err := w.w.Write(w.scratch); err != nil {
+		return fmt.Errorf("spill: write frame: %w", err)
+	}
+	w.frames++
+	w.mgr.framesOut.Add(1)
+	w.mgr.bytesOut.Add(int64(len(w.scratch)))
+	return nil
+}
+
+// Close flushes buffered frames and closes the file, which stays on disk for
+// reading. Idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := failpoint.Inject(failpoint.SpillFlush); err != nil {
+		_ = w.f.Close()
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		_ = w.f.Close()
+		return fmt.Errorf("spill: flush: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("spill: close: %w", err)
+	}
+	return nil
+}
+
+// Discard closes (if needed) and removes the run file. Used by operator
+// Close paths as the per-file backstop; Manager.Cleanup remains the
+// directory-level backstop.
+func (w *Writer) Discard() error {
+	cerr := w.Close()
+	rerr := w.mgr.Remove(w.path)
+	if cerr != nil {
+		return cerr
+	}
+	return rerr
+}
+
+// Reader streams frames back from a closed run file, verifying each
+// checksum.
+type Reader struct {
+	mgr  *Manager
+	f    *os.File
+	r    *bufio.Reader
+	path string
+	buf  []byte
+	hdr  [frameHeaderSize]byte
+}
+
+// Open opens a run file for sequential frame reads.
+func (m *Manager) Open(path string) (*Reader, error) {
+	if err := failpoint.Inject(failpoint.SpillRead); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: open run: %w", err)
+	}
+	return &Reader{mgr: m, f: f, r: bufio.NewReaderSize(f, writerBufSize), path: path}, nil
+}
+
+// Next returns the next frame's payload, or (nil, nil) at a clean end of
+// file. The payload buffer is reused by the following Next call. A frame cut
+// short by a torn write is reported as corruption, not EOF.
+func (r *Reader) Next() ([]byte, error) {
+	if err := failpoint.Inject(failpoint.SpillRead); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		r.mgr.corruptions.Add(1)
+		return nil, fmt.Errorf("%w: %s: truncated header", ErrCorrupt, r.path)
+	}
+	n := int(uint32(r.hdr[0])<<24 | uint32(r.hdr[1])<<16 | uint32(r.hdr[2])<<8 | uint32(r.hdr[3]))
+	if n > maxFrameSize {
+		r.mgr.corruptions.Add(1)
+		return nil, fmt.Errorf("%w: %s: implausible frame length %d", ErrCorrupt, r.path, n)
+	}
+	if cap(r.buf) < n || r.buf == nil {
+		// Never leave buf nil: an empty frame must stay distinguishable from
+		// the (nil, nil) end-of-file return.
+		r.buf = make([]byte, n, n+1)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		r.mgr.corruptions.Add(1)
+		return nil, fmt.Errorf("%w: %s: truncated payload", ErrCorrupt, r.path)
+	}
+	return verifyFrame(r.mgr, r.path, r.hdr[:], r.buf)
+}
+
+// Close closes the underlying file (the file itself stays until removed).
+func (r *Reader) Close() error {
+	return r.f.Close()
+}

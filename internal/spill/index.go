@@ -1,0 +1,140 @@
+package spill
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"smarticeberg/internal/failpoint"
+)
+
+// Index is an append-only on-disk key→payload store: the overflow tier for
+// the NLJP memoization cache. Frames are appended to one file; an in-memory
+// map keeps each key's offset, so a Get is a single ReadAt plus a checksum
+// check. Entries are never updated in place — a re-Put of the same key just
+// points the map at the new frame.
+type Index struct {
+	mu   sync.Mutex
+	mgr  *Manager
+	f    *os.File
+	path string
+	refs map[string]indexRef
+	off  int64
+	buf  []byte
+}
+
+type indexRef struct {
+	off int64
+	n   int // payload length
+}
+
+// RefBytes approximates the resident cost of one index entry (map key +
+// ref), used for budget accounting by callers.
+func RefBytes(key string) int64 { return int64(len(key)) + 64 }
+
+// NewIndex creates an overflow index file inside the manager's directory.
+func (m *Manager) NewIndex(name string) (*Index, error) {
+	if err := failpoint.Inject(failpoint.SpillWrite); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(m.dir, fmt.Sprintf("%s-%06d.idx", name, m.seq.Add(1)))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("spill: create index: %w", err)
+	}
+	m.files.Add(1)
+	return &Index{mgr: m, f: f, path: path, refs: make(map[string]indexRef)}, nil
+}
+
+// Put appends one entry. The key and payload are copied; callers may reuse
+// their buffers.
+func (ix *Index) Put(key []byte, payload []byte) error {
+	if err := failpoint.Inject(failpoint.SpillWrite); err != nil {
+		return err
+	}
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("spill: index payload %d exceeds %d bytes", len(payload), maxFrameSize)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.buf = encodeFrame(ix.buf[:0], payload)
+	if _, err := ix.f.WriteAt(ix.buf, ix.off); err != nil {
+		return fmt.Errorf("spill: index write: %w", err)
+	}
+	ix.refs[string(key)] = indexRef{off: ix.off, n: len(payload)}
+	ix.off += int64(len(ix.buf))
+	ix.mgr.framesOut.Add(1)
+	ix.mgr.bytesOut.Add(int64(len(ix.buf)))
+	ix.mgr.overflowPuts.Add(1)
+	return nil
+}
+
+// Get returns the payload stored for key, or ok=false when absent. The
+// returned slice is only valid until the next Index call. A checksum
+// mismatch returns an error wrapping ErrCorrupt; callers are expected to
+// treat any Get error as a miss and recompute from source.
+func (ix *Index) Get(key []byte) (payload []byte, ok bool, err error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ref, ok := ix.refs[string(key)]
+	if !ok {
+		return nil, false, nil
+	}
+	if err := failpoint.Inject(failpoint.SpillRead); err != nil {
+		return nil, false, err
+	}
+	n := frameHeaderSize + ref.n
+	if cap(ix.buf) < n {
+		ix.buf = make([]byte, n)
+	}
+	ix.buf = ix.buf[:n]
+	if _, err := ix.f.ReadAt(ix.buf, ref.off); err != nil {
+		ix.mgr.corruptions.Add(1)
+		return nil, false, fmt.Errorf("%w: %s: short entry read: %v", ErrCorrupt, ix.path, err)
+	}
+	hdr, body := ix.buf[:frameHeaderSize], ix.buf[frameHeaderSize:]
+	if got := int(binary.BigEndian.Uint32(hdr)); got != ref.n {
+		ix.mgr.corruptions.Add(1)
+		return nil, false, fmt.Errorf("%w: %s: entry length %d, want %d", ErrCorrupt, ix.path, got, ref.n)
+	}
+	body, err = verifyFrame(ix.mgr, ix.path, hdr, body)
+	if err != nil {
+		return nil, false, err
+	}
+	ix.mgr.overflowGets.Add(1)
+	return body, true, nil
+}
+
+// Has reports whether key is addressable, without touching the disk.
+// Callers use it to avoid double-charging budget for a re-Put.
+func (ix *Index) Has(key []byte) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	_, ok := ix.refs[string(key)]
+	return ok
+}
+
+// Delete drops a key from the index (the frame bytes stay on disk until
+// Cleanup). Used to stop re-reading an entry that failed its checksum.
+func (ix *Index) Delete(key []byte) {
+	ix.mu.Lock()
+	delete(ix.refs, string(key))
+	ix.mu.Unlock()
+}
+
+// Len reports how many keys are currently addressable.
+func (ix *Index) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.refs)
+}
+
+// Close closes the index file; Manager.Cleanup removes it.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.refs = nil
+	return ix.f.Close()
+}

@@ -1,0 +1,108 @@
+package value
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Binary codec for spill files. Unlike AppendKey — which normalizes numerics
+// so that Int 3 and Float 3.0 share a grouping key — this encoding is exact
+// and invertible: DecodeBinary returns a Value with the same Kind and the
+// same payload bits (floats round-trip through math.Float64bits), so rows
+// written to disk and read back are indistinguishable from the originals.
+
+// ErrCodec is returned when a binary encoding is truncated or carries an
+// unknown kind tag.
+var ErrCodec = errors.New("value: invalid binary encoding")
+
+// AppendBinary appends a self-delimiting exact encoding of v to dst.
+func AppendBinary(dst []byte, v Value) []byte {
+	switch v.K {
+	case Int:
+		dst = append(dst, 1)
+		return binary.BigEndian.AppendUint64(dst, uint64(v.I))
+	case Float:
+		dst = append(dst, 2)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(v.F))
+	case Str:
+		dst = append(dst, 3)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.S)))
+		return append(dst, v.S...)
+	case Bool:
+		dst = append(dst, 4)
+		return append(dst, byte(v.I))
+	default: // Null
+		return append(dst, 0)
+	}
+}
+
+// DecodeBinary decodes one value produced by AppendBinary and returns the
+// remaining bytes.
+func DecodeBinary(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Value{}, b, ErrCodec
+	}
+	tag := b[0]
+	b = b[1:]
+	switch tag {
+	case 0:
+		return NullValue, b, nil
+	case 1:
+		if len(b) < 8 {
+			return Value{}, b, ErrCodec
+		}
+		return NewInt(int64(binary.BigEndian.Uint64(b))), b[8:], nil
+	case 2:
+		if len(b) < 8 {
+			return Value{}, b, ErrCodec
+		}
+		return NewFloat(math.Float64frombits(binary.BigEndian.Uint64(b))), b[8:], nil
+	case 3:
+		if len(b) < 4 {
+			return Value{}, b, ErrCodec
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < n {
+			return Value{}, b, ErrCodec
+		}
+		return NewStr(string(b[:n])), b[n:], nil
+	case 4:
+		if len(b) < 1 {
+			return Value{}, b, ErrCodec
+		}
+		return NewBool(b[0] != 0), b[1:], nil
+	default:
+		return Value{}, b, ErrCodec
+	}
+}
+
+// AppendRowBinary appends a self-delimiting exact encoding of r to dst.
+func AppendRowBinary(dst []byte, r Row) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r)))
+	for _, v := range r {
+		dst = AppendBinary(dst, v)
+	}
+	return dst
+}
+
+// DecodeRowBinary decodes one row produced by AppendRowBinary and returns
+// the remaining bytes. The returned row shares nothing with b's backing
+// array (strings are copied), so it may be retained.
+func DecodeRowBinary(b []byte) (Row, []byte, error) {
+	if len(b) < 4 {
+		return nil, b, ErrCodec
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	r := make(Row, n)
+	var err error
+	for i := 0; i < n; i++ {
+		r[i], b, err = DecodeBinary(b)
+		if err != nil {
+			return nil, b, err
+		}
+	}
+	return r, b, nil
+}

@@ -91,7 +91,7 @@ func TestMemoryBudgetSmoke(t *testing.T) {
 	if !sameRows(base, res) {
 		t.Fatalf("budgeted run changed the result:\n%s", report.Text)
 	}
-	if report.Stats.Degraded {
+	if report.Stats.Degraded() {
 		t.Errorf("generous budget reported degradation: %+v", report.Stats)
 	}
 

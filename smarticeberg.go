@@ -32,6 +32,7 @@ import (
 	"smarticeberg/internal/fd"
 	"smarticeberg/internal/iceberg"
 	"smarticeberg/internal/resource"
+	"smarticeberg/internal/spill"
 	"smarticeberg/internal/sqlparser"
 	"smarticeberg/internal/storage"
 	"smarticeberg/internal/value"
@@ -84,6 +85,15 @@ type Options struct {
 	// binding query, and per-binding inner aggregates. 0 keeps the
 	// row-at-a-time path; results are identical for every setting.
 	BatchSize int
+	// Spill lets execution overflow to checksummed temp files instead of
+	// failing when MemoryBudget is exceeded: hash aggregations spill their
+	// group tables (results stay byte-identical) and the NLJP cache keeps
+	// evicted memo entries on disk. All spill files are removed when the
+	// query ends, however it ends.
+	Spill bool
+	// SpillDir is the parent directory for spill files; empty uses the
+	// system temp directory.
+	SpillDir string
 }
 
 // AllOptimizations enables every technique, the paper's "all" bar.
@@ -104,8 +114,24 @@ func (o Options) internal() iceberg.Options {
 		Ctx:          o.Ctx,
 		MemBudget:    o.MemoryBudget,
 		BatchSize:    o.BatchSize,
+		Spill:        o.Spill,
+		SpillDir:     o.SpillDir,
 	}
 }
+
+// DegradeReason identifies one rung of the degradation ladder a
+// budget-pressured query descended; see Stats.Degradations.
+type DegradeReason = engine.DegradeReason
+
+// The degradation ladder, in order: the NLJP cache sheds entries, operators
+// spill to disk, and finally the optimizer abandons its rewrite for the
+// baseline plan. Results stay exact on every rung; only when the baseline
+// itself cannot fit does the query fail with ErrBudgetExceeded.
+const (
+	DegradeCacheShed = engine.DegradeCacheShed
+	DegradeSpill     = engine.DegradeSpill
+	DegradeBaseline  = engine.DegradeBaseline
+)
 
 // Result is a fully evaluated query result. Row values are Go natives:
 // int64, float64, string, bool, or nil for SQL NULL.
@@ -158,10 +184,20 @@ type Stats struct {
 	MemoHits     int64
 	PruneHits    int64
 	InnerEvals   int64
-	// Degraded reports that the run hit its MemoryBudget and shed cache
-	// entries (or fell back) to stay within it; results are still exact.
-	Degraded bool
+	// Degradations lists the rungs of the degradation ladder the run
+	// descended under MemoryBudget pressure, in ladder order (cache-shed →
+	// spill → baseline-fallback). Empty means the query ran entirely on the
+	// fast path. Results are exact on every rung.
+	Degradations []DegradeReason
+	// SpilledEntries and SpillHits report the NLJP cache's disk overflow
+	// tier: evicted memo entries preserved on disk, and lookups served from
+	// there instead of recomputing the binding.
+	SpilledEntries int64
+	SpillHits      int64
 }
+
+// Degraded reports whether the run left the fast path for any reason.
+func (s Stats) Degraded() bool { return len(s.Degradations) > 0 }
 
 // Report documents the rewrites an optimized execution performed.
 type Report struct {
@@ -170,6 +206,9 @@ type Report struct {
 	Text string
 	// Stats aggregates cache statistics over all query blocks.
 	Stats Stats
+	// MemoryPeak is the high-water mark of accounted memory in bytes (0
+	// when no MemoryBudget was set).
+	MemoryPeak int64
 }
 
 // DB is an in-memory database instance.
@@ -306,14 +345,17 @@ func (db *DB) QueryOpt(sql string, opts Options) (*Result, *Report, error) {
 	return out, &Report{
 		Text: rep.String(),
 		Stats: Stats{
-			CacheEntries: st.Entries,
-			CacheBytes:   st.Bytes,
-			Bindings:     st.Bindings,
-			MemoHits:     st.MemoHits,
-			PruneHits:    st.PruneHits,
-			InnerEvals:   st.InnerEvals,
-			Degraded:     st.Degraded,
+			CacheEntries:   st.Entries,
+			CacheBytes:     st.Bytes,
+			Bindings:       st.Bindings,
+			MemoHits:       st.MemoHits,
+			PruneHits:      st.PruneHits,
+			InnerEvals:     st.InnerEvals,
+			Degradations:   rep.Degradations,
+			SpilledEntries: st.SpilledEntries,
+			SpillHits:      st.SpillHits,
 		},
+		MemoryPeak: rep.MemoryPeak,
 	}, nil
 }
 
@@ -365,6 +407,44 @@ func (db *DB) ExplainAnalyze(sql string) (string, *Result, error) {
 		return "", nil, err
 	}
 	text, rows, err := engine.ExplainAnalyze(op)
+	if err != nil {
+		return "", nil, err
+	}
+	out := &Result{}
+	out.setRaw(&engine.Result{Columns: op.Schema(), Rows: rows})
+	return text, out, nil
+}
+
+// ExplainAnalyzeOpts is ExplainAnalyze under execution options: the query
+// runs with opts' context, memory budget, batch size, and spill setting, and
+// the returned plan is annotated with any degradations the run suffered
+// (e.g. "Degraded: spill" with the aggregate's spill/merge note).
+func (db *DB) ExplainAnalyzeOpts(sql string, opts Options) (text string, res *Result, err error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	ec := engine.NewExecContext(opts.Ctx, resource.NewBudget(opts.MemoryBudget))
+	if opts.Spill {
+		mgr, merr := spill.NewManager(opts.SpillDir)
+		if merr != nil {
+			return "", nil, merr
+		}
+		ec.SetSpill(mgr)
+		defer func() {
+			if cerr := mgr.Cleanup(); cerr != nil && err == nil {
+				text, res, err = "", nil, cerr
+			}
+		}()
+	}
+	p := engine.NewPlanner(db.cat)
+	p.Exec = ec
+	p.BatchSize = opts.BatchSize
+	op, err := p.PlanSelect(sel, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	text, rows, err := engine.ExplainAnalyzeExec(ec, op)
 	if err != nil {
 		return "", nil, err
 	}

@@ -1,0 +1,196 @@
+// Acceptance tests for spill-to-disk execution through the public API: a
+// query that cannot fit its memory budget completes byte-identically once
+// Options.Spill is on, corruption is detected (never silently wrong), and
+// the whole workload stays byte-identical under budget+spill across the row
+// and batch pipelines.
+package smarticeberg_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"smarticeberg"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/spill"
+)
+
+// spillSQL aggregates the whole performance table into many small groups —
+// the hash table dwarfs every other allocation, so a halved budget can only
+// be met by spilling it.
+const spillSQL = `
+	SELECT playerid, year, COUNT(1), SUM(b_h), MIN(b_hr)
+	FROM player_performance
+	GROUP BY playerid, year`
+
+func requireEmptyDir(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading spill dir: %v", err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not cleaned: %d entries, first %q", len(ents), ents[0].Name())
+	}
+}
+
+// failingBudget finds a budget the plain (non-spilling) run cannot meet.
+func failingBudget(t *testing.T, db *smarticeberg.DB, sql string) int64 {
+	t.Helper()
+	opts := smarticeberg.AllOptimizations()
+	opts.MemoryBudget = 1 << 30
+	_, rep, err := db.QueryOpt(sql, opts)
+	if err != nil {
+		t.Fatalf("measuring run: %v", err)
+	}
+	if rep.MemoryPeak <= 0 {
+		t.Fatalf("measuring run tracked no memory (peak=%d)", rep.MemoryPeak)
+	}
+	for _, frac := range []int64{2, 3, 4, 6} {
+		budget := rep.MemoryPeak / frac
+		opts := smarticeberg.AllOptimizations()
+		opts.MemoryBudget = budget
+		if _, _, err := db.QueryOpt(sql, opts); err != nil {
+			if !errors.Is(err, smarticeberg.ErrBudgetExceeded) {
+				t.Fatalf("budget=%d: error %v, want ErrBudgetExceeded", budget, err)
+			}
+			return budget
+		}
+	}
+	t.Fatalf("no fraction of peak %d made the plain run fail; cannot demonstrate spilling", rep.MemoryPeak)
+	return 0
+}
+
+// TestSpillAcceptance is the headline contract: the exact budget that makes
+// the plain run fail with ErrBudgetExceeded completes with Options.Spill —
+// byte-identical to the unbudgeted result, reporting the spill rung, and
+// leaving the spill directory empty.
+func TestSpillAcceptance(t *testing.T) {
+	db := smarticeberg.Open()
+	db.LoadPlayerPerformance(800, 7)
+	want, err := db.Query(spillSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := failingBudget(t, db, spillSQL)
+
+	opts := smarticeberg.AllOptimizations()
+	opts.MemoryBudget = budget
+	opts.Spill = true
+	opts.SpillDir = t.TempDir()
+	got, rep, err := db.QueryOpt(spillSQL, opts)
+	if err != nil {
+		t.Fatalf("budget=%d with spill: %v", budget, err)
+	}
+	assertIdenticalResults(t, "spilled aggregation", got, want)
+	if !rep.Stats.Degraded() {
+		t.Fatalf("spilling run reported no degradation: %+v", rep.Stats)
+	}
+	found := false
+	for _, r := range rep.Stats.Degradations {
+		if r == smarticeberg.DegradeSpill {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Degradations = %v, want the spill rung", rep.Stats.Degradations)
+	}
+	requireEmptyDir(t, opts.SpillDir)
+
+	t.Run("explain-analyze", func(t *testing.T) {
+		opts.SpillDir = t.TempDir()
+		text, _, err := db.ExplainAnalyzeOpts(spillSQL, opts)
+		if err != nil {
+			t.Fatalf("ExplainAnalyzeOpts: %v", err)
+		}
+		if !strings.Contains(text, "Degraded: spill") || !strings.Contains(text, "[spilled:") {
+			t.Fatalf("analyzed plan does not show the spill annotation:\n%s", text)
+		}
+		requireEmptyDir(t, opts.SpillDir)
+	})
+}
+
+// TestSpillCorruptionAcceptance: a corrupted spill frame during the merge is
+// never silently wrong — the query either returns the exact unbudgeted rows
+// or one typed error wrapping spill.ErrCorrupt — and the spill directory is
+// removed either way.
+func TestSpillCorruptionAcceptance(t *testing.T) {
+	db := smarticeberg.Open()
+	db.LoadPlayerPerformance(800, 7)
+	want, err := db.Query(spillSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := failingBudget(t, db, spillSQL)
+
+	defer failpoint.Reset()
+	failpoint.Enable(failpoint.SpillCorrupt, failpoint.Once(failpoint.Error(failpoint.ErrInjected)))
+	opts := smarticeberg.AllOptimizations()
+	opts.MemoryBudget = budget
+	opts.Spill = true
+	opts.SpillDir = t.TempDir()
+	got, _, err := db.QueryOpt(spillSQL, opts)
+	failpoint.Reset()
+	if err != nil {
+		if !errors.Is(err, spill.ErrCorrupt) {
+			t.Fatalf("error = %v, want one wrapping spill.ErrCorrupt", err)
+		}
+	} else {
+		assertIdenticalResults(t, "corrupted-then-recovered run", got, want)
+	}
+	requireEmptyDir(t, opts.SpillDir)
+}
+
+// TestSpillEquivalenceSweep runs every workload query, row-mode and batch
+// sizes {1, 7, 1024}, under a budget one third of each configuration's
+// measured peak with spilling on. Every run must either match its
+// unbudgeted twin byte-for-byte or fail with the typed budget error, and
+// the sweep as a whole must actually spill somewhere.
+func TestSpillEquivalenceSweep(t *testing.T) {
+	db := equivDB(t)
+	spillActivations := 0
+	for _, q := range equivQueries() {
+		t.Run(q.Name, func(t *testing.T) {
+			for _, size := range []int{0, 1, 7, 1024} {
+				label := fmt.Sprintf("batch=%d", size)
+				measure := smarticeberg.AllOptimizations()
+				measure.BatchSize = size
+				measure.MemoryBudget = 1 << 30
+				want, rep, err := db.QueryOpt(q.SQL, measure)
+				if err != nil {
+					t.Fatalf("%s: measuring run: %v", label, err)
+				}
+				budget := rep.MemoryPeak / 3
+				if budget <= 0 {
+					continue
+				}
+				opts := smarticeberg.AllOptimizations()
+				opts.BatchSize = size
+				opts.MemoryBudget = budget
+				opts.Spill = true
+				opts.SpillDir = t.TempDir()
+				got, rep, err := db.QueryOpt(q.SQL, opts)
+				if err != nil {
+					if !errors.Is(err, smarticeberg.ErrBudgetExceeded) {
+						t.Fatalf("%s: error %v, want ErrBudgetExceeded or success", label, err)
+					}
+					requireEmptyDir(t, opts.SpillDir)
+					continue
+				}
+				assertIdenticalResults(t, label, got, want)
+				for _, r := range rep.Stats.Degradations {
+					if r == smarticeberg.DegradeSpill {
+						spillActivations++
+						break
+					}
+				}
+				requireEmptyDir(t, opts.SpillDir)
+			}
+		})
+	}
+	if spillActivations == 0 {
+		t.Fatal("no query in the sweep activated spilling — the budget squeeze is ineffective")
+	}
+}
