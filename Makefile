@@ -18,11 +18,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-# icelint runs the project's own analysis passes (opcontract, rowalias,
-# valuecmp, closecheck) over every package. See DESIGN.md, "Static analysis
-# & invariants".
+# icelint runs the project's own analysis passes — the syntactic passes
+# (opcontract, rowalias, valuecmp, closecheck, goexit) plus the
+# flow-sensitive CFG passes (budgetbalance, cancelcheck, failcover) — over
+# every non-testdata package. The 60-second wall-clock guard keeps the CFG
+# engine honest: if linting the module ever takes longer, the build fails
+# instead of the feedback loop quietly rotting. See DESIGN.md, "Static
+# analysis & invariants".
 lint: vet
-	$(GO) run ./cmd/icelint ./...
+	timeout 60 $(GO) run ./cmd/icelint ./...
 
 # Resilience suite: the fault-injection matrices, cancellation/deadline
 # coverage, memory-budget degradation, and goroutine-leak checks — always

@@ -7,6 +7,7 @@
 //	go run ./cmd/icelint ./...          # lint the whole module
 //	go run ./cmd/icelint ./internal/engine
 //	go run ./cmd/icelint -list          # show the registered passes
+//	go run ./cmd/icelint -json ./...    # machine-readable diagnostics (CI)
 //
 // Findings can be suppressed case-by-case with a directive on or directly
 // above the offending line:
@@ -17,17 +18,30 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"smarticeberg/internal/analysis"
 )
 
+// jsonDiagnostic is the -json wire form of one finding, one object per line
+// (JSON Lines), so CI can stream-convert findings into annotations.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the registered analysis passes and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as JSON Lines on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: icelint [-list] [packages]\n\nPasses:\n")
+		fmt.Fprintf(os.Stderr, "usage: icelint [-list] [-json] [packages]\n\nPasses:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -51,6 +65,7 @@ func main() {
 		os.Exit(2)
 	}
 	count := 0
+	enc := json.NewEncoder(os.Stdout)
 	for _, p := range pkgs {
 		if p.Standard || p.Info == nil {
 			continue
@@ -61,7 +76,28 @@ func main() {
 			os.Exit(2)
 		}
 		for _, d := range diags {
-			fmt.Println(d)
+			if *asJSON {
+				// Annotation consumers (GitHub Actions) want paths relative
+				// to the repository root, which is where icelint runs.
+				file := d.Pos.Filename
+				if cwd, err := os.Getwd(); err == nil {
+					if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
+						file = rel
+					}
+				}
+				if err := enc.Encode(jsonDiagnostic{
+					Analyzer: d.Analyzer,
+					File:     file,
+					Line:     d.Pos.Line,
+					Column:   d.Pos.Column,
+					Message:  d.Message,
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "icelint:", err)
+					os.Exit(2)
+				}
+			} else {
+				fmt.Println(d)
+			}
 			count++
 		}
 	}

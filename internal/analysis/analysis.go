@@ -70,9 +70,14 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// All returns the standard icelint passes.
+// All returns the standard icelint passes: the syntactic contract passes
+// from PR 1 plus the flow-sensitive CFG-based passes (budgetbalance,
+// cancelcheck, failcover).
 func All() []*Analyzer {
-	return []*Analyzer{OpContract, RowAlias, ValueCmp, CloseCheck, GoExit}
+	return []*Analyzer{
+		OpContract, RowAlias, ValueCmp, CloseCheck, GoExit,
+		BudgetBalance, CancelCheck, FailCover,
+	}
 }
 
 // ignoreRe matches suppression directives of the form
@@ -130,7 +135,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			TypesInfo: pkg.Info,
 			diags:     &diags,
 		}
-		if err := a.Run(pass); err != nil {
+		if err := runGuarded(pkg, a, pass); err != nil {
 			return nil, fmt.Errorf("%s: running %s: %w", pkg.Path, a.Name, err)
 		}
 	}
@@ -152,6 +157,28 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return a.Column < b.Column
 	})
 	return kept, nil
+}
+
+// runGuarded runs one analyzer, converting a pass panic into a diagnostic
+// attributed to that pass instead of aborting the whole run: one buggy pass
+// must not mask the other passes' findings. The diagnostic lands at the
+// package's first file so `icelint` output stays position-addressable.
+func runGuarded(pkg *Package, a *Analyzer, pass *Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pos := token.Position{Filename: pkg.Path}
+			if len(pkg.Files) > 0 {
+				pos = pkg.Fset.Position(pkg.Files[0].Pos())
+			}
+			*pass.diags = append(*pass.diags, Diagnostic{
+				Analyzer: a.Name,
+				Pos:      pos,
+				Message:  fmt.Sprintf("internal error: pass panicked: %v", r),
+			})
+			err = nil
+		}
+	}()
+	return a.Run(pass)
 }
 
 // ---------------------------------------------------------------------------

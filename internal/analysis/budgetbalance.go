@@ -1,0 +1,358 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"smarticeberg/internal/analysis/cfg"
+)
+
+// BudgetBalance flags resource.Budget.Reserve and engine.ExecContext.Charge
+// calls whose reservation can still be outstanding on some path to a function
+// exit — an early return, an explicit panic, or the natural end — that no
+// deferred Release covers. The runtime contract (PR 3) is that Budget.Used()
+// returns to zero after any outcome; a reservation leaked on one path
+// silently shrinks the budget for the rest of the query.
+//
+// The analysis is intraprocedural, per function body, and deliberately scoped
+// to functions that balance locally:
+//
+//   - Functions with no typed Release call at all (directly, or registered by
+//     a defer) are skipped: operators routinely Charge in Open and Release in
+//     Close, and cross-function pairing is out of scope. The aggSpiller
+//     charge/release wrappers in engine/agg_spill.go are likewise invisible
+//     to the pass for this reason (tracked limitation: untyped wrappers).
+//   - A reservation is considered handed off — and the fact killed — when its
+//     amount expression is a simple identifier referenced again outside the
+//     reserving call: `c.bytes.Add(n)` after `Charge(site, n)` transfers
+//     ownership to whoever reads that counter.
+//   - A reservation made directly in a return statement (`return ec.Charge(…)`)
+//     belongs to the caller and is not tracked.
+//   - Edges are failure-aware: on the branch where `Reserve(...) != nil` (or
+//     an error variable assigned from the call tests non-nil), nothing was
+//     charged, so the fact is killed. An error variable reassigned from an
+//     unrelated call afterwards still kills the fact on its != nil branch;
+//     that can only under-report.
+var BudgetBalance = &Analyzer{
+	Name: "budgetbalance",
+	Doc:  "flag Budget.Reserve/ExecContext.Charge not balanced by a Release on every exit path",
+	Run:  runBudgetBalance,
+}
+
+func runBudgetBalance(pass *Pass) error {
+	eachBody(pass.Files, func(body *ast.BlockStmt) {
+		checkBudgetBody(pass, body)
+	})
+	return nil
+}
+
+// reserveSite is one tracked Reserve/Charge call in a function body.
+type reserveSite struct {
+	call   *ast.CallExpr
+	what   string       // "Budget.Reserve" or "ExecContext.Charge"
+	amount types.Object // the amount argument, when it is a plain identifier
+}
+
+// reserveKind classifies call as a tracked reservation.
+func reserveKind(pass *Pass, call *ast.CallExpr) (string, bool) {
+	t := receiverType(pass, call)
+	if t == nil {
+		return "", false
+	}
+	switch selName(call) {
+	case "Reserve":
+		if isBudgetRef(t) {
+			return "Budget.Reserve", true
+		}
+	case "Charge":
+		if isExecContextPtr(t) {
+			return "ExecContext.Charge", true
+		}
+	}
+	return "", false
+}
+
+// isReleaseCall reports whether call is a typed Release on a Budget or
+// ExecContext receiver.
+func isReleaseCall(pass *Pass, call *ast.CallExpr) bool {
+	if selName(call) != "Release" {
+		return false
+	}
+	t := receiverType(pass, call)
+	return t != nil && (isBudgetRef(t) || isExecContextPtr(t))
+}
+
+// deferRegistersRelease reports whether d registers a Release to run at
+// function exit: either `defer x.Release(n)` directly or a deferred function
+// literal whose body contains a typed Release.
+func deferRegistersRelease(pass *Pass, d *ast.DeferStmt) bool {
+	if isReleaseCall(pass, d.Call) {
+		return true
+	}
+	fl, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	walkShallow(fl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isReleaseCall(pass, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func checkBudgetBody(pass *Pass, body *ast.BlockStmt) {
+	// Collect tracked reservation sites, the error variables they assign,
+	// and whether the function releases anything at all. Sites inside return
+	// statements or defers are not tracked (caller-owned / exit-time).
+	var sites []*reserveSite
+	siteIdx := map[*ast.CallExpr]int{}
+	anyRelease := false
+	skip := map[*ast.CallExpr]bool{} // calls under return statements
+	walkShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if deferRegistersRelease(pass, n) {
+				anyRelease = true
+			}
+			return false
+		case *ast.ReturnStmt:
+			walkShallow(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					skip[call] = true
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			if isReleaseCall(pass, n) {
+				anyRelease = true
+				return true
+			}
+			what, ok := reserveKind(pass, n)
+			if !ok || len(sites) >= cfg.MaxFacts-1 {
+				return true
+			}
+			s := &reserveSite{call: n, what: what}
+			if len(n.Args) == 2 {
+				if id, ok := n.Args[1].(*ast.Ident); ok {
+					s.amount = pass.TypesInfo.ObjectOf(id)
+				}
+			}
+			siteIdx[n] = len(sites)
+			sites = append(sites, s)
+		}
+		return true
+	})
+	if len(sites) == 0 || !anyRelease {
+		return
+	}
+
+	// Error variables assigned directly from a site call: `err := b.Reserve(…)`
+	// (including if-statement inits, which appear as ordinary assign nodes).
+	errVar := map[types.Object]int{}
+	walkShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		i, tracked := siteIdx[call]
+		if !tracked {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				errVar[obj] = i
+			}
+		}
+		return true
+	})
+
+	g := cfg.New(body)
+
+	// May-solve: which reservations can still be outstanding where.
+	may := &cfg.Flow{
+		Meet: cfg.May,
+		Node: func(n ast.Node, in cfg.Facts) cfg.Facts {
+			out := in
+			ast.Inspect(n, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.FuncLit, *ast.DeferStmt:
+					// Separate world / runs at exit, not here.
+					return false
+				case *ast.CallExpr:
+					if i, ok := siteIdx[x]; ok {
+						if !skip[x] {
+							out = out.With(i)
+						}
+						return false // the site's own amount arg is not an escape
+					}
+					if isReleaseCall(pass, x) {
+						out = 0
+						return false
+					}
+				case *ast.Ident:
+					if obj := pass.TypesInfo.ObjectOf(x); obj != nil {
+						for i, s := range sites {
+							if s.amount != nil && s.amount == obj {
+								out = out.Without(i)
+							}
+						}
+					}
+				}
+				return true
+			})
+			return out
+		},
+		Edge: func(from, to *cfg.Block, out cfg.Facts) cfg.Facts {
+			if from.Cond == nil {
+				return out
+			}
+			for _, i := range failedSites(pass, from.Cond, to == from.TrueSucc, siteIdx, errVar) {
+				out = out.Without(i)
+			}
+			return out
+		},
+	}
+
+	// Must-solve: is a deferred Release certainly registered by this point.
+	deferred := &cfg.Flow{
+		Meet: cfg.Must,
+		Node: func(n ast.Node, in cfg.Facts) cfg.Facts {
+			if d, ok := n.(*ast.DeferStmt); ok && deferRegistersRelease(pass, d) {
+				return in.With(0)
+			}
+			return in
+		},
+	}
+
+	mayR := may.Solve(g)
+	defR := deferred.Solve(g)
+	leaks := make([][]string, len(sites))
+	for _, p := range g.Exit.Preds {
+		if !mayR.Reachable(p) {
+			continue
+		}
+		if defR.Out(p).Has(0) {
+			continue // a deferred Release covers this exit
+		}
+		out := mayR.Out(p)
+		for i := range sites {
+			if out.Has(i) {
+				leaks[i] = append(leaks[i], exitDesc(pass, p))
+			}
+		}
+	}
+	for i, s := range sites {
+		if len(leaks[i]) == 0 {
+			continue
+		}
+		where := leaks[i]
+		if len(where) > 3 {
+			where = append(where[:3:3], fmt.Sprintf("%d more", len(leaks[i])-3))
+		}
+		label := ""
+		if len(s.call.Args) > 0 {
+			label = exprString(s.call.Args[0])
+		}
+		pass.Reportf(s.call.Pos(),
+			"%s(%s) is not balanced by a Release on every path: leaks at %s — release on that path or defer the Release",
+			s.what, label, strings.Join(where, ", "))
+	}
+}
+
+// failedSites returns the tracked sites known to have failed — and therefore
+// charged nothing — on the given edge of cond.
+func failedSites(pass *Pass, cond ast.Expr, taken bool, siteIdx map[*ast.CallExpr]int, errVar map[types.Object]int) []int {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return failedSites(pass, e.X, !taken, siteIdx, errVar)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			if taken { // both conjuncts are true on this edge
+				return append(failedSites(pass, e.X, true, siteIdx, errVar),
+					failedSites(pass, e.Y, true, siteIdx, errVar)...)
+			}
+		case token.LOR:
+			if !taken { // both disjuncts are false on this edge
+				return append(failedSites(pass, e.X, false, siteIdx, errVar),
+					failedSites(pass, e.Y, false, siteIdx, errVar)...)
+			}
+		case token.NEQ, token.EQL:
+			other := ast.Expr(nil)
+			if isNilIdent(e.Y) {
+				other = e.X
+			} else if isNilIdent(e.X) {
+				other = e.Y
+			}
+			if other == nil {
+				return nil
+			}
+			// `err != nil` is the failure on the true edge; `err == nil` on
+			// the false edge.
+			failEdge := taken
+			if e.Op == token.EQL {
+				failEdge = !taken
+			}
+			if failEdge {
+				return sitesIn(pass, other, siteIdx, errVar)
+			}
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// sitesIn returns the tracked sites whose result e observes: the site call
+// itself, or an error variable assigned from one.
+func sitesIn(pass *Pass, e ast.Expr, siteIdx map[*ast.CallExpr]int, errVar map[types.Object]int) []int {
+	var out []int
+	walkShallow(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if i, ok := siteIdx[n]; ok {
+				out = append(out, i)
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.ObjectOf(n); obj != nil {
+				if i, ok := errVar[obj]; ok {
+					out = append(out, i)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exitDesc names the kind of exit a predecessor of the Exit block represents.
+func exitDesc(pass *Pass, p *cfg.Block) string {
+	if len(p.Nodes) == 0 {
+		return "the end of the function"
+	}
+	last := p.Nodes[len(p.Nodes)-1]
+	line := pass.Fset.Position(last.Pos()).Line
+	if cfg.IsPanic(last) {
+		return fmt.Sprintf("the panic on line %d", line)
+	}
+	if _, ok := last.(*ast.ReturnStmt); ok {
+		return fmt.Sprintf("the return on line %d", line)
+	}
+	return fmt.Sprintf("the function end after line %d", line)
+}

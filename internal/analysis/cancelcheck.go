@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smarticeberg/internal/analysis/cfg"
+)
+
+// CancelCheck flags loops inside Operator/BatchOperator implementations that
+// drive a child (call Next/NextBatch on an operator) without reaching a
+// cancellation check on every iteration path. The runtime contract (PR 5) is
+// that execution responds to context cancellation and memory-budget
+// exhaustion within a bounded number of rows; a drive loop with a
+// continue-path that skips its execState.step()/stepChunk() call can spin
+// past a cancelled deadline for as long as the child keeps yielding.
+//
+// Recognized checks, any of which satisfies an iteration path:
+//
+//   - execState.step() / execState.stepChunk() (the engine's amortized tick),
+//     matched by method name since execState is unexported;
+//   - ExecContext.Err() or context.Context.Err();
+//   - context.Context.Done() (select-based cancellation).
+//
+// Only methods on types implementing engine.Operator or engine.BatchOperator
+// (and function literals inside them) are analyzed — driver loops in tests
+// and tools may legitimately run unchecked.
+var CancelCheck = &Analyzer{
+	Name: "cancelcheck",
+	Doc:  "flag operator loops that drive Next/NextBatch without a cancellation check on every iteration path",
+	Run:  runCancelCheck,
+}
+
+func runCancelCheck(pass *Pass) error {
+	opIface := operatorInterface(pass.Pkg)
+	batchIface := batchOperatorInterface(pass.Pkg)
+	if opIface == nil && batchIface == nil {
+		return nil
+	}
+	isOperator := func(t types.Type) bool {
+		return implementsOperator(t, opIface) || implementsOperator(t, batchIface)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recv := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+			if recv == nil {
+				continue
+			}
+			if p, ok := types.Unalias(recv).(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if !isOperator(recv) {
+				continue
+			}
+			checkCancelBody(pass, fd.Body, isOperator)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkCancelBody(pass, fl.Body, isOperator)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isDriveCall reports whether call pulls from an operator: a no-arg Next or
+// NextBatch on a receiver that implements Operator/BatchOperator. (A
+// spill.Reader.Next or iterator Next on a non-operator type does not count —
+// those loops are bounded by what was previously written.)
+func isDriveCall(pass *Pass, call *ast.CallExpr, isOperator func(types.Type) bool) bool {
+	name := selName(call)
+	if (name != "Next" && name != "NextBatch") || len(call.Args) != 0 {
+		return false
+	}
+	t := receiverType(pass, call)
+	return t != nil && isOperator(t)
+}
+
+// isCancelCheckCall reports whether call is one of the recognized
+// cancellation checks.
+func isCancelCheckCall(pass *Pass, call *ast.CallExpr) bool {
+	name := selName(call)
+	switch name {
+	case "step", "stepChunk":
+		return len(call.Args) == 0
+	case "Err":
+		if len(call.Args) != 0 {
+			return false
+		}
+		t := receiverType(pass, call)
+		return t != nil && (isExecContextPtr(t) || isContextContext(t))
+	case "Done":
+		if len(call.Args) != 0 {
+			return false
+		}
+		t := receiverType(pass, call)
+		return t != nil && isContextContext(t)
+	}
+	return false
+}
+
+func checkCancelBody(pass *Pass, body *ast.BlockStmt, isOperator func(types.Type) bool) {
+	g := cfg.New(body)
+	for _, l := range g.Loops {
+		inLoop := g.Body(l)
+
+		// A drive call belongs to its innermost loop: blocks of loops nested
+		// inside l are excluded, so an outer loop is not blamed for a drive
+		// that a (separately analyzed) inner loop performs and checks.
+		for _, nested := range g.Loops {
+			if nested == l || !inLoop[nested.Header] {
+				continue
+			}
+			for b := range g.Body(nested) {
+				delete(inLoop, b)
+			}
+		}
+
+		drives := false
+		var driveCall *ast.CallExpr
+		for b := range inLoop {
+			for _, n := range b.Nodes {
+				walkShallow(n, func(x ast.Node) bool {
+					if call, ok := x.(*ast.CallExpr); ok && isDriveCall(pass, call, isOperator) {
+						drives = true
+						if driveCall == nil || call.Pos() < driveCall.Pos() {
+							driveCall = call
+						}
+					}
+					return true
+				})
+			}
+		}
+		if !drives {
+			continue
+		}
+
+		// Must-solve "a check has run this iteration", reset at the loop
+		// header. Every reachable back edge has to carry the fact.
+		flow := &cfg.Flow{
+			Meet: cfg.Must,
+			Node: func(n ast.Node, in cfg.Facts) cfg.Facts {
+				out := in
+				walkShallow(n, func(x ast.Node) bool {
+					if _, ok := x.(*ast.DeferStmt); ok {
+						return false
+					}
+					if call, ok := x.(*ast.CallExpr); ok && isCancelCheckCall(pass, call) {
+						out = out.With(0)
+					}
+					return true
+				})
+				return out
+			},
+			Enter: func(b *cfg.Block, in cfg.Facts) cfg.Facts {
+				if b == l.Header {
+					return 0
+				}
+				return in
+			},
+		}
+		r := flow.Solve(g)
+		unchecked := false
+		for _, latch := range l.Latches {
+			if r.Reachable(latch) && !r.Out(latch).Has(0) {
+				unchecked = true
+			}
+		}
+		if unchecked {
+			what := "Next"
+			if selName(driveCall) == "NextBatch" {
+				what = "NextBatch"
+			}
+			pass.Reportf(l.Stmt.Pos(),
+				"loop drives %s.%s without a cancellation check on every iteration path — call step()/stepChunk() or check ExecContext.Err/ctx.Err before looping",
+				exprString(driveCall.Fun.(*ast.SelectorExpr).X), what)
+		}
+	}
+}

@@ -1,0 +1,537 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and solves forward dataflow problems on them. It is the
+// engine behind the flow-sensitive icelint passes (budgetbalance,
+// cancelcheck, failcover): those passes need to reason about *paths* —
+// "is this reservation released on every return?", "does every loop
+// iteration reach a cancellation check?" — which the purely syntactic
+// passes cannot.
+//
+// The graph is deliberately simple: a Block is a run of statements (and
+// branch-condition expressions) with no internal control flow; edges follow
+// Go's structured control statements plus goto. Three conventions matter to
+// clients:
+//
+//   - Every function exit — return statements, explicit panic(...) calls,
+//     calls to os.Exit/runtime.Goexit/log.Fatal*, and falling off the end of
+//     the body — has an edge to the single Exit block. Deferred calls run on
+//     all of these paths, which is why defer statements appear as ordinary
+//     nodes: a dataflow fact gen'd at a DeferStmt holds at every exit the
+//     registration dominates.
+//   - A block that ends by testing a condition records the tested expression
+//     (Cond) and which successor is the true/false outcome, so transfer
+//     functions can be edge-sensitive ("on this edge the Reserve call is
+//     known to have failed").
+//   - Function literals are opaque: the builder never descends into a
+//     FuncLit's body. Each function body — declared or literal — gets its
+//     own graph.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line run of AST nodes. Nodes holds statements in
+// execution order; branch conditions and range expressions appear as bare
+// ast.Expr nodes so transfer functions see them exactly once, where they are
+// evaluated.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+
+	// Cond is set when the block ends by branching on a boolean expression;
+	// TrueSucc and FalseSucc name the outcome edges (both also appear in
+	// Succs). Range headers and select/switch dispatch blocks have multiple
+	// successors but no Cond.
+	Cond      ast.Expr
+	TrueSucc  *Block
+	FalseSucc *Block
+}
+
+// Loop records one for/range statement: where each iteration (re)starts and
+// which blocks jump back there.
+type Loop struct {
+	// Stmt is the *ast.ForStmt or *ast.RangeStmt.
+	Stmt ast.Stmt
+	// Header is the block every iteration passes through: the condition
+	// block of a for, the next-element block of a range.
+	Header *Block
+	// Latches are the sources of back edges into Header (the post block of
+	// a three-clause for; body-end and continue blocks otherwise). A latch
+	// may be unreachable when the body unconditionally returns.
+	Latches []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // all returns, panics, and the natural end converge here
+	Blocks []*Block
+	Loops  []*Loop
+}
+
+// Body returns the blocks of l's natural loop: Header plus every block that
+// reaches a latch without passing through Header.
+func (g *Graph) Body(l *Loop) map[*Block]bool {
+	in := map[*Block]bool{l.Header: true}
+	var stack []*Block
+	for _, latch := range l.Latches {
+		if !in[latch] {
+			in[latch] = true
+			stack = append(stack, latch)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range b.Preds {
+			if !in[p] {
+				in[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return in
+}
+
+// New builds the graph for one function body (a FuncDecl's or FuncLit's
+// Body). A nil body yields a trivial entry→exit graph.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: map[string]*Block{},
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	if body != nil {
+		for _, s := range body.List {
+			b.stmt(s)
+		}
+	}
+	b.edge(b.cur, b.g.Exit)
+	for _, pg := range b.gotos {
+		if lb := b.labels[pg.name]; lb != nil {
+			b.edge(pg.from, lb)
+		}
+	}
+	return b.g
+}
+
+type target struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select targets
+	loop       *Loop  // set when continueTo jumps straight to the header
+}
+
+type pendingGoto struct {
+	from *Block
+	name string
+}
+
+type builder struct {
+	g       *Graph
+	cur     *Block
+	targets []*target
+	labels  map[string]*Block
+	gotos   []pendingGoto
+	label   string // pending label for the next breakable statement
+	fallTo  *Block // fallthrough target inside the current switch clause
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// backEdge wires a jump to a loop header, recording from as a latch.
+func (b *builder) backEdge(from *Block, l *Loop) {
+	b.edge(from, l.Header)
+	l.Latches = append(l.Latches, from)
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// takeLabel consumes the pending label for a breakable statement.
+func (b *builder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+// terminate ends the current block with an edge to dest (Exit for returns
+// and panics) and starts a fresh, initially unreachable block for whatever
+// dead code follows.
+func (b *builder) terminate(dest *Block) {
+	b.edge(b.cur, dest)
+	b.cur = b.newBlock()
+}
+
+// isTerminalCall recognizes statements that never return control:
+// panic(...), os.Exit, runtime.Goexit, and log.Fatal*. The selector matching
+// is name-based — the builder is pure AST — which is the right tradeoff for
+// a lint CFG: a false "terminal" merely prunes an edge from dead-looking
+// code.
+func isTerminalCall(s *ast.ExprStmt) bool {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Goexit", "Exit", "Fatal", "Fatalf", "Fatalln":
+			if pkg, ok := fun.X.(*ast.Ident); ok {
+				return pkg.Name == "os" || pkg.Name == "runtime" || pkg.Name == "log"
+			}
+		}
+	}
+	return false
+}
+
+// IsPanic reports whether n is an explicit panic(...) statement — the
+// exit-classification hook diagnostics use to say "leaks on the panic path".
+func IsPanic(n ast.Node) bool {
+	s, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			b.stmt(inner)
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s) {
+			b.terminate(b.g.Exit)
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate(b.g.Exit)
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, s)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, s)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case nil, *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// DeclStmt, AssignStmt, IncDecStmt, SendStmt, GoStmt, DeferStmt,
+		// BadStmt: straight-line nodes. Defer in particular must be an
+		// ordinary node so "a deferred release registered here" is a fact
+		// that flows to every exit this statement dominates.
+		b.add(s)
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if label == "" || t.label == label {
+				b.terminate(t.breakTo)
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.continueTo == nil {
+				continue
+			}
+			if label == "" || t.label == label {
+				if t.loop != nil && t.continueTo == t.loop.Header {
+					b.backEdge(b.cur, t.loop)
+					b.cur = b.newBlock()
+				} else {
+					b.terminate(t.continueTo)
+				}
+				return
+			}
+		}
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, name: label})
+		b.cur = b.newBlock()
+		return
+	case token.FALLTHROUGH:
+		if b.fallTo != nil {
+			b.terminate(b.fallTo)
+			return
+		}
+	}
+	// Malformed branch (no matching target): treat as opaque.
+	b.cur = b.newBlock()
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	cond.Cond = s.Cond
+
+	then := b.newBlock()
+	b.edge(cond, then)
+	cond.TrueSucc = then
+
+	join := b.newBlock()
+	var els *Block
+	if s.Else != nil {
+		els = b.newBlock()
+		b.edge(cond, els)
+		cond.FalseSucc = els
+	} else {
+		b.edge(cond, join)
+		cond.FalseSucc = join
+	}
+
+	b.cur = then
+	b.stmt(s.Body)
+	b.edge(b.cur, join)
+
+	if s.Else != nil {
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+
+	header := b.newBlock()
+	b.edge(b.cur, header)
+	loop := &Loop{Stmt: s, Header: header}
+	b.g.Loops = append(b.g.Loops, loop)
+
+	body := b.newBlock()
+	after := b.newBlock()
+	b.cur = header
+	if s.Cond != nil {
+		b.add(s.Cond)
+		header.Cond = s.Cond
+		b.edge(header, body)
+		b.edge(header, after)
+		header.TrueSucc = body
+		header.FalseSucc = after
+	} else {
+		b.edge(header, body)
+	}
+
+	cont := header
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+	b.targets = append(b.targets, &target{label: label, breakTo: after, continueTo: cont, loop: loop})
+
+	b.cur = body
+	b.stmt(s.Body)
+	if post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.add(s.Post)
+		b.backEdge(post, loop)
+	} else {
+		b.backEdge(b.cur, loop)
+	}
+
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	// The ranged-over expression is evaluated once, before the loop.
+	b.add(s.X)
+
+	header := b.newBlock()
+	b.edge(b.cur, header)
+	// The RangeStmt itself is the header's node: the per-iteration
+	// key/value assignment happens here.
+	header.Nodes = append(header.Nodes, s)
+	loop := &Loop{Stmt: s, Header: header}
+	b.g.Loops = append(b.g.Loops, loop)
+
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(header, body)
+	b.edge(header, after)
+
+	b.targets = append(b.targets, &target{label: label, breakTo: after, continueTo: header, loop: loop})
+	b.cur = body
+	b.stmt(s.Body)
+	b.backEdge(b.cur, loop)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// switchStmt handles both expression switches (tag set, assign nil) and type
+// switches (assign set, tag nil).
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, stmt ast.Stmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.targets = append(b.targets, &target{label: label, breakTo: after})
+
+	// Create every clause's body block up front so fallthrough can jump to
+	// the next clause directly (it bypasses that clause's case expressions,
+	// matching Go semantics closely enough for dataflow).
+	var clauses []*ast.CaseClause
+	var bodies []*Block
+	hasDefault := false
+	for _, raw := range body.List {
+		cc := raw.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		bodies = append(bodies, b.newBlock())
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	savedFall := b.fallTo
+	for i, cc := range clauses {
+		b.edge(head, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if i+1 < len(bodies) {
+			b.fallTo = bodies[i+1]
+		} else {
+			b.fallTo = nil
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+	}
+	b.fallTo = savedFall
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+	_ = stmt
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	// Go evaluates every case's channel operand (and each send's value)
+	// up front, before choosing a case — so those expressions belong to the
+	// dispatch block, on every path. A `case <-ctx.Done():` poll therefore
+	// counts as executed even when default wins.
+	for _, raw := range s.Body.List {
+		cc := raw.(*ast.CommClause)
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if recv, ok := comm.X.(*ast.UnaryExpr); ok && recv.Op == token.ARROW {
+				b.add(recv.X)
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if recv, ok := comm.Rhs[0].(*ast.UnaryExpr); ok && recv.Op == token.ARROW {
+					b.add(recv.X)
+				}
+			}
+		case *ast.SendStmt:
+			b.add(comm.Chan)
+			b.add(comm.Value)
+		}
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.targets = append(b.targets, &target{label: label, breakTo: after})
+	for _, raw := range s.Body.List {
+		cc := raw.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+	}
+	// No default clause: the select blocks until some case is ready, so
+	// there is deliberately no head→after edge. select{} therefore makes
+	// everything after it unreachable, which is exact.
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}

@@ -1,0 +1,120 @@
+package cfg
+
+import "go/ast"
+
+// Facts is a set of up to MaxFacts dataflow facts, one bit each. What a bit
+// means is the client's business: "reservation i is outstanding", "a
+// cancellation check has run this iteration", "IO here is failpoint-guarded".
+type Facts uint64
+
+// MaxFacts is the solver's fact capacity per problem. Clients with more
+// gen sites than this (unheard of in practice — facts are per-function)
+// must truncate and accept under-reporting.
+const MaxFacts = 64
+
+// Has reports whether fact i is in the set.
+func (f Facts) Has(i int) bool { return f&(1<<uint(i)) != 0 }
+
+// With returns the set plus fact i.
+func (f Facts) With(i int) Facts { return f | 1<<uint(i) }
+
+// Without returns the set minus fact i.
+func (f Facts) Without(i int) Facts { return f &^ (1 << uint(i)) }
+
+// Meet selects the lattice join for merging facts at control-flow merges.
+type Meet int
+
+const (
+	// May keeps a fact if it holds on at least one incoming path (union) —
+	// "the reservation may still be outstanding here".
+	May Meet = iota
+	// Must keeps a fact only if it holds on every incoming path
+	// (intersection) — "a check has definitely run by here".
+	Must
+)
+
+// Flow is one forward dataflow problem. Node is the per-node transfer
+// function; Edge optionally refines facts along a specific edge (e.g. "on
+// the branch where this call returned non-nil, the reservation never
+// happened"); Enter optionally adjusts facts at block entry after the meet
+// (e.g. resetting the per-iteration "checked" fact at a loop header).
+type Flow struct {
+	Meet  Meet
+	Entry Facts
+	Node  func(n ast.Node, in Facts) Facts
+	Edge  func(from, to *Block, out Facts) Facts
+	Enter func(b *Block, in Facts) Facts
+}
+
+// Result holds the fixpoint of one Solve call.
+type Result struct {
+	flow *Flow
+	in   map[*Block]Facts
+	seen map[*Block]bool
+}
+
+// Solve propagates facts forward from g.Entry to a fixpoint. Transfer
+// functions must be monotone (gen/kill style always is); the bit-set lattice
+// then guarantees termination. Blocks unreachable from Entry are never
+// visited — their facts are undefined and Reachable reports false.
+func (f *Flow) Solve(g *Graph) *Result {
+	r := &Result{flow: f, in: map[*Block]Facts{}, seen: map[*Block]bool{}}
+	r.in[g.Entry] = f.Entry
+	r.seen[g.Entry] = true
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := r.Out(b)
+		for _, s := range b.Succs {
+			e := out
+			if f.Edge != nil {
+				e = f.Edge(b, s, e)
+			}
+			if !r.seen[s] {
+				r.seen[s] = true
+				r.in[s] = e
+				work = append(work, s)
+				continue
+			}
+			var merged Facts
+			if f.Meet == Must {
+				merged = r.in[s] & e
+			} else {
+				merged = r.in[s] | e
+			}
+			if merged != r.in[s] {
+				r.in[s] = merged
+				work = append(work, s)
+			}
+		}
+	}
+	return r
+}
+
+// Reachable reports whether b is reachable from the graph's entry.
+func (r *Result) Reachable(b *Block) bool { return r.seen[b] }
+
+// In returns the facts at block entry, before Enter runs. Meaningless for
+// unreachable blocks.
+func (r *Result) In(b *Block) Facts { return r.in[b] }
+
+// Out replays b's transfer to produce the facts at block exit, before any
+// edge refinement.
+func (r *Result) Out(b *Block) Facts { return r.at(b, len(b.Nodes)) }
+
+// Before returns the facts immediately before b.Nodes[i].
+func (r *Result) Before(b *Block, i int) Facts { return r.at(b, i) }
+
+func (r *Result) at(b *Block, upto int) Facts {
+	f := r.in[b]
+	if r.flow.Enter != nil {
+		f = r.flow.Enter(b, f)
+	}
+	if r.flow.Node != nil {
+		for i := 0; i < upto; i++ {
+			f = r.flow.Node(b.Nodes[i], f)
+		}
+	}
+	return f
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"smarticeberg/internal/analysis/cfg"
+)
+
+// FailCover flags raw IO calls — os file creation/removal, *os.File and
+// bufio reads/writes, io copy helpers — that can execute without a
+// failpoint.Inject site having run first in the same function. The fault
+// matrices (PR 3/5) prove recovery only for failures they can inject; an IO
+// call with no reachable failpoint upstream is a failure mode the test suite
+// can never exercise.
+//
+// Scope: packages that import smarticeberg/internal/failpoint (the subsystem
+// has opted into fault coverage) except the failpoint package itself. A
+// must-solve over the function's CFG tracks "an Inject has run"; any IO call
+// not dominated by one is reported, with the nearest existing site name in
+// the same file so the gap is actionable. Calls into internal/spill helpers
+// are not IO here — their failpoints live in the callee. File Close/Stat are
+// exempt: close errors at worst leak a descriptor already covered by
+// Manager cleanup, and injecting them adds no recovery path worth testing.
+var FailCover = &Analyzer{
+	Name: "failcover",
+	Doc:  "flag raw IO in failpoint-instrumented packages not preceded by a failpoint.Inject site",
+	Run:  runFailCover,
+}
+
+func runFailCover(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if path == failpointPkgSuffix || strings.HasSuffix(path, "/"+failpointPkgSuffix) {
+		return nil
+	}
+	imports := false
+	for _, p := range pass.Pkg.Imports() {
+		ip := p.Path()
+		if ip == failpointPkgSuffix || strings.HasSuffix(ip, "/"+failpointPkgSuffix) {
+			imports = true
+			break
+		}
+	}
+	if !imports {
+		return nil
+	}
+	sites := collectInjectSites(pass)
+	eachBody(pass.Files, func(body *ast.BlockStmt) {
+		checkFailBody(pass, body, sites)
+	})
+	return nil
+}
+
+// isInjectCall reports whether call is failpoint.Inject(...).
+func isInjectCall(pass *Pass, call *ast.CallExpr) bool {
+	return pkgFuncName(pass, call, failpointPkgSuffix) == "Inject"
+}
+
+var osIOFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"MkdirTemp": true, "Mkdir": true, "MkdirAll": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Truncate": true,
+	"ReadFile": true, "WriteFile": true,
+}
+
+var fileIOMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"WriteString": true, "Seek": true, "Sync": true, "Truncate": true,
+}
+
+var bufioWriterMethods = map[string]bool{
+	"Write": true, "WriteByte": true, "WriteString": true, "WriteRune": true,
+	"Flush": true,
+}
+
+var bufioReaderMethods = map[string]bool{
+	"Read": true, "ReadByte": true, "ReadBytes": true, "ReadString": true,
+	"ReadRune": true, "Peek": true, "Discard": true,
+}
+
+var ioIOFuncs = map[string]bool{
+	"ReadFull": true, "ReadAll": true, "Copy": true, "CopyN": true,
+	"CopyBuffer": true, "WriteString": true,
+}
+
+// ioCallName classifies call as a raw IO operation and returns a printable
+// name for the diagnostic, e.g. "os.OpenFile" or "(*os.File).WriteAt".
+func ioCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if name := pkgFuncName(pass, call, "os"); name != "" && osIOFuncs[name] {
+		return "os." + name, true
+	}
+	if name := pkgFuncName(pass, call, "io"); name != "" && ioIOFuncs[name] {
+		return "io." + name, true
+	}
+	name := selName(call)
+	if name == "" {
+		return "", false
+	}
+	t := receiverType(pass, call)
+	if t == nil {
+		return "", false
+	}
+	switch {
+	case fileIOMethods[name] && isPtrToPkgType(t, "os", "File"):
+		return "(*os.File)." + name, true
+	case bufioWriterMethods[name] && isPtrToPkgType(t, "bufio", "Writer"):
+		return "(*bufio.Writer)." + name, true
+	case bufioReaderMethods[name] && isPtrToPkgType(t, "bufio", "Reader"):
+		return "(*bufio.Reader)." + name, true
+	}
+	return "", false
+}
+
+// injectSite is one failpoint.Inject call whose site argument renders to a
+// name, used for "nearest site" hints.
+type injectSite struct {
+	line int
+	name string
+}
+
+func collectInjectSites(pass *Pass) map[string][]injectSite {
+	byFile := map[string][]injectSite{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isInjectCall(pass, call) || len(call.Args) != 1 {
+				return true
+			}
+			pos := pass.Fset.Position(call.Pos())
+			byFile[pos.Filename] = append(byFile[pos.Filename], injectSite{
+				line: pos.Line,
+				name: exprString(call.Args[0]),
+			})
+			return true
+		})
+	}
+	for _, s := range byFile {
+		sort.Slice(s, func(i, j int) bool { return s[i].line < s[j].line })
+	}
+	return byFile
+}
+
+func nearestSite(sites map[string][]injectSite, pos token.Position) string {
+	best := ""
+	bestDist := 1 << 30
+	for _, s := range sites[pos.Filename] {
+		d := s.line - pos.Line
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			bestDist, best = d, fmt.Sprintf("%s (line %d)", s.name, s.line)
+		}
+	}
+	if best == "" {
+		return "no Inject sites in this file yet — add one from the failpoint site catalog"
+	}
+	return "nearest existing site: " + best
+}
+
+func checkFailBody(pass *Pass, body *ast.BlockStmt, sites map[string][]injectSite) {
+	g := cfg.New(body)
+	flow := &cfg.Flow{
+		Meet: cfg.Must,
+		Node: func(n ast.Node, in cfg.Facts) cfg.Facts {
+			out := in
+			walkShallow(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok && isInjectCall(pass, call) {
+					out = out.With(0)
+				}
+				return true
+			})
+			return out
+		},
+	}
+	r := flow.Solve(g)
+	for _, b := range g.Blocks {
+		if !r.Reachable(b) {
+			continue
+		}
+		for i, n := range b.Nodes {
+			guarded := r.Before(b, i).Has(0)
+			walkShallow(n, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isInjectCall(pass, call) {
+					guarded = true
+					return true
+				}
+				if name, isIO := ioCallName(pass, call); isIO && !guarded {
+					pos := pass.Fset.Position(call.Pos())
+					pass.Reportf(call.Pos(),
+						"%s is not guarded by a failpoint.Inject site on this path — the fault matrix cannot exercise this failure (%s)",
+						name, nearestSite(sites, pos))
+				}
+				return true
+			})
+		}
+	}
+}

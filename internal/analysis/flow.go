@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shared plumbing for the flow-sensitive passes (budgetbalance, cancelcheck,
+// failcover). These passes build a cfg.Graph per function body and solve
+// forward dataflow problems over it; the helpers here identify the contract
+// types and calls the transfer functions care about.
+
+const (
+	resourcePkgSuffix  = "internal/resource"
+	failpointPkgSuffix = "internal/failpoint"
+)
+
+// eachBody calls fn once for every function body in the package: each
+// declared function, then every function literal (at any depth — the CFG
+// builder treats nested literals as opaque, so each body is analyzed exactly
+// once, in isolation).
+func eachBody(files []*ast.File, fn func(body *ast.BlockStmt)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				fn(fl.Body)
+			}
+			return true
+		})
+	}
+}
+
+// isPtrToPkgType reports whether t is a pointer to the named type
+// pkgSuffix.name (path matched by suffix, like isPkgType).
+func isPtrToPkgType(t types.Type, pkgSuffix, name string) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isPkgType(p.Elem(), pkgSuffix, name)
+}
+
+// isBudgetRef reports whether t can carry resource.Budget's methods (they
+// have pointer receivers, but an addressable value works too).
+func isBudgetRef(t types.Type) bool {
+	return isPtrToPkgType(t, resourcePkgSuffix, "Budget") || isPkgType(t, resourcePkgSuffix, "Budget")
+}
+
+// isExecContextPtr reports whether t is *engine.ExecContext.
+func isExecContextPtr(t types.Type) bool {
+	return isPtrToPkgType(t, enginePkgSuffix, "ExecContext")
+}
+
+// isContextContext reports whether t is context.Context.
+func isContextContext(t types.Type) bool {
+	n := namedFrom(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// batchOperatorInterface locates the engine.BatchOperator interface visible
+// from pkg, mirroring operatorInterface.
+func batchOperatorInterface(pkg *types.Package) *types.Interface {
+	candidates := append([]*types.Package{pkg}, pkg.Imports()...)
+	for _, p := range candidates {
+		if p.Path() != enginePkgSuffix && !strings.HasSuffix(p.Path(), "/"+enginePkgSuffix) {
+			continue
+		}
+		obj := p.Scope().Lookup("BatchOperator")
+		if obj == nil {
+			continue
+		}
+		if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+			return iface
+		}
+	}
+	return nil
+}
+
+// receiverType returns the type of a selector call's receiver expression, or
+// nil when it cannot be resolved.
+func receiverType(pass *Pass, call *ast.CallExpr) types.Type {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// selName returns the method/selector name of a call, or "".
+func selName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// pkgFuncName returns the function name when call is a direct selector on the
+// package with import path pkgPath ("os", "io", ...), and "" otherwise.
+func pkgFuncName(pass *Pass, call *ast.CallExpr, pkgPath string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	path := pn.Imported().Path()
+	if path != pkgPath && !strings.HasSuffix(path, "/"+pkgPath) {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// walkShallow visits n's subtree in source order but never descends into
+// function literals: their bodies are separate dataflow worlds.
+func walkShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(x)
+	})
+}

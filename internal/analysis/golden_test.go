@@ -16,6 +16,8 @@ import (
 var fixtureDeps = []string{
 	"smarticeberg/internal/engine",
 	"smarticeberg/internal/value",
+	"smarticeberg/internal/resource",
+	"smarticeberg/internal/failpoint",
 }
 
 var (
@@ -120,6 +122,53 @@ func TestRowAliasGolden(t *testing.T)   { testGolden(t, RowAlias, "rowalias") }
 func TestValueCmpGolden(t *testing.T)   { testGolden(t, ValueCmp, "valuecmp") }
 func TestCloseCheckGolden(t *testing.T) { testGolden(t, CloseCheck, "closecheck") }
 func TestGoExitGolden(t *testing.T)     { testGolden(t, GoExit, "goexit") }
+
+func TestBudgetBalanceGolden(t *testing.T) { testGolden(t, BudgetBalance, "budgetbalance") }
+func TestCancelCheckGolden(t *testing.T)   { testGolden(t, CancelCheck, "cancelcheck") }
+func TestFailCoverGolden(t *testing.T)     { testGolden(t, FailCover, "failcover") }
+
+// TestPassPanicContained asserts RunAnalyzers converts a pass panic into a
+// diagnostic carrying the pass's name instead of aborting the run — one
+// buggy pass must not mask the others' findings.
+func TestPassPanicContained(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.CheckDir("../..", filepath.Join("testdata", "src", "opcontract"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := &Analyzer{
+		Name: "boom",
+		Doc:  "always panics",
+		Run:  func(*Pass) error { panic("kaboom") },
+	}
+	sentinel := &Analyzer{
+		Name: "sentinel",
+		Doc:  "proves later passes still run",
+		Run: func(p *Pass) error {
+			p.Reportf(p.Files[0].Pos(), "sentinel ran")
+			return nil
+		},
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{boom, sentinel})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	var sawPanic, sawSentinel bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "boom":
+			sawPanic = strings.Contains(d.Message, "kaboom")
+		case "sentinel":
+			sawSentinel = true
+		}
+	}
+	if !sawPanic {
+		t.Errorf("no panic diagnostic from the boom pass; got %v", diags)
+	}
+	if !sawSentinel {
+		t.Error("sentinel pass did not run after the panicking pass")
+	}
+}
 
 // TestRepoClean asserts the linter's own verdict on the repository: zero
 // violations across every package of the module. This is the same gate

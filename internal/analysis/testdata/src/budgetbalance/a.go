@@ -1,0 +1,115 @@
+// Package fixtures exercises the budgetbalance pass: every Budget.Reserve /
+// ExecContext.Charge in a function that releases locally must be balanced by
+// a Release on every exit path, or covered by a deferred Release.
+package fixtures
+
+import (
+	"errors"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/resource"
+)
+
+// DeferRelease is clean: the deferred Release covers every exit, including
+// the error return and the panic.
+func DeferRelease(b *resource.Budget, n int64, bad bool) error {
+	if err := b.Reserve("defer-release", n); err != nil {
+		return err
+	}
+	defer b.Release(n)
+	if bad {
+		panic("boom")
+	}
+	if n > 100 {
+		return errors.New("too big")
+	}
+	return nil
+}
+
+// DeferredLitRelease is clean: the Release is inside a deferred closure.
+func DeferredLitRelease(b *resource.Budget, n int64, bad bool) error {
+	if err := b.Reserve("defer-lit", n); err != nil {
+		return err
+	}
+	defer func() {
+		b.Release(n)
+	}()
+	if bad {
+		return errors.New("bad")
+	}
+	return nil
+}
+
+// EarlyReturnLeak forgets the Release on the early error return.
+func EarlyReturnLeak(b *resource.Budget, n int64, bad bool) error {
+	if err := b.Reserve("early-return", n); err != nil { // want `not balanced by a Release`
+		return err
+	}
+	if bad {
+		return errors.New("leaks the reservation")
+	}
+	b.Release(n)
+	return nil
+}
+
+// PanicPathLeak releases on the normal path but not before the panic.
+func PanicPathLeak(ec *engine.ExecContext, n int64, bad bool) {
+	if err := ec.Charge("panic-path", n); err != nil { // want `not balanced by a Release`
+		return
+	}
+	if bad {
+		panic("leaks the charge")
+	}
+	ec.Release(n)
+}
+
+// FailureHandled is clean: on the failure edge nothing was charged, and the
+// success path releases.
+func FailureHandled(b *resource.Budget, n int64) error {
+	if err := b.Reserve("failure-handled", n); err != nil {
+		return err
+	}
+	b.Release(n)
+	return nil
+}
+
+// CondReserve tests the call directly in the condition, spillVictim-style.
+// Clean: the true edge means nothing was charged.
+func CondReserve(b *resource.Budget, n int64, bad bool) {
+	if b.Reserve("cond-reserve", n) != nil {
+		return
+	}
+	if bad {
+		b.Release(n)
+		return
+	}
+	b.Release(n)
+}
+
+type sink struct{ total int64 }
+
+func (s *sink) add(n int64) { s.total += n }
+
+// HandoffAmount is clean: passing the reserved amount to the sink transfers
+// ownership — whoever drains the sink releases.
+func HandoffAmount(b *resource.Budget, s *sink, n int64) error {
+	if err := b.Reserve("handoff", n); err != nil {
+		return err
+	}
+	if s == nil {
+		b.Release(n)
+		return errors.New("no sink")
+	}
+	s.add(n)
+	return nil
+}
+
+// CrossFunctionCharge never releases: the pairing lives in another method
+// (Open charges, Close releases), which is beyond the intraprocedural pass —
+// the function is skipped entirely rather than guessed at.
+func CrossFunctionCharge(ec *engine.ExecContext, n int64) error {
+	if err := ec.Charge("cross-function", n); err != nil {
+		return err
+	}
+	return nil
+}

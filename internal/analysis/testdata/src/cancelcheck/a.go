@@ -1,0 +1,156 @@
+// Package fixtures exercises the cancelcheck pass: loops in operator
+// implementations that drive a child via Next/NextBatch must reach a
+// cancellation check on every iteration path.
+package fixtures
+
+import (
+	"context"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/value"
+)
+
+func keep(r value.Row) bool { return len(r) > 0 }
+
+// Drain drives its child with no check at all.
+type Drain struct {
+	child engine.Operator
+	ec    *engine.ExecContext
+	ctx   context.Context
+	last  value.Row
+}
+
+func (d *Drain) Schema() value.Schema        { return d.child.Schema() }
+func (d *Drain) Open() error                 { return d.child.Open() }
+func (d *Drain) Close() error                { return d.child.Close() }
+func (d *Drain) Describe() string            { return "drain" }
+func (d *Drain) Children() []engine.Operator { return []engine.Operator{d.child} }
+
+func (d *Drain) Next() (value.Row, error) {
+	for { // want `without a cancellation check`
+		r, err := d.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return nil, nil
+		}
+		if keep(r) {
+			return r, nil
+		}
+	}
+}
+
+// checked drains with an ExecContext.Err poll on every iteration: clean.
+func (d *Drain) checked() error {
+	for {
+		if err := d.ec.Err(); err != nil {
+			return err
+		}
+		r, err := d.child.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			return nil
+		}
+		d.last = r
+	}
+}
+
+// skippy checks — but a continue path jumps back before reaching the check.
+func (d *Drain) skippy() error {
+	for { // want `without a cancellation check`
+		r, err := d.child.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			return nil
+		}
+		if !keep(r) {
+			continue
+		}
+		if err := d.ec.Err(); err != nil {
+			return err
+		}
+		d.last = r
+	}
+}
+
+// polled uses the non-blocking ctx.Done() select idiom: the channel operand
+// is evaluated every iteration, so every path is checked. Clean.
+func (d *Drain) polled() error {
+	for {
+		select {
+		case <-d.ctx.Done():
+			return d.ctx.Err()
+		default:
+		}
+		r, err := d.child.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			return nil
+		}
+		d.last = r
+	}
+}
+
+// bounded iterates rows it already owns without driving anything: loops that
+// pull nothing from a child are out of scope. Clean.
+func (d *Drain) bounded(rows []value.Row) int {
+	n := 0
+	for _, r := range rows {
+		if keep(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// BatchDrain drives NextBatch without a per-iteration stepChunk: flagged.
+type BatchDrain struct {
+	child engine.BatchOperator
+	ec    *engine.ExecContext
+	size  int
+}
+
+func (b *BatchDrain) Schema() value.Schema        { return b.child.Schema() }
+func (b *BatchDrain) Open() error                 { return b.child.Open() }
+func (b *BatchDrain) Close() error                { return b.child.Close() }
+func (b *BatchDrain) Describe() string            { return "batch drain" }
+func (b *BatchDrain) Children() []engine.Operator { return []engine.Operator{b.child} }
+func (b *BatchDrain) BatchSize() int              { return b.size }
+
+func (b *BatchDrain) Next() (value.Row, error) { return nil, nil }
+
+func (b *BatchDrain) NextBatch() (*value.Batch, error) {
+	for { // want `without a cancellation check`
+		batch, err := b.child.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			return nil, nil
+		}
+		if batch.Len() > 0 {
+			return batch, nil
+		}
+	}
+}
+
+// freeDrain is a plain function, not an operator method: driver loops in
+// tests and tools are out of scope. Clean.
+func freeDrain(op engine.Operator) error {
+	for {
+		r, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			return nil
+		}
+	}
+}

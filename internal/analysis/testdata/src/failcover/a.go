@@ -1,0 +1,69 @@
+// Package fixtures exercises the failcover pass: in a package that imports
+// internal/failpoint, every raw IO call must be dominated by a
+// failpoint.Inject site so the fault matrices can exercise its failure.
+package fixtures
+
+import (
+	"bufio"
+	"io"
+	"os"
+
+	"smarticeberg/internal/failpoint"
+)
+
+// WriteGuarded is clean: the Inject dominates the write.
+func WriteGuarded(path string, b []byte) error {
+	if err := failpoint.Inject(failpoint.SpillWrite); err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o600)
+}
+
+// WriteUnguarded has no failpoint at all.
+func WriteUnguarded(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o600) // want `not guarded by a failpoint`
+}
+
+// OpenMaybe guards only one branch: the fast path reaches the open with no
+// Inject having run.
+func OpenMaybe(path string, fast bool) (*os.File, error) {
+	if !fast {
+		if err := failpoint.Inject(failpoint.SpillRead); err != nil {
+			return nil, err
+		}
+	}
+	return os.Open(path) // want `not guarded by a failpoint`
+}
+
+// CopyGuarded is clean: one Inject up front covers the whole IO sequence.
+func CopyGuarded(dst *bufio.Writer, src *os.File) error {
+	if err := failpoint.Inject(failpoint.SpillRead); err != nil {
+		return err
+	}
+	buf := make([]byte, 64)
+	if _, err := io.ReadFull(src, buf); err != nil {
+		return err
+	}
+	if _, err := dst.Write(buf); err != nil {
+		return err
+	}
+	return dst.Flush()
+}
+
+// FlushUnguarded drops a bufio flush on the floor with no site.
+func FlushUnguarded(dst *bufio.Writer) error {
+	return dst.Flush() // want `not guarded by a failpoint`
+}
+
+// CloseExempt is clean: file Close is deliberately outside the IO set.
+func CloseExempt(f *os.File) error {
+	return f.Close()
+}
+
+// RemoveLate injects only after the removal already happened: order matters.
+func RemoveLate(path string) error {
+	if err := os.Remove(path); err != nil { // want `not guarded by a failpoint`
+		return err
+	}
+	return failpoint.Inject(failpoint.SpillRemove)
+}

@@ -1,0 +1,9 @@
+package fixtures
+
+import "os"
+
+// MkdirNowhere lives in a file with no Inject sites at all, so the
+// diagnostic points at the site catalog instead of a nearby line.
+func MkdirNowhere(dir string) error {
+	return os.Mkdir(dir, 0o700) // want `no Inject sites in this file`
+}

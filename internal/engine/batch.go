@@ -389,6 +389,9 @@ func (a *batchAdapter) NextBatch() (*value.Batch, error) {
 	b := a.batch
 	b.Reset()
 	for b.Len() < a.size {
+		if err := a.step(); err != nil {
+			return nil, err
+		}
 		r, err := a.child.Next()
 		if err != nil {
 			return nil, err

@@ -100,6 +100,9 @@ func (j *BatchNLJoin) NextBatch() (*value.Batch, error) {
 	out.Reset()
 	outerWidth := len(j.outer.Schema())
 	for out.Len() < j.size {
+		if err := j.step(); err != nil {
+			return nil, err
+		}
 		if j.matchPos < len(j.matches) {
 			ir := j.innerRows[j.matches[j.matchPos]]
 			j.matchPos++

@@ -179,15 +179,11 @@ func (p *ParallelJoinAgg) Open() error {
 	if err := p.join.outer.Open(); err != nil {
 		feedErr = err
 	} else {
-		var tick uint32
 		batch := make([]value.Row, 0, batchSize)
 		for {
-			tick++
-			if tick%cancelCheckEvery == 0 {
-				if err := p.exec().Err(); err != nil {
-					feedErr = err
-					break
-				}
+			if err := p.step(); err != nil {
+				feedErr = err
+				break
 			}
 			r, err := p.join.outer.Next()
 			if err != nil {

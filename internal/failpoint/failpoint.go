@@ -50,11 +50,13 @@ const (
 	CacheLookup = "iceberg/cache/lookup"
 	NLJPBinding = "iceberg/nljp/binding"
 
-	// Spill IO sites, one per disk path of internal/spill: frame/file writes
-	// (including file creation), buffer flushes, frame reads, and temp-file
-	// removal. SpillCorrupt is special: arming it with an error action makes
-	// the reader flip a payload byte before the checksum check, so the real
-	// corruption-detection path runs instead of a simulated failure.
+	// Spill IO sites, one per disk path of internal/spill: query-directory
+	// creation, frame/file writes (including file creation), buffer flushes,
+	// frame reads, and temp-file removal. SpillCorrupt is special: arming it
+	// with an error action makes the reader flip a payload byte before the
+	// checksum check, so the real corruption-detection path runs instead of
+	// a simulated failure.
+	SpillDir     = "spill/dir"
 	SpillWrite   = "spill/write"
 	SpillFlush   = "spill/flush"
 	SpillRead    = "spill/read"
@@ -72,7 +74,7 @@ func Points() []string {
 		SortOpen,
 		ParallelWorkerStart, ChunkWorkerStart,
 		CacheInsert, CacheLookup, NLJPBinding,
-		SpillWrite, SpillFlush, SpillRead, SpillCorrupt, SpillRemove,
+		SpillDir, SpillWrite, SpillFlush, SpillRead, SpillCorrupt, SpillRemove,
 	}
 }
 

@@ -117,16 +117,17 @@ func (c *cache) spillVictim(key string, e *cacheEntry) {
 	var refCost int64
 	if !c.overflow.Has([]byte(key)) {
 		refCost = spill.RefBytes(key)
-		if c.budget != nil && c.budget.Reserve("NLJP overflow index", refCost) != nil {
+		// A nil *Budget is a valid unlimited budget, so Reserve/Release need
+		// no nil guard — and the unconditional Release keeps the failure
+		// path balanced on every branch.
+		if c.budget.Reserve("NLJP overflow index", refCost) != nil {
 			c.overflowOff.Store(true)
 			return
 		}
 	}
 	c.encBuf = encodeCacheEntry(c.encBuf[:0], e)
 	if err := c.overflow.Put([]byte(key), c.encBuf); err != nil {
-		if c.budget != nil {
-			c.budget.Release(refCost)
-		}
+		c.budget.Release(refCost)
 		c.overflowOff.Store(true)
 		return
 	}

@@ -75,6 +75,9 @@ func NewManager(parent string) (*Manager, error) {
 	if parent == "" {
 		parent = os.TempDir()
 	}
+	if err := failpoint.Inject(failpoint.SpillDir); err != nil {
+		return nil, err
+	}
 	dir, err := os.MkdirTemp(parent, "smarticeberg-spill-*")
 	if err != nil {
 		return nil, fmt.Errorf("spill: create dir: %w", err)

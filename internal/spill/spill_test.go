@@ -265,3 +265,24 @@ func TestSpillWriterDiscardTolerant(t *testing.T) {
 		t.Fatalf("Discard after Remove: %v", err)
 	}
 }
+
+func TestSpillDirFailpoint(t *testing.T) {
+	defer failpoint.Reset()
+	boom := errors.New("boom")
+	failpoint.Enable(failpoint.SpillDir, failpoint.Error(boom))
+	parent := t.TempDir()
+	m, err := NewManager(parent)
+	if !errors.Is(err, boom) {
+		t.Fatalf("NewManager error = %v, want %v", err, boom)
+	}
+	if m != nil {
+		t.Fatal("NewManager returned a manager alongside an injected error")
+	}
+	entries, derr := os.ReadDir(parent)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("spill dir creation failed but %d entries exist under parent", len(entries))
+	}
+}
