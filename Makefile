@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench bench-vector bench-spill faulttest spilltest
+.PHONY: all build test race lint vet bench bench-vector bench-morsel bench-spill faulttest spilltest
 
 all: build lint test
 
@@ -55,6 +55,14 @@ bench:
 # execution".
 bench-vector:
 	$(GO) test -bench=BenchmarkVector -benchtime=100x -cpu=1 -run=^$$ .
+
+# Morsel-parallel scan sweep: GOMAXPROCS {1,2,4} × morsel workers {1,2,4} on
+# the scan→filter→aggregate pipeline at batch 1024. The benchmark sets
+# GOMAXPROCS itself, so no -cpu pin. Regenerates BENCH_morsel.json (with a
+# caveat field when the host has one CPU). See DESIGN.md, "Columnar layout &
+# the morsel scheduler".
+bench-morsel:
+	$(GO) test -bench=BenchmarkMorsel -benchtime=50x -run=^$$ .
 
 # In-memory vs spilling aggregation at a quarter of the measured peak, row
 # and batch pipelines, pinned to one CPU. Regenerates BENCH_spill.json. See

@@ -12,6 +12,7 @@ package smarticeberg_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -289,6 +290,7 @@ func BenchmarkVector(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				rec.Workers = 1
 				record(name, rec)
 				b.ReportMetric(rec.RowsPerSec, "rows/s")
 				b.ReportMetric(float64(rec.AllocsPerOp), "allocs/op-total")
@@ -301,6 +303,52 @@ func BenchmarkVector(b *testing.B) {
 			records[i] = latest[name]
 		}
 		if err := bench.WriteVectorBench("BENCH_vector.json", records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMorsel sweeps the morsel-parallel scan→filter→aggregate pipeline
+// at batch size 1024 over GOMAXPROCS {1,2,4} × morsel workers {1,2,4} and
+// writes BENCH_morsel.json (`make bench-morsel`). The file carries a caveat
+// when the recording machine has a single CPU: there the sweep documents that
+// extra workers cost only scheduling overhead, not that they scale — output
+// identity across the grid is what the equivalence harness asserts.
+func BenchmarkMorsel(b *testing.B) {
+	inputN := 10 * benchN()
+	rows := bench.VectorRows(inputN)
+	const size = 1024
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	latest := map[string]bench.VectorBenchRecord{}
+	var order []string
+	for _, procs := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 2, 4} {
+			name := fmt.Sprintf("p%d/w%d", procs, workers)
+			b.Run(name, func(b *testing.B) {
+				runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				rec, err := bench.MeasureVector("scanfilteragg", "batch", size, inputN, b.N,
+					func() engine.Operator { return bench.ScanFilterAggPlanWorkers(rows, size, workers) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec.Workers = workers
+				if _, seen := latest[name]; !seen {
+					order = append(order, name)
+				}
+				latest[name] = rec
+				b.ReportMetric(rec.RowsPerSec, "rows/s")
+				b.ReportMetric(float64(rec.AllocsPerOp), "allocs/op-total")
+			})
+		}
+	}
+	if len(order) > 0 {
+		records := make([]bench.VectorBenchRecord, len(order))
+		for i, name := range order {
+			records[i] = latest[name]
+		}
+		if err := bench.WriteMorselBench("BENCH_morsel.json", records); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -44,6 +44,7 @@ var (
 	flagTimeout  = flag.Duration("timeout", 0, "per-query deadline (e.g. 30s); 0 disables")
 	flagMem      = flag.Int64("mem", 0, "per-query memory budget in bytes; 0 = unlimited")
 	flagBatch    = flag.Int("batch", 0, "vectorized batch size for query execution; 0 = row-at-a-time")
+	flagWorkers  = flag.Int("workers", 0, "parallel workers for NLJP and morsel table scans; 0 = min(4, GOMAXPROCS), 1 = sequential")
 	flagSpill    = flag.Bool("spill", false, "spill to disk instead of failing when -mem is exceeded")
 	flagSpillDir = flag.String("spill-dir", "", "parent directory for spill files; empty = system temp dir")
 )
@@ -54,6 +55,7 @@ func main() {
 	opts := smarticeberg.AllOptimizations()
 	opts.MemoryBudget = *flagMem
 	opts.BatchSize = *flagBatch
+	opts.Workers = *flagWorkers
 	opts.Spill = *flagSpill
 	opts.SpillDir = *flagSpillDir
 	optimize := true
@@ -128,7 +130,7 @@ func runSQL(db *smarticeberg.DB, sql string, opts smarticeberg.Options, optimize
 		)
 		mode := "baseline"
 		if *flagBatch > 0 {
-			res, err = db.QueryBatchCtx(ctx, sql, *flagBatch)
+			res, err = db.QueryBatchWorkersCtx(ctx, sql, *flagBatch, *flagWorkers)
 			mode = fmt.Sprintf("baseline, batch %d", *flagBatch)
 		} else {
 			res, err = db.QueryCtx(ctx, sql)

@@ -13,7 +13,14 @@ import (
 
 	"smarticeberg"
 	"smarticeberg/internal/bench"
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/testleak"
 )
+
+// equivWorkers is the morsel worker sweep: sequential, the smallest real
+// pool, and the default cap.
+var equivWorkers = []int{1, 2, 4}
 
 // equivBatchSizes mirrors the engine-level matrix: degenerate, tiny odd, and
 // the production default.
@@ -92,6 +99,139 @@ func TestBatchRowEquivalence(t *testing.T) {
 					t.Fatalf("batch %d: %v", size, err)
 				}
 				assertIdenticalResults(t, fmt.Sprintf("batch %d", size), got, want)
+			}
+		})
+	}
+}
+
+// TestBatchWorkersEquivalence: every workload query through the
+// morsel-parallel batch pipeline — chunk sizes × worker counts — must be
+// byte-identical to the row path. Chunk sizes above the table sizes fall
+// back to the sequential scan (BatchifyWorkers refuses a single-morsel
+// parallel plan), so the sweep covers both the rewrite firing and declining.
+func TestBatchWorkersEquivalence(t *testing.T) {
+	db := equivDB(t)
+	for _, q := range equivQueries() {
+		t.Run(q.Name, func(t *testing.T) {
+			want, err := db.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("row path: %v", err)
+			}
+			for _, size := range []int{1, 7, 1024} {
+				for _, w := range equivWorkers {
+					got, err := db.QueryBatchWorkers(q.SQL, size, w)
+					if err != nil {
+						t.Fatalf("batch %d workers %d: %v", size, w, err)
+					}
+					assertIdenticalResults(t, fmt.Sprintf("batch %d workers %d", size, w), got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchMorselFaultMatrix injects one fault — error or panic — at every
+// failpoint on the morsel scan's two sides (worker enqueue, consumer drain)
+// plus the scan/filter sites it shares with the sequential pipeline, through
+// the public API with a real worker pool. The contract: exactly one typed
+// error surfaces and no worker goroutine outlives the query.
+func TestBatchMorselFaultMatrix(t *testing.T) {
+	db := equivDB(t)
+	errBoom := errors.New("boom: injected by test")
+	sql := `SELECT playerid, COUNT(1) FROM player_performance WHERE b_h >= 2 GROUP BY playerid`
+	sites := []string{
+		failpoint.ScanOpen, failpoint.ScanNext, failpoint.ScanClose,
+		failpoint.FilterNext,
+		failpoint.MorselEnqueue, failpoint.MorselDrain,
+	}
+	for _, site := range sites {
+		for _, mode := range []string{"error", "panic"} {
+			t.Run(fmt.Sprintf("%s/%s", site, mode), func(t *testing.T) {
+				testleak.Check(t)
+				defer failpoint.Reset()
+				if mode == "error" {
+					failpoint.Enable(site, failpoint.Once(failpoint.Error(errBoom)))
+				} else {
+					failpoint.Enable(site, failpoint.Once(failpoint.Panic("matrix")))
+				}
+				res, err := db.QueryBatchWorkers(sql, 7, 4)
+				if err == nil {
+					t.Fatalf("query succeeded with %d rows, want injected failure", len(res.Rows))
+				}
+				if failpoint.Hits(site) == 0 {
+					t.Fatalf("%s never fired — the site is not reachable in this plan", site)
+				}
+				switch mode {
+				case "error":
+					if !errors.Is(err, errBoom) {
+						t.Fatalf("error = %v, want the injected errBoom", err)
+					}
+				case "panic":
+					var pe *engine.PanicError
+					if !errors.As(err, &pe) {
+						t.Fatalf("error = %v (%T), want *engine.PanicError", err, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchWorkersCancellation: a cancelled context surfaces
+// context.Canceled at every worker count, and the morsel pool is fully
+// joined before the error returns — no goroutine outlives the query.
+func TestBatchWorkersCancellation(t *testing.T) {
+	db := equivDB(t)
+	sql := bench.SkybandSQL("b_h", "b_hr", 50)
+	for _, w := range equivWorkers {
+		t.Run(fmt.Sprintf("workers%d", w), func(t *testing.T) {
+			testleak.Check(t)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := db.QueryBatchWorkersCtx(ctx, sql, 7, w)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestBatchWorkersBudgetParity: memory-budget outcomes are worker-count
+// independent. The morsel scan charges nothing itself and its output stream
+// is byte-identical at every pool size, so downstream operators issue the
+// same charges in the same order: a budget that clearly fits must succeed
+// with identical rows everywhere, and a budget that clearly cannot must fail
+// with the typed sentinel everywhere.
+func TestBatchWorkersBudgetParity(t *testing.T) {
+	db := equivDB(t)
+	sql := bench.SkybandSQL("b_h", "b_hr", 50)
+	for _, size := range []int{7, 1024} {
+		t.Run(fmt.Sprintf("batch%d", size), func(t *testing.T) {
+			var want *smarticeberg.Result
+			for _, w := range equivWorkers {
+				opts := smarticeberg.AllOptimizations()
+				opts.BatchSize = size
+				opts.Workers = w
+				opts.MemoryBudget = 1 << 30
+				got, _, err := db.QueryOpt(sql, opts)
+				if err != nil {
+					t.Fatalf("generous budget, workers %d: %v", w, err)
+				}
+				if want == nil {
+					want = got
+				} else {
+					assertIdenticalResults(t, fmt.Sprintf("generous budget, workers %d", w), got, want)
+				}
+			}
+			for _, w := range equivWorkers {
+				opts := smarticeberg.AllOptimizations()
+				opts.BatchSize = size
+				opts.Workers = w
+				opts.MemoryBudget = 1 << 10
+				_, _, err := db.QueryOpt(sql, opts)
+				if !errors.Is(err, smarticeberg.ErrBudgetExceeded) {
+					t.Fatalf("tiny budget, workers %d: err = %v, want ErrBudgetExceeded", w, err)
+				}
 			}
 		})
 	}

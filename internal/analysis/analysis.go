@@ -191,6 +191,7 @@ func runGuarded(pkg *Package, a *Analyzer, pass *Pass) (err error) {
 const (
 	valuePkgSuffix  = "internal/value"
 	enginePkgSuffix = "internal/engine"
+	exprPkgSuffix   = "internal/expr"
 )
 
 func namedFrom(t types.Type) *types.Named {
@@ -228,6 +229,24 @@ func isValueBatchPtr(t types.Type) bool {
 	}
 	return isPkgType(p.Elem(), valuePkgSuffix, "Batch")
 }
+
+// isValueColPtr reports whether t is *value.Col (column views travel by
+// pointer: Batch.Col returns *value.Col).
+func isValueColPtr(t types.Type) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isPkgType(p.Elem(), valuePkgSuffix, "Col")
+}
+
+// isValueSel reports whether t is value.Sel (a selection vector).
+func isValueSel(t types.Type) bool { return isPkgType(t, valuePkgSuffix, "Sel") }
+
+// isSelKernel reports whether t is expr.SelKernel (a typed selection kernel —
+// invoking one processes a whole input window, so kernel loops are drive
+// loops for cancellation purposes).
+func isSelKernel(t types.Type) bool { return isPkgType(t, exprPkgSuffix, "SelKernel") }
 
 // operatorInterface locates the engine.Operator interface visible from pkg:
 // the package itself when linting internal/engine, or any direct import.

@@ -8,12 +8,15 @@ import (
 )
 
 // CancelCheck flags loops inside Operator/BatchOperator implementations that
-// drive a child (call Next/NextBatch on an operator) without reaching a
-// cancellation check on every iteration path. The runtime contract (PR 5) is
-// that execution responds to context cancellation and memory-budget
-// exhaustion within a bounded number of rows; a drive loop with a
-// continue-path that skips its execState.step()/stepChunk() call can spin
-// past a cancelled deadline for as long as the child keeps yielding.
+// drive a child (call Next/NextBatch on an operator) or invoke a typed
+// selection kernel (expr.SelKernel — each invocation burns through a whole
+// input window, so a kernel loop covers unbounded rows; the morsel workers of
+// ParallelBatchScan run exactly such loops) without reaching a cancellation
+// check on every iteration path. The runtime contract (PR 5) is that
+// execution responds to context cancellation and memory-budget exhaustion
+// within a bounded number of rows; a drive loop with a continue-path that
+// skips its execState.step()/stepChunk() call can spin past a cancelled
+// deadline for as long as the child keeps yielding.
 //
 // Recognized checks, any of which satisfies an iteration path:
 //
@@ -27,7 +30,7 @@ import (
 // and tools may legitimately run unchecked.
 var CancelCheck = &Analyzer{
 	Name: "cancelcheck",
-	Doc:  "flag operator loops that drive Next/NextBatch without a cancellation check on every iteration path",
+	Doc:  "flag operator loops that drive Next/NextBatch or a selection kernel without a cancellation check on every iteration path",
 	Run:  runCancelCheck,
 }
 
@@ -68,11 +71,15 @@ func runCancelCheck(pass *Pass) error {
 	return nil
 }
 
-// isDriveCall reports whether call pulls from an operator: a no-arg Next or
-// NextBatch on a receiver that implements Operator/BatchOperator. (A
+// isDriveCall reports whether call pulls from an operator — a no-arg Next or
+// NextBatch on a receiver that implements Operator/BatchOperator — or invokes
+// an expr.SelKernel, which processes a whole input window per call. (A
 // spill.Reader.Next or iterator Next on a non-operator type does not count —
 // those loops are bounded by what was previously written.)
 func isDriveCall(pass *Pass, call *ast.CallExpr, isOperator func(types.Type) bool) bool {
+	if t := pass.TypesInfo.TypeOf(call.Fun); t != nil && isSelKernel(t) {
+		return true
+	}
 	name := selName(call)
 	if (name != "Next" && name != "NextBatch") || len(call.Args) != 0 {
 		return false
@@ -102,6 +109,18 @@ func isCancelCheckCall(pass *Pass, call *ast.CallExpr) bool {
 		return t != nil && isContextContext(t)
 	}
 	return false
+}
+
+// describeDrive renders the drive call for the diagnostic: "c.Next",
+// "child.NextBatch", or "selection kernel s.kern".
+func describeDrive(pass *Pass, call *ast.CallExpr) string {
+	if t := pass.TypesInfo.TypeOf(call.Fun); t != nil && isSelKernel(t) {
+		return "selection kernel " + exprString(call.Fun)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return exprString(sel.X) + "." + sel.Sel.Name
+	}
+	return exprString(call.Fun)
 }
 
 func checkCancelBody(pass *Pass, body *ast.BlockStmt, isOperator func(types.Type) bool) {
@@ -172,13 +191,9 @@ func checkCancelBody(pass *Pass, body *ast.BlockStmt, isOperator func(types.Type
 			}
 		}
 		if unchecked {
-			what := "Next"
-			if selName(driveCall) == "NextBatch" {
-				what = "NextBatch"
-			}
 			pass.Reportf(l.Stmt.Pos(),
-				"loop drives %s.%s without a cancellation check on every iteration path — call step()/stepChunk() or check ExecContext.Err/ctx.Err before looping",
-				exprString(driveCall.Fun.(*ast.SelectorExpr).X), what)
+				"loop drives %s without a cancellation check on every iteration path — call step()/stepChunk() or check ExecContext.Err/ctx.Err before looping",
+				describeDrive(pass, driveCall))
 		}
 	}
 }

@@ -17,18 +17,23 @@ import (
 // is a data-corruption bug that only manifests once the producer recycles the
 // buffer.
 //
+// The same validity window applies to the columnar views a batch hands out:
+// Batch.Col returns a *value.Col into the producer's column set and Batch.Sel
+// returns the selection vector the producer rewrites on every chunk, so
+// retaining either past the next NextBatch call reads torn state.
+//
 // The check is intraprocedural and name-based: a variable is tainted when it
 // is assigned from a call to a method named Next whose first result is
 // value.Row, from a call to a method named NextBatch whose first result is
-// *value.Batch, or from a call to a method named Row returning value.Row (a
-// batch slice); it stays tainted for the rest of the function (the pass is
-// not flow-sensitive). Cloned uses (r.Clone(), b.Clone(), b.CloneRows(...))
-// and element-wise copies (append(dst, r...)) are allowed. Deliberate
-// short-lived retention can be suppressed with //lint:ignore rowalias
-// <reason>.
+// *value.Batch, or from a call to a batch method named Row (value.Row),
+// Col (*value.Col), or Sel (value.Sel); it stays tainted for the rest of the
+// function (the pass is not flow-sensitive). Cloned uses (r.Clone(),
+// b.Clone(), b.CloneRows(...)) and element-wise copies (append(dst, r...))
+// are allowed. Deliberate short-lived retention can be suppressed with
+// //lint:ignore rowalias <reason>.
 var RowAlias = &Analyzer{
 	Name: "rowalias",
-	Doc:  "flag rows returned by Next and batches returned by NextBatch retained without Clone()",
+	Doc:  "flag rows returned by Next and batches (or Row/Col/Sel views) returned by NextBatch retained without Clone()",
 	Run:  runRowAlias,
 }
 
@@ -39,16 +44,22 @@ const (
 	taintRow rowaliasKind = iota
 	taintBatch
 	taintBatchRow
+	taintBatchCol
+	taintBatchSel
 )
 
-func (k rowaliasKind) describe() (noun, origin string) {
+func (k rowaliasKind) describe() (noun, origin, remedy string) {
 	switch k {
 	case taintBatch:
-		return "batch", "NextBatch"
+		return "batch", "NextBatch", "clone it first (batch.Clone())"
 	case taintBatchRow:
-		return "row", "Batch.Row"
+		return "row", "Batch.Row", "clone it first (row.Clone())"
+	case taintBatchCol:
+		return "column view", "Batch.Col", "copy the values out (Col.Value) instead"
+	case taintBatchSel:
+		return "selection vector", "Batch.Sel", "copy the indices first (append(value.Sel(nil), s...))"
 	default:
-		return "row", "Next"
+		return "row", "Next", "clone it first (row.Clone())"
 	}
 }
 
@@ -89,6 +100,20 @@ func runRowAlias(pass *Pass) error {
 					return true
 				}
 				kind = taintBatchRow
+			case "Col":
+				// Batch.Col exposes a column of the producer-owned column set;
+				// it inherits the batch's validity window.
+				if !firstResultIsCol(pass, call) || !recvIsBatch(pass, sel) {
+					return true
+				}
+				kind = taintBatchCol
+			case "Sel":
+				// Batch.Sel exposes the selection vector the producer rewrites
+				// every chunk; it inherits the batch's validity window.
+				if !firstResultIsSel(pass, call) || !recvIsBatch(pass, sel) {
+					return true
+				}
+				kind = taintBatchSel
 			default:
 				return true
 			}
@@ -117,10 +142,10 @@ func runRowAlias(pass *Pass) error {
 			return k, ok
 		}
 		report := func(e ast.Expr, kind rowaliasKind, how string) {
-			noun, origin := kind.describe()
+			noun, origin, remedy := kind.describe()
 			pass.Reportf(e.Pos(),
-				"%s %q obtained from %s is %s without an explicit copy; the producer may reuse its buffer — clone it first (%s.Clone())",
-				noun, e.(*ast.Ident).Name, origin, how, noun)
+				"%s %q obtained from %s is %s without an explicit copy; the producer may reuse its buffer — %s",
+				noun, e.(*ast.Ident).Name, origin, how, remedy)
 		}
 		// Pass 2: find retention sinks.
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -204,6 +229,35 @@ func firstResultIsBatch(pass *Pass, call *ast.CallExpr) bool {
 		return t.Len() > 0 && isValueBatchPtr(t.At(0).Type())
 	default:
 		return isValueBatchPtr(t)
+	}
+}
+
+// firstResultIsCol reports whether the call's first result type is
+// *value.Col.
+func firstResultIsCol(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isValueColPtr(t.At(0).Type())
+	default:
+		return isValueColPtr(t)
+	}
+}
+
+// firstResultIsSel reports whether the call's first result type is value.Sel.
+func firstResultIsSel(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isValueSel(t.At(0).Type())
+	default:
+		return isValueSel(t)
 	}
 }
 

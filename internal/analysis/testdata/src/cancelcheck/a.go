@@ -7,6 +7,7 @@ import (
 	"context"
 
 	"smarticeberg/internal/engine"
+	"smarticeberg/internal/expr"
 	"smarticeberg/internal/value"
 )
 
@@ -153,4 +154,89 @@ func freeDrain(op engine.Operator) error {
 			return nil
 		}
 	}
+}
+
+// KernScan mimics a morsel worker: its loops invoke a typed selection kernel,
+// each call burning through a whole input window. Kernel loops are drive
+// loops — they must poll cancellation on every iteration path too.
+type KernScan struct {
+	ec   *engine.ExecContext
+	cols *value.Columns
+	kern expr.SelKernel
+	size int
+	out  value.Sel
+}
+
+func (k *KernScan) Schema() value.Schema        { return nil }
+func (k *KernScan) Open() error                 { return nil }
+func (k *KernScan) Close() error                { return nil }
+func (k *KernScan) Describe() string            { return "kern scan" }
+func (k *KernScan) Children() []engine.Operator { return nil }
+func (k *KernScan) BatchSize() int              { return k.size }
+func (k *KernScan) Next() (value.Row, error)    { return nil, nil }
+
+func (k *KernScan) NextBatch() (*value.Batch, error) { return nil, nil }
+
+// scanUnchecked sweeps the kernel across sub-windows with no cancellation
+// poll: a cancelled query keeps filtering until the table runs out.
+func (k *KernScan) scanUnchecked(lo, hi int) error {
+	for lo < hi { // want `loop drives selection kernel k.kern without a cancellation check`
+		mid := lo + k.size
+		if mid > hi {
+			mid = hi
+		}
+		var err error
+		k.out, err = k.kern(k.cols, lo, mid, nil, k.out)
+		if err != nil {
+			return err
+		}
+		lo = mid
+	}
+	return nil
+}
+
+// scanChecked leads every sub-window with an ExecContext.Err poll, so each
+// iteration path carries a check. Clean.
+func (k *KernScan) scanChecked(lo, hi int) error {
+	for lo < hi {
+		if err := k.ec.Err(); err != nil {
+			return err
+		}
+		mid := lo + k.size
+		if mid > hi {
+			mid = hi
+		}
+		var err error
+		k.out, err = k.kern(k.cols, lo, mid, nil, k.out)
+		if err != nil {
+			return err
+		}
+		lo = mid
+	}
+	return nil
+}
+
+// scanTrailingChecked polls only between sub-windows (the old sequential-scan
+// shape): the final iteration's path back to the header skips the check, so
+// the loop is flagged — the unchecked tail is exactly where a morsel worker
+// would outlive a cancelled consumer.
+func (k *KernScan) scanTrailingChecked(lo, hi int) error {
+	for lo < hi { // want `loop drives selection kernel k.kern without a cancellation check`
+		mid := lo + k.size
+		if mid > hi {
+			mid = hi
+		}
+		var err error
+		k.out, err = k.kern(k.cols, lo, mid, nil, k.out)
+		if err != nil {
+			return err
+		}
+		lo = mid
+		if lo < hi {
+			if err := k.ec.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

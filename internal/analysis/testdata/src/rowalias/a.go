@@ -191,3 +191,86 @@ func BatchSendBad(op engine.BatchOperator, ch chan *value.Batch) error {
 	ch <- b // want `sent over a channel`
 	return nil
 }
+
+// ColHolder retains columnar views of the last chunk it saw.
+type ColHolder struct {
+	col *value.Col
+	sel value.Sel
+}
+
+// ColFieldBad stores a column view into a field: the view points into the
+// producer-owned column set and inherits the batch's validity window.
+func (h *ColHolder) ColFieldBad(op engine.BatchOperator) error {
+	b, err := op.NextBatch()
+	if err != nil || b == nil {
+		return err
+	}
+	c := b.Col(0)
+	h.col = c // want `column view "c" obtained from Batch.Col is stored into a struct field`
+	return nil
+}
+
+// ColCollectBad buffers raw column views across chunks.
+func ColCollectBad(op engine.BatchOperator) ([]*value.Col, error) {
+	var out []*value.Col
+	for {
+		b, err := op.NextBatch()
+		if err != nil || b == nil {
+			return out, err
+		}
+		c := b.Col(0)
+		out = append(out, c) // want `column view "c" obtained from Batch.Col is appended to a slice`
+	}
+}
+
+// ColReadGood copies the values out of the view instead of retaining it,
+// which is safe: value.Value is immutable once constructed.
+func ColReadGood(op engine.BatchOperator) ([]value.Value, error) {
+	var out []value.Value
+	for {
+		b, err := op.NextBatch()
+		if err != nil || b == nil {
+			return out, err
+		}
+		c := b.Col(0)
+		s := b.Sel()
+		for _, idx := range s {
+			out = append(out, c.Value(int(idx)))
+		}
+	}
+}
+
+// SelFieldBad stores the selection vector into a field: the producer rewrites
+// it on every chunk.
+func (h *ColHolder) SelFieldBad(op engine.BatchOperator) error {
+	b, err := op.NextBatch()
+	if err != nil || b == nil {
+		return err
+	}
+	s := b.Sel()
+	h.sel = s // want `selection vector "s" obtained from Batch.Sel is stored into a struct field`
+	return nil
+}
+
+// SelSendBad ships a raw selection vector to another goroutine.
+func SelSendBad(op engine.BatchOperator, ch chan value.Sel) error {
+	b, err := op.NextBatch()
+	if err != nil || b == nil {
+		return err
+	}
+	s := b.Sel()
+	ch <- s // want `sent over a channel`
+	return nil
+}
+
+// SelSpreadGood copies the selection indices element-wise, which is safe.
+func SelSpreadGood(op engine.BatchOperator) (value.Sel, error) {
+	var keep value.Sel
+	b, err := op.NextBatch()
+	if err != nil || b == nil {
+		return keep, err
+	}
+	s := b.Sel()
+	keep = append(keep, s...)
+	return keep, nil
+}

@@ -21,6 +21,7 @@ type VectorBenchRecord struct {
 	Bench       string  `json:"bench"`
 	Mode        string  `json:"mode"` // "row" or "batch"
 	BatchSize   int     `json:"batch_size"`
+	Workers     int     `json:"workers,omitempty"` // morsel pool size; 0 = no parallel scan in the plan
 	GOMAXPROCS  int     `json:"gomaxprocs"`
 	Iters       int     `json:"iters"`
 	InputRows   int     `json:"input_rows"`
@@ -63,10 +64,56 @@ func vectorPred(r value.Row) (value.Value, error) {
 	return value.NewBool(r[1].I%4 != 0), nil
 }
 
+// vectorSelKernel is the columnar form of vectorPred: a typed selection
+// kernel over the int v column, the same shape expr.CompileSel emits for
+// comparison predicates (the modulo predicate itself is outside CompileSel's
+// fragment, so the bench supplies the kernel by hand).
+func vectorSelKernel(cols *value.Columns, lo, hi int, cand, out value.Sel) (value.Sel, error) {
+	vs := cols.Col(1).Ints
+	if cand == nil {
+		for i := lo; i < hi; i++ {
+			if vs[i]%4 != 0 {
+				out = append(out, int32(i))
+			}
+		}
+		return out, nil
+	}
+	for _, si := range cand {
+		if vs[si]%4 != 0 {
+			out = append(out, si)
+		}
+	}
+	return out, nil
+}
+
+// vectorColsCache memoizes the column-major form of the last rows slice the
+// plan builders saw, standing in for storage.Table's Columns cache: plans are
+// rebuilt every iteration, but real tables build their columns once.
+var vectorColsCache struct {
+	rows []value.Row
+	cols *value.Columns
+}
+
+func vectorColumns(rows []value.Row) *value.Columns {
+	c := &vectorColsCache
+	if c.cols != nil && len(c.rows) == len(rows) && (len(rows) == 0 || &c.rows[0] == &rows[0]) {
+		return c.cols
+	}
+	c.rows, c.cols = rows, value.ColumnsOf(len(vectorSchema), rows)
+	return c.cols
+}
+
 // ScanFilterAggPlan builds the scan → filter → hash-aggregate microbench:
 // the row pipeline when batchSize <= 0, the vectorized pipeline (fused
 // scan+filter feeding the batch aggregate) otherwise.
 func ScanFilterAggPlan(rows []value.Row, batchSize int) engine.Operator {
+	return ScanFilterAggPlanWorkers(rows, batchSize, 1)
+}
+
+// ScanFilterAggPlanWorkers is ScanFilterAggPlan with a morsel worker pool:
+// workers > 1 swaps the sequential fused scan for ParallelBatchScan — the same
+// rewrite BatchifyWorkers performs — leaving the rest of the plan unchanged.
+func ScanFilterAggPlanWorkers(rows []value.Row, batchSize, workers int) engine.Operator {
 	groupBy := []expr.Compiled{vectorCol(0)}
 	aggs := []*expr.Aggregate{
 		{Kind: expr.AggCountStar},
@@ -81,8 +128,18 @@ func ScanFilterAggPlan(rows []value.Row, batchSize int) engine.Operator {
 		scan := engine.NewMemScan("t", vectorSchema, rows)
 		return engine.NewHashAggregate(engine.NewFilter(scan, vectorPred, "v % 4 != 0"), groupBy, aggs, nil, schema)
 	}
-	scan := engine.NewBatchMemScan("t", vectorSchema, rows, batchSize)
-	scan.FusePredicate(vectorPred, "v % 4 != 0")
+	var scan engine.BatchOperator
+	if workers > 1 {
+		ps := engine.NewParallelBatchScan("t", vectorSchema, rows, vectorColumns(rows), batchSize, workers)
+		ps.FuseKernel(vectorPred, "v % 4 != 0", vectorSelKernel)
+		scan = ps
+	} else {
+		ss := engine.NewBatchMemScan("t", vectorSchema, rows, batchSize)
+		ss.FusePredicate(vectorPred, "v % 4 != 0")
+		ss.SetColumns(vectorColumns(rows))
+		ss.FuseSelKernel(vectorSelKernel)
+		scan = ss
+	}
 	agg := engine.NewBatchHashAggregate(scan, groupBy, aggs, nil, schema)
 	agg.SetGroupColumns([]int{0})
 	agg.SetAggColumns([]int{-1, 2})
@@ -99,8 +156,9 @@ func HashJoinPlan(outer, inner []value.Row, batchSize int) engine.Operator {
 		return engine.NewNLJoin("Hash Join",
 			engine.NewMemScan("t", vectorSchema, outer), innerScan, method, nil)
 	}
-	return engine.NewBatchNLJoin("Hash Join",
-		engine.NewBatchMemScan("t", vectorSchema, outer, batchSize), innerScan, method, nil, batchSize)
+	outerScan := engine.NewBatchMemScan("t", vectorSchema, outer, batchSize)
+	outerScan.SetColumns(vectorColumns(outer))
+	return engine.NewBatchNLJoin("Hash Join", outerScan, innerScan, method, nil, batchSize)
 }
 
 // MeasureVector times iters executions of the plan produced by build and
@@ -113,6 +171,11 @@ func MeasureVector(name, mode string, batchSize, inputRows, iters int, build fun
 	}
 	if iters <= 0 {
 		return rec, fmt.Errorf("iters must be positive")
+	}
+	// One untimed warmup run fills lazy caches (column-major table forms,
+	// grown buffers) so the timed loop measures steady state.
+	if _, err := engine.RunExecBatch(nil, build(), batchSize); err != nil {
+		return rec, err
 	}
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -141,6 +204,30 @@ func MeasureVector(name, mode string, batchSize, inputRows, iters int, build fun
 // BENCH_vector.json artifact `make bench-vector` regenerates.
 func WriteVectorBench(path string, records []VectorBenchRecord) error {
 	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MorselBenchFile is the BENCH_morsel.json artifact: the GOMAXPROCS × morsel
+// worker sweep plus an explicit caveat when the recording machine cannot
+// demonstrate parallel speedup, so a single-core run is never mistaken for
+// scaling data.
+type MorselBenchFile struct {
+	NumCPU  int                 `json:"num_cpu"`
+	Caveat  string              `json:"caveat,omitempty"`
+	Records []VectorBenchRecord `json:"records"`
+}
+
+// WriteMorselBench writes the morsel sweep with the machine caveat filled in
+// from the recording host.
+func WriteMorselBench(path string, records []VectorBenchRecord) error {
+	f := MorselBenchFile{NumCPU: runtime.NumCPU(), Records: records}
+	if f.NumCPU == 1 {
+		f.Caveat = "recorded on a 1-CPU machine: GOMAXPROCS>1 and workers>1 rows measure scheduling overhead, not parallel speedup; the sweep documents correctness overhead only"
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -80,6 +80,13 @@ type BatchMemScan struct {
 	pos       int
 	out       int64
 	batch     *value.Batch
+	// cols, when set, is the column-major twin of rows; the scan then emits
+	// columnar chunks (a selection vector per fixed input window) instead of
+	// row views, unless a fused predicate has no kernel form. kern is the
+	// typed kernel of the fused predicate, compiled by Batchify.
+	cols    *value.Columns
+	kern    expr.SelKernel
+	colMode bool
 }
 
 // NewBatchMemScan builds a batch scan over rows with the given schema and
@@ -96,6 +103,17 @@ func (s *BatchMemScan) FusePredicate(pred expr.Compiled, label string) {
 	s.pred, s.predLabel = pred, label
 }
 
+// SetColumns attaches the column-major form of the scanned rows. The scan
+// switches to columnar chunks — selection vectors over cols — whenever the
+// fused predicate (if any) has a typed kernel; a kernel-less fused predicate
+// keeps the row-view path so the compiled closure still runs.
+func (s *BatchMemScan) SetColumns(cols *value.Columns) { s.cols = cols }
+
+// FuseSelKernel installs the typed-kernel form of the fused predicate. The
+// kernel must agree with the FusePredicate closure verdict-for-verdict (the
+// row path stays authoritative for EXPLAIN and fallback).
+func (s *BatchMemScan) FuseSelKernel(k expr.SelKernel) { s.kern = k }
+
 // Schema implements Operator.
 func (s *BatchMemScan) Schema() value.Schema { return s.schema }
 
@@ -110,10 +128,21 @@ func (s *BatchMemScan) Open() error {
 	s.pos = 0
 	s.out = 0
 	s.reset()
-	if s.batch == nil {
-		// View mode: the chunk holds references into the materialized rows,
-		// which outlive the scan, so no value is ever copied.
-		s.batch = value.NewViewBatch(len(s.schema), s.size)
+	s.colMode = s.cols != nil && (s.pred == nil || s.kern != nil)
+	switch {
+	case s.colMode:
+		if s.batch == nil || s.batch.Cols() != s.cols {
+			// Columnar mode: each chunk is a pointer-free selection vector
+			// over the table's column vectors — nothing row-shaped is written
+			// on the hot path, so the GC write barrier stays cold.
+			s.batch = value.NewColBatch(s.cols, s.size)
+		}
+	default:
+		if s.batch == nil || s.batch.Cols() != nil {
+			// View mode: the chunk holds references into the materialized
+			// rows, which outlive the scan, so no value is ever copied.
+			s.batch = value.NewViewBatch(len(s.schema), s.size)
+		}
 	}
 	return nil
 }
@@ -130,6 +159,9 @@ func (s *BatchMemScan) NextBatch() (*value.Batch, error) {
 	}
 	if err := s.stepChunk(); err != nil {
 		return nil, err
+	}
+	if s.colMode {
+		return s.nextColBatch()
 	}
 	b := s.batch
 	b.Reset()
@@ -159,6 +191,61 @@ func (s *BatchMemScan) NextBatch() (*value.Batch, error) {
 	}
 	s.out += int64(b.Len())
 	return b, nil
+}
+
+// nextColBatch is the columnar scan loop: one fixed-size input window per
+// chunk, filtered by the selection kernel (when fused). A fully filtered
+// window pulls the next one so the operator never emits an empty chunk, and
+// long kernel-only stretches still poll cancellation every
+// batchScanCheckEvery input rows, like the row loop.
+func (s *BatchMemScan) nextColBatch() (*value.Batch, error) {
+	b := s.batch
+	n := s.cols.Len()
+	for {
+		b.Reset()
+		if s.pos >= n {
+			return nil, nil
+		}
+		lo := s.pos
+		hi := lo + s.size
+		if hi > n {
+			hi = n
+		}
+		s.pos = hi
+		//lint:ignore rowalias the scan owns this selection and rewrites it each chunk within the batch's validity window
+		sel := b.Sel()[:0]
+		if s.kern != nil {
+			// The check leads the sub-window so every iteration path of the
+			// kernel loop polls cancellation (icelint cancelcheck verifies this).
+			for lo < hi {
+				if err := s.stepChunk(); err != nil {
+					return nil, err
+				}
+				mid := lo + batchScanCheckEvery
+				if mid > hi {
+					mid = hi
+				}
+				var err error
+				sel, err = s.kern(s.cols, lo, mid, nil, sel)
+				if err != nil {
+					return nil, err
+				}
+				lo = mid
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				sel = append(sel, int32(i))
+			}
+		}
+		b.SetSel(sel)
+		if b.Len() > 0 {
+			s.out += int64(b.Len())
+			return b, nil
+		}
+		if err := s.stepChunk(); err != nil {
+			return nil, err
+		}
+	}
 }
 
 // Next implements Operator.
@@ -193,6 +280,7 @@ type BatchFilter struct {
 	batchCursor
 	child BatchOperator
 	pred  expr.Compiled
+	kern  expr.SelKernel // optional typed kernel, used on columnar chunks
 	label string
 	out   int64
 }
@@ -201,6 +289,12 @@ type BatchFilter struct {
 func NewBatchFilter(child BatchOperator, pred expr.Compiled, label string) *BatchFilter {
 	return &BatchFilter{child: child, pred: pred, label: label}
 }
+
+// SetSelKernel installs the typed-kernel form of the predicate. Columnar
+// chunks are then filtered by compacting the selection vector in place —
+// no row materialization, no value moves; row-view and buffer chunks keep
+// the compiled-closure loop.
+func (f *BatchFilter) SetSelKernel(k expr.SelKernel) { f.kern = k }
 
 // Schema implements Operator.
 func (f *BatchFilter) Schema() value.Schema { return f.child.Schema() }
@@ -227,6 +321,20 @@ func (f *BatchFilter) NextBatch() (*value.Batch, error) {
 		b, err := f.child.NextBatch()
 		if err != nil || b == nil {
 			return nil, err
+		}
+		if f.kern != nil && b.Cols() != nil {
+			//lint:ignore rowalias in-place compaction of the chunk's own selection, within its validity window
+			sel := b.Sel()
+			out, err := f.kern(b.Cols(), 0, 0, sel, sel[:0])
+			if err != nil {
+				return nil, err
+			}
+			b.SetSel(out)
+			if b.Len() == 0 {
+				continue
+			}
+			f.out += int64(b.Len())
+			return b, nil
 		}
 		w := 0
 		for i := 0; i < b.Len(); i++ {

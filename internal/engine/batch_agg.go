@@ -256,17 +256,36 @@ func (h *BatchHashAggregate) Open() (err error) {
 		h.batch = value.NewBatch(len(h.schema), h.child.BatchSize())
 	}
 	slabs := aggSlabs{width: len(h.groupBy), nAggs: len(h.aggs)}
-	adders := make([]func(*expr.State, value.Row) error, len(h.aggs))
-	for i, a := range h.aggs {
-		if h.aggCols != nil && h.aggCols[i] >= 0 {
-			adders[i] = a.AdderCol(h.aggCols[i])
-		} else {
-			adders[i] = a.Adder()
-		}
-	}
+	// adders is built lazily by the row-at-a-time branches: a fully columnar
+	// build never evaluates per-row adders, so it never pays for them.
+	var adders []func(*expr.State, value.Row) error
 	keyVals := make([]value.Value, len(h.groupBy))
 	var keyBuf []byte
 	fastCols := h.groupCols != nil
+	// Columnar build: eligible when every group key is a bare column and
+	// every aggregate argument is a bare column (or COUNT(*)). Chunks that
+	// arrive columnar then skip row materialization entirely — keys are read
+	// from the key vector (typed loops for int and dictionary-string keys)
+	// and each aggregate folds its argument column with a ColFold kernel.
+	// Rows keep their stream order in both phases, so group first-seen order
+	// and per-state accumulation order — and therefore every float bit —
+	// match the row build exactly.
+	colOK := fastCols && h.aggCols != nil
+	if colOK {
+		for k, a := range h.aggs {
+			if a.Kind != expr.AggCountStar && h.aggCols[k] < 0 {
+				colOK = false
+				break
+			}
+		}
+	}
+	var grpScratch []*batchAggGroup
+	var stateScratch []*expr.State
+	// dictGrps caches group pointers per dictionary code of the key column
+	// (valid only for the column it was built against): repeated strings
+	// resolve to their group with one index load instead of a map probe.
+	var dictGrps []*batchAggGroup
+	var dictCol *value.Col
 	// With a single group key, integer-canonical keys are partitioned into
 	// intTab (see intKeyOf) and everything else stays in the byte-keyed
 	// index; the two key spaces are disjoint by construction.
@@ -302,10 +321,153 @@ func (h *BatchHashAggregate) Open() (err error) {
 			}
 			continue
 		}
-		if singleCol >= 0 {
+		if cols := b.Cols(); colOK && cols != nil {
+			sel := b.Sel()
+			grps := grpScratch[:0]
+			if cap(grps) < len(sel) {
+				grps = make([]*batchAggGroup, 0, len(sel))
+			}
+			if singleCol >= 0 {
+				kc := cols.Col(singleCol)
+				switch {
+				case kc.Vals == nil && kc.Kind == value.Int && !kc.HasNulls():
+					// Int key vector: the key is already integer-canonical,
+					// so the open-addressing probe runs on raw int64s.
+					ints := kc.Ints
+					for _, si := range sel {
+						h.seq++
+						ik := ints[si]
+						grp := intTab.get(ik)
+						if grp == nil {
+							keyVals[0] = value.NewInt(ik)
+							grp = slabs.alloc(keyVals, h.aggs, h.seq)
+							chunkBytes += h.groupBytes(grp.key)
+							intTab.put(ik, grp)
+							h.groups = append(h.groups, grp)
+						}
+						grps = append(grps, grp)
+					}
+				case kc.Vals == nil && kc.Kind == value.Str && !kc.HasNulls():
+					// Dictionary key vector: group identity is the string,
+					// but equal strings share a code, so each code resolves
+					// its group once (through the byte index, which keeps
+					// identity correct across differently-coded chunks) and
+					// every repeat is a single array load.
+					if dictCol != kc || len(dictGrps) != len(kc.Dict) {
+						dictGrps = make([]*batchAggGroup, len(kc.Dict))
+						dictCol = kc
+					}
+					codes := kc.Codes
+					for _, si := range sel {
+						h.seq++
+						code := codes[si]
+						grp := dictGrps[code]
+						if grp == nil {
+							keyVals[0] = value.NewStr(kc.Dict[code])
+							keyBuf = value.AppendKeys(keyBuf[:0], keyVals)
+							var ok bool
+							if grp, ok = index[string(keyBuf)]; !ok {
+								grp = slabs.alloc(keyVals, h.aggs, h.seq)
+								chunkBytes += h.groupBytes(grp.key)
+								index[string(keyBuf)] = grp
+								h.groups = append(h.groups, grp)
+							}
+							dictGrps[code] = grp
+						}
+						grps = append(grps, grp)
+					}
+				default:
+					// Nullable, float, bool, or mixed key column: cells are
+					// reconstructed one at a time, same partition rule as the
+					// row path (intKeyOf keeps Int 3 ≡ Float 3.0).
+					for _, si := range sel {
+						h.seq++
+						v := kc.Value(int(si))
+						var grp *batchAggGroup
+						if ik, isInt := intKeyOf(v); isInt {
+							if grp = intTab.get(ik); grp == nil {
+								keyVals[0] = v
+								grp = slabs.alloc(keyVals, h.aggs, h.seq)
+								chunkBytes += h.groupBytes(grp.key)
+								intTab.put(ik, grp)
+								h.groups = append(h.groups, grp)
+							}
+						} else {
+							keyVals[0] = v
+							keyBuf = value.AppendKeys(keyBuf[:0], keyVals)
+							var ok bool
+							if grp, ok = index[string(keyBuf)]; !ok {
+								grp = slabs.alloc(keyVals, h.aggs, h.seq)
+								chunkBytes += h.groupBytes(grp.key)
+								index[string(keyBuf)] = grp
+								h.groups = append(h.groups, grp)
+							}
+						}
+						grps = append(grps, grp)
+					}
+				}
+			} else {
+				// Zero or several bare-column keys: stage cells into keyVals
+				// straight from the column vectors.
+				for _, si := range sel {
+					h.seq++
+					for k, c := range h.groupCols {
+						keyVals[k] = cols.Col(c).Value(int(si))
+					}
+					var grp *batchAggGroup
+					ik, isInt := int64(0), false
+					if intTab != nil {
+						ik, isInt = intKeyOf(keyVals[0])
+					}
+					if isInt {
+						if grp = intTab.get(ik); grp == nil {
+							grp = slabs.alloc(keyVals, h.aggs, h.seq)
+							chunkBytes += h.groupBytes(grp.key)
+							intTab.put(ik, grp)
+							h.groups = append(h.groups, grp)
+						}
+					} else {
+						keyBuf = value.AppendKeys(keyBuf[:0], keyVals)
+						var ok bool
+						if grp, ok = index[string(keyBuf)]; !ok {
+							grp = slabs.alloc(keyVals, h.aggs, h.seq)
+							chunkBytes += h.groupBytes(grp.key)
+							index[string(keyBuf)] = grp
+							h.groups = append(h.groups, grp)
+						}
+					}
+					grps = append(grps, grp)
+				}
+			}
+			grpScratch = grps
+			// Fold phase: one ColFold kernel per aggregate over the whole
+			// chunk. Each state still receives its cells in stream order.
+			if cap(stateScratch) < len(grps) {
+				stateScratch = make([]*expr.State, len(grps))
+			}
+			ss := stateScratch[:len(grps)]
+			for k, a := range h.aggs {
+				// ColFold's kernels are capture-free, so resolving them per
+				// chunk costs a switch, not an allocation.
+				fold := a.ColFold()
+				for x, g := range grps {
+					ss[x] = &g.states[k]
+				}
+				var ac *value.Col
+				if h.aggCols[k] >= 0 {
+					ac = cols.Col(h.aggCols[k])
+				}
+				if err := fold(ss, ac, sel); err != nil {
+					return err
+				}
+			}
+		} else if singleCol >= 0 {
 			// GROUP BY over one bare column: the key is read straight from
 			// the row and probes the open-addressing table, no encoding and
 			// no keyVals staging on the hit path.
+			if adders == nil {
+				adders = h.buildAdders()
+			}
 			for i := 0; i < n; i++ {
 				r := b.Row(i)
 				h.seq++
@@ -338,6 +500,9 @@ func (h *BatchHashAggregate) Open() (err error) {
 				}
 			}
 		} else {
+			if adders == nil {
+				adders = h.buildAdders()
+			}
 			for i := 0; i < n; i++ {
 				r := b.Row(i)
 				h.seq++
@@ -398,6 +563,7 @@ func (h *BatchHashAggregate) Open() (err error) {
 				}
 				index = nil
 				intTab = nil
+				dictGrps, dictCol = nil, nil
 			} else {
 				h.reserved += chunkBytes
 			}
@@ -410,6 +576,20 @@ func (h *BatchHashAggregate) Open() (err error) {
 		h.groups = append(h.groups, slabs.alloc(nil, h.aggs, 0))
 	}
 	return nil
+}
+
+// buildAdders compiles the per-row fold closures the row-at-a-time build
+// branches use (direct-column adders where the argument is a bare column).
+func (h *BatchHashAggregate) buildAdders() []func(*expr.State, value.Row) error {
+	adders := make([]func(*expr.State, value.Row) error, len(h.aggs))
+	for i, a := range h.aggs {
+		if h.aggCols != nil && h.aggCols[i] >= 0 {
+			adders[i] = a.AdderCol(h.aggCols[i])
+		} else {
+			adders[i] = a.Adder()
+		}
+	}
+	return adders
 }
 
 // startSpill flips the operator into overflow mode: flush every resident

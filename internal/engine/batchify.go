@@ -1,6 +1,9 @@
 package engine
 
-import "smarticeberg/internal/value"
+import (
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/value"
+)
 
 // Batchify rewrites a planned row-at-a-time operator tree into its
 // chunk-at-a-time form: hot operators (scan, filter, project, hash
@@ -13,34 +16,81 @@ import "smarticeberg/internal/value"
 // group first-seen order, and float accumulation order, so results are
 // byte-identical to the row pipeline.
 func Batchify(op Operator, size int) Operator {
+	return BatchifyWorkers(op, size, 1)
+}
+
+// BatchifyWorkers is Batchify with morsel parallelism: workers > 1 replaces
+// catalog-table scans that have a column-major form with ParallelBatchScan,
+// whose worker pool claims fixed-size morsels and re-serializes the chunks in
+// morsel order — output stays byte-identical to workers = 1 (and to the row
+// pipeline) for every worker count. Scans that cannot run columnar (no cached
+// columns, or a fused predicate outside the kernel fragment) keep the
+// sequential batch scan.
+func BatchifyWorkers(op Operator, size, workers int) Operator {
 	if size <= 0 {
 		return op
 	}
-	return batchify(op, size)
+	return batchify(op, size, workers)
 }
 
-func batchify(op Operator, size int) Operator {
+func batchify(op Operator, size, workers int) Operator {
 	switch o := op.(type) {
 	case *MemScan:
-		return NewBatchMemScan(o.Label, o.schema, o.rows, size)
+		if workers > 1 && o.colSrc != nil {
+			// Morsel parallelism needs the columnar form and more than one
+			// morsel's worth of rows to be worth a worker pool.
+			if cols := o.colSrc.Columns(); cols != nil && cols.Len() == len(o.rows) && cols.Len() > size {
+				return NewParallelBatchScan(o.Label, o.schema, o.rows, cols, size, workers)
+			}
+		}
+		bs := NewBatchMemScan(o.Label, o.schema, o.rows, size)
+		if o.colSrc != nil {
+			// The cached columns must describe exactly the rows this scan
+			// snapshot holds; a table that grew since planning keeps the
+			// row-view path for this query.
+			if cols := o.colSrc.Columns(); cols != nil && cols.Len() == len(o.rows) {
+				bs.SetColumns(cols)
+			}
+		}
+		return bs
 	case *Filter:
-		c := batchify(o.child, size)
+		c := batchify(o.child, size, workers)
+		if ps, ok := c.(*ParallelBatchScan); ok && !ps.Fused() && o.srcExpr != nil {
+			// A parallel scan only fuses predicates with a typed kernel —
+			// workers never materialize rows. Without one the filter runs
+			// downstream over the parallel chunks instead.
+			if k, ok := expr.CompileSel(o.srcExpr, ps.Schema()); ok {
+				ps.FuseKernel(o.pred, o.label, k)
+				return ps
+			}
+		}
 		if bs, ok := c.(*BatchMemScan); ok && bs.pred == nil {
 			bs.FusePredicate(o.pred, o.label)
+			if o.srcExpr != nil {
+				if k, ok := expr.CompileSel(o.srcExpr, bs.Schema()); ok {
+					bs.FuseSelKernel(k)
+				}
+			}
 			return bs
 		}
 		if bc, ok := c.(BatchOperator); ok {
-			return NewBatchFilter(bc, o.pred, o.label)
+			bf := NewBatchFilter(bc, o.pred, o.label)
+			if o.srcExpr != nil {
+				if k, ok := expr.CompileSel(o.srcExpr, bc.Schema()); ok {
+					bf.SetSelKernel(k)
+				}
+			}
+			return bf
 		}
 		return NewFilter(c, o.pred, o.label)
 	case *Project:
-		c := batchify(o.child, size)
+		c := batchify(o.child, size, workers)
 		if bc, ok := c.(BatchOperator); ok {
 			return NewBatchProject(bc, o.exprs, o.schema)
 		}
 		return NewProject(c, o.exprs, o.schema)
 	case *HashAggregate:
-		c := BatchOf(batchify(o.child, size), size)
+		c := BatchOf(batchify(o.child, size, workers), size)
 		agg := NewBatchHashAggregate(c, o.groupBy, o.aggs, o.having, o.schema)
 		if o.groupCols != nil {
 			agg.SetGroupColumns(o.groupCols)
@@ -50,17 +100,17 @@ func batchify(op Operator, size int) Operator {
 		}
 		return agg
 	case *NLJoin:
-		outer := BatchOf(batchify(o.outer, size), size)
-		inner := batchify(o.inner, size)
+		outer := BatchOf(batchify(o.outer, size, workers), size)
+		inner := batchify(o.inner, size, workers)
 		return NewBatchNLJoin(o.name, outer, inner, o.method, o.residual, size)
 	case *Distinct:
-		return NewDistinct(batchify(o.child, size))
+		return NewDistinct(batchify(o.child, size, workers))
 	case *Sort:
-		return NewSort(batchify(o.child, size), o.keys, o.desc)
+		return NewSort(batchify(o.child, size, workers), o.keys, o.desc)
 	case *Limit:
-		return NewLimit(batchify(o.child, size), o.n)
+		return NewLimit(batchify(o.child, size, workers), o.n)
 	case *reschema:
-		c := batchify(o.child, size)
+		c := batchify(o.child, size, workers)
 		if bc, ok := c.(BatchOperator); ok {
 			return &batchReschema{child: bc, schema: o.schema}
 		}

@@ -1,0 +1,333 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/value"
+)
+
+// ParallelBatchScan is the morsel-driven parallel form of BatchMemScan: the
+// scanned table is cut into fixed-size morsels (one per output chunk, so the
+// morsel boundaries are exactly the sequential scan's input windows), a small
+// worker pool claims morsels dynamically through an atomic counter, and
+// finished morsels are delivered to the consumer strictly in morsel order
+// through a ring of single-slot channels. Because each morsel covers a
+// deterministic row range, each chunk is filtered by the same kernel the
+// sequential scan would run, and delivery re-serializes the chunks in morsel
+// order, the output stream is byte-identical to BatchMemScan over the same
+// input — for every worker count.
+//
+// The operator runs only in columnar mode: it requires the column-major table
+// form, and a fused predicate must come with its typed kernel (BatchifyWorkers
+// falls back to the sequential scan otherwise). Workers poll cancellation
+// every batchScanCheckEvery input rows like the sequential loop, errors are
+// delivered at the morsel where they occurred (so the surfaced error is the
+// lowest-index failure among delivered morsels, deterministic for injected
+// faults), panics inside a worker surface as *PanicError, and every abort
+// path — error, cancellation, early Close — unblocks all workers via a done
+// channel before Close returns, so no goroutine outlives the query.
+type ParallelBatchScan struct {
+	execState
+	batchCursor
+	Label     string
+	schema    value.Schema
+	rows      []value.Row
+	cols      *value.Columns
+	pred      expr.Compiled // row form of the fused predicate (EXPLAIN only)
+	predLabel string
+	kern      expr.SelKernel
+	size      int
+	workers   int
+	out       int64
+
+	// Run state, rebuilt by each Open. Batches cycle between the free pool,
+	// the workers' hands, the delivery slots, and the consumer's last-returned
+	// chunk; the pool is sized so no send on free can ever block.
+	numMorsels int
+	claim      atomic.Int64
+	slots      []chan morselResult
+	free       chan *value.Batch
+	done       chan struct{}
+	wg         sync.WaitGroup
+	nextM      int
+	last       *value.Batch
+	running    bool
+}
+
+// morselResult is one finished morsel: its chunk (possibly empty — the
+// consumer recycles and skips those) or the error that stopped it.
+type morselResult struct {
+	batch *value.Batch
+	err   error
+}
+
+// NewParallelBatchScan builds a morsel-parallel scan over rows with the given
+// column-major form, chunk capacity, and worker count (values below 2 are
+// rejected by BatchifyWorkers; the type itself tolerates them).
+func NewParallelBatchScan(label string, schema value.Schema, rows []value.Row, cols *value.Columns, size, workers int) *ParallelBatchScan {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &ParallelBatchScan{Label: label, schema: schema, rows: rows, cols: cols, size: size, workers: workers}
+}
+
+// FuseKernel folds a filter into the morsel loop. Unlike BatchMemScan the
+// typed kernel is mandatory — workers never materialize rows, so there is no
+// compiled-closure fallback; pred and label serve EXPLAIN.
+func (s *ParallelBatchScan) FuseKernel(pred expr.Compiled, label string, kern expr.SelKernel) {
+	s.pred, s.predLabel, s.kern = pred, label, kern
+}
+
+// Fused reports whether a predicate is already folded into the scan.
+func (s *ParallelBatchScan) Fused() bool { return s.kern != nil }
+
+// Schema implements Operator.
+func (s *ParallelBatchScan) Schema() value.Schema { return s.schema }
+
+// BatchSize implements BatchOperator.
+func (s *ParallelBatchScan) BatchSize() int { return s.size }
+
+// Workers reports the pool size, for EXPLAIN and the bench emitter.
+func (s *ParallelBatchScan) Workers() int { return s.workers }
+
+// Open implements Operator: it resets the ordered ring and starts the worker
+// pool. A reopen (an inner-relation rescan) shuts the previous pool down
+// first.
+func (s *ParallelBatchScan) Open() error {
+	s.shutdown()
+	if err := failpoint.Inject(failpoint.ScanOpen); err != nil {
+		return err
+	}
+	s.out = 0
+	s.nextM = 0
+	s.last = nil
+	s.reset()
+	s.numMorsels = (s.cols.Len() + s.size - 1) / s.size
+	workers := s.workers
+	if workers > s.numMorsels {
+		workers = s.numMorsels
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// The ring holds 2 slots per worker so a fast worker can run one morsel
+	// ahead of the consumer without stalling; the pool holds one batch per
+	// slot, per worker, and one for the consumer's in-flight chunk, so every
+	// channel send in the protocol has guaranteed room or a waiting receiver.
+	ringSize := 2 * workers
+	nBatches := ringSize + workers + 1
+	s.slots = make([]chan morselResult, ringSize)
+	for i := range s.slots {
+		s.slots[i] = make(chan morselResult, 1)
+	}
+	s.free = make(chan *value.Batch, nBatches)
+	for i := 0; i < nBatches; i++ {
+		s.free <- value.NewColBatch(s.cols, s.size)
+	}
+	s.done = make(chan struct{})
+	s.claim.Store(0)
+	s.running = true
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return nil
+}
+
+// worker claims morsels until the table is exhausted, an error occurs, or the
+// consumer aborts. A worker that fails delivers the error at its morsel's
+// position and stops claiming, so the consumer — which drains in morsel
+// order — surfaces the lowest-index failure.
+func (s *ParallelBatchScan) worker() {
+	defer s.wg.Done()
+	cur := -1
+	defer func() {
+		if r := recover(); r != nil {
+			// scanMorsel contains its own panics; this catches the claim and
+			// hand-off path so a bug cannot crash the process. Deliver the
+			// failure at the current morsel's position so the consumer wakes.
+			res := morselResult{err: NewPanicError("morsel worker", r)}
+			if cur >= 0 {
+				select {
+				case s.slots[cur%len(s.slots)] <- res:
+				case <-s.done:
+				}
+			}
+		}
+	}()
+	for {
+		m := int(s.claim.Add(1)) - 1
+		if m >= s.numMorsels {
+			return
+		}
+		cur = m
+		var b *value.Batch
+		select {
+		case b = <-s.free:
+		case <-s.done:
+			return
+		}
+		res := morselResult{batch: b}
+		res.err = s.scanMorsel(m, b)
+		if ferr := failpoint.Inject(failpoint.MorselEnqueue); ferr != nil && res.err == nil {
+			res.err = ferr
+		}
+		select {
+		case s.slots[m%len(s.slots)] <- res:
+		case <-s.done:
+			return
+		}
+		if res.err != nil {
+			return
+		}
+	}
+}
+
+// scanMorsel fills b with morsel m's surviving rows: the same fixed input
+// window, kernel split, and cancellation cadence as the sequential columnar
+// scan, so chunk m here is bit-for-bit the sequential scan's chunk m. Panics
+// surface as *PanicError like every other execution-layer goroutine.
+func (s *ParallelBatchScan) scanMorsel(m int, b *value.Batch) (err error) {
+	defer CapturePanic("morsel worker", &err)
+	if err := s.stepChunk(); err != nil {
+		return err
+	}
+	lo := m * s.size
+	hi := lo + s.size
+	if n := s.cols.Len(); hi > n {
+		hi = n
+	}
+	b.Reset()
+	//lint:ignore rowalias the worker owns this batch until it is handed over; the consumer serves it only within its validity window
+	sel := b.Sel()[:0]
+	if s.kern != nil {
+		// The check leads the sub-window so every iteration path of the kernel
+		// loop polls cancellation (icelint cancelcheck verifies this).
+		for lo < hi {
+			if err := s.stepChunk(); err != nil {
+				return err
+			}
+			mid := lo + batchScanCheckEvery
+			if mid > hi {
+				mid = hi
+			}
+			sel, err = s.kern(s.cols, lo, mid, nil, sel)
+			if err != nil {
+				return err
+			}
+			lo = mid
+		}
+	} else {
+		for i := lo; i < hi; i++ {
+			sel = append(sel, int32(i))
+		}
+	}
+	b.SetSel(sel)
+	return nil
+}
+
+// NextBatch implements BatchOperator: it drains morsels strictly in order,
+// recycling empty chunks (a fully filtered morsel) so the stream never
+// contains one, exactly like the sequential scan's retry loop.
+func (s *ParallelBatchScan) NextBatch() (*value.Batch, error) {
+	if err := failpoint.Inject(failpoint.ScanNext); err != nil {
+		s.abort()
+		return nil, err
+	}
+	if s.pred != nil {
+		if err := failpoint.Inject(failpoint.FilterNext); err != nil {
+			s.abort()
+			return nil, err
+		}
+	}
+	if err := s.stepChunk(); err != nil {
+		s.abort()
+		return nil, err
+	}
+	if s.last != nil {
+		// The consumer is done with the previously delivered chunk; hand it
+		// back for reuse. The pool is sized for every batch in the cycle, so
+		// this send cannot block.
+		s.free <- s.last
+		s.last = nil
+	}
+	for {
+		if s.nextM >= s.numMorsels {
+			return nil, nil
+		}
+		if err := failpoint.Inject(failpoint.MorselDrain); err != nil {
+			s.abort()
+			return nil, err
+		}
+		res := <-s.slots[s.nextM%len(s.slots)]
+		s.nextM++
+		if res.err != nil {
+			if res.batch != nil {
+				s.free <- res.batch
+			}
+			s.abort()
+			return nil, res.err
+		}
+		if res.batch.Len() == 0 {
+			s.free <- res.batch
+			continue
+		}
+		s.last = res.batch
+		s.out += int64(res.batch.Len())
+		return res.batch, nil
+	}
+}
+
+// Next implements Operator.
+func (s *ParallelBatchScan) Next() (value.Row, error) { return s.next(s.NextBatch) }
+
+// abort tells the workers to stop: sends into slots and receives from the
+// free pool unblock immediately. Idempotent; Close waits for the pool.
+func (s *ParallelBatchScan) abort() {
+	if s.running && s.done != nil {
+		close(s.done)
+		s.running = false
+	}
+}
+
+// shutdown aborts and waits until every worker has exited.
+func (s *ParallelBatchScan) shutdown() {
+	if s.done == nil {
+		return
+	}
+	s.abort()
+	s.wg.Wait()
+	s.done = nil
+	s.slots = nil
+	s.free = nil
+	s.last = nil
+}
+
+// Close implements Operator: after it returns no worker goroutine is left
+// running, whatever state the scan was in.
+func (s *ParallelBatchScan) Close() error {
+	s.shutdown()
+	return failpoint.Inject(failpoint.ScanClose)
+}
+
+// Describe implements Operator.
+func (s *ParallelBatchScan) Describe() string {
+	d := fmt.Sprintf("Parallel Seq Scan on %s (%d rows, %d workers)", s.Label, len(s.rows), s.workers)
+	if s.pred != nil {
+		d += "; Filter: " + s.predLabel
+	}
+	return d
+}
+
+// Children implements Operator.
+func (s *ParallelBatchScan) Children() []Operator { return nil }
+
+// ActualRows implements rowCounter.
+func (s *ParallelBatchScan) ActualRows() int64 { return s.out }

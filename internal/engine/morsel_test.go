@@ -1,0 +1,356 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/testleak"
+	"smarticeberg/internal/value"
+)
+
+// evenKern is evenPred's typed selection kernel (v % 2 == 0 over the int v
+// column), verdict-identical to the compiled closure.
+func evenKern(cols *value.Columns, lo, hi int, cand, out value.Sel) (value.Sel, error) {
+	vs := cols.Col(1).Ints
+	if cand == nil {
+		for i := lo; i < hi; i++ {
+			if vs[i]%2 == 0 {
+				out = append(out, int32(i))
+			}
+		}
+		return out, nil
+	}
+	for _, si := range cand {
+		if vs[si]%2 == 0 {
+			out = append(out, si)
+		}
+	}
+	return out, nil
+}
+
+// TestParallelBatchScanEquivalence requires the morsel-parallel scan to be
+// byte-identical to the row pipeline for every (chunk size, worker count)
+// combination, with and without a fused predicate.
+func TestParallelBatchScanEquivalence(t *testing.T) {
+	testleak.Check(t)
+	rows := batchEquivRows(3000)
+	cols := value.ColumnsOf(len(batchEquivSchema), rows)
+	for _, fused := range []bool{false, true} {
+		var ref Operator = NewMemScan("t", batchEquivSchema, rows)
+		if fused {
+			ref = NewFilter(ref, evenPred, "even(v)")
+		}
+		want, err := RunExec(nil, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, size := range []int{1, 7, 64, 1024} {
+			for _, workers := range []int{1, 2, 4} {
+				label := fmt.Sprintf("fused=%v/size=%d/workers=%d", fused, size, workers)
+				ps := NewParallelBatchScan("t", batchEquivSchema, rows, cols, size, workers)
+				if fused {
+					ps.FuseKernel(evenPred, "even(v)", evenKern)
+				}
+				got, err := RunExecBatch(nil, ps, size)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				assertIdenticalRows(t, label, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelBatchScanChunkIdentity is stronger than row equivalence: the
+// parallel scan must deliver the same chunks, with the same boundaries, in
+// the same order as the sequential columnar scan — the property that makes
+// every downstream per-chunk behavior (budget charges, group first-seen
+// order) independent of the worker count.
+func TestParallelBatchScanChunkIdentity(t *testing.T) {
+	testleak.Check(t)
+	rows := batchEquivRows(2500)
+	cols := value.ColumnsOf(len(batchEquivSchema), rows)
+	const size = 64
+	seq := NewBatchMemScan("t", batchEquivSchema, rows, size)
+	seq.SetColumns(cols)
+	seq.FusePredicate(evenPred, "even(v)")
+	seq.FuseSelKernel(evenKern)
+	par := NewParallelBatchScan("t", batchEquivSchema, rows, cols, size, 3)
+	par.FuseKernel(evenPred, "even(v)", evenKern)
+	if err := seq.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	defer par.Close()
+	for chunk := 0; ; chunk++ {
+		sb, err := seq.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := par.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (sb == nil) != (pb == nil) {
+			t.Fatalf("chunk %d: sequential done=%v, parallel done=%v", chunk, sb == nil, pb == nil)
+		}
+		if sb == nil {
+			return
+		}
+		if sb.Len() != pb.Len() {
+			t.Fatalf("chunk %d: sequential %d rows, parallel %d rows", chunk, sb.Len(), pb.Len())
+		}
+		for i := 0; i < sb.Len(); i++ {
+			sr, pr := sb.Row(i), pb.Row(i)
+			for j := range sr {
+				if !sameValue(sr[j], pr[j]) {
+					t.Fatalf("chunk %d row %d col %d: parallel %v, sequential %v", chunk, i, j, pr[j], sr[j])
+				}
+			}
+		}
+	}
+}
+
+// morselFaultPlan feeds a 4-worker parallel scan into a columnar hash
+// aggregate, so an injected fault must unwind worker goroutines and release
+// every budget reservation.
+func morselFaultPlan(workers int) Operator {
+	rows := batchEquivRows(2000)
+	cols := value.ColumnsOf(len(batchEquivSchema), rows)
+	ps := NewParallelBatchScan("t", batchEquivSchema, rows, cols, 64, workers)
+	ps.FuseKernel(evenPred, "even(v)", evenKern)
+	aggs := []*expr.Aggregate{
+		{Kind: expr.AggCountStar},
+		{Kind: expr.AggSum, Arg: colAt(2)},
+	}
+	aggSchema := value.Schema{
+		{Name: "g", Type: value.Int},
+		{Name: "count", Type: value.Int},
+		{Name: "sum", Type: value.Float},
+	}
+	agg := NewBatchHashAggregate(ps, []expr.Compiled{colAt(0)}, aggs, nil, aggSchema)
+	agg.SetGroupColumns([]int{0})
+	agg.SetAggColumns([]int{-1, 2})
+	return agg
+}
+
+// TestMorselFaultMatrix injects an error and a panic at every failpoint site
+// the parallel scan crosses — including both sides of the morsel hand-off —
+// and asserts one typed error, zero leaked goroutines, and a drained budget.
+func TestMorselFaultMatrix(t *testing.T) {
+	points := []string{
+		failpoint.ScanOpen, failpoint.ScanNext, failpoint.ScanClose,
+		failpoint.FilterNext,
+		failpoint.MorselEnqueue, failpoint.MorselDrain,
+	}
+	for _, pt := range points {
+		for _, mode := range []string{"error", "panic"} {
+			t.Run(fmt.Sprintf("%s/%s", pt, mode), func(t *testing.T) {
+				testleak.Check(t)
+				defer failpoint.Reset()
+				if mode == "error" {
+					failpoint.Enable(pt, failpoint.Once(failpoint.Error(errBoom)))
+				} else {
+					failpoint.Enable(pt, failpoint.Once(failpoint.Panic("morsel matrix")))
+				}
+				budget := resource.NewBudget(1 << 30)
+				rows, err := RunExecBatch(NewExecContext(nil, budget), morselFaultPlan(4), 64)
+				if err == nil {
+					t.Fatalf("%s/%s: query succeeded with %d rows, want injected failure", pt, mode, len(rows))
+				}
+				if hits := failpoint.Hits(pt); hits == 0 {
+					t.Fatalf("%s: never fired — the site is not reachable in this plan", pt)
+				}
+				switch mode {
+				case "error":
+					if !errors.Is(err, errBoom) {
+						t.Fatalf("%s: error = %v, want the injected errBoom", pt, err)
+					}
+				case "panic":
+					var pe *PanicError
+					if !errors.As(err, &pe) {
+						t.Fatalf("%s: error = %v (%T), want *PanicError", pt, err, err)
+					}
+				}
+				if used := budget.Used(); used != 0 {
+					t.Fatalf("%s/%s: %d bytes still reserved after failure; resources leaked", pt, mode, used)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelBatchScanCancelMidStream cancels the query between chunks: the
+// scan must surface the cancellation as a typed error and every worker must
+// exit before Close returns.
+func TestParallelBatchScanCancelMidStream(t *testing.T) {
+	testleak.Check(t)
+	rows := batchEquivRows(5000)
+	cols := value.ColumnsOf(len(batchEquivSchema), rows)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ps := NewParallelBatchScan("t", batchEquivSchema, rows, cols, 64, 4)
+	ps.FuseKernel(evenPred, "even(v)", evenKern)
+	Bind(ps, NewExecContext(ctx, nil))
+	if err := ps.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.NextBatch(); err != nil {
+		t.Fatalf("first chunk: %v", err)
+	}
+	cancel()
+	var err error
+	for i := 0; i < 1000; i++ {
+		var b *value.Batch
+		b, err = ps.NextBatch()
+		if err != nil || b == nil {
+			break
+		}
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("after cancel: err = %v, want context.Canceled", err)
+	}
+	if cerr := ps.Close(); cerr != nil {
+		t.Fatalf("close after cancel: %v", cerr)
+	}
+}
+
+// TestParallelBatchScanKernelPanic panics inside a worker's kernel: the
+// query must fail with a *PanicError, not crash the process, and leak
+// nothing.
+func TestParallelBatchScanKernelPanic(t *testing.T) {
+	testleak.Check(t)
+	rows := batchEquivRows(2000)
+	cols := value.ColumnsOf(len(batchEquivSchema), rows)
+	ps := NewParallelBatchScan("t", batchEquivSchema, rows, cols, 64, 4)
+	boom := func(cols *value.Columns, lo, hi int, cand, out value.Sel) (value.Sel, error) {
+		if lo >= 640 {
+			panic("kernel boom")
+		}
+		return evenKern(cols, lo, hi, cand, out)
+	}
+	ps.FuseKernel(evenPred, "even(v)", boom)
+	_, err := RunExecBatch(nil, ps, 64)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v (%T), want *PanicError", err, err)
+	}
+}
+
+// TestParallelBatchScanReopenAndEarlyClose covers the two lifecycle edges:
+// a rescan (Open after a full drain) must produce identical output with a
+// fresh worker pool, and a Close before the stream is drained must still
+// join every worker.
+func TestParallelBatchScanReopenAndEarlyClose(t *testing.T) {
+	testleak.Check(t)
+	rows := batchEquivRows(3000)
+	cols := value.ColumnsOf(len(batchEquivSchema), rows)
+	ps := NewParallelBatchScan("t", batchEquivSchema, rows, cols, 64, 4)
+	ps.FuseKernel(evenPred, "even(v)", evenKern)
+	first, err := RunExecBatch(nil, ps, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunExecBatch(nil, ps, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRows(t, "reopen", second, first)
+
+	// Early close: open, take one chunk, abandon the rest.
+	if err := ps.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.NextBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mustParseWhere parses a bare predicate through a wrapper SELECT.
+func mustParseWhere(t *testing.T, where string) sqlparser.Expr {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect("SELECT g FROM t WHERE " + where)
+	if err != nil {
+		t.Fatalf("parse %q: %v", where, err)
+	}
+	return sel.Where
+}
+
+// stubColSource hands Batchify a pre-built column-major table form, standing
+// in for storage.Table.
+type stubColSource struct{ cols *value.Columns }
+
+func (s stubColSource) Columns() *value.Columns { return s.cols }
+
+// TestBatchifyWorkersRewrite checks the planner-side selection logic: a
+// columnar catalog scan becomes a ParallelBatchScan only when workers > 1,
+// a kernel-compilable filter fuses into it, and a predicate outside the
+// kernel fragment runs downstream instead.
+func TestBatchifyWorkersRewrite(t *testing.T) {
+	rows := batchEquivRows(3000)
+	cols := value.ColumnsOf(len(batchEquivSchema), rows)
+	newScan := func() *MemScan {
+		ms := NewMemScan("t", batchEquivSchema, rows)
+		ms.SetColumnSource(stubColSource{cols})
+		return ms
+	}
+
+	if _, ok := BatchifyWorkers(newScan(), 64, 4).(*ParallelBatchScan); !ok {
+		t.Fatalf("bare columnar scan with workers=4: want *ParallelBatchScan")
+	}
+	if _, ok := BatchifyWorkers(newScan(), 64, 1).(*BatchMemScan); !ok {
+		t.Fatalf("workers=1: want sequential *BatchMemScan")
+	}
+	if _, ok := BatchifyWorkers(newScan(), 4096, 4).(*BatchMemScan); !ok {
+		t.Fatalf("single-morsel table: want sequential *BatchMemScan")
+	}
+
+	// v >= 1500 is inside the kernel fragment: the filter must fuse.
+	pred := func(r value.Row) (value.Value, error) {
+		return value.NewBool(r[1].I >= 1500), nil
+	}
+	filt := NewFilter(newScan(), pred, "v >= 1500")
+	filt.SetExpr(mustParseWhere(t, "v >= 1500"))
+	ps, ok := BatchifyWorkers(filt, 64, 4).(*ParallelBatchScan)
+	if !ok || !ps.Fused() {
+		t.Fatalf("kernel-compilable filter over parallel scan: want fused *ParallelBatchScan, got %T (fused=%v)", ps, ok && ps.Fused())
+	}
+	want, err := RunExec(nil, NewFilter(NewMemScan("t", batchEquivSchema, rows), pred, "v >= 1500"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunExecBatch(nil, ps, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRows(t, "fused parallel filter", got, want)
+
+	// v + 0 >= 1500 is outside the fragment: the scan stays parallel and the
+	// filter compacts its chunks downstream.
+	filt2 := NewFilter(newScan(), pred, "v + 0 >= 1500")
+	filt2.SetExpr(mustParseWhere(t, "v + 0 >= 1500"))
+	bf, ok := BatchifyWorkers(filt2, 64, 4).(*BatchFilter)
+	if !ok {
+		t.Fatalf("non-kernel filter: want *BatchFilter over the parallel scan")
+	}
+	if _, ok := bf.child.(*ParallelBatchScan); !ok {
+		t.Fatalf("non-kernel filter child: want *ParallelBatchScan, got %T", bf.child)
+	}
+	got2, err := RunExecBatch(nil, bf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRows(t, "downstream parallel filter", got2, want)
+}

@@ -13,6 +13,7 @@ import (
 	"smarticeberg/internal/expr"
 	"smarticeberg/internal/failpoint"
 	"smarticeberg/internal/resource"
+	"smarticeberg/internal/sqlparser"
 	"smarticeberg/internal/value"
 )
 
@@ -134,14 +135,27 @@ type MemScan struct {
 	Label  string
 	schema value.Schema
 	rows   []value.Row
+	colSrc ColumnarSource
 	pos    int
 	out    int64
+}
+
+// ColumnarSource supplies a column-major twin of a scanned row set.
+// storage.Table satisfies it; Batchify asks the source for columns when it
+// rewrites a MemScan into a batch scan, so the columnar path activates for
+// base tables without the planner copying any data.
+type ColumnarSource interface {
+	Columns() *value.Columns
 }
 
 // NewMemScan builds a scan over rows with the given schema.
 func NewMemScan(label string, schema value.Schema, rows []value.Row) *MemScan {
 	return &MemScan{Label: label, schema: schema, rows: rows}
 }
+
+// SetColumnSource attaches a provider of the rows' column-major form, to be
+// consulted when the scan is batchified.
+func (s *MemScan) SetColumnSource(src ColumnarSource) { s.colSrc = src }
 
 // Schema implements Operator.
 func (s *MemScan) Schema() value.Schema { return s.schema }
@@ -192,14 +206,21 @@ type Filter struct {
 	execState
 	child Operator
 	pred  expr.Compiled
-	label string
-	out   int64
+	// srcExpr, when set, is the predicate's source AST. Batchify uses it to
+	// compile a typed selection kernel for the columnar path; the compiled
+	// closure remains authoritative for row execution.
+	srcExpr sqlparser.Expr
+	label   string
+	out     int64
 }
 
 // NewFilter wraps child with a predicate. label is used by EXPLAIN.
 func NewFilter(child Operator, pred expr.Compiled, label string) *Filter {
 	return &Filter{child: child, pred: pred, label: label}
 }
+
+// SetExpr retains the predicate's source AST for kernel compilation.
+func (f *Filter) SetExpr(e sqlparser.Expr) { f.srcExpr = e }
 
 // Schema implements Operator.
 func (f *Filter) Schema() value.Schema { return f.child.Schema() }

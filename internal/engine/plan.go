@@ -66,7 +66,10 @@ type Planner struct {
 	// BatchSize > 0 plans onto the vectorized batch pipeline with chunks of
 	// that many rows: Batchify rewrites every planned tree (including CTE
 	// and subquery materializations) and results stay byte-identical to the
-	// row path. 0 keeps the row-at-a-time Volcano pipeline.
+	// row path. 0 keeps the row-at-a-time Volcano pipeline. When the batch
+	// pipeline is on, Workers (the same knob that sizes the Vendor A
+	// executor) also sizes the morsel worker pool of parallel table scans;
+	// results are byte-identical at every worker count.
 	BatchSize int
 }
 
@@ -103,7 +106,7 @@ func (p *Planner) PlanSelect(sel *sqlparser.Select, env Env) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	op = Batchify(op, p.BatchSize)
+	op = BatchifyWorkers(op, p.BatchSize, DefaultWorkers(p.Workers))
 	if Validate {
 		if err := ValidatePlan(op); err != nil {
 			return nil, err
@@ -152,10 +155,12 @@ func (p *Planner) planFromItem(te sqlparser.TableExpr, env Env) (*relation, erro
 		if err != nil {
 			return nil, err
 		}
+		scan := NewMemScan(t.Name+" as "+alias, t.Schema.Requalify(alias), t.Rows)
+		scan.SetColumnSource(t)
 		return &relation{
 			alias:  alias,
 			schema: t.Schema.Requalify(alias),
-			op:     NewMemScan(t.Name+" as "+alias, t.Schema.Requalify(alias), t.Rows),
+			op:     scan,
 			table:  t,
 		}, nil
 	case *sqlparser.SubqueryRef:
@@ -216,7 +221,9 @@ func (p *Planner) planBody(sel *sqlparser.Select, env Env) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		joined = NewFilter(joined, pred, AndAll(remaining).String())
+		filt := NewFilter(joined, pred, AndAll(remaining).String())
+		filt.SetExpr(AndAll(remaining))
+		joined = filt
 	}
 	return p.planAggProject(sel, joined, combined, env)
 }
@@ -243,7 +250,9 @@ func (p *Planner) planJoinTree(rels []*relation, conjuncts []sqlparser.Expr, env
 		if err != nil {
 			return nil, nil, err
 		}
-		r.op = NewFilter(r.op, pred, c.String())
+		filt := NewFilter(r.op, pred, c.String())
+		filt.SetExpr(c)
+		r.op = filt
 		used[i] = true
 	}
 

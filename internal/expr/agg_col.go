@@ -1,0 +1,104 @@
+package expr
+
+import (
+	"smarticeberg/internal/value"
+)
+
+// ColFold returns the column-wise accumulate kernel for the aggregate: given
+// one target State per selected row (states[x] receives row rows[x]), it
+// folds the argument column into the states in row order. It is AdderCol
+// turned inside out — per-aggregate over the chunk instead of per-row — and
+// because each State still sees exactly its own cells in the same ascending
+// row order, every accumulator (including float sums, whose value depends on
+// addition order) ends up bit-identical to the row path. COUNT(*) ignores
+// col (pass nil); everything else reads the bare argument column directly,
+// with typed loops for non-DISTINCT COUNT/SUM/AVG over int and float vectors
+// and the generic AddValue path (NULL skip, DISTINCT sets, MIN/MAX compares)
+// for the rest.
+func (a *Aggregate) ColFold() func(states []*State, col *value.Col, rows value.Sel) error {
+	switch {
+	case a.Kind == AggCountStar:
+		return func(states []*State, _ *value.Col, _ value.Sel) error {
+			for _, s := range states {
+				s.count++
+			}
+			return nil
+		}
+	case a.Distinct:
+		return colFoldGeneric
+	case a.Kind == AggCount:
+		return func(states []*State, col *value.Col, rows value.Sel) error {
+			if col.Vals != nil {
+				for x, si := range rows {
+					if col.Vals[si].K != value.Null {
+						states[x].count++
+					}
+				}
+				return nil
+			}
+			if col.Kind == value.Null {
+				return nil
+			}
+			nulls := col.Nulls
+			for x, si := range rows {
+				if !nulls.Get(int(si)) {
+					states[x].count++
+				}
+			}
+			return nil
+		}
+	case a.Kind == AggSum || a.Kind == AggAvg:
+		return func(states []*State, col *value.Col, rows value.Sel) error {
+			switch {
+			case col.Vals == nil && (col.Kind == value.Int || col.Kind == value.Bool):
+				ints, nulls := col.Ints, col.Nulls
+				for x, si := range rows {
+					i := int(si)
+					if nulls.Get(i) {
+						continue
+					}
+					s := states[x]
+					s.count++
+					// addNumeric for a non-Float value: no promotion.
+					if s.isFloat {
+						s.floatSum += float64(ints[i])
+					} else {
+						s.intSum += ints[i]
+					}
+				}
+			case col.Vals == nil && col.Kind == value.Float:
+				floats, nulls := col.Floats, col.Nulls
+				for x, si := range rows {
+					i := int(si)
+					if nulls.Get(i) {
+						continue
+					}
+					s := states[x]
+					s.count++
+					// addNumeric for a Float value: first float promotes the
+					// int prefix, preserving the row path's addition order.
+					if !s.isFloat {
+						s.isFloat = true
+						s.floatSum += float64(s.intSum)
+						s.intSum = 0
+					}
+					s.floatSum += floats[i]
+				}
+			default:
+				return colFoldGeneric(states, col, rows)
+			}
+			return nil
+		}
+	default:
+		return colFoldGeneric
+	}
+}
+
+func colFoldGeneric(states []*State, col *value.Col, rows value.Sel) error {
+	for x, si := range rows {
+		if err := states[x].AddValue(col.Value(int(si))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,502 @@
+package expr
+
+import (
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// Typed selection kernels: the columnar counterpart of a compiled predicate.
+// A SelKernel evaluates a WHERE-clause fragment over a column-major chunk and
+// appends the surviving row indexes to a selection vector — no Value boxing,
+// no per-row closure calls, and filters never copy rows. Kernels reproduce
+// the row path bit for bit: every comparison goes through the same three-way
+// ordering value.Compare uses (including its NaN and mixed-numeric
+// behaviour), and a NULL operand yields SQL unknown, which EvalBool — and
+// therefore the kernel — treats as "row filtered out".
+
+// SelKernel appends to out the indexes of the rows of cols that satisfy the
+// predicate, in ascending order, and returns the extended selection. The
+// candidate rows are cand when non-nil, else the dense range [lo, hi).
+// Kernels are stateless and safe for concurrent use on disjoint out buffers
+// (morsel workers run one kernel over many chunks at once). out may alias
+// cand (in-place compaction): writes trail reads.
+type SelKernel func(cols *value.Columns, lo, hi int, cand, out value.Sel) (value.Sel, error)
+
+// CompileSel translates a predicate into a SelKernel when the expression is
+// in the kernel-supported fragment: comparisons between column references and
+// literals (either side), column-to-column comparisons, IS [NOT] NULL on a
+// column, and AND-combinations of those. Anything else (OR, arithmetic,
+// functions, subqueries) reports ok=false and the caller keeps the row-path
+// evaluator. The kernel's verdicts match EvalBool(Compile(e), row) exactly.
+func CompileSel(e sqlparser.Expr, schema value.Schema) (SelKernel, bool) {
+	switch e := e.(type) {
+	case *sqlparser.BinOp:
+		if e.Op == sqlparser.OpAnd {
+			lk, ok := CompileSel(e.L, schema)
+			if !ok {
+				return nil, false
+			}
+			rk, ok := CompileSel(e.R, schema)
+			if !ok {
+				return nil, false
+			}
+			// Chained selection is three-valued AND under EvalBool: a row
+			// survives iff both sides are true (false and unknown both
+			// filter), and l runs first like the compiled closure.
+			return func(cols *value.Columns, lo, hi int, cand, out value.Sel) (value.Sel, error) {
+				mid, err := lk(cols, lo, hi, cand, out)
+				if err != nil || len(mid) == 0 {
+					return mid, err
+				}
+				return rk(cols, lo, hi, mid, mid[:0])
+			}, true
+		}
+		want, ok := cmpWant(e.Op)
+		if !ok {
+			return nil, false
+		}
+		li, lCol := selColIndex(e.L, schema)
+		ri, rCol := selColIndex(e.R, schema)
+		switch {
+		case lCol && rCol:
+			return colColKernel(li, ri, want), true
+		case lCol:
+			if lit, ok := selLit(e.R); ok {
+				return colLitKernel(li, lit, want), true
+			}
+		case rCol:
+			if lit, ok := selLit(e.L); ok {
+				// lit OP col ≡ col OP' lit with the ordering flipped.
+				return colLitKernel(ri, lit, [3]bool{want[2], want[1], want[0]}), true
+			}
+		}
+		return nil, false
+	case *sqlparser.IsNull:
+		ci, ok := selColIndex(e.E, schema)
+		if !ok {
+			return nil, false
+		}
+		return isNullKernel(ci, e.Negated), true
+	}
+	return nil, false
+}
+
+// cmpWant maps a comparison operator to its verdict table indexed by
+// three-way compare result + 1 (so want[0] ⇔ cmp<0, want[1] ⇔ cmp==0,
+// want[2] ⇔ cmp>0).
+func cmpWant(op string) ([3]bool, bool) {
+	switch op {
+	case sqlparser.OpEq:
+		return [3]bool{false, true, false}, true
+	case sqlparser.OpNe:
+		return [3]bool{true, false, true}, true
+	case sqlparser.OpLt:
+		return [3]bool{true, false, false}, true
+	case sqlparser.OpLe:
+		return [3]bool{true, true, false}, true
+	case sqlparser.OpGt:
+		return [3]bool{false, false, true}, true
+	case sqlparser.OpGe:
+		return [3]bool{false, true, true}, true
+	}
+	return [3]bool{}, false
+}
+
+var (
+	wantEq = [3]bool{false, true, false}
+	wantNe = [3]bool{true, false, true}
+)
+
+func selColIndex(e sqlparser.Expr, schema value.Schema) (int, bool) {
+	c, ok := e.(*sqlparser.ColRef)
+	if !ok {
+		return 0, false
+	}
+	i, err := schema.Resolve(c.Qualifier, c.Name)
+	if err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+func selLit(e sqlparser.Expr) (value.Value, bool) {
+	l, ok := e.(*sqlparser.Lit)
+	if !ok {
+		return value.NullValue, false
+	}
+	return l.Val, true
+}
+
+// colLitKernel compares column ci against a literal. The representation
+// dispatch happens once per chunk, then a tight typed loop runs; each typed
+// case mirrors the corresponding value.Compare arm (Int/Int and Bool/Bool
+// compare as int64, mixed numerics through float64 like AsFloat, strings
+// lexicographically), and NULL cells — or a NULL literal, or a kind mismatch
+// value.Compare would refuse — never select.
+func colLitKernel(ci int, lit value.Value, want [3]bool) SelKernel {
+	return func(cols *value.Columns, lo, hi int, cand, out value.Sel) (value.Sel, error) {
+		c := cols.Col(ci)
+		if c.Vals != nil {
+			return appendCmpGeneric(out, c.Vals, lit, want, lo, hi, cand), nil
+		}
+		if lit.K == value.Null {
+			return out, nil
+		}
+		switch {
+		case (c.Kind == value.Int && lit.K == value.Int) ||
+			(c.Kind == value.Bool && lit.K == value.Bool):
+			return appendCmpInts(out, c.Ints, c.Nulls, lit.I, want, lo, hi, cand), nil
+		case c.Kind == value.Int && lit.K == value.Float:
+			return appendCmpIntsFloat(out, c.Ints, c.Nulls, lit.F, want, lo, hi, cand), nil
+		case c.Kind == value.Float && lit.K.Numeric():
+			return appendCmpFloats(out, c.Floats, c.Nulls, lit.AsFloat(), want, lo, hi, cand), nil
+		case c.Kind == value.Str && lit.K == value.Str:
+			if want == wantEq || want == wantNe {
+				return appendCmpDictEq(out, c, lit.S, want == wantEq, lo, hi, cand), nil
+			}
+			return appendCmpStrs(out, c, lit.S, want, lo, hi, cand), nil
+		}
+		// Kind mismatch (or all-NULL column): Compare reports not-ok, the
+		// predicate is unknown, no row selects.
+		return out, nil
+	}
+}
+
+func appendCmpInts(out value.Sel, ints []int64, nulls value.Bitmap, k int64, want [3]bool, lo, hi int, cand value.Sel) value.Sel {
+	if cand == nil {
+		for i := lo; i < hi; i++ {
+			if nulls.Get(i) {
+				continue
+			}
+			v := ints[i]
+			cmp := 1
+			if v < k {
+				cmp = 0
+			} else if v > k {
+				cmp = 2
+			}
+			if want[cmp] {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, si := range cand {
+		i := int(si)
+		if nulls.Get(i) {
+			continue
+		}
+		v := ints[i]
+		cmp := 1
+		if v < k {
+			cmp = 0
+		} else if v > k {
+			cmp = 2
+		}
+		if want[cmp] {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+func appendCmpIntsFloat(out value.Sel, ints []int64, nulls value.Bitmap, k float64, want [3]bool, lo, hi int, cand value.Sel) value.Sel {
+	if cand == nil {
+		for i := lo; i < hi; i++ {
+			if nulls.Get(i) {
+				continue
+			}
+			v := float64(ints[i])
+			cmp := 1
+			if v < k {
+				cmp = 0
+			} else if v > k {
+				cmp = 2
+			}
+			if want[cmp] {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, si := range cand {
+		i := int(si)
+		if nulls.Get(i) {
+			continue
+		}
+		v := float64(ints[i])
+		cmp := 1
+		if v < k {
+			cmp = 0
+		} else if v > k {
+			cmp = 2
+		}
+		if want[cmp] {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+func appendCmpFloats(out value.Sel, floats []float64, nulls value.Bitmap, k float64, want [3]bool, lo, hi int, cand value.Sel) value.Sel {
+	if cand == nil {
+		for i := lo; i < hi; i++ {
+			if nulls.Get(i) {
+				continue
+			}
+			v := floats[i]
+			// NaN is neither < nor >, so it lands on cmp==0, matching
+			// cmpFloat64.
+			cmp := 1
+			if v < k {
+				cmp = 0
+			} else if v > k {
+				cmp = 2
+			}
+			if want[cmp] {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, si := range cand {
+		i := int(si)
+		if nulls.Get(i) {
+			continue
+		}
+		v := floats[i]
+		cmp := 1
+		if v < k {
+			cmp = 0
+		} else if v > k {
+			cmp = 2
+		}
+		if want[cmp] {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+// appendCmpDictEq handles = and <> against a string literal by resolving the
+// literal to a dictionary code once, then comparing codes: equal strings
+// share a code by construction.
+func appendCmpDictEq(out value.Sel, c *value.Col, s string, isEq bool, lo, hi int, cand value.Sel) value.Sel {
+	code := int32(-1)
+	for i, d := range c.Dict {
+		if d == s {
+			code = int32(i)
+			break
+		}
+	}
+	if code < 0 && isEq {
+		return out
+	}
+	codes, nulls := c.Codes, c.Nulls
+	if cand == nil {
+		for i := lo; i < hi; i++ {
+			if nulls.Get(i) {
+				continue
+			}
+			if (codes[i] == code) == isEq {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, si := range cand {
+		i := int(si)
+		if nulls.Get(i) {
+			continue
+		}
+		if (codes[i] == code) == isEq {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+func appendCmpStrs(out value.Sel, c *value.Col, s string, want [3]bool, lo, hi int, cand value.Sel) value.Sel {
+	codes, dict, nulls := c.Codes, c.Dict, c.Nulls
+	if cand == nil {
+		for i := lo; i < hi; i++ {
+			if nulls.Get(i) {
+				continue
+			}
+			v := dict[codes[i]]
+			cmp := 1
+			if v < s {
+				cmp = 0
+			} else if v > s {
+				cmp = 2
+			}
+			if want[cmp] {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, si := range cand {
+		i := int(si)
+		if nulls.Get(i) {
+			continue
+		}
+		v := dict[codes[i]]
+		cmp := 1
+		if v < s {
+			cmp = 0
+		} else if v > s {
+			cmp = 2
+		}
+		if want[cmp] {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+func appendCmpGeneric(out value.Sel, vals []value.Value, lit value.Value, want [3]bool, lo, hi int, cand value.Sel) value.Sel {
+	if cand == nil {
+		for i := lo; i < hi; i++ {
+			if cmp, ok := value.Compare(vals[i], lit); ok && want[cmp+1] {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, si := range cand {
+		if cmp, ok := value.Compare(vals[int(si)], lit); ok && want[cmp+1] {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+// colColKernel compares two columns row-wise. Int/Int and Float/Float pairs
+// get typed loops; every other pairing (mixed numerics, strings, mixed-kind
+// columns) reconstructs cells and defers to value.Compare, which is the
+// row-path semantics by definition.
+func colColKernel(li, ri int, want [3]bool) SelKernel {
+	return func(cols *value.Columns, lo, hi int, cand, out value.Sel) (value.Sel, error) {
+		a, b := cols.Col(li), cols.Col(ri)
+		typed := a.Vals == nil && b.Vals == nil
+		switch {
+		case typed && a.Kind == value.Int && b.Kind == value.Int:
+			av, bv, an, bn := a.Ints, b.Ints, a.Nulls, b.Nulls
+			if cand == nil {
+				for i := lo; i < hi; i++ {
+					if an.Get(i) || bn.Get(i) {
+						continue
+					}
+					cmp := 1
+					if av[i] < bv[i] {
+						cmp = 0
+					} else if av[i] > bv[i] {
+						cmp = 2
+					}
+					if want[cmp] {
+						out = append(out, int32(i))
+					}
+				}
+				return out, nil
+			}
+			for _, si := range cand {
+				i := int(si)
+				if an.Get(i) || bn.Get(i) {
+					continue
+				}
+				cmp := 1
+				if av[i] < bv[i] {
+					cmp = 0
+				} else if av[i] > bv[i] {
+					cmp = 2
+				}
+				if want[cmp] {
+					out = append(out, si)
+				}
+			}
+			return out, nil
+		case typed && a.Kind == value.Float && b.Kind == value.Float:
+			av, bv, an, bn := a.Floats, b.Floats, a.Nulls, b.Nulls
+			if cand == nil {
+				for i := lo; i < hi; i++ {
+					if an.Get(i) || bn.Get(i) {
+						continue
+					}
+					cmp := 1
+					if av[i] < bv[i] {
+						cmp = 0
+					} else if av[i] > bv[i] {
+						cmp = 2
+					}
+					if want[cmp] {
+						out = append(out, int32(i))
+					}
+				}
+				return out, nil
+			}
+			for _, si := range cand {
+				i := int(si)
+				if an.Get(i) || bn.Get(i) {
+					continue
+				}
+				cmp := 1
+				if av[i] < bv[i] {
+					cmp = 0
+				} else if av[i] > bv[i] {
+					cmp = 2
+				}
+				if want[cmp] {
+					out = append(out, si)
+				}
+			}
+			return out, nil
+		}
+		if cand == nil {
+			for i := lo; i < hi; i++ {
+				if cmp, ok := value.Compare(a.Value(i), b.Value(i)); ok && want[cmp+1] {
+					out = append(out, int32(i))
+				}
+			}
+			return out, nil
+		}
+		for _, si := range cand {
+			i := int(si)
+			if cmp, ok := value.Compare(a.Value(i), b.Value(i)); ok && want[cmp+1] {
+				out = append(out, si)
+			}
+		}
+		return out, nil
+	}
+}
+
+// isNullKernel selects rows whose cell is (or, negated, is not) NULL. IS NULL
+// always yields true or false — never unknown — so there is no skip case.
+func isNullKernel(ci int, negated bool) SelKernel {
+	return func(cols *value.Columns, lo, hi int, cand, out value.Sel) (value.Sel, error) {
+		c := cols.Col(ci)
+		if cand == nil {
+			for i := lo; i < hi; i++ {
+				isNull := c.Nulls.Get(i)
+				if c.Vals != nil {
+					isNull = c.Vals[i].K == value.Null
+				}
+				if isNull != negated {
+					out = append(out, int32(i))
+				}
+			}
+			return out, nil
+		}
+		for _, si := range cand {
+			i := int(si)
+			isNull := c.Nulls.Get(i)
+			if c.Vals != nil {
+				isNull = c.Vals[i].K == value.Null
+			}
+			if isNull != negated {
+				out = append(out, si)
+			}
+		}
+		return out, nil
+	}
+}

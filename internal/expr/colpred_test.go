@@ -1,0 +1,218 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// kernelSchema: i BIGINT, f DOUBLE, s TEXT, b BOOL, m mixed-kind, i2 BIGINT.
+var kernelSchema = value.Schema{
+	{Qualifier: "t", Name: "i", Type: value.Int},
+	{Qualifier: "t", Name: "f", Type: value.Float},
+	{Qualifier: "t", Name: "s", Type: value.Str},
+	{Qualifier: "t", Name: "b", Type: value.Bool},
+	{Qualifier: "t", Name: "m", Type: value.Null},
+	{Qualifier: "t", Name: "i2", Type: value.Int},
+}
+
+func kernelRows() []value.Row {
+	mk := func(i, i2 value.Value, f value.Value, s value.Value, b value.Value, m value.Value) value.Row {
+		return value.Row{i, f, s, b, m, i2}
+	}
+	return []value.Row{
+		mk(value.NewInt(0), value.NewInt(3), value.NewFloat(0.5), value.NewStr("apple"), value.NewBool(true), value.NewInt(7)),
+		mk(value.NewInt(3), value.NewInt(3), value.NewFloat(-1.5), value.NewStr("pear"), value.NewBool(false), value.NewStr("x")),
+		mk(value.NewInt(-4), value.NewInt(0), value.NewFloat(math.NaN()), value.NewStr("apple"), value.NewBool(true), value.NullValue),
+		mk(value.NullValue, value.NewInt(5), value.NullValue, value.NullValue, value.NullValue, value.NewFloat(2.5)),
+		mk(value.NewInt(5), value.NullValue, value.NewFloat(3), value.NewStr(""), value.NewBool(false), value.NewBool(true)),
+		mk(value.NewInt(3), value.NewInt(-4), value.NewFloat(math.Inf(1)), value.NewStr("banana"), value.NewBool(true), value.NewInt(-2)),
+	}
+}
+
+func parsePred(t *testing.T, where string) sqlparser.Expr {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect("SELECT i FROM t WHERE " + where)
+	if err != nil {
+		t.Fatalf("parse %q: %v", where, err)
+	}
+	return sel.Where
+}
+
+// TestSelKernelMatchesRowPath differentially checks every supported kernel
+// form against EvalBool over the compiled row evaluator — dense range and
+// candidate-selection invocation both.
+func TestSelKernelMatchesRowPath(t *testing.T) {
+	rows := kernelRows()
+	cols := value.ColumnsOf(len(kernelSchema), rows)
+	preds := []string{
+		// col vs int/float/str/bool literals, every comparison op.
+		"i = 3", "i <> 3", "i < 3", "i <= 3", "i > 0", "i >= 5",
+		"i = 2.5", "i > -1.2", "f < 1", "f >= 0.5", "f = 3", "f <> 0.5",
+		"s = 'apple'", "s <> 'apple'", "s < 'banana'", "s >= 'pear'", "s = 'none'", "s <> 'none'",
+		"b = TRUE", "b <> TRUE", "b = FALSE",
+		// literal on the left (flipped ordering).
+		"3 = i", "3 < i", "0.5 >= f", "'apple' <> s", "2.5 > i",
+		// column vs column, typed and generic.
+		"i = i2", "i < i2", "i >= i2", "f > i", "m = i", "m <> f", "s = m",
+		// mixed-kind column vs literals.
+		"m = 3", "m < 4", "m = 'x'", "m <> 2.5",
+		// IS NULL forms.
+		"i IS NULL", "f IS NOT NULL", "m IS NULL", "m IS NOT NULL", "s IS NULL",
+		// AND chains.
+		"i >= 0 AND f < 10", "i > -10 AND i < 4 AND s <> 'pear'",
+		"m IS NOT NULL AND i = 3", "b = TRUE AND f IS NOT NULL",
+		// kind mismatches that the row path answers with unknown.
+		"s = 3", "i = 'apple'", "b = 1",
+	}
+	for _, src := range preds {
+		t.Run(src, func(t *testing.T) {
+			e := parsePred(t, src)
+			kern, ok := CompileSel(e, kernelSchema)
+			if !ok {
+				t.Fatalf("CompileSel rejected %q", src)
+			}
+			compiled, err := Compile(e, kernelSchema, nil)
+			if err != nil {
+				t.Fatalf("Compile(%q): %v", src, err)
+			}
+			var want value.Sel
+			for i, r := range rows {
+				ok, err := EvalBool(compiled, r)
+				if err != nil {
+					t.Fatalf("row eval: %v", err)
+				}
+				if ok {
+					want = append(want, int32(i))
+				}
+			}
+			got, err := kern(cols, 0, len(rows), nil, nil)
+			if err != nil {
+				t.Fatalf("kernel: %v", err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("dense kernel = %v, row path = %v", got, want)
+			}
+
+			// Candidate-selection invocation over a subset must equal the
+			// row path restricted to that subset, and in-place compaction
+			// (out aliasing cand) must be safe.
+			cand := value.Sel{0, 2, 3, 5}
+			var wantSub value.Sel
+			for _, si := range cand {
+				ok, err := EvalBool(compiled, rows[si])
+				if err != nil {
+					t.Fatalf("row eval: %v", err)
+				}
+				if ok {
+					wantSub = append(wantSub, si)
+				}
+			}
+			buf := append(value.Sel(nil), cand...)
+			gotSub, err := kern(cols, 0, len(rows), buf, buf[:0])
+			if err != nil {
+				t.Fatalf("kernel(sel): %v", err)
+			}
+			if fmt.Sprint(gotSub) != fmt.Sprint(wantSub) {
+				t.Fatalf("sel kernel = %v, row path = %v", gotSub, wantSub)
+			}
+		})
+	}
+}
+
+// TestCompileSelRejectsUnsupported pins the fallback boundary: forms outside
+// the kernel fragment must report ok=false, not mis-evaluate.
+func TestCompileSelRejectsUnsupported(t *testing.T) {
+	for _, src := range []string{
+		"i + 1 = 3",      // arithmetic
+		"i = 1 OR i = 3", // OR
+		"NOT (i = 3)",    // NOT
+		"ABS(i) = 3",     // function call
+		"i = i2 + 0",     // non-literal RHS
+		"1 = 2",          // no column at all
+	} {
+		e := parsePred(t, src)
+		if _, ok := CompileSel(e, kernelSchema); ok {
+			t.Errorf("CompileSel accepted unsupported %q", src)
+		}
+	}
+	// Unresolvable column.
+	e := parsePred(t, "nosuch = 3")
+	if _, ok := CompileSel(e, kernelSchema); ok {
+		t.Error("CompileSel accepted unresolvable column")
+	}
+}
+
+// TestColFoldMatchesAdder differentially checks the column-wise aggregate
+// fold against the row-path AdderCol for every aggregate kind over int,
+// float, bool, mixed, and all-null argument columns, with interleaved groups
+// so state targeting is exercised.
+func TestColFoldMatchesAdder(t *testing.T) {
+	rows := []value.Row{
+		{value.NewInt(1), value.NewFloat(1.5), value.NewBool(true), value.NewInt(10)},
+		{value.NewInt(2), value.NewFloat(-2.5), value.NewBool(false), value.NewFloat(2.25)},
+		{value.NullValue, value.NullValue, value.NullValue, value.NullValue},
+		{value.NewInt(7), value.NewFloat(0), value.NewBool(true), value.NewStr("z")},
+		{value.NewInt(1), value.NewFloat(1.5), value.NewBool(true), value.NewInt(10)},
+		{value.NewInt(-3), value.NewFloat(math.NaN()), value.NewBool(false), value.NewInt(-1)},
+	}
+	cols := value.ColumnsOf(4, rows)
+	groupOf := []int{0, 1, 0, 1, 0, 0} // interleaved group targets
+	kinds := []struct {
+		name string
+		agg  func(col int) *Aggregate
+	}{
+		{"count-star", func(int) *Aggregate { return &Aggregate{Kind: AggCountStar} }},
+		{"count", func(int) *Aggregate { return &Aggregate{Kind: AggCount} }},
+		{"sum", func(int) *Aggregate { return &Aggregate{Kind: AggSum} }},
+		{"avg", func(int) *Aggregate { return &Aggregate{Kind: AggAvg} }},
+		{"min", func(int) *Aggregate { return &Aggregate{Kind: AggMin} }},
+		{"max", func(int) *Aggregate { return &Aggregate{Kind: AggMax} }},
+		{"count-distinct", func(int) *Aggregate { return &Aggregate{Kind: AggCount, Distinct: true} }},
+	}
+	for _, k := range kinds {
+		for colIdx := 0; colIdx < 4; colIdx++ {
+			t.Run(fmt.Sprintf("%s/col%d", k.name, colIdx), func(t *testing.T) {
+				ci := colIdx
+				agg := k.agg(ci)
+				// Row path: AdderCol in row order.
+				rowStates := []*State{agg.NewState(), agg.NewState()}
+				adder := agg.AdderCol(ci)
+				for ri, r := range rows {
+					if err := adder(rowStates[groupOf[ri]], r); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Column path: per-row state targets, one fold call.
+				colStates := []*State{agg.NewState(), agg.NewState()}
+				sel := make(value.Sel, len(rows))
+				targets := make([]*State, len(rows))
+				for ri := range rows {
+					sel[ri] = int32(ri)
+					targets[ri] = colStates[groupOf[ri]]
+				}
+				fold := agg.ColFold()
+				var col *value.Col
+				if agg.Kind != AggCountStar {
+					col = cols.Col(ci)
+				}
+				if err := fold(targets, col, sel); err != nil {
+					t.Fatal(err)
+				}
+				for g := range rowStates {
+					want, got := rowStates[g].Value(), colStates[g].Value()
+					if !value.Identical(want, got) ||
+						(want.K == value.Float && math.Float64bits(want.F) != math.Float64bits(got.F)) {
+						t.Fatalf("group %d: row path %v, column path %v", g, want, got)
+					}
+					if rowStates[g].Count() != colStates[g].Count() {
+						t.Fatalf("group %d: counts differ", g)
+					}
+				}
+			})
+		}
+	}
+}

@@ -46,6 +46,13 @@ const (
 	ParallelWorkerStart = "engine/parallel/worker-start"
 	ChunkWorkerStart    = "engine/chunk/worker-start"
 
+	// Morsel scheduler hand-off sites: MorselEnqueue fires in a scan worker
+	// right before it publishes a finished morsel to its delivery slot,
+	// MorselDrain fires in the consumer right before it blocks on the next
+	// in-order slot. Together they cover both sides of the ordered ring.
+	MorselEnqueue = "engine/morsel/enqueue"
+	MorselDrain   = "engine/morsel/drain"
+
 	CacheInsert = "iceberg/cache/insert"
 	CacheLookup = "iceberg/cache/lookup"
 	NLJPBinding = "iceberg/nljp/binding"
@@ -73,6 +80,7 @@ func Points() []string {
 		AggOpen, AggNext, AggClose,
 		SortOpen,
 		ParallelWorkerStart, ChunkWorkerStart,
+		MorselEnqueue, MorselDrain,
 		CacheInsert, CacheLookup, NLJPBinding,
 		SpillDir, SpillWrite, SpillFlush, SpillRead, SpillCorrupt, SpillRemove,
 	}

@@ -261,8 +261,9 @@ func buildNLJP(b *block, overrides map[string]*engine.MaterializedRel, opts Opti
 	n.ec = ec
 
 	// BatchSize routes the binding-side queries (Q_B and the inner relation)
-	// through the engine's vectorized batch pipeline.
-	planner := &engine.Planner{Catalog: b.cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize}
+	// through the engine's vectorized batch pipeline; Workers sizes the
+	// morsel pools of any parallel scans those fragments plan.
+	planner := &engine.Planner{Catalog: b.cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize, Workers: opts.Workers}
 
 	// --- Q_B: binding query over L ------------------------------------
 	needL := append([]*sqlparser.ColRef(nil), jL...)

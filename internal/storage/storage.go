@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"smarticeberg/internal/fd"
 	"smarticeberg/internal/value"
@@ -30,6 +31,12 @@ type Table struct {
 	Positive map[string]bool
 
 	indexes []*Index
+
+	// cols caches the column-major form of Rows for the engine's columnar
+	// scan path; Insert invalidates it like the indexes.
+	cols      *value.Columns
+	colsStale bool
+	colsMu    sync.Mutex
 }
 
 // NewTable creates an empty table. cols use bare names; the schema qualifier
@@ -85,7 +92,26 @@ func (t *Table) Insert(row value.Row) error {
 	for _, idx := range t.indexes {
 		idx.stale = true
 	}
+	t.colsMu.Lock()
+	t.colsStale = true
+	t.colsMu.Unlock()
 	return nil
+}
+
+// Columns returns the column-major form of the table's rows (typed vectors,
+// dictionary-encoded strings, null bitmaps), building it on first use and
+// rebuilding after inserts. Every cell round-trips exactly (value.ColumnsOf),
+// so executing over the columns is byte-identical to executing over Rows.
+// The returned Columns is shared and read-only; it stays valid even if the
+// table grows afterwards (it snapshots the rows it was built from).
+func (t *Table) Columns() *value.Columns {
+	t.colsMu.Lock()
+	defer t.colsMu.Unlock()
+	if t.cols == nil || t.colsStale {
+		t.cols = value.ColumnsOf(len(t.Schema), t.Rows)
+		t.colsStale = false
+	}
+	return t.cols
 }
 
 // InsertAll appends rows in bulk.

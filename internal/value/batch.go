@@ -5,7 +5,7 @@ package value
 // instead of single rows, amortizing per-row interface and bookkeeping costs
 // over the chunk.
 //
-// A batch has one of two representations:
+// A batch has one of three representations:
 //
 //   - buffer mode (NewBatch): rows live row-major in a single flat buffer,
 //     so a whole chunk costs one allocation and stays cache-friendly.
@@ -14,15 +14,25 @@ package value
 //   - view mode (NewViewBatch): the batch holds references to rows owned by
 //     someone else — a scan over materialized storage appends the selected
 //     rows with AppendRef and never copies a value.
+//   - columnar mode (NewColBatch): the batch is a selection vector over a
+//     column-major Columns owned by the producer. Filters select instead of
+//     copying (they compact the Sel), typed kernels read the columns
+//     directly via Col/Sel, and the selection vector is pointer-free — no
+//     GC write barriers on the scan hot path. Row materializes cells into a
+//     per-slot scratch area on demand, so representation-agnostic consumers
+//     keep working unchanged.
 //
 // Consumers are representation-agnostic: Row, Len, MoveRow, Truncate,
-// PopRow, Clone, and CloneRows behave identically in both modes.
+// PopRow, Clone, and CloneRows behave identically in all modes.
 //
 // Aliasing contract: rows returned by Row alias batch-owned (or, in view
 // mode, producer-owned) storage, and a batch returned by an operator's
 // NextBatch is valid only until the next NextBatch (or Next) call — the
-// producer reuses the chunk. Callers that retain a batch or a row sliced
-// from one must Clone it first (the icelint rowalias pass enforces this).
+// producer reuses the chunk. The same window applies to the views returned
+// by Col and Sel: the producer rewrites the selection (and may repoint the
+// columns) on every NextBatch. Callers that retain a batch, a row sliced
+// from one, or a Col/Sel view must Clone (or copy) it first (the icelint
+// rowalias pass enforces this).
 type Batch struct {
 	width int
 	n     int
@@ -31,6 +41,11 @@ type Batch struct {
 	// is unused. An empty view batch keeps view non-nil (zero-length) so
 	// the mode survives Reset.
 	view []Row
+	// cols, when non-nil, marks columnar mode: row i is cols row sel[i],
+	// and buf serves as the Row materialization scratch (slot i holds row i
+	// once materialized; slots are rewritten on every Row call).
+	cols *Columns
+	sel  Sel
 }
 
 // NewBatch returns an empty buffer-mode batch for rows of the given width,
@@ -57,6 +72,17 @@ func NewViewBatch(width, rows int) *Batch {
 	return &Batch{width: width, view: make([]Row, 0, rows)}
 }
 
+// NewColBatch returns an empty columnar-mode batch over cols, with capacity
+// for rows selection entries before the selection regrows. The Row
+// materialization scratch grows lazily on first use — fully columnar
+// pipelines never pay for it.
+func NewColBatch(cols *Columns, rows int) *Batch {
+	if rows < 0 {
+		rows = 0
+	}
+	return &Batch{width: cols.NumCols(), cols: cols, sel: make(Sel, 0, rows)}
+}
+
 // Width returns the number of values per row.
 func (b *Batch) Width() int { return b.width }
 
@@ -64,6 +90,9 @@ func (b *Batch) Width() int { return b.width }
 func (b *Batch) Len() int {
 	if b.view != nil {
 		return len(b.view)
+	}
+	if b.cols != nil {
+		return len(b.sel)
 	}
 	return b.n
 }
@@ -75,18 +104,58 @@ func (b *Batch) Reset() {
 		b.view = b.view[:0]
 		return
 	}
+	if b.cols != nil {
+		b.sel = b.sel[:0]
+		return
+	}
 	b.n = 0
 	b.buf = b.buf[:0]
 }
 
+// Cols returns the underlying column set in columnar mode, nil otherwise.
+// Typed kernels pair it with Sel to loop over vectors directly.
+func (b *Batch) Cols() *Columns {
+	return b.cols
+}
+
+// Col returns column j of the underlying column set (columnar mode only).
+// The view is valid only until the producer's next NextBatch call; see the
+// aliasing contract.
+func (b *Batch) Col(j int) *Col { return b.cols.Col(j) }
+
+// Sel returns the selection vector (columnar mode only): entry i is the
+// cols row index of batch row i. The returned slice aliases batch-owned
+// storage the producer rewrites every chunk; see the aliasing contract.
+func (b *Batch) Sel() Sel { return b.sel }
+
+// SetSel installs a selection vector, which the batch takes over (the
+// caller's slice is aliased, not copied). Columnar mode only.
+func (b *Batch) SetSel(sel Sel) { b.sel = sel }
+
+// AppendSel appends one cols row index to the selection (columnar mode
+// only).
+func (b *Batch) AppendSel(i int32) { b.sel = append(b.sel, i) }
+
 // Row returns row i. In buffer mode the row is a full-capacity slice into
-// the batch's buffer; in view mode it is the referenced row itself. Either
-// way it is valid only as long as the batch; see the aliasing contract.
+// the batch's buffer; in view mode it is the referenced row itself; in
+// columnar mode the row is materialized into the batch's scratch slot i
+// (stable per index, rewritten on every call). Either way it is valid only
+// as long as the batch; see the aliasing contract.
 func (b *Batch) Row(i int) Row {
 	if b.view != nil {
 		return b.view[i]
 	}
 	lo, hi := i*b.width, (i+1)*b.width
+	if b.cols != nil {
+		if len(b.buf) < hi {
+			if cap(b.buf) >= hi {
+				b.buf = b.buf[:hi]
+			} else {
+				b.buf = append(b.buf[:cap(b.buf)], make([]Value, hi-cap(b.buf))...)
+			}
+		}
+		return b.cols.ReadRow(int(b.sel[i]), Row(b.buf[lo:hi:hi]))
+	}
 	return Row(b.buf[lo:hi:hi])
 }
 
@@ -127,6 +196,12 @@ func (b *Batch) PopRow() {
 		}
 		return
 	}
+	if b.cols != nil {
+		if len(b.sel) > 0 {
+			b.sel = b.sel[:len(b.sel)-1]
+		}
+		return
+	}
 	if b.n == 0 {
 		return
 	}
@@ -143,18 +218,27 @@ func (b *Batch) Truncate(n int) {
 		b.view = b.view[:n]
 		return
 	}
+	if b.cols != nil {
+		b.sel = b.sel[:n]
+		return
+	}
 	b.n = n
 	b.buf = b.buf[:n*b.width]
 }
 
 // MoveRow moves row src over row dst inside the batch (in-place filter
-// compaction): a value copy in buffer mode, a reference move in view mode.
+// compaction): a value copy in buffer mode, a reference move in view mode,
+// a selection-entry move in columnar mode.
 func (b *Batch) MoveRow(dst, src int) {
 	if dst == src {
 		return
 	}
 	if b.view != nil {
 		b.view[dst] = b.view[src]
+		return
+	}
+	if b.cols != nil {
+		b.sel[dst] = b.sel[src]
 		return
 	}
 	copy(b.Row(dst), b.Row(src))

@@ -1,0 +1,217 @@
+package value
+
+// Columnar storage: the column-major twin of []Row. A Columns holds one Col
+// per schema position; each Col stores its values in the tightest typed
+// representation the data admits — int64 slices for BIGINT, float64 slices
+// for DOUBLE, dictionary codes for TEXT — with a null bitmap on the side.
+// Typed kernels (internal/expr) loop over these slices directly, with no
+// per-row Value boxing and no interface dispatch; everything else reads
+// individual cells back through Col.Value, which reconstructs exactly the
+// Value that went in (same kind tag, same float bits, equal string bytes),
+// so row-path and columnar-path results stay byte-identical.
+
+// Sel is a selection vector: ascending row indexes into a Columns (or a
+// window of one). Filters produce a Sel instead of copying the surviving
+// rows; downstream kernels iterate the selection. int32 bounds tables at
+// ~2·10⁹ rows, matching the join prober's match lists.
+type Sel []int32
+
+// Bitmap is a fixed-size bit set; the columnar layer uses it as a null
+// bitmap (bit set = NULL). A nil Bitmap means "no nulls".
+type Bitmap []uint64
+
+// NewBitmap returns an all-clear bitmap with capacity for n bits.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Get reports bit i. Nil-safe (nil has no bits set).
+func (b Bitmap) Get(i int) bool {
+	return b != nil && b[uint(i)>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) { b[uint(i)>>6] |= 1 << (uint(i) & 63) }
+
+// Col is one column vector. Exactly one representation is populated:
+//
+//   - Kind Int or Bool: payloads in Ints (Bool stores 0/1)
+//   - Kind Float: payloads in Floats
+//   - Kind Str: dictionary codes in Codes indexing Dict (equal strings share
+//     one code, so kernels can compare codes or precompute per-code verdicts)
+//   - Kind Null with Vals == nil: every cell is NULL (Nulls covers all rows)
+//   - Vals != nil: the column mixes kinds; cells live unencoded in Vals and
+//     every access goes through the generic path
+//
+// Nulls marks NULL cells for the typed representations; the payload slot of
+// a NULL cell holds the zero value and must not be interpreted.
+type Col struct {
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Codes  []int32
+	Dict   []string
+	Nulls  Bitmap
+	Vals   []Value
+}
+
+// Len returns the number of cells in the column.
+func (c *Col) Len() int {
+	switch {
+	case c.Vals != nil:
+		return len(c.Vals)
+	case c.Ints != nil:
+		return len(c.Ints)
+	case c.Floats != nil:
+		return len(c.Floats)
+	case c.Codes != nil:
+		return len(c.Codes)
+	}
+	return len(c.Nulls) * 64 // all-null column: capacity rounded; callers use Columns.Len
+}
+
+// Value reconstructs cell i as the exact Value the column was built from.
+func (c *Col) Value(i int) Value {
+	if c.Vals != nil {
+		return c.Vals[i]
+	}
+	if c.Nulls.Get(i) {
+		return NullValue
+	}
+	switch c.Kind {
+	case Int:
+		return Value{K: Int, I: c.Ints[i]}
+	case Float:
+		return Value{K: Float, F: c.Floats[i]}
+	case Str:
+		return Value{K: Str, S: c.Dict[c.Codes[i]]}
+	case Bool:
+		return Value{K: Bool, I: c.Ints[i]}
+	}
+	return NullValue
+}
+
+// HasNulls reports whether any cell of the typed representation is NULL.
+// Mixed (Vals) columns answer false; callers on the generic path see their
+// nulls through Value anyway.
+func (c *Col) HasNulls() bool {
+	for _, w := range c.Nulls {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Columns is a column-major table fragment: NumCols columns of Len rows.
+type Columns struct {
+	cols []Col
+	n    int
+}
+
+// Len returns the row count.
+func (c *Columns) Len() int { return c.n }
+
+// NumCols returns the column count.
+func (c *Columns) NumCols() int { return len(c.cols) }
+
+// Col returns column j. The column is owned by the Columns and must be
+// treated as read-only.
+func (c *Columns) Col(j int) *Col { return &c.cols[j] }
+
+// ReadRow materializes row i into dst (which must have NumCols capacity) and
+// returns it.
+func (c *Columns) ReadRow(i int, dst Row) Row {
+	dst = dst[:len(c.cols)]
+	for j := range c.cols {
+		dst[j] = c.cols[j].Value(i)
+	}
+	return dst
+}
+
+// ColumnsOf builds the column-major form of rows (each of the given width).
+// Every cell round-trips exactly: Col.Value returns the same kind tag, the
+// same numeric bits, and an equal string, so executing over the columns is
+// byte-identical to executing over the rows. Columns whose non-null cells
+// all share one kind get the typed representation; mixed columns fall back
+// to the boxed Vals form.
+func ColumnsOf(width int, rows []Row) *Columns {
+	n := len(rows)
+	out := &Columns{cols: make([]Col, width), n: n}
+	for j := 0; j < width; j++ {
+		out.cols[j] = buildCol(rows, j, n)
+	}
+	return out
+}
+
+func buildCol(rows []Row, j, n int) Col {
+	// Classify: the single kind shared by every non-null cell, or mixed.
+	kind := Null
+	mixed := false
+	hasNull := false
+	for _, r := range rows {
+		k := r[j].K
+		if k == Null {
+			hasNull = true
+			continue
+		}
+		if kind == Null {
+			kind = k
+		} else if kind != k {
+			mixed = true
+			break
+		}
+	}
+	if mixed {
+		vals := make([]Value, n)
+		for i, r := range rows {
+			vals[i] = r[j]
+		}
+		return Col{Vals: vals}
+	}
+	col := Col{Kind: kind}
+	if hasNull {
+		col.Nulls = NewBitmap(n)
+	}
+	switch kind {
+	case Null: // all cells NULL
+		col.Nulls = NewBitmap(n)
+		for i := range rows {
+			col.Nulls.Set(i)
+		}
+	case Int, Bool:
+		col.Ints = make([]int64, n)
+		for i, r := range rows {
+			if v := r[j]; v.K == Null {
+				col.Nulls.Set(i)
+			} else {
+				col.Ints[i] = v.I
+			}
+		}
+	case Float:
+		col.Floats = make([]float64, n)
+		for i, r := range rows {
+			if v := r[j]; v.K == Null {
+				col.Nulls.Set(i)
+			} else {
+				col.Floats[i] = v.F
+			}
+		}
+	case Str:
+		col.Codes = make([]int32, n)
+		codes := make(map[string]int32)
+		for i, r := range rows {
+			v := r[j]
+			if v.K == Null {
+				col.Nulls.Set(i)
+				continue
+			}
+			code, ok := codes[v.S]
+			if !ok {
+				code = int32(len(col.Dict))
+				codes[v.S] = code
+				col.Dict = append(col.Dict, v.S)
+			}
+			col.Codes[i] = code
+		}
+	}
+	return col
+}

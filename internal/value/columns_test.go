@@ -1,0 +1,159 @@
+package value
+
+import (
+	"math"
+	"testing"
+)
+
+func TestColumnsOfRoundTrip(t *testing.T) {
+	rows := []Row{
+		{NewInt(1), NewFloat(1.5), NewStr("a"), NewBool(true), NullValue},
+		{NewInt(-2), NewFloat(math.NaN()), NewStr("b"), NewBool(false), NullValue},
+		{NullValue, NullValue, NullValue, NullValue, NullValue},
+		{NewInt(1), NewFloat(math.Inf(-1)), NewStr("a"), NewBool(true), NullValue},
+	}
+	cols := ColumnsOf(5, rows)
+	if cols.Len() != len(rows) || cols.NumCols() != 5 {
+		t.Fatalf("dims = %d x %d", cols.Len(), cols.NumCols())
+	}
+	for i, r := range rows {
+		got := cols.ReadRow(i, make(Row, 5))
+		for j := range r {
+			if !Identical(r[j], got[j]) {
+				t.Fatalf("row %d col %d: got %v want %v", i, j, got[j], r[j])
+			}
+		}
+	}
+	// Typed representations chosen as expected.
+	if c := cols.Col(0); c.Kind != Int || c.Ints == nil || c.Vals != nil {
+		t.Fatalf("col 0 not int-typed: %+v", c)
+	}
+	if c := cols.Col(2); c.Kind != Str || len(c.Dict) != 2 {
+		t.Fatalf("col 2 dict = %v", cols.Col(2).Dict)
+	}
+	// Equal strings share one code.
+	if sc := cols.Col(2); sc.Codes[0] != sc.Codes[3] {
+		t.Fatalf("dict codes for equal strings differ: %v", sc.Codes)
+	}
+	if c := cols.Col(4); c.Kind != Null || !c.Nulls.Get(0) || !c.Nulls.Get(3) {
+		t.Fatalf("col 4 not all-null: %+v", cols.Col(4))
+	}
+}
+
+func TestColumnsOfMixedFallback(t *testing.T) {
+	rows := []Row{
+		{NewInt(1)},
+		{NewStr("x")},
+		{NullValue},
+	}
+	cols := ColumnsOf(1, rows)
+	c := cols.Col(0)
+	if c.Vals == nil {
+		t.Fatalf("mixed column should fall back to Vals: %+v", c)
+	}
+	for i, r := range rows {
+		if got := c.Value(i); !Identical(got, r[0]) {
+			t.Fatalf("cell %d: got %v want %v", i, got, r[0])
+		}
+	}
+}
+
+func TestBitmap(t *testing.T) {
+	var nilB Bitmap
+	if nilB.Get(5) {
+		t.Fatal("nil bitmap reports set bit")
+	}
+	b := NewBitmap(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.Get(i) {
+			t.Fatalf("fresh bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.Get(1) || b.Get(65) {
+		t.Fatal("Set touched neighboring bits")
+	}
+}
+
+func TestColBatchBasics(t *testing.T) {
+	rows := []Row{
+		{NewInt(10), NewStr("x")},
+		{NewInt(20), NewStr("y")},
+		{NewInt(30), NewStr("x")},
+		{NullValue, NewStr("z")},
+	}
+	cols := ColumnsOf(2, rows)
+	b := NewColBatch(cols, 4)
+	for i := range rows {
+		b.AppendSel(int32(i))
+	}
+	if b.Len() != 4 || b.Width() != 2 {
+		t.Fatalf("len=%d width=%d", b.Len(), b.Width())
+	}
+	for i, r := range rows {
+		got := b.Row(i)
+		for j := range r {
+			if !Identical(got[j], r[j]) {
+				t.Fatalf("row %d col %d: got %v want %v", i, j, got[j], r[j])
+			}
+		}
+	}
+	// Rows materialized into distinct slots stay simultaneously valid.
+	r0, r2 := b.Row(0), b.Row(2)
+	if r0[0].I != 10 || r2[0].I != 30 {
+		t.Fatalf("scratch slots aliased: r0=%v r2=%v", r0, r2)
+	}
+
+	// MoveRow + Truncate compact the selection, not the columns.
+	b.MoveRow(1, 3)
+	b.Truncate(2)
+	if b.Len() != 2 {
+		t.Fatalf("len after compact = %d", b.Len())
+	}
+	if got := b.Row(1); got[0].K != Null || got[1].S != "z" {
+		t.Fatalf("compacted row 1 = %v", got)
+	}
+	if cols.Len() != 4 {
+		t.Fatal("compaction mutated the columns")
+	}
+
+	b.PopRow()
+	if b.Len() != 1 {
+		t.Fatalf("len after PopRow = %d", b.Len())
+	}
+
+	// Clone is a deep buffer-mode copy.
+	b.Reset()
+	b.AppendSel(2)
+	b.AppendSel(0)
+	c := b.Clone()
+	b.Reset()
+	if c.Len() != 2 || c.Row(0)[0].I != 30 || c.Row(1)[0].I != 10 {
+		t.Fatalf("clone = %v %v", c.Row(0), c.Row(1))
+	}
+
+	// SetSel aliases the given selection.
+	sel := Sel{1, 3}
+	b.SetSel(sel)
+	if b.Len() != 2 || b.Row(0)[0].I != 20 {
+		t.Fatalf("SetSel row 0 = %v", b.Row(0))
+	}
+}
+
+func TestColBatchCloneRows(t *testing.T) {
+	rows := []Row{{NewInt(1)}, {NewInt(2)}, {NewInt(3)}}
+	b := NewColBatch(ColumnsOf(1, rows), 3)
+	b.AppendSel(0)
+	b.AppendSel(2)
+	out := b.CloneRows(nil)
+	if len(out) != 2 || out[0][0].I != 1 || out[1][0].I != 3 {
+		t.Fatalf("CloneRows = %v", out)
+	}
+	b.Reset()
+	if out[0][0].I != 1 {
+		t.Fatal("CloneRows aliased batch storage")
+	}
+}

@@ -66,10 +66,12 @@ type Options struct {
 	// CacheLimit bounds NLJP cache entries (0 = unbounded); the oldest
 	// entry is evicted first.
 	CacheLimit int
-	// Workers parallelizes the NLJP binding loop: 0 or 1 keeps the
-	// sequential loop, w > 1 uses w goroutines over a sharded cache, and a
-	// negative value selects min(4, GOMAXPROCS). Results are identical for
-	// every setting.
+	// Workers is the degree of parallelism for every parallel executor: the
+	// NLJP binding loop (w > 1 uses w goroutines over a sharded cache) and,
+	// when BatchSize > 0, the morsel-driven parallel table scans inside the
+	// batch pipeline. 0 or a negative value selects min(4, GOMAXPROCS), 1
+	// forces sequential execution. Results are byte-identical for every
+	// setting.
 	Workers int
 	// Ctx, when non-nil, carries cancellation and deadlines into optimized
 	// execution: a cancelled context aborts the query mid-stream (including
@@ -308,6 +310,19 @@ func (db *DB) QueryBatch(sql string, batchSize int) (*Result, error) {
 // QueryBatchCtx is QueryBatch under a context; cancellation is observed at
 // chunk granularity.
 func (db *DB) QueryBatchCtx(ctx context.Context, sql string, batchSize int) (*Result, error) {
+	return db.QueryBatchWorkersCtx(ctx, sql, batchSize, 0)
+}
+
+// QueryBatchWorkers is QueryBatch with an explicit morsel worker count for
+// the batch pipeline's parallel table scans: 0 or a negative value selects
+// min(4, GOMAXPROCS), 1 forces sequential scans. Results are byte-identical
+// for every worker count.
+func (db *DB) QueryBatchWorkers(sql string, batchSize, workers int) (*Result, error) {
+	return db.QueryBatchWorkersCtx(context.Background(), sql, batchSize, workers)
+}
+
+// QueryBatchWorkersCtx is QueryBatchWorkers under a context.
+func (db *DB) QueryBatchWorkersCtx(ctx context.Context, sql string, batchSize, workers int) (*Result, error) {
 	sel, err := sqlparser.ParseSelect(sql)
 	if err != nil {
 		return nil, err
@@ -316,6 +331,7 @@ func (db *DB) QueryBatchCtx(ctx context.Context, sql string, batchSize int) (*Re
 	p := engine.NewPlanner(db.cat)
 	p.Exec = ec
 	p.BatchSize = batchSize
+	p.Workers = workers
 	op, err := p.PlanSelect(sel, nil)
 	if err != nil {
 		return nil, err
