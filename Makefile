@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench bench-vector bench-morsel bench-spill faulttest spilltest
+.PHONY: all build test race lint vet bench bench-vector bench-morsel bench-spill bench-server faulttest spilltest servertest
 
 all: build lint test
 
@@ -43,6 +43,14 @@ faulttest:
 spilltest:
 	$(GO) test -race -count=1 -run 'Spill|TestCacheOverflow|TestCacheEntryCodec|TestNLJP' . ./internal/engine/ ./internal/iceberg/ ./internal/spill/ ./internal/bench/
 
+# Server suite: icebergd's admission control, overload shedding, graceful
+# drain, server-layer fault matrix, HTTP endpoints, and the shared-cache
+# cross-session tests — under the race detector and the budgetcheck build
+# tag, so a double-released reservation panics instead of saturating. See
+# DESIGN.md, "Server & admission control".
+servertest:
+	$(GO) test -race -count=1 -tags budgetcheck ./internal/server/ ./internal/resource/
+
 # The root run regenerates BENCH_nljp.json (parallel NLJP worker sweep);
 # the internal/bench run is the harness's own benchmark smoke.
 bench:
@@ -69,3 +77,10 @@ bench-morsel:
 # DESIGN.md, "Spill & recovery".
 bench-spill:
 	$(GO) test -bench=BenchmarkSpill -benchtime=20x -cpu=1 -run=^$$ .
+
+# icebergd load test: concurrent clients over HTTP against a provisioned and
+# a deliberately squeezed admission configuration. Regenerates
+# BENCH_server.json (p50/p99 latency, shed rate, rows/sec). See DESIGN.md,
+# "Server & admission control".
+bench-server:
+	$(GO) test -bench=BenchmarkServer -benchtime=1x -run=^$$ .

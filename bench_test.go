@@ -10,14 +10,18 @@
 package smarticeberg_test
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"smarticeberg/internal/bench"
 	"smarticeberg/internal/engine"
+	"smarticeberg/internal/server"
 )
 
 func benchN() int {
@@ -407,6 +411,78 @@ func BenchmarkSpill(b *testing.B) {
 			records[i] = latest[name]
 		}
 		if err := bench.WriteSpillBench("BENCH_spill.json", records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServer load-tests icebergd over HTTP: N concurrent clients
+// driving the Figure 1 query mix against one server, in an amply
+// provisioned configuration and a deliberately squeezed one (the shed rate
+// there documents typed 429s under overload, not a regression). Regenerates
+// BENCH_server.json (`make bench-server`).
+func BenchmarkServer(b *testing.B) {
+	n := max(benchN()/4, 200)
+	ds := bench.NewDataset(n, 0, 1)
+	mix := []server.LoadQuery{}
+	for _, q := range bench.Figure1Queries()[:4] { // Q1–Q3 skybands + Q4 pairs
+		mix = append(mix, server.LoadQuery{Name: q.Name, SQL: q.SQL})
+	}
+	configs := []struct {
+		name string
+		cfg  server.Config
+		load server.LoadOptions
+	}{
+		{"provisioned", server.Config{MaxConcurrent: 4, QueueDepth: 8, MemLimit: 256 << 20},
+			server.LoadOptions{Clients: 4, Requests: 6}},
+		{"squeezed", server.Config{MaxConcurrent: 1, QueueDepth: 0, MemLimit: 64 << 20},
+			server.LoadOptions{Clients: 6, Requests: 4}},
+	}
+	latest := map[string]bench.ServerBenchRecord{}
+	var order []string
+	for _, tc := range configs {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := server.New(tc.cfg)
+				for _, name := range ds.Cat.Names() {
+					t, err := ds.Cat.Get(name)
+					if err != nil {
+						b.Fatal(err)
+					}
+					s.RegisterTable(t)
+				}
+				hs := httptest.NewServer(s.Handler())
+				res, err := server.RunLoad(hs.URL, mix, tc.load)
+				if err == nil {
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					err = s.Drain(ctx)
+					cancel()
+				}
+				hs.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.OK == 0 {
+					b.Fatalf("load run completed no queries: %+v", res)
+				}
+				rec := bench.NewServerBenchRecord(tc.name, tc.cfg, res)
+				if _, seen := latest[tc.name]; !seen {
+					order = append(order, tc.name)
+				}
+				latest[tc.name] = rec
+				b.ReportMetric(rec.P50Millis, "p50-ms")
+				b.ReportMetric(rec.P99Millis, "p99-ms")
+				b.ReportMetric(rec.ShedRate, "shed-rate")
+				b.ReportMetric(rec.RowsPerSec, "rows/s")
+			}
+		})
+	}
+	if len(order) > 0 {
+		records := make([]bench.ServerBenchRecord, len(order))
+		for i, name := range order {
+			records[i] = latest[name]
+		}
+		if err := bench.WriteServerBench("BENCH_server.json", records); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,70 @@
+// Command icebergd serves smarticeberg over JSON HTTP with global admission
+// control, load shedding, and graceful drain.
+//
+//	icebergd -addr :8080 -mem 268435456 -max-concurrent 8 -queue 32 -drain-timeout 10s
+//
+// Endpoints (see internal/server for the full contract):
+//
+//	POST /session          create a session with default query options
+//	POST /tables/workload  register a synthetic workload table
+//	POST /exec             CREATE TABLE / INSERT (bumps table versions)
+//	POST /query            run a SELECT through the optimizer
+//	GET  /stats            admission, budget, and shared-cache counters
+//	GET  /healthz          200 while serving, 503 while draining
+//
+// SIGTERM or SIGINT starts a graceful drain: new queries are rejected with
+// 503, in-flight queries get -drain-timeout to finish, stragglers are
+// cancelled through their contexts, and the process exits once the server
+// is idle.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"smarticeberg/internal/server"
+)
+
+var (
+	flagAddr    = flag.String("addr", ":8080", "listen address")
+	flagMem     = flag.Int64("mem", 0, "server-wide memory budget in bytes; 0 = unlimited")
+	flagMaxConc = flag.Int("max-concurrent", 4, "queries allowed to execute at once")
+	flagQueue   = flag.Int("queue", 16, "admission queue depth; 0 sheds immediately at capacity")
+	flagDrain   = flag.Duration("drain-timeout", 10*time.Second, "grace for in-flight queries on SIGTERM before they are cancelled")
+	flagQMem    = flag.Int64("query-mem", 0, "per-query budget in bytes; 0 = mem/max-concurrent")
+	flagTimeout = flag.Duration("timeout", 0, "default per-query deadline; 0 disables")
+	flagSpill   = flag.Bool("spill", false, "let queries spill to disk under memory pressure")
+	flagSpillD  = flag.String("spill-dir", "", "parent directory for spill files; empty = system temp dir")
+)
+
+func main() {
+	flag.Parse()
+	srv := server.New(server.Config{
+		MaxConcurrent:  *flagMaxConc,
+		QueueDepth:     *flagQueue,
+		MemLimit:       *flagMem,
+		QueryMem:       *flagQMem,
+		DefaultTimeout: *flagTimeout,
+		Spill:          *flagSpill,
+		SpillDir:       *flagSpillD,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "icebergd: listening on %s (max-concurrent=%d queue=%d mem=%d)\n",
+		*flagAddr, *flagMaxConc, *flagQueue, *flagMem)
+	err := srv.ListenAndServe(ctx, *flagAddr, *flagDrain)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "icebergd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "icebergd: drained, bye")
+}

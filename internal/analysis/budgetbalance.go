@@ -31,6 +31,13 @@ import (
 //     ownership to whoever reads that counter.
 //   - A reservation made directly in a return statement (`return ec.Charge(…)`)
 //     belongs to the caller and is not tracked.
+//   - Budget.Acquire is tracked like Reserve, balanced by the handle's
+//     Reservation.Release. A reservation handle that is used anywhere other
+//     than its own Release — stored in a struct, returned, passed to another
+//     function — is a hand-off, and the fact is killed: whoever holds the
+//     handle now owns the Release. This is what lets icebergd's admission
+//     queue prove every reject path releases its queued slot while the
+//     admitted path hands the grant to the request's teardown.
 //   - Edges are failure-aware: on the branch where `Reserve(...) != nil` (or
 //     an error variable assigned from the call tests non-nil), nothing was
 //     charged, so the fact is killed. An error variable reassigned from an
@@ -67,6 +74,10 @@ func reserveKind(pass *Pass, call *ast.CallExpr) (string, bool) {
 		if isBudgetRef(t) {
 			return "Budget.Reserve", true
 		}
+	case "Acquire":
+		if isBudgetRef(t) {
+			return "Budget.Acquire", true
+		}
 	case "Charge":
 		if isExecContextPtr(t) {
 			return "ExecContext.Charge", true
@@ -75,14 +86,19 @@ func reserveKind(pass *Pass, call *ast.CallExpr) (string, bool) {
 	return "", false
 }
 
-// isReleaseCall reports whether call is a typed Release on a Budget or
-// ExecContext receiver.
+// isReservationPtr reports whether t is *resource.Reservation.
+func isReservationPtr(t types.Type) bool {
+	return isPtrToPkgType(t, resourcePkgSuffix, "Reservation")
+}
+
+// isReleaseCall reports whether call is a typed Release on a Budget,
+// ExecContext, or Reservation receiver.
 func isReleaseCall(pass *Pass, call *ast.CallExpr) bool {
 	if selName(call) != "Release" {
 		return false
 	}
 	t := receiverType(pass, call)
-	return t != nil && (isBudgetRef(t) || isExecContextPtr(t))
+	return t != nil && (isBudgetRef(t) || isExecContextPtr(t) || isReservationPtr(t))
 }
 
 // deferRegistersRelease reports whether d registers a Release to run at
@@ -155,10 +171,14 @@ func checkBudgetBody(pass *Pass, body *ast.BlockStmt) {
 
 	// Error variables assigned directly from a site call: `err := b.Reserve(…)`
 	// (including if-statement inits, which appear as ordinary assign nodes).
+	// Two-result sites (`res, err := b.Acquire(…)`) also bind the reservation
+	// handle: any later use of that handle outside its own Release is a
+	// hand-off (stored, returned, passed along) and kills the fact.
 	errVar := map[types.Object]int{}
+	resVar := map[types.Object]int{}
 	walkShallow(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+		if !ok || len(as.Rhs) != 1 {
 			return true
 		}
 		call, ok := as.Rhs[0].(*ast.CallExpr)
@@ -169,10 +189,19 @@ func checkBudgetBody(pass *Pass, body *ast.BlockStmt) {
 		if !tracked {
 			return true
 		}
-		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
-			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
-				errVar[obj] = i
+		bind := func(e ast.Expr, into map[types.Object]int) {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					into[obj] = i
+				}
 			}
+		}
+		switch len(as.Lhs) {
+		case 1:
+			bind(as.Lhs[0], errVar)
+		case 2:
+			bind(as.Lhs[0], resVar)
+			bind(as.Lhs[1], errVar)
 		}
 		return true
 	})
@@ -206,6 +235,13 @@ func checkBudgetBody(pass *Pass, body *ast.BlockStmt) {
 							if s.amount != nil && s.amount == obj {
 								out = out.Without(i)
 							}
+						}
+						// A reservation handle used anywhere but its own
+						// Release is handed off. The defining assignment
+						// cannot self-kill: Inspect visits the Lhs idents
+						// before the generating call on the Rhs.
+						if i, ok := resVar[obj]; ok {
+							out = out.Without(i)
 						}
 					}
 				}

@@ -239,6 +239,8 @@ func tempKind(creator string) string {
 // exprString renders simple receiver expressions for diagnostics.
 func exprString(e ast.Expr) string {
 	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Value
 	case *ast.Ident:
 		return e.Name
 	case *ast.SelectorExpr:

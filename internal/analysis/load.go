@@ -54,6 +54,12 @@ func goList(dir string, patterns []string, deps bool) ([]*listedPkg, error) {
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
+	// Resolve build tags as if cgo were off: the pure-Go fallbacks (net's
+	// netgo resolver above all) make the whole closure type-checkable from
+	// source. Mixing in binary export data for cgo packages would introduce a
+	// second identity for their dependencies' types (two `time.Duration`s)
+	// and break checking of any package importing both views.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
@@ -101,6 +107,12 @@ func (m *mapImporter) ImportFrom(path, dir string, _ types.ImportMode) (*types.P
 		return types.Unsafe, nil
 	}
 	if p, ok := m.l.cache[path]; ok {
+		return p.Types, nil
+	}
+	// Standard-library packages import their vendored deps by the unvendored
+	// path (`golang.org/x/...`), while go list reports them — and the cache
+	// keys them — under `vendor/`.
+	if p, ok := m.l.cache["vendor/"+path]; ok {
 		return p.Types, nil
 	}
 	return nil, fmt.Errorf("package %q not loaded (dependency order violation)", path)

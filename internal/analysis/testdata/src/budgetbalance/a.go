@@ -113,3 +113,59 @@ func CrossFunctionCharge(ec *engine.ExecContext, n int64) error {
 	}
 	return nil
 }
+
+// AcquireDeferRelease is clean: the handle's deferred Release covers every
+// exit, including the panic.
+func AcquireDeferRelease(b *resource.Budget, n int64, bad bool) error {
+	slot, err := b.Acquire("acq-defer", n)
+	if err != nil {
+		return err
+	}
+	defer slot.Release()
+	if bad {
+		panic("boom")
+	}
+	return nil
+}
+
+// AcquireQueueLeak mirrors an admission queue that frees its slot when
+// admitted but forgets it on the shed path.
+func AcquireQueueLeak(b *resource.Budget, shed bool) error {
+	slot, err := b.Acquire("queue-slot", 1) // want `not balanced by a Release`
+	if err != nil {
+		return err
+	}
+	if shed {
+		return errors.New("shed without freeing the slot")
+	}
+	slot.Release()
+	return nil
+}
+
+type holder struct{ res *resource.Reservation }
+
+// AcquireHandoff is clean: storing the handle transfers ownership — whoever
+// holds it now owns the Release — and the local reject path releases.
+func AcquireHandoff(b *resource.Budget, h *holder, n int64) error {
+	res, err := b.Acquire("acq-handoff", n)
+	if err != nil {
+		return err
+	}
+	if h == nil {
+		res.Release()
+		return errors.New("no holder")
+	}
+	h.res = res
+	return nil
+}
+
+// AcquireFailureHandled is clean: nothing was charged on the failure edge,
+// and the success path releases explicitly.
+func AcquireFailureHandled(b *resource.Budget, n int64) error {
+	slot, err := b.Acquire("acq-ok", n)
+	if err != nil {
+		return err
+	}
+	slot.Release()
+	return nil
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+
+	"smarticeberg/internal/server"
+)
+
+// ServerBenchRecord is one load-test configuration of icebergd, serialized
+// into BENCH_server.json: N concurrent clients driving a query mix against
+// one server, with the admission-control settings and the resulting latency
+// percentiles, shed rate, and row throughput. A shed_rate of zero means the
+// configuration kept up; the deliberately squeezed configurations document
+// how the server degrades — typed 429s, not timeouts — when it cannot.
+type ServerBenchRecord struct {
+	Workload      string  `json:"workload"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	MaxConcurrent int     `json:"max_concurrent"`
+	QueueDepth    int     `json:"queue_depth"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	OK            int     `json:"ok"`
+	Shed          int     `json:"shed"`
+	Errors        int     `json:"errors"`
+	P50Millis     float64 `json:"p50_ms"`
+	P99Millis     float64 `json:"p99_ms"`
+	ShedRate      float64 `json:"shed_rate"`
+	RowsPerSec    float64 `json:"rows_per_sec"`
+}
+
+// NewServerBenchRecord folds one load run into its serializable record.
+func NewServerBenchRecord(workload string, cfg server.Config, res *server.LoadResult) ServerBenchRecord {
+	return ServerBenchRecord{
+		Workload:      workload,
+		Clients:       res.Clients,
+		Requests:      res.Requests,
+		MaxConcurrent: cfg.MaxConcurrent,
+		QueueDepth:    cfg.QueueDepth,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		OK:            res.OK,
+		Shed:          res.Shed,
+		Errors:        res.Errors,
+		P50Millis:     float64(res.P50.Microseconds()) / 1000,
+		P99Millis:     float64(res.P99.Microseconds()) / 1000,
+		ShedRate:      res.ShedRate(),
+		RowsPerSec:    res.RowsPerSec(),
+	}
+}
+
+// WriteServerBench writes the records as indented JSON, the
+// BENCH_server.json artifact `make bench-server` regenerates.
+func WriteServerBench(path string, records []ServerBenchRecord) error {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -63,6 +63,17 @@ const (
 	// with an error action makes the reader flip a payload byte before the
 	// checksum check, so the real corruption-detection path runs instead of
 	// a simulated failure.
+	// Server-layer sites, one per stage of a request's life in icebergd:
+	// ServerAdmit fires at the head of admission control, ServerEnqueue after
+	// a queue slot is reserved but before the wait for a run token,
+	// ServerHandler after admission right before query execution, and
+	// ServerDrain at the head of the drain sequence. The admission sites
+	// exercise the reject paths that must release their queue slot.
+	ServerAdmit   = "server/admit"
+	ServerEnqueue = "server/enqueue"
+	ServerHandler = "server/handler"
+	ServerDrain   = "server/drain"
+
 	SpillDir     = "spill/dir"
 	SpillWrite   = "spill/write"
 	SpillFlush   = "spill/flush"
@@ -82,6 +93,7 @@ func Points() []string {
 		ParallelWorkerStart, ChunkWorkerStart,
 		MorselEnqueue, MorselDrain,
 		CacheInsert, CacheLookup, NLJPBinding,
+		ServerAdmit, ServerEnqueue, ServerHandler, ServerDrain,
 		SpillDir, SpillWrite, SpillFlush, SpillRead, SpillCorrupt, SpillRemove,
 	}
 }

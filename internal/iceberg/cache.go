@@ -40,6 +40,23 @@ type CacheStats struct {
 	SpillCorruptions int64
 }
 
+// since returns the portion of s accrued after base was snapshotted — how a
+// run against a shared cache reports its own counters. Entries and Bytes are
+// resident gauges, not counters, and stay absolute; Degraded is sticky (a
+// shared cache degraded under pressure is degraded for this run too).
+func (s CacheStats) since(base CacheStats) CacheStats {
+	s.Bindings -= base.Bindings
+	s.MemoHits -= base.MemoHits
+	s.PruneHits -= base.PruneHits
+	s.InnerEvals -= base.InnerEvals
+	s.PruneProbes -= base.PruneProbes
+	s.BudgetEvictions -= base.BudgetEvictions
+	s.SpilledEntries -= base.SpilledEntries
+	s.SpillHits -= base.SpillHits
+	s.SpillCorruptions -= base.SpillCorruptions
+	return s
+}
+
 // statsCounters is the concurrent form of CacheStats: lock-free counters the
 // worker goroutines update (batched per chunk where possible) that are
 // aggregated into a plain CacheStats snapshot when the run closes.

@@ -53,6 +53,12 @@ type NLJP struct {
 	workers      int
 	batchSize    int
 
+	// shared/sharedKey select a process-wide cache from a CacheService in
+	// place of a run-scoped one (Options.SharedCache); stats are then
+	// reported as this run's delta over the shared counters.
+	shared    *CacheService
+	sharedKey string
+
 	// ec carries the query's cancellation context and memory budget; nil
 	// means background context, unlimited budget. reservedInner is the bytes
 	// charged for the materialized inner relation, released by releaseInner.
@@ -258,6 +264,8 @@ func buildNLJP(b *block, overrides map[string]*engine.MaterializedRel, opts Opti
 	n.cacheLimit = opts.CacheLimit
 	n.workers = opts.Workers
 	n.batchSize = opts.BatchSize
+	n.shared = opts.SharedCache
+	n.sharedKey = opts.SharedKey
 	n.ec = ec
 
 	// BatchSize routes the binding-side queries (Q_B and the inner relation)
@@ -553,16 +561,38 @@ func (n *NLJP) Run() (res *engine.Result, err error) {
 	if n.Memo {
 		mgr = n.ec.Spill()
 	}
-	c := newCache(n.Pred, n.CacheIndexed, n.cacheLimit, workers, n.ec.Budget(), mgr)
+	var (
+		c       *cache
+		base    CacheStats // counters accrued by earlier runs of a shared cache
+		release func()
+	)
+	if n.shared != nil && n.sharedKey != "" {
+		// A shared cache outlives this run and may be hit by several runs at
+		// once, so it is always sharded, charges the service's process-wide
+		// budget, and never uses the query-scoped spill tier. Stats are
+		// reported as this run's delta so cross-query memo hits are visible
+		// per query.
+		sw := workers
+		if sw < 2 {
+			sw = 2
+		}
+		c, release = n.shared.acquire(n.sharedKey, func() *cache {
+			return newCache(n.Pred, n.CacheIndexed, n.cacheLimit, sw, n.shared.Budget(), nil)
+		})
+		base = c.snapshot()
+	} else {
+		c = newCache(n.Pred, n.CacheIndexed, n.cacheLimit, workers, n.ec.Budget(), mgr)
+		release = c.close
+	}
 	defer func() {
-		n.stats = c.snapshot()
+		n.stats = c.snapshot().since(base)
 		if n.stats.Degraded {
 			n.ec.Degrade(engine.DegradeCacheShed)
 		}
 		if n.stats.SpilledEntries > 0 {
 			n.ec.Degrade(engine.DegradeSpill)
 		}
-		c.close()
+		release()
 	}()
 	defer func() {
 		if r := recover(); r != nil {

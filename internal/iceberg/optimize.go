@@ -71,6 +71,18 @@ type Options struct {
 	// SpillDir is the parent directory for the query's spill directory;
 	// empty means os.TempDir().
 	SpillDir string
+	// SharedCache, when non-nil together with SharedKey, makes NLJP use a
+	// process-wide cache from this service instead of a query-scoped one, so
+	// concurrent and consecutive runs of the same query share memo and prune
+	// entries. The key must encode everything that determines cache content
+	// (query text, table versions, option fingerprint); icebergd computes it.
+	// Shared caches charge the service's budget — never MemBudget — and do
+	// not use the Spill overflow tier.
+	SharedCache *CacheService
+	// SharedKey identifies the compatible shared cache; the optimizer
+	// appends "#<block>" per query block, since each CTE and the main block
+	// run their own NLJP.
+	SharedKey string
 }
 
 // AllOn returns the paper's "all" configuration.
@@ -266,7 +278,7 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 	report.Blocks = append(report.Blocks, blk)
 
 	baseline := func(overrides map[string]*engine.MaterializedRel) (*engine.Result, error) {
-		p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize}
+		p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize, Workers: opts.Workers}
 		op, err := p.PlanSelect(&body, env)
 		if err != nil {
 			return nil, err
@@ -284,7 +296,7 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 		return baseline(nil)
 	}
 
-	planner := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, Exec: ec, BatchSize: opts.BatchSize}
+	planner := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, Exec: ec, BatchSize: opts.BatchSize, Workers: opts.Workers}
 	overrides := map[string]*engine.MaterializedRel{}
 	if opts.Apriori {
 		for _, red := range findReducers(b) {
@@ -299,6 +311,11 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 	}
 
 	if opts.Prune || opts.Memo {
+		// Each block gets its own shared-cache identity: CTE and main-block
+		// NLJPs cache different bindings under the same query key.
+		if opts.SharedKey != "" {
+			opts.SharedKey += "#" + name
+		}
 		nljp, err := buildNLJP(b, overrides, opts, ec)
 		if err != nil {
 			if errors.Is(err, resource.ErrBudgetExceeded) {
@@ -341,7 +358,7 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 		}
 		if rewritten != nil {
 			blk.Notes = append(blk.Notes, "memoization applied by static rewrite (Listing 8)")
-			p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize}
+			p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize, Workers: opts.Workers}
 			op, err := p.PlanSelect(rewritten, env)
 			if err != nil {
 				return nil, fmt.Errorf("planning memo rewrite: %w", err)

@@ -1,0 +1,144 @@
+package iceberg
+
+import (
+	"sync"
+
+	"smarticeberg/internal/resource"
+)
+
+// CacheService is a process-wide registry of NLJP binding caches, the
+// promotion of the query-scoped sharded cache to a server-lifetime service:
+// concurrent (and consecutive) queries that share a cache key share memo
+// entries and prune sets, so one query's inner evaluations become every
+// later identical query's memo hits.
+//
+// Correctness rests on the key: callers must fold into it everything that
+// determines cache content — the query text, the versions of every table it
+// reads, and the optimizer options that shape entries (see
+// server.cacheKey). Two runs with equal keys compute semantically identical
+// entries, and entries are immutable after insertion, so sharing can change
+// hit counters but never results. Table re-registration bumps the version
+// embedded in the key, which both retires the old cache (Invalidate) and
+// directs new runs to a fresh one — precise invalidation without epochs or
+// locks in the lookup path.
+//
+// Shared caches charge the service's budget (the server's global budget in
+// icebergd), never a query budget, so cache shedding is driven by
+// process-wide pressure; and they never use the spill overflow tier, whose
+// manager and temp directory are query-scoped.
+type CacheService struct {
+	budget *resource.Budget
+
+	mu     sync.Mutex
+	caches map[string]*sharedSlot
+}
+
+// sharedSlot wraps one shared cache with a reference count so Invalidate
+// can retire a cache that queries are still reading: the slot is unmapped
+// immediately (new runs build a fresh cache) and its budget bytes are
+// returned when the last reference drops.
+type sharedSlot struct {
+	c      *cache
+	refs   int
+	doomed bool
+}
+
+// NewCacheService creates the registry. budget, when non-nil, bounds the
+// resident bytes of all shared caches together; inserts beyond it shed
+// oldest entries exactly like the query-scoped cache.
+func NewCacheService(budget *resource.Budget) *CacheService {
+	return &CacheService{budget: budget, caches: map[string]*sharedSlot{}}
+}
+
+// Budget exposes the service budget to the NLJP constructor.
+func (s *CacheService) Budget() *resource.Budget { return s.budget }
+
+// acquire returns the cache registered under key, creating it with mk on
+// first use, and a release func the run must call when done (in place of
+// cache.close). A doomed slot's final release frees its budget bytes.
+func (s *CacheService) acquire(key string, mk func() *cache) (*cache, func()) {
+	s.mu.Lock()
+	slot := s.caches[key]
+	if slot == nil {
+		slot = &sharedSlot{c: mk()}
+		s.caches[key] = slot
+	}
+	slot.refs++
+	s.mu.Unlock()
+	var once sync.Once
+	return slot.c, func() {
+		once.Do(func() {
+			s.mu.Lock()
+			slot.refs--
+			drop := slot.doomed && slot.refs == 0
+			s.mu.Unlock()
+			if drop {
+				slot.c.close()
+			}
+		})
+	}
+}
+
+// Invalidate retires every cache whose key matches. Unreferenced caches are
+// closed immediately (budget returned); caches still in use by a running
+// query are doomed and closed when their last reference drops — the running
+// query keeps its consistent view of data it resolved at plan time. Returns
+// the number of caches retired.
+func (s *CacheService) Invalidate(match func(key string) bool) int {
+	var toClose []*cache
+	s.mu.Lock()
+	n := 0
+	for key, slot := range s.caches {
+		if !match(key) {
+			continue
+		}
+		delete(s.caches, key)
+		n++
+		if slot.refs == 0 {
+			toClose = append(toClose, slot.c)
+		} else {
+			slot.doomed = true
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range toClose {
+		c.close()
+	}
+	return n
+}
+
+// Close retires every cache; the service stays usable (a later acquire
+// simply rebuilds), but after Close with no queries in flight the service
+// holds zero budget bytes.
+func (s *CacheService) Close() {
+	s.Invalidate(func(string) bool { return true })
+}
+
+// CacheServiceStats aggregates the resident state and lifetime counters of
+// every currently registered shared cache.
+type CacheServiceStats struct {
+	Caches     int   `json:"caches"`
+	Entries    int   `json:"entries"`
+	Bytes      int64 `json:"bytes"`
+	Bindings   int64 `json:"bindings"`
+	MemoHits   int64 `json:"memo_hits"`
+	PruneHits  int64 `json:"prune_hits"`
+	InnerEvals int64 `json:"inner_evals"`
+}
+
+// Stats sums over the registered caches.
+func (s *CacheService) Stats() CacheServiceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := CacheServiceStats{Caches: len(s.caches)}
+	for _, slot := range s.caches {
+		cs := slot.c.snapshot()
+		out.Entries += cs.Entries
+		out.Bytes += cs.Bytes
+		out.Bindings += cs.Bindings
+		out.MemoHits += cs.MemoHits
+		out.PruneHits += cs.PruneHits
+		out.InnerEvals += cs.InnerEvals
+	}
+	return out
+}

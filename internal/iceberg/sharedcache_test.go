@@ -1,0 +1,235 @@
+package iceberg
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// diffRows reports the first byte-level difference between two result sets,
+// usable off the test goroutine (unlike requireIdenticalResults).
+func diffRows(want, got []value.Row) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			return fmt.Errorf("row %d has %d columns, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				return fmt.Errorf("row %d col %d = %#v, want %#v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+// sharedOpts returns an all-on configuration wired to svc under key.
+func sharedOpts(svc *CacheService, key string, workers int) Options {
+	opts := AllOn()
+	opts.SharedCache = svc
+	opts.SharedKey = key
+	opts.Workers = workers
+	return opts
+}
+
+// TestSharedCacheCrossQueryHits: a second run of the same query against the
+// same shared cache is served from memo entries the first run inserted — the
+// whole point of promoting the cache to a process-wide service.
+func TestSharedCacheCrossQueryHits(t *testing.T) {
+	cat := newTestCatalog(t, 7, 200)
+	svc := NewCacheService(nil)
+	defer svc.Close()
+
+	sel, err := sqlparser.ParseSelect(skybandSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runBaseline(t, cat, skybandSQL)
+
+	res1, rep1, err := Exec(cat, sel, sharedOpts(svc, "k1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "warm run", base, res1.Rows, rep1)
+	warm := rep1.TotalStats()
+	if warm.InnerEvals == 0 {
+		t.Fatalf("warm run evaluated nothing: %+v", warm)
+	}
+
+	res2, rep2, err := Exec(cat, sel, sharedOpts(svc, "k1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "cached run", base, res2.Rows, rep2)
+	cached := rep2.TotalStats()
+	if cached.MemoHits == 0 {
+		t.Fatalf("second run saw no cross-query memo hits: %+v", cached)
+	}
+	if cached.InnerEvals != 0 {
+		t.Fatalf("second run re-evaluated %d bindings despite a warm shared cache (%+v)", cached.InnerEvals, cached)
+	}
+	// Per-run delta accounting: the cached run's own counters must satisfy
+	// the binding invariant on their own.
+	if cached.MemoHits+cached.PruneHits+cached.InnerEvals != cached.Bindings {
+		t.Fatalf("delta stats violate the binding invariant: %+v", cached)
+	}
+}
+
+// TestSharedCacheKeyIsolation: different keys (a bumped table version, a
+// different option fingerprint) must not share entries.
+func TestSharedCacheKeyIsolation(t *testing.T) {
+	cat := newTestCatalog(t, 7, 150)
+	svc := NewCacheService(nil)
+	defer svc.Close()
+	sel, err := sqlparser.ParseSelect(skybandSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coldRep, err := Exec(cat, sel, AllOn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := coldRep.TotalStats()
+	if _, _, err := Exec(cat, sel, sharedOpts(svc, "t:object@1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Exec(cat, sel, sharedOpts(svc, "t:object@2", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.TotalStats(); s.InnerEvals != cold.InnerEvals {
+		t.Fatalf("run under a fresh key did %d inner evals, cold run does %d — keys leaked entries", s.InnerEvals, cold.InnerEvals)
+	}
+	if got := svc.Stats().Caches; got < 2 {
+		t.Fatalf("expected separate caches per key, have %d", got)
+	}
+}
+
+// TestSharedCacheInvalidate: retiring a table's caches frees their budget
+// bytes and later runs start cold.
+func TestSharedCacheInvalidate(t *testing.T) {
+	cat := newTestCatalog(t, 7, 150)
+	budget := resource.NewBudget(64 << 20)
+	svc := NewCacheService(budget)
+	sel, err := sqlparser.ParseSelect(skybandSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Exec(cat, sel, sharedOpts(svc, "t:object@1|q", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if budget.Used() == 0 {
+		t.Fatal("shared cache reserved nothing against the service budget")
+	}
+	n := svc.Invalidate(func(key string) bool { return strings.Contains(key, "t:object@") })
+	if n == 0 {
+		t.Fatal("Invalidate matched no caches")
+	}
+	if budget.Used() != 0 {
+		t.Fatalf("invalidated caches left %d budget bytes reserved", budget.Used())
+	}
+	// A post-invalidation run must behave like a cold run: same inner-eval
+	// count as an unshared execution (intra-run memo hits are fine).
+	_, coldRep, err := Exec(cat, sel, AllOn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := coldRep.TotalStats()
+	_, rep, err := Exec(cat, sel, sharedOpts(svc, "t:object@2|q", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.TotalStats(); s.InnerEvals != cold.InnerEvals {
+		t.Fatalf("post-invalidation run did %d inner evals, cold run does %d: %+v", s.InnerEvals, cold.InnerEvals, s)
+	}
+	svc.Close()
+	if budget.Used() != 0 {
+		t.Fatalf("Close left %d budget bytes reserved", budget.Used())
+	}
+}
+
+// TestSharedCacheInvalidateWhileReferenced: dooming a cache mid-run must not
+// pull it out from under the running query; its bytes are returned when the
+// last reference drops.
+func TestSharedCacheInvalidateWhileReferenced(t *testing.T) {
+	budget := resource.NewBudget(1 << 20)
+	svc := NewCacheService(budget)
+	c, release := svc.acquire("k", func() *cache {
+		return newCache(nil, false, 0, 2, budget, nil)
+	})
+	e := &cacheEntry{binding: nil, rowCount: 1}
+	if err := c.insert([]byte("b1"), e); err != nil {
+		t.Fatal(err)
+	}
+	if budget.Used() == 0 {
+		t.Fatal("insert reserved nothing")
+	}
+	if n := svc.Invalidate(func(string) bool { return true }); n != 1 {
+		t.Fatalf("Invalidate retired %d caches, want 1", n)
+	}
+	// Doomed but referenced: still resident, still readable, bytes held.
+	if _, ok, _ := c.lookup([]byte("b1")); !ok {
+		t.Fatal("doomed cache dropped entries while still referenced")
+	}
+	if budget.Used() == 0 {
+		t.Fatal("doomed cache released its bytes early")
+	}
+	release()
+	if budget.Used() != 0 {
+		t.Fatalf("last release left %d bytes reserved", budget.Used())
+	}
+	release() // idempotent
+	if budget.Used() != 0 {
+		t.Fatal("duplicate release changed accounting")
+	}
+}
+
+// TestSharedCacheConcurrentRuns: many goroutines running the same query over
+// one shared cache all get byte-identical results, and the service's summed
+// counters cover every binding.
+func TestSharedCacheConcurrentRuns(t *testing.T) {
+	cat := newTestCatalog(t, 7, 150)
+	svc := NewCacheService(nil)
+	defer svc.Close()
+	sel, err := sqlparser.ParseSelect(skybandSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Exec(cat, sel, AllOn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 6
+	var wg sync.WaitGroup
+	errs := make([]error, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := sharedOpts(svc, "conc", 2)
+			res, _, err := Exec(cat, sel, opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = diffRows(want.Rows, res.Rows)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.Bindings == 0 || st.MemoHits+st.PruneHits+st.InnerEvals != st.Bindings {
+		t.Fatalf("service stats violate the binding invariant: %+v", st)
+	}
+}

@@ -101,6 +101,64 @@ func (b *Budget) Release(n int64) {
 	}
 }
 
+// Reservation is a handle to one successful Acquire: a fixed-size charge
+// against a budget that is returned exactly once by Release. The handle
+// carries its own released flag, so a double Release is detected instead of
+// silently shrinking Used() below the truth — the failure mode the raw
+// Release(n) API cannot see. In production a second Release saturates (it
+// no-ops); with the strict check on (the `budgetcheck` build tag, or tests
+// inside this package) it panics, naming the site.
+//
+// A Reservation from a nil (unlimited) Budget, or for n <= 0 bytes, is valid
+// and releases nothing. A nil *Reservation is also valid: Release no-ops, so
+// error paths that never acquired need no nil checks.
+type Reservation struct {
+	b        *Budget
+	site     string
+	n        int64
+	released atomic.Bool
+}
+
+// strictRelease makes Reservation.Release panic on a double release instead
+// of saturating. Enabled by the `budgetcheck` build tag (strict_check.go);
+// tests in this package toggle it directly.
+var strictRelease = false
+
+// Acquire is Reserve returning a handle instead of relying on the caller to
+// pair amounts: the server's admission layer carves per-query budgets and
+// queue slots this way, where a mismatched or doubled Release would corrupt
+// a budget shared by every other query in the process. On failure nothing is
+// charged and the returned Reservation is nil.
+func (b *Budget) Acquire(site string, n int64) (*Reservation, error) {
+	if err := b.Reserve(site, n); err != nil {
+		return nil, err
+	}
+	return &Reservation{b: b, site: site, n: n}, nil
+}
+
+// Release returns the reservation to its budget. The first call wins; a
+// second call panics under the strict check and no-ops otherwise.
+func (r *Reservation) Release() {
+	if r == nil {
+		return
+	}
+	if r.released.Swap(true) {
+		if strictRelease {
+			panic(fmt.Sprintf("resource: double Release of %q reservation (%d bytes)", r.site, r.n))
+		}
+		return
+	}
+	r.b.Release(r.n)
+}
+
+// Size reports the reserved byte count.
+func (r *Reservation) Size() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
 // Used reports the bytes currently reserved.
 func (b *Budget) Used() int64 {
 	if b == nil {

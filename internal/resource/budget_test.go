@@ -2,6 +2,7 @@ package resource
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -114,5 +115,106 @@ func TestBudgetErrorMessage(t *testing.T) {
 		if !strings.Contains(err, frag) {
 			t.Fatalf("error %q missing %q", err, frag)
 		}
+	}
+}
+
+func TestAcquireRelease(t *testing.T) {
+	b := NewBudget(100)
+	r, err := b.Acquire("carve", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 60 || b.Used() != 60 {
+		t.Fatalf("after Acquire: size %d, used %d", r.Size(), b.Used())
+	}
+	if _, err := b.Acquire("too big", 50); err == nil || !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-budget Acquire: %v", err)
+	}
+	r.Release()
+	if b.Used() != 0 {
+		t.Fatalf("after Release: used %d", b.Used())
+	}
+}
+
+func TestAcquireNilSafety(t *testing.T) {
+	var b *Budget
+	r, err := b.Acquire("unlimited", 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release()
+	var nilRes *Reservation
+	nilRes.Release() // must not panic
+	if nilRes.Size() != 0 {
+		t.Fatal("nil reservation reported a size")
+	}
+}
+
+// TestDoubleReleaseSaturates checks the production behavior: the second
+// Release of one reservation is a no-op, so Used() stays truthful even when
+// other reservations are outstanding.
+func TestDoubleReleaseSaturates(t *testing.T) {
+	strict := strictRelease
+	strictRelease = false
+	defer func() { strictRelease = strict }()
+	b := NewBudget(100)
+	r1, _ := b.Acquire("one", 40)
+	r2, _ := b.Acquire("two", 40)
+	r1.Release()
+	r1.Release() // would leave Used()==0 under the raw Release(n) API
+	if b.Used() != 40 {
+		t.Fatalf("double release corrupted Used: got %d, want 40 (r2 outstanding)", b.Used())
+	}
+	r2.Release()
+	if b.Used() != 0 {
+		t.Fatalf("after releasing both: used %d", b.Used())
+	}
+}
+
+// TestDoubleReleaseStrictPanics checks the test-mode behavior behind the
+// budgetcheck build tag: a double Release panics at the offending call.
+func TestDoubleReleaseStrictPanics(t *testing.T) {
+	strict := strictRelease
+	strictRelease = true
+	defer func() { strictRelease = strict }()
+	b := NewBudget(100)
+	r, err := b.Acquire("strict", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release()
+	defer func() {
+		if rec := recover(); rec == nil {
+			t.Fatal("strict double Release did not panic")
+		} else if !strings.Contains(fmt.Sprint(rec), "strict") {
+			t.Fatalf("panic does not name the site: %v", rec)
+		}
+	}()
+	r.Release()
+}
+
+func TestAcquireReleaseConcurrent(t *testing.T) {
+	strict := strictRelease
+	strictRelease = false // the duplicate Release below is the point
+	defer func() { strictRelease = strict }()
+	b := NewBudget(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r, err := b.Acquire("conc", 512)
+				if err != nil {
+					continue
+				}
+				r.Release()
+				r.Release() // saturating duplicate under race detector
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Used() != 0 {
+		t.Fatalf("concurrent acquire/release leaked: used %d", b.Used())
 	}
 }

@@ -1,0 +1,9 @@
+//go:build budgetcheck
+
+package resource
+
+// Building with `-tags budgetcheck` (the Makefile's test targets do) turns a
+// double Reservation.Release into a panic at the offending call instead of a
+// silent no-op, so the bug is caught where it happens rather than surfacing
+// later as a mysteriously roomy budget.
+func init() { strictRelease = true }

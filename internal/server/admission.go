@@ -1,0 +1,242 @@
+// Package server is icebergd's engine room: a long-lived, concurrent query
+// service over shared tables with the robustness machinery of PRs 3–6
+// promoted from query scope to process scope — global admission control
+// carving per-query budgets out of one server budget, a bounded admission
+// queue with typed load shedding, per-query fault isolation (panic
+// containment at the handler boundary, the degrade ladder as the pressure
+// relief valve), graceful drain, and a process-wide versioned NLJP cache.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
+)
+
+// ErrOverloaded is the sentinel for typed load shedding: the server refused
+// the query because the admission queue (or the global memory budget) is
+// full. Clients match it with errors.Is; the HTTP layer maps it to 429 with
+// a Retry-After hint. The concrete error is an *OverloadError.
+var ErrOverloaded = errors.New("server overloaded")
+
+// ErrDraining is returned for queries arriving (or queued) after drain
+// began; the HTTP layer maps it to 503.
+var ErrDraining = errors.New("server draining")
+
+// OverloadError carries the shed decision's context and a retry hint
+// derived from the recent average query duration and the queue state.
+type OverloadError struct {
+	Active     int64
+	Queued     int64
+	QueueDepth int
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v: %d running, %d of %d queued; retry in %s",
+		ErrOverloaded, e.Active, e.Queued, e.QueueDepth, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) work.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// admission is the server's gate: MaxConcurrent run tokens, a bounded wait
+// queue, and the global budget that per-query budgets are carved from.
+//
+// The queue is itself a resource.Budget of one unit per waiter, acquired
+// through the Reservation API, which puts every reject path under the
+// budgetbalance lint: a path that sheds, times out, or drains without
+// releasing its queue slot is a compile-time (lint-time) error, not a slow
+// capacity leak in production.
+type admission struct {
+	tokens   chan struct{}    // capacity = MaxConcurrent, holds free run tokens
+	queue    *resource.Budget // one unit per queued waiter; nil = no queue
+	depth    int
+	global   *resource.Budget // server-wide bytes; per-query budgets carve from it
+	queryMem int64            // bytes carved per admitted query (0 with nil global)
+
+	draining atomic.Bool
+	drainCh  chan struct{}
+
+	active   atomic.Int64
+	admitted atomic.Int64
+	finished atomic.Int64
+	shed     atomic.Int64
+	expired  atomic.Int64 // deadline hit while queued (cheap rejects)
+	avgNanos atomic.Int64 // EWMA of completed-query wall time
+}
+
+func newAdmission(maxConcurrent, queueDepth int, global *resource.Budget, queryMem int64) *admission {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 4
+	}
+	a := &admission{
+		tokens:   make(chan struct{}, maxConcurrent),
+		depth:    queueDepth,
+		global:   global,
+		queryMem: queryMem,
+		drainCh:  make(chan struct{}),
+	}
+	for i := 0; i < maxConcurrent; i++ {
+		a.tokens <- struct{}{}
+	}
+	if queueDepth > 0 {
+		a.queue = resource.NewBudget(int64(queueDepth))
+	}
+	return a
+}
+
+// grant is one admitted query's claim: a run token, the memory carved from
+// the global budget, and the bookkeeping to return both exactly once.
+type grant struct {
+	a     *admission
+	mem   *resource.Reservation
+	start time.Time
+	done  atomic.Bool
+}
+
+// release returns the grant; safe to call more than once (the first wins),
+// so handler teardown and panic unwinding cannot double-free a token.
+func (g *grant) release() {
+	if g == nil || g.done.Swap(true) {
+		return
+	}
+	g.mem.Release()
+	g.a.active.Add(-1)
+	g.a.finished.Add(1)
+	g.a.observe(time.Since(g.start))
+	g.a.tokens <- struct{}{}
+}
+
+// admit gates one query. The fast path takes a free run token; otherwise the
+// caller waits in the bounded queue until a token frees, its own deadline
+// expires (a query whose deadline passed while queued is rejected without
+// ever being started — the cheap reject), or drain begins. A full queue
+// sheds immediately with a typed *OverloadError.
+func (a *admission) admit(ctx context.Context) (*grant, error) {
+	if err := failpoint.Inject(failpoint.ServerAdmit); err != nil {
+		return nil, err
+	}
+	if a.draining.Load() {
+		return nil, ErrDraining
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // dead on arrival
+	}
+	select {
+	case <-a.tokens:
+		return a.carve()
+	default:
+	}
+	if a.queue == nil {
+		a.shed.Add(1)
+		return nil, a.overloadError()
+	}
+	slot, err := a.queue.Acquire("admission queue", 1)
+	if err != nil {
+		a.shed.Add(1)
+		return nil, a.overloadError()
+	}
+	// The slot covers only the wait; the deferred release frees it on every
+	// exit — admission, rejection, and panics injected below alike.
+	defer slot.Release()
+	if err := failpoint.Inject(failpoint.ServerEnqueue); err != nil {
+		return nil, err
+	}
+	select {
+	case <-a.tokens:
+		return a.carve()
+	case <-ctx.Done():
+		a.expired.Add(1)
+		return nil, ctx.Err()
+	case <-a.drainCh:
+		return nil, ErrDraining
+	}
+}
+
+// carve turns a run token into a grant by carving the per-query memory out
+// of the global budget; a global budget too depleted to carve from (shared
+// caches and other queries hold the rest) is an overload, shed like a full
+// queue.
+func (a *admission) carve() (*grant, error) {
+	mem, err := a.global.Acquire("admitted query", a.queryMem)
+	if err != nil {
+		a.tokens <- struct{}{}
+		a.shed.Add(1)
+		return nil, a.overloadError()
+	}
+	a.active.Add(1)
+	a.admitted.Add(1)
+	return &grant{a: a, mem: mem, start: time.Now()}, nil
+}
+
+// observe folds a completed query's wall time into the EWMA behind the
+// Retry-After hints (α = 1/8).
+func (a *admission) observe(d time.Duration) {
+	old := a.avgNanos.Load()
+	a.avgNanos.Store(old - old/8 + int64(d)/8)
+}
+
+// overloadError builds the typed shed error. The hint estimates when a slot
+// should free: the recent average query duration scaled by how many queries
+// are ahead per run token, clamped to a sane range.
+func (a *admission) overloadError() *OverloadError {
+	e := &OverloadError{
+		Active:     a.active.Load(),
+		Queued:     a.queue.Used(),
+		QueueDepth: a.depth,
+	}
+	avg := time.Duration(a.avgNanos.Load())
+	ahead := e.Queued + 1
+	slots := int64(cap(a.tokens))
+	hint := avg * time.Duration(ahead) / time.Duration(slots)
+	if hint < 25*time.Millisecond {
+		hint = 25 * time.Millisecond
+	}
+	if hint > 10*time.Second {
+		hint = 10 * time.Second
+	}
+	e.RetryAfter = hint
+	return e
+}
+
+// beginDrain closes the gate: later admits fail fast with ErrDraining and
+// queued waiters are woken and rejected. Idempotent.
+func (a *admission) beginDrain() {
+	if a.draining.CompareAndSwap(false, true) {
+		close(a.drainCh)
+	}
+}
+
+// awaitIdle waits for every in-flight query to finish. When ctx expires
+// first it calls cancelStragglers (the server cancels each query's context)
+// and keeps waiting up to grace for the cancellations to unwind — engine
+// operators poll their context every 64 rows, so this is bounded in
+// practice. It returns an error only if stragglers survive even that.
+func (a *admission) awaitIdle(ctx context.Context, grace time.Duration, cancelStragglers func() int) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for a.active.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			n := cancelStragglers()
+			deadline := time.Now().Add(grace)
+			for a.active.Load() > 0 {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("drain: %d of %d cancelled queries still running after %s: %w",
+						a.active.Load(), n, grace, ctx.Err())
+				}
+				time.Sleep(time.Millisecond)
+			}
+			return nil
+		case <-tick.C:
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/testleak"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmitFastPath(t *testing.T) {
+	a := newAdmission(2, 4, nil, 0)
+	g1, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.active.Load(); got != 2 {
+		t.Fatalf("active = %d, want 2", got)
+	}
+	g1.release()
+	g2.release()
+	if got := a.active.Load(); got != 0 {
+		t.Fatalf("active after release = %d, want 0", got)
+	}
+	if a.finished.Load() != 2 || a.admitted.Load() != 2 {
+		t.Fatalf("counters: admitted=%d finished=%d", a.admitted.Load(), a.finished.Load())
+	}
+	if len(a.tokens) != 2 {
+		t.Fatalf("tokens not returned: %d of 2 free", len(a.tokens))
+	}
+}
+
+func TestAdmitQueueFullSheds(t *testing.T) {
+	testleak.Check(t)
+	a := newAdmission(1, 1, nil, 0)
+	g1, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		g, err := a.admit(context.Background())
+		if g != nil {
+			defer g.release()
+		}
+		queued <- err
+	}()
+	waitFor(t, "waiter to queue", func() bool { return a.queue.Used() == 1 })
+
+	_, err = a.admit(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full queue returned %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("shed error is %T, want *OverloadError", err)
+	}
+	if oe.Queued != 1 || oe.QueueDepth != 1 || oe.Active != 1 {
+		t.Fatalf("overload fields: %+v", oe)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %s, want > 0", oe.RetryAfter)
+	}
+	if a.shed.Load() != 1 {
+		t.Fatalf("shed counter = %d, want 1", a.shed.Load())
+	}
+
+	g1.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter failed: %v", err)
+	}
+	if a.queue.Used() != 0 {
+		t.Fatalf("queue slots leaked: %d", a.queue.Used())
+	}
+}
+
+func TestAdmitDeadlineExpiredInQueue(t *testing.T) {
+	a := newAdmission(1, 2, nil, 0)
+	g1, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g1.release()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err = a.admit(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-while-queued returned %v, want DeadlineExceeded", err)
+	}
+	if a.queue.Used() != 0 {
+		t.Fatalf("expired waiter leaked its queue slot: %d in use", a.queue.Used())
+	}
+	if a.expired.Load() != 1 {
+		t.Fatalf("expired counter = %d, want 1", a.expired.Load())
+	}
+	// A request that is already dead is rejected before taking anything.
+	dead, deadCancel := context.WithCancel(context.Background())
+	deadCancel()
+	if _, err := a.admit(dead); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-on-arrival returned %v, want Canceled", err)
+	}
+}
+
+func TestAdmitNoQueueShedsImmediately(t *testing.T) {
+	a := newAdmission(1, 0, nil, 0)
+	g1, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g1.release()
+	if _, err := a.admit(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-less overflow returned %v, want ErrOverloaded", err)
+	}
+}
+
+func TestAdmitDraining(t *testing.T) {
+	testleak.Check(t)
+	a := newAdmission(1, 2, nil, 0)
+	g1, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		_, err := a.admit(context.Background())
+		queued <- err
+	}()
+	waitFor(t, "waiter to queue", func() bool { return a.queue.Used() == 1 })
+
+	a.beginDrain()
+	if err := <-queued; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter got %v during drain, want ErrDraining", err)
+	}
+	if a.queue.Used() != 0 {
+		t.Fatalf("drained waiter leaked its queue slot: %d in use", a.queue.Used())
+	}
+	if _, err := a.admit(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain admit returned %v, want ErrDraining", err)
+	}
+	a.beginDrain() // idempotent
+
+	g1.release()
+	if err := a.awaitIdle(context.Background(), time.Second, func() int { return 0 }); err != nil {
+		t.Fatalf("awaitIdle on idle server: %v", err)
+	}
+}
+
+func TestCarveFailureIsOverload(t *testing.T) {
+	global := resource.NewBudget(100)
+	a := newAdmission(4, 0, global, 60)
+	g1, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tokens remain, but the global budget cannot fit a second 60-byte carve.
+	_, err = a.admit(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("carve failure returned %v, want ErrOverloaded", err)
+	}
+	if len(a.tokens) != 3 {
+		t.Fatalf("failed carve did not return its token: %d of 4 free", len(a.tokens))
+	}
+	g1.release()
+	if global.Used() != 0 {
+		t.Fatalf("budget leaked: %d bytes", global.Used())
+	}
+	g2, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	g2.release()
+}
+
+func TestGrantReleaseIdempotent(t *testing.T) {
+	global := resource.NewBudget(100)
+	a := newAdmission(1, 0, global, 40)
+	g, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.release()
+	g.release()
+	if global.Used() != 0 || a.active.Load() != 0 || len(a.tokens) != 1 {
+		t.Fatalf("double release corrupted accounting: used=%d active=%d tokens=%d",
+			global.Used(), a.active.Load(), len(a.tokens))
+	}
+	var nilGrant *grant
+	nilGrant.release() // nil-safe
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/testleak"
+)
+
+// TestServerFaultMatrix drives every server-layer failpoint site through
+// both failure modes. The invariants after each injection: the caller got
+// exactly one typed error (the injected error, or a *engine.PanicError for
+// panics — never a process crash), no run token, queue slot, or budget byte
+// leaked, and the server still answers the next query.
+func TestServerFaultMatrix(t *testing.T) {
+	testleak.Check(t)
+	sites := []string{
+		failpoint.ServerAdmit,
+		failpoint.ServerEnqueue,
+		failpoint.ServerHandler,
+		failpoint.ServerDrain,
+	}
+	modes := []struct {
+		name   string
+		action failpoint.Action
+		check  func(t *testing.T, err error)
+	}{
+		{"error", failpoint.Error(nil), func(t *testing.T, err error) {
+			t.Helper()
+			if !errors.Is(err, failpoint.ErrInjected) {
+				t.Fatalf("got %v, want ErrInjected", err)
+			}
+		}},
+		{"panic", failpoint.Panic("injected"), func(t *testing.T, err error) {
+			t.Helper()
+			var pe *engine.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("got %v (%T), want *engine.PanicError", err, err)
+			}
+		}},
+	}
+
+	for _, site := range sites {
+		for _, mode := range modes {
+			t.Run(site+"/"+mode.name, func(t *testing.T) {
+				defer failpoint.Reset()
+				s := newObjectsServer(t, Config{MaxConcurrent: 2, QueueDepth: 2,
+					MemLimit: 64 << 20, NoSharedCache: true}, 120)
+				want := wantRows(t, s, skySQL)
+
+				// The enqueue site only fires on the queued path: hold every
+				// run token so the faulted query has to wait, and hand them
+				// back as soon as the faulted call returns so the recovery
+				// query below can run.
+				held := 0
+				if site == failpoint.ServerEnqueue {
+					for i := 0; i < cap(s.adm.tokens); i++ {
+						<-s.adm.tokens
+						held++
+					}
+				}
+				restore := func() {
+					for ; held > 0; held-- {
+						s.adm.tokens <- struct{}{}
+					}
+				}
+				defer restore()
+
+				failpoint.Enable(site, failpoint.Once(mode.action))
+				var err error
+				if site == failpoint.ServerDrain {
+					err = s.Drain(context.Background())
+				} else {
+					_, _, err = s.RunQuery(context.Background(), "", skySQL, nil)
+				}
+				restore()
+				mode.check(t, err)
+
+				// Nothing leaked...
+				if used := s.Budget().Used(); used != 0 {
+					t.Fatalf("injected fault leaked %d budget bytes", used)
+				}
+				if s.adm.queue.Used() != 0 {
+					t.Fatalf("injected fault leaked %d queue slots", s.adm.queue.Used())
+				}
+				if s.adm.active.Load() != 0 {
+					t.Fatalf("active = %d after fault", s.adm.active.Load())
+				}
+				// ...and the server still serves. (A faulted drain never got
+				// to stop admissions, so this holds at every site.)
+				res, _, err := s.RunQuery(context.Background(), "", skySQL, nil)
+				if err != nil {
+					t.Fatalf("server dead after injected fault: %v", err)
+				}
+				if err := sameRows(want, res.Rows); err != nil {
+					t.Fatal(err)
+				}
+				if used := s.Budget().Used(); used != 0 {
+					t.Fatalf("recovery query leaked %d budget bytes", used)
+				}
+			})
+		}
+	}
+}

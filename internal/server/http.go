@@ -1,0 +1,277 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/iceberg"
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/value"
+	"smarticeberg/internal/workload"
+)
+
+// Handler returns icebergd's HTTP API: a JSON skin over the server core.
+//
+//	POST /session          {"opts": {...}}                  -> {"session": "s1"}
+//	POST /tables/workload  {"kind": "score", "rows": 100}   -> {"table": "...", "rows": n}
+//	POST /exec             {"sql": "CREATE TABLE ..."}      -> {"rows_affected": n}
+//	POST /query            {"sql": "...", "session": "s1",
+//	                        "opts": {...}}                  -> {"columns": [...], "rows": [[...]]}
+//	GET  /stats                                             -> Stats
+//	GET  /healthz                                           -> 200, or 503 while draining
+//
+// Failures are JSON objects {"error","code","retry_after_ms"}; overload maps
+// to 429 with a Retry-After header, drain to 503, deadline to 504.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /session", s.handleSession)
+	mux.HandleFunc("POST /tables/workload", s.handleWorkload)
+	mux.HandleFunc("POST /exec", s.handleExec)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+type errorBody struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// writeError maps the server's typed failures onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	body := errorBody{Error: err.Error(), Code: "internal"}
+	status := http.StatusInternalServerError
+	var oe *OverloadError
+	var pe *engine.PanicError
+	switch {
+	case errors.As(err, &oe):
+		status = http.StatusTooManyRequests
+		body.Code = "overloaded"
+		body.RetryAfterMS = oe.RetryAfter.Milliseconds()
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(oe.RetryAfter.Seconds())+1, 10))
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+		body.Code = "overloaded"
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+		body.Code = "draining"
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+		body.Code = "deadline"
+	case errors.Is(err, context.Canceled):
+		status = http.StatusRequestTimeout
+		body.Code = "canceled"
+	case errors.Is(err, resource.ErrBudgetExceeded):
+		status = http.StatusInsufficientStorage
+		body.Code = "budget"
+	case errors.As(err, &pe):
+		body.Code = "panic"
+	}
+	writeJSON(w, status, body)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error(), Code: "bad_request"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Opts QueryOptions `json:"opts"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"session": s.CreateSession(req.Opts)})
+}
+
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Kind  string   `json:"kind"`
+		Rows  int      `json:"rows"`
+		Years int      `json:"years,omitempty"`
+		Seed  int64    `json:"seed"`
+		Index []string `json:"index,omitempty"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Rows <= 0 {
+		req.Rows = 1000
+	}
+	var t *storage.Table
+	switch req.Kind {
+	case "player_performance":
+		t = workload.PlayerPerformance(req.Rows, req.Seed)
+	case "score":
+		years := req.Years
+		if years <= 0 {
+			years = 10
+		}
+		t = workload.Scores(req.Rows, years, req.Seed)
+	case "performance_kv":
+		t = workload.UnpivotedPerformance(req.Rows, req.Seed)
+	case "objects":
+		t = workload.Objects(req.Rows, workload.Independent, req.Seed)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("unknown workload kind %q", req.Kind), Code: "bad_request"})
+		return
+	}
+	for _, col := range req.Index {
+		if _, err := t.CreateIndex("idx_"+t.Name+"_"+col, col); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad_request"})
+			return
+		}
+	}
+	s.RegisterTable(t)
+	writeJSON(w, http.StatusOK, map[string]any{"table": t.Name, "rows": len(t.Rows)})
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		SQL string `json:"sql"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.ExecSQL(r.Context(), req.SQL)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if res == nil { // DDL and INSERT produce no result set
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, resultJSON(res, nil))
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		SQL     string        `json:"sql"`
+		Session string        `json:"session,omitempty"`
+		Opts    *QueryOptions `json:"opts,omitempty"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, rep, err := s.RunQuery(r.Context(), req.Session, req.SQL, req.Opts)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultJSON(res, rep))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// queryResponse is the wire shape of a query result. Cells are native JSON
+// values: Int and Float are numbers, Str a string, Bool a bool, Null null.
+type queryResponse struct {
+	Columns []string    `json:"columns"`
+	Rows    [][]any     `json:"rows"`
+	Stats   *queryStats `json:"stats,omitempty"`
+}
+
+type queryStats struct {
+	Bindings     int64    `json:"bindings"`
+	MemoHits     int64    `json:"memo_hits"`
+	PruneHits    int64    `json:"prune_hits"`
+	InnerEvals   int64    `json:"inner_evals"`
+	Degradations []string `json:"degradations,omitempty"`
+}
+
+func resultJSON(res *engine.Result, rep *iceberg.Report) queryResponse {
+	out := queryResponse{Columns: make([]string, len(res.Columns)), Rows: make([][]any, len(res.Rows))}
+	for i, c := range res.Columns {
+		out.Columns[i] = c.Name
+	}
+	for i, row := range res.Rows {
+		cells := make([]any, len(row))
+		for j, v := range row {
+			cells[j] = cellJSON(v)
+		}
+		out.Rows[i] = cells
+	}
+	if rep != nil {
+		st := rep.TotalStats()
+		out.Stats = &queryStats{
+			Bindings:     st.Bindings,
+			MemoHits:     st.MemoHits,
+			PruneHits:    st.PruneHits,
+			InnerEvals:   st.InnerEvals,
+			Degradations: engine.DegradeReasonStrings(rep.Degradations),
+		}
+	}
+	return out
+}
+
+func cellJSON(v value.Value) any {
+	switch v.K {
+	case value.Int:
+		return v.I
+	case value.Float:
+		return v.F
+	case value.Str:
+		return v.S
+	case value.Bool:
+		return v.I != 0
+	default:
+		return nil
+	}
+}
+
+// ListenAndServe runs the HTTP server on addr until ctx is cancelled, then
+// drains: admissions stop, in-flight queries get drainTimeout to finish,
+// stragglers are cancelled, and finally the listener shuts down.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(dctx)
+	sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}

@@ -1,0 +1,370 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/testleak"
+)
+
+// postJSON posts body to path and decodes the JSON response into out,
+// returning the HTTP status.
+func postJSON(t *testing.T, c *http.Client, base, path string, body, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Post(base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decoding response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var reg struct {
+		Table string `json:"table"`
+		Rows  int    `json:"rows"`
+	}
+	if code := postJSON(t, c, ts.URL, "/tables/workload",
+		map[string]any{"kind": "objects", "rows": 150, "seed": 7}, &reg); code != 200 {
+		t.Fatalf("workload registration: status %d", code)
+	}
+	if reg.Table != "Object" || reg.Rows != 150 {
+		t.Fatalf("registration response: %+v", reg)
+	}
+
+	if code := postJSON(t, c, ts.URL, "/exec",
+		map[string]any{"sql": "CREATE TABLE kv (k INT, v INT)"}, nil); code != 200 {
+		t.Fatalf("exec CREATE: status %d", code)
+	}
+	if code := postJSON(t, c, ts.URL, "/exec",
+		map[string]any{"sql": "INSERT INTO kv VALUES (1, 10), (2, 20)"}, nil); code != 200 {
+		t.Fatalf("exec INSERT: status %d", code)
+	}
+
+	var qr struct {
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+		Stats   *struct {
+			Bindings int64 `json:"bindings"`
+			MemoHits int64 `json:"memo_hits"`
+		} `json:"stats"`
+	}
+	if code := postJSON(t, c, ts.URL, "/query", map[string]any{"sql": skySQL}, &qr); code != 200 {
+		t.Fatalf("query: status %d", code)
+	}
+	if len(qr.Columns) != 2 || len(qr.Rows) == 0 {
+		t.Fatalf("query response: %+v", qr)
+	}
+	if qr.Stats == nil || qr.Stats.Bindings == 0 {
+		t.Fatalf("query response missing NLJP stats: %+v", qr.Stats)
+	}
+
+	var badBody struct {
+		Code string `json:"code"`
+	}
+	if code := postJSON(t, c, ts.URL, "/query", map[string]any{"sql": "SELEC nope"}, &badBody); code != 500 {
+		t.Fatalf("parse error: status %d", code)
+	}
+	if code := postJSON(t, c, ts.URL, "/query", map[string]any{"nope": 1}, &badBody); code != 400 || badBody.Code != "bad_request" {
+		t.Fatalf("unknown field: status %d code %q", code, badBody.Code)
+	}
+
+	var st Stats
+	resp, err := c.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Admitted == 0 || st.Tables != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	if resp, err = c.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v status %v", err, resp.Status)
+	}
+	resp.Body.Close()
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = c.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 503 {
+		t.Fatalf("healthz while draining: %v status %v", err, resp.Status)
+	}
+	resp.Body.Close()
+	if code := postJSON(t, c, ts.URL, "/query", map[string]any{"sql": skySQL}, &badBody); code != 503 || badBody.Code != "draining" {
+		t.Fatalf("query while draining: status %d code %q", code, badBody.Code)
+	}
+}
+
+// TestHTTPOverload429: shed queries surface as 429 with both the
+// Retry-After header and the retry_after_ms body field.
+func TestHTTPOverload429(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	s := newObjectsServer(t, Config{MaxConcurrent: 1, QueueDepth: 0}, 150)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	gate := make(chan struct{})
+	var once sync.Once
+	failpoint.Enable(failpoint.NLJPBinding, func(string) error {
+		<-gate
+		return nil
+	})
+	defer once.Do(func() { close(gate) })
+
+	first := make(chan int, 1)
+	go func() {
+		var out any
+		first <- postJSON(t, c, ts.URL, "/query", map[string]any{"sql": skySQL}, &out)
+	}()
+	waitFor(t, "first query to hold the token", func() bool { return s.adm.active.Load() == 1 })
+
+	buf, _ := json.Marshal(map[string]any{"sql": skySQL})
+	resp, err := c.Post(ts.URL+"/query", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Code         string `json:"code"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed query: status %d, want 429", resp.StatusCode)
+	}
+	if body.Code != "overloaded" || body.RetryAfterMS <= 0 {
+		t.Fatalf("shed body: %+v", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+
+	once.Do(func() { close(gate) })
+	if code := <-first; code != 200 {
+		t.Fatalf("admitted query: status %d", code)
+	}
+}
+
+// TestHTTPTwoSessionsSharedCache is satellite 3 over the wire: two sessions
+// running the same query concurrently get byte-identical results to a
+// sequential run, and the cache statistics prove they shared entries across
+// queries.
+func TestHTTPTwoSessionsSharedCache(t *testing.T) {
+	testleak.Check(t)
+	s := newObjectsServer(t, Config{MemLimit: 64 << 20}, 200)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	type queryResp struct {
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+		Stats   *struct {
+			Bindings   int64 `json:"bindings"`
+			MemoHits   int64 `json:"memo_hits"`
+			PruneHits  int64 `json:"prune_hits"`
+			InnerEvals int64 `json:"inner_evals"`
+		} `json:"stats"`
+	}
+
+	var sequential queryResp
+	if code := postJSON(t, c, ts.URL, "/query", map[string]any{"sql": skySQL}, &sequential); code != 200 {
+		t.Fatalf("sequential run: status %d", code)
+	}
+	if sequential.Stats.InnerEvals == 0 {
+		t.Fatalf("sequential run evaluated nothing: %+v", sequential.Stats)
+	}
+
+	sessions := make([]string, 2)
+	for i := range sessions {
+		var sr struct {
+			Session string `json:"session"`
+		}
+		if code := postJSON(t, c, ts.URL, "/session", map[string]any{}, &sr); code != 200 {
+			t.Fatalf("session create: status %d", code)
+		}
+		sessions[i] = sr.Session
+	}
+
+	results := make([]queryResp, 2)
+	codes := make([]int, 2)
+	var wg sync.WaitGroup
+	for i, sid := range sessions {
+		wg.Add(1)
+		go func(i int, sid string) {
+			defer wg.Done()
+			codes[i] = postJSON(t, c, ts.URL, "/query",
+				map[string]any{"sql": skySQL, "session": sid}, &results[i])
+		}(i, sid)
+	}
+	wg.Wait()
+
+	for i := range results {
+		if codes[i] != 200 {
+			t.Fatalf("session %s: status %d", sessions[i], codes[i])
+		}
+		// Byte-identical to the sequential run: same columns, same rows in
+		// the same order, cell for cell (JSON round-trip on both sides).
+		if !reflect.DeepEqual(results[i].Rows, sequential.Rows) ||
+			!reflect.DeepEqual(results[i].Columns, sequential.Columns) {
+			t.Fatalf("session %s result diverged from the sequential run", sessions[i])
+		}
+		if st := results[i].Stats; st.MemoHits == 0 || st.InnerEvals != 0 {
+			t.Fatalf("session %s saw no cross-query cache hits: %+v", sessions[i], st)
+		}
+	}
+	if st := s.StatsSnapshot(); st.Cache.MemoHits == 0 {
+		t.Fatalf("service counters show no sharing: %+v", st.Cache)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Budget().Used(); got != 0 {
+		t.Fatalf("budget after drain: %d", got)
+	}
+}
+
+// TestHTTPClientDisconnectCancels is satellite 2: a client that goes away
+// mid-query cancels the server-side execution through the request context —
+// no context.AfterFunc anywhere, no leaked goroutines, no retained budget.
+// One subtest drives the morsel-parallel scan (ParallelBatchScan), the
+// other the parallel NLJP binding loop, so both worker pools prove they
+// unwind on server-side cancel.
+func TestHTTPClientDisconnectCancels(t *testing.T) {
+	cases := []struct {
+		name string
+		site string
+		sql  string
+		opts map[string]any
+	}{
+		{
+			name: "parallel-batch-scan",
+			site: failpoint.MorselEnqueue,
+			sql:  "SELECT COUNT(*) FROM Object WHERE x <= 0.5",
+			opts: map[string]any{"workers": 4, "batch_size": 64, "prune": false, "memo": false, "apriori": false},
+		},
+		{
+			name: "parallel-nljp",
+			site: failpoint.NLJPBinding,
+			sql:  skySQL,
+			opts: map[string]any{"workers": 4},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			testleak.Check(t)
+			defer failpoint.Reset()
+			s := newObjectsServer(t, Config{MemLimit: 64 << 20, NoSharedCache: true}, 2000)
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			c := ts.Client()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			// The failpoint hangs up the client from inside the engine: the
+			// first worker to reach the site cancels the request, the
+			// transport closes the connection, and the server's
+			// r.Context() fires. Workers then stop at their next context
+			// poll. Every later fire keeps sleeping so the query cannot
+			// simply outrun the disconnect.
+			failpoint.Enable(tc.site, func(string) error {
+				cancel()
+				time.Sleep(5 * time.Millisecond)
+				return nil
+			})
+
+			buf, _ := json.Marshal(map[string]any{"sql": tc.sql, "opts": tc.opts})
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(buf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := c.Do(req)
+			if err == nil {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				t.Fatalf("request succeeded despite disconnect: %d %s", resp.StatusCode, body)
+			}
+
+			// The server notices the disconnect and fully unwinds: no active
+			// queries, no held budget, no leaked goroutines (checked by the
+			// testleak cleanup after the httptest server shuts down).
+			waitFor(t, "query to unwind", func() bool { return s.adm.active.Load() == 0 })
+			waitFor(t, "budget to return to zero", func() bool { return s.Budget().Used() == 0 })
+			if st := s.StatsSnapshot(); st.Finished != st.Admitted {
+				t.Fatalf("finished %d of %d admitted", st.Finished, st.Admitted)
+			}
+		})
+	}
+}
+
+// TestHTTPWorkloadKinds spot-checks the other workload generators register
+// and are queryable.
+func TestHTTPWorkloadKinds(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	for kind, probe := range map[string]string{
+		"player_performance": "SELECT COUNT(*) FROM player_performance",
+		"score":              "SELECT COUNT(*) FROM Score",
+		"performance_kv":     "SELECT COUNT(*) FROM performance_kv",
+	} {
+		var reg struct {
+			Table string `json:"table"`
+			Rows  int    `json:"rows"`
+		}
+		if code := postJSON(t, c, ts.URL, "/tables/workload",
+			map[string]any{"kind": kind, "rows": 50, "seed": 3}, &reg); code != 200 {
+			t.Fatalf("%s: status %d", kind, code)
+		}
+		if reg.Rows == 0 {
+			t.Fatalf("%s: registered empty table", kind)
+		}
+		var qr struct {
+			Rows [][]any `json:"rows"`
+		}
+		if code := postJSON(t, c, ts.URL, "/query", map[string]any{"sql": probe}, &qr); code != 200 {
+			t.Fatalf("%s probe query: status %d", kind, code)
+		}
+		if len(qr.Rows) != 1 {
+			t.Fatalf("%s probe query returned %d rows", kind, len(qr.Rows))
+		}
+	}
+	if code := postJSON(t, c, ts.URL, "/tables/workload",
+		map[string]any{"kind": "nope"}, nil); code != 400 {
+		t.Fatalf("unknown kind: status %d", code)
+	}
+}

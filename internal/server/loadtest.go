@@ -1,0 +1,153 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadQuery is one query in a load mix, driven round-robin by the clients.
+type LoadQuery struct {
+	Name string
+	SQL  string
+	Opts *QueryOptions // nil = server/session defaults
+}
+
+// LoadOptions shapes one load run.
+type LoadOptions struct {
+	Clients  int           // concurrent clients (default 4)
+	Requests int           // requests per client (default 8)
+	Timeout  time.Duration // per-request client timeout (default 30s)
+}
+
+// LoadResult aggregates one load run. Latency percentiles cover the
+// successful requests only; shed requests are the server refusing work by
+// design, and their (sub-millisecond) round trips would flatter the tail.
+type LoadResult struct {
+	Clients  int
+	Requests int // total issued
+	OK       int
+	Shed     int // 429s: typed load shedding
+	Errors   int // anything else (timeouts, 5xx, transport failures)
+	Rows     int64
+	Elapsed  time.Duration
+	P50      time.Duration
+	P99      time.Duration
+}
+
+// ShedRate is the fraction of issued requests the server shed.
+func (r *LoadResult) ShedRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Requests)
+}
+
+// RowsPerSec is result-row throughput over the whole run's wall clock.
+func (r *LoadResult) RowsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Rows) / r.Elapsed.Seconds()
+}
+
+// RunLoad hammers an icebergd at baseURL with opts.Clients concurrent
+// clients, each issuing opts.Requests queries from the mix round-robin
+// (offset per client so the clients collide on the shared cache rather than
+// marching in lockstep). Every response is classified — success, shed, error
+// — and the run reports latency percentiles and throughput. Shed responses
+// and transport failures are observations, not a failed run: overload
+// behavior is exactly what a load test is there to measure.
+func RunLoad(baseURL string, queries []LoadQuery, opts LoadOptions) (*LoadResult, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("load test needs at least one query")
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 8
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: opts.Timeout}
+
+	res := &LoadResult{Clients: opts.Clients, Requests: opts.Clients * opts.Requests}
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < opts.Requests; r++ {
+				q := queries[(c+r)%len(queries)]
+				rows, status, lat, err := postQuery(client, baseURL, q)
+				mu.Lock()
+				switch {
+				case err != nil:
+					res.Errors++
+				case status == http.StatusTooManyRequests:
+					res.Shed++
+				case status == http.StatusOK:
+					res.OK++
+					res.Rows += rows
+					latencies = append(latencies, lat)
+				default:
+					res.Errors++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.P50 = percentile(latencies, 50)
+	res.P99 = percentile(latencies, 99)
+	return res, nil
+}
+
+// postQuery issues one POST /query, returning the result-row count, the
+// HTTP status, and the request latency.
+func postQuery(client *http.Client, baseURL string, q LoadQuery) (int64, int, time.Duration, error) {
+	body, err := json.Marshal(map[string]any{"sql": q.SQL, "opts": q.Opts})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start := time.Now()
+	resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, time.Since(start), err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, resp.StatusCode, time.Since(start), nil
+	}
+	var out struct {
+		Rows [][]any `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, 0, time.Since(start), err
+	}
+	return int64(len(out.Rows)), http.StatusOK, time.Since(start), nil
+}
+
+// percentile returns the p-th percentile (nearest-rank) of ds, 0 when empty.
+func percentile(ds []time.Duration, p int) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,486 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/iceberg"
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/storage"
+)
+
+// Config sizes one icebergd instance. The zero value is usable: four
+// concurrent queries, a queue of sixteen, unlimited memory, shared caches
+// on.
+type Config struct {
+	// MaxConcurrent is the number of queries allowed to execute at once
+	// (<= 0 means 4).
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted-but-waiting queries may queue
+	// (< 0 means 16; 0 disables queueing, so any query beyond
+	// MaxConcurrent is shed immediately).
+	QueueDepth int
+	// MemLimit is the server-wide memory budget in bytes (0 = unlimited).
+	// Every per-query budget and the shared cache service carve from it.
+	MemLimit int64
+	// QueryMem is the byte budget carved out of MemLimit per admitted
+	// query; 0 derives MemLimit/MaxConcurrent (0 = unlimited when MemLimit
+	// is unlimited).
+	QueryMem int64
+	// DefaultTimeout bounds each query's wall time when the request does
+	// not set its own (0 = none).
+	DefaultTimeout time.Duration
+	// Spill lets queries overflow to disk under memory pressure.
+	Spill bool
+	// SpillDir is the parent directory for spill files ("" = os.TempDir()).
+	SpillDir string
+	// NoSharedCache disables the process-wide NLJP cache service.
+	NoSharedCache bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 16
+	}
+	if c.QueryMem == 0 && c.MemLimit > 0 {
+		c.QueryMem = c.MemLimit / int64(c.MaxConcurrent)
+	}
+	return c
+}
+
+// QueryOptions is the per-request (or per-session) optimizer configuration.
+// Nil pointer fields inherit — session defaults first, server defaults
+// (the paper's all-on configuration) last — so a request only states what
+// it wants changed.
+type QueryOptions struct {
+	Apriori      *bool  `json:"apriori,omitempty"`
+	Prune        *bool  `json:"prune,omitempty"`
+	Memo         *bool  `json:"memo,omitempty"`
+	CacheIndex   *bool  `json:"cache_index,omitempty"`
+	UseIndexes   *bool  `json:"use_indexes,omitempty"`
+	BindingOrder string `json:"binding_order,omitempty"`
+	CacheLimit   int    `json:"cache_limit,omitempty"`
+	Workers      int    `json:"workers,omitempty"`
+	BatchSize    int    `json:"batch_size,omitempty"`
+	// TimeoutMS overrides the server's default query timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoSharedCache opts this query out of the process-wide cache.
+	NoSharedCache bool `json:"no_shared_cache,omitempty"`
+}
+
+// overlay applies o's set fields on top of base.
+func (o *QueryOptions) overlay(base iceberg.Options) iceberg.Options {
+	if o == nil {
+		return base
+	}
+	setB := func(dst *bool, p *bool) {
+		if p != nil {
+			*dst = *p
+		}
+	}
+	setB(&base.Apriori, o.Apriori)
+	setB(&base.Prune, o.Prune)
+	setB(&base.Memo, o.Memo)
+	setB(&base.CacheIndex, o.CacheIndex)
+	setB(&base.UseIndexes, o.UseIndexes)
+	if o.BindingOrder != "" {
+		base.BindingOrder = o.BindingOrder
+	}
+	if o.CacheLimit != 0 {
+		base.CacheLimit = o.CacheLimit
+	}
+	if o.Workers != 0 {
+		base.Workers = o.Workers
+	}
+	if o.BatchSize != 0 {
+		base.BatchSize = o.BatchSize
+	}
+	return base
+}
+
+// Server is the icebergd core, independent of any transport: a catalog of
+// registered tables, global admission control, the shared cache service,
+// sessions, and the drain protocol. The HTTP layer in http.go is a thin
+// JSON skin over these methods.
+type Server struct {
+	cfg    Config
+	global *resource.Budget
+	adm    *admission
+	cache  *iceberg.CacheService
+
+	// dataMu orders queries against DDL: queries hold the read side for
+	// their whole run (storage.Table has no internal locking), table
+	// registration and writes hold the write side.
+	dataMu sync.RWMutex
+	cat    *storage.Catalog
+
+	mu       sync.Mutex
+	versions map[string]int64 // table name -> registration version
+	sessions map[string]*session
+	running  map[int64]context.CancelFunc
+	nextQID  int64
+	nextSID  int64
+}
+
+type session struct {
+	opts QueryOptions
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	global := resource.NewBudget(cfg.MemLimit)
+	s := &Server{
+		cfg:      cfg,
+		global:   global,
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, global, cfg.QueryMem),
+		cat:      storage.NewCatalog(),
+		versions: make(map[string]int64),
+		sessions: make(map[string]*session),
+		running:  make(map[int64]context.CancelFunc),
+	}
+	if !cfg.NoSharedCache {
+		s.cache = iceberg.NewCacheService(global)
+	}
+	return s
+}
+
+// Budget exposes the server-wide budget (tests assert Used()==0 after
+// drain).
+func (s *Server) Budget() *resource.Budget { return s.global }
+
+// CreateSession mints a session holding default query options.
+func (s *Server) CreateSession(opts QueryOptions) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSID++
+	id := fmt.Sprintf("s%d", s.nextSID)
+	s.sessions[id] = &session{opts: opts}
+	return id
+}
+
+// sessionOpts returns the session's defaults (zero value for unknown or
+// empty session IDs — anonymous queries are fine).
+func (s *Server) sessionOpts(id string) QueryOptions {
+	if id == "" {
+		return QueryOptions{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ses, ok := s.sessions[id]; ok {
+		return ses.opts
+	}
+	return QueryOptions{}
+}
+
+// RegisterTable publishes (or replaces) a table. Replacement bumps the
+// table's version, which retires every shared cache whose key embeds the
+// old version — precise invalidation, nothing else is touched.
+func (s *Server) RegisterTable(t *storage.Table) {
+	s.dataMu.Lock()
+	s.cat.Put(t)
+	s.dataMu.Unlock()
+	s.bumpVersion(t.Name)
+}
+
+// Catalog exposes the table catalog for in-process setup (tests, benches).
+// Callers must not mutate registered tables while queries run; use
+// RegisterTable to publish changes.
+func (s *Server) Catalog() *storage.Catalog { return s.cat }
+
+func (s *Server) bumpVersion(name string) {
+	name = strings.ToLower(name)
+	s.mu.Lock()
+	s.versions[name]++
+	s.mu.Unlock()
+	if s.cache != nil {
+		marker := "t:" + name + "@"
+		s.cache.Invalidate(func(key string) bool { return strings.Contains(key, marker) })
+	}
+}
+
+// ExecSQL runs a non-SELECT statement (CREATE TABLE, INSERT) under the
+// write lock, bumping the touched table's version. SELECTs are delegated to
+// RunQuery so callers can use one entry point.
+func (s *Server) ExecSQL(ctx context.Context, sql string) (*engine.Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *sqlparser.Select:
+		res, _, err := s.RunQuery(ctx, "", sql, nil)
+		return res, err
+	case *sqlparser.CreateTable:
+		return s.execWrite(st, st.Name)
+	case *sqlparser.Insert:
+		return s.execWrite(st, st.Table)
+	default:
+		return nil, fmt.Errorf("unsupported statement %T", stmt)
+	}
+}
+
+func (s *Server) execWrite(stmt sqlparser.Statement, table string) (*engine.Result, error) {
+	s.dataMu.Lock()
+	res, err := engine.ExecStatement(s.cat, stmt)
+	s.dataMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.bumpVersion(table)
+	return res, nil
+}
+
+// RunQuery admits, executes, and accounts one SELECT. Every failure mode a
+// query can hit inside the server — injected faults, panics anywhere below
+// this frame, budget exhaustion, cancellation — comes back as an error from
+// this method; nothing escapes to the transport goroutine.
+func (s *Server) RunQuery(ctx context.Context, sessionID, sql string, qopts *QueryOptions) (res *engine.Result, rep *iceberg.Report, err error) {
+	// Registered before anything else so the containment boundary covers
+	// admission and teardown too; deferred releases below run first during
+	// an unwind, so a panic cannot leak tokens, budget, or locks.
+	defer func() {
+		if r := recover(); r != nil {
+			res, rep, err = nil, nil, engine.NewPanicError("server handler", r)
+		}
+	}()
+
+	timeout := s.cfg.DefaultTimeout
+	if qopts != nil && qopts.TimeoutMS > 0 {
+		timeout = time.Duration(qopts.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	g, err := s.adm.admit(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer g.release()
+
+	// Track the query so Drain can cancel stragglers past its deadline.
+	qctx, cancel := context.WithCancel(ctx)
+	qid := s.track(cancel)
+	defer s.untrack(qid)
+
+	if err := failpoint.Inject(failpoint.ServerHandler); err != nil {
+		return nil, nil, err
+	}
+
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sessDefaults := s.sessionOpts(sessionID)
+	opts := qopts.overlay(sessDefaults.overlay(iceberg.AllOn()))
+	opts.Ctx = qctx
+	opts.MemBudget = g.mem.Size()
+	opts.Spill = s.cfg.Spill
+	opts.SpillDir = s.cfg.SpillDir
+
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
+	if s.cache != nil && !(qopts != nil && qopts.NoSharedCache) {
+		opts.SharedCache = s.cache
+		opts.SharedKey = s.cacheKey(sql, sel, opts)
+	}
+	return iceberg.Exec(s.cat, sel, opts)
+}
+
+func (s *Server) track(cancel context.CancelFunc) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextQID++
+	s.running[s.nextQID] = cancel
+	return s.nextQID
+}
+
+func (s *Server) untrack(id int64) {
+	s.mu.Lock()
+	cancel := s.running[id]
+	delete(s.running, id)
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// cancelRunning cancels every tracked query's context and reports how many.
+func (s *Server) cancelRunning() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cancel := range s.running {
+		cancel()
+	}
+	return len(s.running)
+}
+
+// cacheKey derives the shared-cache identity for a query: the raw SQL, the
+// registration version of every table it mentions, and the optimizer knobs
+// that shape cache content. Two queries share entries exactly when all
+// three agree; re-registering any mentioned table changes its version and
+// so, transparently, the key.
+func (s *Server) cacheKey(sql string, sel *sqlparser.Select, opts iceberg.Options) string {
+	names := map[string]bool{}
+	tablesOf(sel, names)
+	sorted := make([]string, 0, len(names))
+	s.mu.Lock()
+	for n := range names {
+		sorted = append(sorted, fmt.Sprintf("t:%s@%d", n, s.versions[n]))
+	}
+	s.mu.Unlock()
+	sort.Strings(sorted)
+	return fmt.Sprintf("%s|%s|o:%t%t%t%t%t:%s:%d",
+		strings.Join(sorted, ","), sql,
+		opts.Apriori, opts.Prune, opts.Memo, opts.CacheIndex, opts.UseIndexes,
+		opts.BindingOrder, opts.CacheLimit)
+}
+
+// tablesOf collects every table name a SELECT mentions, recursing through
+// CTEs, derived tables, and subqueries in expressions. CTE names land in
+// the set too; they simply resolve to version 0 unless a real table shadows
+// them, which only makes the key more conservative.
+func tablesOf(sel *sqlparser.Select, out map[string]bool) {
+	if sel == nil {
+		return
+	}
+	for _, cte := range sel.With {
+		tablesOf(cte.Query, out)
+	}
+	for _, te := range sel.From {
+		switch t := te.(type) {
+		case *sqlparser.TableRef:
+			out[strings.ToLower(t.Name)] = true
+		case *sqlparser.SubqueryRef:
+			tablesOf(t.Query, out)
+		}
+	}
+	for _, it := range sel.Items {
+		exprTables(it.Expr, out)
+	}
+	exprTables(sel.Where, out)
+	for _, e := range sel.GroupBy {
+		exprTables(e, out)
+	}
+	exprTables(sel.Having, out)
+	for _, o := range sel.OrderBy {
+		exprTables(o.Expr, out)
+	}
+}
+
+func exprTables(e sqlparser.Expr, out map[string]bool) {
+	switch x := e.(type) {
+	case nil:
+	case *sqlparser.BinOp:
+		exprTables(x.L, out)
+		exprTables(x.R, out)
+	case *sqlparser.UnOp:
+		exprTables(x.E, out)
+	case *sqlparser.FuncCall:
+		for _, a := range x.Args {
+			exprTables(a, out)
+		}
+	case *sqlparser.InSubquery:
+		for _, ie := range x.Exprs {
+			exprTables(ie, out)
+		}
+		tablesOf(x.Query, out)
+	case *sqlparser.ScalarSubquery:
+		tablesOf(x.Query, out)
+	case *sqlparser.CaseWhen:
+		for _, w := range x.Whens {
+			exprTables(w.Cond, out)
+			exprTables(w.Then, out)
+		}
+		exprTables(x.Else, out)
+	case *sqlparser.IsNull:
+		exprTables(x.E, out)
+	}
+}
+
+// Drain performs graceful shutdown: new admissions fail fast with
+// ErrDraining, queued waiters are woken and rejected, in-flight queries run
+// to completion until ctx expires, and any stragglers past that deadline
+// have their contexts cancelled and are given a short grace to unwind. On
+// a clean drain the shared cache service is closed, returning its budget
+// bytes, so Budget().Used() == 0 afterward.
+func (s *Server) Drain(ctx context.Context) (err error) {
+	defer engine.CapturePanic("server drain", &err)
+	if err := failpoint.Inject(failpoint.ServerDrain); err != nil {
+		return err
+	}
+	s.adm.beginDrain()
+	err = s.adm.awaitIdle(ctx, 2*time.Second, s.cancelRunning)
+	if s.cache != nil {
+		s.cache.Close()
+	}
+	return err
+}
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool { return s.adm.draining.Load() }
+
+// Stats is the server-wide observability snapshot served at /stats.
+type Stats struct {
+	Active         int64                     `json:"active"`
+	Admitted       int64                     `json:"admitted"`
+	Finished       int64                     `json:"finished"`
+	Shed           int64                     `json:"shed"`
+	ExpiredInQueue int64                     `json:"expired_in_queue"`
+	Queued         int64                     `json:"queued"`
+	QueueDepth     int                       `json:"queue_depth"`
+	MaxConcurrent  int                       `json:"max_concurrent"`
+	Draining       bool                      `json:"draining"`
+	AvgQueryNanos  int64                     `json:"avg_query_nanos"`
+	BudgetUsed     int64                     `json:"budget_used"`
+	BudgetPeak     int64                     `json:"budget_peak"`
+	BudgetLimit    int64                     `json:"budget_limit"`
+	Tables         int                       `json:"tables"`
+	Sessions       int                       `json:"sessions"`
+	Cache          iceberg.CacheServiceStats `json:"cache"`
+	SharedCacheOn  bool                      `json:"shared_cache_on"`
+}
+
+// StatsSnapshot gathers Stats.
+func (s *Server) StatsSnapshot() Stats {
+	st := Stats{
+		Active:         s.adm.active.Load(),
+		Admitted:       s.adm.admitted.Load(),
+		Finished:       s.adm.finished.Load(),
+		Shed:           s.adm.shed.Load(),
+		ExpiredInQueue: s.adm.expired.Load(),
+		Queued:         s.adm.queue.Used(),
+		QueueDepth:     s.adm.depth,
+		MaxConcurrent:  cap(s.adm.tokens),
+		Draining:       s.adm.draining.Load(),
+		AvgQueryNanos:  s.adm.avgNanos.Load(),
+		BudgetUsed:     s.global.Used(),
+		BudgetPeak:     s.global.Peak(),
+		BudgetLimit:    s.global.Limit(),
+		SharedCacheOn:  s.cache != nil,
+	}
+	s.dataMu.RLock()
+	st.Tables = len(s.cat.Names())
+	s.dataMu.RUnlock()
+	s.mu.Lock()
+	st.Sessions = len(s.sessions)
+	s.mu.Unlock()
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	return st
+}

@@ -1,0 +1,340 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/iceberg"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/testleak"
+	"smarticeberg/internal/value"
+	"smarticeberg/internal/workload"
+)
+
+// skySQL is the k-skyband iceberg query (Listing 2) over workload.Objects.
+const skySQL = `
+	SELECT L.id, COUNT(*)
+	FROM Object L, Object R
+	WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y)
+	GROUP BY L.id
+	HAVING COUNT(*) <= 5`
+
+// newObjectsServer builds a server with an n-point Object table registered.
+func newObjectsServer(t testing.TB, cfg Config, n int) *Server {
+	t.Helper()
+	s := New(cfg)
+	s.RegisterTable(workload.Objects(n, workload.Independent, 7))
+	return s
+}
+
+// wantRows computes the expected result by running the optimizer directly
+// against the server's catalog, bypassing admission and the shared cache.
+func wantRows(t testing.TB, s *Server, sql string) []value.Row {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := iceberg.Exec(s.Catalog(), sel, iceberg.AllOn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows
+}
+
+// sameRows reports the first difference between two result sets; usable off
+// the test goroutine.
+func sameRows(want, got []value.Row) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			return fmt.Errorf("row %d has %d columns, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				return fmt.Errorf("row %d col %d = %#v, want %#v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+func TestServerSmoke(t *testing.T) {
+	testleak.Check(t)
+	s := newObjectsServer(t, Config{}, 200)
+	want := wantRows(t, s, skySQL)
+
+	res, rep, err := s.RunQuery(context.Background(), "", skySQL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameRows(want, res.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalStats().Bindings == 0 {
+		t.Fatal("query did not take the NLJP path")
+	}
+	st := s.StatsSnapshot()
+	if st.Admitted != 1 || st.Finished != 1 || st.Active != 0 {
+		t.Fatalf("stats after one query: %+v", st)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain of idle server: %v", err)
+	}
+	if got := s.Budget().Used(); got != 0 {
+		t.Fatalf("budget after drain: %d bytes in use", got)
+	}
+}
+
+func TestServerSessionOptions(t *testing.T) {
+	s := newObjectsServer(t, Config{}, 150)
+	want := wantRows(t, s, skySQL)
+	off := false
+	sid := s.CreateSession(QueryOptions{Memo: &off, Prune: &off})
+	res, rep, err := s.RunQuery(context.Background(), sid, skySQL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameRows(want, res.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if st := rep.TotalStats(); st.MemoHits != 0 || st.PruneHits != 0 {
+		t.Fatalf("session disabled memo+prune but stats show hits: %+v", st)
+	}
+	// Per-request overrides win over session defaults.
+	on := true
+	res2, rep2, err := s.RunQuery(context.Background(), sid, skySQL, &QueryOptions{Memo: &on, Prune: &on})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameRows(want, res2.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if st := rep2.TotalStats(); st.MemoHits+st.PruneHits == 0 {
+		t.Fatalf("request override did not re-enable caching: %+v", st)
+	}
+}
+
+// TestServerOverload is the ISSUE's acceptance scenario: max-concurrent=2
+// with a full queue of one. Two queries hold the run tokens at an injected
+// gate, a third waits in the queue, and the next arrival is shed with a
+// typed ErrOverloaded — while every admitted query completes with
+// equivalence-checked results once the gate opens.
+func TestServerOverload(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	s := newObjectsServer(t, Config{MaxConcurrent: 2, QueueDepth: 1}, 150)
+	want := wantRows(t, s, skySQL)
+
+	gate := make(chan struct{})
+	var once sync.Once
+	failpoint.Enable(failpoint.NLJPBinding, func(string) error {
+		<-gate
+		return nil
+	})
+	defer once.Do(func() { close(gate) })
+
+	const admitted = 3 // 2 running + 1 queued
+	errs := make([]error, admitted)
+	var wg sync.WaitGroup
+	for i := 0; i < admitted; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := s.RunQuery(context.Background(), "", skySQL, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = sameRows(want, res.Rows)
+		}(i)
+	}
+	waitFor(t, "two queries running", func() bool { return s.adm.active.Load() == 2 })
+	waitFor(t, "one query queued", func() bool { return s.adm.queue.Used() == 1 })
+
+	_, _, err := s.RunQuery(context.Background(), "", skySQL, nil)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow query returned %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Queued != 1 || oe.QueueDepth != 1 {
+		t.Fatalf("overload error fields: %+v", oe)
+	}
+
+	once.Do(func() { close(gate) })
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("admitted query %d: %v", i, err)
+		}
+	}
+	st := s.StatsSnapshot()
+	if st.Shed != 1 || st.Finished != admitted || st.Queued != 0 {
+		t.Fatalf("post-overload stats: %+v", st)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Budget().Used(); got != 0 {
+		t.Fatalf("budget after drain: %d bytes in use", got)
+	}
+}
+
+func TestServerDrainGraceful(t *testing.T) {
+	testleak.Check(t)
+	s := newObjectsServer(t, Config{MemLimit: 64 << 20}, 150)
+	want := wantRows(t, s, skySQL)
+	res, _, err := s.RunQuery(context.Background(), "", skySQL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameRows(want, res.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if s.Budget().Used() == 0 {
+		t.Fatal("shared cache should hold budget bytes before drain")
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := s.Budget().Used(); got != 0 {
+		t.Fatalf("drain left %d budget bytes in use", got)
+	}
+	if _, _, err := s.RunQuery(context.Background(), "", skySQL, nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain query returned %v, want ErrDraining", err)
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+}
+
+// TestServerDrainCancelsStragglers: a long query past the drain deadline is
+// cancelled through its context (engine operators poll every 64 rows) and
+// the server still reaches the idle, zero-budget state.
+func TestServerDrainCancelsStragglers(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	s := newObjectsServer(t, Config{MemLimit: 64 << 20, NoSharedCache: true}, 300)
+	// Slow every binding down so the query outlives the drain deadline; it
+	// stays cancellable because the engine polls its context between rows.
+	failpoint.Enable(failpoint.NLJPBinding, func(string) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s.RunQuery(context.Background(), "", skySQL, nil)
+		done <- err
+	}()
+	waitFor(t, "query to start", func() bool { return s.adm.active.Load() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain with stragglers: %v", err)
+	}
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("straggler finished with %v, want context.Canceled", err)
+	}
+	if got := s.Budget().Used(); got != 0 {
+		t.Fatalf("cancelled straggler leaked %d budget bytes", got)
+	}
+	if got := s.adm.active.Load(); got != 0 {
+		t.Fatalf("active = %d after drain", got)
+	}
+}
+
+// TestServerReregisterInvalidates: replacing a table retires its shared
+// caches (precise invalidation) and later queries see the new data.
+func TestServerReregisterInvalidates(t *testing.T) {
+	s := newObjectsServer(t, Config{MemLimit: 64 << 20}, 150)
+	if _, _, err := s.RunQuery(context.Background(), "", skySQL, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.StatsSnapshot(); st.Cache.Caches == 0 {
+		t.Fatalf("no shared cache built: %+v", st.Cache)
+	}
+	s.RegisterTable(workload.Objects(170, workload.Independent, 11))
+	if st := s.StatsSnapshot(); st.Cache.Caches != 0 {
+		t.Fatalf("re-registration left %d stale caches", st.Cache.Caches)
+	}
+	want := wantRows(t, s, skySQL)
+	res, _, err := s.RunQuery(context.Background(), "", skySQL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameRows(want, res.Rows); err != nil {
+		t.Fatalf("post-reregistration query: %v", err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Budget().Used(); got != 0 {
+		t.Fatalf("budget after drain: %d", got)
+	}
+}
+
+func TestServerExecSQLVersioning(t *testing.T) {
+	s := New(Config{})
+	ctx := context.Background()
+	if _, err := s.ExecSQL(ctx, "CREATE TABLE pt (id INT, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecSQL(ctx, "INSERT INTO pt VALUES (1, 10), (2, 20)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.ExecSQL(ctx, "SELECT id, v FROM pt WHERE v > 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 2 {
+		t.Fatalf("unexpected rows: %v", res.Rows)
+	}
+	s.mu.Lock()
+	v := s.versions["pt"]
+	s.mu.Unlock()
+	if v != 2 {
+		t.Fatalf("pt version = %d after CREATE+INSERT, want 2", v)
+	}
+}
+
+// TestServerPanicContainment: a panic below the handler surfaces as exactly
+// one *engine.PanicError and the server keeps serving.
+func TestServerPanicContainment(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	s := newObjectsServer(t, Config{MemLimit: 64 << 20, NoSharedCache: true}, 150)
+	want := wantRows(t, s, skySQL)
+
+	failpoint.Enable(failpoint.ServerHandler, failpoint.Panic("handler blew up"))
+	_, _, err := s.RunQuery(context.Background(), "", skySQL, nil)
+	var pe *engine.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic surfaced as %v (%T), want *engine.PanicError", err, err)
+	}
+	failpoint.Reset()
+
+	res, _, err := s.RunQuery(context.Background(), "", skySQL, nil)
+	if err != nil {
+		t.Fatalf("server did not recover from contained panic: %v", err)
+	}
+	if err := sameRows(want, res.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Budget().Used(); got != 0 {
+		t.Fatalf("contained panic leaked %d budget bytes", got)
+	}
+	if free := len(s.adm.tokens); free != 4 {
+		t.Fatalf("contained panic leaked run tokens: %d of 4 free", free)
+	}
+}
