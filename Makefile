@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench bench-vector bench-morsel bench-spill bench-server faulttest spilltest servertest
+.PHONY: all build test race lint vet bench bench-vector bench-morsel bench-spill bench-server bench-skip faulttest spilltest servertest
 
 all: build lint test
 
@@ -84,3 +84,11 @@ bench-spill:
 # "Server & admission control".
 bench-server:
 	$(GO) test -bench=BenchmarkServer -benchtime=1x -run=^$$ .
+
+# Zone-map data skipping & predicate transfer on the clustered workload:
+# each skip-mix query with both mechanisms on vs off, pinned to one CPU.
+# Regenerates BENCH_skip.json (rows/s, skipped-block %, skipped-probe %,
+# transfer-filter build cost). See DESIGN.md, "Predicate transfer & data
+# skipping".
+bench-skip:
+	$(GO) test -bench=BenchmarkSkip -benchtime=20x -cpu=1 -run=^$$ .

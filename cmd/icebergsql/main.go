@@ -2,13 +2,13 @@
 // engine. It supports CREATE TABLE / INSERT / SELECT plus shell commands:
 //
 //	\opt on|off           toggle the Smart-Iceberg optimizer (default on)
-//	\opt apriori|prune|memo|ci on|off
+//	\opt apriori|prune|memo|ci|skip|transfer on|off
 //	                      toggle individual techniques
 //	\explain <sql>        show the baseline plan or the optimizer rewrites
 //	\report               show the optimizer report of the last query
 //	\load <dataset> <n> [seed]
-//	                      load a synthetic dataset: performance, kv,
-//	                      scores, objects, baskets
+//	                      load a synthetic dataset: performance, clustered,
+//	                      kv, scores, objects, baskets
 //	\import <table> <csv> bulk-load a CSV file (header line expected)
 //	\export <table> <csv> write a table as CSV
 //	\save <dir>           persist the whole database (manifest + CSVs)
@@ -47,6 +47,8 @@ var (
 	flagWorkers  = flag.Int("workers", 0, "parallel workers for NLJP and morsel table scans; 0 = min(4, GOMAXPROCS), 1 = sequential")
 	flagSpill    = flag.Bool("spill", false, "spill to disk instead of failing when -mem is exceeded")
 	flagSpillDir = flag.String("spill-dir", "", "parent directory for spill files; empty = system temp dir")
+	flagSkip     = flag.Bool("skip", true, "zone-map data skipping at the scan layer (requires -batch > 0)")
+	flagTransfer = flag.Bool("transfer", true, "sideways predicate transfer from hash-join build sides to probe scans (requires -batch > 0)")
 )
 
 func main() {
@@ -58,6 +60,8 @@ func main() {
 	opts.Workers = *flagWorkers
 	opts.Spill = *flagSpill
 	opts.SpillDir = *flagSpillDir
+	opts.NoSkip = !*flagSkip
+	opts.NoTransfer = !*flagTransfer
 	optimize := true
 	var lastReport string
 
@@ -104,6 +108,7 @@ func runSQL(db *smarticeberg.DB, sql string, opts smarticeberg.Options, optimize
 			ctx, cancel = context.WithTimeout(ctx, *flagTimeout)
 			defer cancel()
 		}
+		before := smarticeberg.SkipTotals()
 		if optimize {
 			opts.Ctx = ctx
 			res, report, err := db.QueryOpt(sql, opts)
@@ -121,7 +126,8 @@ func runSQL(db *smarticeberg.DB, sql string, opts smarticeberg.Options, optimize
 				}
 				degraded = "; degraded under memory budget: " + strings.Join(names, ", ")
 			}
-			fmt.Printf("Time: %.3fs (optimized; \\report for rewrites%s)\n", time.Since(start).Seconds(), degraded)
+			fmt.Printf("Time: %.3fs (optimized; \\report for rewrites%s%s)\n",
+				time.Since(start).Seconds(), degraded, skipNote(before))
 			return
 		}
 		var (
@@ -140,7 +146,7 @@ func runSQL(db *smarticeberg.DB, sql string, opts smarticeberg.Options, optimize
 			return
 		}
 		fmt.Print(res.String())
-		fmt.Printf("Time: %.3fs (%s)\n", time.Since(start).Seconds(), mode)
+		fmt.Printf("Time: %.3fs (%s%s)\n", time.Since(start).Seconds(), mode, skipNote(before))
 		return
 	}
 	if err := db.Exec(sql); err != nil {
@@ -148,6 +154,26 @@ func runSQL(db *smarticeberg.DB, sql string, opts smarticeberg.Options, optimize
 		return
 	}
 	fmt.Printf("OK (%.3fs)\n", time.Since(start).Seconds())
+}
+
+// skipNote renders the data-skipping work of the query just run — the delta
+// of the process-wide counters since before — as a suffix for the timing
+// line. Empty when nothing was skipped so default output stays unchanged.
+func skipNote(before smarticeberg.SkipStats) string {
+	after := smarticeberg.SkipTotals()
+	var parts []string
+	if n := after.SkippedBlocks - before.SkippedBlocks; n > 0 {
+		parts = append(parts, fmt.Sprintf("%d blocks (%d rows)",
+			n, after.SkippedRows-before.SkippedRows))
+	}
+	if n := after.SkippedProbes - before.SkippedProbes; n > 0 {
+		parts = append(parts, fmt.Sprintf("%d probe rows (%d filters transferred)",
+			n, after.FiltersTransferred-before.FiltersTransferred))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "; skipped " + strings.Join(parts, ", ")
 }
 
 func command(db *smarticeberg.DB, line string, opts *smarticeberg.Options, optimize *bool, lastReport *string) bool {
@@ -178,6 +204,10 @@ func command(db *smarticeberg.DB, line string, opts *smarticeberg.Options, optim
 				opts.Memo = on
 			case "ci":
 				opts.CacheIndex = on
+			case "skip":
+				opts.NoSkip = !on
+			case "transfer":
+				opts.NoTransfer = !on
 			default:
 				fmt.Println("unknown technique:", fields[1])
 			}
@@ -205,7 +235,7 @@ func command(db *smarticeberg.DB, line string, opts *smarticeberg.Options, optim
 		}
 	case "\\load":
 		if len(fields) < 3 {
-			fmt.Println("usage: \\load performance|kv|scores|objects|baskets <n> [seed]")
+			fmt.Println("usage: \\load performance|clustered|kv|scores|objects|baskets <n> [seed]")
 			break
 		}
 		n, err := strconv.Atoi(fields[2])
@@ -223,6 +253,8 @@ func command(db *smarticeberg.DB, line string, opts *smarticeberg.Options, optim
 		switch fields[1] {
 		case "performance":
 			db.LoadPlayerPerformance(n, seed)
+		case "clustered":
+			db.LoadClusteredPerformance(n, seed)
 		case "kv":
 			db.LoadUnpivoted(n, seed)
 		case "scores":

@@ -248,6 +248,21 @@ func isValueSel(t types.Type) bool { return isPkgType(t, valuePkgSuffix, "Sel") 
 // loops for cancellation purposes).
 func isSelKernel(t types.Type) bool { return isPkgType(t, exprPkgSuffix, "SelKernel") }
 
+// isZonePred reports whether t is expr.ZonePred (a block-level zone-map
+// predicate — a zone-probe loop walks the whole table's block summaries
+// without yielding rows, so it drives for cancellation purposes).
+func isZonePred(t types.Type) bool { return isPkgType(t, exprPkgSuffix, "ZonePred") }
+
+// isKeyFilterPtr reports whether t is *expr.KeyFilter (a transferred join
+// filter; a loop probing MayContain per candidate row covers unbounded rows).
+func isKeyFilterPtr(t types.Type) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isPkgType(p.Elem(), exprPkgSuffix, "KeyFilter")
+}
+
 // operatorInterface locates the engine.Operator interface visible from pkg:
 // the package itself when linting internal/engine, or any direct import.
 func operatorInterface(pkg *types.Package) *types.Interface {

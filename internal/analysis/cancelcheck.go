@@ -11,8 +11,11 @@ import (
 // drive a child (call Next/NextBatch on an operator) or invoke a typed
 // selection kernel (expr.SelKernel — each invocation burns through a whole
 // input window, so a kernel loop covers unbounded rows; the morsel workers of
-// ParallelBatchScan run exactly such loops) without reaching a cancellation
-// check on every iteration path. The runtime contract (PR 5) is that
+// ParallelBatchScan run exactly such loops), a zone-map predicate
+// (expr.ZonePred — a probe loop sweeps every block summary of a table), or a
+// transferred-filter Bloom probe (expr.KeyFilter.MayContain — one probe per
+// candidate row) without reaching a cancellation check on every iteration
+// path. The runtime contract (PR 5) is that
 // execution responds to context cancellation and memory-budget exhaustion
 // within a bounded number of rows; a drive loop with a continue-path that
 // skips its execState.step()/stepChunk() call can spin past a cancelled
@@ -73,14 +76,20 @@ func runCancelCheck(pass *Pass) error {
 
 // isDriveCall reports whether call pulls from an operator — a no-arg Next or
 // NextBatch on a receiver that implements Operator/BatchOperator — or invokes
-// an expr.SelKernel, which processes a whole input window per call. (A
-// spill.Reader.Next or iterator Next on a non-operator type does not count —
-// those loops are bounded by what was previously written.)
+// an expr.SelKernel, which processes a whole input window per call, or an
+// expr.ZonePred, whose probe loops sweep every block summary of a table, or
+// expr.KeyFilter.MayContain, whose probe loops cover unbounded candidate
+// rows. (A spill.Reader.Next or iterator Next on a non-operator type does
+// not count — those loops are bounded by what was previously written.)
 func isDriveCall(pass *Pass, call *ast.CallExpr, isOperator func(types.Type) bool) bool {
-	if t := pass.TypesInfo.TypeOf(call.Fun); t != nil && isSelKernel(t) {
+	if t := pass.TypesInfo.TypeOf(call.Fun); t != nil && (isSelKernel(t) || isZonePred(t)) {
 		return true
 	}
 	name := selName(call)
+	if name == "MayContain" && len(call.Args) == 1 {
+		t := receiverType(pass, call)
+		return t != nil && isKeyFilterPtr(t)
+	}
 	if (name != "Next" && name != "NextBatch") || len(call.Args) != 0 {
 		return false
 	}
@@ -112,10 +121,21 @@ func isCancelCheckCall(pass *Pass, call *ast.CallExpr) bool {
 }
 
 // describeDrive renders the drive call for the diagnostic: "c.Next",
-// "child.NextBatch", or "selection kernel s.kern".
+// "child.NextBatch", "selection kernel s.kern", "zone predicate s.zonePred",
+// or "Bloom probe f.MayContain".
 func describeDrive(pass *Pass, call *ast.CallExpr) string {
-	if t := pass.TypesInfo.TypeOf(call.Fun); t != nil && isSelKernel(t) {
-		return "selection kernel " + exprString(call.Fun)
+	if t := pass.TypesInfo.TypeOf(call.Fun); t != nil {
+		if isSelKernel(t) {
+			return "selection kernel " + exprString(call.Fun)
+		}
+		if isZonePred(t) {
+			return "zone predicate " + exprString(call.Fun)
+		}
+	}
+	if selName(call) == "MayContain" {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			return "Bloom probe " + exprString(sel.X) + ".MayContain"
+		}
 	}
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		return exprString(sel.X) + "." + sel.Sel.Name

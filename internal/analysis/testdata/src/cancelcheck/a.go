@@ -216,6 +216,80 @@ func (k *KernScan) scanChecked(lo, hi int) error {
 	return nil
 }
 
+// ZoneScan mimics the data-skipping scan: its loops consult a zone-map
+// predicate per block and a transferred Bloom filter per candidate row.
+// Both loop shapes sweep unbounded state — block summaries cover the whole
+// table, probe candidates the whole window — so they are drive loops too.
+type ZoneScan struct {
+	ec     *engine.ExecContext
+	zones  *value.ZoneMaps
+	zp     expr.ZonePred
+	filter *expr.KeyFilter
+	size   int
+}
+
+func (z *ZoneScan) Schema() value.Schema        { return nil }
+func (z *ZoneScan) Open() error                 { return nil }
+func (z *ZoneScan) Close() error                { return nil }
+func (z *ZoneScan) Describe() string            { return "zone scan" }
+func (z *ZoneScan) Children() []engine.Operator { return nil }
+func (z *ZoneScan) BatchSize() int              { return z.size }
+func (z *ZoneScan) Next() (value.Row, error)    { return nil, nil }
+
+func (z *ZoneScan) NextBatch() (*value.Batch, error) { return nil, nil }
+
+// zonesUnchecked walks every block summary with no cancellation poll: a
+// cancelled query keeps pruning until the zone maps run out.
+func (z *ZoneScan) zonesUnchecked() int {
+	kept := 0
+	for b := 0; b < z.zones.NumBlocks(); b++ { // want `loop drives zone predicate z.zp without a cancellation check`
+		if z.zp(z.zones, b) {
+			kept++
+		}
+	}
+	return kept
+}
+
+// zonesChecked polls ExecContext.Err before each block probe. Clean.
+func (z *ZoneScan) zonesChecked() (int, error) {
+	kept := 0
+	for b := 0; b < z.zones.NumBlocks(); b++ {
+		if err := z.ec.Err(); err != nil {
+			return 0, err
+		}
+		if z.zp(z.zones, b) {
+			kept++
+		}
+	}
+	return kept, nil
+}
+
+// probesUnchecked probes the transferred Bloom filter once per candidate row
+// with no poll on the loop path: flagged.
+func (z *ZoneScan) probesUnchecked(keys [][]byte) int {
+	hits := 0
+	for _, k := range keys { // want `loop drives Bloom probe z.filter.MayContain without a cancellation check`
+		if z.filter.MayContain(k) {
+			hits++
+		}
+	}
+	return hits
+}
+
+// probesChecked leads every probe with an Err poll. Clean.
+func (z *ZoneScan) probesChecked(keys [][]byte) (int, error) {
+	hits := 0
+	for _, k := range keys {
+		if err := z.ec.Err(); err != nil {
+			return 0, err
+		}
+		if z.filter.MayContain(k) {
+			hits++
+		}
+	}
+	return hits, nil
+}
+
 // scanTrailingChecked polls only between sub-windows (the old sequential-scan
 // shape): the final iteration's path back to the header skips the check, so
 // the loop is flagged — the unchecked tail is exactly where a morsel worker

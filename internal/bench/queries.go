@@ -72,6 +72,69 @@ GROUP BY R.playerid
 HAVING COUNT(*) <= %d`, k)
 }
 
+// SkipQuery is one entry of the skip-friendly mix over the clustered table:
+// the SQL plus the number of perf_clustered scans in its plan, which turns
+// the process-wide skipped-block counter into a percentage of the blocks the
+// query would otherwise read.
+type SkipQuery struct {
+	Name  string
+	SQL   string
+	Scans int
+}
+
+// SkipQueries returns the data-skipping query mix over perf_clustered (the
+// player-season table physically sorted by year). Each query leans on one
+// skip mechanism:
+//
+//   - YearSlice: a year-range aggregate — zone maps on the sort column prune
+//     every block outside the range;
+//   - RecentSkyband: the Figure-1 Q1 skyband shape restricted to recent
+//     seasons, so both self-join scans prune on year before the quadratic
+//     dominator count runs (the join still dominates: an honest
+//     skip-neutral data point);
+//   - EraSkyband: the same Q1 shape cut to the newest era, where the join
+//     shrinks to a handful of seasons and the full-table scans are the
+//     cost — the case where block skipping pays on a Figure-1 query;
+//   - EraCount: a point predicate on year, the sharpest zone case;
+//   - StarTransfer: a playerid equi-join whose build side keeps only
+//     high-hit seasons — the transferred Bloom filter drops most probe rows
+//     at the scan.
+func SkipQueries() []SkipQuery {
+	return []SkipQuery{
+		{"YearSlice", `
+SELECT playerid, COUNT(1), SUM(b_h)
+FROM perf_clustered
+WHERE year >= 2010 AND year <= 2012
+GROUP BY playerid`, 1},
+		{"RecentSkyband", `
+SELECT R.playerid, R.year, R.round, COUNT(1)
+FROM perf_clustered L, perf_clustered R
+WHERE L.year >= 2020 AND R.year >= 2020
+  AND L.b_h >= R.b_h AND L.b_hr >= R.b_hr
+  AND (L.b_h > R.b_h OR L.b_hr > R.b_hr)
+GROUP BY R.playerid, R.year, R.round
+HAVING COUNT(1) < 50`, 2},
+		{"EraSkyband", `
+SELECT R.playerid, R.year, R.round, COUNT(1)
+FROM perf_clustered L, perf_clustered R
+WHERE L.year >= 2025 AND R.year >= 2025
+  AND L.b_h >= R.b_h AND L.b_hr >= R.b_hr
+  AND (L.b_h > R.b_h OR L.b_hr > R.b_hr)
+GROUP BY R.playerid, R.year, R.round
+HAVING COUNT(1) < 50`, 2},
+		{"EraCount", `
+SELECT teamid, COUNT(1)
+FROM perf_clustered
+WHERE year = 1995
+GROUP BY teamid`, 1},
+		{"StarTransfer", `
+SELECT S.playerid, COUNT(1)
+FROM perf_clustered S, perf_clustered T
+WHERE S.playerid = T.playerid AND T.b_h >= 180
+GROUP BY S.playerid`, 2},
+	}
+}
+
 // Figure1Queries returns the eight queries of Figure 1 with the parameter
 // variations the paper describes: Q1–Q3 skyband over different attribute
 // pairs and thresholds, Q4–Q7 pairs with varying (c, k) and SUM/AVG, Q8 the

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/storage"
+	"smarticeberg/internal/value"
+	"smarticeberg/internal/workload"
+)
+
+// Data-skipping bench: the SkipQueries mix over the clustered table, each
+// query run with zone-map skipping + predicate transfer on and off. The
+// metrics BENCH_skip.json records are the ones the optimization is judged
+// on: throughput (rows/s over the rows the query would read unskipped),
+// skipped-block percentage, skipped probe rows, and the standalone cost of
+// building a transfer filter.
+
+// SkipBenchRecord is one (query, skipping on/off) measurement.
+type SkipBenchRecord struct {
+	Query      string  `json:"query"`
+	Skipping   string  `json:"skipping"` // "on" or "off"
+	BatchSize  int     `json:"batch_size"`
+	Workers    int     `json:"workers"`
+	Iters      int     `json:"iters"`
+	InputRows  int     `json:"input_rows"` // scans × table rows: what "off" reads
+	OutputRows int     `json:"output_rows"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+
+	// Per-execution skip counters (process totals divided by iters).
+	SkippedBlocks      int64   `json:"skipped_blocks"`
+	TotalBlocks        int64   `json:"total_blocks"` // scans × table blocks
+	SkippedBlockPct    float64 `json:"skipped_block_pct"`
+	SkippedRows        int64   `json:"skipped_rows"`
+	SkippedProbes      int64   `json:"skipped_probes"`
+	SkippedProbePct    float64 `json:"skipped_probe_pct"` // of the rows surviving zones
+	FiltersBuilt       int64   `json:"filters_built"`
+	FiltersTransferred int64   `json:"filters_transferred"`
+}
+
+// FilterBuildRecord is the standalone transfer-filter build cost: the price
+// a hash join pays, on top of its hash table, to make its build side
+// transferable.
+type FilterBuildRecord struct {
+	Keys        int     `json:"keys"`
+	NsPerBuild  int64   `json:"ns_per_build"`
+	NsPerKey    float64 `json:"ns_per_key"`
+	FilterBytes int64   `json:"filter_bytes"`
+}
+
+// SkipBenchFile is the BENCH_skip.json artifact.
+type SkipBenchFile struct {
+	NumCPU      int               `json:"num_cpu"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	TableRows   int               `json:"table_rows"`
+	BlockSize   int               `json:"block_size"`
+	FilterBuild FilterBuildRecord `json:"filter_build"`
+	Records     []SkipBenchRecord `json:"records"`
+}
+
+// NewSkipCatalog builds the clustered-workload catalog the skip bench and
+// smoke tests share.
+func NewSkipCatalog(n int, seed int64) *storage.Catalog {
+	cat := storage.NewCatalog()
+	cat.Put(workload.ClusteredPerformance(n, seed))
+	return cat
+}
+
+// MeasureSkip times iters executions of one skip-mix query with skipping and
+// transfer either both on or both off, and reads the per-execution skip
+// counters off the process totals.
+func MeasureSkip(cat *storage.Catalog, q SkipQuery, batchSize, workers, iters int, skipping bool) (SkipBenchRecord, error) {
+	rec := SkipBenchRecord{
+		Query: q.Name, Skipping: "off", BatchSize: batchSize, Workers: workers, Iters: iters,
+	}
+	if skipping {
+		rec.Skipping = "on"
+	}
+	if iters <= 0 {
+		return rec, fmt.Errorf("iters must be positive")
+	}
+	table, err := cat.Get("perf_clustered")
+	if err != nil {
+		return rec, err
+	}
+	nRows := len(table.Rows)
+	rec.InputRows = q.Scans * nRows
+	tableBlocks := (nRows + value.ZoneBlockSize - 1) / value.ZoneBlockSize
+	rec.TotalBlocks = int64(q.Scans * tableBlocks)
+
+	sel, err := sqlparser.ParseSelect(q.SQL)
+	if err != nil {
+		return rec, err
+	}
+	run := func() (int, error) {
+		ec := engine.NewExecContext(nil, nil)
+		p := &engine.Planner{
+			Catalog: cat, UseIndexes: true, Exec: ec,
+			BatchSize: batchSize, Workers: workers,
+			NoZoneSkip: !skipping, NoTransfer: !skipping,
+		}
+		op, err := p.PlanSelect(sel, nil)
+		if err != nil {
+			return 0, err
+		}
+		rows, err := engine.RunExecBatch(ec, op, batchSize)
+		return len(rows), err
+	}
+	// Warmup fills the table's column/zone caches so the timed loop measures
+	// steady state, as a registered table would serve. The explicit GC then
+	// flushes warmup (and any prior measurement's) garbage: on one CPU the
+	// collector's assist debt lands inside whichever timed loop runs next,
+	// which otherwise swamps the millisecond-scale differences measured here.
+	if _, err := run(); err != nil {
+		return rec, err
+	}
+	runtime.GC()
+	engine.ResetSkipTotals()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		n, err := run()
+		if err != nil {
+			return rec, err
+		}
+		rec.OutputRows = n
+	}
+	elapsed := time.Since(start)
+	totals := engine.SkipTotals()
+
+	rec.NsPerOp = elapsed.Nanoseconds() / int64(iters)
+	if rec.NsPerOp > 0 {
+		rec.RowsPerSec = float64(rec.InputRows) / (float64(rec.NsPerOp) / 1e9)
+	}
+	rec.SkippedBlocks = totals.SkippedBlocks / int64(iters)
+	rec.SkippedRows = totals.SkippedRows / int64(iters)
+	rec.SkippedProbes = totals.SkippedProbes / int64(iters)
+	rec.FiltersBuilt = totals.FiltersBuilt / int64(iters)
+	rec.FiltersTransferred = totals.FiltersTransferred / int64(iters)
+	if rec.TotalBlocks > 0 {
+		rec.SkippedBlockPct = 100 * float64(rec.SkippedBlocks) / float64(rec.TotalBlocks)
+	}
+	if survivors := int64(rec.InputRows) - rec.SkippedRows; survivors > 0 {
+		rec.SkippedProbePct = 100 * float64(rec.SkippedProbes) / float64(survivors)
+	}
+	return rec, nil
+}
+
+// MeasureFilterBuild times building a transfer filter over n single-column
+// int keys, amortized over iters builds.
+func MeasureFilterBuild(n, iters int) FilterBuildRecord {
+	keys := make([][]byte, n)
+	vals := make([][]value.Value, n)
+	for i := range keys {
+		vals[i] = []value.Value{value.NewInt(int64(i))}
+		keys[i] = value.AppendKeys(nil, vals[i])
+	}
+	var f *expr.KeyFilter
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		f = expr.NewKeyFilter(n, 1)
+		for i := range keys {
+			f.Add(keys[i], vals[i])
+		}
+	}
+	elapsed := time.Since(start)
+	rec := FilterBuildRecord{
+		Keys:        n,
+		NsPerBuild:  elapsed.Nanoseconds() / int64(iters),
+		FilterBytes: f.SizeBytes(),
+	}
+	if n > 0 {
+		rec.NsPerKey = float64(rec.NsPerBuild) / float64(n)
+	}
+	return rec
+}
+
+// WriteSkipBench writes the BENCH_skip.json artifact.
+func WriteSkipBench(path string, tableRows int, fb FilterBuildRecord, records []SkipBenchRecord) error {
+	f := SkipBenchFile{
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		TableRows:   tableRows,
+		BlockSize:   value.ZoneBlockSize,
+		FilterBuild: fb,
+		Records:     records,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -87,6 +87,20 @@ type BatchMemScan struct {
 	cols    *value.Columns
 	kern    expr.SelKernel
 	colMode bool
+	// Scan avoidance (columnar mode only). zones summarizes cols per block;
+	// zonePred accumulates the pushed-down predicate's zone form and any
+	// transferred filter envelopes, and a block it rejects is skipped whole.
+	// transferKerns are membership kernels of transferred join filters,
+	// applied to each window's fresh selection. Skipping and transfer only
+	// remove rows the fused predicate or a downstream join would discard, so
+	// the output stream is byte-identical either way.
+	zones         *value.ZoneMaps
+	zonePred      expr.ZonePred
+	transferKerns []expr.SelKernel
+	skippedBlocks int64
+	skippedRows   int64
+	skippedProbes int64
+	skipFlushed   bool
 }
 
 // NewBatchMemScan builds a batch scan over rows with the given schema and
@@ -114,6 +128,39 @@ func (s *BatchMemScan) SetColumns(cols *value.Columns) { s.cols = cols }
 // row path stays authoritative for EXPLAIN and fallback).
 func (s *BatchMemScan) FuseSelKernel(k expr.SelKernel) { s.kern = k }
 
+// SetZoneMaps attaches per-block summaries over the scan's columns; zone
+// predicates then skip blocks whole. zones must summarize exactly the rows of
+// the attached Columns (callers verify zones.Len()).
+func (s *BatchMemScan) SetZoneMaps(z *value.ZoneMaps) { s.zones = z }
+
+// FuseZonePred conjoins a zone predicate: a block it rejects provably yields
+// no output rows and is skipped. Multiple calls accumulate under AND.
+func (s *BatchMemScan) FuseZonePred(p expr.ZonePred) {
+	s.zonePred = expr.ZoneAnd(s.zonePred, p)
+}
+
+// AddTransferKernel installs a transferred join-filter membership kernel; the
+// scan drops rows whose join key provably misses the filter's build side.
+// Multiple ancestor joins may each install one.
+func (s *BatchMemScan) AddTransferKernel(k expr.SelKernel) {
+	s.transferKerns = append(s.transferKerns, k)
+}
+
+// CanTransfer reports whether the scan will run in columnar mode, i.e.
+// whether zone predicates and transfer kernels installed now would take
+// effect (mirrors the colMode decision Open makes).
+func (s *BatchMemScan) CanTransfer() bool {
+	return s.cols != nil && (s.pred == nil || s.kern != nil)
+}
+
+// ZoneMaps returns the attached zone maps, if any.
+func (s *BatchMemScan) ZoneMaps() *value.ZoneMaps { return s.zones }
+
+// SkipCounts implements skipReporter.
+func (s *BatchMemScan) SkipCounts() (blocks, rows, probes int64) {
+	return s.skippedBlocks, s.skippedRows, s.skippedProbes
+}
+
 // Schema implements Operator.
 func (s *BatchMemScan) Schema() value.Schema { return s.schema }
 
@@ -127,6 +174,8 @@ func (s *BatchMemScan) Open() error {
 	}
 	s.pos = 0
 	s.out = 0
+	s.skippedBlocks, s.skippedRows, s.skippedProbes = 0, 0, 0
+	s.skipFlushed = false
 	s.reset()
 	s.colMode = s.cols != nil && (s.pred == nil || s.kern != nil)
 	switch {
@@ -197,10 +246,14 @@ func (s *BatchMemScan) NextBatch() (*value.Batch, error) {
 // chunk, filtered by the selection kernel (when fused). A fully filtered
 // window pulls the next one so the operator never emits an empty chunk, and
 // long kernel-only stretches still poll cancellation every
-// batchScanCheckEvery input rows, like the row loop.
+// batchScanCheckEvery input rows, like the row loop. With zone maps attached,
+// sub-windows are clamped to zone-block boundaries and a block the zone
+// predicate rejects is skipped without running the kernel; transferred
+// membership kernels then filter each window's fresh selection.
 func (s *BatchMemScan) nextColBatch() (*value.Batch, error) {
 	b := s.batch
 	n := s.cols.Len()
+	zoning := s.zones != nil && s.zonePred != nil
 	for {
 		b.Reset()
 		if s.pos >= n {
@@ -214,7 +267,7 @@ func (s *BatchMemScan) nextColBatch() (*value.Batch, error) {
 		s.pos = hi
 		//lint:ignore rowalias the scan owns this selection and rewrites it each chunk within the batch's validity window
 		sel := b.Sel()[:0]
-		if s.kern != nil {
+		if s.kern != nil || zoning || len(s.transferKerns) > 0 {
 			// The check leads the sub-window so every iteration path of the
 			// kernel loop polls cancellation (icelint cancelcheck verifies this).
 			for lo < hi {
@@ -225,10 +278,50 @@ func (s *BatchMemScan) nextColBatch() (*value.Batch, error) {
 				if mid > hi {
 					mid = hi
 				}
+				if zoning {
+					// Keep sub-windows inside one zone block so a single probe
+					// answers for the whole window. Skipping a partial window
+					// of a rejected block is equally sound: the predicate
+					// selects nothing anywhere in the block.
+					if end := s.zones.BlockEnd(lo); end < mid {
+						mid = end
+					}
+					if !s.zonePred(s.zones, s.zones.BlockOf(lo)) {
+						if lo%s.zones.BlockSize() == 0 {
+							s.skippedBlocks++
+						}
+						s.skippedRows += int64(mid - lo)
+						lo = mid
+						continue
+					}
+				}
+				start := len(sel)
 				var err error
-				sel, err = s.kern(s.cols, lo, mid, nil, sel)
-				if err != nil {
-					return nil, err
+				if s.kern != nil {
+					sel, err = s.kern(s.cols, lo, mid, nil, sel)
+					if err != nil {
+						return nil, err
+					}
+				} else {
+					for i := lo; i < mid; i++ {
+						sel = append(sel, int32(i))
+					}
+				}
+				for _, tk := range s.transferKerns {
+					if err := s.stepChunk(); err != nil {
+						return nil, err
+					}
+					// Each transferred filter compacts only the rows this
+					// window just selected; out trails cand so aliasing the
+					// tail of sel is safe.
+					newPart := sel[start:]
+					before := len(newPart)
+					filtered, err := tk(s.cols, lo, mid, newPart, newPart[:0])
+					if err != nil {
+						return nil, err
+					}
+					sel = sel[:start+len(filtered)]
+					s.skippedProbes += int64(before - len(filtered))
 				}
 				lo = mid
 			}
@@ -252,7 +345,13 @@ func (s *BatchMemScan) nextColBatch() (*value.Batch, error) {
 func (s *BatchMemScan) Next() (value.Row, error) { return s.next(s.NextBatch) }
 
 // Close implements Operator.
-func (s *BatchMemScan) Close() error { return failpoint.Inject(failpoint.ScanClose) }
+func (s *BatchMemScan) Close() error {
+	if !s.skipFlushed {
+		s.skipFlushed = true
+		addSkipTotals(s.skippedBlocks, s.skippedRows, s.skippedProbes)
+	}
+	return failpoint.Inject(failpoint.ScanClose)
+}
 
 // Describe implements Operator.
 func (s *BatchMemScan) Describe() string {

@@ -26,6 +26,11 @@ type BatchNLJoin struct {
 	innerRows []value.Row
 	reserved  int64
 	out       int64
+	// transferred marks that this join's key filter was installed on at
+	// least one probe-side scan (EXPLAIN ANALYZE annotation); probeFlushed
+	// guards the one-shot flush of Bloom-skipped probe counts at Close.
+	transferred  bool
+	probeFlushed bool
 	outerCur  *value.Batch
 	outerPos  int
 	curOuter  value.Row
@@ -74,6 +79,15 @@ func (j *BatchNLJoin) Open() error {
 	j.innerRows = rows
 	if err := j.method.Build(rows); err != nil {
 		return err
+	}
+	j.transferred = false
+	j.probeFlushed = false
+	if hm, ok := j.method.(*hashMethod); ok && hm.transfer {
+		// Sideways predicate transfer: the build side is materialized and its
+		// key filter final, but no probe-side scan has opened yet (outer.Open
+		// runs last below) — the only window where installing filters on them
+		// is race-free.
+		j.installTransfer(hm)
 	}
 	j.outerCur = nil
 	j.outerPos = 0
@@ -161,6 +175,12 @@ func (j *BatchNLJoin) Next() (value.Row, error) { return j.next(j.NextBatch) }
 func (j *BatchNLJoin) Close() error {
 	j.exec().Release(j.reserved)
 	j.reserved = 0
+	if !j.probeFlushed {
+		j.probeFlushed = true
+		if hm, ok := j.method.(*hashMethod); ok {
+			skipTotals.probes.Add(hm.skippedProbes.Load())
+		}
+	}
 	if err := failpoint.Inject(failpoint.JoinClose); err != nil {
 		//lint:ignore closecheck injected fault takes precedence; the real close still runs
 		_ = j.outer.Close()

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
 	"smarticeberg/internal/value"
 )
 
@@ -25,22 +26,94 @@ func Batchify(op Operator, size int) Operator {
 // morsel order — output stays byte-identical to workers = 1 (and to the row
 // pipeline) for every worker count. Scans that cannot run columnar (no cached
 // columns, or a fused predicate outside the kernel fragment) keep the
-// sequential batch scan.
+// sequential batch scan. Zone-map skipping is on (a planner configures it via
+// batchifyPlan).
 func BatchifyWorkers(op Operator, size, workers int) Operator {
 	if size <= 0 {
 		return op
 	}
-	return batchify(op, size, workers)
+	return batchify(op, batchifyCfg{size: size, workers: workers, zoneSkip: true})
 }
 
-func batchify(op Operator, size, workers int) Operator {
+// batchifyPlan is the planner's entry point: it carries the planner's
+// scan-avoidance knobs and exec context (for degrade recording) into the
+// rewrite.
+func (p *Planner) batchifyPlan(op Operator) Operator {
+	if p.BatchSize <= 0 {
+		return op
+	}
+	return batchify(op, batchifyCfg{
+		size:     p.BatchSize,
+		workers:  DefaultWorkers(p.Workers),
+		zoneSkip: !p.NoZoneSkip,
+		ec:       p.Exec,
+	})
+}
+
+// batchifyCfg carries the rewrite's knobs down the recursion.
+type batchifyCfg struct {
+	size     int
+	workers  int
+	zoneSkip bool
+	ec       *ExecContext
+}
+
+// ZoneSource is implemented by column sources that also maintain zone maps
+// over their cached columns (storage.Table).
+type ZoneSource interface {
+	Zones() *value.ZoneMaps
+}
+
+// zonesFor fetches zone maps for a scan when skipping is enabled and the
+// summaries describe exactly the rows this scan snapshot holds. A fault at
+// the ZoneMapBuild site (error or panic) degrades to "no zone maps" — the
+// scan runs unskipped — and is recorded on the exec context.
+func (c batchifyCfg) zonesFor(src ColumnarSource, cols *value.Columns, nRows int) *value.ZoneMaps {
+	if !c.zoneSkip || src == nil || cols == nil {
+		return nil
+	}
+	zs, ok := src.(ZoneSource)
+	if !ok {
+		return nil
+	}
+	z := c.fetchZones(zs)
+	if z == nil || z.Len() != cols.Len() || cols.Len() != nRows {
+		return nil
+	}
+	return z
+}
+
+func (c batchifyCfg) fetchZones(zs ZoneSource) (z *value.ZoneMaps) {
+	defer func() {
+		if r := recover(); r != nil {
+			z = nil
+			if c.ec != nil {
+				c.ec.Degrade(DegradeSkipDisabled)
+			}
+		}
+	}()
+	if err := failpoint.Inject(failpoint.ZoneMapBuild); err != nil {
+		if c.ec != nil {
+			c.ec.Degrade(DegradeSkipDisabled)
+		}
+		return nil
+	}
+	return zs.Zones()
+}
+
+func batchify(op Operator, cfg batchifyCfg) Operator {
+	size, workers := cfg.size, cfg.workers
 	switch o := op.(type) {
 	case *MemScan:
 		if workers > 1 && o.colSrc != nil {
 			// Morsel parallelism needs the columnar form and more than one
 			// morsel's worth of rows to be worth a worker pool.
 			if cols := o.colSrc.Columns(); cols != nil && cols.Len() == len(o.rows) && cols.Len() > size {
-				return NewParallelBatchScan(o.Label, o.schema, o.rows, cols, size, workers)
+				ps := NewParallelBatchScan(o.Label, o.schema, o.rows, cols, size, workers)
+				if z := cfg.zonesFor(o.colSrc, cols, len(o.rows)); z != nil {
+					ps.SetZoneMaps(z)
+				}
+				return ps
 			}
 		}
 		bs := NewBatchMemScan(o.Label, o.schema, o.rows, size)
@@ -50,17 +123,25 @@ func batchify(op Operator, size, workers int) Operator {
 			// row-view path for this query.
 			if cols := o.colSrc.Columns(); cols != nil && cols.Len() == len(o.rows) {
 				bs.SetColumns(cols)
+				if z := cfg.zonesFor(o.colSrc, cols, len(o.rows)); z != nil {
+					bs.SetZoneMaps(z)
+				}
 			}
 		}
 		return bs
 	case *Filter:
-		c := batchify(o.child, size, workers)
+		c := batchify(o.child, cfg)
 		if ps, ok := c.(*ParallelBatchScan); ok && !ps.Fused() && o.srcExpr != nil {
 			// A parallel scan only fuses predicates with a typed kernel —
 			// workers never materialize rows. Without one the filter runs
 			// downstream over the parallel chunks instead.
 			if k, ok := expr.CompileSel(o.srcExpr, ps.Schema()); ok {
 				ps.FuseKernel(o.pred, o.label, k)
+				if ps.ZoneMaps() != nil {
+					if zp, ok := expr.CompileZone(o.srcExpr, ps.Schema()); ok {
+						ps.FuseZonePred(zp)
+					}
+				}
 				return ps
 			}
 		}
@@ -69,6 +150,14 @@ func batchify(op Operator, size, workers int) Operator {
 			if o.srcExpr != nil {
 				if k, ok := expr.CompileSel(o.srcExpr, bs.Schema()); ok {
 					bs.FuseSelKernel(k)
+					if bs.ZoneMaps() != nil {
+						// The zone form of the same predicate: a rejected
+						// block holds only rows the kernel would filter, so
+						// skipping it whole preserves the output stream.
+						if zp, ok := expr.CompileZone(o.srcExpr, bs.Schema()); ok {
+							bs.FuseZonePred(zp)
+						}
+					}
 				}
 			}
 			return bs
@@ -84,13 +173,13 @@ func batchify(op Operator, size, workers int) Operator {
 		}
 		return NewFilter(c, o.pred, o.label)
 	case *Project:
-		c := batchify(o.child, size, workers)
+		c := batchify(o.child, cfg)
 		if bc, ok := c.(BatchOperator); ok {
 			return NewBatchProject(bc, o.exprs, o.schema)
 		}
 		return NewProject(c, o.exprs, o.schema)
 	case *HashAggregate:
-		c := BatchOf(batchify(o.child, size, workers), size)
+		c := BatchOf(batchify(o.child, cfg), size)
 		agg := NewBatchHashAggregate(c, o.groupBy, o.aggs, o.having, o.schema)
 		if o.groupCols != nil {
 			agg.SetGroupColumns(o.groupCols)
@@ -100,17 +189,17 @@ func batchify(op Operator, size, workers int) Operator {
 		}
 		return agg
 	case *NLJoin:
-		outer := BatchOf(batchify(o.outer, size, workers), size)
-		inner := batchify(o.inner, size, workers)
+		outer := BatchOf(batchify(o.outer, cfg), size)
+		inner := batchify(o.inner, cfg)
 		return NewBatchNLJoin(o.name, outer, inner, o.method, o.residual, size)
 	case *Distinct:
-		return NewDistinct(batchify(o.child, size, workers))
+		return NewDistinct(batchify(o.child, cfg))
 	case *Sort:
-		return NewSort(batchify(o.child, size, workers), o.keys, o.desc)
+		return NewSort(batchify(o.child, cfg), o.keys, o.desc)
 	case *Limit:
-		return NewLimit(batchify(o.child, size, workers), o.n)
+		return NewLimit(batchify(o.child, cfg), o.n)
 	case *reschema:
-		c := batchify(o.child, size, workers)
+		c := batchify(o.child, cfg)
 		if bc, ok := c.(BatchOperator); ok {
 			return &batchReschema{child: bc, schema: o.schema}
 		}

@@ -15,6 +15,10 @@ const (
 	// DegradeBaseline: the optimizer abandoned the rewritten plan and
 	// re-ran the query on the baseline plan.
 	DegradeBaseline
+	// DegradeSkipDisabled: a fault while building zone maps or building/
+	// transferring a join filter disabled scan avoidance for the query; it
+	// ran unskipped (correct, just slower).
+	DegradeSkipDisabled
 )
 
 // String returns the stable name printed in EXPLAIN ANALYZE and reports.
@@ -26,6 +30,8 @@ func (r DegradeReason) String() string {
 		return "spill"
 	case DegradeBaseline:
 		return "baseline-fallback"
+	case DegradeSkipDisabled:
+		return "skip-disabled"
 	default:
 		return "unknown"
 	}

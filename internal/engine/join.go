@@ -3,10 +3,12 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"smarticeberg/internal/expr"
 	"smarticeberg/internal/failpoint"
 	"smarticeberg/internal/resource"
+	"smarticeberg/internal/sqlparser"
 	"smarticeberg/internal/value"
 )
 
@@ -73,6 +75,22 @@ type hashMethod struct {
 	innerKeys []expr.Compiled
 	label     string
 	table     map[string][]int32
+
+	// Sideways predicate transfer. When transfer is armed (planner, batch
+	// pipeline only), Build also folds the non-NULL build keys into filter, a
+	// blocked Bloom with per-key envelopes; BatchNLJoin installs it on the
+	// probe side's scans before opening them. outerRefs holds each probe
+	// key's column reference when it is a plain column (nil entries mark
+	// computed keys, which cannot be pushed to a scan). filterFault records a
+	// FilterBuild fault: the join then runs without a filter — same answer,
+	// no pre-filtering — and the degrade is reported by BatchNLJoin.
+	// skippedProbes counts probes the Bloom pre-check cut short; atomic
+	// because probers are probed concurrently (ParallelJoinAgg, NLJP).
+	transfer      bool
+	outerRefs     []*sqlparser.ColRef
+	filter        *expr.KeyFilter
+	filterFault   bool
+	skippedProbes atomic.Int64
 }
 
 func (h *hashMethod) Build(rows []value.Row) error {
@@ -90,7 +108,59 @@ func (h *hashMethod) Build(rows []value.Row) error {
 		buf = value.AppendKeys(buf[:0], keys)
 		h.table[string(buf)] = append(h.table[string(buf)], int32(i))
 	}
+	if h.transfer {
+		h.filterFault = false
+		h.skippedProbes.Store(0)
+		h.buildFilter(rows)
+	}
 	return nil
+}
+
+// buildFilter folds the build-side keys into the transfer filter. Any fault —
+// an injected FilterBuild error, a panic — leaves the join filterless but
+// fully functional: the hash table above is already built and authoritative,
+// so the only consequence is that no probe pre-filtering happens.
+func (h *hashMethod) buildFilter(rows []value.Row) {
+	h.filter = nil
+	defer func() {
+		if r := recover(); r != nil {
+			h.filter = nil
+			h.filterFault = true
+		}
+	}()
+	if err := failpoint.Inject(failpoint.FilterBuild); err != nil {
+		h.filterFault = true
+		return
+	}
+	f := expr.NewKeyFilter(len(rows), len(h.innerKeys))
+	keys := make([]value.Value, len(h.innerKeys))
+	var buf []byte
+	for _, r := range rows {
+		hasNull := false
+		for j, k := range h.innerKeys {
+			v, err := k(r)
+			if err != nil {
+				// Build above evaluated the same keys without error; treat a
+				// divergence as a fault and drop the filter.
+				h.filterFault = true
+				return
+			}
+			if v.IsNull() {
+				hasNull = true
+				break
+			}
+			keys[j] = v
+		}
+		if hasNull {
+			// A NULL key never equi-joins; ProbeWith bails on NULL outer keys
+			// before consulting the filter, so omitting the row keeps the
+			// no-false-negative guarantee.
+			continue
+		}
+		buf = value.AppendKeys(buf[:0], keys)
+		f.Add(buf, keys)
+	}
+	h.filter = f
 }
 
 func (h *hashMethod) Probe(outer value.Row) ([]int32, error) {
@@ -118,6 +188,12 @@ func (h *hashMethod) ProbeWith(outer value.Row, s *ProbeScratch) ([]int32, error
 		keys[j] = v
 	}
 	s.buf = value.AppendKeys(s.buf[:0], keys)
+	if h.filter != nil && !h.filter.MayContain(s.buf) {
+		// No false negatives: a rejected key is provably absent from the
+		// table, so returning early is byte-identical to the map miss.
+		h.skippedProbes.Add(1)
+		return nil, nil
+	}
 	return h.table[string(s.buf)], nil
 }
 

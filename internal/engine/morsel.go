@@ -44,6 +44,18 @@ type ParallelBatchScan struct {
 	workers   int
 	out       int64
 
+	// Scan avoidance, mirroring BatchMemScan: zone predicates skip whole
+	// blocks, transferred membership kernels drop probe rows. Counters are
+	// atomics because morsel workers bump them concurrently; the structures
+	// themselves are immutable during the run (shared read-only).
+	zones         *value.ZoneMaps
+	zonePred      expr.ZonePred
+	transferKerns []expr.SelKernel
+	skippedBlocks atomic.Int64
+	skippedRows   atomic.Int64
+	skippedProbes atomic.Int64
+	skipFlushed   bool
+
 	// Run state, rebuilt by each Open. Batches cycle between the free pool,
 	// the workers' hands, the delivery slots, and the consumer's last-returned
 	// chunk; the pool is sized so no send on free can ever block.
@@ -88,6 +100,31 @@ func (s *ParallelBatchScan) FuseKernel(pred expr.Compiled, label string, kern ex
 // Fused reports whether a predicate is already folded into the scan.
 func (s *ParallelBatchScan) Fused() bool { return s.kern != nil }
 
+// SetZoneMaps attaches per-block summaries over the scan's columns.
+func (s *ParallelBatchScan) SetZoneMaps(z *value.ZoneMaps) { s.zones = z }
+
+// FuseZonePred conjoins a zone predicate (see BatchMemScan.FuseZonePred).
+func (s *ParallelBatchScan) FuseZonePred(p expr.ZonePred) {
+	s.zonePred = expr.ZoneAnd(s.zonePred, p)
+}
+
+// AddTransferKernel installs a transferred join-filter membership kernel.
+func (s *ParallelBatchScan) AddTransferKernel(k expr.SelKernel) {
+	s.transferKerns = append(s.transferKerns, k)
+}
+
+// ZoneMaps returns the attached zone maps, if any.
+func (s *ParallelBatchScan) ZoneMaps() *value.ZoneMaps { return s.zones }
+
+// CanTransfer implements transferTarget: a parallel scan always runs
+// columnar, so installed filters always take effect.
+func (s *ParallelBatchScan) CanTransfer() bool { return true }
+
+// SkipCounts implements skipReporter.
+func (s *ParallelBatchScan) SkipCounts() (blocks, rows, probes int64) {
+	return s.skippedBlocks.Load(), s.skippedRows.Load(), s.skippedProbes.Load()
+}
+
 // Schema implements Operator.
 func (s *ParallelBatchScan) Schema() value.Schema { return s.schema }
 
@@ -108,6 +145,10 @@ func (s *ParallelBatchScan) Open() error {
 	s.out = 0
 	s.nextM = 0
 	s.last = nil
+	s.skippedBlocks.Store(0)
+	s.skippedRows.Store(0)
+	s.skippedProbes.Store(0)
+	s.skipFlushed = false
 	s.reset()
 	s.numMorsels = (s.cols.Len() + s.size - 1) / s.size
 	workers := s.workers
@@ -207,7 +248,8 @@ func (s *ParallelBatchScan) scanMorsel(m int, b *value.Batch) (err error) {
 	b.Reset()
 	//lint:ignore rowalias the worker owns this batch until it is handed over; the consumer serves it only within its validity window
 	sel := b.Sel()[:0]
-	if s.kern != nil {
+	zoning := s.zones != nil && s.zonePred != nil
+	if s.kern != nil || zoning || len(s.transferKerns) > 0 {
 		// The check leads the sub-window so every iteration path of the kernel
 		// loop polls cancellation (icelint cancelcheck verifies this).
 		for lo < hi {
@@ -218,9 +260,44 @@ func (s *ParallelBatchScan) scanMorsel(m int, b *value.Batch) (err error) {
 			if mid > hi {
 				mid = hi
 			}
-			sel, err = s.kern(s.cols, lo, mid, nil, sel)
-			if err != nil {
-				return err
+			if zoning {
+				// Same block-aligned sub-window and skip logic as the
+				// sequential columnar scan, so chunk m stays bit-identical.
+				if end := s.zones.BlockEnd(lo); end < mid {
+					mid = end
+				}
+				if !s.zonePred(s.zones, s.zones.BlockOf(lo)) {
+					if lo%s.zones.BlockSize() == 0 {
+						s.skippedBlocks.Add(1)
+					}
+					s.skippedRows.Add(int64(mid - lo))
+					lo = mid
+					continue
+				}
+			}
+			start := len(sel)
+			if s.kern != nil {
+				sel, err = s.kern(s.cols, lo, mid, nil, sel)
+				if err != nil {
+					return err
+				}
+			} else {
+				for i := lo; i < mid; i++ {
+					sel = append(sel, int32(i))
+				}
+			}
+			for _, tk := range s.transferKerns {
+				if err := s.stepChunk(); err != nil {
+					return err
+				}
+				newPart := sel[start:]
+				before := len(newPart)
+				filtered, err := tk(s.cols, lo, mid, newPart, newPart[:0])
+				if err != nil {
+					return err
+				}
+				sel = sel[:start+len(filtered)]
+				s.skippedProbes.Add(int64(before - len(filtered)))
 			}
 			lo = mid
 		}
@@ -314,6 +391,10 @@ func (s *ParallelBatchScan) shutdown() {
 // running, whatever state the scan was in.
 func (s *ParallelBatchScan) Close() error {
 	s.shutdown()
+	if !s.skipFlushed {
+		s.skipFlushed = true
+		addSkipTotals(s.skippedBlocks.Load(), s.skippedRows.Load(), s.skippedProbes.Load())
+	}
 	return failpoint.Inject(failpoint.ScanClose)
 }
 

@@ -553,6 +553,16 @@ func ExplainAnalyzeExec(ec *ExecContext, op Operator) (string, []value.Row, erro
 		if rc, ok := o.(rowCounter); ok {
 			fmt.Fprintf(&b, "  [actual rows=%d]", rc.ActualRows())
 		}
+		if sr, ok := o.(skipReporter); ok {
+			if blocks, skRows, probes := sr.SkipCounts(); blocks > 0 || skRows > 0 || probes > 0 {
+				fmt.Fprintf(&b, " [skipped blocks=%d rows=%d probes=%d]", blocks, skRows, probes)
+			}
+		}
+		if tr, ok := o.(transferReporter); ok {
+			if built, keys, probes := tr.TransferInfo(); built {
+				fmt.Fprintf(&b, " [transfer filter keys=%d probes skipped=%d]", keys, probes)
+			}
+		}
 		b.WriteByte('\n')
 		for _, c := range o.Children() {
 			walk(c, depth+1)

@@ -71,6 +71,14 @@ type Planner struct {
 	// executor) also sizes the morsel worker pool of parallel table scans;
 	// results are byte-identical at every worker count.
 	BatchSize int
+	// NoZoneSkip disables zone-map block skipping on batch scans (skipping is
+	// on by default and byte-identical to off; the knob exists for A/B
+	// benchmarks and the equivalence sweep).
+	NoZoneSkip bool
+	// NoTransfer disables sideways predicate transfer: hash joins then build
+	// no key filters and probe-side scans are never pre-filtered. Like
+	// NoZoneSkip, transfer defaults to on and never changes results.
+	NoTransfer bool
 }
 
 // NewPlanner returns a baseline planner (indexes on, serial execution).
@@ -106,7 +114,7 @@ func (p *Planner) PlanSelect(sel *sqlparser.Select, env Env) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	op = BatchifyWorkers(op, p.BatchSize, DefaultWorkers(p.Workers))
+	op = p.batchifyPlan(op)
 	if Validate {
 		if err := ValidatePlan(op); err != nil {
 			return nil, err
@@ -388,6 +396,12 @@ func (p *Planner) chooseJoinMethod(outerSchema value.Schema, next *relation, con
 
 	if len(equis) > 0 {
 		m := &hashMethod{label: ""}
+		// Arm sideways predicate transfer: on the batch pipeline the join's
+		// Build also folds its keys into a Bloom filter that pre-filters the
+		// probe side (BatchNLJoin installs it before opening the outer).
+		// outerRefs keeps each probe key's column reference (nil for computed
+		// keys) so the filter can be pushed onto the scan holding that column.
+		m.transfer = !p.NoTransfer && p.BatchSize > 0
 		primary := map[string]bool{}
 		for _, s := range equis {
 			ok, err := p.compile(s.outer, outerSchema, env)
@@ -400,6 +414,8 @@ func (p *Planner) chooseJoinMethod(outerSchema value.Schema, next *relation, con
 			}
 			m.outerKeys = append(m.outerKeys, ok)
 			m.innerKeys = append(m.innerKeys, ik)
+			ref, _ := s.outer.(*sqlparser.ColRef)
+			m.outerRefs = append(m.outerRefs, ref)
 			if m.label != "" {
 				m.label += " AND "
 			}

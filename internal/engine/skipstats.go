@@ -1,0 +1,65 @@
+package engine
+
+import "sync/atomic"
+
+// SkipStats aggregates the scan-avoidance counters: blocks and rows skipped
+// by zone maps, probe rows dropped by transferred join filters (at the scan's
+// membership kernel and at the join's Bloom pre-check combined), and the
+// number of filters built and successfully transferred. Totals are process-
+// wide and cumulative; per-operator counts appear in EXPLAIN ANALYZE.
+type SkipStats struct {
+	SkippedBlocks      int64 `json:"skipped_blocks"`
+	SkippedRows        int64 `json:"skipped_rows"`
+	SkippedProbes      int64 `json:"skipped_probes"`
+	FiltersBuilt       int64 `json:"filters_built"`
+	FiltersTransferred int64 `json:"filters_transferred"`
+}
+
+var skipTotals struct {
+	blocks, rows, probes, built, transferred atomic.Int64
+}
+
+// SkipTotals returns a snapshot of the process-wide scan-avoidance counters.
+func SkipTotals() SkipStats {
+	return SkipStats{
+		SkippedBlocks:      skipTotals.blocks.Load(),
+		SkippedRows:        skipTotals.rows.Load(),
+		SkippedProbes:      skipTotals.probes.Load(),
+		FiltersBuilt:       skipTotals.built.Load(),
+		FiltersTransferred: skipTotals.transferred.Load(),
+	}
+}
+
+// ResetSkipTotals zeroes the process-wide counters (benchmarks isolate runs).
+func ResetSkipTotals() {
+	skipTotals.blocks.Store(0)
+	skipTotals.rows.Store(0)
+	skipTotals.probes.Store(0)
+	skipTotals.built.Store(0)
+	skipTotals.transferred.Store(0)
+}
+
+func addSkipTotals(blocks, rows, probes int64) {
+	if blocks != 0 {
+		skipTotals.blocks.Add(blocks)
+	}
+	if rows != 0 {
+		skipTotals.rows.Add(rows)
+	}
+	if probes != 0 {
+		skipTotals.probes.Add(probes)
+	}
+}
+
+// skipReporter is implemented by scans that count zone-map block skips and
+// transfer-filter probe drops; EXPLAIN ANALYZE annotates their plan lines.
+type skipReporter interface {
+	SkipCounts() (blocks, rows, probes int64)
+}
+
+// transferReporter is implemented by joins that built a transfer filter;
+// EXPLAIN ANALYZE annotates their plan lines with the filter size and the
+// probes its Bloom pre-check absorbed.
+type transferReporter interface {
+	TransferInfo() (built bool, keys int, probesSkipped int64)
+}

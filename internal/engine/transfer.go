@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"fmt"
+
+	"smarticeberg/internal/expr"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/value"
+)
+
+// Sideways predicate transfer, join side: after a BatchNLJoin materializes
+// its build side (and hashMethod folded the keys into a KeyFilter), the
+// filter is pushed onto the probe side's scans before they open. The walk
+// only descends through operators where early row removal is provably
+// invisible — filters (commute), nested joins (a dropped row can only produce
+// concatenations the transferring join would discard) — and stops at
+// everything else (aggregates, limits, subquery boundaries), because those
+// change behavior when their input shrinks.
+
+// transferTarget is the scan-side surface of predicate transfer; both
+// BatchMemScan and ParallelBatchScan implement it.
+type transferTarget interface {
+	Schema() value.Schema
+	ZoneMaps() *value.ZoneMaps
+	FuseZonePred(expr.ZonePred)
+	AddTransferKernel(expr.SelKernel)
+	CanTransfer() bool
+}
+
+// installTransfer pushes hm's filter onto the probe-side scans. Every fault —
+// a missing filter after a FilterBuild fault, an injected FilterTransfer
+// error or panic, a budget refusal for the filter's memory — degrades to "no
+// transfer" (recorded as skip-disabled) and never fails the join: the hash
+// table is authoritative, pre-filtering is purely an optimization.
+func (j *BatchNLJoin) installTransfer(hm *hashMethod) {
+	if hm.filterFault {
+		j.exec().Degrade(DegradeSkipDisabled)
+		return
+	}
+	if hm.filter == nil {
+		return
+	}
+	skipTotals.built.Add(1)
+	if err := j.transferApply(hm); err != nil {
+		j.exec().Degrade(DegradeSkipDisabled)
+	}
+}
+
+func (j *BatchNLJoin) transferApply(hm *hashMethod) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("filter transfer: %v", r)
+		}
+	}()
+	if err := failpoint.Inject(failpoint.FilterTransfer); err != nil {
+		return err
+	}
+	// The filter lives as long as the probe phase; charge it like the build
+	// side. The charge is folded into j.reserved so Close releases both.
+	size := hm.filter.SizeBytes()
+	if err := j.exec().Charge("transfer filter", size); err != nil {
+		return err
+	}
+	j.reserved += size
+	if installTransferOnScans(j.outer, hm) {
+		j.transferred = true
+		skipTotals.transferred.Add(1)
+	}
+	return nil
+}
+
+// installTransferOnScans walks the probe subtree and installs the filter on
+// every scan it can soundly reach, reporting whether anything was installed.
+func installTransferOnScans(op Operator, hm *hashMethod) bool {
+	switch o := op.(type) {
+	case *BatchMemScan:
+		return installTransferOnScan(o, hm)
+	case *ParallelBatchScan:
+		return installTransferOnScan(o, hm)
+	case *BatchFilter:
+		return installTransferOnScans(o.child, hm)
+	case *BatchNLJoin:
+		// Both sides of a nested join feed concatenations into this join's
+		// probe stream, so rows failing the filter on either side can only
+		// produce probe rows the filter (and therefore the hash table) would
+		// reject. Install on both; column references resolve on at most one
+		// scan per alias, so nothing double-filters.
+		a := installTransferOnScans(o.outer, hm)
+		b := installTransferOnScans(o.inner, hm)
+		return a || b
+	}
+	// Anything else — aggregates, sorts, limits, subquery reschemas, row
+	// adapters — is a boundary: shrinking its input could change its output.
+	return false
+}
+
+// installTransferOnScan resolves the filter's probe-key columns against one
+// scan. Positions that resolve get the filter's min/max envelope as a zone
+// predicate (per-position pruning is sound: a row outside any key position's
+// build-side range cannot equi-join). The Bloom membership kernel needs the
+// full key and installs only when every position resolves on this scan.
+func installTransferOnScan(t transferTarget, hm *hashMethod) bool {
+	if !t.CanTransfer() {
+		return false
+	}
+	schema := t.Schema()
+	keyCols := make([]int, len(hm.outerRefs))
+	all := len(hm.outerRefs) > 0
+	installed := false
+	for p, ref := range hm.outerRefs {
+		keyCols[p] = -1
+		if ref == nil {
+			all = false
+			continue
+		}
+		ci, err := schema.Resolve(ref.Qualifier, ref.Name)
+		if err != nil {
+			all = false
+			continue
+		}
+		keyCols[p] = ci
+		if t.ZoneMaps() != nil {
+			if min, max, ok := hm.filter.Envelope(p); ok {
+				t.FuseZonePred(expr.ZoneRange(ci, min, max))
+				installed = true
+			}
+		}
+	}
+	if all {
+		t.AddTransferKernel(expr.MembershipKernel(hm.filter, keyCols))
+		installed = true
+	}
+	return installed
+}
+
+// TransferInfo implements transferReporter.
+func (j *BatchNLJoin) TransferInfo() (built bool, keys int, probesSkipped int64) {
+	hm, ok := j.method.(*hashMethod)
+	if !ok || hm.filter == nil {
+		return false, 0, 0
+	}
+	return true, hm.filter.Len(), hm.skippedProbes.Load()
+}

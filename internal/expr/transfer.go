@@ -1,0 +1,194 @@
+package expr
+
+import (
+	"smarticeberg/internal/value"
+)
+
+// Sideways predicate transfer: when a hash join materializes its build side,
+// it also folds the build keys into a KeyFilter — a blocked Bloom filter
+// over the encoded join keys plus a per-key-position min/max envelope. The
+// filter is handed to the probe side's scans before they execute: a
+// membership kernel drops rows whose keys provably miss the build side, and
+// the envelopes become zone predicates that skip whole blocks. The Bloom
+// filter has no false negatives, so a dropped row is one the join would have
+// produced nothing for — output stays byte-identical to the untransferred
+// plan (inner equi-joins only, which is all this engine plans).
+
+// keyFilterBlock is one cache-line-sized Bloom block: 512 bits probed by 8
+// hash-derived positions. Register-blocked probing keeps a membership test
+// to one memory access per key.
+type keyFilterBlock [8]uint64
+
+// KeyFilter is a blocked Bloom filter over encoded join keys with min/max
+// envelopes per key position. Build it on the join's build side, then share
+// it read-only: membership tests are safe for concurrent use (morsel workers
+// probe one immutable filter).
+type KeyFilter struct {
+	blocks []keyFilterBlock
+	mask   uint64 // len(blocks) - 1 (len is a power of two)
+	n      int    // keys added
+
+	mins  []value.Value
+	maxs  []value.Value
+	envOK []bool // envelope position is valid (all keys mutually comparable)
+}
+
+// keyFilterBitsPerKey sizes the filter: ~10 bits per expected key keeps the
+// false-positive rate near 1-2% in a blocked layout, cheap enough that a
+// false positive just means one wasted hash-table probe.
+const keyFilterBitsPerKey = 10
+
+// NewKeyFilter returns an empty filter sized for expected keys of width key
+// positions.
+func NewKeyFilter(expected, width int) *KeyFilter {
+	if expected < 1 {
+		expected = 1
+	}
+	bits := expected * keyFilterBitsPerKey
+	nBlocks := 1
+	for nBlocks*512 < bits {
+		nBlocks *= 2
+	}
+	f := &KeyFilter{
+		blocks: make([]keyFilterBlock, nBlocks),
+		mask:   uint64(nBlocks - 1),
+		mins:   make([]value.Value, width),
+		maxs:   make([]value.Value, width),
+		envOK:  make([]bool, width),
+	}
+	for j := range f.envOK {
+		f.envOK[j] = true
+		f.mins[j] = value.NullValue
+		f.maxs[j] = value.NullValue
+	}
+	return f
+}
+
+// HashKey hashes an encoded key (a value.AppendKeys buffer) for the filter.
+// FNV-1a, 64-bit.
+func HashKey(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// probeBits derives the block index and 8 in-block bit positions from one
+// 64-bit hash (Kirsch–Mitzenmacher double hashing over the two halves).
+func (f *KeyFilter) probeBits(h uint64) (blk uint64, bits [8]uint16) {
+	blk = (h >> 32) & f.mask
+	h1 := uint32(h)
+	h2 := uint32(h>>32) | 1
+	for i := range bits {
+		bits[i] = uint16((h1 + uint32(i)*h2) & 511)
+	}
+	return blk, bits
+}
+
+// Add records one key: keyBytes is its value.AppendKeys encoding, keys the
+// decoded values (for the envelopes). Keys containing NULL must not be added
+// — a NULL key never equi-joins, so it contributes nothing to the probe side.
+func (f *KeyFilter) Add(keyBytes []byte, keys []value.Value) {
+	blk, bits := f.probeBits(HashKey(keyBytes))
+	b := &f.blocks[blk]
+	for _, p := range bits {
+		b[p>>6] |= 1 << (p & 63)
+	}
+	f.n++
+	for j := range keys {
+		if !f.envOK[j] {
+			continue
+		}
+		v := keys[j]
+		if f.mins[j].K == value.Null {
+			f.mins[j], f.maxs[j] = v, v
+			continue
+		}
+		cLo, okLo := value.Compare(v, f.mins[j])
+		cHi, okHi := value.Compare(v, f.maxs[j])
+		if !okLo || !okHi {
+			// Incomparable kinds at this position: the envelope would not be
+			// a sound pruning bound. Disable it; the Bloom filter still works.
+			f.envOK[j] = false
+			f.mins[j], f.maxs[j] = value.NullValue, value.NullValue
+			continue
+		}
+		if cLo < 0 {
+			f.mins[j] = v
+		}
+		if cHi > 0 {
+			f.maxs[j] = v
+		}
+	}
+}
+
+// MayContain reports whether an encoded key may have been added. No false
+// negatives: a false return proves the key was never added.
+func (f *KeyFilter) MayContain(keyBytes []byte) bool {
+	blk, bits := f.probeBits(HashKey(keyBytes))
+	b := &f.blocks[blk]
+	for _, p := range bits {
+		if b[p>>6]&(1<<(p&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of keys added.
+func (f *KeyFilter) Len() int { return f.n }
+
+// SizeBytes returns the filter's memory footprint, for budget accounting.
+func (f *KeyFilter) SizeBytes() int64 {
+	return int64(len(f.blocks))*64 + int64(len(f.mins)+len(f.maxs))*32
+}
+
+// Envelope returns the [min, max] value range seen at key position j, when
+// that envelope is usable for pruning (all keys at j mutually comparable and
+// at least one key added).
+func (f *KeyFilter) Envelope(j int) (min, max value.Value, ok bool) {
+	if j < 0 || j >= len(f.envOK) || !f.envOK[j] || f.mins[j].K == value.Null {
+		return value.NullValue, value.NullValue, false
+	}
+	return f.mins[j], f.maxs[j], true
+}
+
+// MembershipKernel returns a SelKernel selecting the rows whose key — the
+// tuple of cells at keyCols, encoded exactly like the join's probe keys —
+// may be present in the filter. Rows with a NULL key cell are dropped: a
+// NULL key never equi-joins. Because the filter has no false negatives, the
+// kernel only drops rows the downstream join would discard, so installing it
+// on a probe-side scan leaves the query result byte-identical.
+func MembershipKernel(f *KeyFilter, keyCols []int) SelKernel {
+	return func(cols *value.Columns, lo, hi int, cand, out value.Sel) (value.Sel, error) {
+		keys := make([]value.Value, len(keyCols))
+		var buf []byte
+		test := func(i int) bool {
+			for j, c := range keyCols {
+				v := cols.Col(c).Value(i)
+				if v.K == value.Null {
+					return false
+				}
+				keys[j] = v
+			}
+			buf = value.AppendKeys(buf[:0], keys)
+			return f.MayContain(buf)
+		}
+		if cand == nil {
+			for i := lo; i < hi; i++ {
+				if test(i) {
+					out = append(out, int32(i))
+				}
+			}
+			return out, nil
+		}
+		for _, si := range cand {
+			if test(int(si)) {
+				out = append(out, si)
+			}
+		}
+		return out, nil
+	}
+}

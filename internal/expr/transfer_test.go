@@ -1,0 +1,186 @@
+package expr
+
+import (
+	"fmt"
+	"testing"
+
+	"smarticeberg/internal/value"
+)
+
+// TestKeyFilterNoFalseNegatives is the property the whole transfer rests on:
+// every added key must answer MayContain = true. (False positives are
+// allowed — they cost a wasted hash-table probe, never a wrong answer.)
+func TestKeyFilterNoFalseNegatives(t *testing.T) {
+	f := NewKeyFilter(1000, 2)
+	var buf []byte
+	for i := 0; i < 1000; i++ {
+		keys := []value.Value{value.NewInt(int64(i * 7)), value.NewStr(fmt.Sprint(i))}
+		buf = value.AppendKeys(buf[:0], keys)
+		f.Add(buf, keys)
+	}
+	if f.Len() != 1000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		keys := []value.Value{value.NewInt(int64(i * 7)), value.NewStr(fmt.Sprint(i))}
+		buf = value.AppendKeys(buf[:0], keys)
+		if !f.MayContain(buf) {
+			t.Fatalf("false negative for key %d", i)
+		}
+	}
+	// The false-positive rate at ~10 bits/key should be a few percent; allow
+	// a generous bound so the test never flakes on hash quirks.
+	fp := 0
+	for i := 0; i < 1000; i++ {
+		keys := []value.Value{value.NewInt(int64(i*7 + 3)), value.NewStr("miss")}
+		buf = value.AppendKeys(buf[:0], keys)
+		if f.MayContain(buf) {
+			fp++
+		}
+	}
+	if fp > 200 {
+		t.Fatalf("false-positive rate %d/1000 is unusably high", fp)
+	}
+	if f.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes not positive")
+	}
+}
+
+// TestKeyFilterEnvelope pins the per-position min/max envelopes, including
+// the incomparable-kind invalidation.
+func TestKeyFilterEnvelope(t *testing.T) {
+	f := NewKeyFilter(8, 2)
+	var buf []byte
+	add := func(a, b value.Value) {
+		keys := []value.Value{a, b}
+		buf = value.AppendKeys(buf[:0], keys)
+		f.Add(buf, keys)
+	}
+	if _, _, ok := f.Envelope(0); ok {
+		t.Fatal("empty filter reported a usable envelope")
+	}
+	add(value.NewInt(5), value.NewStr("m"))
+	add(value.NewInt(-3), value.NewStr("z"))
+	add(value.NewFloat(9.5), value.NewStr("a")) // Int/Float compare fine
+
+	min0, max0, ok := f.Envelope(0)
+	if !ok || !value.Identical(min0, value.NewInt(-3)) || !value.Identical(max0, value.NewFloat(9.5)) {
+		t.Fatalf("envelope 0 = [%v, %v] ok=%v", min0, max0, ok)
+	}
+	min1, max1, ok := f.Envelope(1)
+	if !ok || !value.Identical(min1, value.NewStr("a")) || !value.Identical(max1, value.NewStr("z")) {
+		t.Fatalf("envelope 1 = [%v, %v] ok=%v", min1, max1, ok)
+	}
+
+	// A string key at an int position makes that envelope unusable; the
+	// other position and the Bloom bits keep working.
+	add(value.NewStr("oops"), value.NewStr("q"))
+	if _, _, ok := f.Envelope(0); ok {
+		t.Fatal("envelope 0 still usable after incomparable key")
+	}
+	if _, _, ok := f.Envelope(1); !ok {
+		t.Fatal("envelope 1 lost by unrelated position")
+	}
+	if _, _, ok := f.Envelope(7); ok {
+		t.Fatal("out-of-range position reported usable")
+	}
+}
+
+// TestMembershipKernel checks the probe-side kernel against a direct
+// evaluation: rows whose key was added must always survive (no false
+// negatives), rows with a NULL key cell must always be dropped, and the
+// candidate-selection invocation must agree with the dense one.
+func TestMembershipKernel(t *testing.T) {
+	rows := []value.Row{
+		{value.NewInt(1), value.NewStr("a")},
+		{value.NewInt(2), value.NewStr("b")},
+		{value.NullValue, value.NewStr("c")}, // NULL key: never joins
+		{value.NewInt(4), value.NewStr("d")},
+		{value.NewInt(2), value.NewStr("b")}, // duplicate of an added key
+		{value.NewInt(9), value.NewStr("x")}, // not added
+	}
+	cols := value.ColumnsOf(2, rows)
+
+	f := NewKeyFilter(4, 2)
+	var buf []byte
+	added := map[int]bool{1: true, 4: true} // rows whose keys go in
+	for i := range rows {
+		if !added[i] {
+			continue
+		}
+		keys := []value.Value{rows[i][0], rows[i][1]}
+		buf = value.AppendKeys(buf[:0], keys)
+		f.Add(buf, keys)
+	}
+
+	kern := MembershipKernel(f, []int{0, 1})
+	dense, err := kern(cols, 0, len(rows), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int32]bool{}
+	for _, si := range dense {
+		got[si] = true
+	}
+	for _, must := range []int32{1, 4} { // added keys (row 4 duplicates row 1's key)
+		if !got[must] {
+			t.Fatalf("false negative: row %d dropped", must)
+		}
+	}
+	if got[2] {
+		t.Fatal("NULL-key row selected")
+	}
+
+	// Candidate mode over a subset, writing in place over the candidate
+	// buffer (the scan's compaction idiom), must agree with dense.
+	cand := value.Sel{0, 2, 4, 5}
+	bufSel := append(value.Sel(nil), cand...)
+	sub, err := kern(cols, 0, len(rows), bufSel, bufSel[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, si := range sub {
+		if !got[si] {
+			t.Fatalf("candidate mode selected %d which dense mode dropped", si)
+		}
+	}
+	for _, si := range cand {
+		if got[si] {
+			found := false
+			for _, s := range sub {
+				if s == si {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("candidate mode dropped %d which dense mode selected", si)
+			}
+		}
+	}
+}
+
+// TestMembershipKernelIntFloatKeys pins the cross-representation equi-join
+// case: an integral Float probe cell encodes identically to an Int build
+// key, so the kernel must keep it.
+func TestMembershipKernelIntFloatKeys(t *testing.T) {
+	f := NewKeyFilter(2, 1)
+	keys := []value.Value{value.NewInt(42)}
+	buf := value.AppendKeys(nil, keys)
+	f.Add(buf, keys)
+
+	rows := []value.Row{{value.NewFloat(42)}, {value.NewFloat(42.5)}}
+	cols := value.ColumnsOf(1, rows)
+	sel, err := MembershipKernel(f, []int{0})(cols, 0, len(rows), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	for _, si := range sel {
+		if si == 0 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("integral Float 42 dropped against Int build key 42")
+	}
+}

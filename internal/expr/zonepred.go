@@ -1,0 +1,164 @@
+package expr
+
+import (
+	"smarticeberg/internal/sqlparser"
+	"smarticeberg/internal/value"
+)
+
+// Zone predicates: the block-granular counterpart of a selection kernel. A
+// ZonePred answers "can any row of this zone block satisfy the predicate?"
+// from the block's min/max/null-count summary alone. false means provably
+// no row selects — the scan skips the whole block without running the
+// kernel; true means "maybe", and the kernel runs as usual. Because a skip
+// only ever removes rows the kernel would have filtered anyway, the output
+// stream is byte-identical to the unskipped scan.
+
+// ZonePred reports whether block b of z can possibly contain a row
+// satisfying the predicate. Implementations are stateless and safe for
+// concurrent use (morsel workers probe one shared ZoneMaps). Invoking one
+// covers a whole block of rows, so zone-probe loops are drive loops for
+// cancellation purposes (enforced by the icelint cancelcheck pass).
+type ZonePred func(z *value.ZoneMaps, b int) bool
+
+// CompileZone translates a predicate into a ZonePred for the fragment the
+// selection kernels support: comparisons between a column reference and a
+// literal (either side), IS [NOT] NULL on a column, and AND-combinations.
+// Unlike CompileSel, an AND may compile partially — pruning with a subset of
+// conjuncts is sound, since a block where any conjunct provably selects
+// nothing yields nothing under the conjunction. ok=false means no conjunct
+// compiled and the caller should not zone-prune.
+func CompileZone(e sqlparser.Expr, schema value.Schema) (ZonePred, bool) {
+	switch e := e.(type) {
+	case *sqlparser.BinOp:
+		if e.Op == sqlparser.OpAnd {
+			lp, lok := CompileZone(e.L, schema)
+			rp, rok := CompileZone(e.R, schema)
+			switch {
+			case lok && rok:
+				return ZoneAnd(lp, rp), true
+			case lok:
+				return lp, true
+			case rok:
+				return rp, true
+			}
+			return nil, false
+		}
+		want, ok := cmpWant(e.Op)
+		if !ok {
+			return nil, false
+		}
+		li, lCol := selColIndex(e.L, schema)
+		ri, rCol := selColIndex(e.R, schema)
+		switch {
+		case lCol && rCol:
+			// Column-to-column comparisons carry no literal bound; the
+			// kernels handle them row-wise.
+			return nil, false
+		case lCol:
+			if lit, ok := selLit(e.R); ok {
+				return zoneLitPred(li, lit, want), true
+			}
+		case rCol:
+			if lit, ok := selLit(e.L); ok {
+				return zoneLitPred(ri, lit, [3]bool{want[2], want[1], want[0]}), true
+			}
+		}
+		return nil, false
+	case *sqlparser.IsNull:
+		ci, ok := selColIndex(e.E, schema)
+		if !ok {
+			return nil, false
+		}
+		return zoneNullPred(ci, e.Negated), true
+	}
+	return nil, false
+}
+
+// ZoneAnd combines two zone predicates under conjunction: a block is
+// possible only when both sides allow it. Either argument may be nil, in
+// which case the other is returned unchanged.
+func ZoneAnd(a, b ZonePred) ZonePred {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(z *value.ZoneMaps, blk int) bool {
+		return a(z, blk) && b(z, blk)
+	}
+}
+
+// zoneLitPred prunes col ci against a literal using the verdict table of the
+// matching kernel (want[cmp+1] semantics). The reasoning mirrors
+// colLitKernel exactly: NULL cells never select, a NULL literal selects
+// nothing, and a kind mismatch value.Compare refuses selects nothing — for a
+// typed column the zone's Min/Max carry the column kind, so one Compare
+// against the literal answers for every cell in the block.
+func zoneLitPred(ci int, lit value.Value, want [3]bool) ZonePred {
+	return func(z *value.ZoneMaps, b int) bool {
+		zn := z.Zone(ci, b)
+		if zn.Unsafe {
+			return true
+		}
+		if lit.K == value.Null {
+			return false // comparison against NULL is unknown for every row
+		}
+		if zn.Min.K == value.Null {
+			return false // no comparable (non-NULL) cell in the block
+		}
+		cLo, okLo := value.Compare(zn.Min, lit)
+		cHi, okHi := value.Compare(zn.Max, lit)
+		if !okLo || !okHi {
+			// Kind mismatch: every cell of the typed column mismatches the
+			// literal the same way, so the predicate is unknown block-wide.
+			return false
+		}
+		// Some v in [Min, Max] can land on a wanted verdict iff:
+		//   v < lit is achievable (Min < lit), or
+		//   v > lit is achievable (Max > lit), or
+		//   v = lit is achievable (Min <= lit <= Max).
+		return (want[0] && cLo < 0) ||
+			(want[2] && cHi > 0) ||
+			(want[1] && cLo <= 0 && cHi >= 0)
+	}
+}
+
+// zoneNullPred prunes IS [NOT] NULL from the block's null count.
+func zoneNullPred(ci int, negated bool) ZonePred {
+	return func(z *value.ZoneMaps, b int) bool {
+		zn := z.Zone(ci, b)
+		if zn.Unsafe {
+			return true
+		}
+		if negated {
+			// IS NOT NULL: possible iff some cell is non-NULL.
+			return int(zn.Nulls) < z.BlockRows(b)
+		}
+		return zn.Nulls > 0
+	}
+}
+
+// ZoneRange prunes a column against an inclusive [min, max] envelope — the
+// value range of a transferred join-key filter. A block whose zone is
+// provably disjoint from the envelope cannot contain a row whose key
+// equi-joins any build-side key, so it is skipped. Comparisons that
+// value.Compare refuses leave the block unpruned (conservative).
+func ZoneRange(ci int, min, max value.Value) ZonePred {
+	return func(z *value.ZoneMaps, b int) bool {
+		zn := z.Zone(ci, b)
+		if zn.Unsafe {
+			return true
+		}
+		if zn.Min.K == value.Null {
+			return false // all-NULL block: NULL never equi-joins
+		}
+		if c, ok := value.Compare(zn.Max, min); ok && c < 0 {
+			return false
+		}
+		if c, ok := value.Compare(zn.Min, max); ok && c > 0 {
+			return false
+		}
+		return true
+	}
+}

@@ -1,0 +1,147 @@
+package expr
+
+import (
+	"testing"
+
+	"smarticeberg/internal/value"
+)
+
+// TestCompileZoneSoundAgainstRowPath is the soundness property that makes
+// zone skipping invisible: whenever the zone predicate rules a block out,
+// the row-path evaluation must select no row inside that block. Run over
+// the shared kernel fixture (NULLs, NaN, mixed-kind column, kind
+// mismatches) with block size 2 so several blocks exist.
+func TestCompileZoneSoundAgainstRowPath(t *testing.T) {
+	rows := kernelRows()
+	cols := value.ColumnsOf(len(kernelSchema), rows)
+	zones := value.BuildZoneMaps(cols, 2)
+	preds := []string{
+		"i = 3", "i <> 3", "i < 0", "i <= -4", "i > 3", "i >= 5",
+		"f < 0", "f >= 3", "f = 0.5",
+		"s = 'apple'", "s < 'banana'", "s >= 'pear'", "s = 'zzz'",
+		"b = TRUE", "b = FALSE",
+		"3 = i", "0.5 >= f", "'apple' <> s", // literal on the left
+		"m = 3", "m < 4", // mixed-kind column: zones are Unsafe, never skip
+		"i IS NULL", "i IS NOT NULL", "m IS NULL", "f IS NOT NULL",
+		"i >= 0 AND f < 10", "i > 4 AND s <> 'pear'",
+		"s = 3", "b = 1", // kind mismatch: unknown for every row
+	}
+	for _, src := range preds {
+		t.Run(src, func(t *testing.T) {
+			e := parsePred(t, src)
+			zp, ok := CompileZone(e, kernelSchema)
+			if !ok {
+				t.Fatalf("CompileZone rejected %q", src)
+			}
+			compiled, err := Compile(e, kernelSchema, nil)
+			if err != nil {
+				t.Fatalf("Compile(%q): %v", src, err)
+			}
+			anySkip := false
+			for b := 0; b < zones.NumBlocks(); b++ {
+				if zp(zones, b) {
+					continue
+				}
+				anySkip = true
+				lo := b * zones.BlockSize()
+				hi := zones.BlockEnd(lo)
+				for i := lo; i < hi; i++ {
+					sel, err := EvalBool(compiled, rows[i])
+					if err != nil {
+						t.Fatalf("row eval: %v", err)
+					}
+					if sel {
+						t.Fatalf("block %d skipped but row %d selects under %q", b, i, src)
+					}
+				}
+			}
+			_ = anySkip // skipping is an optimization, not required per predicate
+		})
+	}
+}
+
+// TestCompileZoneSkipsSomething guards against a vacuous soundness pass: on
+// a sorted column with a selective range predicate, at least one block must
+// actually be ruled out.
+func TestCompileZoneSkipsSomething(t *testing.T) {
+	var rows []value.Row
+	for i := 0; i < 40; i++ {
+		rows = append(rows, value.Row{value.NewInt(int64(i)), value.NewFloat(0), value.NewStr("s"),
+			value.NewBool(true), value.NewInt(0), value.NewInt(0)})
+	}
+	cols := value.ColumnsOf(len(kernelSchema), rows)
+	zones := value.BuildZoneMaps(cols, 4)
+	zp, ok := CompileZone(parsePred(t, "i >= 36"), kernelSchema)
+	if !ok {
+		t.Fatal("CompileZone rejected range predicate")
+	}
+	skipped := 0
+	for b := 0; b < zones.NumBlocks(); b++ {
+		if !zp(zones, b) {
+			skipped++
+		}
+	}
+	if skipped != 9 {
+		t.Fatalf("skipped %d of 10 blocks, want 9", skipped)
+	}
+}
+
+// TestCompileZoneRejects pins the fragment boundary: forms with no literal
+// bound must not compile (the kernels still handle them row-wise).
+func TestCompileZoneRejects(t *testing.T) {
+	for _, src := range []string{
+		"i = i2",         // column vs column
+		"i + 1 = 3",      // arithmetic
+		"i = 1 OR i = 3", // OR
+		"1 = 2",          // no column
+	} {
+		if _, ok := CompileZone(parsePred(t, src), kernelSchema); ok {
+			t.Errorf("CompileZone accepted %q", src)
+		}
+	}
+	// Partial AND: one compilable conjunct suffices.
+	if _, ok := CompileZone(parsePred(t, "i = i2 AND i >= 3"), kernelSchema); !ok {
+		t.Error("CompileZone refused partially compilable AND")
+	}
+}
+
+// TestZoneRange pins the envelope pruning used by predicate transfer:
+// blocks disjoint from [min, max] are ruled out, overlapping and
+// incomparable ones are kept.
+func TestZoneRange(t *testing.T) {
+	var rows []value.Row
+	for i := 0; i < 8; i++ {
+		rows = append(rows, value.Row{value.NewInt(int64(i * 10))})
+	}
+	rows = append(rows, value.Row{value.NullValue}, value.Row{value.NullValue})
+	cols := value.ColumnsOf(1, rows)
+	zones := value.BuildZoneMaps(cols, 2) // blocks: [0,10] [20,30] [40,50] [60,70] [NULL,NULL]
+
+	zp := ZoneRange(0, value.NewInt(25), value.NewInt(45))
+	want := []bool{false, true, true, false, false} // all-NULL block never equi-joins
+	for b, w := range want {
+		if got := zp(zones, b); got != w {
+			t.Errorf("block %d: ZoneRange = %v, want %v", b, got, w)
+		}
+	}
+
+	// Incomparable envelope bound: conservative, keeps the block.
+	zs := ZoneRange(0, value.NewStr("a"), value.NewStr("b"))
+	for b := 0; b < 4; b++ {
+		if !zs(zones, b) {
+			t.Errorf("block %d pruned by incomparable envelope", b)
+		}
+	}
+
+	// Int envelope vs integral Float zones must still prune: the join's key
+	// encoding equates them, and so does value.Compare.
+	frows := []value.Row{
+		{value.NewFloat(1)}, {value.NewFloat(2)},
+		{value.NewFloat(100)}, {value.NewFloat(101)},
+	}
+	fz := value.BuildZoneMaps(value.ColumnsOf(1, frows), 2)
+	fp := ZoneRange(0, value.NewInt(90), value.NewInt(120))
+	if fp(fz, 0) || !fp(fz, 1) {
+		t.Errorf("float-vs-int envelope: block0=%v block1=%v, want false true", fp(fz, 0), fp(fz, 1))
+	}
+}

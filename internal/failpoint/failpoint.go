@@ -80,6 +80,16 @@ const (
 	SpillRead    = "spill/read"
 	SpillCorrupt = "spill/corrupt-frame"
 	SpillRemove  = "spill/remove"
+
+	// Scan-avoidance sites. A fault at any of them must degrade the query to
+	// "no skipping" (recorded via engine.DegradeReason), never change its
+	// result: ZoneMapBuild fires while a scan fetches a table's zone maps,
+	// FilterBuild while a hash join folds its build keys into a transfer
+	// filter, FilterTransfer while the finished filter is installed on the
+	// probe side's scans.
+	ZoneMapBuild   = "engine/zonemap/build"
+	FilterBuild    = "engine/transfer/build"
+	FilterTransfer = "engine/transfer/apply"
 )
 
 // Points returns every declared injection site, for test matrices.
@@ -95,6 +105,7 @@ func Points() []string {
 		CacheInsert, CacheLookup, NLJPBinding,
 		ServerAdmit, ServerEnqueue, ServerHandler, ServerDrain,
 		SpillDir, SpillWrite, SpillFlush, SpillRead, SpillCorrupt, SpillRemove,
+		ZoneMapBuild, FilterBuild, FilterTransfer,
 	}
 }
 

@@ -210,6 +210,13 @@ func tryGapriori(b *block, T []*item) *Reducer {
 	for _, it := range T {
 		q.From = append(q.From, &sqlparser.TableRef{Name: it.ref.Name, Alias: it.alias})
 	}
+	// A single-atom extreme-value HAVING implies an exact row-level bound
+	// (MAX(col) >= c ⇒ col >= c); adding it to WHERE lets the planner push
+	// it to the scan, where zone maps skip whole blocks. Φ is kept in
+	// HAVING regardless — the bound never changes the reducer's output.
+	if bound := derivedRowBound(phi); bound != nil {
+		within = append(within, bound)
+	}
 	q.Where = engine.AndAll(within)
 	for _, g := range gL {
 		q.Items = append(q.Items, sqlparser.SelectItem{Expr: g})

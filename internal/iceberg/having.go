@@ -154,6 +154,68 @@ func flipCmp(op string) string {
 	return op
 }
 
+// derivedRowBound derives a row-level predicate implied by a single-atom
+// HAVING condition, suitable for pushing into a reducer's WHERE clause —
+// and from there, through the planner, down to the scan where zone maps
+// can skip whole blocks against it:
+//
+//	MAX(col) >= c  ⇒  WHERE col >= c   (monotone)
+//	MAX(col) >  c  ⇒  WHERE col >  c
+//	MIN(col) <= c  ⇒  WHERE col <= c   (monotone)
+//	MIN(col) <  c  ⇒  WHERE col <  c
+//
+// The rewrite is exact, not merely sound: a group satisfies MAX(col) >= c
+// iff it contains at least one row with col >= c, the witnessing extreme
+// row always passes the bound, and MAX over the surviving rows equals the
+// original MAX (rows below the bound cannot be the maximum; NULL rows are
+// ignored by MAX and fail the bound in the same groups either way). So
+// the reducer's key set is unchanged. The restriction to a single atom is
+// essential: under a conjunction such as MAX(x) >= 5 AND COUNT(*) >= 2
+// the bound would remove rows that the COUNT atom still needs to see.
+//
+// It returns nil when no bound applies.
+func derivedRowBound(phi sqlparser.Expr) sqlparser.Expr {
+	if phi == nil {
+		return nil
+	}
+	conjuncts := engine.SplitConjuncts(phi)
+	if len(conjuncts) != 1 {
+		return nil
+	}
+	bin, ok := conjuncts[0].(*sqlparser.BinOp)
+	if !ok {
+		return nil
+	}
+	agg, cmp := normalizeHavingAtom(bin)
+	if agg == nil || len(agg.Args) != 1 {
+		return nil
+	}
+	ref, ok := agg.Args[0].(*sqlparser.ColRef)
+	if !ok {
+		return nil
+	}
+	var lit *sqlparser.Lit
+	if l, ok := bin.R.(*sqlparser.Lit); ok {
+		lit = l
+	} else if l, ok := bin.L.(*sqlparser.Lit); ok {
+		lit = l
+	}
+	if lit == nil {
+		return nil
+	}
+	switch strings.ToUpper(agg.Name) {
+	case "MAX":
+		if cmp == sqlparser.OpGe || cmp == sqlparser.OpGt {
+			return &sqlparser.BinOp{Op: cmp, L: ref, R: lit}
+		}
+	case "MIN":
+		if cmp == sqlparser.OpLe || cmp == sqlparser.OpLt {
+			return &sqlparser.BinOp{Op: cmp, L: ref, R: lit}
+		}
+	}
+	return nil
+}
+
 // positiveFunc builds the positivity oracle for a block from its items'
 // declared positive-domain columns.
 func (b *block) positiveFunc() func(*sqlparser.ColRef) bool {

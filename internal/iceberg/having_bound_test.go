@@ -1,0 +1,54 @@
+package iceberg
+
+import (
+	"testing"
+
+	"smarticeberg/internal/sqlparser"
+)
+
+// TestDerivedRowBound pins which HAVING conditions yield an exact row-level
+// WHERE bound and what the bound is. Only a single extreme-value atom
+// qualifies: MAX with a lower threshold, MIN with an upper one; any
+// conjunction, COUNT/SUM atom, or wrong direction must derive nothing
+// (filtering rows there would change what the other aggregate sees).
+func TestDerivedRowBound(t *testing.T) {
+	cases := []struct {
+		having string
+		want   string // rendered bound, "" = none
+	}{
+		{"MAX(t.a) >= 5", "(t.a >= 5)"},
+		{"MAX(t.a) > 5", "(t.a > 5)"},
+		{"MIN(t.a) <= 5", "(t.a <= 5)"},
+		{"MIN(t.a) < 5", "(t.a < 5)"},
+		{"5 <= MAX(t.a)", "(t.a >= 5)"}, // literal on the left, flipped
+		{"7.5 > MIN(t.a)", "(t.a < 7.5)"},
+		// Wrong directions: MAX upper / MIN lower bounds say nothing about
+		// individual rows.
+		{"MAX(t.a) <= 5", ""},
+		{"MIN(t.a) >= 5", ""},
+		// Other aggregates never bound a single row.
+		{"COUNT(*) >= 5", ""},
+		{"SUM(t.a) >= 5", ""},
+		// Conjunctions are excluded even when one atom would qualify.
+		{"MAX(t.a) >= 5 AND COUNT(*) >= 2", ""},
+		// Computed argument: no plain column to bound.
+		{"MAX(t.a + t.b) >= 5", ""},
+	}
+	for _, tc := range cases {
+		sel, err := sqlparser.ParseSelect("SELECT t.g FROM t GROUP BY t.g HAVING " + tc.having)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.having, err)
+		}
+		bound := derivedRowBound(sel.Having)
+		got := ""
+		if bound != nil {
+			got = bound.String()
+		}
+		if got != tc.want {
+			t.Errorf("derivedRowBound(%q) = %q, want %q", tc.having, got, tc.want)
+		}
+	}
+	if derivedRowBound(nil) != nil {
+		t.Error("derivedRowBound(nil) != nil")
+	}
+}

@@ -271,7 +271,7 @@ func buildNLJP(b *block, overrides map[string]*engine.MaterializedRel, opts Opti
 	// BatchSize routes the binding-side queries (Q_B and the inner relation)
 	// through the engine's vectorized batch pipeline; Workers sizes the
 	// morsel pools of any parallel scans those fragments plan.
-	planner := &engine.Planner{Catalog: b.cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize, Workers: opts.Workers}
+	planner := &engine.Planner{Catalog: b.cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize, Workers: opts.Workers, NoZoneSkip: opts.NoSkip, NoTransfer: opts.NoTransfer}
 
 	// --- Q_B: binding query over L ------------------------------------
 	needL := append([]*sqlparser.ColRef(nil), jL...)

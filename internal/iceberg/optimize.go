@@ -83,6 +83,15 @@ type Options struct {
 	// appends "#<block>" per query block, since each CTE and the main block
 	// run their own NLJP.
 	SharedKey string
+	// NoSkip disables zone-map block skipping at the scan layer. Skipping is
+	// on by default on the batch pipeline, is byte-identical to off, and a
+	// fault while building zone maps degrades to an unskipped run (reported
+	// as engine.DegradeSkipDisabled).
+	NoSkip bool
+	// NoTransfer disables sideways predicate transfer (hash joins building
+	// Bloom key filters that pre-filter the probe side's scans). On by
+	// default on the batch pipeline; never changes results.
+	NoTransfer bool
 }
 
 // AllOn returns the paper's "all" configuration.
@@ -278,7 +287,7 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 	report.Blocks = append(report.Blocks, blk)
 
 	baseline := func(overrides map[string]*engine.MaterializedRel) (*engine.Result, error) {
-		p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize, Workers: opts.Workers}
+		p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize, Workers: opts.Workers, NoZoneSkip: opts.NoSkip, NoTransfer: opts.NoTransfer}
 		op, err := p.PlanSelect(&body, env)
 		if err != nil {
 			return nil, err
@@ -296,7 +305,7 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 		return baseline(nil)
 	}
 
-	planner := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, Exec: ec, BatchSize: opts.BatchSize, Workers: opts.Workers}
+	planner := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, Exec: ec, BatchSize: opts.BatchSize, Workers: opts.Workers, NoZoneSkip: opts.NoSkip, NoTransfer: opts.NoTransfer}
 	overrides := map[string]*engine.MaterializedRel{}
 	if opts.Apriori {
 		for _, red := range findReducers(b) {
@@ -358,7 +367,7 @@ func exec(cat *storage.Catalog, sel *sqlparser.Select, env engine.Env, opts Opti
 		}
 		if rewritten != nil {
 			blk.Notes = append(blk.Notes, "memoization applied by static rewrite (Listing 8)")
-			p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize, Workers: opts.Workers}
+			p := &engine.Planner{Catalog: cat, UseIndexes: opts.UseIndexes, AliasOverrides: overrides, Exec: ec, BatchSize: opts.BatchSize, Workers: opts.Workers, NoZoneSkip: opts.NoSkip, NoTransfer: opts.NoTransfer}
 			op, err := p.PlanSelect(rewritten, env)
 			if err != nil {
 				return nil, fmt.Errorf("planning memo rewrite: %w", err)

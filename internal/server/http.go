@@ -124,6 +124,8 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	switch req.Kind {
 	case "player_performance":
 		t = workload.PlayerPerformance(req.Rows, req.Seed)
+	case "perf_clustered":
+		t = workload.ClusteredPerformance(req.Rows, req.Seed)
 	case "score":
 		years := req.Years
 		if years <= 0 {

@@ -72,6 +72,10 @@ type QueryOptions struct {
 	CacheLimit   int    `json:"cache_limit,omitempty"`
 	Workers      int    `json:"workers,omitempty"`
 	BatchSize    int    `json:"batch_size,omitempty"`
+	// Skip and Transfer toggle zone-map data skipping and sideways
+	// predicate transfer (both default on under batch execution).
+	Skip     *bool `json:"skip,omitempty"`
+	Transfer *bool `json:"transfer,omitempty"`
 	// TimeoutMS overrides the server's default query timeout.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoSharedCache opts this query out of the process-wide cache.
@@ -104,6 +108,12 @@ func (o *QueryOptions) overlay(base iceberg.Options) iceberg.Options {
 	}
 	if o.BatchSize != 0 {
 		base.BatchSize = o.BatchSize
+	}
+	if o.Skip != nil {
+		base.NoSkip = !*o.Skip
+	}
+	if o.Transfer != nil {
+		base.NoTransfer = !*o.Transfer
 	}
 	return base
 }
@@ -453,6 +463,9 @@ type Stats struct {
 	Sessions       int                       `json:"sessions"`
 	Cache          iceberg.CacheServiceStats `json:"cache"`
 	SharedCacheOn  bool                      `json:"shared_cache_on"`
+	// Skip accumulates data-skipping counters (zone-map blocks/rows skipped,
+	// transfer-filter probes skipped, filters built) across all queries.
+	Skip engine.SkipStats `json:"skip"`
 }
 
 // StatsSnapshot gathers Stats.
@@ -472,6 +485,7 @@ func (s *Server) StatsSnapshot() Stats {
 		BudgetPeak:     s.global.Peak(),
 		BudgetLimit:    s.global.Limit(),
 		SharedCacheOn:  s.cache != nil,
+		Skip:           engine.SkipTotals(),
 	}
 	s.dataMu.RLock()
 	st.Tables = len(s.cat.Names())

@@ -33,8 +33,10 @@ type Table struct {
 	indexes []*Index
 
 	// cols caches the column-major form of Rows for the engine's columnar
-	// scan path; Insert invalidates it like the indexes.
+	// scan path; Insert invalidates it like the indexes. zones caches the
+	// per-block min/max summaries over cols and is rebuilt whenever cols is.
 	cols      *value.Columns
+	zones     *value.ZoneMaps
 	colsStale bool
 	colsMu    sync.Mutex
 }
@@ -109,9 +111,30 @@ func (t *Table) Columns() *value.Columns {
 	defer t.colsMu.Unlock()
 	if t.cols == nil || t.colsStale {
 		t.cols = value.ColumnsOf(len(t.Schema), t.Rows)
+		t.zones = nil
 		t.colsStale = false
 	}
 	return t.cols
+}
+
+// Zones returns zone maps (per-block min/max/null-count summaries) over the
+// same column snapshot Columns returns, building them on first use and
+// rebuilding alongside the columns after inserts. Like Columns, the result is
+// shared, read-only, and stays consistent with the snapshot it was built from
+// (zones.Len() matches the snapshot's row count, which the scan layer checks
+// before pruning).
+func (t *Table) Zones() *value.ZoneMaps {
+	t.colsMu.Lock()
+	defer t.colsMu.Unlock()
+	if t.cols == nil || t.colsStale {
+		t.cols = value.ColumnsOf(len(t.Schema), t.Rows)
+		t.zones = nil
+		t.colsStale = false
+	}
+	if t.zones == nil {
+		t.zones = value.BuildZoneMaps(t.cols, value.ZoneBlockSize)
+	}
+	return t.zones
 }
 
 // InsertAll appends rows in bulk.

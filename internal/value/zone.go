@@ -1,0 +1,165 @@
+package value
+
+// Zone maps: per-block min/max (and null-count) summaries over a Columns.
+// The scan layer consults them to prove that no row of a block can satisfy a
+// pushed-down predicate, skipping the block without running the kernel. A
+// zone only ever causes a skip when the kernel provably selects nothing in
+// the block, so skipping is invisible in the output — the equivalence
+// harness enforces byte-identity against the unskipped path.
+//
+// The summaries are deliberately conservative:
+//
+//   - a mixed-representation column (Col.Vals != nil) gets no usable zones
+//     (Unsafe), because its cells do not share a kind;
+//   - a Float block containing NaN is Unsafe: the kernels order NaN through
+//     cmpFloat64, where NaN is neither < nor > anything and therefore lands
+//     on "equal", so a NaN row can satisfy =, <=, >= against any literal
+//     regardless of the block's min/max;
+//   - an all-NULL block keeps Min/Max as NULL values, which zone predicates
+//     read as "no comparable cell" (comparison predicates then skip; IS NULL
+//     does not).
+
+// ZoneBlockSize is the default zone granularity: small enough that a
+// selective range predicate skips most of a clustered table, large enough
+// that the per-block probe (a handful of value.Compare calls) is noise next
+// to the kernel work it replaces.
+const ZoneBlockSize = 1024
+
+// Zone summarizes one block of one column. Min and Max are the smallest and
+// largest non-NULL cells under value.Compare (NULL-kind when the block has no
+// comparable cell); Nulls counts NULL cells; Unsafe marks a block whose
+// summary must not be used for pruning.
+type Zone struct {
+	Min    Value
+	Max    Value
+	Nulls  int32
+	Unsafe bool
+}
+
+// ZoneMaps holds per-block Zone summaries for every column of a Columns
+// snapshot. It is immutable after construction and safe for concurrent
+// readers (morsel workers probe one shared ZoneMaps).
+type ZoneMaps struct {
+	size  int
+	nRows int
+	cols  [][]Zone // [column][block]
+}
+
+// BuildZoneMaps summarizes cols in blocks of size rows (ZoneBlockSize when
+// size <= 0).
+func BuildZoneMaps(cols *Columns, size int) *ZoneMaps {
+	if size <= 0 {
+		size = ZoneBlockSize
+	}
+	n := cols.Len()
+	nBlocks := (n + size - 1) / size
+	z := &ZoneMaps{size: size, nRows: n, cols: make([][]Zone, cols.NumCols())}
+	for j := range z.cols {
+		z.cols[j] = buildColZones(cols.Col(j), n, size, nBlocks)
+	}
+	return z
+}
+
+func buildColZones(c *Col, n, size, nBlocks int) []Zone {
+	zones := make([]Zone, nBlocks)
+	if c.Vals != nil {
+		// Mixed-kind column: cells do not share a kind, so a [min,max] pair
+		// under value.Compare's total order is not a sound pruning bound for
+		// the SQL comparison the kernels implement.
+		for b := range zones {
+			zones[b] = Zone{Min: NullValue, Max: NullValue, Unsafe: true}
+		}
+		return zones
+	}
+	for b := range zones {
+		lo := b * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		zones[b] = buildZone(c, lo, hi)
+	}
+	return zones
+}
+
+func buildZone(c *Col, lo, hi int) Zone {
+	z := Zone{Min: NullValue, Max: NullValue}
+	for i := lo; i < hi; i++ {
+		if c.Nulls.Get(i) {
+			z.Nulls++
+			continue
+		}
+		switch c.Kind {
+		case Int, Bool:
+			v := c.Ints[i]
+			if z.Min.K == Null || v < z.Min.I {
+				z.Min = Value{K: c.Kind, I: v}
+			}
+			if z.Max.K == Null || v > z.Max.I {
+				z.Max = Value{K: c.Kind, I: v}
+			}
+		case Float:
+			f := c.Floats[i]
+			if f != f { // NaN: unordered under the kernels' three-way compare
+				z.Unsafe = true
+				continue
+			}
+			if z.Min.K == Null || f < z.Min.F {
+				z.Min = Value{K: Float, F: f}
+			}
+			if z.Max.K == Null || f > z.Max.F {
+				z.Max = Value{K: Float, F: f}
+			}
+		case Str:
+			s := c.Dict[c.Codes[i]]
+			if z.Min.K == Null || s < z.Min.S {
+				z.Min = Value{K: Str, S: s}
+			}
+			if z.Max.K == Null || s > z.Max.S {
+				z.Max = Value{K: Str, S: s}
+			}
+		default:
+			// Kind Null with a typed representation: every cell is NULL and
+			// already counted through the bitmap above.
+		}
+	}
+	return z
+}
+
+// Len returns the number of rows the maps summarize.
+func (z *ZoneMaps) Len() int { return z.nRows }
+
+// BlockSize returns the zone granularity in rows.
+func (z *ZoneMaps) BlockSize() int { return z.size }
+
+// NumBlocks returns the number of blocks per column.
+func (z *ZoneMaps) NumBlocks() int { return (z.nRows + z.size - 1) / z.size }
+
+// BlockOf returns the block index covering row i.
+func (z *ZoneMaps) BlockOf(i int) int { return i / z.size }
+
+// BlockEnd returns the exclusive end row of the block covering row i,
+// clamped to the row count.
+func (z *ZoneMaps) BlockEnd(i int) int {
+	end := (i/z.size + 1) * z.size
+	if end > z.nRows {
+		end = z.nRows
+	}
+	return end
+}
+
+// BlockRows returns the number of rows in block b.
+func (z *ZoneMaps) BlockRows(b int) int {
+	lo := b * z.size
+	hi := lo + z.size
+	if hi > z.nRows {
+		hi = z.nRows
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Zone returns the summary of column col, block b.
+func (z *ZoneMaps) Zone(col, b int) Zone { return z.cols[col][b] }

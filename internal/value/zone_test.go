@@ -1,0 +1,92 @@
+package value
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBuildZoneMapsSummaries pins the per-block min/max/null-count summaries
+// over typed Int, Float, and Str columns with a tiny block size so block
+// boundaries are exercised, including the short tail block.
+func TestBuildZoneMapsSummaries(t *testing.T) {
+	rows := []Row{
+		{NewInt(5), NewFloat(1.5), NewStr("pear")},
+		{NewInt(-2), NullValue, NewStr("apple")},
+		{NewInt(9), NewFloat(-3), NewStr("fig")},
+		{NullValue, NewFloat(0.25), NewStr("banana")},
+		{NewInt(7), NewFloat(2), NewStr("kiwi")},
+	}
+	cols := ColumnsOf(3, rows)
+	z := BuildZoneMaps(cols, 2)
+
+	if z.Len() != 5 || z.BlockSize() != 2 || z.NumBlocks() != 3 {
+		t.Fatalf("Len/BlockSize/NumBlocks = %d/%d/%d", z.Len(), z.BlockSize(), z.NumBlocks())
+	}
+	if z.BlockOf(3) != 1 || z.BlockEnd(3) != 4 || z.BlockEnd(4) != 5 {
+		t.Fatalf("BlockOf/BlockEnd wrong: %d %d %d", z.BlockOf(3), z.BlockEnd(3), z.BlockEnd(4))
+	}
+	if z.BlockRows(2) != 1 {
+		t.Fatalf("tail BlockRows = %d, want 1", z.BlockRows(2))
+	}
+
+	checks := []struct {
+		col, blk   int
+		min, max   Value
+		nulls      int32
+		wantUnsafe bool
+	}{
+		{0, 0, NewInt(-2), NewInt(5), 0, false},
+		{0, 1, NewInt(9), NewInt(9), 1, false},
+		{0, 2, NewInt(7), NewInt(7), 0, false},
+		{1, 0, NewFloat(1.5), NewFloat(1.5), 1, false},
+		{1, 1, NewFloat(-3), NewFloat(0.25), 0, false},
+		{2, 0, NewStr("apple"), NewStr("pear"), 0, false},
+		{2, 1, NewStr("banana"), NewStr("fig"), 0, false},
+	}
+	for _, c := range checks {
+		zn := z.Zone(c.col, c.blk)
+		if zn.Unsafe != c.wantUnsafe || zn.Nulls != c.nulls ||
+			!Identical(zn.Min, c.min) || !Identical(zn.Max, c.max) {
+			t.Errorf("col %d block %d = %+v, want min %v max %v nulls %d",
+				c.col, c.blk, zn, c.min, c.max, c.nulls)
+		}
+	}
+}
+
+// TestBuildZoneMapsConservative pins the cases that must refuse to prune:
+// NaN cells poison their float block, mixed-representation columns get no
+// usable zones at all, and all-NULL blocks keep NULL-kind bounds.
+func TestBuildZoneMapsConservative(t *testing.T) {
+	rows := []Row{
+		{NewFloat(1), NewInt(1), NullValue},
+		{NewFloat(math.NaN()), NewStr("x"), NullValue},
+		{NewFloat(5), NewInt(3), NullValue},
+		{NewFloat(7), NewInt(4), NullValue},
+	}
+	cols := ColumnsOf(3, rows)
+	z := BuildZoneMaps(cols, 2)
+
+	if !z.Zone(0, 0).Unsafe {
+		t.Error("NaN block not marked Unsafe")
+	}
+	if z.Zone(0, 1).Unsafe {
+		t.Error("NaN poisoned a block it is not in")
+	}
+	if zn := z.Zone(0, 1); !Identical(zn.Min, NewFloat(5)) || !Identical(zn.Max, NewFloat(7)) {
+		t.Errorf("clean float block = %+v", zn)
+	}
+	// Column 1 mixes Int and Str cells, so it falls back to Vals
+	// representation: every block must be Unsafe.
+	for b := 0; b < z.NumBlocks(); b++ {
+		if !z.Zone(1, b).Unsafe {
+			t.Errorf("mixed-kind column block %d not Unsafe", b)
+		}
+	}
+	// Column 2 is all NULL: bounds stay NULL-kind, nulls counted, safe.
+	for b := 0; b < z.NumBlocks(); b++ {
+		zn := z.Zone(2, b)
+		if zn.Unsafe || zn.Min.K != Null || zn.Max.K != Null || zn.Nulls != 2 {
+			t.Errorf("all-NULL block %d = %+v", b, zn)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"smarticeberg/internal/storage"
 	"smarticeberg/internal/value"
@@ -50,6 +51,33 @@ func PlayerPerformance(n int, seed int64) *storage.Table {
 			t.Rows = append(t.Rows, row)
 		}
 	}
+	return t
+}
+
+// ClusteredPerformance builds the same player-season data as
+// PlayerPerformance but physically sorted by (year, playerid, round), the
+// way a season archive loaded year by year would lie on disk. The clustered
+// layout is what zone-map data skipping exploits: a range predicate on year
+// touches a contiguous run of blocks and every other block's [min,max]
+// summary excludes it outright. The table is named "perf_clustered" so it
+// can coexist with the unsorted table in one catalog; row content for a
+// given (n, seed) is a permutation of PlayerPerformance(n, seed).
+func ClusteredPerformance(n int, seed int64) *storage.Table {
+	t := PlayerPerformance(n, seed)
+	t.Name = "perf_clustered"
+	for i := range t.Schema {
+		t.Schema[i].Qualifier = t.Name
+	}
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		a, b := t.Rows[i], t.Rows[j]
+		if a[1].I != b[1].I { // year
+			return a[1].I < b[1].I
+		}
+		if a[0].I != b[0].I { // playerid
+			return a[0].I < b[0].I
+		}
+		return a[2].I < b[2].I // round
+	})
 	return t
 }
 

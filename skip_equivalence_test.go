@@ -1,0 +1,175 @@
+// Equivalence harness for zone-map data skipping and sideways predicate
+// transfer: every workload query plus the clustered skip mix runs with
+// skipping on, transfer off, and both off, across batch sizes and worker
+// counts, and every combination must be byte-identical to the row-path
+// baseline. A separate matrix injects faults (error and panic) at the three
+// skip-layer failpoints and demands graceful degradation: the query still
+// succeeds with identical results, recording DegradeSkipDisabled — a broken
+// filter may cost speed, never correctness. Run under -race in CI.
+package smarticeberg_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"smarticeberg"
+	"smarticeberg/internal/bench"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/testleak"
+)
+
+// skipDB is the equivalence catalog plus the clustered table the skip mix
+// targets: 6000 rows spans several zone blocks so block pruning, partial
+// blocks, and the all-kept fallback all occur in the sweep.
+func skipDB(t *testing.T) *smarticeberg.DB {
+	t.Helper()
+	db := equivDB(t)
+	db.LoadClusteredPerformance(6000, 1)
+	return db
+}
+
+// skipModes are the option combinations under test. The zero Options keep
+// both mechanisms on, so "on" is the production default.
+func skipModes() []struct {
+	Name           string
+	NoSkip, NoXfer bool
+} {
+	return []struct {
+		Name           string
+		NoSkip, NoXfer bool
+	}{
+		{"on", false, false},
+		{"transfer-off", false, true},
+		{"off", true, true},
+	}
+}
+
+// TestSkipTransferEquivalence: the full query set — Figure-1 workload plus
+// the clustered skip mix — through the batch pipeline at every (mode, batch
+// size, worker count), byte-identical to the row path. The row path never
+// consults zones or filters, so agreement proves skipping only removes rows
+// the plan would have filtered anyway.
+func TestSkipTransferEquivalence(t *testing.T) {
+	db := skipDB(t)
+	queries := equivQueries()
+	for _, q := range bench.SkipQueries() {
+		queries = append(queries, struct{ Name, SQL string }{q.Name, q.SQL})
+	}
+	for _, q := range queries {
+		t.Run(q.Name, func(t *testing.T) {
+			want, err := db.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("row path: %v", err)
+			}
+			for _, mode := range skipModes() {
+				for _, size := range []int{1, 7, 1024} {
+					for _, w := range []int{1, 4} {
+						opts := smarticeberg.Options{
+							BatchSize: size, Workers: w,
+							NoSkip: mode.NoSkip, NoTransfer: mode.NoXfer,
+						}
+						got, _, err := db.QueryOpt(q.SQL, opts)
+						if err != nil {
+							t.Fatalf("%s batch %d workers %d: %v", mode.Name, size, w, err)
+						}
+						assertIdenticalResults(t,
+							fmt.Sprintf("%s batch %d workers %d", mode.Name, size, w), got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSkipFaultMatrix: one fault — error or panic — at each skip-layer
+// failpoint, through the public API on a query that builds zones, builds a
+// transfer filter, and applies it. The contract is the opposite of the
+// morsel matrix: the query must SUCCEED with byte-identical results, because
+// every skip structure is an optimization the engine can decline. The report
+// must record the skip-disabled degradation so operators can see why a query
+// ran slow.
+func TestSkipFaultMatrix(t *testing.T) {
+	db := skipDB(t)
+	errBoom := errors.New("boom: injected by test")
+	// StarTransfer shape: equi self-join with a selective build side — its
+	// plan reaches all three sites (zones on both scans, filter build on the
+	// hash build, transfer onto the probe scan).
+	sql := `SELECT S.playerid, COUNT(1)
+FROM perf_clustered S, perf_clustered T
+WHERE S.playerid = T.playerid AND T.b_h >= 150
+GROUP BY S.playerid`
+	opts := smarticeberg.Options{BatchSize: 1024}
+	want, _, err := db.QueryOpt(sql, opts)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	sites := []string{failpoint.ZoneMapBuild, failpoint.FilterBuild, failpoint.FilterTransfer}
+	for _, site := range sites {
+		for _, mode := range []string{"error", "panic"} {
+			t.Run(fmt.Sprintf("%s/%s", site, mode), func(t *testing.T) {
+				testleak.Check(t)
+				defer failpoint.Reset()
+				if mode == "error" {
+					failpoint.Enable(site, failpoint.Once(failpoint.Error(errBoom)))
+				} else {
+					failpoint.Enable(site, failpoint.Once(failpoint.Panic("matrix")))
+				}
+				got, rep, err := db.QueryOpt(sql, opts)
+				if err != nil {
+					t.Fatalf("query failed: %v — skip faults must degrade, not fail", err)
+				}
+				if failpoint.Hits(site) == 0 {
+					t.Fatalf("%s never fired — the site is not reachable in this plan", site)
+				}
+				assertIdenticalResults(t, "degraded run", got, want)
+				found := false
+				for _, d := range rep.Stats.Degradations {
+					if d == smarticeberg.DegradeSkipDisabled {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("Degradations = %v, want %v recorded",
+						rep.Stats.Degradations, smarticeberg.DegradeSkipDisabled)
+				}
+			})
+		}
+	}
+}
+
+// TestSkipExplainAnalyze: the observability contract — EXPLAIN ANALYZE on a
+// pruning scan reports skipped blocks, and on a transfer join reports the
+// filter and the probe rows it dropped. Counters must vanish when the
+// mechanisms are disabled.
+func TestSkipExplainAnalyze(t *testing.T) {
+	db := skipDB(t)
+	scanSQL := `SELECT teamid, COUNT(1) FROM perf_clustered WHERE year >= 2012 GROUP BY teamid`
+	text, _, err := db.ExplainAnalyzeOpts(scanSQL, smarticeberg.Options{BatchSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "[skipped blocks=") {
+		t.Fatalf("EXPLAIN ANALYZE missing skip counters:\n%s", text)
+	}
+	joinSQL := `SELECT S.playerid, COUNT(1)
+FROM perf_clustered S, perf_clustered T
+WHERE S.playerid = T.playerid AND T.b_h >= 150
+GROUP BY S.playerid`
+	text, _, err = db.ExplainAnalyzeOpts(joinSQL, smarticeberg.Options{BatchSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "[transfer filter keys=") {
+		t.Fatalf("EXPLAIN ANALYZE missing transfer counters:\n%s", text)
+	}
+	text, _, err = db.ExplainAnalyzeOpts(scanSQL,
+		smarticeberg.Options{BatchSize: 1024, NoSkip: true, NoTransfer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, "[skipped blocks=") || strings.Contains(text, "[transfer filter") {
+		t.Fatalf("EXPLAIN ANALYZE shows skip counters with skipping disabled:\n%s", text)
+	}
+}

@@ -1,0 +1,96 @@
+// Data-skipping benchmark (`make bench-skip`): the clustered query mix with
+// zone-map skipping + predicate transfer on vs off, single CPU, regenerating
+// BENCH_skip.json. TestSkipSmoke is the CI guard on the same plumbing: it
+// asserts the clustered workload actually skips — a refactor that silently
+// stops pruning fails the build rather than just losing the speedup.
+package smarticeberg_test
+
+import (
+	"testing"
+
+	"smarticeberg/internal/bench"
+)
+
+// skipBenchRows sizes the clustered table: 25×benchN (50k rows ≈ 49 zone
+// blocks at the default) keeps block-level pruning percentages meaningful.
+func skipBenchRows() int { return 25 * benchN() }
+
+// BenchmarkSkip runs each skip-mix query with both mechanisms on and off.
+// Per-op metrics come from the process-wide skip counters reset around each
+// measured loop; only the final calibrated b.N run of each sub-benchmark is
+// written to BENCH_skip.json.
+func BenchmarkSkip(b *testing.B) {
+	tableRows := skipBenchRows()
+	cat := bench.NewSkipCatalog(tableRows, 1)
+	latest := map[string]bench.SkipBenchRecord{}
+	var order []string
+	for _, q := range bench.SkipQueries() {
+		for _, mode := range []string{"on", "off"} {
+			name := q.Name + "/" + mode
+			b.Run(name, func(b *testing.B) {
+				rec, err := bench.MeasureSkip(cat, q, 1024, 1, b.N, mode == "on")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, seen := latest[name]; !seen {
+					order = append(order, name)
+				}
+				latest[name] = rec
+				b.ReportMetric(rec.RowsPerSec, "rows/s")
+				b.ReportMetric(rec.SkippedBlockPct, "skipped-block-%")
+				b.ReportMetric(rec.SkippedProbePct, "skipped-probe-%")
+			})
+		}
+	}
+	if len(order) > 0 {
+		records := make([]bench.SkipBenchRecord, len(order))
+		for i, name := range order {
+			records[i] = latest[name]
+		}
+		fb := bench.MeasureFilterBuild(100000, 10)
+		if err := bench.WriteSkipBench("BENCH_skip.json", tableRows, fb, records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSkipSmoke asserts the skip mechanisms engage on the clustered
+// workload: the sorted year column must prune at least half the blocks for
+// a year-range query, and the star join must build, transfer, and profit
+// from a Bloom filter. Small sizes — this guards wiring, not speed.
+func TestSkipSmoke(t *testing.T) {
+	cat := bench.NewSkipCatalog(6000, 1)
+	qs := bench.SkipQueries()
+	byName := map[string]bench.SkipQuery{}
+	for _, q := range qs {
+		byName[q.Name] = q
+	}
+	year, err := bench.MeasureSkip(cat, byName["YearSlice"], 1024, 1, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if year.SkippedBlockPct < 50 {
+		t.Errorf("YearSlice skipped %.1f%% of blocks (%d/%d), want >= 50%% on the clustered table",
+			year.SkippedBlockPct, year.SkippedBlocks, year.TotalBlocks)
+	}
+	star, err := bench.MeasureSkip(cat, byName["StarTransfer"], 1024, 1, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.FiltersBuilt == 0 || star.FiltersTransferred == 0 {
+		t.Errorf("StarTransfer built %d / transferred %d filters, want both nonzero",
+			star.FiltersBuilt, star.FiltersTransferred)
+	}
+	if star.SkippedProbes == 0 {
+		t.Error("StarTransfer skipped no probe rows — the transferred filter is not filtering")
+	}
+	// Off must really be off.
+	off, err := bench.MeasureSkip(cat, byName["YearSlice"], 1024, 1, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.SkippedBlocks != 0 || off.FiltersBuilt != 0 {
+		t.Errorf("skipping off still skipped %d blocks / built %d filters",
+			off.SkippedBlocks, off.FiltersBuilt)
+	}
+}

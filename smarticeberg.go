@@ -96,6 +96,15 @@ type Options struct {
 	// SpillDir is the parent directory for spill files; empty uses the
 	// system temp directory.
 	SpillDir string
+	// NoSkip disables zone-map data skipping at the scan layer (block-level
+	// min/max pruning under BatchSize > 0). The zero value keeps skipping
+	// on; results are byte-identical either way.
+	NoSkip bool
+	// NoTransfer disables sideways predicate transfer: hash-join build
+	// sides publishing Bloom filters and key envelopes to probe-side scans.
+	// The zero value keeps transfer on; results are byte-identical either
+	// way.
+	NoTransfer bool
 }
 
 // AllOptimizations enables every technique, the paper's "all" bar.
@@ -118,6 +127,8 @@ func (o Options) internal() iceberg.Options {
 		BatchSize:    o.BatchSize,
 		Spill:        o.Spill,
 		SpillDir:     o.SpillDir,
+		NoSkip:       o.NoSkip,
+		NoTransfer:   o.NoTransfer,
 	}
 }
 
@@ -133,7 +144,23 @@ const (
 	DegradeCacheShed = engine.DegradeCacheShed
 	DegradeSpill     = engine.DegradeSpill
 	DegradeBaseline  = engine.DegradeBaseline
+	// DegradeSkipDisabled is off-ladder: a zone-map or transfer-filter
+	// failure disabled data skipping for the query, which then ran at full
+	// scan cost with identical results.
+	DegradeSkipDisabled = engine.DegradeSkipDisabled
 )
+
+// SkipStats counts data-skipping work; see SkipTotals.
+type SkipStats = engine.SkipStats
+
+// SkipTotals reports process-wide data-skipping counters: blocks and rows
+// skipped by zone maps, probe rows skipped by transferred filters, and
+// filters built/transferred. Counters accumulate across queries; see
+// ResetSkipTotals.
+func SkipTotals() SkipStats { return engine.SkipTotals() }
+
+// ResetSkipTotals zeroes the process-wide data-skipping counters.
+func ResetSkipTotals() { engine.ResetSkipTotals() }
 
 // Result is a fully evaluated query result. Row values are Go natives:
 // int64, float64, string, bool, or nil for SQL NULL.
@@ -456,6 +483,9 @@ func (db *DB) ExplainAnalyzeOpts(sql string, opts Options) (text string, res *Re
 	p := engine.NewPlanner(db.cat)
 	p.Exec = ec
 	p.BatchSize = opts.BatchSize
+	p.Workers = opts.Workers
+	p.NoZoneSkip = opts.NoSkip
+	p.NoTransfer = opts.NoTransfer
 	op, err := p.PlanSelect(sel, nil)
 	if err != nil {
 		return "", nil, err
@@ -597,6 +627,13 @@ func lowerASCII(s string) string {
 // the skyband experiments (Q1–Q3, Q8).
 func (db *DB) LoadPlayerPerformance(n int, seed int64) {
 	db.cat.Put(workload.PlayerPerformance(n, seed))
+}
+
+// LoadClusteredPerformance loads "perf_clustered": the same player-season
+// data physically sorted by (year, playerid, round), the layout zone-map
+// data skipping exploits.
+func (db *DB) LoadClusteredPerformance(n int, seed int64) {
+	db.cat.Put(workload.ClusteredPerformance(n, seed))
 }
 
 // LoadScores loads the Score table used by the pairs experiments (Q4–Q7).
