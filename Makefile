@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench bench-vector bench-morsel bench-spill bench-server bench-skip faulttest spilltest servertest
+.PHONY: all build test race lint vet bench bench-vector bench-morsel bench-spill bench-server bench-skip bench-chaos faulttest spilltest servertest chaostest
 
 all: build lint test
 
@@ -51,6 +51,17 @@ spilltest:
 servertest:
 	$(GO) test -race -count=1 -tags budgetcheck ./internal/server/ ./internal/resource/
 
+# Chaos suite: the seeded fault-storm soak (byte-correct rows or classified
+# typed errors under probabilistic multi-site injection, degraded-retry
+# recovery, breaker re-close, zero leaks after drain) plus the recovery,
+# breaker, watchdog, and client retry-policy tests — under the race
+# detector, since the storm exists to shake out cleanup races. See
+# DESIGN.md, "Fault recovery & chaos".
+chaostest:
+	$(GO) test -race -count=1 -run 'TestChaos' .
+	$(GO) test -race -count=1 -run 'TestRetry|TestDrainSkips|TestBreaker|TestWatchdog|TestQueuedWaiter' ./internal/server/
+	$(GO) test -race -count=1 ./internal/client/ ./internal/failpoint/
+
 # The root run regenerates BENCH_nljp.json (parallel NLJP worker sweep);
 # the internal/bench run is the harness's own benchmark smoke.
 bench:
@@ -92,3 +103,9 @@ bench-server:
 # skipping".
 bench-skip:
 	$(GO) test -bench=BenchmarkSkip -benchtime=20x -cpu=1 -run=^$$ .
+
+# Seeded chaos soak as an artifact: one record per storm seed with the armed
+# sites, recovery rate, and post-drain invariants. Regenerates
+# BENCH_chaos.json. See DESIGN.md, "Fault recovery & chaos".
+bench-chaos:
+	$(GO) test -bench=BenchmarkChaos -benchtime=1x -run=^$$ .

@@ -1,0 +1,142 @@
+package smarticeberg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"smarticeberg/internal/bench"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/server"
+	"smarticeberg/internal/testleak"
+)
+
+// chaosServer builds a fresh icebergd with the Figure 1 dataset registered.
+func chaosServer(tb testing.TB, n int) (*server.Server, []server.LoadQuery) {
+	tb.Helper()
+	ds := bench.NewDataset(n, 0, 1)
+	// QueryMem is set explicitly: the shared cache carves from the same
+	// global budget, so the derived MemLimit/MaxConcurrent carve would make
+	// the last admission an overload shed on a fully loaded server.
+	s := server.New(server.Config{MaxConcurrent: 4, QueueDepth: 16,
+		MemLimit: 256 << 20, QueryMem: 32 << 20})
+	for _, name := range ds.Cat.Names() {
+		t, err := ds.Cat.Get(name)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		s.RegisterTable(t)
+	}
+	mix := []server.LoadQuery{}
+	for _, q := range bench.Figure1Queries()[:4] { // Q1–Q3 skybands + Q4 pairs
+		mix = append(mix, server.LoadQuery{Name: q.Name, SQL: q.SQL})
+	}
+	return s, mix
+}
+
+// TestChaosSoak drives the full fault-recovery stack — error taxonomy,
+// degraded retries, circuit breakers, watchdog, drain — under a seeded
+// probabilistic fault storm and asserts the contract: every response is
+// byte-identical to the fault-free answer or a classified typed error, at
+// least half the fault-hit queries recover via degraded retry, no goroutine
+// leaks, the budget returns to zero after drain, and every tripped breaker
+// re-closes. The seed makes a failure reproducible: rerun with the same
+// seed, get the same storm.
+func TestChaosSoak(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	s, mix := chaosServer(t, 200)
+
+	res, err := s.RunChaos(mix, server.ChaosOptions{Clients: 8, Queries: 24, Seed: 42})
+	if err != nil {
+		t.Fatalf("chaos soak aborted: %v", err)
+	}
+	t.Log(res)
+
+	if res.Clients < 8 {
+		t.Fatalf("soak ran %d clients, want >= 8", res.Clients)
+	}
+	if len(res.ArmedSites) < 3 {
+		t.Fatalf("storm armed %d sites (%v), want >= 3", len(res.ArmedSites), res.ArmedSites)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("%d successful responses differed from the fault-free baseline", res.Mismatches)
+	}
+	if res.Unclassified != 0 {
+		t.Fatalf("%d errors carried no taxonomy class (by class: %v)", res.Unclassified, res.ByClass)
+	}
+	if res.FaultHit == 0 {
+		t.Fatal("the storm never fired — the soak proved nothing")
+	}
+	if rate := res.RecoveryRate(); rate < 0.5 {
+		t.Fatalf("recovery rate %.0f%% (%d/%d), want >= 50%%: %v",
+			100*rate, res.Recovered, res.FaultHit, res.ByClass)
+	}
+	if !res.BreakersReclosed {
+		t.Fatal("a session breaker did not re-close after the storm ended")
+	}
+	if res.BudgetUsed != 0 {
+		t.Fatalf("%d budget bytes still held after drain", res.BudgetUsed)
+	}
+}
+
+// TestChaosSeedReproducible: two soaks with the same seed against identical
+// fresh servers observe the same fault pattern (same fault-hit and outcome
+// counts) — the property that makes a chaos failure debuggable.
+func TestChaosSeedReproducible(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	run := func() *server.ChaosResult {
+		s, mix := chaosServer(t, 120)
+		// One client: concurrency cannot reorder which query draws which
+		// PRNG value, so the fault pattern is exactly repeatable.
+		res, err := s.RunChaos(mix, server.ChaosOptions{Clients: 1, Queries: 24, Seed: 7})
+		if err != nil {
+			t.Fatalf("chaos soak aborted: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.FaultHit != b.FaultHit || a.OK != b.OK || a.Failed != b.Failed || a.Recovered != b.Recovered {
+		t.Fatalf("same seed, different storms:\n  a: %v\n  b: %v", a, b)
+	}
+}
+
+// BenchmarkChaos runs the seeded chaos soak as a benchmark and regenerates
+// BENCH_chaos.json (`make bench-chaos`): one record per storm seed, with the
+// armed sites, recovery rate, and post-drain invariants.
+func BenchmarkChaos(b *testing.B) {
+	seeds := []int64{42, 7}
+	latest := map[int64]bench.ChaosBenchRecord{}
+	var order []int64
+	for _, seed := range seeds {
+		b.Run(fmt.Sprintf("seed%d", seed), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				defer failpoint.Reset()
+				s, mix := chaosServer(b, 200)
+				res, err := s.RunChaos(mix, server.ChaosOptions{Clients: 8, Queries: 24, Seed: seed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Mismatches != 0 || res.Unclassified != 0 || !res.BreakersReclosed || res.BudgetUsed != 0 {
+					b.Fatalf("chaos invariants violated: %v", res)
+				}
+				if _, seen := latest[seed]; !seen {
+					order = append(order, seed)
+				}
+				latest[seed] = bench.NewChaosBenchRecord(res)
+				b.ReportMetric(100*res.RecoveryRate(), "recovery-%")
+				b.ReportMetric(float64(res.FaultHit), "fault-hit")
+				b.ReportMetric(float64(res.Retries), "retries")
+			}
+		})
+	}
+	if len(order) > 0 {
+		records := make([]bench.ChaosBenchRecord, len(order))
+		for i, seed := range order {
+			records[i] = latest[seed]
+		}
+		if err := bench.WriteChaosBench("BENCH_chaos.json", records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

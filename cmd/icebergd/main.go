@@ -42,18 +42,27 @@ var (
 	flagTimeout = flag.Duration("timeout", 0, "default per-query deadline; 0 disables")
 	flagSpill   = flag.Bool("spill", false, "let queries spill to disk under memory pressure")
 	flagSpillD  = flag.String("spill-dir", "", "parent directory for spill files; empty = system temp dir")
+
+	flagRetries  = flag.Int("max-retries", 2, "degraded re-executions after a transient/resource failure; -1 disables")
+	flagWatchdog = flag.Duration("watchdog-grace", 2*time.Second, "force-cancel queries this far past their deadline; -1ns disables")
+	flagNoBreak  = flag.Bool("no-breakers", false, "disable per-session circuit breakers")
+	flagCooldown = flag.Duration("breaker-cooldown", time.Second, "open-breaker shed duration before a half-open probe")
 )
 
 func main() {
 	flag.Parse()
 	srv := server.New(server.Config{
-		MaxConcurrent:  *flagMaxConc,
-		QueueDepth:     *flagQueue,
-		MemLimit:       *flagMem,
-		QueryMem:       *flagQMem,
-		DefaultTimeout: *flagTimeout,
-		Spill:          *flagSpill,
-		SpillDir:       *flagSpillD,
+		MaxConcurrent:   *flagMaxConc,
+		QueueDepth:      *flagQueue,
+		MemLimit:        *flagMem,
+		QueryMem:        *flagQMem,
+		DefaultTimeout:  *flagTimeout,
+		Spill:           *flagSpill,
+		SpillDir:        *flagSpillD,
+		MaxRetries:      *flagRetries,
+		WatchdogGrace:   *flagWatchdog,
+		NoBreakers:      *flagNoBreak,
+		BreakerCooldown: *flagCooldown,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

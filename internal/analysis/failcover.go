@@ -54,9 +54,15 @@ func runFailCover(pass *Pass) error {
 	return nil
 }
 
-// isInjectCall reports whether call is failpoint.Inject(...).
+// isInjectCall reports whether call is failpoint.Inject(...) or
+// failpoint.InjectInto(...) — both arm the same per-site hook, so both count
+// as fault coverage.
 func isInjectCall(pass *Pass, call *ast.CallExpr) bool {
-	return pkgFuncName(pass, call, failpointPkgSuffix) == "Inject"
+	switch pkgFuncName(pass, call, failpointPkgSuffix) {
+	case "Inject", "InjectInto":
+		return true
+	}
+	return false
 }
 
 var osIOFuncs = map[string]bool{
@@ -126,7 +132,9 @@ func collectInjectSites(pass *Pass) map[string][]injectSite {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || !isInjectCall(pass, call) || len(call.Args) != 1 {
+			// Inject takes the site name alone; InjectInto adds the error
+			// pointer — the site name is the first argument of both.
+			if !ok || !isInjectCall(pass, call) || len(call.Args) < 1 {
 				return true
 			}
 			pos := pass.Fset.Position(call.Pos())

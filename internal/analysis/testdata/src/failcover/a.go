@@ -67,3 +67,22 @@ func RemoveLate(path string) error {
 	}
 	return failpoint.Inject(failpoint.SpillRemove)
 }
+
+// InjectIntoGuarded is clean: the InjectInto variant counts as coverage
+// exactly like Inject.
+func InjectIntoGuarded(path string, b []byte) (err error) {
+	if failpoint.InjectInto(failpoint.SpillWrite, &err) {
+		return err
+	}
+	return os.WriteFile(path, b, 0o600)
+}
+
+// InjectIntoOneBranch guards only the slow path, like OpenMaybe.
+func InjectIntoOneBranch(path string, fast bool) (err error) {
+	if !fast {
+		if failpoint.InjectInto(failpoint.SpillWrite, &err) {
+			return err
+		}
+	}
+	return os.Truncate(path, 0) // want `not guarded by a failpoint`
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+
+	"smarticeberg/internal/server"
+)
+
+// ChaosBenchRecord is one chaos soak serialized into BENCH_chaos.json: the
+// seed and fleet shape, which sites the storm armed (with their calibrated
+// per-hit probabilities), and the recovery verdict. The soak is the
+// robustness analogue of the latency benchmarks — the artifact documents
+// that under a reproducible fault storm the server kept every answer
+// byte-correct and healed itself.
+type ChaosBenchRecord struct {
+	Seed             int64    `json:"seed"`
+	Clients          int      `json:"clients"`
+	QueriesPerClient int      `json:"queries_per_client"`
+	GOMAXPROCS       int      `json:"gomaxprocs"`
+	ArmedSites       []string `json:"armed_sites"`
+	Issued           int      `json:"issued"`
+	OK               int      `json:"ok"`
+	Recovered        int      `json:"recovered"`
+	FaultHit         int      `json:"fault_hit"`
+	Failed           int      `json:"failed"`
+	Shed             int      `json:"shed"`
+	RecoveryRate     float64  `json:"recovery_rate"`
+	Retries          int64    `json:"retries"`
+	WatchdogFired    int64    `json:"watchdog_fired"`
+	Mismatches       int      `json:"mismatches"`
+	Unclassified     int      `json:"unclassified"`
+	BreakersReclosed bool     `json:"breakers_reclosed"`
+	BudgetAfterDrain int64    `json:"budget_after_drain"`
+	ElapsedMillis    float64  `json:"elapsed_ms"`
+}
+
+// NewChaosBenchRecord folds one soak into its serializable record.
+func NewChaosBenchRecord(res *server.ChaosResult) ChaosBenchRecord {
+	return ChaosBenchRecord{
+		Seed:             res.Seed,
+		Clients:          res.Clients,
+		QueriesPerClient: res.Queries,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		ArmedSites:       res.ArmedSites,
+		Issued:           res.Issued,
+		OK:               res.OK,
+		Recovered:        res.Recovered,
+		FaultHit:         res.FaultHit,
+		Failed:           res.Failed,
+		Shed:             res.Shed,
+		RecoveryRate:     res.RecoveryRate(),
+		Retries:          res.Retries,
+		WatchdogFired:    res.WatchdogFired,
+		Mismatches:       res.Mismatches,
+		Unclassified:     res.Unclassified,
+		BreakersReclosed: res.BreakersReclosed,
+		BudgetAfterDrain: res.BudgetUsed,
+		ElapsedMillis:    float64(res.Elapsed.Microseconds()) / 1000,
+	}
+}
+
+// WriteChaosBench writes the records as indented JSON, the BENCH_chaos.json
+// artifact `make bench-chaos` regenerates.
+func WriteChaosBench(path string, records []ChaosBenchRecord) error {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,289 @@
+// Package client is the Go client for icebergd's JSON HTTP API, with the
+// retry discipline the server's fault-recovery contract calls for: transport
+// failures and typed overload sheds are retried with jittered exponential
+// backoff honoring the server's Retry-After hints, an open circuit breaker
+// fast-fails instead of being hammered, and everything stops the moment the
+// caller's context does.
+//
+// The package deliberately does not import internal/server: query options
+// travel as an opaque JSON-marshaled value, so the server's load harness can
+// itself be a client.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Config shapes one Client. The zero value (plus a BaseURL) is usable.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (default: a client with a 30s
+	// timeout). The per-request context still governs each attempt.
+	HTTPClient *http.Client
+	// MaxRetries bounds client-side retries after a retryable failure
+	// (transport error or typed overload shed). 0 means the default of 3;
+	// negative disables retries.
+	MaxRetries int
+	// RetryBase is the first backoff step (default 25ms); RetryMax caps the
+	// exponential growth (default 2s). The server's Retry-After hint, when
+	// larger, wins over the computed backoff.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 3
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	return c
+}
+
+// Client talks to one icebergd.
+type Client struct {
+	cfg Config
+}
+
+// New builds a client for the server at cfg.BaseURL.
+func New(cfg Config) *Client {
+	return &Client{cfg: cfg.withDefaults()}
+}
+
+// APIError is a non-200 response, decoded from the server's error body. Code
+// and Class carry the server's typed verdict ("overloaded", "breaker_open",
+// "draining", ... / "transient", "overload", ...), so callers never parse
+// messages.
+type APIError struct {
+	Status     int
+	Code       string
+	Class      string
+	Message    string
+	Attempts   int // server-side execution attempts, when reported
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("icebergd: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// retryable reports whether the client should retry this response: only the
+// plain overload shed, where the server itself suggested coming back. An
+// open breaker means this session is the problem (fast-fail and let the
+// cooldown run); draining means the server is going away.
+func (e *APIError) retryable() bool {
+	return e.Status == http.StatusTooManyRequests && e.Code != "breaker_open"
+}
+
+// QueryStats mirrors the server's per-query stats object.
+type QueryStats struct {
+	Bindings     int64    `json:"bindings"`
+	MemoHits     int64    `json:"memo_hits"`
+	PruneHits    int64    `json:"prune_hits"`
+	InnerEvals   int64    `json:"inner_evals"`
+	Degradations []string `json:"degradations,omitempty"`
+	Attempts     int      `json:"attempts,omitempty"`
+	FinalDegrade string   `json:"final_degrade,omitempty"`
+}
+
+// Result is one query's result set.
+type Result struct {
+	Columns []string    `json:"columns"`
+	Rows    [][]any     `json:"rows"`
+	Stats   *QueryStats `json:"stats,omitempty"`
+}
+
+// QueryRequest is the wire shape of POST /query. Opts is marshaled as-is
+// (use the server's QueryOptions or any JSON-compatible value).
+type QueryRequest struct {
+	SQL     string `json:"sql"`
+	Session string `json:"session,omitempty"`
+	Opts    any    `json:"opts,omitempty"`
+}
+
+// Query runs one SELECT, retrying per the client's policy.
+func (c *Client) Query(ctx context.Context, req QueryRequest) (*Result, error) {
+	var out Result
+	if err := c.do(ctx, "/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Exec runs a DDL/DML statement (CREATE TABLE, INSERT).
+func (c *Client) Exec(ctx context.Context, sql string) error {
+	return c.do(ctx, "/exec", map[string]string{"sql": sql}, nil)
+}
+
+// NewSession creates a session with the given default query options and
+// returns its ID.
+func (c *Client) NewSession(ctx context.Context, opts any) (string, error) {
+	var out struct {
+		Session string `json:"session"`
+	}
+	body := map[string]any{}
+	if opts != nil {
+		body["opts"] = opts
+	}
+	if err := c.do(ctx, "/session", body, &out); err != nil {
+		return "", err
+	}
+	return out.Session, nil
+}
+
+// Stats fetches /stats into out (pass the server's Stats struct or any
+// JSON-compatible shape).
+func (c *Client) Stats(ctx context.Context, out any) error {
+	return c.get(ctx, "/stats", out)
+}
+
+// Healthy reports whether /healthz answers 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	var out struct {
+		Status string `json:"status"`
+	}
+	return c.get(ctx, "/healthz", &out) == nil
+}
+
+// do POSTs body to path with the retry policy, decoding a 200 into out.
+func (c *Client) do(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.once(ctx, path, payload, out)
+		if lastErr == nil {
+			return nil
+		}
+		if attempt >= c.cfg.MaxRetries || ctx.Err() != nil {
+			return lastErr
+		}
+		hint := time.Duration(0)
+		if ae, ok := lastErr.(*APIError); ok {
+			if !ae.retryable() {
+				return lastErr
+			}
+			hint = ae.RetryAfter
+		}
+		wait := c.backoff(attempt)
+		if hint > wait {
+			wait = hint
+		}
+		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < wait {
+			return lastErr
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return lastErr
+		}
+	}
+}
+
+// once issues a single POST attempt.
+func (c *Client) once(ctx context.Context, path string, payload []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// get issues one GET (no retries: reads are cheap and callers poll anyway).
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-200 response into an *APIError, preferring the
+// body's retry_after_ms over the coarser Retry-After header.
+func decodeError(resp *http.Response) error {
+	ae := &APIError{Status: resp.StatusCode, Code: "http_" + strconv.Itoa(resp.StatusCode)}
+	var body struct {
+		Error        string `json:"error"`
+		Code         string `json:"code"`
+		Class        string `json:"class"`
+		Attempts     int    `json:"attempts"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err := json.Unmarshal(raw, &body); err == nil && body.Error != "" {
+		ae.Message = body.Error
+		if body.Code != "" {
+			ae.Code = body.Code
+		}
+		ae.Class = body.Class
+		ae.Attempts = body.Attempts
+		ae.RetryAfter = time.Duration(body.RetryAfterMS) * time.Millisecond
+	} else {
+		ae.Message = strings.TrimSpace(string(raw))
+	}
+	if ae.RetryAfter == 0 {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+	}
+	return ae
+}
+
+// backoff is the jittered exponential wait before retry n (0-based):
+// RetryBase doubling per attempt with ±50% jitter, capped at RetryMax.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.cfg.RetryBase << uint(attempt)
+	if base > c.cfg.RetryMax || base <= 0 {
+		base = c.cfg.RetryMax
+	}
+	half := int64(base) / 2
+	return time.Duration(half + rand.Int63n(half+1) + rand.Int63n(half+1))
+}

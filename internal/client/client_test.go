@@ -1,0 +1,128 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stub builds a test server whose /query handler is driven per-call.
+func stub(t *testing.T, handler http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", handler)
+	s := httptest.NewServer(mux)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func TestQueryRetriesOverload(t *testing.T) {
+	var calls atomic.Int32
+	srv := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error": "server overloaded", "code": "overloaded",
+				"class": "overload", "retry_after_ms": 1})
+			return
+		}
+		writeJSON(w, http.StatusOK, Result{Columns: []string{"n"}, Rows: [][]any{{1.0}},
+			Stats: &QueryStats{Attempts: 1}})
+	})
+	c := New(Config{BaseURL: srv.URL, RetryBase: time.Millisecond})
+	res, err := c.Query(context.Background(), QueryRequest{SQL: "SELECT 1"})
+	if err != nil {
+		t.Fatalf("retries did not absorb the shed: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("made %d calls, want 3", calls.Load())
+	}
+	if len(res.Rows) != 1 || res.Stats == nil || res.Stats.Attempts != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestQueryFastFailsOnOpenBreaker(t *testing.T) {
+	var calls atomic.Int32
+	srv := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": "circuit breaker open", "code": "breaker_open",
+			"class": "overload", "retry_after_ms": 500})
+	})
+	c := New(Config{BaseURL: srv.URL, RetryBase: time.Millisecond})
+	_, err := c.Query(context.Background(), QueryRequest{SQL: "SELECT 1"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != "breaker_open" {
+		t.Fatalf("got %v, want breaker_open APIError", err)
+	}
+	if ae.RetryAfter != 500*time.Millisecond {
+		t.Fatalf("RetryAfter = %s, want 500ms", ae.RetryAfter)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("open breaker was hammered %d times, want 1", calls.Load())
+	}
+}
+
+func TestQueryDoesNotRetryFatal(t *testing.T) {
+	var calls atomic.Int32
+	srv := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": "no such table", "code": "internal", "class": "fatal", "attempts": 1})
+	})
+	c := New(Config{BaseURL: srv.URL, RetryBase: time.Millisecond})
+	_, err := c.Query(context.Background(), QueryRequest{SQL: "SELECT 1"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Class != "fatal" || ae.Attempts != 1 {
+		t.Fatalf("got %v, want fatal APIError with attempts", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("fatal error retried: %d calls", calls.Load())
+	}
+}
+
+func TestQueryHonorsContext(t *testing.T) {
+	srv := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": "server overloaded", "code": "overloaded", "retry_after_ms": 60000})
+	})
+	c := New(Config{BaseURL: srv.URL})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Query(ctx, QueryRequest{SQL: "SELECT 1"})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	// The 60s Retry-After must not be slept against a 50ms deadline.
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("client slept %s past its context", waited)
+	}
+}
+
+func TestTransportErrorRetried(t *testing.T) {
+	// A server that closes immediately: first Do fails at the transport
+	// layer; the retry goes to a healthy one.
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	dead.Close()
+	c := New(Config{BaseURL: dead.URL, MaxRetries: 1, RetryBase: time.Millisecond})
+	_, err := c.Query(context.Background(), QueryRequest{SQL: "SELECT 1"})
+	if err == nil {
+		t.Fatal("dead server answered")
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("transport failure decoded as APIError: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"io"
+	"io/fs"
+
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/spill"
+)
+
+// ErrClass partitions every error the engine and server can surface into
+// the recovery taxonomy icebergd acts on. The classes are ordered by what a
+// caller should do next:
+//
+//   - Transient: the fault was momentary (an injected I/O error, a spill
+//     corruption detected by checksum, a contained panic in one worker).
+//     Re-executing the same query — possibly one rung down the degradation
+//     ladder — is expected to succeed, and every rung is byte-identical or
+//     strictly safer, so the retry can never produce a wrong answer.
+//   - Resource: the query exceeded its memory carve. A retry with spill
+//     enabled or on the baseline plan trades time for memory and completes.
+//   - Overload: the server refused the work (full queue, depleted global
+//     budget, open circuit breaker). Retrying locally only adds load; the
+//     client should back off for the advertised Retry-After.
+//   - Canceled: the caller's own context expired or was cancelled. Retrying
+//     inside the original deadline is pointless by definition.
+//   - Fatal: everything else — parse errors, planner bugs, unknown
+//     failures. Retrying cannot help and may hide a real defect.
+//
+// ClassNone is the class of a nil error.
+type ErrClass int
+
+const (
+	ClassNone ErrClass = iota
+	ClassTransient
+	ClassResource
+	ClassOverload
+	ClassCanceled
+	ClassFatal
+
+	// NumErrClasses sizes per-class counter arrays.
+	NumErrClasses
+)
+
+// String returns the stable wire name used in icebergd responses, /stats,
+// and BENCH_chaos.json.
+func (c ErrClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassTransient:
+		return "transient"
+	case ClassResource:
+		return "resource"
+	case ClassOverload:
+		return "overload"
+	case ClassCanceled:
+		return "canceled"
+	case ClassFatal:
+		return "fatal"
+	default:
+		return "unknown"
+	}
+}
+
+// Retryable reports whether a degraded re-execution of the same query has a
+// reasonable chance of succeeding. Only Transient and Resource qualify:
+// Overload retries amplify the overload, Canceled retries cannot beat the
+// caller's own deadline, and Fatal retries repeat the failure.
+func (c ErrClass) Retryable() bool {
+	return c == ClassTransient || c == ClassResource
+}
+
+// Classified lets error types outside this package declare their own class;
+// Classify honors it before any other rule. The server's overload and
+// breaker errors use this (the server imports engine, not vice versa).
+type Classified interface {
+	ErrClass() ErrClass
+}
+
+// Classify maps any error onto the taxonomy. The rules run most-specific
+// first; an unrecognized error is Fatal, because retrying an unknown
+// failure is how wrong answers and retry storms happen.
+func Classify(err error) ErrClass {
+	if err == nil {
+		return ClassNone
+	}
+	var classified Classified
+	if errors.As(err, &classified) {
+		return classified.ErrClass()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassCanceled
+	}
+	if errors.Is(err, resource.ErrBudgetExceeded) {
+		return ClassResource
+	}
+	var pe *PanicError
+	switch {
+	case errors.As(err, &pe):
+		// A contained panic killed one attempt, not the server; the state it
+		// corrupted died with the attempt's operators, so a fresh attempt
+		// starts clean.
+		return ClassTransient
+	case errors.Is(err, failpoint.ErrInjected),
+		errors.Is(err, spill.ErrCorrupt):
+		return ClassTransient
+	}
+	// Raw I/O failures (spill disk hiccups surface as *fs.PathError through
+	// os, short reads as io errors) are the canonical transient fault.
+	var pathErr *fs.PathError
+	if errors.As(err, &pathErr) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) {
+		return ClassTransient
+	}
+	return ClassFatal
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"testing"
+
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/resource"
+	"smarticeberg/internal/spill"
+)
+
+type selfClassified struct{ c ErrClass }
+
+func (e *selfClassified) Error() string      { return "self-classified" }
+func (e *selfClassified) ErrClass() ErrClass { return e.c }
+
+func TestClassify(t *testing.T) {
+	budgetErr := &resource.BudgetError{Site: "t", Requested: 1, Used: 1, Limit: 1}
+	cases := []struct {
+		name string
+		err  error
+		want ErrClass
+	}{
+		{"nil", nil, ClassNone},
+		{"canceled", context.Canceled, ClassCanceled},
+		{"deadline", context.DeadlineExceeded, ClassCanceled},
+		{"wrapped deadline", fmt.Errorf("query: %w", context.DeadlineExceeded), ClassCanceled},
+		{"budget", budgetErr, ClassResource},
+		{"wrapped budget", fmt.Errorf("agg: %w", budgetErr), ClassResource},
+		{"panic", NewPanicError("worker", "boom"), ClassTransient},
+		{"wrapped panic", fmt.Errorf("CTE x: %w", NewPanicError("w", 1)), ClassTransient},
+		{"injected", failpoint.ErrInjected, ClassTransient},
+		{"wrapped injected", fmt.Errorf("scan: %w", failpoint.ErrInjected), ClassTransient},
+		{"spill corrupt", fmt.Errorf("%w: frame 3", spill.ErrCorrupt), ClassTransient},
+		{"path error", &fs.PathError{Op: "write", Path: "/tmp/x", Err: errors.New("disk gone")}, ClassTransient},
+		{"short read", io.ErrUnexpectedEOF, ClassTransient},
+		{"self-classified overload", &selfClassified{c: ClassOverload}, ClassOverload},
+		{"wrapped self-classified", fmt.Errorf("w: %w", &selfClassified{c: ClassOverload}), ClassOverload},
+		{"unknown", errors.New("parse error at line 1"), ClassFatal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.err); got != tc.want {
+				t.Fatalf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestErrClassRetryable(t *testing.T) {
+	want := map[ErrClass]bool{
+		ClassNone: false, ClassTransient: true, ClassResource: true,
+		ClassOverload: false, ClassCanceled: false, ClassFatal: false,
+	}
+	for c, w := range want {
+		if c.Retryable() != w {
+			t.Fatalf("%v.Retryable() = %v, want %v", c, c.Retryable(), w)
+		}
+	}
+}
+
+func TestErrClassStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for c := ClassNone; c < NumErrClasses; c++ {
+		s := c.String()
+		if s == "" || s == "unknown" {
+			t.Fatalf("class %d has no stable name", c)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate class name %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -18,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -73,6 +72,10 @@ const (
 	ServerEnqueue = "server/enqueue"
 	ServerHandler = "server/handler"
 	ServerDrain   = "server/drain"
+	// ServerRetry fires at the head of each degraded re-execution in the
+	// server's retry loop (never on the first attempt), so tests can fault
+	// or observe the retry path itself.
+	ServerRetry = "server/retry"
 
 	SpillDir     = "spill/dir"
 	SpillWrite   = "spill/write"
@@ -103,7 +106,7 @@ func Points() []string {
 		ParallelWorkerStart, ChunkWorkerStart,
 		MorselEnqueue, MorselDrain,
 		CacheInsert, CacheLookup, NLJPBinding,
-		ServerAdmit, ServerEnqueue, ServerHandler, ServerDrain,
+		ServerAdmit, ServerEnqueue, ServerHandler, ServerDrain, ServerRetry,
 		SpillDir, SpillWrite, SpillFlush, SpillRead, SpillCorrupt, SpillRemove,
 		ZoneMapBuild, FilterBuild, FilterTransfer,
 	}
@@ -157,22 +160,58 @@ func Once(a Action) Action {
 
 type point struct {
 	action Action
+	trig   Trigger
+	rmu    sync.Mutex // serializes PRNG draws for probabilistic triggers
+	rng    *prng      // nil unless 0 < trig.P < 1
 	hits   atomic.Int64
+	fires  atomic.Int64
+}
+
+// shouldFire applies the point's trigger to the hit-ordinal h (1-based).
+func (p *point) shouldFire(h int64) bool {
+	t := p.trig
+	if h <= t.After {
+		return false
+	}
+	if t.Every > 1 && (h-t.After-1)%t.Every != 0 {
+		return false
+	}
+	if p.rng != nil {
+		p.rmu.Lock()
+		ok := p.rng.float64() < t.P
+		p.rmu.Unlock()
+		return ok
+	}
+	return true
 }
 
 var (
 	armed  atomic.Int32 // number of armed points; 0 = fast path
 	mu     sync.Mutex
-	points = map[string]*point{}
+	points       = map[string]*point{}
+	seed   int64 = 1 // PRNG seed for probabilistic triggers (see SetSeed)
 )
 
 // Inject is the per-site hook: it does nothing (one atomic load) unless the
-// site is armed, in which case the armed Action runs.
+// site is armed, in which case the armed Action runs (subject to the site's
+// trigger — probabilistic, nth-hit, or periodic arming evaluates per hit).
 func Inject(name string) error {
 	if armed.Load() == 0 {
 		return nil
 	}
 	return injectSlow(name)
+}
+
+// InjectInto is Inject for call sites that fold the injected failure into an
+// existing error variable: when the site fires with an error it stores it in
+// *errp and reports true. It counts as fault coverage exactly like Inject
+// (the icelint failcover pass recognizes both).
+func InjectInto(name string, errp *error) bool {
+	if err := Inject(name); err != nil {
+		*errp = err
+		return true
+	}
+	return false
 }
 
 func injectSlow(name string) error {
@@ -182,18 +221,39 @@ func injectSlow(name string) error {
 	if p == nil {
 		return nil
 	}
-	p.hits.Add(1)
+	h := p.hits.Add(1)
+	if !p.shouldFire(h) {
+		return nil
+	}
+	p.fires.Add(1)
 	return p.action(name)
 }
 
-// Enable arms a site with an action, replacing any previous arming.
+// Enable arms a site with an action that fires on every hit, replacing any
+// previous arming.
 func Enable(name string, a Action) {
+	EnableWith(name, a, Trigger{})
+}
+
+// EnableWith arms a site with an action gated by a trigger, replacing any
+// previous arming (hit and fire counters restart). Probabilistic triggers
+// draw from a PRNG seeded with the global seed xor a hash of the site name,
+// so the per-site draw sequence is deterministic given the seed no matter
+// how many other sites are armed or in what order.
+func EnableWith(name string, a Action, t Trigger) {
+	p := &point{action: a, trig: t}
+	if t.P > 0 && t.P < 1 {
+		mu.Lock()
+		s := seed
+		mu.Unlock()
+		p.rng = newPRNG(s ^ int64(hashName(name)))
+	}
 	mu.Lock()
 	defer mu.Unlock()
 	if _, exists := points[name]; !exists {
 		armed.Add(1)
 	}
-	points[name] = &point{action: a}
+	points[name] = p
 }
 
 // Disable disarms one site.
@@ -206,15 +266,27 @@ func Disable(name string) {
 	}
 }
 
-// Reset disarms every site. Tests defer this.
+// Reset disarms every site and restores the default PRNG seed. Tests defer
+// this.
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
 	points = map[string]*point{}
 	armed.Store(0)
+	seed = 1
 }
 
-// Hits reports how many times a site has triggered since it was armed.
+// SetSeed fixes the PRNG seed that probabilistic triggers derive their
+// per-site generators from. It affects sites armed after the call; arm the
+// schedule after seeding (Schedule.Arm does this). The default seed is 1.
+func SetSeed(s int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	seed = s
+}
+
+// Hits reports how many times a site has been reached since it was armed,
+// whether or not the trigger let the action fire.
 func Hits(name string) int64 {
 	mu.Lock()
 	p := points[name]
@@ -225,38 +297,27 @@ func Hits(name string) int64 {
 	return p.hits.Load()
 }
 
-// EnableFromSpec arms sites from a "point=mode;point=mode" spec. Modes:
-// "error", "error(message)", "panic", "panic(message)". Unknown modes or
-// malformed pairs are reported, not silently ignored.
-func EnableFromSpec(spec string) error {
-	for _, pair := range strings.Split(spec, ";") {
-		pair = strings.TrimSpace(pair)
-		if pair == "" {
-			continue
-		}
-		name, mode, ok := strings.Cut(pair, "=")
-		if !ok {
-			return fmt.Errorf("failpoint: malformed spec entry %q (want point=mode)", pair)
-		}
-		name, mode = strings.TrimSpace(name), strings.TrimSpace(mode)
-		arg := ""
-		if i := strings.IndexByte(mode, '('); i >= 0 && strings.HasSuffix(mode, ")") {
-			arg = mode[i+1 : len(mode)-1]
-			mode = mode[:i]
-		}
-		switch mode {
-		case "error":
-			if arg != "" {
-				Enable(name, Error(fmt.Errorf("failpoint %s: %s", name, arg)))
-			} else {
-				Enable(name, Error(nil))
-			}
-		case "panic":
-			Enable(name, Panic(arg))
-		default:
-			return fmt.Errorf("failpoint: unknown mode %q for point %s", mode, name)
-		}
+// Fires reports how many times a site's action actually ran since it was
+// armed. For an unconditional trigger Fires == Hits.
+func Fires(name string) int64 {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0
 	}
+	return p.fires.Load()
+}
+
+// EnableFromSpec parses spec (see ParseSchedule for the grammar) and arms
+// every rule in it. Unknown modes, triggers, or malformed pairs are
+// reported, not silently ignored.
+func EnableFromSpec(spec string) error {
+	s, err := ParseSchedule(spec)
+	if err != nil {
+		return err
+	}
+	s.Arm()
 	return nil
 }
 

@@ -1,0 +1,219 @@
+package failpoint
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Trigger gates when an armed site's action fires, turning one-shot fault
+// injection into composable chaos schedules. The zero value fires on every
+// hit. Fields combine: a hit must pass every set condition, evaluated in
+// order After → Every → P.
+type Trigger struct {
+	// P, in (0,1), fires the action with probability P per eligible hit,
+	// drawn from a PRNG seeded by the global seed xor the site name, so a
+	// run is reproducible given the seed. 0 and >= 1 mean "always".
+	P float64
+	// After skips the first After hits (After=3 means the 4th hit is the
+	// first eligible one) — the transient fault that appears mid-query.
+	After int64
+	// Every, when > 1, fires on every Every-th eligible hit starting with
+	// the first — the periodic fault.
+	Every int64
+}
+
+// String renders the trigger in spec grammar ("" for the always-trigger).
+func (t Trigger) String() string {
+	var parts []string
+	if t.P > 0 && t.P < 1 {
+		parts = append(parts, "p="+strconv.FormatFloat(t.P, 'g', -1, 64))
+	}
+	if t.After > 0 {
+		parts = append(parts, "after="+strconv.FormatInt(t.After, 10))
+	}
+	if t.Every > 1 {
+		parts = append(parts, "every="+strconv.FormatInt(t.Every, 10))
+	}
+	return strings.Join(parts, ":")
+}
+
+// Rule arms one site: the action to run and the trigger that gates it.
+type Rule struct {
+	Site    string
+	Action  Action
+	Trigger Trigger
+	// Mode preserves the textual action ("error", "panic(msg)", ...) for
+	// specs parsed by ParseSchedule, so a schedule can be logged or
+	// re-serialized; empty for rules built in code.
+	Mode string
+}
+
+// Schedule is a set of sites to arm together under one PRNG seed — the unit
+// a chaos storm flips on and off. Arm and Disarm may be called repeatedly;
+// each Arm restarts the per-site hit counters and PRNG streams, so two
+// storms with the same seed and flip sequence inject identically.
+type Schedule struct {
+	Seed  int64 // 0 keeps the current seed
+	Rules []Rule
+}
+
+// Arm seeds the PRNG (when Seed is non-zero) and arms every rule.
+func (s *Schedule) Arm() {
+	if s.Seed != 0 {
+		SetSeed(s.Seed)
+	}
+	for i := range s.Rules {
+		r := &s.Rules[i]
+		EnableWith(r.Site, r.Action, r.Trigger)
+	}
+}
+
+// ArmSite re-arms just the i-th rule (a storm flipping one site back on).
+func (s *Schedule) ArmSite(i int) {
+	r := &s.Rules[i]
+	EnableWith(r.Site, r.Action, r.Trigger)
+}
+
+// Disarm disables every rule's site.
+func (s *Schedule) Disarm() {
+	for i := range s.Rules {
+		Disable(s.Rules[i].Site)
+	}
+}
+
+// ParseSchedule parses the SMARTICEBERG_FAILPOINTS grammar:
+//
+//	spec    := entry (';' entry)*
+//	entry   := 'seed=' int                  -- PRNG seed for p= triggers
+//	         | site '=' mode (':' trig)*
+//	mode    := 'error' | 'error(' msg ')' | 'panic' | 'panic(' msg ')'
+//	trig    := 'p=' float                   -- fire with probability p
+//	         | 'after=' int                 -- skip the first N hits
+//	         | 'every=' int                 -- then fire every Nth hit
+//
+// Examples:
+//
+//	engine/scan/next=error
+//	seed=42;engine/scan/next=error:p=0.1;iceberg/nljp/binding=panic:after=100
+//	spill/write=error(disk full):every=3
+//
+// Malformed entries, unknown modes, and out-of-range triggers are errors.
+func ParseSchedule(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, pair := range strings.Split(spec, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, rhs, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("failpoint: malformed spec entry %q (want point=mode or seed=N)", pair)
+		}
+		name, rhs = strings.TrimSpace(name), strings.TrimSpace(rhs)
+		if name == "seed" {
+			n, err := strconv.ParseInt(rhs, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("failpoint: bad seed %q: %v", rhs, err)
+			}
+			s.Seed = n
+			continue
+		}
+		mode, trigSpec, _ := strings.Cut(rhs, ":")
+		rule := Rule{Site: name, Mode: rhs}
+		arg := ""
+		if i := strings.IndexByte(mode, '('); i >= 0 && strings.HasSuffix(mode, ")") {
+			arg = mode[i+1 : len(mode)-1]
+			mode = mode[:i]
+		}
+		switch mode {
+		case "error":
+			if arg != "" {
+				rule.Action = Error(fmt.Errorf("failpoint %s: %s", name, arg))
+			} else {
+				rule.Action = Error(nil)
+			}
+		case "panic":
+			rule.Action = Panic(arg)
+		default:
+			return nil, fmt.Errorf("failpoint: unknown mode %q for point %s", mode, name)
+		}
+		if trigSpec != "" {
+			t, err := parseTrigger(name, trigSpec)
+			if err != nil {
+				return nil, err
+			}
+			rule.Trigger = t
+		}
+		s.Rules = append(s.Rules, rule)
+	}
+	return s, nil
+}
+
+func parseTrigger(site, spec string) (Trigger, error) {
+	var t Trigger
+	for _, part := range strings.Split(spec, ":") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return t, fmt.Errorf("failpoint: malformed trigger %q for point %s (want p=/after=/every=)", part, site)
+		}
+		switch key {
+		case "p":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(f) || f <= 0 || f > 1 {
+				return t, fmt.Errorf("failpoint: bad probability %q for point %s (want 0 < p <= 1)", val, site)
+			}
+			t.P = f
+		case "after":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return t, fmt.Errorf("failpoint: bad after=%q for point %s", val, site)
+			}
+			t.After = n
+		case "every":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return t, fmt.Errorf("failpoint: bad every=%q for point %s", val, site)
+			}
+			t.Every = n
+		default:
+			return t, fmt.Errorf("failpoint: unknown trigger %q for point %s", key, site)
+		}
+	}
+	return t, nil
+}
+
+// prng is a tiny splitmix64 generator: deterministic across Go versions
+// (math/rand's stream is documented stable, but its lock is global and its
+// seeding path changed across releases) and cheap enough to sit on a fault
+// path.
+type prng struct{ state uint64 }
+
+func newPRNG(seed int64) *prng {
+	return &prng{state: uint64(seed)}
+}
+
+func (r *prng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *prng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// hashName is FNV-1a over the site name, mixed into the seed so each site
+// gets an independent deterministic stream.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

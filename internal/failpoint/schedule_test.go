@@ -1,0 +1,234 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func hitN(t *testing.T, site string, n int) (fired int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if Inject(site) != nil {
+			fired++
+		}
+	}
+	return fired
+}
+
+func TestTriggerAfter(t *testing.T) {
+	defer Reset()
+	EnableWith(ScanNext, Error(nil), Trigger{After: 3})
+	if got := hitN(t, ScanNext, 3); got != 0 {
+		t.Fatalf("fired %d times within the skipped prefix", got)
+	}
+	if err := Inject(ScanNext); !errors.Is(err, ErrInjected) {
+		t.Fatalf("4th hit: got %v, want ErrInjected", err)
+	}
+	if Hits(ScanNext) != 4 || Fires(ScanNext) != 1 {
+		t.Fatalf("hits=%d fires=%d, want 4/1", Hits(ScanNext), Fires(ScanNext))
+	}
+}
+
+func TestTriggerEvery(t *testing.T) {
+	defer Reset()
+	EnableWith(ScanNext, Error(nil), Trigger{Every: 3})
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		pattern = append(pattern, Inject(ScanNext) != nil)
+	}
+	want := []bool{true, false, false, true, false, false, true, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("every=3 pattern = %v, want %v", pattern, want)
+		}
+	}
+}
+
+func TestTriggerAfterEveryCompose(t *testing.T) {
+	defer Reset()
+	EnableWith(ScanNext, Error(nil), Trigger{After: 2, Every: 2})
+	var fires []int
+	for i := 1; i <= 8; i++ {
+		if Inject(ScanNext) != nil {
+			fires = append(fires, i)
+		}
+	}
+	// Hits 1-2 skipped; eligible hits 3,4,5,... fire on every 2nd starting
+	// with the first eligible: 3, 5, 7.
+	want := []int{3, 5, 7}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+}
+
+// TestTriggerProbabilisticDeterministic: the same seed reproduces the exact
+// fire pattern; a different seed gives a different one; the empirical rate
+// tracks p.
+func TestTriggerProbabilisticDeterministic(t *testing.T) {
+	defer Reset()
+	run := func(seed int64) []bool {
+		Reset()
+		SetSeed(seed)
+		EnableWith(ScanNext, Error(nil), Trigger{P: 0.25})
+		out := make([]bool, 400)
+		for i := range out {
+			out[i] = Inject(ScanNext) != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := run(7)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical patterns")
+	}
+	fires := 0
+	for _, f := range a {
+		if f {
+			fires++
+		}
+	}
+	if fires < 60 || fires > 140 {
+		t.Fatalf("p=0.25 fired %d/400 times, far from expectation", fires)
+	}
+}
+
+// TestTriggerSeedIndependentOfOtherSites: a site's stream depends only on
+// the seed and its own name, not on what else is armed.
+func TestTriggerSeedIndependentOfOtherSites(t *testing.T) {
+	defer Reset()
+	pattern := func(arm func()) []bool {
+		Reset()
+		SetSeed(99)
+		arm()
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = Inject(ScanNext) != nil
+		}
+		return out
+	}
+	alone := pattern(func() {
+		EnableWith(ScanNext, Error(nil), Trigger{P: 0.3})
+	})
+	crowded := pattern(func() {
+		EnableWith(AggNext, Error(nil), Trigger{P: 0.3})
+		EnableWith(ScanNext, Error(nil), Trigger{P: 0.3})
+		EnableWith(NLJPBinding, Error(nil), Trigger{P: 0.3})
+	})
+	for i := range alone {
+		if alone[i] != crowded[i] {
+			t.Fatalf("arming other sites changed the stream at hit %d", i)
+		}
+	}
+}
+
+func TestParseScheduleGrammar(t *testing.T) {
+	s, err := ParseSchedule("seed=42; engine/scan/next=error:p=0.1:after=5 ; iceberg/nljp/binding=panic(boom):every=3;spill/write=error(disk full)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 {
+		t.Fatalf("seed = %d, want 42", s.Seed)
+	}
+	if len(s.Rules) != 3 {
+		t.Fatalf("%d rules, want 3", len(s.Rules))
+	}
+	r0 := s.Rules[0]
+	if r0.Site != ScanNext || r0.Trigger.P != 0.1 || r0.Trigger.After != 5 {
+		t.Fatalf("rule 0: %+v", r0)
+	}
+	if s.Rules[1].Trigger.Every != 3 {
+		t.Fatalf("rule 1 trigger: %+v", s.Rules[1].Trigger)
+	}
+	if got := s.Rules[0].Trigger.String(); got != "p=0.1:after=5" {
+		t.Fatalf("trigger renders as %q", got)
+	}
+
+	bad := []string{
+		"x",
+		"a=error:p=2",
+		"a=error:p=0",
+		"a=error:after=-1",
+		"a=error:every=0",
+		"a=error:bogus=1",
+		"a=frobnicate",
+		"seed=notanumber",
+	}
+	for _, spec := range bad {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Fatalf("ParseSchedule(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestScheduleArmDisarmReproducible(t *testing.T) {
+	defer Reset()
+	s, err := ParseSchedule("seed=11;engine/scan/next=error:p=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []bool {
+		s.Arm()
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = Inject(ScanNext) != nil
+		}
+		s.Disarm()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("re-armed schedule diverged at hit %d", i)
+		}
+	}
+	if Inject(ScanNext) != nil {
+		t.Fatal("disarmed site still fires")
+	}
+}
+
+func TestInjectInto(t *testing.T) {
+	defer Reset()
+	var err error
+	if InjectInto(ScanNext, &err) || err != nil {
+		t.Fatal("disarmed InjectInto fired")
+	}
+	Enable(ScanNext, Error(nil))
+	if !InjectInto(ScanNext, &err) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed InjectInto: fired=%v err=%v", err != nil, err)
+	}
+}
+
+func TestEnableFromSpecArms(t *testing.T) {
+	defer Reset()
+	if err := EnableFromSpec("engine/scan/next=error;engine/agg/next=panic(kaboom)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject(ScanNext); !errors.Is(err, ErrInjected) {
+		t.Fatalf("spec-armed error site: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("spec-armed panic site did not panic")
+			}
+		}()
+		_ = Inject(AggNext)
+	}()
+}

@@ -115,6 +115,12 @@ type Report struct {
 	// Spill snapshots the spill manager's IO counters; zero when
 	// Options.Spill was off or never engaged.
 	Spill spill.Stats
+	// Attempts and FinalDegrade record server-side fault recovery: how many
+	// execution attempts the query took (1 = no retries) and which
+	// degradation-ladder rung the successful attempt ran on ("" = full
+	// power). Filled in by the server's retry loop, not by Exec.
+	Attempts     int
+	FinalDegrade string
 }
 
 // BlockReport covers one SELECT block.
@@ -158,6 +164,9 @@ func (r *Report) String() string {
 	}
 	if len(r.Degradations) > 0 {
 		fmt.Fprintf(&b, "degraded: %s\n", strings.Join(engine.DegradeReasonStrings(r.Degradations), ", "))
+	}
+	if r.Attempts > 1 {
+		fmt.Fprintf(&b, "recovered: attempt %d, rung %q\n", r.Attempts, r.FinalDegrade)
 	}
 	return b.String()
 }

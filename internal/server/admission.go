@@ -151,6 +151,15 @@ func (a *admission) admit(ctx context.Context) (*grant, error) {
 	}
 	select {
 	case <-a.tokens:
+		// A token and a dead context can be ready together, and select picks
+		// between ready cases at random: re-check so a waiter whose client
+		// already disconnected (or whose deadline passed) never starts
+		// executing — return the token and count the cheap reject.
+		if err := ctx.Err(); err != nil {
+			a.tokens <- struct{}{}
+			a.expired.Add(1)
+			return nil, err
+		}
 		return a.carve()
 	case <-ctx.Done():
 		a.expired.Add(1)

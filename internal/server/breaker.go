@@ -1,0 +1,209 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"smarticeberg/internal/engine"
+)
+
+// ErrClass lets the taxonomy classify shed decisions without the engine
+// importing the server: engine.Classify asks the error itself.
+func (e *OverloadError) ErrClass() engine.ErrClass { return engine.ClassOverload }
+
+// BreakerOpenError is the typed fast-fail for a session whose circuit
+// breaker is open: the server refuses the query before it costs a run token
+// or a budget carve. The HTTP layer maps it to 429 with a Retry-After of the
+// remaining cooldown.
+type BreakerOpenError struct {
+	Session    string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("session %s: circuit breaker open; retry in %s",
+		e.Session, e.RetryAfter.Round(time.Millisecond))
+}
+
+// ErrClass classifies breaker sheds as overload, like queue sheds.
+func (e *BreakerOpenError) ErrClass() engine.ErrClass { return engine.ClassOverload }
+
+// breakerState is the classic three-state machine.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+type breakerConfig struct {
+	window     int           // sliding window of outcomes judged
+	threshold  float64       // failure rate that trips the breaker
+	minSamples int           // outcomes required before it may trip
+	cooldown   time.Duration // open duration before a half-open probe
+}
+
+// breaker is one session's circuit breaker. Closed, it records query
+// outcomes in a sliding window and trips open when the failure rate over at
+// least minSamples outcomes reaches threshold. Open, it sheds every query
+// until cooldown has passed, then admits exactly one probe (half-open): the
+// probe's success closes the breaker and clears the window, its failure
+// re-opens for another cooldown. Only real faults count against the window —
+// Transient, Resource, and Fatal outcomes; Overload and Canceled say nothing
+// about the session's queries, and sheds never feed back into the breaker
+// that caused them.
+type breaker struct {
+	cfg breakerConfig
+
+	mu       sync.Mutex
+	state    breakerState
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	window   []bool
+	next     int
+	filled   int
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	return &breaker{cfg: cfg, window: make([]bool, cfg.window)}
+}
+
+// allow decides whether a query may proceed; when it may not, it returns the
+// time left until a probe would be admitted.
+func (b *breaker) allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if wait := b.cfg.cooldown - time.Since(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false, b.cfg.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// record folds a query's outcome into the breaker and reports a state
+// transition ("" when none) for the server log.
+func (b *breaker) record(class engine.ErrClass) string {
+	failed := class == engine.ClassTransient || class == engine.ClassResource || class == engine.ClassFatal
+	if class != engine.ClassNone && !failed {
+		// Overload and Canceled outcomes are noise for this machine, except
+		// that a half-open probe that never ran must free the probe slot.
+		b.mu.Lock()
+		if b.state == breakerHalfOpen {
+			b.probing = false
+		}
+		b.mu.Unlock()
+		return ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if failed {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			return "half-open -> open"
+		}
+		b.state = breakerClosed
+		b.reset()
+		return "half-open -> closed"
+	}
+	b.window[b.next] = failed
+	b.next = (b.next + 1) % len(b.window)
+	if b.filled < len(b.window) {
+		b.filled++
+	}
+	if b.state == breakerClosed && b.filled >= b.cfg.minSamples {
+		fails := 0
+		for i := 0; i < b.filled; i++ {
+			if b.window[i] {
+				fails++
+			}
+		}
+		if float64(fails)/float64(b.filled) >= b.cfg.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			return "closed -> open"
+		}
+	}
+	return ""
+}
+
+// reset clears the outcome window (caller holds b.mu).
+func (b *breaker) reset() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.next, b.filled = 0, 0
+}
+
+// snapshot reports the state for /stats without advancing the machine.
+func (b *breaker) snapshot() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// breakerAllow gates a query on its session's breaker; anonymous queries
+// (no session) and disabled breakers always pass.
+func (s *Server) breakerAllow(sessionID string) error {
+	ses := s.session(sessionID)
+	if ses == nil || ses.breaker == nil {
+		return nil
+	}
+	ok, wait := ses.breaker.allow()
+	if !ok {
+		s.breakerShed.Add(1)
+		return &BreakerOpenError{Session: sessionID, RetryAfter: wait}
+	}
+	return nil
+}
+
+// breakerRecord feeds a query's final outcome back to its session breaker.
+func (s *Server) breakerRecord(sessionID string, class engine.ErrClass) {
+	ses := s.session(sessionID)
+	if ses == nil || ses.breaker == nil {
+		return
+	}
+	if transition := ses.breaker.record(class); transition != "" {
+		s.cfg.Log.Printf("icebergd: session %s breaker %s", sessionID, transition)
+	}
+}
+
+// breakerStates counts sessions per breaker state for /stats.
+func (s *Server) breakerStates() map[string]int {
+	out := map[string]int{}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ses := range s.sessions {
+		if ses.breaker != nil {
+			out[ses.breaker.snapshot().String()]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/value"
+)
+
+// ChaosOptions shapes one chaos soak: N in-process clients driving a query
+// mix through the full server path (admission, retry ladder, breakers,
+// watchdog) under a seeded probabilistic fault storm.
+type ChaosOptions struct {
+	// Clients is the number of concurrent clients, each with its own
+	// session (default 8).
+	Clients int
+	// Queries is how many queries each client issues round-robin from the
+	// mix (default 24).
+	Queries int
+	// Seed drives the failpoint PRNG: same seed, same storm (default 1).
+	Seed int64
+	// Sites are the failpoint sites to arm probabilistically (default: the
+	// scan, aggregation, NLJP-binding, and server-handler sites). Sites the
+	// calibration pass finds unreachable under the mix are dropped and
+	// reported in the result.
+	Sites []string
+	// TargetP is the intended per-attempt probability that at least one
+	// armed fault fires (default 0.25). The calibration pass measures how
+	// often each site is reached per query and derives per-hit probabilities
+	// from it — a site hit 10⁴ times per query is armed far gentler than one
+	// hit once.
+	TargetP float64
+	// Timeout bounds each query (default 30s); the watchdog rides on it.
+	Timeout time.Duration
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Queries <= 0 {
+		o.Queries = 24
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Sites) == 0 {
+		o.Sites = []string{
+			failpoint.ScanNext,
+			failpoint.AggNext,
+			failpoint.NLJPBinding,
+			failpoint.ServerHandler,
+		}
+	}
+	if o.TargetP <= 0 || o.TargetP >= 1 {
+		o.TargetP = 0.25
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// ChaosResult is the verdict of one soak. The invariants a chaos run is
+// expected to uphold are all observable here: Mismatches must be zero (every
+// successful response byte-identical to the fault-free answer), Unclassified
+// must be zero (every failure carried a taxonomy class), RecoveryRate should
+// clear the configured bar, and after the post-storm heal phase every
+// session breaker must have re-closed.
+type ChaosResult struct {
+	Clients, Queries int
+	Seed             int64
+	ArmedSites       []string       // sites actually armed, with their per-hit p
+	DroppedSites     []string       // requested sites the mix never reaches
+	Issued           int            // queries sent through the storm
+	OK               int            // byte-checked successes
+	Recovered        int            // successes that needed >1 attempt
+	FaultHit         int            // queries that saw >=1 real fault (recovered + failed)
+	Failed           int            // typed errors after retries were exhausted
+	Shed             int            // overload-class rejections (breaker/queue), not faults
+	Mismatches       int            // successful responses that differed from baseline
+	Unclassified     int            // errors with no taxonomy class — must be 0
+	ByClass          map[string]int // failed queries by final error class
+	Retries          int64          // server-wide retry attempts during the storm
+	WatchdogFired    int64          // watchdog force-cancels during the storm
+	BreakersReclosed bool           // every session breaker closed after healing
+	BudgetUsed       int64          // server budget bytes still held after drain
+	Elapsed          time.Duration
+}
+
+// RecoveryRate is the fraction of fault-hit queries that still delivered a
+// correct answer via the degraded retry ladder.
+func (r *ChaosResult) RecoveryRate() float64 {
+	if r.FaultHit == 0 {
+		return 1
+	}
+	return float64(r.Recovered) / float64(r.FaultHit)
+}
+
+// String renders the soak summary.
+func (r *ChaosResult) String() string {
+	return fmt.Sprintf(
+		"chaos seed=%d clients=%d: %d issued, %d ok (%d recovered), %d failed, %d shed; fault-hit %d, recovery %.0f%%; %d retries, %d watchdog; mismatches=%d unclassified=%d; breakers-reclosed=%t budget-after-drain=%d (%s)",
+		r.Seed, r.Clients, r.Issued, r.OK, r.Recovered, r.Failed, r.Shed,
+		r.FaultHit, 100*r.RecoveryRate(), r.Retries, r.WatchdogFired,
+		r.Mismatches, r.Unclassified, r.BreakersReclosed, r.BudgetUsed, r.Elapsed.Round(time.Millisecond))
+}
+
+// RunChaos soaks the server with a seeded fault storm and reports whether
+// the fault-recovery contract held. The phases:
+//
+//  1. Baseline: each mix query runs fault-free; its rows are the byte-exact
+//     answer every later success is compared against.
+//  2. Calibration: the candidate sites are armed with a counting no-op and
+//     the mix runs once more, measuring how often each site is reached per
+//     query; per-hit probabilities are derived so the per-attempt chance
+//     that *some* fault fires is ~TargetP regardless of how hot a site is.
+//  3. Storm: the schedule is armed (seeded — reruns are identical) and
+//     Clients sessions hammer the mix concurrently. Every outcome is
+//     checked: successes must match the baseline bytes, failures must carry
+//     a taxonomy class.
+//  4. Heal: faults are disarmed and each session queries until its breaker
+//     observes enough successes to re-close.
+//  5. Drain: the server drains; the budget must return to zero.
+//
+// The server must be freshly built with registered tables and no prior
+// traffic; RunChaos owns the failpoint registry for the duration (it calls
+// failpoint.Reset).
+func (s *Server) RunChaos(queries []LoadQuery, opts ChaosOptions) (*ChaosResult, error) {
+	opts = opts.withDefaults()
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("chaos soak needs at least one query")
+	}
+	res := &ChaosResult{Clients: opts.Clients, Queries: opts.Queries, Seed: opts.Seed,
+		ByClass: map[string]int{}}
+	start := time.Now()
+
+	// Phase 1: fault-free baselines.
+	failpoint.Reset()
+	baseline := make([][]value.Row, len(queries))
+	for i, q := range queries {
+		r, _, err := s.RunQuery(context.Background(), "", q.SQL, q.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", q.Name, err)
+		}
+		baseline[i] = r.Rows
+	}
+
+	// Phase 2: calibration. Counting no-ops measure per-query hit rates.
+	for _, site := range opts.Sites {
+		failpoint.Enable(site, func(string) error { return nil })
+	}
+	for _, q := range queries {
+		if _, _, err := s.RunQuery(context.Background(), "", q.SQL, q.Opts); err != nil {
+			failpoint.Reset()
+			return nil, fmt.Errorf("calibration %s: %w", q.Name, err)
+		}
+	}
+	perQuery := map[string]float64{}
+	for _, site := range opts.Sites {
+		perQuery[site] = float64(failpoint.Hits(site)) / float64(len(queries))
+	}
+	failpoint.Reset()
+
+	// Phase 3: the storm. Each armed site gets p = TargetP / (sites × its
+	// per-query hit count), so hot sites don't dominate and the per-attempt
+	// fire chance stays near TargetP in aggregate.
+	sched := &failpoint.Schedule{Seed: opts.Seed}
+	for _, site := range opts.Sites {
+		h := perQuery[site]
+		if h == 0 {
+			res.DroppedSites = append(res.DroppedSites, site)
+			continue
+		}
+		p := opts.TargetP / (float64(len(opts.Sites)) * h)
+		if p > 0.9 {
+			p = 0.9
+		}
+		sched.Rules = append(sched.Rules, failpoint.Rule{
+			Site: site, Action: failpoint.Error(nil), Trigger: failpoint.Trigger{P: p}})
+		res.ArmedSites = append(res.ArmedSites, fmt.Sprintf("%s:p=%.2g", site, p))
+	}
+	sort.Strings(res.ArmedSites)
+	retriesBefore := s.retries.Load()
+	watchdogBefore := s.watchdogFired.Load()
+	sched.Arm()
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sid := s.CreateSession(QueryOptions{})
+			for n := 0; n < opts.Queries; n++ {
+				i := (c + n) % len(queries)
+				qopts := &QueryOptions{TimeoutMS: opts.Timeout.Milliseconds()}
+				r, _, info, err := s.RunQueryInfo(context.Background(), sid, queries[i].SQL, qopts)
+				mu.Lock()
+				res.Issued++
+				switch {
+				case err == nil:
+					res.OK++
+					if info.Attempts > 1 {
+						res.Recovered++
+						res.FaultHit++
+					}
+					if err := sameRowsChaos(baseline[i], r.Rows); err != nil {
+						res.Mismatches++
+					}
+				default:
+					class := classifyErr(err)
+					res.ByClass[class.String()]++
+					switch class {
+					case engine.ClassNone:
+						res.Unclassified++
+					case engine.ClassOverload:
+						res.Shed++ // breaker/queue pushback, not a fault
+					default:
+						res.Failed++
+						res.FaultHit++
+					}
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	sched.Disarm()
+	res.Retries = s.retries.Load() - retriesBefore
+	res.WatchdogFired = s.watchdogFired.Load() - watchdogBefore
+
+	// Phase 4: heal. Sessions whose breakers tripped run clean queries until
+	// every breaker is closed again (bounded — a breaker that won't re-close
+	// on a healthy server is a finding, not a hang).
+	healDeadline := time.Now().Add(30 * time.Second)
+	for {
+		states := s.breakerStates()
+		if states["open"] == 0 && states["half-open"] == 0 {
+			res.BreakersReclosed = true
+			break
+		}
+		if time.Now().After(healDeadline) {
+			break
+		}
+		s.mu.Lock()
+		ids := make([]string, 0, len(s.sessions))
+		for id := range s.sessions {
+			ids = append(ids, id)
+		}
+		s.mu.Unlock()
+		sort.Strings(ids)
+		for _, id := range ids {
+			_, _, _ = s.RunQuery(context.Background(), id, queries[0].SQL, nil)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Phase 5: drain; every budget byte must come home.
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err := s.Drain(dctx)
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("chaos drain: %w", err)
+	}
+	res.BudgetUsed = s.global.Used()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// sameRowsChaos compares two result sets cell-by-cell (the chaos soak's
+// byte-identity check; errors.New keeps it allocation-light on match).
+func sameRowsChaos(want, got []value.Row) error {
+	if len(want) != len(got) {
+		return errors.New("row count differs")
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			return errors.New("column count differs")
+		}
+		for j := range want[i] {
+			if !value.Identical(want[i][j], got[i][j]) {
+				return errors.New("cell differs")
+			}
+		}
+	}
+	return nil
+}

@@ -47,8 +47,11 @@ func TestServerFaultMatrix(t *testing.T) {
 		for _, mode := range modes {
 			t.Run(site+"/"+mode.name, func(t *testing.T) {
 				defer failpoint.Reset()
+				// MaxRetries: -1 — this matrix asserts the raw error surfaces;
+				// recovery via degraded retry has its own tests in
+				// recovery_test.go.
 				s := newObjectsServer(t, Config{MaxConcurrent: 2, QueueDepth: 2,
-					MemLimit: 64 << 20, NoSharedCache: true}, 120)
+					MemLimit: 64 << 20, NoSharedCache: true, MaxRetries: -1}, 120)
 				want := wantRows(t, s, skySQL)
 
 				// The enqueue site only fires on the queued path: hold every

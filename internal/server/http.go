@@ -44,6 +44,11 @@ type errorBody struct {
 	Error        string `json:"error"`
 	Code         string `json:"code"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	// Class is the error-taxonomy class (transient, resource, overload,
+	// canceled, fatal) so clients can pick a retry policy without parsing
+	// messages; Attempts counts execution attempts when the server retried.
+	Class    string `json:"class,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -55,9 +60,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError maps the server's typed failures onto HTTP statuses.
 func writeError(w http.ResponseWriter, err error) {
-	body := errorBody{Error: err.Error(), Code: "internal"}
+	writeErrorInfo(w, err, nil)
+}
+
+func writeErrorInfo(w http.ResponseWriter, err error, info *RunInfo) {
+	body := errorBody{Error: err.Error(), Code: "internal", Class: classifyErr(err).String()}
+	if info != nil {
+		body.Attempts = info.Attempts
+	}
 	status := http.StatusInternalServerError
 	var oe *OverloadError
+	var be *BreakerOpenError
 	var pe *engine.PanicError
 	switch {
 	case errors.As(err, &oe):
@@ -65,6 +78,11 @@ func writeError(w http.ResponseWriter, err error) {
 		body.Code = "overloaded"
 		body.RetryAfterMS = oe.RetryAfter.Milliseconds()
 		w.Header().Set("Retry-After", strconv.FormatInt(int64(oe.RetryAfter.Seconds())+1, 10))
+	case errors.As(err, &be):
+		status = http.StatusTooManyRequests
+		body.Code = "breaker_open"
+		body.RetryAfterMS = be.RetryAfter.Milliseconds()
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(be.RetryAfter.Seconds())+1, 10))
 	case errors.Is(err, ErrOverloaded):
 		status = http.StatusTooManyRequests
 		body.Code = "overloaded"
@@ -179,9 +197,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, rep, err := s.RunQuery(r.Context(), req.Session, req.SQL, req.Opts)
+	res, rep, info, err := s.RunQueryInfo(r.Context(), req.Session, req.SQL, req.Opts)
 	if err != nil {
-		writeError(w, err)
+		writeErrorInfo(w, err, info)
 		return
 	}
 	writeJSON(w, http.StatusOK, resultJSON(res, rep))
@@ -213,6 +231,10 @@ type queryStats struct {
 	PruneHits    int64    `json:"prune_hits"`
 	InnerEvals   int64    `json:"inner_evals"`
 	Degradations []string `json:"degradations,omitempty"`
+	// Attempts > 1 means the query recovered via degraded retry;
+	// FinalDegrade names the ladder rung the winning attempt ran on.
+	Attempts     int    `json:"attempts,omitempty"`
+	FinalDegrade string `json:"final_degrade,omitempty"`
 }
 
 func resultJSON(res *engine.Result, rep *iceberg.Report) queryResponse {
@@ -235,6 +257,8 @@ func resultJSON(res *engine.Result, rep *iceberg.Report) queryResponse {
 			PruneHits:    st.PruneHits,
 			InnerEvals:   st.InnerEvals,
 			Degradations: engine.DegradeReasonStrings(rep.Degradations),
+			Attempts:     rep.Attempts,
+			FinalDegrade: rep.FinalDegrade,
 		}
 	}
 	return out

@@ -1,13 +1,15 @@
 package server
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
+
+	"smarticeberg/internal/client"
 )
 
 // LoadQuery is one query in a load mix, driven round-robin by the clients.
@@ -61,7 +63,9 @@ func (r *LoadResult) RowsPerSec() float64 {
 // marching in lockstep). Every response is classified — success, shed, error
 // — and the run reports latency percentiles and throughput. Shed responses
 // and transport failures are observations, not a failed run: overload
-// behavior is exactly what a load test is there to measure.
+// behavior is exactly what a load test is there to measure, so the
+// internal/client retry policy is disabled here (MaxRetries < 0) and every
+// raw outcome counts.
 func RunLoad(baseURL string, queries []LoadQuery, opts LoadOptions) (*LoadResult, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("load test needs at least one query")
@@ -75,7 +79,6 @@ func RunLoad(baseURL string, queries []LoadQuery, opts LoadOptions) (*LoadResult
 	if opts.Timeout <= 0 {
 		opts.Timeout = 30 * time.Second
 	}
-	client := &http.Client{Timeout: opts.Timeout}
 
 	res := &LoadResult{Clients: opts.Clients, Requests: opts.Clients * opts.Requests}
 	var mu sync.Mutex
@@ -86,19 +89,25 @@ func RunLoad(baseURL string, queries []LoadQuery, opts LoadOptions) (*LoadResult
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			cl := client.New(client.Config{
+				BaseURL:    baseURL,
+				HTTPClient: &http.Client{Timeout: opts.Timeout},
+				MaxRetries: -1, // observe raw sheds; see doc comment
+			})
 			for r := 0; r < opts.Requests; r++ {
 				q := queries[(c+r)%len(queries)]
-				rows, status, lat, err := postQuery(client, baseURL, q)
+				reqStart := time.Now()
+				out, err := cl.Query(context.Background(), client.QueryRequest{SQL: q.SQL, Opts: q.Opts})
+				lat := time.Since(reqStart)
+				var ae *client.APIError
 				mu.Lock()
 				switch {
-				case err != nil:
-					res.Errors++
-				case status == http.StatusTooManyRequests:
-					res.Shed++
-				case status == http.StatusOK:
+				case err == nil:
 					res.OK++
-					res.Rows += rows
+					res.Rows += int64(len(out.Rows))
 					latencies = append(latencies, lat)
+				case errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests:
+					res.Shed++
 				default:
 					res.Errors++
 				}
@@ -111,31 +120,6 @@ func RunLoad(baseURL string, queries []LoadQuery, opts LoadOptions) (*LoadResult
 	res.P50 = percentile(latencies, 50)
 	res.P99 = percentile(latencies, 99)
 	return res, nil
-}
-
-// postQuery issues one POST /query, returning the result-row count, the
-// HTTP status, and the request latency.
-func postQuery(client *http.Client, baseURL string, q LoadQuery) (int64, int, time.Duration, error) {
-	body, err := json.Marshal(map[string]any{"sql": q.SQL, "opts": q.Opts})
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	start := time.Now()
-	resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, 0, time.Since(start), err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, resp.StatusCode, time.Since(start), nil
-	}
-	var out struct {
-		Rows [][]any `json:"rows"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, 0, time.Since(start), err
-	}
-	return int64(len(out.Rows)), http.StatusOK, time.Since(start), nil
 }
 
 // percentile returns the p-th percentile (nearest-rank) of ds, 0 when empty.

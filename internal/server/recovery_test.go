@@ -1,0 +1,323 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/testleak"
+)
+
+// syncBuf is a log sink safe for the watchdog's timer goroutine.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRetryRecoversTransient: a one-shot injected handler fault is absorbed
+// by the degraded retry — the caller sees the correct rows, one rung down,
+// with the recovery recorded in the report and the server stats.
+func TestRetryRecoversTransient(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	s := newObjectsServer(t, Config{MemLimit: 64 << 20, NoSharedCache: true}, 120)
+	want := wantRows(t, s, skySQL)
+
+	failpoint.Enable(failpoint.ServerHandler, failpoint.Once(failpoint.Error(nil)))
+	res, rep, info, err := s.RunQueryInfo(context.Background(), "", skySQL, nil)
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if err := sameRows(want, res.Rows); err != nil {
+		t.Fatalf("recovered attempt changed the answer: %v", err)
+	}
+	if info.Attempts != 2 || info.FinalDegrade != "no-skip" {
+		t.Fatalf("info = %+v, want 2 attempts at rung no-skip", info)
+	}
+	if rep.Attempts != 2 || rep.FinalDegrade != "no-skip" {
+		t.Fatalf("report attempts=%d rung=%q", rep.Attempts, rep.FinalDegrade)
+	}
+	st := s.StatsSnapshot()
+	if st.Retries != 1 || st.Recovered != 1 {
+		t.Fatalf("stats retries=%d recovered=%d, want 1/1", st.Retries, st.Recovered)
+	}
+	if used := s.Budget().Used(); used != 0 {
+		t.Fatalf("recovery leaked %d budget bytes", used)
+	}
+}
+
+// TestRetryLadderDescent: a fault that keeps firing for two attempts forces
+// the query down to the spill rung before it succeeds.
+func TestRetryLadderDescent(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	s := newObjectsServer(t, Config{MemLimit: 64 << 20, NoSharedCache: true, Spill: true, SpillDir: t.TempDir()}, 120)
+	want := wantRows(t, s, skySQL)
+
+	// After=0, fires on hits 1 and 2 only (Every can't express "first two",
+	// so count by hand).
+	var n int
+	var mu sync.Mutex
+	failpoint.Enable(failpoint.ServerHandler, func(string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		if n <= 2 {
+			return failpoint.ErrInjected
+		}
+		return nil
+	})
+	res, _, info, err := s.RunQueryInfo(context.Background(), "", skySQL, nil)
+	if err != nil {
+		t.Fatalf("ladder did not recover: %v", err)
+	}
+	if info.Attempts != 3 || info.FinalDegrade != "spill" {
+		t.Fatalf("info = %+v, want 3 attempts at rung spill", info)
+	}
+	if err := sameRows(want, res.Rows); err != nil {
+		t.Fatalf("spill-rung answer differs: %v", err)
+	}
+}
+
+// TestRetryNotForFatal: an unclassified error is Fatal — retrying it would
+// waste the deadline on a failure that will not heal.
+func TestRetryNotForFatal(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	s := newObjectsServer(t, Config{MemLimit: 64 << 20, NoSharedCache: true}, 120)
+
+	boom := errors.New("schema corrupt")
+	failpoint.Enable(failpoint.ServerHandler, failpoint.Error(boom))
+	_, _, info, err := s.RunQueryInfo(context.Background(), "", skySQL, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the fatal error back", err)
+	}
+	if info.Attempts != 1 || info.Class != engine.ClassFatal {
+		t.Fatalf("info = %+v, want 1 attempt classified fatal", info)
+	}
+	if st := s.StatsSnapshot(); st.Retries != 0 {
+		t.Fatalf("fatal error consumed %d retries", st.Retries)
+	}
+}
+
+// TestDrainSkipsRetry: a retryable failure on a draining server surfaces
+// immediately — a retry is new work, and drain means no new work.
+func TestDrainSkipsRetry(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	s := newObjectsServer(t, Config{MemLimit: 64 << 20, NoSharedCache: true}, 120)
+
+	// The fault itself begins the drain, so the interleaving is exact:
+	// attempt 1 fails transiently after drain has started.
+	failpoint.Enable(failpoint.ServerHandler, func(string) error {
+		s.adm.beginDrain()
+		return failpoint.ErrInjected
+	})
+	_, _, info, err := s.RunQueryInfo(context.Background(), "", skySQL, nil)
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if info.Attempts != 1 {
+		t.Fatalf("draining server retried: %d attempts", info.Attempts)
+	}
+	if st := s.StatsSnapshot(); st.Retries != 0 {
+		t.Fatalf("draining server recorded %d retries", st.Retries)
+	}
+}
+
+// breakerServer builds a server with a fast-tripping breaker and retries off
+// (each injected failure should surface, not heal).
+func breakerServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := newObjectsServer(t, Config{MemLimit: 64 << 20, NoSharedCache: true,
+		MaxRetries: -1, BreakerWindow: 4, BreakerMinSamples: 4,
+		BreakerThreshold: 0.5, BreakerCooldown: 60 * time.Millisecond,
+		Log: log.New(&syncBuf{}, "", 0)}, 120)
+	return s, s.CreateSession(QueryOptions{})
+}
+
+// TestBreakerTripsAndRecloses walks the full state machine: failures trip
+// the breaker open, an open breaker sheds without consuming admission, the
+// cooldown admits a half-open probe, and the probe's success re-closes it.
+func TestBreakerTripsAndRecloses(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	s, sid := breakerServer(t)
+
+	failpoint.Enable(failpoint.ServerHandler, failpoint.Error(nil))
+	for i := 0; i < 4; i++ {
+		if _, _, err := s.RunQuery(context.Background(), sid, skySQL, nil); !errors.Is(err, failpoint.ErrInjected) {
+			t.Fatalf("query %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	admitted := s.adm.admitted.Load()
+
+	// Tripped: the next query is shed with the typed error, before admission.
+	var be *BreakerOpenError
+	_, _, err := s.RunQuery(context.Background(), sid, skySQL, nil)
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v (%T), want *BreakerOpenError", err, err)
+	}
+	if be.RetryAfter <= 0 {
+		t.Fatalf("open breaker gave no Retry-After hint: %+v", be)
+	}
+	if got := s.adm.admitted.Load(); got != admitted {
+		t.Fatalf("shed query was admitted (%d -> %d)", admitted, got)
+	}
+	st := s.StatsSnapshot()
+	if st.BreakerShed != 1 || st.Breakers["open"] != 1 {
+		t.Fatalf("stats breaker_shed=%d breakers=%v", st.BreakerShed, st.Breakers)
+	}
+
+	// Heal the fault, wait out the cooldown: the half-open probe succeeds
+	// and the breaker re-closes.
+	failpoint.Reset()
+	time.Sleep(80 * time.Millisecond)
+	if _, _, err := s.RunQuery(context.Background(), sid, skySQL, nil); err != nil {
+		t.Fatalf("half-open probe failed on a healthy server: %v", err)
+	}
+	if st := s.StatsSnapshot(); st.Breakers["closed"] != 1 {
+		t.Fatalf("breaker did not re-close: %v", st.Breakers)
+	}
+	// An anonymous query never touches the breaker.
+	if _, _, err := s.RunQuery(context.Background(), "", skySQL, nil); err != nil {
+		t.Fatalf("anonymous query: %v", err)
+	}
+}
+
+// TestBreakerHalfOpenReopens: a failing half-open probe sends the breaker
+// straight back to open for another cooldown.
+func TestBreakerHalfOpenReopens(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	s, sid := breakerServer(t)
+
+	failpoint.Enable(failpoint.ServerHandler, failpoint.Error(nil))
+	for i := 0; i < 4; i++ {
+		_, _, _ = s.RunQuery(context.Background(), sid, skySQL, nil)
+	}
+	time.Sleep(80 * time.Millisecond)
+	// Probe admitted (fault still armed) — fails, breaker reopens.
+	if _, _, err := s.RunQuery(context.Background(), sid, skySQL, nil); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("probe: got %v, want ErrInjected", err)
+	}
+	var be *BreakerOpenError
+	if _, _, err := s.RunQuery(context.Background(), sid, skySQL, nil); !errors.As(err, &be) {
+		t.Fatalf("after failed probe: got %v, want *BreakerOpenError", err)
+	}
+	if st := s.StatsSnapshot(); st.Breakers["open"] != 1 {
+		t.Fatalf("breaker state after failed probe: %v", st.Breakers)
+	}
+}
+
+// TestWatchdogForceCancel: a handler wedged past deadline+grace is detected
+// by the watchdog, which force-cancels it and dumps labeled stacks to the
+// server log. The query unwinds as canceled; nothing leaks.
+func TestWatchdogForceCancel(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	buf := &syncBuf{}
+	s := newObjectsServer(t, Config{MemLimit: 64 << 20, NoSharedCache: true,
+		MaxRetries: -1, WatchdogGrace: 30 * time.Millisecond,
+		Log: log.New(buf, "", 0)}, 120)
+
+	// The fault wedges the handler on a channel the engine's context polling
+	// cannot reach — exactly the stuck query the watchdog exists for.
+	unwedge := make(chan struct{})
+	failpoint.Enable(failpoint.ServerHandler, func(string) error {
+		<-unwedge
+		return nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := s.RunQueryInfo(context.Background(), "", skySQL, &QueryOptions{TimeoutMS: 40})
+		done <- err
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.watchdogFired.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never fired")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(unwedge)
+	err := <-done
+	if classifyErr(err) != engine.ClassCanceled {
+		t.Fatalf("stuck query unwound with %v (class %s), want canceled", err, classifyErr(err))
+	}
+	st := s.StatsSnapshot()
+	if st.WatchdogFired != 1 {
+		t.Fatalf("watchdog_fired = %d, want 1", st.WatchdogFired)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, "watchdog") || !strings.Contains(logged, "SELECT") {
+		t.Fatalf("watchdog dump missing label or stacks:\n%s", logged)
+	}
+	if used := s.Budget().Used(); used != 0 {
+		t.Fatalf("watchdogged query leaked %d budget bytes", used)
+	}
+}
+
+// TestQueuedWaiterObservesDisconnect: when a run token and a dead client
+// context are ready simultaneously, the waiter must take the rejection —
+// never start executing for a client that already hung up. The failpoint
+// constructs the exact race: the waiter's context is cancelled and the token
+// returned while it sits between enqueue and the select, so both cases are
+// ready the moment it blocks.
+func TestQueuedWaiterObservesDisconnect(t *testing.T) {
+	testleak.Check(t)
+	defer failpoint.Reset()
+	s := newObjectsServer(t, Config{MaxConcurrent: 1, QueueDepth: 2,
+		MemLimit: 64 << 20, NoSharedCache: true, MaxRetries: -1}, 60)
+
+	for i := 0; i < 50; i++ {
+		tok := <-s.adm.tokens // force the queued path
+		ctx, cancel := context.WithCancel(context.Background())
+		failpoint.Enable(failpoint.ServerEnqueue, func(string) error {
+			cancel()
+			s.adm.tokens <- tok
+			return nil
+		})
+		admittedBefore := s.adm.admitted.Load()
+		g, err := s.adm.admit(ctx)
+		failpoint.Disable(failpoint.ServerEnqueue)
+		if err == nil {
+			g.release()
+			t.Fatalf("iteration %d: disconnected waiter was admitted", i)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: got %v, want context.Canceled", i, err)
+		}
+		if got := s.adm.admitted.Load(); got != admittedBefore {
+			t.Fatalf("iteration %d: admitted count moved %d -> %d", i, admittedBefore, got)
+		}
+		cancel()
+	}
+	if exp := s.adm.expired.Load(); exp != 50 {
+		t.Fatalf("expired = %d, want 50", exp)
+	}
+	// The token pool must be intact: a full drain of all tokens succeeds.
+	if len(s.adm.tokens) != 1 {
+		t.Fatalf("token pool = %d, want 1", len(s.adm.tokens))
+	}
+}

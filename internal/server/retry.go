@@ -1,0 +1,232 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"smarticeberg/internal/engine"
+	"smarticeberg/internal/failpoint"
+	"smarticeberg/internal/iceberg"
+	"smarticeberg/internal/sqlparser"
+)
+
+// The degradation ladder for retried attempts. Rung 0 is the query exactly
+// as requested. Each retry steps one rung down; every rung is byte-identical
+// to the one above by construction (the equivalence harnesses prove it), so
+// a retry can be slower but never wrong.
+const (
+	// rungFull: the plan as the request configured it.
+	rungFull = iota
+	// rungNoSkip: zone-map skipping, predicate transfer, and parallel
+	// workers off. Routes around faults in the scan-avoidance layer and the
+	// morsel scheduler; identical output is the PR 9 / PR 7 invariant.
+	rungNoSkip
+	// rungSpill: additionally, spill-to-disk on at half the memory carve —
+	// the attempt assumes the budget was the problem and trades time for
+	// resident memory (PR 5's byte-identity guarantee).
+	rungSpill
+	// rungBaseline: the paper's techniques off entirely — no a-priori
+	// rewrite, no NLJP cache, no shared cache, row-at-a-time execution.
+	// The most conservative plan the engine has.
+	rungBaseline
+)
+
+// rungOf clamps an attempt index onto the ladder.
+func rungOf(attempt int) int {
+	if attempt > rungBaseline {
+		return rungBaseline
+	}
+	return attempt
+}
+
+// rungName is the stable wire name reported as final_degrade.
+func rungName(rung int) string {
+	switch rung {
+	case rungNoSkip:
+		return "no-skip"
+	case rungSpill:
+		return "spill"
+	case rungBaseline:
+		return "baseline"
+	default:
+		return ""
+	}
+}
+
+// applyRung steps opts down the ladder. Rungs compose: each includes every
+// restriction above it.
+func applyRung(opts *iceberg.Options, rung int) {
+	if rung >= rungNoSkip {
+		opts.NoSkip = true
+		opts.NoTransfer = true
+		opts.Workers = 1
+	}
+	if rung >= rungSpill {
+		opts.Spill = true
+		if opts.MemBudget > 0 {
+			opts.MemBudget /= 2
+		}
+	}
+	if rung >= rungBaseline {
+		opts.Apriori = false
+		opts.Prune = false
+		opts.Memo = false
+		opts.CacheIndex = false
+		opts.BatchSize = 0
+	}
+}
+
+// RunInfo documents how one RunQueryInfo call went: how many attempts it
+// took, which ladder rung the final attempt ran on, the taxonomy class of
+// the final error (ClassNone on success), and the total backoff slept.
+type RunInfo struct {
+	Attempts     int
+	FinalDegrade string // "" when the final attempt ran at full power
+	Class        engine.ErrClass
+	Backoff      time.Duration
+}
+
+// classifyErr maps an error onto the recovery taxonomy, adding the server's
+// own vocabulary (draining is an overload: the client should go elsewhere,
+// not retry here) on top of engine.Classify. OverloadError and
+// BreakerOpenError classify themselves through engine.Classified.
+func classifyErr(err error) engine.ErrClass {
+	if err == nil {
+		return engine.ClassNone
+	}
+	if errors.Is(err, ErrDraining) {
+		return engine.ClassOverload
+	}
+	return engine.Classify(err)
+}
+
+// retryBackoff is the jittered exponential wait before retry n (0-based):
+// base 4ms doubling per attempt, ±50% jitter, capped at 250ms. The jitter
+// decorrelates retry storms across queries; determinism of the chaos
+// harness comes from the failpoint PRNG, not from here.
+func retryBackoff(attempt int) time.Duration {
+	base := 4 * time.Millisecond << uint(attempt)
+	if base > 250*time.Millisecond {
+		base = 250 * time.Millisecond
+	}
+	half := int64(base) / 2
+	return time.Duration(half + rand.Int63n(half+1) + rand.Int63n(half+1))
+}
+
+// sleepCtx waits d or until ctx is done, reporting whether the full wait
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// RunQueryInfo is RunQuery plus the recovery record. One admission grant
+// covers all attempts — a retrying query holds its run token and memory
+// carve rather than re-queueing, so retries cannot amplify an overload —
+// and all attempts share the original deadline. After a Transient or
+// Resource failure the query is re-executed one degradation-ladder rung
+// down, after a jittered backoff, unless the server is draining, the
+// deadline cannot fit another attempt of the same duration, or the retry
+// budget is spent. The final error (never an intermediate one) is what the
+// caller sees, tagged with its taxonomy class.
+func (s *Server) RunQueryInfo(ctx context.Context, sessionID, sql string, qopts *QueryOptions) (res *engine.Result, rep *iceberg.Report, info *RunInfo, err error) {
+	info = &RunInfo{Attempts: 1}
+	// Registered before anything else so the containment boundary covers
+	// admission and teardown too; deferred releases below run first during
+	// an unwind, so a panic cannot leak tokens, budget, or locks. The
+	// classification and breaker bookkeeping run last, on the final
+	// outcome.
+	defer func() {
+		if r := recover(); r != nil {
+			res, rep, err = nil, nil, engine.NewPanicError("server handler", r)
+		}
+		info.Class = classifyErr(err)
+		if err != nil {
+			s.classCounts[info.Class].Add(1)
+		}
+		s.breakerRecord(sessionID, info.Class)
+	}()
+
+	if err := s.breakerAllow(sessionID); err != nil {
+		return nil, nil, info, err
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if qopts != nil && qopts.TimeoutMS > 0 {
+		timeout = time.Duration(qopts.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// Parse before admission: a malformed query is Fatal and must not cost
+	// a run token, let alone retries.
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, nil, info, err
+	}
+
+	g, err := s.adm.admit(ctx)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	defer g.release()
+
+	sesOpts := s.sessionOpts(sessionID)
+	base := qopts.overlay(sesOpts.overlay(iceberg.AllOn()))
+
+	for attempt := 0; ; attempt++ {
+		info.Attempts = attempt + 1
+		info.FinalDegrade = rungName(rungOf(attempt))
+
+		start := time.Now()
+		res, rep, err = s.execAttempt(ctx, sql, sel, base, qopts, g, rungOf(attempt))
+		attemptDur := time.Since(start)
+
+		if err == nil {
+			if attempt > 0 {
+				s.recovered.Add(1)
+			}
+			if rep != nil {
+				rep.Attempts = info.Attempts
+				rep.FinalDegrade = info.FinalDegrade
+			}
+			return res, rep, info, nil
+		}
+		if !classifyErr(err).Retryable() || attempt >= s.cfg.MaxRetries {
+			break
+		}
+		// A draining server finishes in-flight work but starts nothing new
+		// — and a retry is new work.
+		if s.Draining() {
+			break
+		}
+		// The retry runs under the original deadline: skip it when the
+		// remaining time cannot fit the backoff plus an attempt the size of
+		// the one that just failed.
+		wait := retryBackoff(attempt)
+		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < wait+attemptDur {
+			break
+		}
+		if !sleepCtx(ctx, wait) {
+			break
+		}
+		info.Backoff += wait
+		s.retries.Add(1)
+		if ferr := failpoint.Inject(failpoint.ServerRetry); ferr != nil {
+			err = ferr
+			break
+		}
+	}
+	return nil, nil, info, err
+}

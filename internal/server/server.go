@@ -3,9 +3,11 @@ package server
 import (
 	"context"
 	"fmt"
+	"log"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smarticeberg/internal/engine"
@@ -43,6 +45,34 @@ type Config struct {
 	SpillDir string
 	// NoSharedCache disables the process-wide NLJP cache service.
 	NoSharedCache bool
+
+	// MaxRetries bounds how many degraded re-executions a query gets after
+	// a Transient or Resource failure (engine.Classify), each one rung down
+	// the degradation ladder under the original deadline. 0 means the
+	// default of 2; negative disables retries entirely.
+	MaxRetries int
+	// WatchdogGrace is how far past its deadline a query may run before the
+	// stuck-query watchdog force-cancels it and dumps labeled goroutine
+	// stacks. 0 means the default of 2s; negative disables the watchdog.
+	// Queries without a deadline are never watched.
+	WatchdogGrace time.Duration
+	// NoBreakers disables the per-session circuit breakers.
+	NoBreakers bool
+	// BreakerWindow is the sliding window of per-session query outcomes the
+	// breaker judges (default 16).
+	BreakerWindow int
+	// BreakerThreshold is the failure rate within the window that trips the
+	// breaker open (default 0.5).
+	BreakerThreshold float64
+	// BreakerMinSamples is the minimum number of outcomes in the window
+	// before the breaker may trip (default 8).
+	BreakerMinSamples int
+	// BreakerCooldown is how long an open breaker sheds before allowing a
+	// half-open probe (default 1s).
+	BreakerCooldown time.Duration
+	// Log receives watchdog stack dumps and breaker transitions; nil means
+	// the process default logger.
+	Log *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -54,6 +84,33 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueryMem == 0 && c.MemLimit > 0 {
 		c.QueryMem = c.MemLimit / int64(c.MaxConcurrent)
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 2
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	switch {
+	case c.WatchdogGrace == 0:
+		c.WatchdogGrace = 2 * time.Second
+	case c.WatchdogGrace < 0:
+		c.WatchdogGrace = 0
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 16
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 0.5
+	}
+	if c.BreakerMinSamples <= 0 {
+		c.BreakerMinSamples = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
 	}
 	return c
 }
@@ -137,13 +194,31 @@ type Server struct {
 	mu       sync.Mutex
 	versions map[string]int64 // table name -> registration version
 	sessions map[string]*session
-	running  map[int64]context.CancelFunc
+	running  map[int64]*runningQuery
 	nextQID  int64
 	nextSID  int64
+
+	// Fault-recovery observability (see Stats).
+	retries       atomic.Int64
+	recovered     atomic.Int64
+	watchdogFired atomic.Int64
+	breakerShed   atomic.Int64
+	classCounts   [engine.NumErrClasses]atomic.Int64
 }
 
 type session struct {
-	opts QueryOptions
+	opts    QueryOptions
+	breaker *breaker // nil when Config.NoBreakers
+}
+
+// runningQuery is one tracked in-flight attempt: the cancel that Drain and
+// the watchdog use, and the watchdog timer armed at deadline+grace.
+type runningQuery struct {
+	cancel   context.CancelFunc
+	watchdog *time.Timer // nil when unwatched
+	sql      string
+	start    time.Time
+	deadline time.Time
 }
 
 // New builds a server from cfg.
@@ -157,7 +232,7 @@ func New(cfg Config) *Server {
 		cat:      storage.NewCatalog(),
 		versions: make(map[string]int64),
 		sessions: make(map[string]*session),
-		running:  make(map[int64]context.CancelFunc),
+		running:  make(map[int64]*runningQuery),
 	}
 	if !cfg.NoSharedCache {
 		s.cache = iceberg.NewCacheService(global)
@@ -169,28 +244,43 @@ func New(cfg Config) *Server {
 // drain).
 func (s *Server) Budget() *resource.Budget { return s.global }
 
-// CreateSession mints a session holding default query options.
+// CreateSession mints a session holding default query options and, unless
+// disabled, its own circuit breaker.
 func (s *Server) CreateSession(opts QueryOptions) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextSID++
 	id := fmt.Sprintf("s%d", s.nextSID)
-	s.sessions[id] = &session{opts: opts}
+	ses := &session{opts: opts}
+	if !s.cfg.NoBreakers {
+		ses.breaker = newBreaker(breakerConfig{
+			window:     s.cfg.BreakerWindow,
+			threshold:  s.cfg.BreakerThreshold,
+			minSamples: s.cfg.BreakerMinSamples,
+			cooldown:   s.cfg.BreakerCooldown,
+		})
+	}
+	s.sessions[id] = ses
 	return id
 }
 
 // sessionOpts returns the session's defaults (zero value for unknown or
 // empty session IDs — anonymous queries are fine).
 func (s *Server) sessionOpts(id string) QueryOptions {
-	if id == "" {
-		return QueryOptions{}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ses, ok := s.sessions[id]; ok {
+	if ses := s.session(id); ses != nil {
 		return ses.opts
 	}
 	return QueryOptions{}
+}
+
+// session looks a session up (nil for "" or unknown IDs).
+func (s *Server) session(id string) *session {
+	if id == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
 }
 
 // RegisterTable publishes (or replaces) a table. Replacement bumps the
@@ -254,78 +344,75 @@ func (s *Server) execWrite(stmt sqlparser.Statement, table string) (*engine.Resu
 // RunQuery admits, executes, and accounts one SELECT. Every failure mode a
 // query can hit inside the server — injected faults, panics anywhere below
 // this frame, budget exhaustion, cancellation — comes back as an error from
-// this method; nothing escapes to the transport goroutine.
+// this method; nothing escapes to the transport goroutine. Transient and
+// Resource failures are retried down the degradation ladder (see
+// RunQueryInfo, which this delegates to).
 func (s *Server) RunQuery(ctx context.Context, sessionID, sql string, qopts *QueryOptions) (res *engine.Result, rep *iceberg.Report, err error) {
-	// Registered before anything else so the containment boundary covers
-	// admission and teardown too; deferred releases below run first during
-	// an unwind, so a panic cannot leak tokens, budget, or locks.
-	defer func() {
-		if r := recover(); r != nil {
-			res, rep, err = nil, nil, engine.NewPanicError("server handler", r)
-		}
-	}()
+	res, rep, _, err = s.RunQueryInfo(ctx, sessionID, sql, qopts)
+	return res, rep, err
+}
 
-	timeout := s.cfg.DefaultTimeout
-	if qopts != nil && qopts.TimeoutMS > 0 {
-		timeout = time.Duration(qopts.TimeoutMS) * time.Millisecond
-	}
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
-
-	g, err := s.adm.admit(ctx)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer g.release()
-
-	// Track the query so Drain can cancel stragglers past its deadline.
+// execAttempt runs one execution attempt under an already-held grant, with
+// the options stepped down to the given ladder rung. The attempt gets its
+// own cancellable context (so Drain and the watchdog can kill it) and a
+// fresh engine budget carved to the grant's size inside iceberg.Exec — a
+// failed attempt releases every byte before the next one starts.
+func (s *Server) execAttempt(ctx context.Context, sql string, sel *sqlparser.Select, base iceberg.Options, qopts *QueryOptions, g *grant, rung int) (*engine.Result, *iceberg.Report, error) {
 	qctx, cancel := context.WithCancel(ctx)
-	qid := s.track(cancel)
+	qid := s.track(cancel, ctx, sql)
 	defer s.untrack(qid)
 
 	if err := failpoint.Inject(failpoint.ServerHandler); err != nil {
 		return nil, nil, err
 	}
 
-	sel, err := sqlparser.ParseSelect(sql)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	sessDefaults := s.sessionOpts(sessionID)
-	opts := qopts.overlay(sessDefaults.overlay(iceberg.AllOn()))
+	opts := base
 	opts.Ctx = qctx
 	opts.MemBudget = g.mem.Size()
 	opts.Spill = s.cfg.Spill
 	opts.SpillDir = s.cfg.SpillDir
+	applyRung(&opts, rung)
 
 	s.dataMu.RLock()
 	defer s.dataMu.RUnlock()
-	if s.cache != nil && !(qopts != nil && qopts.NoSharedCache) {
+	// The baseline rung runs without the shared cache: NLJP is off there,
+	// and a fault inside the cache service is one of the things the rung
+	// exists to route around.
+	if s.cache != nil && !(qopts != nil && qopts.NoSharedCache) && rung < rungBaseline {
 		opts.SharedCache = s.cache
 		opts.SharedKey = s.cacheKey(sql, sel, opts)
 	}
 	return iceberg.Exec(s.cat, sel, opts)
 }
 
-func (s *Server) track(cancel context.CancelFunc) int64 {
+// track registers an in-flight attempt so Drain can cancel stragglers, and
+// arms the stuck-query watchdog when the attempt has a deadline.
+func (s *Server) track(cancel context.CancelFunc, ctx context.Context, sql string) int64 {
+	rq := &runningQuery{cancel: cancel, sql: sql, start: time.Now()}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.nextQID++
-	s.running[s.nextQID] = cancel
-	return s.nextQID
+	id := s.nextQID
+	s.running[id] = rq
+	s.mu.Unlock()
+	if deadline, ok := ctx.Deadline(); ok && s.cfg.WatchdogGrace > 0 {
+		rq.deadline = deadline
+		rq.watchdog = time.AfterFunc(time.Until(deadline)+s.cfg.WatchdogGrace, func() {
+			s.watchdogFire(id)
+		})
+	}
+	return id
 }
 
 func (s *Server) untrack(id int64) {
 	s.mu.Lock()
-	cancel := s.running[id]
+	rq := s.running[id]
 	delete(s.running, id)
 	s.mu.Unlock()
-	if cancel != nil {
-		cancel()
+	if rq != nil {
+		if rq.watchdog != nil {
+			rq.watchdog.Stop()
+		}
+		rq.cancel()
 	}
 }
 
@@ -333,8 +420,8 @@ func (s *Server) untrack(id int64) {
 func (s *Server) cancelRunning() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, cancel := range s.running {
-		cancel()
+	for _, rq := range s.running {
+		rq.cancel()
 	}
 	return len(s.running)
 }
@@ -466,6 +553,17 @@ type Stats struct {
 	// Skip accumulates data-skipping counters (zone-map blocks/rows skipped,
 	// transfer-filter probes skipped, filters built) across all queries.
 	Skip engine.SkipStats `json:"skip"`
+
+	// Fault-recovery counters: degraded re-executions attempted, queries that
+	// ultimately succeeded on a retry, watchdog force-cancels, queries shed by
+	// an open breaker, final errors by taxonomy class, and sessions per
+	// breaker state.
+	Retries       int64            `json:"retries"`
+	Recovered     int64            `json:"recovered"`
+	WatchdogFired int64            `json:"watchdog_fired"`
+	BreakerShed   int64            `json:"breaker_shed"`
+	ErrClasses    map[string]int64 `json:"err_classes,omitempty"`
+	Breakers      map[string]int   `json:"breakers,omitempty"`
 }
 
 // StatsSnapshot gathers Stats.
@@ -486,6 +584,19 @@ func (s *Server) StatsSnapshot() Stats {
 		BudgetLimit:    s.global.Limit(),
 		SharedCacheOn:  s.cache != nil,
 		Skip:           engine.SkipTotals(),
+		Retries:        s.retries.Load(),
+		Recovered:      s.recovered.Load(),
+		WatchdogFired:  s.watchdogFired.Load(),
+		BreakerShed:    s.breakerShed.Load(),
+		Breakers:       s.breakerStates(),
+	}
+	for c := engine.ErrClass(1); c < engine.NumErrClasses; c++ {
+		if n := s.classCounts[c].Load(); n > 0 {
+			if st.ErrClasses == nil {
+				st.ErrClasses = map[string]int64{}
+			}
+			st.ErrClasses[c.String()] = n
+		}
 	}
 	s.dataMu.RLock()
 	st.Tables = len(s.cat.Names())

@@ -1,0 +1,42 @@
+package server
+
+import (
+	"runtime"
+	"time"
+)
+
+// watchdogFire is the stuck-query watchdog's timer callback: the attempt
+// with this id has run WatchdogGrace past its deadline without unwinding —
+// the context expired, so something below is not polling it. The watchdog
+// force-cancels the attempt's own context (a second, independent signal; the
+// deadline context already fired) and dumps every goroutine stack, labeled
+// with the query, so the wedge is diagnosable from the server log. There is
+// no persistent scanner goroutine: each tracked attempt arms one
+// time.AfterFunc at deadline+grace and untrack stops it, so an idle server
+// has nothing running.
+func (s *Server) watchdogFire(id int64) {
+	s.mu.Lock()
+	rq := s.running[id]
+	s.mu.Unlock()
+	if rq == nil {
+		return // unwound between the timer firing and this callback
+	}
+	s.watchdogFired.Add(1)
+	rq.cancel()
+	s.cfg.Log.Printf("icebergd: watchdog: query %d stuck %s past deadline (running %s): %q\n%s",
+		id, time.Since(rq.deadline).Round(time.Millisecond),
+		time.Since(rq.start).Round(time.Millisecond), rq.sql, allStacks())
+}
+
+// allStacks captures every goroutine's stack, growing the buffer until the
+// dump fits (runtime.Stack truncates silently otherwise).
+func allStacks() []byte {
+	buf := make([]byte, 1<<16)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return buf[:n]
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}
